@@ -1,0 +1,43 @@
+// Background-traffic ablation (paper §5.1: the 3x non-broker traffic is
+// "difficult to quantify ... but has been progressively changing"): how do
+// the capacity-blind and capacity-aware designs respond as the non-broker
+// share shrinks (brokered delivery taking over) or grows?
+//
+// Expected: BestLookup's congestion scales with background volume (it fills
+// true capacities blindly); the Marketplace's net-of-background commitments
+// keep it clean at every multiplier.
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace vdx;
+
+  core::Table table{{"Background x", "BestLookup congested", "Marketplace congested",
+                     "BestLookup score", "Marketplace score"}};
+  table.set_title("Congestion vs background-traffic multiplier");
+  for (const double multiplier : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 12'000;  // keep the sweep quick
+    config.background_multiplier = multiplier;
+    const sim::Scenario scenario = sim::Scenario::build(config);
+
+    const sim::DesignMetrics best_lookup = sim::compute_metrics(
+        scenario, sim::run_design(scenario, sim::Design::kBestLookup));
+    const sim::DesignMetrics marketplace = sim::compute_metrics(
+        scenario, sim::run_design(scenario, sim::Design::kMarketplace));
+    table.add_row({core::format_double(multiplier, 1),
+                   core::format_percent(best_lookup.congested_fraction, 1),
+                   core::format_percent(marketplace.congested_fraction, 1),
+                   core::format_double(best_lookup.mean_score, 1),
+                   core::format_double(marketplace.mean_score, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nReading: the paper's BestLookup critique is a function of how\n"
+              "much traffic the broker cannot see; Marketplace is immune at\n"
+              "every mix because CDNs subtract their own background load\n"
+              "before committing capacity.\n");
+  return 0;
+}

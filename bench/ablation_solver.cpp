@@ -1,0 +1,43 @@
+// Solver-backend ablation (DESIGN.md §5): does the broker's answer depend on
+// which optimization backend solves the Fig.-9 problem?
+//
+// Expected: the exact backends (min-cost flow; simplex would match but is
+// too slow at trace scale) and the heuristics (greedy, Lagrangian) land on
+// very similar Table-3 metrics — the marketplace's benefit comes from the
+// *interface*, not from squeezing the last percent out of the optimizer.
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+
+  core::Table table{{"Backend", "Mean cost", "Mean score", "Congested",
+                     "Optimize wall (s)"}};
+  table.set_title("Marketplace metrics by solver backend");
+  for (const solver::Backend backend :
+       {solver::Backend::kMinCostFlow, solver::Backend::kGreedy,
+        solver::Backend::kLagrangian}) {
+    sim::RunConfig config;
+    config.solve.backend = backend;
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::DesignOutcome outcome =
+        sim::run_design(scenario, sim::Design::kMarketplace, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    const sim::DesignMetrics metrics = sim::compute_metrics(scenario, outcome);
+    table.add_row({std::string{solver::to_string(backend)},
+                   core::format_double(metrics.mean_cost, 3),
+                   core::format_double(metrics.mean_score, 1),
+                   core::format_percent(metrics.congested_fraction, 1),
+                   core::format_double(std::chrono::duration<double>(t1 - t0).count(),
+                                       2)});
+  }
+  table.print(std::cout);
+  std::printf("\nReading: heuristics trade a few percent of objective for "
+              "speed; the interface-level conclusions (cheap + fast + no "
+              "congestion) do not depend on solver exactness.\n");
+  return 0;
+}

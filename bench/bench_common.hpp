@@ -1,0 +1,28 @@
+// Shared helpers for the figure/table regeneration benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "sim/experiments.hpp"
+
+namespace vdx::bench {
+
+/// The paper-scale scenario: 33.4K broker sessions + 3x background over the
+/// 14-CDN world (§5.1). One shared seed keeps all benches consistent.
+inline sim::Scenario paper_scenario(std::size_t city_cdns = 0) {
+  sim::ScenarioConfig config;
+  config.city_cdn_count = city_cdns;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Scenario scenario = sim::Scenario::build(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("[setup] scenario: %zu broker sessions, %zu background, %zu CDNs, "
+              "%zu clusters (%.1fs)\n",
+              scenario.broker_trace().size(), scenario.background_trace().size(),
+              scenario.catalog().cdns().size(), scenario.catalog().clusters().size(),
+              std::chrono::duration<double>(t1 - t0).count());
+  return scenario;
+}
+
+}  // namespace vdx::bench

@@ -1,0 +1,56 @@
+// Figures 13-15 — per-country price-to-cost ratio (Brokered), delivery
+// traffic, and profits under Brokered vs VDX, grouped by the serving
+// cluster's country.
+//
+// Paper shapes: countries L-S are easy to profit in while A-J lose money
+// under Brokered (Fig. 13/15); Brokered's per-country traffic is roughly
+// even while VDX avoids delivering from the most expensive countries
+// (Fig. 14); with VDX every country's clusters profit (Fig. 15).
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+  const sim::SettlementComparison cmp = sim::settlement_comparison(scenario);
+
+  core::Table table{{"Country", "P/C (Brokered)", "Traffic Bro", "Traffic VDX",
+                     "Profit Brokered", "Profit VDX"}};
+  table.set_title(
+      "Figures 13-15: per-country pricing, traffic and profit (A = most "
+      "expensive)");
+  double expensive_brokered = 0.0;
+  double expensive_vdx = 0.0;
+  double total_brokered = 0.0;
+  double total_vdx = 0.0;
+  std::size_t losing_countries_brokered = 0;
+  std::size_t losing_countries_vdx = 0;
+  for (std::size_t i = 0; i < cmp.brokered_country.size(); ++i) {
+    const sim::CountryAccount& b = cmp.brokered_country[i];
+    const sim::CountryAccount& v = cmp.vdx_country[i];
+    table.add_row({scenario.world().countries()[i].name,
+                   core::format_double(b.price_to_cost, 2),
+                   core::format_double(b.traffic_mbps, 0),
+                   core::format_double(v.traffic_mbps, 0), b.profit.to_string(),
+                   v.profit.to_string()});
+    total_brokered += b.traffic_mbps;
+    total_vdx += v.traffic_mbps;
+    if (i < 5) {
+      expensive_brokered += b.traffic_mbps;
+      expensive_vdx += v.traffic_mbps;
+    }
+    if (b.profit.micros() < 0) ++losing_countries_brokered;
+    if (v.profit.micros() < 0) ++losing_countries_vdx;
+  }
+  table.print(std::cout);
+
+  std::printf("\nTraffic served from the 5 most expensive countries: Brokered "
+              "%.1f%%, VDX %.1f%% (paper: VDX avoids A-E)\n",
+              100.0 * expensive_brokered / total_brokered,
+              100.0 * expensive_vdx / total_vdx);
+  std::printf("Countries delivering at a loss: Brokered %zu, VDX %zu "
+              "(paper: A-J lose under Brokered; none under VDX)\n",
+              losing_countries_brokered, losing_countries_vdx);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 17 — the cost vs distance trade-off as the broker's cost weight wc
+// sweeps, per design.
+//
+// Paper shapes: VDX's curve dominates — it can cut cost ~44% at Brokered's
+// distance, cut distance ~74% at Brokered's cost, or take ~31%/~40% of both
+// at the knee.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/table.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+
+  const double weights[] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  const sim::Design designs[] = {
+      sim::Design::kBrokered,        sim::Design::kMulticluster2,
+      sim::Design::kMulticluster100, sim::Design::kDynamicPricing,
+      sim::Design::kDynamicMulticluster, sim::Design::kBestLookup,
+      sim::Design::kMarketplace,
+  };
+  const auto points = sim::fig17_tradeoff(scenario, weights, designs);
+
+  core::Table table{{"Design", "wc", "Cost ($/client)", "Distance (mi)"}};
+  table.set_title("Figure 17: cost vs distance while sweeping the cost weight");
+  for (const sim::Fig17Point& p : points) {
+    table.add_row({std::string{sim::to_string(p.design)},
+                   core::format_double(p.cost_weight, 3),
+                   core::format_double(p.median_cost, 3),
+                   core::format_double(p.median_distance_miles, 0)});
+  }
+  table.print(std::cout);
+
+  // Headline claims: compare VDX's frontier to Brokered's best points.
+  double brokered_cost = 1e18;
+  double brokered_distance = 1e18;
+  for (const sim::Fig17Point& p : points) {
+    if (p.design == sim::Design::kBrokered) {
+      brokered_cost = std::min(brokered_cost, p.median_cost);
+      brokered_distance = std::min(brokered_distance, p.median_distance_miles);
+    }
+  }
+  double best_cost_at_distance = 1e18;     // VDX cost with distance <= Brokered's
+  double best_distance_at_cost = 1e18;     // VDX distance with cost <= Brokered's
+  for (const sim::Fig17Point& p : points) {
+    if (p.design != sim::Design::kMarketplace) continue;
+    if (p.median_distance_miles <= brokered_distance) {
+      best_cost_at_distance = std::min(best_cost_at_distance, p.median_cost);
+    }
+    if (p.median_cost <= brokered_cost) {
+      best_distance_at_cost = std::min(best_distance_at_cost, p.median_distance_miles);
+    }
+  }
+  if (best_cost_at_distance < 1e18) {
+    std::printf("\nVDX at Brokered's distance: cost %+.0f%% (paper: -44%%)\n",
+                100.0 * (best_cost_at_distance / brokered_cost - 1.0));
+  }
+  if (best_distance_at_cost < 1e18) {
+    std::printf("VDX at Brokered's cost: distance %+.0f%% (paper: -74%%)\n",
+                100.0 * (best_distance_at_cost / brokered_distance - 1.0));
+  }
+  return 0;
+}

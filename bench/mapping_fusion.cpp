@@ -1,0 +1,44 @@
+// Measurement-sharing ablation (paper §3.3): CDNs measure cluster->gateway
+// in advance; brokers measure client->server in-connection. How much does
+// pooling both vantage points improve the internet map?
+//
+// Expected: the fused estimator beats the CDN-only map at every broker
+// coverage level, improving as brokered traffic (coverage) grows — the
+// quantified case for a bidirectional measurement exchange.
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "net/fusion.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace vdx;
+  sim::ScenarioConfig config;
+  config.trace.session_count = 4000;  // the mapping, not the workload, matters
+  const sim::Scenario scenario = sim::Scenario::build(config);
+  std::printf("[setup] mapping: %zu cities x %zu cluster vantages\n",
+              scenario.mapping().city_count(), scenario.mapping().vantage_count());
+
+  core::Table table{{"Broker coverage", "CDN-only err", "Broker-only err (covered)",
+                     "Fused err", "Pairs improved"}};
+  table.set_title("Median relative score-estimate error by vantage fusion");
+  for (const double coverage : {0.05, 0.1, 0.25, 0.5, 0.9}) {
+    net::VantageNoise noise;
+    noise.broker_coverage = coverage;
+    core::Rng rng{2026};
+    const net::FusionReport report =
+        net::evaluate_fusion(scenario.world(), scenario.mapping(), noise, rng);
+    table.add_row({core::format_percent(coverage, 0),
+                   core::format_percent(report.cdn_only_error, 1),
+                   core::format_percent(report.broker_only_error, 1),
+                   core::format_percent(report.fused_error, 1),
+                   core::format_percent(report.improved_fraction, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nReading: \"Sharing mapping information could greatly improve "
+              "the accuracy of the data as both CDNs and brokers have limited "
+              "vantage points\" (§3.3) — the fused map's error shrinks "
+              "monotonically with brokered coverage.\n");
+  return 0;
+}

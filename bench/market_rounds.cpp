@@ -1,0 +1,87 @@
+// Marketplace dynamics (beyond the paper's snapshot evaluation): repeated
+// Decision-Protocol rounds through the wire codec, contrasting static vs
+// risk-averse bidding strategies on traffic predictability (§6.3's "CDNs can
+// learn risk-averse bidding strategies ... that will likely provide traffic
+// predictability"), plus the reputation system's reaction to a fraudulent
+// CDN and the exchange's behaviour through a CDN failure.
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+#include "market/exchange.hpp"
+
+int main() {
+  using namespace vdx;
+  sim::ScenarioConfig config;
+  config.trace.session_count = 8000;  // dynamics, not scale, are the point
+  const sim::Scenario scenario = sim::Scenario::build(config);
+  std::printf("[setup] scenario: %zu broker sessions, %zu CDNs\n",
+              scenario.broker_trace().size(), scenario.catalog().cdns().size());
+
+  constexpr std::size_t kRounds = 10;
+
+  // ---- Predictability: static vs risk-averse. ----
+  market::ExchangeConfig static_config;
+  static_config.strategy = market::StrategyKind::kStatic;
+  market::VdxExchange fixed{scenario, static_config};
+  const auto static_reports = fixed.run(kRounds);
+
+  market::ExchangeConfig learn_config;
+  learn_config.strategy = market::StrategyKind::kRiskAverse;
+  market::VdxExchange learner{scenario, learn_config};
+  const auto learner_reports = learner.run(kRounds);
+
+  core::Table table{{"Round", "Pred. error (static)", "Pred. error (risk-averse)",
+                     "Mean score", "Mean cost", "Wire bytes"}};
+  table.set_title("Marketplace rounds: traffic-predictability learning");
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    table.add_row({std::to_string(r + 1),
+                   core::format_double(static_reports[r].mean_prediction_error, 3),
+                   core::format_double(learner_reports[r].mean_prediction_error, 3),
+                   core::format_double(learner_reports[r].mean_score, 1),
+                   core::format_double(learner_reports[r].mean_cost, 3),
+                   std::to_string(learner_reports[r].wire.bytes_on_wire)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+
+  // ---- Fraud: reputation reaction. ----
+  market::ExchangeConfig fraud_config;
+  fraud_config.strategy = market::StrategyKind::kStatic;
+  market::VdxExchange exchange{scenario, fraud_config};
+  const auto baseline = exchange.run_round();
+  std::size_t culprit = 0;
+  for (std::size_t i = 1; i < baseline.awarded_mbps.size(); ++i) {
+    if (baseline.awarded_mbps[i] > baseline.awarded_mbps[culprit]) culprit = i;
+  }
+  exchange.set_fraudulent(cdn::CdnId{static_cast<std::uint32_t>(culprit)}, true);
+  std::printf("Fraud drill: CDN %zu starts misreporting performance/price\n",
+              culprit + 1);
+  for (std::size_t r = 0; r < 6; ++r) {
+    const auto report = exchange.run_round();
+    std::printf("  round %zu: fraudulent CDN traffic %.0f Mbps, reputation "
+                "error %.2f, penalty x%.2f\n",
+                r + 1, report.awarded_mbps[culprit],
+                exchange.reputation().error_estimate(
+                    cdn::CdnId{static_cast<std::uint32_t>(culprit)}),
+                exchange.reputation().penalty_multiplier(
+                    cdn::CdnId{static_cast<std::uint32_t>(culprit)}));
+  }
+  std::printf("\n");
+
+  // ---- Failure: the market absorbs a dead CDN. ----
+  market::VdxExchange failover{scenario};
+  const auto healthy = failover.run_round();
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < healthy.awarded_mbps.size(); ++i) {
+    if (healthy.awarded_mbps[i] > healthy.awarded_mbps[top]) top = i;
+  }
+  failover.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, true);
+  const auto degraded = failover.run_round();
+  std::printf("Failure drill: CDN %zu (top carrier, %.0f Mbps) goes dark -> "
+              "its traffic %.0f Mbps; mean score %.1f -> %.1f; congestion "
+              "%.1f%% -> %.1f%%\n",
+              top + 1, healthy.awarded_mbps[top], degraded.awarded_mbps[top],
+              healthy.mean_score, degraded.mean_score,
+              100.0 * healthy.congested_fraction, 100.0 * degraded.congested_fraction);
+  return 0;
+}

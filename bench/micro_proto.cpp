@@ -1,0 +1,57 @@
+// Wire-codec microbenchmarks: encode/decode throughput for the marketplace
+// message types (the exchange transmits thousands of bids per round).
+#include <benchmark/benchmark.h>
+
+#include "proto/messages.hpp"
+
+namespace {
+
+using namespace vdx::proto;
+
+void BM_EncodeBid(benchmark::State& state) {
+  const Message bid = BidMessage{17, 42, 23.5, 1500.0, 1.75, 3};
+  for (auto _ : state) {
+    const auto frame = encode(bid);
+    benchmark::DoNotOptimize(frame.data());
+  }
+}
+
+void BM_DecodeBid(benchmark::State& state) {
+  const auto frame = encode(Message{BidMessage{17, 42, 23.5, 1500.0, 1.75, 3}});
+  for (auto _ : state) {
+    const Message decoded = decode(frame);
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+
+void BM_RoundTripShare(benchmark::State& state) {
+  const Message share = ShareMessage{42, 7, 12345, 99, 2.5, 120};
+  for (auto _ : state) {
+    const Message decoded = decode(encode(share));
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+
+void BM_DecodeStream(benchmark::State& state) {
+  // A realistic Announce burst: N bids back to back.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto frame = encode(Message{
+        BidMessage{static_cast<std::uint32_t>(i), 42, 23.5, 1500.0, 1.75, 3}});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  for (auto _ : state) {
+    const auto messages = decode_stream(stream);
+    benchmark::DoNotOptimize(messages.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_EncodeBid);
+BENCHMARK(BM_DecodeBid);
+BENCHMARK(BM_RoundTripShare);
+BENCHMARK(BM_DecodeStream)->Arg(100)->Arg(10000);

@@ -1,0 +1,40 @@
+// Multi-broker overbooking ablation (paper §4.2): BestLookup's flaw — and
+// the Marketplace's fix — as the number of independent brokers grows.
+//
+// Expected: BestLookup's congestion climbs with broker count (every broker
+// fills the same announced capacities); the Marketplace stays clean at any
+// broker count because the Share step lets CDNs commit disjoint capacity
+// slices per broker.
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+#include "sim/multibroker.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+
+  core::Table table{{"Design", "Brokers", "Congested clients", "Overbooked clusters",
+                     "Mean score", "Mean cost"}};
+  table.set_title("Multi-broker overbooking: BestLookup vs Marketplace");
+  for (const sim::Design design :
+       {sim::Design::kBestLookup, sim::Design::kMarketplace}) {
+    for (const std::size_t brokers : {1u, 2u, 4u, 8u}) {
+      sim::MultiBrokerConfig config;
+      config.design = design;
+      config.broker_count = brokers;
+      const sim::MultiBrokerResult result = sim::run_multibroker(scenario, config);
+      table.add_row({std::string{sim::to_string(design)}, std::to_string(brokers),
+                     core::format_percent(result.metrics.congested_fraction, 1),
+                     std::to_string(result.overbooked_clusters),
+                     core::format_double(result.metrics.mean_score, 1),
+                     core::format_double(result.metrics.mean_cost, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nReading: 'a cluster with capacity 10 units may receive 9 units "
+              "of traffic each from two brokers' (§4.2) — BestLookup's "
+              "overbooking compounds with broker count, Marketplace's "
+              "client-aware capacity commitments do not.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table 3 — comparing the CDN-broker decision-interface designs on Cost,
+// Score, Distance, Load and Congested (medians over all clients; lower is
+// better), plus the Table 2 requirement matrix.
+//
+// Paper rows (their units):
+//   Brokered        136 132 297  9%  0%
+//   Multicluster(2) 155  87 194 14% 27%
+//   Multicluster(100)171 85 141 20% 39%
+//   DynamicPricing  126 148 318 11%  0%
+//   DynamicMulti    115 122 219 40% 14%
+//   BestLookup       94 108 166 14% 14%
+//   Marketplace      93 112 178 23%  0%
+//   Omniscient       86 111 172 48%  0%
+// Absolute values differ (synthetic substrate); the reproduction target is
+// the SHAPE: who wins, who congests, where the trade-offs sit.
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+
+  // ---- Table 2: requirement matrix. ----
+  core::Table matrix{{"Design", "Share", "Matching", "CO", "DCP", "TP"}};
+  matrix.set_title("Table 2: designs vs requirements (CO = cluster-level "
+                   "optimization, DCP = dynamic cluster pricing, TP = traffic "
+                   "predictability)");
+  for (const sim::Design design : sim::kAllDesigns) {
+    const sim::DesignTraits traits = sim::traits_of(design);
+    matrix.add_row({std::string{sim::to_string(design)},
+                    traits.shares_clients ? "clients" : "-",
+                    traits.multi_cluster ? "multi-cluster" : "single-cluster",
+                    traits.cluster_level_optimization ? "yes" : "no",
+                    traits.dynamic_cluster_pricing ? "yes" : "no",
+                    traits.traffic_predictability == 0   ? "no"
+                    : traits.traffic_predictability == 1 ? "weak"
+                                                         : "strong"});
+  }
+  matrix.print(std::cout);
+  std::printf("\n");
+
+  // ---- Table 3: the design comparison. ----
+  const auto rows = sim::table3_design_comparison(scenario);
+  core::Table table{{"Design", "Cost ($/client)", "Score", "Distance (mi)",
+                     "Load", "Congested"}};
+  table.set_title("Table 3: design comparison (medians; lower is better)");
+  for (const sim::Table3Row& row : rows) {
+    table.add_row({std::string{sim::to_string(row.design)},
+                   core::format_double(row.metrics.median_cost, 3),
+                   core::format_double(row.metrics.median_score, 1),
+                   core::format_double(row.metrics.median_distance_miles, 0),
+                   core::format_percent(row.metrics.median_load, 0),
+                   core::format_percent(row.metrics.congested_fraction, 0)});
+  }
+  table.print(std::cout);
+
+  // CDFs (paper: "We see the same trends in the CDFs of cost, score, and
+  // distance (not presented)") — present Brokered vs Marketplace deciles.
+  const sim::DesignOutcome brokered_outcome =
+      sim::run_design(scenario, sim::Design::kBrokered);
+  const sim::DesignOutcome vdx_outcome =
+      sim::run_design(scenario, sim::Design::kMarketplace);
+  const sim::DistributionSummary b_cdf =
+      sim::design_distributions(scenario, brokered_outcome);
+  const sim::DistributionSummary v_cdf = sim::design_distributions(scenario, vdx_outcome);
+  std::printf("\n");
+  core::Table cdf{{"Percentile", "Cost Bro", "Cost VDX", "Score Bro", "Score VDX",
+                   "Dist Bro", "Dist VDX"}};
+  cdf.set_title("CDF deciles, Brokered vs Marketplace");
+  for (int d = 0; d < 9; ++d) {
+    cdf.add_row({std::to_string((d + 1) * 10) + "%",
+                 core::format_double(b_cdf.cost_deciles[d], 2),
+                 core::format_double(v_cdf.cost_deciles[d], 2),
+                 core::format_double(b_cdf.score_deciles[d], 1),
+                 core::format_double(v_cdf.score_deciles[d], 1),
+                 core::format_double(b_cdf.distance_deciles[d], 0),
+                 core::format_double(v_cdf.distance_deciles[d], 0)});
+  }
+  cdf.print(std::cout);
+
+  // Headline deltas.
+  const auto& brokered = rows.front().metrics;
+  for (const sim::Table3Row& row : rows) {
+    if (row.design == sim::Design::kMarketplace) {
+      std::printf("\nMarketplace vs Brokered: cost %+.0f%%, score %+.0f%%, "
+                  "distance %+.0f%% (paper: cost -32%%, score -15%%, "
+                  "distance -40%%)\n",
+                  100.0 * (row.metrics.median_cost / brokered.median_cost - 1.0),
+                  100.0 * (row.metrics.median_score / brokered.median_score - 1.0),
+                  100.0 * (row.metrics.median_distance_miles /
+                               brokered.median_distance_miles -
+                           1.0));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Timeline stability (extension; connects Figure 4 to §6.2's fix):
+// re-running the Decision Protocol every 5 minutes over the trace hour,
+// what fraction of surviving sessions change serving CDN each round?
+//
+// Expected: today's Brokered interface churns at roughly the Figure-4 level
+// (~40%) because the broker's QoE estimates fluctuate between rounds, while
+// the Marketplace's announced cluster data keeps assignments stable —
+// "traffic unpredictability is greatly reduced in VDX" (§6.2).
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+#include "sim/timeline.hpp"
+
+int main() {
+  using namespace vdx;
+  const sim::Scenario scenario = bench::paper_scenario();
+
+  const sim::Design designs[] = {sim::Design::kBrokered, sim::Design::kDynamicPricing,
+                                 sim::Design::kBestLookup, sim::Design::kMarketplace};
+
+  core::Table table{{"Design", "Mean CDN switch/epoch", "Max epoch", "Mean score",
+                     "Mean cost"}};
+  table.set_title("Per-epoch assignment churn over the trace hour (5-min rounds)");
+  for (const sim::Design design : designs) {
+    sim::TimelineConfig config;
+    config.design = design;
+    const sim::TimelineResult result = sim::run_timeline(scenario, config);
+    double max_switch = 0.0;
+    double score_sum = 0.0;
+    double cost_sum = 0.0;
+    for (const sim::EpochReport& epoch : result.epochs) {
+      max_switch = std::max(max_switch, epoch.cdn_switch_fraction);
+      score_sum += epoch.metrics.mean_score;
+      cost_sum += epoch.metrics.mean_cost;
+    }
+    const double n = static_cast<double>(result.epochs.size());
+    table.add_row({std::string{sim::to_string(design)},
+                   core::format_percent(result.mean_cdn_switch_fraction, 1),
+                   core::format_percent(max_switch, 1),
+                   core::format_double(score_sum / n, 1),
+                   core::format_double(cost_sum / n, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nPaper context: the broker trace shows ~40%% of sessions moved "
+              "mid-stream (Fig. 4); VDX involves CDNs before traffic moves, "
+              "so re-decisions stop flapping (§6.2).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Transactions-design ablation (paper §4.2 / Table 2): the all-CDN-approval
+// protocol the paper drops as impractical — quantified.
+//
+// Sweep the CDNs' strategic veto threshold (minimum acceptable fraction of
+// their fair demand share). Expected: any strategic behaviour forces
+// multiple recompute rounds with CDNs walking away; the committed mapping is
+// worse than the first attempt; greedy-enough CDNs prevent commitment
+// entirely. The Marketplace gets the first-attempt mapping in ONE round.
+#include "bench_common.hpp"
+
+#include "core/table.hpp"
+#include "market/transactions.hpp"
+
+int main() {
+  using namespace vdx;
+  sim::ScenarioConfig scenario_config;
+  scenario_config.trace.session_count = 8000;
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config);
+  std::printf("[setup] scenario: %zu broker sessions, %zu CDNs\n",
+              scenario.broker_trace().size(), scenario.catalog().cdns().size());
+
+  core::Table table{{"Veto threshold", "Committed", "Rounds", "CDNs withdrawn",
+                     "Final mean score", "Final mean cost"}};
+  table.set_title("Transactions: commit behaviour vs strategic veto threshold");
+  for (const double threshold : {0.0, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}) {
+    market::TransactionConfig config;
+    config.veto_threshold = threshold;
+    const market::TransactionResult result = market::run_transactions(scenario, config);
+    table.add_row({core::format_double(threshold, 2), result.committed ? "yes" : "NO",
+                   std::to_string(result.rounds_used),
+                   std::to_string(result.withdrawn_cdns),
+                   core::format_double(result.final_mean_score, 2),
+                   core::format_double(result.final_mean_cost, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nReading: veto_threshold = 0 is the Marketplace (single round, "
+              "nobody withdraws). Any strategic vetoing burns rounds and "
+              "degrades the committed mapping; at high thresholds a 'commit' "
+              "only happens because nearly every CDN has walked away (or the "
+              "market collapses outright) — the paper's reason for dropping "
+              "Transactions.\n");
+  return 0;
+}

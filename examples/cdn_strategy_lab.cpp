@@ -1,0 +1,74 @@
+// CDN strategy lab: a CDN operator's view of the marketplace. Compares the
+// static full-markup bidder against the risk-averse learner on win rate,
+// revenue and traffic predictability — the knobs a real CDN would tune
+// before joining a VDX-style exchange (§6.3).
+//
+//   $ ./cdn_strategy_lab
+#include <cstdio>
+
+#include "market/exchange.hpp"
+
+namespace {
+
+struct StrategyRun {
+  std::vector<vdx::market::RoundReport> reports;
+};
+
+StrategyRun run_with(const vdx::sim::Scenario& scenario,
+                     vdx::market::StrategyKind strategy, std::size_t rounds) {
+  vdx::market::ExchangeConfig config;
+  config.strategy = strategy;
+  vdx::market::VdxExchange exchange{scenario, config};
+  return StrategyRun{exchange.run(rounds)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdx;
+
+  sim::ScenarioConfig config;
+  config.trace.session_count = 5'000;
+  config.seed = 99;
+  const sim::Scenario scenario = sim::Scenario::build(config);
+
+  constexpr std::size_t kRounds = 8;
+  const StrategyRun fixed = run_with(scenario, market::StrategyKind::kStatic, kRounds);
+  const StrategyRun learner =
+      run_with(scenario, market::StrategyKind::kRiskAverse, kRounds);
+
+  std::printf("Traffic predictability (|expected - won| / bid traffic; lower "
+              "is better):\n");
+  std::printf("  %-6s %-10s %-12s\n", "round", "static", "risk-averse");
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    std::printf("  %-6zu %-10.3f %-12.3f\n", r + 1,
+                fixed.reports[r].mean_prediction_error,
+                learner.reports[r].mean_prediction_error);
+  }
+
+  // From the broker/CP side: does the learning change market quality?
+  const auto& fixed_last = fixed.reports.back();
+  const auto& learner_last = learner.reports.back();
+  std::printf("\nMarket quality at steady state:\n");
+  std::printf("  %-14s mean score %.1f, mean delivery cost %.3f $/client\n",
+              "static:", fixed_last.mean_score, fixed_last.mean_cost);
+  std::printf("  %-14s mean score %.1f, mean delivery cost %.3f $/client\n",
+              "risk-averse:", learner_last.mean_score, learner_last.mean_cost);
+
+  // Per-CDN traffic concentration under learning.
+  std::printf("\nSteady-state awarded traffic by deployment model "
+              "(risk-averse):\n");
+  double by_model[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < learner_last.awarded_mbps.size(); ++i) {
+    by_model[static_cast<std::size_t>(scenario.catalog().cdns()[i].model)] +=
+        learner_last.awarded_mbps[i];
+  }
+  const char* model_names[] = {"distributed", "regional", "central", "city-centric"};
+  for (int m = 0; m < 4; ++m) {
+    if (by_model[m] > 0.0) std::printf("  %-13s %8.0f Mbps\n", model_names[m], by_model[m]);
+  }
+  std::printf("\nTakeaway: risk-averse shading cuts the CDN's commitment error "
+              "by orders of magnitude without hurting the market's score/cost "
+              "point — the paper's \"weak traffic predictability\" argument.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Failure & fraud drill (§6.3): what happens to the marketplace when a CDN
+// goes dark mid-operation, and when one starts submitting fraudulent bids.
+//
+//   $ ./failure_drill
+#include <cstdio>
+
+#include "market/exchange.hpp"
+
+int main() {
+  using namespace vdx;
+
+  sim::ScenarioConfig config;
+  config.trace.session_count = 5'000;
+  config.seed = 1234;
+  const sim::Scenario scenario = sim::Scenario::build(config);
+
+  // ---------------- Failure: a CDN disappears. ----------------
+  {
+    market::VdxExchange exchange{scenario};
+    const market::RoundReport healthy = exchange.run_round();
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < healthy.awarded_mbps.size(); ++i) {
+      if (healthy.awarded_mbps[i] > healthy.awarded_mbps[top]) top = i;
+    }
+    std::printf("Failure drill\n");
+    std::printf("  healthy round: %s carries %.0f Mbps, market mean score %.1f\n",
+                scenario.catalog().cdns()[top].name.c_str(), healthy.awarded_mbps[top],
+                healthy.mean_score);
+
+    exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, true);
+    const market::RoundReport degraded = exchange.run_round();
+    std::printf("  CDN dark:      its traffic -> %.0f Mbps, mean score %.1f, "
+                "congestion %.1f%% (clients re-homed, no outage)\n",
+                degraded.awarded_mbps[top], degraded.mean_score,
+                100.0 * degraded.congested_fraction);
+
+    exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, false);
+    const market::RoundReport recovered = exchange.run_round();
+    std::printf("  CDN back:      traffic recovers to %.0f Mbps\n\n",
+                recovered.awarded_mbps[top]);
+  }
+
+  // ---------------- Fraud: a CDN lies in its bids. ----------------
+  {
+    market::ExchangeConfig fraud_config;
+    fraud_config.strategy = market::StrategyKind::kStatic;
+    market::VdxExchange exchange{scenario, fraud_config};
+    const market::RoundReport baseline = exchange.run_round();
+    std::size_t culprit = 0;
+    for (std::size_t i = 1; i < baseline.awarded_mbps.size(); ++i) {
+      if (baseline.awarded_mbps[i] > baseline.awarded_mbps[culprit]) culprit = i;
+    }
+    const cdn::CdnId culprit_id{static_cast<std::uint32_t>(culprit)};
+    std::printf("Fraud drill: %s starts announcing 4x-better scores at half "
+                "price\n",
+                scenario.catalog().cdns()[culprit].name.c_str());
+    exchange.set_fraudulent(culprit_id, true);
+    for (int round = 1; round <= 4; ++round) {
+      const market::RoundReport report = exchange.run_round();
+      std::printf("  round %d: fraudulent traffic %.0f Mbps | broker's "
+                  "reputation error %.2f -> bid penalty x%.2f | market mean "
+                  "score %.1f\n",
+                  round, report.awarded_mbps[culprit],
+                  exchange.reputation().error_estimate(culprit_id),
+                  exchange.reputation().penalty_multiplier(culprit_id),
+                  report.mean_score);
+    }
+    std::printf("  (the reputation system de-prioritizes the liar after one "
+                "round of measured-vs-announced mismatches)\n");
+  }
+  return 0;
+}

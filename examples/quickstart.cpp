@@ -1,0 +1,58 @@
+// Quickstart: build a simulated delivery world, run today's Brokered design
+// and the VDX Marketplace over the same clients, and compare the metrics.
+//
+//   $ ./quickstart
+//
+// This is the five-minute tour of the public API:
+//   sim::Scenario     — world + CDNs + mapping + traces, from one seed
+//   sim::run_design   — one Decision-Protocol snapshot for a chosen design
+//   sim::compute_metrics / per_cdn_accounts — the paper's metrics
+#include <cstdio>
+
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace vdx;
+
+  // 1. Build a (reduced-size) scenario: 19 countries, 60 cities, 14 CDNs,
+  //    10K broker-controlled client sessions plus 3x background traffic.
+  sim::ScenarioConfig config;
+  config.trace.session_count = 10'000;
+  config.seed = 42;
+  const sim::Scenario scenario = sim::Scenario::build(config);
+  std::printf("world: %zu countries, %zu cities | %zu CDNs, %zu clusters | "
+              "%zu broker sessions\n\n",
+              scenario.world().countries().size(), scenario.world().cities().size(),
+              scenario.catalog().cdns().size(), scenario.catalog().clusters().size(),
+              scenario.broker_trace().size());
+
+  // 2. Run two designs over the same snapshot of clients.
+  const sim::DesignOutcome brokered =
+      sim::run_design(scenario, sim::Design::kBrokered);
+  const sim::DesignOutcome vdx = sim::run_design(scenario, sim::Design::kMarketplace);
+
+  // 3. Compare the paper's metrics.
+  const sim::DesignMetrics mb = sim::compute_metrics(scenario, brokered);
+  const sim::DesignMetrics mv = sim::compute_metrics(scenario, vdx);
+  std::printf("%-14s %12s %12s %14s %12s\n", "design", "cost/client", "score",
+              "distance (mi)", "congested");
+  std::printf("%-14s %12.3f %12.1f %14.0f %11.1f%%\n", "Brokered", mb.median_cost,
+              mb.median_score, mb.median_distance_miles,
+              100.0 * mb.congested_fraction);
+  std::printf("%-14s %12.3f %12.1f %14.0f %11.1f%%\n", "VDX", mv.median_cost,
+              mv.median_score, mv.median_distance_miles,
+              100.0 * mv.congested_fraction);
+
+  // 4. Who profits? Flat-rate contracts vs per-cluster marketplace pricing.
+  std::size_t brokered_losers = 0;
+  for (const sim::CdnAccount& account : sim::per_cdn_accounts(scenario, brokered)) {
+    if (account.traffic_mbps > 0.0 && account.profit.micros() < 0) ++brokered_losers;
+  }
+  std::size_t vdx_losers = 0;
+  for (const sim::CdnAccount& account : sim::per_cdn_accounts(scenario, vdx)) {
+    if (account.traffic_mbps > 0.0 && account.profit.micros() < 0) ++vdx_losers;
+  }
+  std::printf("\nCDNs delivering at a loss: Brokered %zu, VDX %zu\n", brokered_losers,
+              vdx_losers);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "broker/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace vdx::broker {
+
+std::vector<ClientGroup> group_sessions(std::span<const trace::Session> sessions,
+                                        const GroupingConfig& config) {
+  // Key: (city, quantized bitrate, isp). Bitrates come from a discrete
+  // ladder already; quantize to 1 kbps to be safe against fp noise.
+  std::map<std::tuple<std::uint32_t, std::int64_t, std::uint32_t>, ClientGroup> groups;
+  for (const trace::Session& s : sessions) {
+    if (s.duration_s < config.min_duration_s) continue;
+    const auto kbps = static_cast<std::int64_t>(std::llround(s.bitrate_mbps * 1000.0));
+    const std::uint32_t isp = config.split_by_isp ? s.as_number : 0;
+    auto [it, inserted] = groups.try_emplace(
+        std::make_tuple(s.city.value(), kbps, isp), ClientGroup{});
+    ClientGroup& g = it->second;
+    if (inserted) {
+      g.city = s.city;
+      g.isp = isp;
+      g.bitrate_mbps = static_cast<double>(kbps) / 1000.0;
+    }
+    g.client_count += 1.0;
+  }
+
+  std::vector<ClientGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    group.id = ShareId{static_cast<std::uint32_t>(out.size())};
+    out.push_back(group);
+  }
+  return out;
+}
+
+double total_clients(std::span<const ClientGroup> groups) {
+  double total = 0.0;
+  for (const ClientGroup& g : groups) total += g.client_count;
+  return total;
+}
+
+}  // namespace vdx::broker

@@ -1,0 +1,50 @@
+// Broker-side Gather (Decision Protocol step 2): aggregate client sessions
+// into Share-granularity groups.
+//
+// The Share format (§6.1) is [share_id, location, isp, content_id,
+// data_size, client_count] — i.e. the broker ships *aggregates*, not raw
+// clients. We group by (city, bitrate rung); ISP is carried for the wire
+// format but not split on by default (configurable), matching the paper's
+// optimization which keys on location and bitrate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "trace/session.hpp"
+
+namespace vdx::broker {
+
+using core::CityId;
+using core::ShareId;
+
+/// One optimization group == one Share announcement.
+struct ClientGroup {
+  ShareId id;
+  CityId city;
+  std::uint32_t isp = 0;  // 0 = aggregated across ISPs
+  double bitrate_mbps = 1.0;
+  double client_count = 0.0;
+
+  [[nodiscard]] double demand_mbps() const noexcept {
+    return bitrate_mbps * client_count;
+  }
+};
+
+struct GroupingConfig {
+  /// Also split groups per client AS (finer shares, bigger problems).
+  bool split_by_isp = false;
+  /// Sessions with duration below this are dropped (abandoned clients do not
+  /// consume meaningful capacity; set 0 to keep everything).
+  double min_duration_s = 0.0;
+};
+
+/// Groups sessions into shares. Ids are dense in the returned order.
+[[nodiscard]] std::vector<ClientGroup> group_sessions(
+    std::span<const trace::Session> sessions, const GroupingConfig& config = {});
+
+/// Total clients across groups.
+[[nodiscard]] double total_clients(std::span<const ClientGroup> groups);
+
+}  // namespace vdx::broker

@@ -1,0 +1,78 @@
+#include "broker/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vdx::broker {
+
+OptimizeResult optimize(std::span<const ClientGroup> groups,
+                        std::span<const BidView> bids, const OptimizerConfig& config) {
+  // Dense share-id -> group index (ids are dense by construction but the
+  // optimizer only assumes they are unique).
+  std::unordered_map<std::uint32_t, std::uint32_t> group_of_share;
+  group_of_share.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!group_of_share.emplace(groups[g].id.value(), static_cast<std::uint32_t>(g))
+             .second) {
+      throw std::invalid_argument{"optimize: duplicate share id"};
+    }
+  }
+
+  // Cluster -> resource row; committed capacity is shared by all bids naming
+  // the cluster (take the max commitment announced).
+  std::unordered_map<std::uint32_t, std::uint32_t> resource_of_cluster;
+  solver::AssignmentProblem problem;
+  problem.group_counts.reserve(groups.size());
+  for (const ClientGroup& g : groups) problem.group_counts.push_back(g.client_count);
+
+  std::vector<std::size_t> usable_bid;  // problem option -> bids[] index
+  usable_bid.reserve(bids.size());
+  for (std::size_t b = 0; b < bids.size(); ++b) {
+    const BidView& bid = bids[b];
+    const auto group_it = group_of_share.find(bid.share.value());
+    if (group_it == group_of_share.end()) {
+      throw std::invalid_argument{"optimize: bid references unknown share"};
+    }
+    if (config.reputation && config.reputation->is_blacklisted(bid.cdn)) continue;
+
+    const double penalty =
+        config.reputation ? config.reputation->penalty_multiplier(bid.cdn) : 1.0;
+    const ClientGroup& group = groups[group_it->second];
+
+    auto [res_it, inserted] = resource_of_cluster.try_emplace(
+        bid.cluster.value(), static_cast<std::uint32_t>(problem.capacities.size()));
+    if (inserted) {
+      problem.capacities.push_back(bid.capacity);
+    } else {
+      problem.capacities[res_it->second] =
+          std::max(problem.capacities[res_it->second], bid.capacity);
+    }
+
+    solver::Option option;
+    option.group = group_it->second;
+    option.resource = res_it->second;
+    option.unit_demand = group.bitrate_mbps;
+    option.unit_cost = penalty * (config.weights.performance * bid.score +
+                                  config.weights.cost * bid.price * group.bitrate_mbps);
+    problem.options.push_back(option);
+    usable_bid.push_back(b);
+  }
+
+  problem.validate();  // throws if a populated group ended up with no bids
+
+  const solver::Assignment assignment = solver::solve(problem, config.solve);
+
+  OptimizeResult result;
+  result.backend_used = config.solve.backend;
+  result.objective = assignment.objective;
+  result.overflow_mbps = assignment.overflow_demand;
+  for (std::size_t i = 0; i < assignment.amounts.size(); ++i) {
+    if (assignment.amounts[i] > 1e-9) {
+      result.allocations.push_back(Allocation{usable_bid[i], assignment.amounts[i]});
+    }
+  }
+  return result;
+}
+
+}  // namespace vdx::broker

@@ -1,0 +1,74 @@
+// Broker-side Optimize (Decision Protocol step 6): the paper's Figure-9 ILP.
+//
+//   max  wp * sum Performance(m) * U  -  wc * sum Cost(m) * Bitrate(r) * U
+//   s.t. each client uses exactly one matching; cluster capacities hold.
+//
+// Performance is a goodness value, but our mapping scores are
+// lower-is-better; maximizing wp * (-score) is the same as minimizing
+// wp * score, so the optimizer minimizes
+//   wp * score + wc * price * bitrate          (per client)
+// over the bids, with soft capacities (overload shows up as Congested, it is
+// never silently forbidden — brokers can and do overload clusters today).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "broker/grouping.hpp"
+#include "broker/reputation.hpp"
+#include "core/ids.hpp"
+#include "solver/solver.hpp"
+
+namespace vdx::broker {
+
+using core::CdnId;
+using core::ClusterId;
+
+/// A bid as seen by the optimizer (one Announce row, §6.1:
+/// [cluster_id, share_id, performance_estimate, capacity, price]).
+struct BidView {
+  ShareId share;
+  CdnId cdn;
+  ClusterId cluster;
+  double score = 0.0;     // performance estimate, lower better
+  double price = 0.0;     // $/unit announced
+  double capacity = 0.0;  // Mbps the CDN commits on this cluster
+};
+
+struct OptimizeWeights {
+  double performance = 1.0;  // wp
+  double cost = 1.0;         // wc
+};
+
+/// One accepted allocation: `clients` clients of the bid's share go to the
+/// bid's cluster.
+struct Allocation {
+  std::size_t bid_index = 0;
+  double clients = 0.0;
+};
+
+struct OptimizeResult {
+  std::vector<Allocation> allocations;
+  /// Objective value (paper formulation, minimized form) excluding penalty.
+  double objective = 0.0;
+  /// Demand placed above committed capacity (Mbps).
+  double overflow_mbps = 0.0;
+  solver::Backend backend_used = solver::Backend::kAuto;
+};
+
+struct OptimizerConfig {
+  OptimizeWeights weights;
+  solver::SolveOptions solve;
+  /// Optional reputation system: bids from badly-reputed CDNs have their
+  /// price/score inflated by the penalty multiplier before optimizing.
+  const ReputationSystem* reputation = nullptr;
+};
+
+/// Solves the assignment of groups to bids. Every group must have at least
+/// one bid; throws std::invalid_argument otherwise. Capacity is shared by
+/// bids naming the same cluster (committed capacity = max over those bids).
+[[nodiscard]] OptimizeResult optimize(std::span<const ClientGroup> groups,
+                                      std::span<const BidView> bids,
+                                      const OptimizerConfig& config = {});
+
+}  // namespace vdx::broker

@@ -1,0 +1,46 @@
+#include "broker/reputation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdx::broker {
+
+ReputationSystem::ReputationSystem(std::size_t cdn_count, ReputationConfig config)
+    : config_(config), states_(cdn_count) {}
+
+const ReputationSystem::State& ReputationSystem::state_of(core::CdnId cdn) const {
+  if (!cdn.valid() || cdn.value() >= states_.size()) {
+    throw std::out_of_range{"ReputationSystem: unknown CDN"};
+  }
+  return states_[cdn.value()];
+}
+
+void ReputationSystem::record(core::CdnId cdn, double announced_score,
+                              double measured_score) {
+  State& s = const_cast<State&>(state_of(cdn));
+  const double base = std::max(1e-9, std::abs(announced_score));
+  const double rel_error = std::abs(measured_score - announced_score) / base;
+  s.error = (1.0 - config_.error_alpha) * s.error + config_.error_alpha * rel_error;
+  if (s.error > config_.blacklist_error) {
+    if (++s.strikes >= config_.blacklist_strikes) s.blacklisted = true;
+  } else {
+    s.strikes = 0;
+  }
+}
+
+double ReputationSystem::penalty_multiplier(core::CdnId cdn) const {
+  const State& s = state_of(cdn);
+  return 1.0 + config_.penalty_slope *
+                   std::max(0.0, s.error - config_.tolerated_error);
+}
+
+bool ReputationSystem::is_blacklisted(core::CdnId cdn) const {
+  return state_of(cdn).blacklisted;
+}
+
+double ReputationSystem::error_estimate(core::CdnId cdn) const {
+  return state_of(cdn).error;
+}
+
+}  // namespace vdx::broker

@@ -1,0 +1,64 @@
+// Fraud handling (paper §6.3): "CDNs that consistently send fraudulent bids
+// (or fail often) can be marked as 'bad' using a reputation system. Their
+// bids can be handled at lower priority in the brokers' decision process."
+//
+// We track, per CDN, an EWMA of the relative error between the announced
+// performance/price and what deliveries actually measured. CDNs whose error
+// exceeds a threshold get a growing penalty multiplier applied to their bids
+// in the optimizer; persistent offenders are blacklisted outright.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace vdx::broker {
+
+struct ReputationConfig {
+  /// EWMA smoothing for the misreport-error estimate.
+  double error_alpha = 0.25;
+  /// Relative misreport treated as honest noise (mapping estimates are not
+  /// exact even in good faith).
+  double tolerated_error = 0.30;
+  /// Penalty slope: multiplier = 1 + slope * max(0, error - tolerated).
+  double penalty_slope = 4.0;
+  /// Blacklist when the error EWMA exceeds this for `strikes` updates.
+  double blacklist_error = 1.5;
+  std::size_t blacklist_strikes = 3;
+};
+
+class ReputationSystem {
+ public:
+  explicit ReputationSystem(std::size_t cdn_count, ReputationConfig config = {});
+
+  /// Records one delivery outcome: announced vs measured performance score.
+  /// (Price misreports are folded the same way by callers that settle.)
+  void record(core::CdnId cdn, double announced_score, double measured_score);
+
+  /// Multiplier (>= 1) the optimizer applies to this CDN's bid price/score.
+  [[nodiscard]] double penalty_multiplier(core::CdnId cdn) const;
+
+  /// True once the CDN's bids should be ignored entirely.
+  [[nodiscard]] bool is_blacklisted(core::CdnId cdn) const;
+
+  /// Current misreport-error estimate (for inspection/tests).
+  [[nodiscard]] double error_estimate(core::CdnId cdn) const;
+
+  /// Number of tracked CDNs; record() on ids beyond this throws.
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+ private:
+  struct State {
+    double error = 0.0;
+    std::size_t strikes = 0;
+    bool blacklisted = false;
+  };
+
+  [[nodiscard]] const State& state_of(core::CdnId cdn) const;
+
+  ReputationConfig config_;
+  std::vector<State> states_;
+};
+
+}  // namespace vdx::broker

@@ -1,0 +1,218 @@
+#include "cdn/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vdx::cdn {
+
+namespace {
+
+/// Cities ordered by descending demand weight.
+std::vector<geo::CityId> cities_by_demand(const geo::World& world) {
+  std::vector<geo::CityId> out;
+  out.reserve(world.cities().size());
+  for (const auto& city : world.cities()) out.push_back(city.id);
+  std::sort(out.begin(), out.end(), [&](geo::CityId a, geo::CityId b) {
+    return world.city(a).demand_weight > world.city(b).demand_weight;
+  });
+  return out;
+}
+
+std::size_t coverage_count(double coverage, std::size_t city_count) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(coverage * static_cast<double>(city_count))));
+}
+
+}  // namespace
+
+ClusterId CdnCatalog::add_cluster(const geo::World& world, CdnId cdn, geo::CityId city,
+                                  core::Rng& rng) {
+  Cluster cluster;
+  cluster.id = ClusterId{static_cast<std::uint32_t>(clusters_.size())};
+  cluster.cdn = cdn;
+  cluster.city = city;
+  cluster.salt = (static_cast<std::uint64_t>(cdn.value()) << 32) ^ city.value() ^
+                 (rng() % 1024);
+  const auto& country = world.country_of(city);
+  cluster.bandwidth_cost = config_.base_bandwidth_cost * country.bandwidth_cost_factor *
+                           rng.lognormal(0.0, config_.intra_country_sigma);
+  // colo cost finalized by apply_colocation_discount().
+  cluster.colo_cost = config_.base_colo_cost * country.colo_cost_factor;
+  clusters_.push_back(cluster);
+  cdns_[cdn.value()].clusters.push_back(cluster.id);
+  return cluster.id;
+}
+
+CdnCatalog CdnCatalog::generate(const geo::World& world, const CatalogConfig& config,
+                                core::Rng& rng) {
+  if (config.cdn_count == 0) throw std::invalid_argument{"CatalogConfig: cdn_count == 0"};
+  CdnCatalog catalog{config};
+
+  const auto by_demand = cities_by_demand(world);
+  const std::size_t n_cities = world.cities().size();
+
+  for (std::size_t i = 0; i < config.cdn_count; ++i) {
+    Cdn cdn;
+    cdn.id = CdnId{static_cast<std::uint32_t>(i)};
+    cdn.name = "CDN " + std::to_string(i + 1);
+    cdn.markup = config.markup;
+    // Model mix: CDN 1 is the highly distributed player (the trace's
+    // "CDN A"); a block of centrally-deployed CDNs follows (the trace's
+    // "CDN B"/"CDN C" archetypes); the rest are regional.
+    if (i == 0) {
+      cdn.model = DeploymentModel::kDistributed;
+    } else if (i >= 5 && i <= 8) {
+      cdn.model = DeploymentModel::kCentral;
+    } else {
+      cdn.model = DeploymentModel::kRegional;
+    }
+    catalog.cdns_.push_back(std::move(cdn));
+  }
+
+  for (auto& cdn : catalog.cdns_) {
+    switch (cdn.model) {
+      case DeploymentModel::kDistributed: {
+        // Nearly everywhere: the most popular cities plus random tail picks.
+        // Busy metros get several clusters (multi-homed sites).
+        const std::size_t want = coverage_count(config.distributed_coverage, n_cities);
+        const std::size_t big_sites = coverage_count(config.big_site_fraction, want);
+        for (std::size_t k = 0; k < want; ++k) {
+          const std::size_t per_site =
+              k < big_sites ? std::max<std::size_t>(
+                                  1, config.distributed_big_site_clusters)
+                            : 1;
+          for (std::size_t c = 0; c < per_site; ++c) {
+            catalog.add_cluster(world, cdn.id, by_demand[k], rng);
+          }
+        }
+        break;
+      }
+      case DeploymentModel::kRegional: {
+        // Anchor city plus its geographic neighbourhood.
+        const std::size_t want = coverage_count(config.regional_coverage, n_cities);
+        const geo::CityId anchor =
+            world.cities()[rng.below(world.cities().size())].id;
+        std::vector<geo::CityId> ordered;
+        for (const auto& city : world.cities()) ordered.push_back(city.id);
+        std::sort(ordered.begin(), ordered.end(), [&](geo::CityId a, geo::CityId b) {
+          return world.distance_km(anchor, a) < world.distance_km(anchor, b);
+        });
+        for (std::size_t k = 0; k < want; ++k) {
+          const std::size_t per_site =
+              k < want / 3 ? std::max<std::size_t>(1, config.regional_site_clusters)
+                           : 1;
+          for (std::size_t c = 0; c < per_site; ++c) {
+            catalog.add_cluster(world, cdn.id, ordered[k], rng);
+          }
+        }
+        break;
+      }
+      case DeploymentModel::kCentral: {
+        // Few strategic sites with deep capacity: several clusters each,
+        // at cities with big demand and cheap delivery.
+        const std::size_t want = coverage_count(config.central_coverage, n_cities);
+        std::vector<geo::CityId> ordered;
+        for (const auto& city : world.cities()) ordered.push_back(city.id);
+        std::sort(ordered.begin(), ordered.end(), [&](geo::CityId a, geo::CityId b) {
+          const double va = world.city(a).demand_weight /
+                            world.country_of(a).bandwidth_cost_factor;
+          const double vb = world.city(b).demand_weight /
+                            world.country_of(b).bandwidth_cost_factor;
+          return va > vb;
+        });
+        // Random offset so the central CDNs don't all stack identically.
+        const std::size_t offset = rng.below(3);
+        for (std::size_t k = 0; k < want; ++k) {
+          for (std::size_t c = 0;
+               c < std::max<std::size_t>(1, config.central_site_clusters); ++c) {
+            catalog.add_cluster(world, cdn.id, ordered[(k + offset) % ordered.size()],
+                                rng);
+          }
+        }
+        break;
+      }
+      case DeploymentModel::kCityCentric:
+        throw std::logic_error{"city-centric CDNs are added via add_city_cdns"};
+    }
+  }
+
+  catalog.apply_colocation_discount(world);
+  return catalog;
+}
+
+const Cdn& CdnCatalog::cdn(CdnId id) const {
+  if (!id.valid() || id.value() >= cdns_.size()) {
+    throw std::out_of_range{"CdnCatalog::cdn: bad id"};
+  }
+  return cdns_[id.value()];
+}
+
+Cdn& CdnCatalog::cdn_mutable(CdnId id) {
+  return const_cast<Cdn&>(static_cast<const CdnCatalog*>(this)->cdn(id));
+}
+
+const Cluster& CdnCatalog::cluster(ClusterId id) const {
+  if (!id.valid() || id.value() >= clusters_.size()) {
+    throw std::out_of_range{"CdnCatalog::cluster: bad id"};
+  }
+  return clusters_[id.value()];
+}
+
+Cluster& CdnCatalog::cluster_mutable(ClusterId id) {
+  return const_cast<Cluster&>(static_cast<const CdnCatalog*>(this)->cluster(id));
+}
+
+std::span<const ClusterId> CdnCatalog::clusters_of(CdnId id) const {
+  return cdn(id).clusters;
+}
+
+std::vector<net::Vantage> CdnCatalog::vantages(const geo::World& world) const {
+  (void)world;
+  std::vector<net::Vantage> out;
+  out.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    out.push_back(net::Vantage{cluster.city, cluster.salt});
+  }
+  return out;
+}
+
+void CdnCatalog::add_city_cdns(const geo::World& world, std::size_t count,
+                               core::Rng& rng) {
+  if (clusters_.empty()) {
+    throw std::logic_error{"add_city_cdns: generate the base catalog first"};
+  }
+  // Location pool: existing cluster sites (paper §7.2 draws from the
+  // PeeringDB location data, i.e. where CDNs already co-locate).
+  const std::size_t base_cluster_count = clusters_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    Cdn cdn;
+    cdn.id = CdnId{static_cast<std::uint32_t>(cdns_.size())};
+    cdn.name = "City CDN " + std::to_string(i + 1);
+    cdn.model = DeploymentModel::kCityCentric;
+    cdn.markup = config_.markup;
+    cdns_.push_back(std::move(cdn));
+    const geo::CityId city = clusters_[rng.below(base_cluster_count)].city;
+    add_cluster(world, cdns_.back().id, city, rng);
+  }
+  apply_colocation_discount(world);
+}
+
+void CdnCatalog::apply_colocation_discount(const geo::World& world) {
+  std::unordered_map<std::uint32_t, std::size_t> cdns_per_city;
+  for (const auto& cluster : clusters_) {
+    ++cdns_per_city[cluster.city.value()];
+  }
+  for (auto& cluster : clusters_) {
+    const auto& country = world.country_of(cluster.city);
+    const auto colocated = static_cast<double>(cdns_per_city[cluster.city.value()]);
+    // Paper §5.1: colo cost decreases proportional to the log of the number
+    // of CDNs in the location.
+    cluster.colo_cost = config_.base_colo_cost * country.colo_cost_factor /
+                        (1.0 + std::log(1.0 + colocated));
+  }
+}
+
+}  // namespace vdx::cdn

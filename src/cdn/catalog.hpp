@@ -1,0 +1,91 @@
+// The CDN catalog: 14 world-wide CDNs with heterogeneous deployment models.
+//
+// Substitution note (DESIGN.md §2): the paper takes one real CDN's footprint
+// plus 13 footprints inferred from PeeringDB. We synthesize 14 CDNs over the
+// synthetic world with the same *deployment-model contrast* the evaluation
+// exploits: one highly distributed CDN ("CDN 1" = the trace's "CDN A"),
+// several regional players, and a few centrally-deployed CDNs with deep
+// capacity ("CDN B"/"CDN C"). §7.2's proliferation scenario appends 200
+// single-cluster city CDNs drawn from the existing location pool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cdn/cluster.hpp"
+#include "core/rng.hpp"
+#include "geo/world.hpp"
+#include "net/mapping.hpp"
+
+namespace vdx::cdn {
+
+struct CatalogConfig {
+  std::size_t cdn_count = 14;
+  /// Fraction of world cities covered by each deployment model.
+  double distributed_coverage = 0.85;
+  double regional_coverage = 0.35;
+  double central_coverage = 0.10;
+  /// Clusters per site: CDNs deploy several clusters in a metro (the paper's
+  /// Table 1 finds ~4 clusters with similar scores per client block).
+  /// Distributed CDNs multi-home their busiest sites; central CDNs
+  /// concentrate capacity into several clusters at each strategic site.
+  std::size_t distributed_big_site_clusters = 3;
+  std::size_t central_site_clusters = 4;
+  std::size_t regional_site_clusters = 2;
+  /// Demand-weight rank cutoff (fraction of cities) that counts as a "big"
+  /// site for the distributed model.
+  double big_site_fraction = 0.3;
+  /// Base bandwidth cost in the cheapest country, $/unit.
+  double base_bandwidth_cost = 1.0;
+  /// Base co-location cost before the colocation-count discount, $/unit.
+  double base_colo_cost = 0.5;
+  /// Std-dev of per-cluster bandwidth-cost jitter relative to the country
+  /// mean (paper: derived from top-8 US ISP spread; ~25%).
+  double intra_country_sigma = 0.25;
+  /// Settlement markup (paper: 1.2).
+  double markup = 1.2;
+};
+
+class CdnCatalog {
+ public:
+  /// Builds the 14-CDN catalog. Deterministic for a given rng state.
+  [[nodiscard]] static CdnCatalog generate(const geo::World& world,
+                                           const CatalogConfig& config, core::Rng& rng);
+
+  [[nodiscard]] std::span<const Cdn> cdns() const noexcept { return cdns_; }
+  [[nodiscard]] std::span<const Cluster> clusters() const noexcept { return clusters_; }
+
+  [[nodiscard]] const Cdn& cdn(CdnId id) const;
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const;
+  [[nodiscard]] Cluster& cluster_mutable(ClusterId id);
+  [[nodiscard]] Cdn& cdn_mutable(CdnId id);
+
+  /// Cluster ids owned by a CDN (ordered).
+  [[nodiscard]] std::span<const ClusterId> clusters_of(CdnId id) const;
+
+  /// Mapping-table vantage list: one vantage per cluster, index == cluster
+  /// id value (the catalog guarantees dense cluster ids).
+  [[nodiscard]] std::vector<net::Vantage> vantages(const geo::World& world) const;
+
+  /// §7.2 proliferation: appends `count` single-cluster city CDNs at
+  /// locations drawn from the existing cluster location pool, then reapplies
+  /// the co-location discount (their arrival lowers colo costs).
+  void add_city_cdns(const geo::World& world, std::size_t count, core::Rng& rng);
+
+  /// Recomputes every cluster's colo cost from co-location counts. Called by
+  /// generate()/add_city_cdns(); exposed for tests.
+  void apply_colocation_discount(const geo::World& world);
+
+ private:
+  CdnCatalog(CatalogConfig config) : config_(config) {}
+
+  ClusterId add_cluster(const geo::World& world, CdnId cdn, geo::CityId city,
+                        core::Rng& rng);
+
+  CatalogConfig config_;
+  std::vector<Cdn> cdns_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace vdx::cdn

@@ -1,0 +1,77 @@
+// Core CDN entity types shared across the delivery stack.
+//
+// Unit conventions (used consistently everywhere):
+//  * traffic/bitrate/capacity are in Mbps sustained over the evaluation
+//    snapshot (the Decision Protocol re-runs every few minutes, §4.1);
+//  * money rates are dollars per Mbps served for the snapshot window
+//    ("$/unit" below) — only relative magnitudes matter to the paper's
+//    metrics, and one coherent unit keeps settlement exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace vdx::cdn {
+
+using core::CdnId;
+using core::CityId;
+using core::ClusterId;
+
+/// One CDN point of presence.
+struct Cluster {
+  ClusterId id;  // dense across ALL CDNs (doubles as the mapping vantage idx)
+  CdnId cdn;
+  CityId city;
+  /// Bandwidth cost, $/unit: country factor x base with per-ISP spread.
+  double bandwidth_cost = 0.0;
+  /// Co-location (rack/energy) cost, $/unit: decreases with the log of the
+  /// number of co-located CDNs (paper §5.1).
+  double colo_cost = 0.0;
+  /// Serving capacity in Mbps; assigned by provisioning (2x the traffic the
+  /// cluster receives when its CDN is offered the whole workload, §5.1).
+  double capacity = 0.0;
+  /// Measurement-vantage decorrelation salt for the mapping table.
+  std::uint64_t salt = 0;
+
+  /// Full internal delivery cost, $/unit.
+  [[nodiscard]] double unit_cost() const noexcept { return bandwidth_cost + colo_cost; }
+};
+
+/// Deployment style, the axis the paper's §7.1.1 evaluation contrasts.
+enum class DeploymentModel : std::uint8_t {
+  kDistributed,  // clusters in most cities (paper's "CDN A")
+  kRegional,     // one or two continents
+  kCentral,      // few strategic locations, deep capacity ("CDN B/C")
+  kCityCentric,  // single cluster (§7.2 proliferation scenario)
+};
+
+[[nodiscard]] constexpr const char* to_string(DeploymentModel model) noexcept {
+  switch (model) {
+    case DeploymentModel::kDistributed:
+      return "distributed";
+    case DeploymentModel::kRegional:
+      return "regional";
+    case DeploymentModel::kCentral:
+      return "central";
+    case DeploymentModel::kCityCentric:
+      return "city-centric";
+  }
+  return "unknown";
+}
+
+struct Cdn {
+  CdnId id;
+  std::string name;
+  DeploymentModel model = DeploymentModel::kRegional;
+  std::vector<ClusterId> clusters;
+  /// Flat-rate contract price, $/unit: the CDN's average unit cost if it
+  /// alone served the full workload, times the markup (§5.1, §7.1.1).
+  double contract_price = 0.0;
+  /// Settlement markup over internal cost (paper uses 1.2).
+  double markup = 1.2;
+};
+
+}  // namespace vdx::cdn

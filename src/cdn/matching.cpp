@@ -1,0 +1,73 @@
+#include "cdn/matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vdx::cdn {
+
+std::vector<Candidate> candidates_for(const CdnCatalog& catalog,
+                                      const net::MappingTable& mapping, CdnId cdn,
+                                      geo::CityId city, const MatchingConfig& config) {
+  if (!(config.score_tolerance >= 1.0)) {
+    throw std::invalid_argument{"MatchingConfig: score_tolerance must be >= 1"};
+  }
+  const auto cluster_ids = catalog.clusters_of(cdn);
+  if (cluster_ids.empty()) return {};
+
+  std::vector<Candidate> all;
+  all.reserve(cluster_ids.size());
+  for (const ClusterId id : cluster_ids) {
+    const Cluster& cluster = catalog.cluster(id);
+    all.push_back(Candidate{id, mapping.score(city, id.value()), cluster.unit_cost(),
+                            cluster.capacity});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
+
+  const auto by_cost = [](const Candidate& a, const Candidate& b) {
+    if (a.unit_cost != b.unit_cost) return a.unit_cost < b.unit_cost;
+    return a.score < b.score;
+  };
+
+  // Tolerance rule: clusters within score_tolerance x best; if none, the
+  // second-best scoring cluster is included anyway (paper §5.1). The 2x
+  // default admits a large set (Table 1's "similar" statistic uses a much
+  // tighter 25%), which is how Matching can produce up to 100 alternatives.
+  const double cutoff = all.front().score * config.score_tolerance;
+  std::size_t keep = 1;
+  while (keep < all.size() && all[keep].score <= cutoff) ++keep;
+  if (keep == 1 && all.size() >= 2) keep = 2;
+  all.resize(keep);
+  std::sort(all.begin(), all.end(), by_cost);
+  if (config.max_candidates != 0 && all.size() > config.max_candidates) {
+    all.resize(config.max_candidates);
+  }
+  return all;
+}
+
+Candidate pick_load_balanced(std::span<const Candidate> candidates,
+                             std::span<const double> loads, double additional_mbps) {
+  if (candidates.empty()) {
+    throw std::invalid_argument{"pick_load_balanced: no candidates"};
+  }
+  // Cheapest candidate that still fits the new traffic.
+  for (const Candidate& c : candidates) {
+    const double load = loads[c.cluster.value()];
+    if (load + additional_mbps <= c.capacity) return c;
+  }
+  // All full: pick the least relatively-loaded one.
+  const Candidate* best = &candidates.front();
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (const Candidate& c : candidates) {
+    const double cap = c.capacity > 0.0 ? c.capacity : 1e-9;
+    const double ratio = loads[c.cluster.value()] / cap;
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace vdx::cdn

@@ -1,0 +1,51 @@
+// CDN-side Matching (Decision Protocol step 4, paper §4.1/§5.1).
+//
+// "For each client, a CDN selects a set of candidate clusters with scores at
+//  most 2x worse than the best score. If there is no other cluster with a
+//  score within 2x the best, the second best scoring cluster is selected.
+//  Candidate clusters are sorted from lowest to highest cost, with the
+//  matchings prioritized in that order."
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "net/mapping.hpp"
+
+namespace vdx::cdn {
+
+/// One candidate matching a CDN would offer for a client location.
+struct Candidate {
+  ClusterId cluster;
+  double score = 0.0;      // performance estimate (lower better)
+  double unit_cost = 0.0;  // the CDN's internal cost, $/unit
+  double capacity = 0.0;   // cluster capacity, Mbps
+};
+
+struct MatchingConfig {
+  /// Candidates must score within `score_tolerance` x best (paper: 2x).
+  double score_tolerance = 2.0;
+  /// Cap on candidates returned (the Figure-18 "number of bids" knob).
+  /// 0 means "the tolerance set only".
+  std::size_t max_candidates = 0;
+};
+
+/// Builds the candidate list of `cdn` for clients in `city`, sorted by
+/// ascending internal cost (the paper's bid priority order).
+[[nodiscard]] std::vector<Candidate> candidates_for(const CdnCatalog& catalog,
+                                                    const net::MappingTable& mapping,
+                                                    CdnId cdn, geo::CityId city,
+                                                    const MatchingConfig& config = {});
+
+/// The CDN's own single-cluster pick for `city` given current cluster loads
+/// (Mbps, indexed by ClusterId value): cheapest candidate with headroom for
+/// `additional_mbps`, else the least-loaded candidate. This is the
+/// capacity-aware internal load balancing of traditional delivery (§2.1) and
+/// the reason single-cluster designs do not congest in Table 3.
+[[nodiscard]] Candidate pick_load_balanced(std::span<const Candidate> candidates,
+                                           std::span<const double> loads,
+                                           double additional_mbps);
+
+}  // namespace vdx::cdn

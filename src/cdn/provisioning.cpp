@@ -1,0 +1,100 @@
+#include "cdn/provisioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cdn/matching.hpp"
+#include "core/stats.hpp"
+
+namespace vdx::cdn {
+
+ProvisioningReport provision(CdnCatalog& catalog, const geo::World& world,
+                             const net::MappingTable& mapping,
+                             std::span<const DemandPoint> demand,
+                             const ProvisioningConfig& config) {
+  if (demand.empty()) throw std::invalid_argument{"provision: empty demand"};
+  if (!(config.capacity_multiplier > 0.0)) {
+    throw std::invalid_argument{"provision: capacity_multiplier must be > 0"};
+  }
+
+  ProvisioningReport report;
+  report.solo_traffic.assign(catalog.cdns().size(), 0.0);
+  report.median_capacity.assign(catalog.cdns().size(), 0.0);
+
+  for (const Cdn& cdn : catalog.cdns()) {
+    const auto cluster_ids = catalog.clusters_of(cdn.id);
+    if (cluster_ids.empty()) continue;
+
+    // Solo-offer exercise: every demand point lands on this CDN's
+    // best-scoring cluster — how CDNs place traffic today, on network
+    // measurements (§2.1). The same rule drives single-cluster delivery in
+    // the Brokered/DynamicPricing designs, so contract prices and realized
+    // delivery costs differ only through broker *selection* skew — the
+    // Figure-10 mechanism.
+    std::vector<double> traffic(cluster_ids.size(), 0.0);
+    double weighted_cost = 0.0;  // traffic-weighted unit cost
+    double total_traffic = 0.0;
+    for (const DemandPoint& point : demand) {
+      std::size_t best = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < cluster_ids.size(); ++k) {
+        const double s = mapping.score(point.city, cluster_ids[k].value());
+        if (s < best_score) {
+          best_score = s;
+          best = k;
+        }
+      }
+      const double mbps = point.bitrate * point.count;
+      traffic[best] += mbps;
+      weighted_cost += mbps * catalog.cluster(cluster_ids[best]).unit_cost();
+      total_traffic += mbps;
+    }
+
+    // Capacity: 2x received traffic; zero-traffic clusters borrow from the
+    // geographically closest sibling that saw traffic.
+    for (std::size_t k = 0; k < cluster_ids.size(); ++k) {
+      catalog.cluster_mutable(cluster_ids[k]).capacity =
+          config.capacity_multiplier * traffic[k];
+    }
+    for (std::size_t k = 0; k < cluster_ids.size(); ++k) {
+      if (traffic[k] > 0.0) continue;
+      double best_distance = std::numeric_limits<double>::infinity();
+      std::size_t donor = SIZE_MAX;
+      for (std::size_t j = 0; j < cluster_ids.size(); ++j) {
+        if (traffic[j] <= 0.0) continue;
+        const double d = world.distance_km(catalog.cluster(cluster_ids[k]).city,
+                                           catalog.cluster(cluster_ids[j]).city);
+        if (d < best_distance) {
+          best_distance = d;
+          donor = j;
+        }
+      }
+      if (donor != SIZE_MAX) {
+        // "Take capacity from" the donor: split the donor's provisioned
+        // capacity evenly with the idle cluster.
+        Cluster& donor_cluster = catalog.cluster_mutable(cluster_ids[donor]);
+        Cluster& idle_cluster = catalog.cluster_mutable(cluster_ids[k]);
+        const double half = donor_cluster.capacity / 2.0;
+        donor_cluster.capacity -= half;
+        idle_cluster.capacity = half;
+      }
+    }
+
+    // Contract price: average unit cost under the solo offer, marked up.
+    const double average_cost =
+        total_traffic > 0.0 ? weighted_cost / total_traffic : 0.0;
+    catalog.cdn_mutable(cdn.id).contract_price = average_cost * cdn.markup;
+
+    report.solo_traffic[cdn.id.value()] = total_traffic;
+    std::vector<double> caps;
+    caps.reserve(cluster_ids.size());
+    for (const ClusterId id : cluster_ids) caps.push_back(catalog.cluster(id).capacity);
+    report.median_capacity[cdn.id.value()] = core::median(caps).value_or(0.0);
+  }
+
+  return report;
+}
+
+}  // namespace vdx::cdn

@@ -1,0 +1,48 @@
+// Capacity and contract-price provisioning (paper §5.1).
+//
+// "A CDN's contract price is the average price per bit for the CDN if it was
+//  individually offered to all clients. Cluster capacity is assigned
+//  similarly; all clients are sent to each CDN individually and clusters are
+//  assigned 2x received traffic as their capacity. Clusters that did not see
+//  any clients take capacity from their closest neighbor with capacity."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "geo/world.hpp"
+#include "net/mapping.hpp"
+
+namespace vdx::cdn {
+
+/// Aggregated demand: `count` concurrent clients in `city` streaming at
+/// `bitrate` Mbps each.
+struct DemandPoint {
+  geo::CityId city;
+  double bitrate = 1.0;  // Mbps per client
+  double count = 0.0;    // concurrent clients
+};
+
+struct ProvisioningConfig {
+  /// Capacity = multiplier x traffic received in the solo-offer exercise.
+  double capacity_multiplier = 2.0;
+};
+
+struct ProvisioningReport {
+  /// Traffic each CDN attracted in its solo-offer run (Mbps), per CdnId.
+  std::vector<double> solo_traffic;
+  /// Median cluster capacity per CDN — the estimate capacity-blind designs
+  /// use (§5.1), per CdnId.
+  std::vector<double> median_capacity;
+};
+
+/// Runs the solo-offer exercise for every CDN: each demand point is served
+/// by the CDN's best-scoring cluster; capacities and flat-rate contract
+/// prices are derived from the resulting traffic. Mutates `catalog`.
+ProvisioningReport provision(CdnCatalog& catalog, const geo::World& world,
+                             const net::MappingTable& mapping,
+                             std::span<const DemandPoint> demand,
+                             const ProvisioningConfig& config = {});
+
+}  // namespace vdx::cdn

@@ -1,0 +1,62 @@
+#include "cdn/strategy.hpp"
+
+#include <algorithm>
+
+namespace vdx::cdn {
+
+RiskAverseStrategy::RiskAverseStrategy(RiskAverseConfig config) : config_(config) {}
+
+BidShading RiskAverseStrategy::shade(CityId city, ClusterId cluster) {
+  const auto it = state_.find(key(city, cluster));
+  if (it == state_.end()) {
+    // First contact with this market: full markup, hedged capacity.
+    return BidShading{config_.max_markup, 0.5};
+  }
+  const State& s = it->second;
+  // Commit capacity proportional to how much we expect to win, with a floor
+  // so the CDN keeps probing markets it currently loses.
+  const double fraction =
+      std::max(config_.min_capacity_fraction, std::min(1.0, s.win_rate + 0.1));
+  return BidShading{s.price_multiplier, fraction};
+}
+
+void RiskAverseStrategy::record_outcome(CityId city, ClusterId cluster,
+                                        double bid_mbps, double won_mbps) {
+  auto [it, inserted] =
+      state_.try_emplace(key(city, cluster), State{config_.max_markup});
+  State& s = it->second;
+  const double outcome = bid_mbps > 0.0 ? std::clamp(won_mbps / bid_mbps, 0.0, 1.0) : 0.0;
+  s.win_rate = (1.0 - config_.win_rate_alpha) * s.win_rate +
+               config_.win_rate_alpha * outcome;
+  // Losing market: shave the price toward cost. Winning market: recover
+  // margin toward the full markup.
+  if (outcome < 0.25) {
+    s.price_multiplier =
+        std::max(config_.min_markup, s.price_multiplier - config_.price_step);
+  } else if (outcome > 0.75) {
+    s.price_multiplier =
+        std::min(config_.max_markup, s.price_multiplier + config_.price_step);
+  }
+}
+
+double RiskAverseStrategy::expected_win(CityId city, ClusterId cluster,
+                                        double bid_mbps) const {
+  const auto it = state_.find(key(city, cluster));
+  const double rate = it == state_.end() ? 0.5 : it->second.win_rate;
+  return rate * bid_mbps;
+}
+
+double RiskAverseStrategy::win_rate(CityId city, ClusterId cluster) const {
+  const auto it = state_.find(key(city, cluster));
+  return it == state_.end() ? 0.5 : it->second.win_rate;
+}
+
+std::unique_ptr<BiddingStrategy> make_static_strategy(double markup) {
+  return std::make_unique<StaticStrategy>(markup);
+}
+
+std::unique_ptr<BiddingStrategy> make_risk_averse_strategy(RiskAverseConfig config) {
+  return std::make_unique<RiskAverseStrategy>(config);
+}
+
+}  // namespace vdx::cdn

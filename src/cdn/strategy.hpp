@@ -1,0 +1,108 @@
+// CDN bidding strategies for the marketplace.
+//
+// The paper argues (§6.3) that under VDX "CDNs can learn risk-averse bidding
+// strategies over time that will likely provide traffic predictability", and
+// leaves modeling them as future work. We implement the hook and one
+// concrete learner: an EWMA win-rate tracker per (city, cluster) that shades
+// the committed capacity toward the traffic it actually expects to win and
+// nudges the price multiplier down when it keeps losing (and back up toward
+// the full markup when it keeps winning).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cdn/cluster.hpp"
+
+namespace vdx::cdn {
+
+/// Per-bid adjustment a strategy applies before the bid is announced.
+struct BidShading {
+  /// Multiplier on internal cost to form the announced price (>= 1.0).
+  double price_multiplier = 1.2;
+  /// Fraction of the cluster's spare capacity committed to this bid.
+  double capacity_fraction = 1.0;
+};
+
+class BiddingStrategy {
+ public:
+  virtual ~BiddingStrategy() = default;
+
+  /// Called before each bid is placed.
+  [[nodiscard]] virtual BidShading shade(CityId city, ClusterId cluster) = 0;
+
+  /// Feedback from the broker's Accept step: how much of the bid traffic was
+  /// won (0 for a lost bid).
+  virtual void record_outcome(CityId city, ClusterId cluster, double bid_mbps,
+                              double won_mbps) = 0;
+
+  /// Expected traffic for a bid of `bid_mbps`, used by the predictability
+  /// metric (|expected - actual| shrinks as the strategy learns).
+  [[nodiscard]] virtual double expected_win(CityId city, ClusterId cluster,
+                                            double bid_mbps) const = 0;
+};
+
+/// Bids full capacity at the fixed markup every round (no learning).
+class StaticStrategy final : public BiddingStrategy {
+ public:
+  explicit StaticStrategy(double markup = 1.2) : markup_(markup) {}
+
+  [[nodiscard]] BidShading shade(CityId, ClusterId) override {
+    return BidShading{markup_, 1.0};
+  }
+  void record_outcome(CityId, ClusterId, double, double) override {}
+  [[nodiscard]] double expected_win(CityId, ClusterId,
+                                    double bid_mbps) const override {
+    return bid_mbps;  // assumes it wins everything — maximally optimistic
+  }
+
+ private:
+  double markup_;
+};
+
+struct RiskAverseConfig {
+  double max_markup = 1.2;
+  double min_markup = 1.02;  // never bid below cost plus a sliver
+  /// EWMA smoothing for the win-rate estimate.
+  double win_rate_alpha = 0.3;
+  /// Price step per round of consistent losses/wins.
+  double price_step = 0.03;
+  /// Floor on committed capacity so the CDN keeps probing lost markets.
+  double min_capacity_fraction = 0.1;
+};
+
+/// Learns per-(city, cluster) win rates from Accept feedback.
+class RiskAverseStrategy final : public BiddingStrategy {
+ public:
+  explicit RiskAverseStrategy(RiskAverseConfig config = {});
+
+  [[nodiscard]] BidShading shade(CityId city, ClusterId cluster) override;
+  void record_outcome(CityId city, ClusterId cluster, double bid_mbps,
+                      double won_mbps) override;
+  [[nodiscard]] double expected_win(CityId city, ClusterId cluster,
+                                    double bid_mbps) const override;
+
+  /// Current win-rate estimate (testing/inspection).
+  [[nodiscard]] double win_rate(CityId city, ClusterId cluster) const;
+
+ private:
+  struct State {
+    double win_rate = 0.5;  // optimistic-neutral prior
+    double price_multiplier;
+    explicit State(double markup) : price_multiplier(markup) {}
+  };
+
+  [[nodiscard]] static std::uint64_t key(CityId city, ClusterId cluster) noexcept {
+    return (static_cast<std::uint64_t>(city.value()) << 32) | cluster.value();
+  }
+
+  RiskAverseConfig config_;
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+/// Factory helper for the market layer.
+[[nodiscard]] std::unique_ptr<BiddingStrategy> make_static_strategy(double markup = 1.2);
+[[nodiscard]] std::unique_ptr<BiddingStrategy> make_risk_averse_strategy(
+    RiskAverseConfig config = {});
+
+}  // namespace vdx::cdn

@@ -1,0 +1,59 @@
+// Strongly-typed integer identifiers.
+//
+// The simulator wires together many index spaces (CDNs, clusters, cities,
+// countries, client groups, shares, sessions). A thin phantom-tagged wrapper
+// keeps them from being mixed up at compile time at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace vdx::core {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type invalid_value =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != invalid_value; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  underlying_type value_ = invalid_value;
+};
+
+struct CdnTag {};
+struct ClusterTag {};
+struct CityTag {};
+struct CountryTag {};
+struct GroupTag {};
+struct ShareTag {};
+struct SessionTag {};
+struct VideoTag {};
+
+using CdnId = Id<CdnTag>;
+using ClusterId = Id<ClusterTag>;
+using CityId = Id<CityTag>;
+using CountryId = Id<CountryTag>;
+using GroupId = Id<GroupTag>;
+using ShareId = Id<ShareTag>;
+using SessionId = Id<SessionTag>;
+using VideoId = Id<VideoTag>;
+
+}  // namespace vdx::core
+
+template <typename Tag>
+struct std::hash<vdx::core::Id<Tag>> {
+  std::size_t operator()(vdx::core::Id<Tag> id) const noexcept {
+    return std::hash<typename vdx::core::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

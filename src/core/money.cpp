@@ -1,0 +1,33 @@
+#include "core/money.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace vdx::core {
+
+Money Money::from_dollars(double dollars) {
+  const double micros = std::round(dollars * 1e6);
+  if (!std::isfinite(micros) ||
+      micros > static_cast<double>(std::numeric_limits<std::int64_t>::max()) ||
+      micros < static_cast<double>(std::numeric_limits<std::int64_t>::min())) {
+    throw std::overflow_error{"Money::from_dollars: value out of range"};
+  }
+  return from_micros(static_cast<std::int64_t>(micros));
+}
+
+Money Money::scaled(double factor) const {
+  return from_dollars(dollars() * factor);
+}
+
+std::string Money::to_string() const {
+  const std::int64_t abs = micros_ < 0 ? -micros_ : micros_;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s$%lld.%06lld", micros_ < 0 ? "-" : "",
+                static_cast<long long>(abs / 1'000'000),
+                static_cast<long long>(abs % 1'000'000));
+  return buf;
+}
+
+}  // namespace vdx::core

@@ -1,0 +1,59 @@
+// Fixed-point money for settlement accounting.
+//
+// Rates (cost per gigabyte, prices per bit) stay as doubles inside the
+// optimizers, but once traffic is settled we accumulate exact totals in
+// integer micro-dollars so profit/loss comparisons (Figures 10-16) are
+// deterministic and free of floating-point drift.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace vdx::core {
+
+/// Signed amount of money stored as integer micro-dollars (1e-6 USD).
+class Money {
+ public:
+  constexpr Money() = default;
+
+  [[nodiscard]] static constexpr Money from_micros(std::int64_t micros) noexcept {
+    Money m;
+    m.micros_ = micros;
+    return m;
+  }
+  /// Rounds half-away-from-zero to the nearest micro-dollar.
+  [[nodiscard]] static Money from_dollars(double dollars);
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return micros_; }
+  [[nodiscard]] double dollars() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr Money& operator+=(Money rhs) noexcept {
+    micros_ += rhs.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money rhs) noexcept {
+    micros_ -= rhs.micros_;
+    return *this;
+  }
+
+  friend constexpr Money operator+(Money a, Money b) noexcept { return a += b; }
+  friend constexpr Money operator-(Money a, Money b) noexcept { return a -= b; }
+  friend constexpr Money operator-(Money a) noexcept {
+    return Money::from_micros(-a.micros_);
+  }
+  /// Scales by a real factor, rounding half-away-from-zero.
+  [[nodiscard]] Money scaled(double factor) const;
+
+  friend constexpr auto operator<=>(Money, Money) noexcept = default;
+
+  /// "$12.345678" / "-$0.000001"-style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace vdx::core

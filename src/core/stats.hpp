@@ -1,0 +1,80 @@
+// Small statistics toolkit: order statistics, streaming moments, histograms
+// and ordinary least squares — everything the evaluation pipeline needs to
+// report the paper's metrics (medians per §5.1, best-fit lines per Fig. 5,
+// score extrapolation per §5.1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vdx::core {
+
+/// Median of a sample (average of middle two for even sizes).
+/// Returns nullopt for an empty sample.
+[[nodiscard]] std::optional<double> median(std::span<const double> values);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation between order stats.
+[[nodiscard]] std::optional<double> quantile(std::span<const double> values, double q);
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Streaming mean/variance (Welford). Numerically stable; mergeable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_weight(std::size_t bin) const;
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double at(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Fits a line through (x, y) pairs. Requires xs.size() == ys.size() >= 2
+/// and non-degenerate x variance; returns nullopt otherwise.
+[[nodiscard]] std::optional<LinearFit> fit_line(std::span<const double> xs,
+                                                std::span<const double> ys);
+
+}  // namespace vdx::core

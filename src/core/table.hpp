@@ -1,0 +1,43 @@
+// Console table and CSV rendering for experiment output.
+//
+// Every bench prints the rows of the paper table/figure it regenerates; this
+// keeps the formatting in one place so outputs are uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdx::core {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing separators and right-padded cells.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming to a compact form.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+/// Formats a ratio as a percentage string, e.g. 0.314 -> "31.4%".
+[[nodiscard]] std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace vdx::core

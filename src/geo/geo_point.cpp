@@ -1,0 +1,32 @@
+#include "geo/geo_point.hpp"
+
+#include <algorithm>
+
+namespace vdx::geo {
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.latitude_deg);
+  const double lat2 = deg_to_rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.longitude_deg - a.longitude_deg);
+
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double haversine_miles(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return haversine_km(a, b) / kKmPerMile;
+}
+
+GeoPoint normalized(GeoPoint p) noexcept {
+  p.latitude_deg = std::clamp(p.latitude_deg, -90.0, 90.0);
+  double lon = std::fmod(p.longitude_deg + 180.0, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  p.longitude_deg = lon - 180.0;
+  return p;
+}
+
+}  // namespace vdx::geo

@@ -1,0 +1,37 @@
+// Spherical geometry primitives.
+//
+// Data-path distance (a headline metric of the paper: VDX cuts median
+// client-to-cluster distance by up to ~74%) is great-circle distance between
+// the client's city and the serving cluster's city.
+#pragma once
+
+#include <cmath>
+
+namespace vdx::geo {
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+inline constexpr double kKmPerMile = 1.609344;
+
+/// Geographic coordinate in degrees. Latitude in [-90, 90], longitude in
+/// [-180, 180).
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * (M_PI / 180.0);
+}
+
+/// Great-circle (haversine) distance in kilometres.
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Great-circle distance in miles (paper reports miles in Figure 17).
+[[nodiscard]] double haversine_miles(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Normalizes longitude into [-180, 180) and clamps latitude to [-90, 90].
+[[nodiscard]] GeoPoint normalized(GeoPoint p) noexcept;
+
+}  // namespace vdx::geo

@@ -1,0 +1,181 @@
+#include "geo/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vdx::geo {
+
+World::World(std::vector<Country> countries, std::vector<City> cities)
+    : countries_(std::move(countries)), cities_(std::move(cities)) {
+  if (countries_.empty() || cities_.empty()) {
+    throw std::invalid_argument{"World: need at least one country and city"};
+  }
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].id.value() != i) {
+      throw std::invalid_argument{"World: country ids must be dense and ordered"};
+    }
+  }
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].id.value() != i) {
+      throw std::invalid_argument{"World: city ids must be dense and ordered"};
+    }
+    if (cities_[i].country.value() >= countries_.size()) {
+      throw std::invalid_argument{"World: city references unknown country"};
+    }
+  }
+}
+
+World World::generate(const WorldConfig& config) {
+  if (config.country_count == 0 || config.city_count < 2 * config.country_count) {
+    throw std::invalid_argument{
+        "WorldConfig: need >= 1 country and >= 2 cities per country"};
+  }
+  if (!(config.cost_spread >= 1.0)) {
+    throw std::invalid_argument{"WorldConfig: cost_spread must be >= 1"};
+  }
+
+  core::Rng rng{config.seed};
+  core::Rng place_rng = rng.fork("placement");
+  core::Rng cost_rng = rng.fork("cost");
+  core::Rng demand_rng = rng.fork("demand");
+
+  const std::size_t nc = config.country_count;
+
+  // Continent anchors: four synthetic landmasses roughly at the longitudes
+  // of the Americas, Europe/Africa, Asia and Oceania.
+  constexpr GeoPoint kContinents[] = {
+      {40.0, -95.0}, {48.0, 12.0}, {28.0, 105.0}, {-28.0, 140.0}};
+
+  std::vector<Country> countries(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    Country& c = countries[i];
+    c.id = CountryId{static_cast<std::uint32_t>(i)};
+    c.name = std::string(1, static_cast<char>('A' + (i % 26)));
+    if (i >= 26) c.name += std::to_string(i / 26);
+
+    // Geometric ladder from most expensive ("A", factor = spread) down to the
+    // cheapest (factor = 1), with mild multiplicative jitter so adjacent
+    // countries are not perfectly spaced.
+    const double t = nc == 1 ? 0.0
+                             : static_cast<double>(nc - 1 - i) /
+                                   static_cast<double>(nc - 1);
+    const double jitter = std::exp(cost_rng.normal(0.0, 0.08));
+    c.bandwidth_cost_factor = std::pow(config.cost_spread, t) * jitter;
+    // Co-location cost tracks bandwidth cost sub-linearly (rich regions have
+    // expensive racks but economies of scale).
+    c.colo_cost_factor =
+        std::pow(c.bandwidth_cost_factor, 0.6) * std::exp(cost_rng.normal(0.0, 0.15));
+  }
+  // Keep the "A is most expensive" labelling exact despite jitter.
+  std::sort(countries.begin(), countries.end(), [](const Country& a, const Country& b) {
+    return a.bandwidth_cost_factor > b.bandwidth_cost_factor;
+  });
+  for (std::size_t i = 0; i < nc; ++i) {
+    countries[i].id = CountryId{static_cast<std::uint32_t>(i)};
+    countries[i].name = std::string(1, static_cast<char>('A' + (i % 26)));
+    if (i >= 26) countries[i].name += std::to_string(i / 26);
+  }
+
+  // Country anchor points, clamped into the configured latitude band.
+  std::vector<GeoPoint> anchors(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const GeoPoint& base = kContinents[i % std::size(kContinents)];
+    GeoPoint p{base.latitude_deg + place_rng.uniform(-14.0, 14.0),
+               base.longitude_deg + place_rng.uniform(-28.0, 28.0)};
+    p.latitude_deg = std::clamp(p.latitude_deg, config.min_latitude, config.max_latitude);
+    anchors[i] = normalized(p);
+  }
+
+  // Distribute cities: two per country guaranteed, remainder weighted toward
+  // cheap (high-demand) countries, mirroring where infrastructure clusters.
+  std::vector<std::size_t> cities_per_country(nc, 2);
+  std::size_t remaining = config.city_count - 2 * nc;
+  while (remaining > 0) {
+    // Bias toward the cheap end of the ladder: index drawn as max of two
+    // uniforms leans late (cheap countries have higher indices).
+    const std::size_t a = static_cast<std::size_t>(place_rng.below(nc));
+    const std::size_t b = static_cast<std::size_t>(place_rng.below(nc));
+    ++cities_per_country[std::max(a, b)];
+    --remaining;
+  }
+
+  std::vector<City> cities;
+  cities.reserve(config.city_count);
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    for (std::size_t k = 0; k < cities_per_country[ci]; ++k) {
+      City city;
+      city.id = CityId{static_cast<std::uint32_t>(cities.size())};
+      city.name = countries[ci].name + std::to_string(k + 1);
+      city.country = countries[ci].id;
+      GeoPoint p{anchors[ci].latitude_deg + place_rng.uniform(-6.0, 6.0),
+                 anchors[ci].longitude_deg + place_rng.uniform(-9.0, 9.0)};
+      p.latitude_deg = std::clamp(p.latitude_deg, -80.0, 80.0);
+      city.location = normalized(p);
+      cities.push_back(std::move(city));
+    }
+  }
+
+  // Power-law demand: rank the cities in a random order, weight by
+  // (rank+1)^-alpha, normalize. (Paper §3.1: client-city distribution is a
+  // power law.)
+  std::vector<std::size_t> order(cities.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[demand_rng.below(i)]);
+  }
+  double total_weight = 0.0;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const double w =
+        std::pow(static_cast<double>(rank + 1), -config.city_demand_alpha);
+    cities[order[rank]].demand_weight = w;
+    total_weight += w;
+  }
+  for (auto& city : cities) city.demand_weight /= total_weight;
+
+  for (auto& country : countries) country.demand_share = 0.0;
+  for (const auto& city : cities) {
+    countries[city.country.value()].demand_share += city.demand_weight;
+  }
+
+  return World{std::move(countries), std::move(cities)};
+}
+
+const Country& World::country(CountryId id) const {
+  if (!id.valid() || id.value() >= countries_.size()) {
+    throw std::out_of_range{"World::country: bad id"};
+  }
+  return countries_[id.value()];
+}
+
+const City& World::city(CityId id) const {
+  if (!id.valid() || id.value() >= cities_.size()) {
+    throw std::out_of_range{"World::city: bad id"};
+  }
+  return cities_[id.value()];
+}
+
+const Country& World::country_of(CityId id) const { return country(city(id).country); }
+
+std::vector<CityId> World::cities_in(CountryId country) const {
+  std::vector<CityId> out;
+  for (const auto& city : cities_) {
+    if (city.country == country) out.push_back(city.id);
+  }
+  return out;
+}
+
+double World::distance_km(CityId a, CityId b) const {
+  return haversine_km(city(a).location, city(b).location);
+}
+
+double World::demand_weighted_cost_factor() const {
+  double acc = 0.0;
+  for (const auto& city : cities_) {
+    acc += city.demand_weight * country_of(city.id).bandwidth_cost_factor;
+  }
+  return acc;
+}
+
+}  // namespace vdx::geo

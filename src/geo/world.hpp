@@ -1,0 +1,92 @@
+// Synthetic world model: countries with cost tiers and cities with
+// power-law request weights.
+//
+// Substitution note (see DESIGN.md §2): the paper uses a proprietary CDN's
+// per-country cost data (Figure 3, ~30x spread) and real city geolocation
+// from the broker trace. We synthesize a world whose marginals match what
+// the paper reports: 19 countries (labelled "A".."S" to mirror Figures
+// 13-15) whose bandwidth cost factors span ~30x, and ~60 cities whose
+// request-volume weights follow a power law (paper §3.1: "the distribution
+// of client cities follows a power-law").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "geo/geo_point.hpp"
+
+namespace vdx::geo {
+
+using core::CityId;
+using core::CountryId;
+
+struct Country {
+  CountryId id;
+  std::string name;  // "A".."S", most expensive first (paper Fig. 13 ordering)
+  /// Bandwidth cost per GB delivered from this country relative to the
+  /// global *cheapest* country (>= 1.0). Spans ~30x (paper Fig. 3 / [20]).
+  double bandwidth_cost_factor = 1.0;
+  /// Co-location (energy/rack) base cost factor; correlates with bandwidth
+  /// cost but with an independent spread.
+  double colo_cost_factor = 1.0;
+  /// Share of global requests originating here (sums to 1 over countries).
+  double demand_share = 0.0;
+};
+
+struct City {
+  CityId id;
+  std::string name;
+  CountryId country;
+  GeoPoint location;
+  /// Power-law request weight within the whole world (sums to 1 over cities).
+  double demand_weight = 0.0;
+};
+
+struct WorldConfig {
+  std::size_t country_count = 19;
+  std::size_t city_count = 60;
+  /// max/min spread of per-country bandwidth cost factors (paper: ~30x).
+  double cost_spread = 30.0;
+  /// Power-law exponent for city demand weights.
+  double city_demand_alpha = 1.3;
+  /// Latitude band for synthetic placement.
+  double min_latitude = -45.0;
+  double max_latitude = 62.0;
+  std::uint64_t seed = 2017;
+};
+
+/// Immutable container for countries and cities plus lookup helpers.
+class World {
+ public:
+  World(std::vector<Country> countries, std::vector<City> cities);
+
+  /// Deterministically synthesizes a world per the config (see file comment).
+  [[nodiscard]] static World generate(const WorldConfig& config);
+
+  [[nodiscard]] std::span<const Country> countries() const noexcept { return countries_; }
+  [[nodiscard]] std::span<const City> cities() const noexcept { return cities_; }
+
+  [[nodiscard]] const Country& country(CountryId id) const;
+  [[nodiscard]] const City& city(CityId id) const;
+  [[nodiscard]] const Country& country_of(CityId id) const;
+
+  /// Cities belonging to `country`, in id order.
+  [[nodiscard]] std::vector<CityId> cities_in(CountryId country) const;
+
+  /// Great-circle distance between two cities in km.
+  [[nodiscard]] double distance_km(CityId a, CityId b) const;
+
+  /// Traffic-weighted average bandwidth cost factor; the "Avg." baseline of
+  /// the paper's Figure 3.
+  [[nodiscard]] double demand_weighted_cost_factor() const;
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+};
+
+}  // namespace vdx::geo

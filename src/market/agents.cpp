@@ -1,0 +1,247 @@
+#include "market/agents.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdx::market {
+
+namespace {
+
+std::uint64_t bid_key(std::uint32_t share, std::uint32_t cluster) noexcept {
+  return (static_cast<std::uint64_t>(share) << 32) | cluster;
+}
+
+}  // namespace
+
+VdxCdnAgent::VdxCdnAgent(const sim::Scenario& scenario, cdn::CdnId cdn,
+                         cdn::BiddingStrategy& strategy,
+                         std::span<const double> background_loads,
+                         CdnAgentConfig config)
+    : scenario_(scenario),
+      cdn_(cdn),
+      strategy_(strategy),
+      background_loads_(background_loads.begin(), background_loads.end()),
+      config_(config) {
+  if (background_loads_.size() != scenario.catalog().clusters().size()) {
+    throw std::invalid_argument{"VdxCdnAgent: background loads arity mismatch"};
+  }
+}
+
+void VdxCdnAgent::handle_share(std::span<const proto::ShareMessage> shares) {
+  shares_.assign(shares.begin(), shares.end());
+  city_of_share_.clear();
+  for (const proto::ShareMessage& share : shares) {
+    city_of_share_.emplace(share.share_id, geo::CityId{share.location});
+  }
+}
+
+std::vector<proto::BidMessage> VdxCdnAgent::announce() {
+  committed_.clear();
+  expected_mbps_ = 0.0;
+  bid_mbps_ = 0.0;
+  if (failed_) return {};  // §6.3: a failed CDN simply goes silent
+
+  cdn::MatchingConfig matching;
+  matching.max_candidates = config_.bid_count;
+  matching.score_tolerance = config_.menu_tolerance;
+
+  const cdn::Cdn& self = scenario_.catalog().cdn(cdn_);
+  std::vector<proto::BidMessage> bids;
+  bids.reserve(shares_.size() * config_.bid_count);
+  for (const proto::ShareMessage& share : shares_) {
+    const geo::CityId city{share.location};
+    for (const cdn::Candidate& candidate : cdn::candidates_for(
+             scenario_.catalog(), scenario_.mapping(), cdn_, city, matching)) {
+      const cdn::BidShading shading = strategy_.shade(city, candidate.cluster);
+      const double spare = std::max(
+          0.0, candidate.capacity - background_loads_[candidate.cluster.value()]);
+
+      proto::BidMessage bid;
+      bid.cluster_id = candidate.cluster.value();
+      bid.share_id = share.share_id;
+      bid.cdn_id = cdn_.value();
+      bid.performance_estimate = candidate.score;
+      bid.capacity_mbps = spare * shading.capacity_fraction;
+      bid.price = candidate.unit_cost * shading.price_multiplier;
+      if (fraudulent_) {
+        // §6.3 fraud: claim stellar performance at a knock-down price.
+        bid.performance_estimate = candidate.score * 0.25;
+        bid.price = candidate.unit_cost * 0.5;
+      }
+      if (bid.capacity_mbps <= 0.0) continue;
+
+      committed_.emplace(bid_key(bid.share_id, bid.cluster_id), bid.capacity_mbps);
+      expected_mbps_ +=
+          strategy_.expected_win(city, candidate.cluster, bid.capacity_mbps);
+      bid_mbps_ += bid.capacity_mbps;
+      bids.push_back(bid);
+    }
+  }
+  return bids;
+}
+
+void VdxCdnAgent::handle_accept(std::span<const proto::AcceptMessage> accepts) {
+  awarded_mbps_ = 0.0;
+  for (const proto::AcceptMessage& accept : accepts) {
+    if (accept.cdn_id != cdn_.value()) continue;
+    const auto committed = committed_.find(bid_key(accept.share_id, accept.cluster_id));
+    if (committed == committed_.end()) continue;  // not one of ours this round
+    const auto city = city_of_share_.find(accept.share_id);
+    if (city == city_of_share_.end()) continue;
+    strategy_.record_outcome(city->second, cdn::ClusterId{accept.cluster_id},
+                             committed->second, accept.awarded_mbps);
+    awarded_mbps_ += accept.awarded_mbps;
+  }
+}
+
+VdxBrokerAgent::VdxBrokerAgent(const sim::Scenario& scenario, BrokerAgentConfig config)
+    : scenario_(scenario),
+      config_(config),
+      reputation_(scenario.catalog().cdns().size()) {}
+
+std::vector<proto::ShareMessage> VdxBrokerAgent::gather() {
+  std::vector<proto::ShareMessage> shares;
+  shares.reserve(scenario_.broker_groups().size());
+  for (const broker::ClientGroup& group : scenario_.broker_groups()) {
+    proto::ShareMessage share;
+    share.share_id = group.id.value();
+    share.location = group.city.value();
+    share.isp = group.isp;
+    share.content_id = 0;  // aggregated across videos
+    share.data_size_mbps = group.bitrate_mbps;
+    share.client_count = static_cast<std::uint32_t>(std::llround(group.client_count));
+    shares.push_back(share);
+  }
+  return shares;
+}
+
+std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
+    std::span<const proto::BidMessage> bids) {
+  const auto groups = scenario_.broker_groups();
+
+  std::vector<broker::BidView> views;
+  views.reserve(bids.size());
+  for (const proto::BidMessage& bid : bids) {
+    broker::BidView view;
+    view.share = broker::ShareId{bid.share_id};
+    view.cdn = cdn::CdnId{bid.cdn_id};
+    view.cluster = cdn::ClusterId{bid.cluster_id};
+    view.score = bid.performance_estimate;
+    view.price = bid.price;
+    view.capacity = bid.capacity_mbps;
+    views.push_back(view);
+  }
+
+  broker::OptimizerConfig optimizer;
+  optimizer.weights = config_.weights;
+  optimizer.solve = config_.solve;
+  if (config_.enable_reputation) optimizer.reputation = &reputation_;
+  const broker::OptimizeResult result = broker::optimize(groups, views, optimizer);
+
+  // Awarded traffic per bid.
+  std::vector<double> awarded(bids.size(), 0.0);
+  placements_.clear();
+  city_choices_.assign(scenario_.world().cities().size(), CityChoice{});
+  for (const broker::Allocation& allocation : result.allocations) {
+    const broker::BidView& view = views[allocation.bid_index];
+    const broker::ClientGroup& group = groups[view.share.value()];
+    const double mbps = allocation.clients * group.bitrate_mbps;
+    awarded[allocation.bid_index] += mbps;
+
+    sim::Placement placement;
+    placement.group = view.share.value();
+    placement.cluster = view.cluster;
+    placement.clients = allocation.clients;
+    placement.price = view.price;
+    placement.score = scenario_.mapping().score(group.city, view.cluster.value());
+    placements_.push_back(placement);
+
+    CityChoice& choice = city_choices_[group.city.value()];
+    choice.weighted_clusters.emplace_back(view.cluster, allocation.clients);
+    choice.total += allocation.clients;
+
+    // Reputation: compare the announced performance against the measured
+    // truth for traffic we actually observed (the broker's client-side QoE).
+    if (config_.enable_reputation) {
+      reputation_.record(view.cdn, view.score, placement.score);
+    }
+  }
+
+  std::vector<proto::AcceptMessage> accepts;
+  accepts.reserve(bids.size());
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    proto::AcceptMessage accept;
+    accept.cluster_id = bids[i].cluster_id;
+    accept.share_id = bids[i].share_id;
+    accept.performance_estimate = bids[i].performance_estimate;
+    accept.capacity_mbps = bids[i].capacity_mbps;
+    accept.price = bids[i].price;
+    accept.cdn_id = bids[i].cdn_id;
+    accept.awarded_mbps = awarded[i];
+    accepts.push_back(accept);
+  }
+  return accepts;
+}
+
+proto::ResultMessage VdxBrokerAgent::resolve(const proto::QueryMessage& query) {
+  proto::ResultMessage result;
+  result.session_id = query.session_id;
+  if (query.location >= city_choices_.size() ||
+      city_choices_[query.location].total <= 0.0) {
+    // No decision for this city (no clients in the optimization round):
+    // fail gracefully to an invalid cluster; CP software falls back (§6.3).
+    result.cdn_id = cdn::CdnId::invalid_value;
+    result.cluster_id = cdn::ClusterId::invalid_value;
+    return result;
+  }
+  // Weighted round-robin across the city's winning clusters, so repeated
+  // queries approximate the optimizer's split.
+  CityChoice& choice = city_choices_[query.location];
+  double cursor = std::fmod(choice.cursor, choice.total);
+  choice.cursor += 1.0;
+  for (const auto& [cluster, weight] : choice.weighted_clusters) {
+    if (cursor < weight) {
+      result.cluster_id = cluster.value();
+      result.cdn_id = scenario_.catalog().cluster(cluster).cdn.value();
+      return result;
+    }
+    cursor -= weight;
+  }
+  const auto& last = choice.weighted_clusters.back();
+  result.cluster_id = last.first.value();
+  result.cdn_id = scenario_.catalog().cluster(last.first).cdn.value();
+  return result;
+}
+
+ClusterService::ClusterService(const sim::Scenario& scenario,
+                               std::span<const double> cluster_loads)
+    : scenario_(scenario), loads_(cluster_loads.begin(), cluster_loads.end()) {}
+
+void ClusterService::register_session(std::uint32_t session_id, double bitrate_mbps) {
+  session_bitrate_[session_id] = bitrate_mbps;
+}
+
+proto::DeliveryMessage ClusterService::serve(const proto::RequestMessage& request) {
+  proto::DeliveryMessage delivery;
+  delivery.session_id = request.session_id;
+  delivery.cluster_id = request.cluster_id;
+
+  const auto bitrate = session_bitrate_.find(request.session_id);
+  const double requested = bitrate == session_bitrate_.end() ? 1.0 : bitrate->second;
+
+  if (request.cluster_id >= scenario_.catalog().clusters().size()) {
+    delivery.delivered_mbps = 0.0;  // unknown cluster: delivery fails
+    return delivery;
+  }
+  const cdn::Cluster& cluster =
+      scenario_.catalog().cluster(cdn::ClusterId{request.cluster_id});
+  const double load = loads_[request.cluster_id];
+  // Overloaded clusters fair-share their capacity.
+  const double factor =
+      cluster.capacity > 0.0 && load > cluster.capacity ? cluster.capacity / load : 1.0;
+  delivery.delivered_mbps = requested * factor;
+  return delivery;
+}
+
+}  // namespace vdx::market

@@ -1,0 +1,138 @@
+// Concrete VDX marketplace participants (paper §6).
+//
+// VdxCdnAgent implements the CDN side of the Decision Protocol: it consumes
+// Shares, runs Matching over its clusters, applies its bidding strategy's
+// shading, and learns from Accepts. VdxBrokerAgent implements the broker
+// side: Gather from the scenario's client groups, Optimize via the Fig.-9
+// solver, Accept feedback for every bid — and doubles as the Delivery
+// Protocol directory. Fraud and failure switches implement §6.3's threat
+// model for the reputation system to react to.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/optimizer.hpp"
+#include "broker/reputation.hpp"
+#include "cdn/matching.hpp"
+#include "cdn/strategy.hpp"
+#include "proto/engine.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::market {
+
+struct CdnAgentConfig {
+  /// Bids per share (menu size).
+  std::size_t bid_count = 8;
+  /// Menu score tolerance (see sim::RunConfig::menu_tolerance).
+  double menu_tolerance = 1.35;
+};
+
+class VdxCdnAgent final : public proto::CdnParticipant {
+ public:
+  VdxCdnAgent(const sim::Scenario& scenario, cdn::CdnId cdn,
+              cdn::BiddingStrategy& strategy, std::span<const double> background_loads,
+              CdnAgentConfig config = {});
+
+  // proto::CdnParticipant
+  void handle_share(std::span<const proto::ShareMessage> shares) override;
+  [[nodiscard]] std::vector<proto::BidMessage> announce() override;
+  void handle_accept(std::span<const proto::AcceptMessage> accepts) override;
+
+  /// §6.3 switches.
+  void set_failed(bool failed) noexcept { failed_ = failed; }
+  void set_fraudulent(bool fraudulent) noexcept { fraudulent_ = fraudulent; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] bool fraudulent() const noexcept { return fraudulent_; }
+
+  /// Traffic-predictability bookkeeping for the last completed round.
+  [[nodiscard]] double expected_win_mbps() const noexcept { return expected_mbps_; }
+  [[nodiscard]] double awarded_mbps() const noexcept { return awarded_mbps_; }
+  [[nodiscard]] double bid_mbps() const noexcept { return bid_mbps_; }
+
+  [[nodiscard]] cdn::CdnId id() const noexcept { return cdn_; }
+
+ private:
+  const sim::Scenario& scenario_;
+  cdn::CdnId cdn_;
+  cdn::BiddingStrategy& strategy_;
+  std::vector<double> background_loads_;
+  CdnAgentConfig config_;
+
+  std::vector<proto::ShareMessage> shares_;
+  /// share_id -> city for Accept attribution.
+  std::unordered_map<std::uint32_t, geo::CityId> city_of_share_;
+  /// (share_id, cluster_id) -> committed capacity of the announced bid.
+  std::unordered_map<std::uint64_t, double> committed_;
+
+  bool failed_ = false;
+  bool fraudulent_ = false;
+  double expected_mbps_ = 0.0;
+  double awarded_mbps_ = 0.0;
+  double bid_mbps_ = 0.0;
+};
+
+struct BrokerAgentConfig {
+  broker::OptimizeWeights weights{1.0, 2.0};
+  solver::SolveOptions solve;
+  bool enable_reputation = true;
+};
+
+class VdxBrokerAgent final : public proto::BrokerParticipant,
+                             public proto::DeliveryDirectory {
+ public:
+  explicit VdxBrokerAgent(const sim::Scenario& scenario, BrokerAgentConfig config = {});
+
+  // proto::BrokerParticipant
+  [[nodiscard]] std::vector<proto::ShareMessage> gather() override;
+  [[nodiscard]] std::vector<proto::AcceptMessage> optimize(
+      std::span<const proto::BidMessage> bids) override;
+
+  // proto::DeliveryDirectory
+  [[nodiscard]] proto::ResultMessage resolve(const proto::QueryMessage& query) override;
+
+  [[nodiscard]] const broker::ReputationSystem& reputation() const noexcept {
+    return reputation_;
+  }
+
+  /// Winning allocations of the last Optimize (for metric computation):
+  /// (group index, cluster, clients, price, true score).
+  [[nodiscard]] std::span<const sim::Placement> placements() const noexcept {
+    return placements_;
+  }
+
+ private:
+  const sim::Scenario& scenario_;
+  BrokerAgentConfig config_;
+  broker::ReputationSystem reputation_;
+  std::vector<sim::Placement> placements_;
+  /// Per city: winning clusters with cumulative client weights, for
+  /// Delivery-Protocol resolution.
+  struct CityChoice {
+    std::vector<std::pair<cdn::ClusterId, double>> weighted_clusters;
+    double total = 0.0;
+    double cursor = 0.0;
+  };
+  std::vector<CityChoice> city_choices_;
+};
+
+/// Delivery-Protocol cluster frontend: serves at the requested bitrate,
+/// degraded proportionally when the cluster is overloaded.
+class ClusterService final : public proto::ClusterFrontend {
+ public:
+  ClusterService(const sim::Scenario& scenario, std::span<const double> cluster_loads);
+
+  [[nodiscard]] proto::DeliveryMessage serve(const proto::RequestMessage& request) override;
+
+  /// Bitrate requested per session must be registered before serve().
+  void register_session(std::uint32_t session_id, double bitrate_mbps);
+
+ private:
+  const sim::Scenario& scenario_;
+  std::vector<double> loads_;
+  std::unordered_map<std::uint32_t, double> session_bitrate_;
+};
+
+}  // namespace vdx::market

@@ -1,0 +1,128 @@
+#include "market/exchange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/designs.hpp"
+#include "sim/metrics.hpp"
+
+namespace vdx::market {
+
+VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
+    : scenario_(scenario), config_(config) {
+  background_loads_ = sim::place_background(scenario_);
+  broker_agent_ = std::make_unique<VdxBrokerAgent>(scenario_, config_.broker);
+  for (const cdn::Cdn& cdn : scenario_.catalog().cdns()) {
+    std::unique_ptr<cdn::BiddingStrategy> strategy =
+        config_.strategy == StrategyKind::kStatic
+            ? cdn::make_static_strategy(cdn.markup)
+            : cdn::make_risk_averse_strategy();
+    cdn_agents_.push_back(std::make_unique<VdxCdnAgent>(
+        scenario_, cdn.id, *strategy, background_loads_, config_.agent));
+    strategies_.push_back(std::move(strategy));
+  }
+}
+
+VdxExchange::~VdxExchange() = default;
+
+RoundReport VdxExchange::run_round() {
+  RoundReport report;
+  report.round = rounds_completed_;
+
+  std::vector<proto::CdnParticipant*> participants;
+  participants.reserve(cdn_agents_.size());
+  for (const auto& agent : cdn_agents_) participants.push_back(agent.get());
+
+  report.wire = proto::run_decision_round(*broker_agent_, participants);
+
+  // Metrics from the broker's placements.
+  const auto placements = broker_agent_->placements();
+  const auto groups = scenario_.broker_groups();
+  last_cluster_loads_ = background_loads_;
+  double clients = 0.0;
+  double score_sum = 0.0;
+  double cost_sum = 0.0;
+  for (const sim::Placement& p : placements) {
+    const broker::ClientGroup& group = groups[p.group];
+    clients += p.clients;
+    score_sum += p.clients * p.score;
+    cost_sum += p.clients * scenario_.catalog().cluster(p.cluster).unit_cost() *
+                group.bitrate_mbps;
+    last_cluster_loads_[p.cluster.value()] += p.clients * group.bitrate_mbps;
+  }
+  if (clients > 0.0) {
+    report.mean_score = score_sum / clients;
+    report.mean_cost = cost_sum / clients;
+  }
+
+  double congested_clients = 0.0;
+  for (const sim::Placement& p : placements) {
+    const cdn::Cluster& cluster = scenario_.catalog().cluster(p.cluster);
+    if (cluster.capacity > 0.0 &&
+        last_cluster_loads_[p.cluster.value()] > cluster.capacity * 1.001 + 1e-6) {
+      congested_clients += p.clients;
+    }
+  }
+  if (clients > 0.0) report.congested_fraction = congested_clients / clients;
+
+  // Predictability.
+  report.awarded_mbps.resize(cdn_agents_.size(), 0.0);
+  double error_sum = 0.0;
+  std::size_t bidders = 0;
+  for (std::size_t i = 0; i < cdn_agents_.size(); ++i) {
+    const VdxCdnAgent& agent = *cdn_agents_[i];
+    report.awarded_mbps[i] = agent.awarded_mbps();
+    if (agent.bid_mbps() > 0.0) {
+      error_sum += std::abs(agent.expected_win_mbps() - agent.awarded_mbps()) /
+                   std::max(1.0, agent.bid_mbps());
+      ++bidders;
+    }
+  }
+  report.mean_prediction_error =
+      bidders > 0 ? error_sum / static_cast<double>(bidders) : 0.0;
+
+  ++rounds_completed_;
+  return report;
+}
+
+std::vector<RoundReport> VdxExchange::run(std::size_t rounds) {
+  std::vector<RoundReport> reports;
+  reports.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) reports.push_back(run_round());
+  return reports;
+}
+
+void VdxExchange::set_failed(cdn::CdnId cdn, bool failed) {
+  if (!cdn.valid() || cdn.value() >= cdn_agents_.size()) {
+    throw std::out_of_range{"VdxExchange::set_failed: unknown CDN"};
+  }
+  cdn_agents_[cdn.value()]->set_failed(failed);
+}
+
+void VdxExchange::set_fraudulent(cdn::CdnId cdn, bool fraudulent) {
+  if (!cdn.valid() || cdn.value() >= cdn_agents_.size()) {
+    throw std::out_of_range{"VdxExchange::set_fraudulent: unknown CDN"};
+  }
+  cdn_agents_[cdn.value()]->set_fraudulent(fraudulent);
+}
+
+const broker::ReputationSystem& VdxExchange::reputation() const {
+  return broker_agent_->reputation();
+}
+
+proto::DeliveryOutcome VdxExchange::deliver(std::uint32_t session_id, geo::CityId city,
+                                            double bitrate_mbps) {
+  if (rounds_completed_ == 0) {
+    throw std::logic_error{"VdxExchange::deliver: run a decision round first"};
+  }
+  ClusterService frontend{scenario_, last_cluster_loads_};
+  frontend.register_session(session_id, bitrate_mbps);
+  proto::QueryMessage query;
+  query.session_id = session_id;
+  query.location = city.value();
+  query.bitrate_mbps = bitrate_mbps;
+  return proto::run_delivery(query, *broker_agent_, frontend);
+}
+
+}  // namespace vdx::market

@@ -1,0 +1,79 @@
+// The Video Delivery eXchange: repeated Decision-Protocol rounds between one
+// broker and the catalog's CDNs (paper §6).
+//
+// The snapshot evaluation (sim::run_design) answers "what does one round
+// decide"; the exchange answers the *dynamic* questions: do risk-averse
+// bidding strategies learn traffic predictability over rounds (§6.3's
+// "weak TP" argument), does the reputation system squeeze out fraudulent
+// CDNs, and does the market keep functioning through CDN failures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "market/agents.hpp"
+
+namespace vdx::market {
+
+enum class StrategyKind : std::uint8_t { kStatic, kRiskAverse };
+
+struct ExchangeConfig {
+  CdnAgentConfig agent;
+  BrokerAgentConfig broker;
+  StrategyKind strategy = StrategyKind::kRiskAverse;
+};
+
+/// Per-round outcome report.
+struct RoundReport {
+  std::size_t round = 0;
+  proto::RoundStats wire;
+  /// Broker-side quality (true scores) and delivery cost, client-weighted.
+  double mean_score = 0.0;
+  double mean_cost = 0.0;
+  /// Fraction of broker clients on clusters loaded above capacity.
+  double congested_fraction = 0.0;
+  /// Traffic predictability: mean over CDNs of
+  /// |expected win - actual win| / max(bid traffic, 1). Lower = more
+  /// predictable. Static bidders expect to win everything, so they start
+  /// (and stay) high; risk-averse bidders learn.
+  double mean_prediction_error = 0.0;
+  /// Per-CDN awarded traffic (Mbps).
+  std::vector<double> awarded_mbps;
+};
+
+class VdxExchange {
+ public:
+  VdxExchange(const sim::Scenario& scenario, ExchangeConfig config = {});
+  ~VdxExchange();
+  VdxExchange(const VdxExchange&) = delete;
+  VdxExchange& operator=(const VdxExchange&) = delete;
+
+  /// Runs one Decision-Protocol round end to end over the wire codec.
+  RoundReport run_round();
+  /// Runs `rounds` rounds and returns all reports.
+  std::vector<RoundReport> run(std::size_t rounds);
+
+  /// §6.3 switches, effective from the next round.
+  void set_failed(cdn::CdnId cdn, bool failed);
+  void set_fraudulent(cdn::CdnId cdn, bool fraudulent);
+
+  [[nodiscard]] const broker::ReputationSystem& reputation() const;
+  [[nodiscard]] const sim::Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Runs the Delivery Protocol for one client against the latest round's
+  /// decisions (throws if no round has been run).
+  [[nodiscard]] proto::DeliveryOutcome deliver(std::uint32_t session_id,
+                                               geo::CityId city, double bitrate_mbps);
+
+ private:
+  const sim::Scenario& scenario_;
+  ExchangeConfig config_;
+  std::vector<double> background_loads_;
+  std::vector<std::unique_ptr<cdn::BiddingStrategy>> strategies_;
+  std::vector<std::unique_ptr<VdxCdnAgent>> cdn_agents_;
+  std::unique_ptr<VdxBrokerAgent> broker_agent_;
+  std::size_t rounds_completed_ = 0;
+  std::vector<double> last_cluster_loads_;
+};
+
+}  // namespace vdx::market

@@ -1,0 +1,178 @@
+#include "market/federation.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "cdn/matching.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::market {
+
+namespace {
+
+/// Greedy farthest-point seeding: the top-demand city first, then cities
+/// maximizing the minimum distance to the chosen seeds. Gives well-spread
+/// regional exchanges.
+std::vector<geo::CityId> pick_seeds(const geo::World& world, std::size_t count) {
+  std::vector<geo::CityId> seeds;
+  geo::CityId best;
+  double best_weight = -1.0;
+  for (const geo::City& city : world.cities()) {
+    if (city.demand_weight > best_weight) {
+      best_weight = city.demand_weight;
+      best = city.id;
+    }
+  }
+  seeds.push_back(best);
+  while (seeds.size() < count) {
+    geo::CityId farthest;
+    double farthest_distance = -1.0;
+    for (const geo::City& city : world.cities()) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const geo::CityId seed : seeds) {
+        nearest = std::min(nearest, world.distance_km(city.id, seed));
+      }
+      if (nearest > farthest_distance) {
+        farthest_distance = nearest;
+        farthest = city.id;
+      }
+    }
+    seeds.push_back(farthest);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+FederationResult run_federated_marketplace(const sim::Scenario& scenario,
+                                           const FederationConfig& config) {
+  if (config.region_count == 0) {
+    throw std::invalid_argument{"FederationConfig: region_count must be > 0"};
+  }
+  const auto& world = scenario.world();
+  const auto& catalog = scenario.catalog();
+  const auto& mapping = scenario.mapping();
+
+  FederationResult result;
+  result.region_count = config.region_count;
+
+  // ---- Partition cities across regional exchanges. ----
+  const auto seeds = pick_seeds(world, config.region_count);
+  std::vector<std::size_t> region_of_city(world.cities().size());
+  result.region_city_counts.assign(config.region_count, 0);
+  for (const geo::City& city : world.cities()) {
+    std::size_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+      const double d = world.distance_km(city.id, seeds[r]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = r;
+      }
+    }
+    region_of_city[city.id.value()] = best;
+    ++result.region_city_counts[best];
+  }
+
+  const auto background = sim::place_background(scenario);
+  const auto groups = scenario.broker_groups();
+  std::vector<std::size_t> group_of_share(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of_share[groups[g].id.value()] = g;
+  }
+
+  cdn::MatchingConfig matching;
+  matching.max_candidates = config.run.bid_count;
+  matching.score_tolerance = config.run.menu_tolerance;
+
+  sim::DesignOutcome combined;
+  combined.design = sim::Design::kMarketplace;
+  combined.background_loads = background;
+  combined.cluster_loads = background;
+
+  // ---- One Marketplace optimization per region. ----
+  for (std::size_t region = 0; region < config.region_count; ++region) {
+    std::vector<broker::ClientGroup> region_groups;
+    for (const broker::ClientGroup& g : groups) {
+      if (region_of_city[g.city.value()] == region) region_groups.push_back(g);
+    }
+    if (region_groups.empty()) continue;
+
+    std::vector<broker::BidView> bids;
+    for (const broker::ClientGroup& group : region_groups) {
+      bool any_bid = false;
+      for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
+        if (cdn_entry.clusters.empty()) continue;
+        for (const cdn::Candidate& candidate : cdn::candidates_for(
+                 catalog, mapping, cdn_entry.id, group.city, matching)) {
+          // Regional exchange: only clusters inside the region participate.
+          if (region_of_city[catalog.cluster(candidate.cluster).city.value()] !=
+              region) {
+            continue;
+          }
+          broker::BidView bid;
+          bid.share = group.id;
+          bid.cdn = cdn_entry.id;
+          bid.cluster = candidate.cluster;
+          bid.score = candidate.score;
+          bid.price = candidate.unit_cost * cdn_entry.markup;
+          bid.capacity =
+              std::max(0.0, candidate.capacity - background[candidate.cluster.value()]);
+          bids.push_back(bid);
+          any_bid = true;
+        }
+      }
+      if (!any_bid) {
+        // No in-region menu for this group: global fallback (the client is
+        // handed to the global exchange rather than dropped).
+        result.fallback_clients += group.client_count;
+        for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
+          for (const cdn::Candidate& candidate : cdn::candidates_for(
+                   catalog, mapping, cdn_entry.id, group.city, matching)) {
+            broker::BidView bid;
+            bid.share = group.id;
+            bid.cdn = cdn_entry.id;
+            bid.cluster = candidate.cluster;
+            bid.score = candidate.score;
+            bid.price = candidate.unit_cost * cdn_entry.markup;
+            bid.capacity = std::max(
+                0.0, candidate.capacity - background[candidate.cluster.value()]);
+            bids.push_back(bid);
+          }
+        }
+      }
+    }
+
+    broker::OptimizerConfig optimizer;
+    optimizer.weights = config.run.weights;
+    optimizer.solve = config.run.solve;
+    const auto t0 = std::chrono::steady_clock::now();
+    const broker::OptimizeResult solved =
+        broker::optimize(region_groups, bids, optimizer);
+    const auto t1 = std::chrono::steady_clock::now();
+    result.optimize_seconds += std::chrono::duration<double>(t1 - t0).count();
+    result.largest_instance_options =
+        std::max(result.largest_instance_options, bids.size());
+
+    for (const broker::Allocation& allocation : solved.allocations) {
+      const broker::BidView& bid = bids[allocation.bid_index];
+      sim::Placement placement;
+      placement.group = group_of_share[bid.share.value()];
+      placement.cluster = bid.cluster;
+      placement.clients = allocation.clients;
+      placement.price = bid.price;
+      placement.score =
+          mapping.score(groups[placement.group].city, bid.cluster.value());
+      combined.cluster_loads[bid.cluster.value()] +=
+          allocation.clients * groups[placement.group].bitrate_mbps;
+      combined.placements.push_back(placement);
+    }
+  }
+
+  result.metrics = sim::compute_metrics(scenario, combined);
+  return result;
+}
+
+}  // namespace vdx::market

@@ -1,0 +1,50 @@
+// Regional marketplace federation (paper §6.3, "Scalability limitations").
+//
+// "For scalability, instances of VDX's marketplace would most likely need to
+//  focus on specific geographic regions ... However, this division comes at
+//  a cost: limiting the broker's view limits the quality of the
+//  optimization. Federating these different marketplaces remains an open
+//  question."
+//
+// This module quantifies that trade-off: the world is partitioned into R
+// regions (cities assigned to the nearest of R high-demand seed cities);
+// each region runs an independent Marketplace round over its own clients
+// and the clusters located inside it. Fewer clients and clusters per
+// optimization means smaller (faster) solves — at the price of losing
+// cross-region placements (e.g. serving an expensive country's clients from
+// a cheap neighbour).
+#pragma once
+
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace vdx::market {
+
+struct FederationConfig {
+  std::size_t region_count = 4;
+  sim::RunConfig run;
+};
+
+struct FederationResult {
+  std::size_t region_count = 0;
+  /// Cities per region (diagnostics).
+  std::vector<std::size_t> region_city_counts;
+  /// Combined metrics over all regions' placements.
+  sim::DesignMetrics metrics;
+  /// Clients whose region contained no usable cluster menu (served by the
+  /// global fallback: any CDN, any cluster).
+  double fallback_clients = 0.0;
+  /// Total wall time spent in the per-region optimizations (seconds).
+  double optimize_seconds = 0.0;
+  /// Largest single optimization instance (options count) — the scalability
+  /// win: max instance size shrinks with region count.
+  std::size_t largest_instance_options = 0;
+};
+
+/// Runs the federated Marketplace. region_count == 1 reproduces the global
+/// marketplace (up to partition bookkeeping).
+[[nodiscard]] FederationResult run_federated_marketplace(
+    const sim::Scenario& scenario, const FederationConfig& config = {});
+
+}  // namespace vdx::market

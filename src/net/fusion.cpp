@@ -1,0 +1,77 @@
+#include "net/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace vdx::net {
+
+double fuse_estimates(double cdn_estimate, double cdn_sigma,
+                      std::optional<double> broker_estimate, double broker_sigma) {
+  if (!(cdn_estimate > 0.0)) {
+    throw std::invalid_argument{"fuse_estimates: estimates must be positive"};
+  }
+  if (!broker_estimate.has_value()) return cdn_estimate;
+  if (!(*broker_estimate > 0.0)) {
+    throw std::invalid_argument{"fuse_estimates: estimates must be positive"};
+  }
+  // Lognormal observations: the MLE of the true log-score is the inverse-
+  // variance weighted mean of the log-estimates.
+  const double w_cdn = 1.0 / (cdn_sigma * cdn_sigma);
+  const double w_broker = 1.0 / (broker_sigma * broker_sigma);
+  const double fused_log = (w_cdn * std::log(cdn_estimate) +
+                            w_broker * std::log(*broker_estimate)) /
+                           (w_cdn + w_broker);
+  return std::exp(fused_log);
+}
+
+FusionReport evaluate_fusion(const geo::World& world, const MappingTable& truth,
+                             const VantageNoise& noise, core::Rng& rng) {
+  if (!(noise.broker_coverage >= 0.0 && noise.broker_coverage <= 1.0)) {
+    throw std::invalid_argument{"VantageNoise: broker_coverage outside [0,1]"};
+  }
+
+  std::vector<double> cdn_errors;
+  std::vector<double> broker_errors;
+  std::vector<double> fused_errors;
+  std::size_t improved = 0;
+  std::size_t covered = 0;
+  std::size_t pairs = 0;
+
+  for (const geo::City& city : world.cities()) {
+    for (std::size_t v = 0; v < truth.vantage_count(); ++v) {
+      const double t = truth.score(city.id, v);
+      ++pairs;
+
+      const double cdn_estimate = t * rng.lognormal(0.0, noise.cdn_sigma);
+      std::optional<double> broker_estimate;
+      if (rng.chance(noise.broker_coverage)) {
+        broker_estimate = t * rng.lognormal(0.0, noise.broker_sigma);
+        ++covered;
+        broker_errors.push_back(std::abs(*broker_estimate - t) / t);
+      }
+      const double fused = fuse_estimates(cdn_estimate, noise.cdn_sigma,
+                                          broker_estimate, noise.broker_sigma);
+
+      const double cdn_error = std::abs(cdn_estimate - t) / t;
+      const double fused_error = std::abs(fused - t) / t;
+      cdn_errors.push_back(cdn_error);
+      fused_errors.push_back(fused_error);
+      if (fused_error < cdn_error) ++improved;
+    }
+  }
+
+  FusionReport report;
+  report.pairs = pairs;
+  report.broker_covered_pairs = covered;
+  report.cdn_only_error = core::median(cdn_errors).value_or(0.0);
+  report.broker_only_error = core::median(broker_errors).value_or(0.0);
+  report.fused_error = core::median(fused_errors).value_or(0.0);
+  report.improved_fraction =
+      pairs > 0 ? static_cast<double>(improved) / static_cast<double>(pairs) : 0.0;
+  return report;
+}
+
+}  // namespace vdx::net

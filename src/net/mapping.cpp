@@ -1,0 +1,121 @@
+#include "net/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdx::net {
+
+MappingTable::MappingTable(std::size_t cities, std::size_t vantages)
+    : city_count_(cities),
+      vantage_count_(vantages),
+      scores_(cities * vantages, 0.0),
+      measured_(cities * vantages, 0) {}
+
+std::size_t MappingTable::index(geo::CityId city, std::size_t vantage) const {
+  if (!city.valid() || city.value() >= city_count_ || vantage >= vantage_count_) {
+    throw std::out_of_range{"MappingTable: bad (city, vantage)"};
+  }
+  return static_cast<std::size_t>(city.value()) * vantage_count_ + vantage;
+}
+
+MappingTable MappingTable::measure(const geo::World& world,
+                                   std::span<const Vantage> vantages,
+                                   const PathModel& model, const MappingConfig& config,
+                                   core::Rng& rng) {
+  if (vantages.empty()) throw std::invalid_argument{"MappingTable: no vantages"};
+  if (!(config.measured_fraction > 0.0 && config.measured_fraction <= 1.0)) {
+    throw std::invalid_argument{"MappingConfig: measured_fraction outside (0,1]"};
+  }
+
+  MappingTable table{world.cities().size(), vantages.size()};
+
+  // Pass 1: measure, recording (distance, score) pairs for the regression.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(table.scores_.size());
+  ys.reserve(table.scores_.size());
+  for (const auto& city : world.cities()) {
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      const auto& vantage_city = world.city(vantages[v].city);
+      const std::size_t idx = table.index(city.id, v);
+      if (rng.uniform() < config.measured_fraction) {
+        const double s =
+            model.score(city.location, vantage_city.location, vantages[v].salt);
+        table.scores_[idx] = s;
+        table.measured_[idx] = 1;
+        xs.push_back(geo::haversine_km(city.location, vantage_city.location));
+        ys.push_back(s);
+      }
+    }
+  }
+
+  // Pass 2: extrapolate unmeasured pairs from the distance regression
+  // (paper §5.1). If the fit is degenerate, fall back to the mean score.
+  table.fit_ = core::fit_line(xs, ys);
+  const double fallback = core::mean(ys);
+  for (const auto& city : world.cities()) {
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      const std::size_t idx = table.index(city.id, v);
+      if (table.measured_[idx]) continue;
+      const auto& vantage_city = world.city(vantages[v].city);
+      const double d = geo::haversine_km(city.location, vantage_city.location);
+      const double predicted = table.fit_ ? table.fit_->at(d) : fallback;
+      // Scores are strictly positive; clamp the linear fit's tail.
+      table.scores_[idx] = std::max(predicted, 1.0);
+    }
+  }
+  return table;
+}
+
+double MappingTable::score(geo::CityId city, std::size_t vantage) const {
+  return scores_[index(city, vantage)];
+}
+
+bool MappingTable::measured(geo::CityId city, std::size_t vantage) const {
+  return measured_[index(city, vantage)] != 0;
+}
+
+std::vector<std::size_t> MappingTable::similar_vantages(
+    geo::CityId city, std::span<const std::size_t> subset, double tolerance) const {
+  if (subset.empty()) return {};
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    scored.emplace_back(score(city, subset[i]), i);
+  }
+  std::sort(scored.begin(), scored.end());
+  const double cutoff = scored.front().first * (1.0 + tolerance);
+  std::vector<std::size_t> out;
+  for (const auto& [s, i] : scored) {
+    if (s > cutoff) break;
+    out.push_back(i);
+  }
+  return out;
+}
+
+AlternativeStats MappingTable::alternative_stats(const geo::World& world,
+                                                 std::span<const std::size_t> subset,
+                                                 double tolerance,
+                                                 std::size_t max_alternatives) const {
+  AlternativeStats stats;
+  stats.fraction_with_at_least.assign(max_alternatives, 0.0);
+  double weight_total = 0.0;
+  for (const auto& city : world.cities()) {
+    const double w = city.demand_weight;
+    weight_total += w;
+    const auto similar = similar_vantages(city.id, subset, tolerance);
+    const std::size_t alternatives = similar.empty() ? 0 : similar.size() - 1;
+    stats.mean_similar_clusters += w * static_cast<double>(similar.size());
+    for (std::size_t k = 0; k < max_alternatives; ++k) {
+      if (alternatives >= k + 1) stats.fraction_with_at_least[k] += w;
+    }
+  }
+  if (weight_total > 0.0) {
+    for (auto& f : stats.fraction_with_at_least) f /= weight_total;
+    stats.mean_similar_clusters /= weight_total;
+  }
+  return stats;
+}
+
+}  // namespace vdx::net

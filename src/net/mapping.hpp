@@ -1,0 +1,100 @@
+// Internet mapping data: client-city x vantage score table.
+//
+// Reproduces the paper's CDN mapping dataset (§3.1): a score estimating
+// performance between blocks of clients and candidate clusters, measured
+// periodically. Some pairs are unmeasured; per the paper (§5.1) missing
+// scores are extrapolated "by computing a linear regression of scores with
+// respect to client-cluster distance". Table 1's alternative-cluster
+// statistic is computed from this table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "geo/world.hpp"
+#include "net/performance.hpp"
+
+namespace vdx::net {
+
+/// A measurement endpoint (one CDN cluster's vantage). `salt` decorrelates
+/// clusters that share a city so co-located clusters still differ slightly.
+struct Vantage {
+  geo::CityId city;
+  std::uint64_t salt = 0;
+};
+
+struct MappingConfig {
+  /// Probability that a given (city, vantage) pair was actually measured.
+  /// Unmeasured pairs get regression-extrapolated scores.
+  double measured_fraction = 0.85;
+  /// Relative tolerance defining an "alternative with similar performance"
+  /// (paper Table 1 uses "within 25% of the best").
+  double similar_tolerance = 0.25;
+};
+
+/// Table 1 row data: how often >= k alternative clusters with similar scores
+/// exist, demand-weighted over client cities.
+struct AlternativeStats {
+  /// fraction_with_at_least[k] = demand-weighted fraction of cities that have
+  /// >= k+1 alternatives (beyond the best) within tolerance. Size 4.
+  std::vector<double> fraction_with_at_least;
+  /// Demand-weighted mean number of similar clusters (including the best).
+  double mean_similar_clusters = 0.0;
+};
+
+/// Dense score table over client cities x vantages.
+class MappingTable {
+ public:
+  /// Measures every (city, vantage) pair with the path model, drops pairs to
+  /// simulate measurement gaps, then fills gaps via the paper's
+  /// score-vs-distance linear regression.
+  [[nodiscard]] static MappingTable measure(const geo::World& world,
+                                            std::span<const Vantage> vantages,
+                                            const PathModel& model,
+                                            const MappingConfig& config, core::Rng& rng);
+
+  [[nodiscard]] std::size_t city_count() const noexcept { return city_count_; }
+  [[nodiscard]] std::size_t vantage_count() const noexcept { return vantage_count_; }
+
+  /// Score of the (city, vantage) path; extrapolated where unmeasured.
+  [[nodiscard]] double score(geo::CityId city, std::size_t vantage) const;
+  /// Whether the pair was directly measured (false -> regression fill).
+  [[nodiscard]] bool measured(geo::CityId city, std::size_t vantage) const;
+
+  /// The regression used for extrapolation (nullopt if everything was
+  /// measured or the fit was degenerate).
+  [[nodiscard]] const std::optional<core::LinearFit>& extrapolation_fit() const noexcept {
+    return fit_;
+  }
+
+  /// Indices (into `subset`) of vantages whose score is within
+  /// (1 + tolerance) x best score for `city`, best first.
+  [[nodiscard]] std::vector<std::size_t> similar_vantages(
+      geo::CityId city, std::span<const std::size_t> subset, double tolerance) const;
+
+  /// Demand-weighted Table 1 statistics over a subset of vantages (one CDN's
+  /// clusters). `max_alternatives` bounds the reported "at least k" ladder.
+  [[nodiscard]] AlternativeStats alternative_stats(const geo::World& world,
+                                                   std::span<const std::size_t> subset,
+                                                   double tolerance,
+                                                   std::size_t max_alternatives = 4) const;
+
+ private:
+  MappingTable(std::size_t cities, std::size_t vantages);
+
+  [[nodiscard]] std::size_t index(geo::CityId city, std::size_t vantage) const;
+
+  std::size_t city_count_ = 0;
+  std::size_t vantage_count_ = 0;
+  std::vector<double> scores_;
+  std::vector<std::uint8_t> measured_;
+  std::optional<core::LinearFit> fit_;
+};
+
+}  // namespace vdx::net

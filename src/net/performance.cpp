@@ -1,0 +1,64 @@
+#include "net/performance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdx::net {
+
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = a * 0x9e3779b97f4a7c15ULL + b;
+  return core::split_mix64(state);
+}
+
+std::uint64_t hash_point(const geo::GeoPoint& p) noexcept {
+  // Quantize to ~100 m so fp noise cannot change the hash.
+  const auto lat = static_cast<std::int64_t>(std::llround(p.latitude_deg * 1e3));
+  const auto lon = static_cast<std::int64_t>(std::llround(p.longitude_deg * 1e3));
+  return hash_mix(static_cast<std::uint64_t>(lat), static_cast<std::uint64_t>(lon));
+}
+
+}  // namespace
+
+PathModel::PathModel(PathModelConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (!(config_.rtt_ms_per_km > 0.0) || !(config_.access_latency_ms >= 0.0) ||
+      !(config_.max_loss > 0.0 && config_.max_loss <= 1.0)) {
+    throw std::invalid_argument{"PathModelConfig: invalid parameters"};
+  }
+}
+
+PathQuality PathModel::quality(const geo::GeoPoint& client, const geo::GeoPoint& endpoint,
+                               std::uint64_t endpoint_salt) const {
+  const double distance_km = geo::haversine_km(client, endpoint);
+
+  // Path-specific deterministic jitter stream.
+  core::Rng rng{hash_mix(hash_mix(hash_point(client), hash_point(endpoint)),
+                         hash_mix(endpoint_salt, seed_))};
+
+  PathQuality q;
+  const double jitter = rng.lognormal(0.0, config_.latency_jitter_sigma);
+  q.latency_ms =
+      (config_.access_latency_ms + distance_km * config_.rtt_ms_per_km) * jitter;
+
+  const double loss_jitter = rng.lognormal(0.0, 0.5);
+  q.loss_rate = std::min(config_.max_loss,
+                         (config_.base_loss + distance_km * config_.loss_per_km) *
+                             loss_jitter);
+  return q;
+}
+
+double PathModel::score(const PathQuality& q) const {
+  // Latency plus a goodput-style sqrt(loss) penalty; strictly positive and
+  // monotone in both inputs, which is all downstream consumers rely on.
+  return q.latency_ms + config_.loss_score_weight * std::sqrt(q.loss_rate);
+}
+
+double PathModel::score(const geo::GeoPoint& client, const geo::GeoPoint& endpoint,
+                        std::uint64_t endpoint_salt) const {
+  return score(quality(client, endpoint, endpoint_salt));
+}
+
+}  // namespace vdx::net

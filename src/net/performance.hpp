@@ -1,0 +1,71 @@
+// Network performance model: latency, loss, and the CDN "score".
+//
+// Substitution note (DESIGN.md §2): the paper consumes a major CDN's
+// internet-mapping data — a score per {client IP block, candidate cluster}
+// that is "a simple function of latency and packet loss", measured by pings
+// from clusters to gateway routers. We model path latency as speed-of-light
+// propagation plus lognormal access jitter, loss as a distance-correlated
+// rare event, and combine them with the classic goodput-inspired penalty
+// (score grows with RTT and with sqrt(loss)). Only *relative* scores matter
+// to any consumer in the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ids.hpp"
+#include "core/rng.hpp"
+#include "geo/geo_point.hpp"
+
+namespace vdx::net {
+
+/// Measured characteristics of one network path.
+struct PathQuality {
+  double latency_ms = 0.0;
+  double loss_rate = 0.0;  // in [0, 1]
+};
+
+/// Tunable parameters of the synthetic path model.
+struct PathModelConfig {
+  /// Round-trip propagation: ms of RTT per km of great-circle distance
+  /// (fiber at ~200 km/ms one way -> 0.01 ms RTT/km).
+  double rtt_ms_per_km = 0.01;
+  /// Median last-mile/access latency added to every path (ms).
+  double access_latency_ms = 8.0;
+  /// Sigma of the lognormal multiplicative jitter applied to latency.
+  double latency_jitter_sigma = 0.25;
+  /// Baseline loss rate on a short healthy path.
+  double base_loss = 0.001;
+  /// Additional loss per km of distance (more hops, more congestion).
+  double loss_per_km = 2.0e-7;
+  /// Hard cap on loss rate.
+  double max_loss = 0.05;
+  /// Weight of sqrt(loss) in the score relative to latency.
+  double loss_score_weight = 600.0;
+};
+
+/// Deterministic synthetic path model. The same (a, b, salt) triple always
+/// yields the same quality: jitter is derived by hashing the endpoints, so
+/// every component of the simulator observes a consistent network.
+class PathModel {
+ public:
+  explicit PathModel(PathModelConfig config = {}, std::uint64_t seed = 7);
+
+  [[nodiscard]] PathQuality quality(const geo::GeoPoint& client,
+                                    const geo::GeoPoint& endpoint,
+                                    std::uint64_t endpoint_salt) const;
+
+  /// The CDN score for a path; lower is better.
+  [[nodiscard]] double score(const PathQuality& q) const;
+
+  /// Convenience: score of the (client, endpoint, salt) path.
+  [[nodiscard]] double score(const geo::GeoPoint& client, const geo::GeoPoint& endpoint,
+                             std::uint64_t endpoint_salt) const;
+
+  [[nodiscard]] const PathModelConfig& config() const noexcept { return config_; }
+
+ private:
+  PathModelConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vdx::net

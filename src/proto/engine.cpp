@@ -1,0 +1,85 @@
+#include "proto/engine.hpp"
+
+#include <stdexcept>
+
+namespace vdx::proto {
+
+namespace {
+
+/// Encode, count, decode — the in-memory stand-in for a network hop.
+template <typename T>
+T transmit(const T& message, std::size_t& bytes) {
+  const std::vector<std::uint8_t> frame = encode(Message{message});
+  bytes += frame.size();
+  const Message decoded = decode(frame);
+  return std::get<T>(decoded);
+}
+
+}  // namespace
+
+RoundStats run_decision_round(BrokerParticipant& broker,
+                              std::span<CdnParticipant* const> cdns,
+                              const DecisionEngineConfig& config) {
+  RoundStats stats;
+
+  // Steps 2-3: Gather + Share.
+  const std::vector<ShareMessage> shares = broker.gather();
+  if (config.share_client_data) {
+    for (CdnParticipant* cdn : cdns) {
+      if (cdn == nullptr) throw std::invalid_argument{"null CdnParticipant"};
+      std::vector<ShareMessage> delivered;
+      delivered.reserve(shares.size());
+      for (const ShareMessage& share : shares) {
+        delivered.push_back(transmit(share, stats.bytes_on_wire));
+        ++stats.shares_sent;
+      }
+      cdn->handle_share(delivered);
+    }
+  } else {
+    for (CdnParticipant* cdn : cdns) {
+      if (cdn == nullptr) throw std::invalid_argument{"null CdnParticipant"};
+      cdn->handle_share({});
+    }
+  }
+
+  // Steps 4-5: Matching + Announce.
+  std::vector<BidMessage> all_bids;
+  for (CdnParticipant* cdn : cdns) {
+    for (const BidMessage& bid : cdn->announce()) {
+      all_bids.push_back(transmit(bid, stats.bytes_on_wire));
+      ++stats.bids_received;
+    }
+  }
+
+  // Step 6: Optimize.
+  const std::vector<AcceptMessage> accepts = broker.optimize(all_bids);
+
+  // Step 7: Accept — every CDN hears about every bid's outcome.
+  for (CdnParticipant* cdn : cdns) {
+    std::vector<AcceptMessage> delivered;
+    delivered.reserve(accepts.size());
+    for (const AcceptMessage& accept : accepts) {
+      delivered.push_back(transmit(accept, stats.bytes_on_wire));
+      ++stats.accepts_sent;
+    }
+    cdn->handle_accept(delivered);
+  }
+  return stats;
+}
+
+DeliveryOutcome run_delivery(const QueryMessage& query, DeliveryDirectory& directory,
+                             ClusterFrontend& frontend) {
+  DeliveryOutcome outcome;
+  const QueryMessage sent_query = transmit(query, outcome.bytes_on_wire);
+  outcome.result = transmit(directory.resolve(sent_query), outcome.bytes_on_wire);
+
+  RequestMessage request;
+  request.session_id = outcome.result.session_id;
+  request.cluster_id = outcome.result.cluster_id;
+  request.content_id = 0;
+  const RequestMessage sent_request = transmit(request, outcome.bytes_on_wire);
+  outcome.delivery = transmit(frontend.serve(sent_request), outcome.bytes_on_wire);
+  return outcome;
+}
+
+}  // namespace vdx::proto

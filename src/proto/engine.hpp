@@ -1,0 +1,92 @@
+// Protocol engines: sequence the Decision and Delivery protocols between
+// abstract participants, pushing every message through the wire codec so
+// that running a round exercises exactly what a networked deployment would
+// exchange (and so byte/message accounting is real).
+//
+// Decision Protocol (paper §4.1): Estimate and Gather are participant-local;
+// the engine drives Share -> Matching/Announce -> Optimize -> Accept.
+// Delivery Protocol: Query -> Result -> Request -> Delivery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "proto/messages.hpp"
+
+namespace vdx::proto {
+
+/// CDN side of the Decision Protocol.
+class CdnParticipant {
+ public:
+  virtual ~CdnParticipant() = default;
+
+  /// Step 3 (Share): receive the broker's client aggregates. Designs that
+  /// do not share client data deliver an empty span.
+  virtual void handle_share(std::span<const ShareMessage> shares) = 0;
+  /// Steps 4-5 (Matching + Announce): produce bids.
+  [[nodiscard]] virtual std::vector<BidMessage> announce() = 0;
+  /// Step 7 (Accept): learn which bids won (awarded_mbps > 0) and lost.
+  virtual void handle_accept(std::span<const AcceptMessage> accepts) = 0;
+};
+
+/// Broker side of the Decision Protocol.
+class BrokerParticipant {
+ public:
+  virtual ~BrokerParticipant() = default;
+
+  /// Step 2 (Gather): the shares to announce to CDNs this round.
+  [[nodiscard]] virtual std::vector<ShareMessage> gather() = 0;
+  /// Step 6 (Optimize): consume all bids, return the Accept feed (one entry
+  /// per bid, won or lost).
+  [[nodiscard]] virtual std::vector<AcceptMessage> optimize(
+      std::span<const BidMessage> bids) = 0;
+};
+
+/// Transport/accounting statistics for one protocol round.
+struct RoundStats {
+  std::size_t shares_sent = 0;
+  std::size_t bids_received = 0;
+  std::size_t accepts_sent = 0;
+  std::size_t bytes_on_wire = 0;
+};
+
+struct DecisionEngineConfig {
+  /// Whether the Share step transmits client data (Marketplace-style
+  /// designs) or is skipped (all pre-marketplace designs in Table 2).
+  bool share_client_data = true;
+};
+
+/// Runs one Decision Protocol round. Every message is encoded and re-decoded
+/// through the wire codec.
+[[nodiscard]] RoundStats run_decision_round(BrokerParticipant& broker,
+                                            std::span<CdnParticipant* const> cdns,
+                                            const DecisionEngineConfig& config = {});
+
+/// Client + directory side of the Delivery Protocol.
+class DeliveryDirectory {
+ public:
+  virtual ~DeliveryDirectory() = default;
+  /// Steps 1-2: broker answers a client query from the latest Optimize.
+  [[nodiscard]] virtual ResultMessage resolve(const QueryMessage& query) = 0;
+};
+
+class ClusterFrontend {
+ public:
+  virtual ~ClusterFrontend() = default;
+  /// Steps 3-4: the chosen cluster serves the request.
+  [[nodiscard]] virtual DeliveryMessage serve(const RequestMessage& request) = 0;
+};
+
+struct DeliveryOutcome {
+  ResultMessage result;
+  DeliveryMessage delivery;
+  std::size_t bytes_on_wire = 0;
+};
+
+/// Runs the 4-step Delivery Protocol for one client.
+[[nodiscard]] DeliveryOutcome run_delivery(const QueryMessage& query,
+                                           DeliveryDirectory& directory,
+                                           ClusterFrontend& frontend);
+
+}  // namespace vdx::proto

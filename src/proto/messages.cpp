@@ -1,0 +1,199 @@
+#include "proto/messages.hpp"
+
+namespace vdx::proto {
+
+namespace {
+
+void write_payload(ByteWriter& w, const ShareMessage& m) {
+  w.write_u32(m.share_id);
+  w.write_u32(m.location);
+  w.write_u32(m.isp);
+  w.write_u32(m.content_id);
+  w.write_f64(m.data_size_mbps);
+  w.write_u32(m.client_count);
+}
+
+void write_payload(ByteWriter& w, const BidMessage& m) {
+  w.write_u32(m.cluster_id);
+  w.write_u32(m.share_id);
+  w.write_f64(m.performance_estimate);
+  w.write_f64(m.capacity_mbps);
+  w.write_f64(m.price);
+  w.write_u32(m.cdn_id);
+}
+
+void write_payload(ByteWriter& w, const AcceptMessage& m) {
+  w.write_u32(m.cluster_id);
+  w.write_u32(m.share_id);
+  w.write_f64(m.performance_estimate);
+  w.write_f64(m.capacity_mbps);
+  w.write_f64(m.price);
+  w.write_u32(m.cdn_id);
+  w.write_f64(m.awarded_mbps);
+}
+
+void write_payload(ByteWriter& w, const QueryMessage& m) {
+  w.write_u32(m.session_id);
+  w.write_u32(m.location);
+  w.write_f64(m.bitrate_mbps);
+}
+
+void write_payload(ByteWriter& w, const ResultMessage& m) {
+  w.write_u32(m.session_id);
+  w.write_u32(m.cdn_id);
+  w.write_u32(m.cluster_id);
+}
+
+void write_payload(ByteWriter& w, const RequestMessage& m) {
+  w.write_u32(m.session_id);
+  w.write_u32(m.cluster_id);
+  w.write_u32(m.content_id);
+}
+
+void write_payload(ByteWriter& w, const DeliveryMessage& m) {
+  w.write_u32(m.session_id);
+  w.write_u32(m.cluster_id);
+  w.write_f64(m.delivered_mbps);
+}
+
+ShareMessage read_share(ByteReader& r) {
+  ShareMessage m;
+  m.share_id = r.read_u32();
+  m.location = r.read_u32();
+  m.isp = r.read_u32();
+  m.content_id = r.read_u32();
+  m.data_size_mbps = r.read_f64();
+  m.client_count = r.read_u32();
+  return m;
+}
+
+BidMessage read_bid(ByteReader& r) {
+  BidMessage m;
+  m.cluster_id = r.read_u32();
+  m.share_id = r.read_u32();
+  m.performance_estimate = r.read_f64();
+  m.capacity_mbps = r.read_f64();
+  m.price = r.read_f64();
+  m.cdn_id = r.read_u32();
+  return m;
+}
+
+AcceptMessage read_accept(ByteReader& r) {
+  AcceptMessage m;
+  m.cluster_id = r.read_u32();
+  m.share_id = r.read_u32();
+  m.performance_estimate = r.read_f64();
+  m.capacity_mbps = r.read_f64();
+  m.price = r.read_f64();
+  m.cdn_id = r.read_u32();
+  m.awarded_mbps = r.read_f64();
+  return m;
+}
+
+QueryMessage read_query(ByteReader& r) {
+  QueryMessage m;
+  m.session_id = r.read_u32();
+  m.location = r.read_u32();
+  m.bitrate_mbps = r.read_f64();
+  return m;
+}
+
+ResultMessage read_result(ByteReader& r) {
+  ResultMessage m;
+  m.session_id = r.read_u32();
+  m.cdn_id = r.read_u32();
+  m.cluster_id = r.read_u32();
+  return m;
+}
+
+RequestMessage read_request(ByteReader& r) {
+  RequestMessage m;
+  m.session_id = r.read_u32();
+  m.cluster_id = r.read_u32();
+  m.content_id = r.read_u32();
+  return m;
+}
+
+DeliveryMessage read_delivery(ByteReader& r) {
+  DeliveryMessage m;
+  m.session_id = r.read_u32();
+  m.cluster_id = r.read_u32();
+  m.delivered_mbps = r.read_f64();
+  return m;
+}
+
+}  // namespace
+
+MessageType type_of(const Message& message) noexcept {
+  return std::visit(
+      [](const auto& m) -> MessageType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ShareMessage>) return MessageType::kShare;
+        if constexpr (std::is_same_v<T, BidMessage>) return MessageType::kBid;
+        if constexpr (std::is_same_v<T, AcceptMessage>) return MessageType::kAccept;
+        if constexpr (std::is_same_v<T, QueryMessage>) return MessageType::kQuery;
+        if constexpr (std::is_same_v<T, ResultMessage>) return MessageType::kResult;
+        if constexpr (std::is_same_v<T, RequestMessage>) return MessageType::kRequest;
+        if constexpr (std::is_same_v<T, DeliveryMessage>) return MessageType::kDelivery;
+      },
+      message);
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  ByteWriter w;
+  w.write_u32(0);  // length placeholder
+  w.write_u8(static_cast<std::uint8_t>(type_of(message)));
+  w.write_u16(kProtocolVersion);
+  const std::size_t payload_start = w.size();
+  std::visit([&w](const auto& m) { write_payload(w, m); }, message);
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size() - payload_start));
+  return w.take();
+}
+
+Message decode(std::span<const std::uint8_t> data, std::size_t* consumed) {
+  ByteReader header{data};
+  const std::uint32_t payload_length = header.read_u32();
+  const std::uint8_t raw_type = header.read_u8();
+  const std::uint16_t version = header.read_u16();
+  if (version != kProtocolVersion) throw WireError{"unsupported protocol version"};
+
+  constexpr std::size_t kHeaderSize = 4 + 1 + 2;
+  if (data.size() < kHeaderSize + payload_length) throw WireError{"truncated envelope"};
+  ByteReader payload{data.subspan(kHeaderSize, payload_length)};
+
+  Message message = [&]() -> Message {
+    switch (static_cast<MessageType>(raw_type)) {
+      case MessageType::kShare:
+        return read_share(payload);
+      case MessageType::kBid:
+        return read_bid(payload);
+      case MessageType::kAccept:
+        return read_accept(payload);
+      case MessageType::kQuery:
+        return read_query(payload);
+      case MessageType::kResult:
+        return read_result(payload);
+      case MessageType::kRequest:
+        return read_request(payload);
+      case MessageType::kDelivery:
+        return read_delivery(payload);
+    }
+    throw WireError{"unknown message type"};
+  }();
+  if (!payload.exhausted()) throw WireError{"trailing bytes in payload"};
+  if (consumed != nullptr) *consumed = kHeaderSize + payload_length;
+  return message;
+}
+
+std::vector<Message> decode_stream(std::span<const std::uint8_t> data) {
+  std::vector<Message> out;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    std::size_t consumed = 0;
+    out.push_back(decode(data.subspan(offset), &consumed));
+    offset += consumed;
+  }
+  return out;
+}
+
+}  // namespace vdx::proto

@@ -1,0 +1,405 @@
+#include "sim/designs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cdn/matching.hpp"
+
+namespace vdx::sim {
+
+std::string_view to_string(Design design) noexcept {
+  switch (design) {
+    case Design::kBrokered:
+      return "Brokered";
+    case Design::kMulticluster2:
+      return "Multicluster (2)";
+    case Design::kMulticluster100:
+      return "Multicluster (100)";
+    case Design::kDynamicPricing:
+      return "DynamicPricing";
+    case Design::kDynamicMulticluster:
+      return "DynamicMulticluster";
+    case Design::kBestLookup:
+      return "BestLookup";
+    case Design::kMarketplace:
+      return "Marketplace";
+    case Design::kOmniscient:
+      return "Omniscient";
+  }
+  return "?";
+}
+
+DesignTraits traits_of(Design design) noexcept {
+  DesignTraits t;
+  switch (design) {
+    case Design::kBrokered:
+      break;
+    case Design::kMulticluster2:
+    case Design::kMulticluster100:
+      t.multi_cluster = true;
+      t.cluster_level_optimization = true;
+      break;
+    case Design::kDynamicPricing:
+      t.announces_cost = true;
+      t.dynamic_cluster_pricing = true;
+      break;
+    case Design::kDynamicMulticluster:
+      t.multi_cluster = true;
+      t.announces_cost = true;
+      t.cluster_level_optimization = true;
+      t.dynamic_cluster_pricing = true;
+      break;
+    case Design::kBestLookup:
+      t.multi_cluster = true;
+      t.announces_cost = true;
+      t.announces_capacity = true;
+      t.cluster_level_optimization = true;
+      t.dynamic_cluster_pricing = true;
+      break;
+    case Design::kMarketplace:
+      t.shares_clients = true;
+      t.multi_cluster = true;
+      t.announces_cost = true;
+      t.announces_capacity = true;
+      t.cluster_level_optimization = true;
+      t.dynamic_cluster_pricing = true;
+      t.traffic_predictability = 1;  // weak
+      break;
+    case Design::kOmniscient:
+      t.shares_clients = true;
+      t.multi_cluster = true;
+      t.announces_cost = true;
+      t.announces_capacity = true;
+      t.cluster_level_optimization = true;
+      t.dynamic_cluster_pricing = true;
+      t.traffic_predictability = 1;
+      break;
+  }
+  return t;
+}
+
+std::vector<double> place_background(const Scenario& scenario) {
+  return place_background_over(scenario, scenario.background_groups());
+}
+
+std::vector<double> place_background_over(const Scenario& scenario,
+                                          std::span<const broker::ClientGroup> groups) {
+  const auto& catalog = scenario.catalog();
+  std::vector<double> loads(catalog.clusters().size(), 0.0);
+
+  // Background traffic belongs to legacy single-CDN contracts: split evenly
+  // across the base (non-city-centric) CDNs; each CDN load-balances its
+  // slice internally (§2.1 behaviour).
+  std::vector<cdn::CdnId> base_cdns;
+  for (const cdn::Cdn& c : catalog.cdns()) {
+    if (c.model != cdn::DeploymentModel::kCityCentric) base_cdns.push_back(c.id);
+  }
+  if (base_cdns.empty()) return loads;
+
+  for (const broker::ClientGroup& group : groups) {
+    const double slice_clients =
+        group.client_count / static_cast<double>(base_cdns.size());
+    const double slice_mbps = slice_clients * group.bitrate_mbps;
+    if (slice_mbps <= 0.0) continue;
+    for (const cdn::CdnId cdn_id : base_cdns) {
+      const auto candidates =
+          cdn::candidates_for(catalog, scenario.mapping(), cdn_id, group.city);
+      if (candidates.empty()) continue;
+      const cdn::Candidate choice =
+          cdn::pick_load_balanced(candidates, loads, slice_mbps);
+      loads[choice.cluster.value()] += slice_mbps;
+    }
+  }
+  return loads;
+}
+
+namespace {
+
+/// Lognormal blur on the broker's own QoE model, used when a design's
+/// Announce carries no performance data (Table 2: Brokered, DynamicPricing).
+/// For timeline runs (qoe_epoch > 0) the blur splits into a persistent
+/// component (the broker's structural estimation bias for this CDN/city)
+/// and a fresh per-epoch component (measurement churn between decision
+/// rounds) with the same combined magnitude.
+constexpr double kQoeNoiseSigma = 0.8;
+constexpr double kQoePersistentSigma = 0.65;
+constexpr double kQoeEpochSigma = 0.45;  // sqrt(0.65^2 + 0.45^2) ~= 0.8
+
+/// Overflow price (per Mbps) used when the broker only has capacity
+/// *estimates*: comparable to a few units of score, so estimate pressure
+/// redistributes along the objective instead of acting as a hard wall.
+constexpr double kSoftEstimatePenalty = 60.0;
+
+/// How a design prices / sizes / selects bids.
+struct DesignPolicy {
+  bool single_cluster = false;
+  bool flat_price = false;
+  /// Whether the Announce step carries per-cluster performance (Table 2).
+  /// Without it the broker falls back to its own coarse QoE model, which we
+  /// model as the true score blurred by lognormal measurement noise.
+  bool announces_performance = true;
+  enum class Capacity { kEstimate, kTrue, kNetOfBackground } capacity =
+      Capacity::kEstimate;
+  bool all_clusters = false;  // Omniscient
+  std::size_t bid_count = 100;
+};
+
+DesignPolicy policy_of(Design design, const RunConfig& config) {
+  DesignPolicy p;
+  p.bid_count = config.bid_count;
+  switch (design) {
+    case Design::kBrokered:
+      p.single_cluster = true;
+      p.flat_price = true;
+      p.announces_performance = false;
+      break;
+    case Design::kMulticluster2:
+      p.flat_price = true;
+      p.bid_count = 2;
+      break;
+    case Design::kMulticluster100:
+      p.flat_price = true;
+      break;
+    case Design::kDynamicPricing:
+      p.single_cluster = true;
+      p.announces_performance = false;
+      break;
+    case Design::kDynamicMulticluster:
+      break;
+    case Design::kBestLookup:
+      p.capacity = DesignPolicy::Capacity::kTrue;
+      break;
+    case Design::kMarketplace:
+      p.capacity = DesignPolicy::Capacity::kNetOfBackground;
+      break;
+    case Design::kOmniscient:
+      p.capacity = DesignPolicy::Capacity::kNetOfBackground;
+      p.all_clusters = true;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+DesignOutcome run_design(const Scenario& scenario, Design design,
+                         const RunConfig& config) {
+  return run_design_over(scenario, design, config, scenario.broker_groups(),
+                         place_background(scenario));
+}
+
+DesignOutcome run_design_over(const Scenario& scenario, Design design,
+                              const RunConfig& config,
+                              std::span<const broker::ClientGroup> groups,
+                              std::span<const double> background_loads) {
+  const auto& catalog = scenario.catalog();
+  const auto& mapping = scenario.mapping();
+  const DesignPolicy policy = policy_of(design, config);
+
+  DesignOutcome outcome;
+  outcome.design = design;
+  outcome.background_loads.assign(background_loads.begin(), background_loads.end());
+  std::vector<broker::BidView> bids;
+  bids.reserve(groups.size() * catalog.cdns().size() * 2);
+
+  cdn::MatchingConfig matching_config;
+  if (!policy.single_cluster && !policy.all_clusters) {
+    matching_config.max_candidates = policy.bid_count;
+    matching_config.score_tolerance = config.menu_tolerance;
+  }
+
+  for (const broker::ClientGroup& group : groups) {
+    for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
+      if (cdn_entry.clusters.empty()) continue;
+
+      std::vector<cdn::Candidate> candidates;
+      if (policy.all_clusters) {
+        candidates.reserve(cdn_entry.clusters.size());
+        for (const cdn::ClusterId id : cdn_entry.clusters) {
+          const cdn::Cluster& cluster = catalog.cluster(id);
+          candidates.push_back(cdn::Candidate{id, mapping.score(group.city, id.value()),
+                                              cluster.unit_cost(), cluster.capacity});
+        }
+      } else {
+        candidates = cdn::candidates_for(catalog, mapping, cdn_entry.id, group.city,
+                                         matching_config);
+        if (candidates.empty()) continue;
+        if (policy.single_cluster) {
+          // The CDN's answer today: its best-scoring cluster (network-
+          // measurement-driven selection, §2.1). Delivery-time load
+          // balancing across the CDN's clusters is applied after the
+          // broker's decision.
+          const auto best = std::min_element(
+              candidates.begin(), candidates.end(),
+              [](const cdn::Candidate& a, const cdn::Candidate& b) {
+                return a.score < b.score;
+              });
+          candidates = {*best};
+        }
+      }
+
+      for (const cdn::Candidate& candidate : candidates) {
+        broker::BidView bid;
+        bid.share = group.id;
+        bid.cdn = cdn_entry.id;
+        bid.cluster = candidate.cluster;
+        bid.score = candidate.score;
+        if (!policy.announces_performance) {
+          // Coarse broker-side QoE estimate (deterministic per pair): the
+          // broker never saw this cluster's score, only its own noisy
+          // per-CDN measurements.
+          // Keyed on (city, bitrate, cdn, cluster) — stable across epochs
+          // even though group ids are re-issued per decision round.
+          const auto kbps =
+              static_cast<std::uint64_t>(std::llround(group.bitrate_mbps * 1000.0));
+          std::uint64_t h = (static_cast<std::uint64_t>(group.city.value()) << 40) ^
+                            (kbps << 20) ^
+                            (static_cast<std::uint64_t>(cdn_entry.id.value()) << 8) ^
+                            candidate.cluster.value();
+          if (config.qoe_epoch == 0) {
+            core::Rng noise{core::split_mix64(h)};
+            bid.score = candidate.score * noise.lognormal(0.0, kQoeNoiseSigma);
+          } else {
+            std::uint64_t hp = h;
+            core::Rng persistent{core::split_mix64(hp)};
+            std::uint64_t he = h ^ (config.qoe_epoch * 0x9e3779b97f4a7c15ULL);
+            core::Rng fresh{core::split_mix64(he)};
+            bid.score = candidate.score *
+                        persistent.lognormal(0.0, kQoePersistentSigma) *
+                        fresh.lognormal(0.0, kQoeEpochSigma);
+          }
+        }
+        bid.price = policy.flat_price ? cdn_entry.contract_price
+                                      : candidate.unit_cost * cdn_entry.markup;
+        switch (policy.capacity) {
+          case DesignPolicy::Capacity::kEstimate:
+            bid.capacity =
+                scenario.provisioning().median_capacity[cdn_entry.id.value()];
+            break;
+          case DesignPolicy::Capacity::kTrue:
+            bid.capacity = candidate.capacity;
+            break;
+          case DesignPolicy::Capacity::kNetOfBackground:
+            bid.capacity = std::max(
+                0.0, candidate.capacity -
+                         outcome.background_loads[candidate.cluster.value()]);
+            break;
+        }
+        bids.push_back(bid);
+      }
+    }
+  }
+
+  // ---- Optimize. ----
+  broker::OptimizerConfig optimizer_config;
+  optimizer_config.weights = config.weights;
+  optimizer_config.solve = config.solve;
+  if (policy.capacity == DesignPolicy::Capacity::kEstimate) {
+    // Estimated capacities are hints, not commitments: a real broker pushes
+    // past them when its options run out, paying in (estimated) congestion
+    // risk rather than treating the estimate as a hard wall. Announced
+    // (true) capacities keep the strong default penalty.
+    optimizer_config.solve.overflow_penalty = kSoftEstimatePenalty;
+  }
+  const broker::OptimizeResult result = broker::optimize(groups, bids, optimizer_config);
+
+  // ---- Materialize placements and final loads. ----
+  outcome.cluster_loads = outcome.background_loads;
+  std::vector<std::size_t> group_of_share(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of_share[groups[g].id.value()] = g;
+  }
+  outcome.placements.reserve(result.allocations.size());
+  for (const broker::Allocation& allocation : result.allocations) {
+    const broker::BidView& bid = bids[allocation.bid_index];
+    Placement placement;
+    placement.group = group_of_share[bid.share.value()];
+    placement.cluster = bid.cluster;
+    placement.clients = allocation.clients;
+    placement.price = bid.price;
+    // Metrics always use the true path score (delivered QoE), even when the
+    // optimizer only had a blurred estimate.
+    placement.score =
+        mapping.score(groups[placement.group].city, bid.cluster.value());
+    outcome.placements.push_back(placement);
+    outcome.cluster_loads[bid.cluster.value()] +=
+        allocation.clients * groups[placement.group].bitrate_mbps;
+  }
+
+  // ---- CDN-internal delivery load balancing (single-cluster designs). ----
+  // When the broker only chooses the CDN, cluster selection stays with the
+  // CDN's own control plane (§2.1), which shifts clients from an overloaded
+  // cluster onto co-located siblings at delivery time. Multi-cluster designs
+  // hand that choice to the broker, so their overloads stand — exactly the
+  // congestion contrast of Table 3.
+  if (policy.single_cluster) {
+    rebalance_within_cdn_over(scenario, outcome, groups);
+  }
+  return outcome;
+}
+
+void rebalance_within_cdn(const Scenario& scenario, DesignOutcome& outcome) {
+  rebalance_within_cdn_over(scenario, outcome, scenario.broker_groups());
+}
+
+void rebalance_within_cdn_over(const Scenario& scenario, DesignOutcome& outcome,
+                               std::span<const broker::ClientGroup> groups) {
+  const auto& catalog = scenario.catalog();
+  const auto& mapping = scenario.mapping();
+
+  // Same-CDN, same-city sibling lists.
+  const std::size_t original_count = outcome.placements.size();
+  for (std::size_t i = 0; i < original_count; ++i) {
+    // Copy the fields we need: push_back below invalidates references.
+    const Placement source = outcome.placements[i];
+    const cdn::Cluster& cluster = catalog.cluster(source.cluster);
+    const double load = outcome.cluster_loads[source.cluster.value()];
+    if (load <= cluster.capacity || source.clients <= 0.0) continue;
+
+    const broker::ClientGroup& group = groups[source.group];
+    const double bitrate = group.bitrate_mbps;
+    double movable_mbps = std::min(source.clients * bitrate, load - cluster.capacity);
+
+    // Same-CDN siblings ordered by distance from the overloaded site:
+    // co-located clusters first, then progressively farther ones.
+    std::vector<cdn::ClusterId> siblings;
+    for (const cdn::ClusterId id : catalog.clusters_of(cluster.cdn)) {
+      if (id != source.cluster) siblings.push_back(id);
+    }
+    std::sort(siblings.begin(), siblings.end(),
+              [&](cdn::ClusterId a, cdn::ClusterId b) {
+                return scenario.world().distance_km(cluster.city,
+                                                    catalog.cluster(a).city) <
+                       scenario.world().distance_km(cluster.city,
+                                                    catalog.cluster(b).city);
+              });
+
+    for (const cdn::ClusterId sibling_id : siblings) {
+      if (movable_mbps <= 0.0) break;
+      const cdn::Cluster& sibling = catalog.cluster(sibling_id);
+      const double headroom =
+          sibling.capacity - outcome.cluster_loads[sibling_id.value()];
+      if (headroom <= 0.0) continue;
+
+      const double moved_mbps = std::min(movable_mbps, headroom);
+      const double moved_clients = moved_mbps / bitrate;
+      Placement moved;
+      moved.group = source.group;
+      moved.cluster = sibling_id;
+      moved.clients = moved_clients;
+      moved.price = source.price;  // the CP still pays the announced price
+      moved.score = mapping.score(group.city, sibling_id.value());
+      outcome.placements.push_back(moved);
+
+      outcome.placements[i].clients -= moved_clients;
+      outcome.cluster_loads[source.cluster.value()] -= moved_mbps;
+      outcome.cluster_loads[sibling_id.value()] += moved_mbps;
+      movable_mbps -= moved_mbps;
+    }
+  }
+  std::erase_if(outcome.placements,
+                [](const Placement& p) { return p.clients <= 1e-9; });
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,133 @@
+// The CDN-broker decision-interface designs of Table 2, run as snapshot
+// simulations (one Decision Protocol round over all clients, §5.1).
+//
+// Designs differ only in Share / Matching / Announce:
+//   Brokered             no share; 1 load-balanced cluster; flat price;
+//                        capacity estimated (per-CDN median).
+//   Multicluster(k)      k clusters + performance; flat price; est. capacity.
+//   DynamicPricing       1 cluster; true cluster price; est. capacity.
+//   DynamicMulticluster  k clusters; true prices; est. capacity.
+//   BestLookup           k clusters; true prices; TRUE capacity — but blind
+//                        to non-broker traffic, so overbooking persists.
+//   Marketplace (VDX)    share client data; k bids; true prices; capacity
+//                        net of the CDN's own background load.
+//   Omniscient           broker sees every cluster, true cost/score and
+//                        remaining capacity.
+// (Transactions is Marketplace with multi-round all-CDN approval; the paper
+// discards it as impractical — the market module implements the round logic.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "broker/optimizer.hpp"
+#include "sim/scenario.hpp"
+
+namespace vdx::sim {
+
+enum class Design : std::uint8_t {
+  kBrokered,
+  kMulticluster2,
+  kMulticluster100,
+  kDynamicPricing,
+  kDynamicMulticluster,
+  kBestLookup,
+  kMarketplace,
+  kOmniscient,
+};
+
+inline constexpr Design kAllDesigns[] = {
+    Design::kBrokered,       Design::kMulticluster2,  Design::kMulticluster100,
+    Design::kDynamicPricing, Design::kDynamicMulticluster,
+    Design::kBestLookup,     Design::kMarketplace,    Design::kOmniscient,
+};
+
+[[nodiscard]] std::string_view to_string(Design design) noexcept;
+
+/// Table 2 requirement flags.
+struct DesignTraits {
+  bool shares_clients = false;       // Share column
+  bool multi_cluster = false;        // Matching column
+  bool announces_cost = false;       // DCP requirement
+  bool announces_capacity = false;   // accurate capacities
+  bool cluster_level_optimization = false;  // CO
+  bool dynamic_cluster_pricing = false;     // DCP
+  int traffic_predictability = 0;           // 0 none, 1 weak, 2 strong
+};
+
+[[nodiscard]] DesignTraits traits_of(Design design) noexcept;
+
+struct RunConfig {
+  /// Objective weights (paper Fig. 9). The defaults balance the two terms'
+  /// magnitudes in our units (median score ~25, median client cost ~5 $),
+  /// mirroring the knee of the paper's Figure-17 trade-off curve.
+  broker::OptimizeWeights weights{1.0, 2.0};
+  /// Bids per (CDN, share) for multi-cluster designs; the Figure-18 knob.
+  std::size_t bid_count = 100;
+  /// Score tolerance of the multi-bid menus: bids only cover clusters within
+  /// this factor of the CDN's best score for the client (the paper's menus
+  /// are all "similar performance" alternatives — Table 1 uses 25%; we
+  /// default slightly wider to keep menus of ~4+ per CDN).
+  double menu_tolerance = 1.35;
+  /// Epoch salt for the broker's own QoE model (designs whose Announce has
+  /// no performance data). Real brokers re-measure continuously, so their
+  /// estimates fluctuate between decision rounds; the timeline simulator
+  /// varies this per epoch to reproduce today's re-decision churn.
+  std::uint64_t qoe_epoch = 0;
+  solver::SolveOptions solve;  // defaults to kAuto (MCF at trace scale)
+};
+
+/// One placement: `clients` clients of `group` served by `cluster` at
+/// `price` $/unit; `score` is the true path score for metric purposes.
+struct Placement {
+  std::size_t group = 0;  // index into scenario.broker_groups()
+  cdn::ClusterId cluster;
+  double clients = 0.0;
+  double price = 0.0;
+  double score = 0.0;
+};
+
+struct DesignOutcome {
+  Design design = Design::kBrokered;
+  std::vector<Placement> placements;
+  /// Total load per cluster (background + broker), Mbps, by ClusterId value.
+  std::vector<double> cluster_loads;
+  /// Background-only load per cluster, Mbps.
+  std::vector<double> background_loads;
+};
+
+/// Places the background (non-broker) traffic: every background group is
+/// split evenly across the base CDNs, and each CDN load-balances its slice
+/// internally. Deterministic.
+[[nodiscard]] std::vector<double> place_background(const Scenario& scenario);
+
+/// Same, over an explicit background population (timeline epochs use the
+/// background sessions active at the epoch midpoint).
+[[nodiscard]] std::vector<double> place_background_over(
+    const Scenario& scenario, std::span<const broker::ClientGroup> groups);
+
+/// Runs one design end to end (background placement + bid construction +
+/// broker optimization) and returns the placements and final loads.
+[[nodiscard]] DesignOutcome run_design(const Scenario& scenario, Design design,
+                                       const RunConfig& config = {});
+
+/// Same, over an explicit client population and background load vector
+/// (placement group indices refer to `groups`). Used by the timeline
+/// simulator, which re-runs the Decision Protocol per epoch over the
+/// then-active sessions.
+[[nodiscard]] DesignOutcome run_design_over(const Scenario& scenario, Design design,
+                                            const RunConfig& config,
+                                            std::span<const broker::ClientGroup> groups,
+                                            std::span<const double> background_loads);
+
+/// CDN-internal delivery-time load balancing: shifts clients from overloaded
+/// clusters onto same-CDN siblings (co-located first, then nearest) with
+/// headroom. Applied by run_design for single-cluster designs (where cluster
+/// choice stays with the CDN); exposed for tests.
+void rebalance_within_cdn(const Scenario& scenario, DesignOutcome& outcome);
+void rebalance_within_cdn_over(const Scenario& scenario, DesignOutcome& outcome,
+                               std::span<const broker::ClientGroup> groups);
+
+}  // namespace vdx::sim

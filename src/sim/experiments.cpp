@@ -1,0 +1,101 @@
+#include "sim/experiments.hpp"
+
+#include <numeric>
+
+namespace vdx::sim {
+
+std::vector<Fig3Row> fig3_country_costs(const Scenario& scenario) {
+  const auto& world = scenario.world();
+  const double average = world.demand_weighted_cost_factor();
+  std::vector<Fig3Row> rows;
+  rows.reserve(world.countries().size());
+  for (const geo::Country& country : world.countries()) {
+    rows.push_back(Fig3Row{country.name, country.bandwidth_cost_factor / average});
+  }
+  return rows;
+}
+
+std::vector<double> fig4_moved_series(const Scenario& scenario, double bin_s) {
+  return trace::moved_fraction_timeseries(scenario.broker_trace(), bin_s);
+}
+
+Fig5Result fig5_city_usage(const Scenario& scenario) {
+  Fig5Result result;
+  result.usage = trace::city_usage(scenario.broker_trace(), scenario.world());
+  for (std::size_t c = 0; c < trace::kTraceCdnCount; ++c) {
+    result.fits[c] = trace::usage_fit(result.usage, static_cast<trace::TraceCdn>(c));
+  }
+  return result;
+}
+
+std::vector<trace::CountryUsage> fig7_country_usage(const Scenario& scenario,
+                                                    std::size_t min_requests) {
+  return trace::country_usage(scenario.broker_trace(), scenario.world(), min_requests);
+}
+
+net::AlternativeStats table1_alternatives(const Scenario& scenario, double tolerance) {
+  // "The CDN data" comes from one major, highly distributed CDN — our CDN 1.
+  const cdn::Cdn& major = scenario.catalog().cdns().front();
+  std::vector<std::size_t> subset;
+  subset.reserve(major.clusters.size());
+  for (const cdn::ClusterId id : major.clusters) subset.push_back(id.value());
+  return scenario.mapping().alternative_stats(scenario.world(), subset, tolerance);
+}
+
+std::vector<Table3Row> table3_design_comparison(const Scenario& scenario,
+                                                const RunConfig& config) {
+  std::vector<Table3Row> rows;
+  for (const Design design : kAllDesigns) {
+    const DesignOutcome outcome = run_design(scenario, design, config);
+    rows.push_back(Table3Row{design, compute_metrics(scenario, outcome)});
+  }
+  return rows;
+}
+
+SettlementComparison settlement_comparison(const Scenario& scenario,
+                                           const RunConfig& config) {
+  const DesignOutcome brokered = run_design(scenario, Design::kBrokered, config);
+  const DesignOutcome vdx = run_design(scenario, Design::kMarketplace, config);
+  SettlementComparison out;
+  out.brokered_cdn = per_cdn_accounts(scenario, brokered);
+  out.vdx_cdn = per_cdn_accounts(scenario, vdx);
+  out.brokered_country = per_country_accounts(scenario, brokered);
+  out.vdx_country = per_country_accounts(scenario, vdx);
+  return out;
+}
+
+std::vector<Fig17Point> fig17_tradeoff(const Scenario& scenario,
+                                       std::span<const double> cost_weights,
+                                       std::span<const Design> designs) {
+  std::vector<Fig17Point> points;
+  points.reserve(cost_weights.size() * designs.size());
+  for (const Design design : designs) {
+    for (const double wc : cost_weights) {
+      RunConfig config;
+      config.weights.cost = wc;
+      const DesignOutcome outcome = run_design(scenario, design, config);
+      const DesignMetrics metrics = compute_metrics(scenario, outcome);
+      points.push_back(
+          Fig17Point{design, wc, metrics.median_cost, metrics.median_distance_miles});
+    }
+  }
+  return points;
+}
+
+std::vector<Fig18Point> fig18_bid_count(const Scenario& scenario,
+                                        std::span<const std::size_t> bid_counts,
+                                        double cost_weight) {
+  std::vector<Fig18Point> points;
+  points.reserve(bid_counts.size());
+  for (const std::size_t bids : bid_counts) {
+    RunConfig config;
+    config.bid_count = bids;
+    config.weights.cost = cost_weight;
+    const DesignOutcome outcome = run_design(scenario, Design::kMarketplace, config);
+    const DesignMetrics metrics = compute_metrics(scenario, outcome);
+    points.push_back(Fig18Point{bids, metrics.mean_cost, metrics.mean_score});
+  }
+  return points;
+}
+
+}  // namespace vdx::sim

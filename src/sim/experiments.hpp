@@ -1,0 +1,84 @@
+// Experiment drivers: one function per paper table/figure (DESIGN.md §4).
+// Bench binaries print these rows; integration tests assert their shapes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/mapping.hpp"
+#include "sim/metrics.hpp"
+#include "trace/stats.hpp"
+
+namespace vdx::sim {
+
+// ---- Figure 3: per-country cost relative to average. ----
+struct Fig3Row {
+  std::string country;
+  double cost_vs_average = 0.0;  // 1.0 == average
+};
+[[nodiscard]] std::vector<Fig3Row> fig3_country_costs(const Scenario& scenario);
+
+// ---- Figure 4: moved-session time series (via trace::stats). ----
+[[nodiscard]] std::vector<double> fig4_moved_series(const Scenario& scenario,
+                                                    double bin_s = 5.0);
+
+// ---- Figure 5: per-city CDN usage + best-fit lines. ----
+struct Fig5Result {
+  std::vector<trace::CityUsage> usage;
+  std::array<std::optional<core::LinearFit>, trace::kTraceCdnCount> fits;
+};
+[[nodiscard]] Fig5Result fig5_city_usage(const Scenario& scenario);
+
+// ---- Figure 7: per-country CDN usage. ----
+[[nodiscard]] std::vector<trace::CountryUsage> fig7_country_usage(
+    const Scenario& scenario, std::size_t min_requests = 100);
+
+// ---- Table 1: alternative clusters with similar scores (the major CDN). ----
+[[nodiscard]] net::AlternativeStats table1_alternatives(const Scenario& scenario,
+                                                        double tolerance = 0.25);
+
+// ---- Table 3: design comparison. ----
+struct Table3Row {
+  Design design;
+  DesignMetrics metrics;
+};
+[[nodiscard]] std::vector<Table3Row> table3_design_comparison(
+    const Scenario& scenario, const RunConfig& config = {});
+
+// ---- Figures 10-12 (per CDN) and 13-15 (per country):
+//      Brokered vs Marketplace settlement. ----
+struct SettlementComparison {
+  std::vector<CdnAccount> brokered_cdn;
+  std::vector<CdnAccount> vdx_cdn;
+  std::vector<CountryAccount> brokered_country;
+  std::vector<CountryAccount> vdx_country;
+};
+[[nodiscard]] SettlementComparison settlement_comparison(const Scenario& scenario,
+                                                         const RunConfig& config = {});
+
+// ---- Figure 17: cost vs distance as the cost weight sweeps. ----
+struct Fig17Point {
+  Design design;
+  double cost_weight = 1.0;
+  double median_cost = 0.0;
+  double median_distance_miles = 0.0;
+};
+[[nodiscard]] std::vector<Fig17Point> fig17_tradeoff(
+    const Scenario& scenario, std::span<const double> cost_weights,
+    std::span<const Design> designs);
+
+// ---- Figure 18: bid count vs average cost and score (Marketplace). ----
+// The paper's figure uses a performance-leaning broker (additional bids buy
+// performance at higher cost); `cost_weight` defaults accordingly.
+struct Fig18Point {
+  std::size_t bid_count = 0;
+  double mean_cost = 0.0;
+  double mean_score = 0.0;
+};
+[[nodiscard]] std::vector<Fig18Point> fig18_bid_count(
+    const Scenario& scenario, std::span<const std::size_t> bid_counts,
+    double cost_weight = 0.3);
+
+}  // namespace vdx::sim

@@ -1,0 +1,104 @@
+#include "sim/hybrid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cdn/matching.hpp"
+
+namespace vdx::sim {
+
+HybridOutcome run_hybrid_pricing(const Scenario& scenario, const RunConfig& config) {
+  const auto& catalog = scenario.catalog();
+  const auto& mapping = scenario.mapping();
+  const auto groups = scenario.broker_groups();
+
+  HybridOutcome result;
+  result.outcome.design = Design::kMarketplace;
+  result.outcome.background_loads = place_background(scenario);
+
+  cdn::MatchingConfig menu;
+  menu.max_candidates = config.bid_count;
+  menu.score_tolerance = config.menu_tolerance;
+
+  std::vector<broker::BidView> bids;
+  std::vector<std::uint8_t> is_flat;  // parallel to bids
+
+  for (const broker::ClientGroup& group : groups) {
+    for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
+      if (cdn_entry.clusters.empty()) continue;
+      const auto candidates =
+          cdn::candidates_for(catalog, mapping, cdn_entry.id, group.city);
+      if (candidates.empty()) continue;
+
+      // (a) High-but-flat: the traditional single-cluster offer at the
+      // contract price — the CDN serves from its best-scoring candidate.
+      const auto best = std::min_element(
+          candidates.begin(), candidates.end(),
+          [](const cdn::Candidate& a, const cdn::Candidate& b) {
+            return a.score < b.score;
+          });
+      {
+        broker::BidView bid;
+        bid.share = group.id;
+        bid.cdn = cdn_entry.id;
+        bid.cluster = best->cluster;
+        bid.score = best->score;
+        bid.price = cdn_entry.contract_price;
+        bid.capacity =
+            scenario.provisioning().median_capacity[cdn_entry.id.value()];
+        bids.push_back(bid);
+        is_flat.push_back(1);
+      }
+
+      // (b) Low-but-variable: the marketplace menu at per-cluster pricing,
+      // capacity net of the CDN's background load.
+      for (const cdn::Candidate& candidate : cdn::candidates_for(
+               catalog, mapping, cdn_entry.id, group.city, menu)) {
+        broker::BidView bid;
+        bid.share = group.id;
+        bid.cdn = cdn_entry.id;
+        bid.cluster = candidate.cluster;
+        bid.score = candidate.score;
+        bid.price = candidate.unit_cost * cdn_entry.markup;
+        bid.capacity = std::max(
+            0.0, candidate.capacity -
+                     result.outcome.background_loads[candidate.cluster.value()]);
+        if (bid.capacity <= 0.0) continue;
+        bids.push_back(bid);
+        is_flat.push_back(0);
+      }
+    }
+  }
+
+  broker::OptimizerConfig optimizer;
+  optimizer.weights = config.weights;
+  optimizer.solve = config.solve;
+  const broker::OptimizeResult solved = broker::optimize(groups, bids, optimizer);
+
+  std::vector<std::size_t> group_of_share(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of_share[groups[g].id.value()] = g;
+  }
+
+  result.outcome.cluster_loads = result.outcome.background_loads;
+  for (const broker::Allocation& allocation : solved.allocations) {
+    const broker::BidView& bid = bids[allocation.bid_index];
+    Placement placement;
+    placement.group = group_of_share[bid.share.value()];
+    placement.cluster = bid.cluster;
+    placement.clients = allocation.clients;
+    placement.price = bid.price;
+    placement.score =
+        mapping.score(groups[placement.group].city, bid.cluster.value());
+    result.outcome.placements.push_back(placement);
+    result.outcome.cluster_loads[bid.cluster.value()] +=
+        allocation.clients * groups[placement.group].bitrate_mbps;
+    (is_flat[allocation.bid_index] ? result.flat_clients : result.dynamic_clients) +=
+        allocation.clients;
+  }
+
+  result.metrics = compute_metrics(scenario, result.outcome);
+  return result;
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,32 @@
+// Hybrid pricing (paper §8, "Adoption incentives"):
+//
+// "More nuanced CDN pricing schemes (e.g., low-but-variable pricing combined
+//  with high-but-flat pricing, similar to Amazon EC2) could offer CPs more
+//  control in meeting their goals, while retaining similarity to today's
+//  flat-rate pricing."
+//
+// Every CDN makes both offers simultaneously: its traditional flat-rate
+// single-cluster answer (high-but-flat, contract price) AND its marketplace
+// menu (low-but-variable, per-cluster cost pricing with committed capacity).
+// The broker optimizes over the union; we report how the traffic splits —
+// the adoption question: does anything stay on flat contracts once dynamic
+// menus exist, and what does the blend cost?
+#pragma once
+
+#include "sim/designs.hpp"
+#include "sim/metrics.hpp"
+
+namespace vdx::sim {
+
+struct HybridOutcome {
+  DesignOutcome outcome;      // combined placements/loads
+  DesignMetrics metrics;
+  double flat_clients = 0.0;     // clients served under flat-rate offers
+  double dynamic_clients = 0.0;  // clients served under marketplace offers
+};
+
+/// Runs the hybrid-pricing marketplace over the scenario's broker clients.
+[[nodiscard]] HybridOutcome run_hybrid_pricing(const Scenario& scenario,
+                                               const RunConfig& config = {});
+
+}  // namespace vdx::sim

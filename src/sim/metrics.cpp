@@ -1,0 +1,175 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stats.hpp"
+
+namespace vdx::sim {
+
+double weighted_median(std::vector<std::pair<double, double>> value_weight) {
+  return weighted_quantile(std::move(value_weight), 0.5);
+}
+
+double weighted_quantile(std::vector<std::pair<double, double>> value_weight,
+                         double q) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument{"weighted_quantile: q outside [0,1]"};
+  }
+  double total = 0.0;
+  for (const auto& [value, weight] : value_weight) total += weight;
+  if (value_weight.empty() || total <= 0.0) return 0.0;
+  std::sort(value_weight.begin(), value_weight.end());
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : value_weight) {
+    cumulative += weight;
+    if (cumulative >= total * q) return value;
+  }
+  return value_weight.back().first;
+}
+
+DesignMetrics compute_metrics(const Scenario& scenario, const DesignOutcome& outcome) {
+  return compute_metrics_over(scenario, outcome, scenario.broker_groups());
+}
+
+DesignMetrics compute_metrics_over(const Scenario& scenario,
+                                   const DesignOutcome& outcome,
+                                   std::span<const broker::ClientGroup> groups) {
+  DesignMetrics m;
+  const auto& catalog = scenario.catalog();
+
+  std::vector<std::pair<double, double>> costs;
+  std::vector<std::pair<double, double>> scores;
+  std::vector<std::pair<double, double>> distances;
+  costs.reserve(outcome.placements.size());
+  scores.reserve(outcome.placements.size());
+  distances.reserve(outcome.placements.size());
+
+  double total_clients = 0.0;
+  double congested_clients = 0.0;
+  double cost_sum = 0.0;
+  double score_sum = 0.0;
+
+  for (const Placement& p : outcome.placements) {
+    const broker::ClientGroup& group = groups[p.group];
+    // The paper's Cost metric is the *delivery* cost (bandwidth + colo) of
+    // serving the client (§8 quantifies it as infrastructure savings), not
+    // the contract price the CP pays — prices drive the optimizer and the
+    // settlement accounting instead.
+    const double client_cost =
+        catalog.cluster(p.cluster).unit_cost() * group.bitrate_mbps;
+    costs.emplace_back(client_cost, p.clients);
+    scores.emplace_back(p.score, p.clients);
+    distances.emplace_back(scenario.distance_miles(group.city, p.cluster), p.clients);
+    total_clients += p.clients;
+    cost_sum += client_cost * p.clients;
+    score_sum += p.score * p.clients;
+    m.broker_traffic_mbps += p.clients * group.bitrate_mbps;
+
+    const cdn::Cluster& cluster = catalog.cluster(p.cluster);
+    // "Greater than 100% load": a cluster filled to exactly its capacity is
+    // full, not congested — allow solver-quantization slack (0.1%).
+    if (cluster.capacity > 0.0 &&
+        outcome.cluster_loads[p.cluster.value()] > cluster.capacity * 1.001 + 1e-6) {
+      congested_clients += p.clients;
+    }
+  }
+
+  m.median_cost = weighted_median(std::move(costs));
+  m.median_score = weighted_median(std::move(scores));
+  m.median_distance_miles = weighted_median(std::move(distances));
+  if (total_clients > 0.0) {
+    m.congested_fraction = congested_clients / total_clients;
+    m.mean_cost = cost_sum / total_clients;
+    m.mean_score = score_sum / total_clients;
+  }
+
+  std::vector<double> loads;
+  for (const cdn::Cluster& cluster : catalog.clusters()) {
+    const double load = outcome.cluster_loads[cluster.id.value()];
+    if (load > 0.0 && cluster.capacity > 0.0) loads.push_back(load / cluster.capacity);
+  }
+  m.median_load = core::median(loads).value_or(0.0);
+  return m;
+}
+
+DistributionSummary design_distributions(const Scenario& scenario,
+                                          const DesignOutcome& outcome) {
+  const auto groups = scenario.broker_groups();
+  const auto& catalog = scenario.catalog();
+  std::vector<std::pair<double, double>> costs;
+  std::vector<std::pair<double, double>> scores;
+  std::vector<std::pair<double, double>> distances;
+  for (const Placement& p : outcome.placements) {
+    const broker::ClientGroup& group = groups[p.group];
+    costs.emplace_back(catalog.cluster(p.cluster).unit_cost() * group.bitrate_mbps,
+                       p.clients);
+    scores.emplace_back(p.score, p.clients);
+    distances.emplace_back(scenario.distance_miles(group.city, p.cluster), p.clients);
+  }
+  DistributionSummary summary;
+  for (int decile = 1; decile <= 9; ++decile) {
+    const double q = static_cast<double>(decile) / 10.0;
+    summary.cost_deciles.push_back(weighted_quantile(costs, q));
+    summary.score_deciles.push_back(weighted_quantile(scores, q));
+    summary.distance_deciles.push_back(weighted_quantile(distances, q));
+  }
+  return summary;
+}
+
+namespace {
+
+template <typename Account>
+void finalize(Account& account) {
+  account.profit = account.revenue - account.cost;
+  account.price_to_cost = account.cost.micros() != 0
+                              ? account.revenue.dollars() / account.cost.dollars()
+                              : 1.0;
+}
+
+}  // namespace
+
+std::vector<CdnAccount> per_cdn_accounts(const Scenario& scenario,
+                                         const DesignOutcome& outcome) {
+  const auto& catalog = scenario.catalog();
+  const auto groups = scenario.broker_groups();
+  std::vector<CdnAccount> accounts(catalog.cdns().size());
+  for (std::size_t i = 0; i < accounts.size(); ++i) {
+    accounts[i].cdn = cdn::CdnId{static_cast<std::uint32_t>(i)};
+  }
+  for (const Placement& p : outcome.placements) {
+    const cdn::Cluster& cluster = catalog.cluster(p.cluster);
+    CdnAccount& account = accounts[cluster.cdn.value()];
+    const double mbps = p.clients * groups[p.group].bitrate_mbps;
+    account.traffic_mbps += mbps;
+    account.revenue += core::Money::from_dollars(mbps * p.price);
+    account.cost += core::Money::from_dollars(mbps * cluster.unit_cost());
+  }
+  for (auto& account : accounts) finalize(account);
+  return accounts;
+}
+
+std::vector<CountryAccount> per_country_accounts(const Scenario& scenario,
+                                                 const DesignOutcome& outcome) {
+  const auto& catalog = scenario.catalog();
+  const auto& world = scenario.world();
+  const auto groups = scenario.broker_groups();
+  std::vector<CountryAccount> accounts(world.countries().size());
+  for (std::size_t i = 0; i < accounts.size(); ++i) {
+    accounts[i].country = geo::CountryId{static_cast<std::uint32_t>(i)};
+  }
+  for (const Placement& p : outcome.placements) {
+    const cdn::Cluster& cluster = catalog.cluster(p.cluster);
+    CountryAccount& account =
+        accounts[world.country_of(cluster.city).id.value()];
+    const double mbps = p.clients * groups[p.group].bitrate_mbps;
+    account.traffic_mbps += mbps;
+    account.revenue += core::Money::from_dollars(mbps * p.price);
+    account.cost += core::Money::from_dollars(mbps * cluster.unit_cost());
+  }
+  for (auto& account : accounts) finalize(account);
+  return accounts;
+}
+
+}  // namespace vdx::sim

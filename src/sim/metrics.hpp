@@ -1,0 +1,85 @@
+// Evaluation metrics (paper §5.1) and settlement accounting (§7.1).
+//
+//   Cost, Score, Distance — medians over all broker clients (lower better).
+//   Load      — median cluster load over clusters that saw any traffic.
+//   Congested — % of broker clients sent to clusters above 100% load.
+// Settlement: revenue = traffic x announced price; internal cost = traffic x
+// cluster unit cost; profit = revenue - cost (exact, in Money).
+#pragma once
+
+#include <vector>
+
+#include "core/money.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::sim {
+
+struct DesignMetrics {
+  double median_cost = 0.0;      // $/client ( price x bitrate )
+  double median_score = 0.0;
+  double median_distance_miles = 0.0;
+  double median_load = 0.0;      // fraction of capacity
+  double congested_fraction = 0.0;
+  double mean_cost = 0.0;   // Figure 18 reports averages
+  double mean_score = 0.0;
+  double broker_traffic_mbps = 0.0;
+};
+
+[[nodiscard]] DesignMetrics compute_metrics(const Scenario& scenario,
+                                            const DesignOutcome& outcome);
+
+/// Same, when the outcome was produced over an explicit client population
+/// (run_design_over): placement group indices refer to `groups`.
+[[nodiscard]] DesignMetrics compute_metrics_over(
+    const Scenario& scenario, const DesignOutcome& outcome,
+    std::span<const broker::ClientGroup> groups);
+
+/// Per-CDN settlement over the broker-controlled traffic (Figures 10-12).
+struct CdnAccount {
+  cdn::CdnId cdn;
+  double traffic_mbps = 0.0;
+  core::Money revenue;
+  core::Money cost;
+  core::Money profit;
+  /// revenue / cost; 1.0 when no traffic.
+  double price_to_cost = 1.0;
+};
+
+[[nodiscard]] std::vector<CdnAccount> per_cdn_accounts(const Scenario& scenario,
+                                                       const DesignOutcome& outcome);
+
+/// Per-country settlement, grouped by the *serving cluster's* country
+/// (Figures 13-15: where delivery infrastructure earns or loses money).
+struct CountryAccount {
+  geo::CountryId country;
+  double traffic_mbps = 0.0;
+  core::Money revenue;
+  core::Money cost;
+  core::Money profit;
+  double price_to_cost = 1.0;
+};
+
+[[nodiscard]] std::vector<CountryAccount> per_country_accounts(
+    const Scenario& scenario, const DesignOutcome& outcome);
+
+/// Weighted median helper (exposed for tests): median of `values` where
+/// item i carries `weights[i]` mass. Returns 0 for empty/zero-mass input.
+[[nodiscard]] double weighted_median(std::vector<std::pair<double, double>> value_weight);
+
+/// Weighted q-quantile (q in [0,1]) of (value, weight) pairs; 0 on empty.
+[[nodiscard]] double weighted_quantile(std::vector<std::pair<double, double>> value_weight,
+                                       double q);
+
+/// Client-weighted CDF summary of a design outcome: the paper reports "the
+/// same trends in the CDFs of cost, score, and distance (not presented)" —
+/// we present them as deciles (10th..90th percentile).
+struct DistributionSummary {
+  std::vector<double> cost_deciles;      // size 9
+  std::vector<double> score_deciles;     // size 9
+  std::vector<double> distance_deciles;  // size 9
+};
+
+[[nodiscard]] DistributionSummary design_distributions(const Scenario& scenario,
+                                                       const DesignOutcome& outcome);
+
+}  // namespace vdx::sim

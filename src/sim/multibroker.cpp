@@ -1,0 +1,123 @@
+#include "sim/multibroker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdn/matching.hpp"
+
+namespace vdx::sim {
+
+MultiBrokerResult run_multibroker(const Scenario& scenario,
+                                  const MultiBrokerConfig& config) {
+  if (config.broker_count == 0) {
+    throw std::invalid_argument{"MultiBrokerConfig: broker_count must be > 0"};
+  }
+  if (config.design != Design::kBestLookup && config.design != Design::kMarketplace) {
+    throw std::invalid_argument{
+        "run_multibroker: only BestLookup and Marketplace are meaningful"};
+  }
+  const bool marketplace = config.design == Design::kMarketplace;
+  const auto& catalog = scenario.catalog();
+  const auto& mapping = scenario.mapping();
+
+  MultiBrokerResult result;
+  result.broker_count = config.broker_count;
+  result.design = config.design;
+  result.broker_clients.assign(config.broker_count, 0.0);
+
+  // Partition the trace's sessions across brokers by session id hash.
+  std::vector<std::vector<trace::Session>> broker_sessions(config.broker_count);
+  for (const trace::Session& s : scenario.broker_trace().sessions()) {
+    std::uint64_t h = s.id.value();
+    broker_sessions[core::split_mix64(h) % config.broker_count].push_back(s);
+  }
+
+  const auto background = place_background(scenario);
+
+  DesignOutcome combined;
+  combined.design = config.design;
+  combined.background_loads = background;
+  combined.cluster_loads = background;
+
+  cdn::MatchingConfig menu;
+  menu.max_candidates = config.run.bid_count;
+  menu.score_tolerance = config.run.menu_tolerance;
+
+  // Capacity each CDN has already committed to earlier brokers (Marketplace
+  // only: Share + Accept give the CDN cross-broker visibility).
+  std::vector<double> committed(catalog.clusters().size(), 0.0);
+
+  std::vector<broker::ClientGroup> all_groups;
+
+  for (std::size_t b = 0; b < config.broker_count; ++b) {
+    const auto groups = broker::group_sessions(broker_sessions[b]);
+    if (groups.empty()) continue;
+    result.broker_clients[b] = broker::total_clients(groups);
+
+    std::vector<broker::BidView> bids;
+    for (const broker::ClientGroup& group : groups) {
+      for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
+        if (cdn_entry.clusters.empty()) continue;
+        for (const cdn::Candidate& candidate : cdn::candidates_for(
+                 catalog, mapping, cdn_entry.id, group.city, menu)) {
+          broker::BidView bid;
+          bid.share = group.id;
+          bid.cdn = cdn_entry.id;
+          bid.cluster = candidate.cluster;
+          bid.score = candidate.score;
+          bid.price = candidate.unit_cost * cdn_entry.markup;
+          if (marketplace) {
+            bid.capacity = std::max(
+                0.0, candidate.capacity - background[candidate.cluster.value()] -
+                         committed[candidate.cluster.value()]);
+          } else {
+            // BestLookup: true capacity, blind to background AND to what the
+            // other brokers are about to do with the very same number.
+            bid.capacity = candidate.capacity;
+          }
+          if (bid.capacity <= 0.0) continue;
+          bids.push_back(bid);
+        }
+      }
+    }
+
+    broker::OptimizerConfig optimizer;
+    optimizer.weights = config.run.weights;
+    optimizer.solve = config.run.solve;
+    const broker::OptimizeResult solved = broker::optimize(groups, bids, optimizer);
+
+    const std::size_t group_offset = all_groups.size();
+    std::vector<std::size_t> group_of_share(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      group_of_share[groups[g].id.value()] = g;
+    }
+    all_groups.insert(all_groups.end(), groups.begin(), groups.end());
+
+    for (const broker::Allocation& allocation : solved.allocations) {
+      const broker::BidView& bid = bids[allocation.bid_index];
+      const std::size_t local_group = group_of_share[bid.share.value()];
+      Placement placement;
+      placement.group = group_offset + local_group;
+      placement.cluster = bid.cluster;
+      placement.clients = allocation.clients;
+      placement.price = bid.price;
+      placement.score = mapping.score(groups[local_group].city, bid.cluster.value());
+      const double mbps = allocation.clients * groups[local_group].bitrate_mbps;
+      combined.cluster_loads[bid.cluster.value()] += mbps;
+      committed[bid.cluster.value()] += mbps;
+      combined.placements.push_back(placement);
+    }
+  }
+
+  result.metrics = compute_metrics_over(scenario, combined, all_groups);
+  for (const cdn::Cluster& cluster : catalog.clusters()) {
+    // 0.5% slack: solver demand-scale quantization can brush the boundary.
+    if (cluster.capacity > 0.0 &&
+        combined.cluster_loads[cluster.id.value()] > cluster.capacity * 1.005 + 1e-6) {
+      ++result.overbooked_clusters;
+    }
+  }
+  return result;
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,45 @@
+// Multi-broker overbooking (paper §4.2, BestLookup's fatal flaw):
+//
+// "If there are multiple brokers or significant non-broker traffic,
+//  'overbooking' of traffic sources may still overwhelm capacity (e.g., a
+//  cluster with capacity 10 units may receive 9 units of traffic each from
+//  two brokers)."
+//
+// The trace's sessions are split across B independent brokers. Under
+// BestLookup each broker sees the same full cluster capacities and fills
+// them independently — combined load can approach B x capacity. Under the
+// Marketplace, the Share step tells CDNs exactly which clients each broker
+// is auctioning, so CDNs commit disjoint slices of their remaining capacity
+// to each broker and overbooking cannot happen.
+#pragma once
+
+#include "sim/designs.hpp"
+#include "sim/metrics.hpp"
+
+namespace vdx::sim {
+
+struct MultiBrokerConfig {
+  std::size_t broker_count = 2;
+  /// Only BestLookup and Marketplace are meaningful here.
+  Design design = Design::kBestLookup;
+  RunConfig run;
+};
+
+struct MultiBrokerResult {
+  std::size_t broker_count = 0;
+  Design design = Design::kBestLookup;
+  /// Combined over all brokers' placements.
+  DesignMetrics metrics;
+  /// Clients per broker (diagnostics).
+  std::vector<double> broker_clients;
+  /// Clusters whose combined load exceeds capacity.
+  std::size_t overbooked_clusters = 0;
+};
+
+/// Splits the broker trace across `broker_count` independent brokers and
+/// runs one decision round each. Throws for designs other than kBestLookup
+/// and kMarketplace.
+[[nodiscard]] MultiBrokerResult run_multibroker(const Scenario& scenario,
+                                                const MultiBrokerConfig& config = {});
+
+}  // namespace vdx::sim

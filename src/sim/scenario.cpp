@@ -1,0 +1,66 @@
+#include "sim/scenario.hpp"
+
+namespace vdx::sim {
+
+Scenario Scenario::build(const ScenarioConfig& config) {
+  Scenario s;
+  s.config_ = config;
+
+  core::Rng root{config.seed};
+  core::Rng world_rng = root.fork("world");
+  core::Rng catalog_rng = root.fork("catalog");
+  core::Rng mapping_rng = root.fork("mapping");
+  core::Rng trace_rng = root.fork("trace");
+  core::Rng background_rng = root.fork("background");
+  core::Rng city_cdn_rng = root.fork("city-cdns");
+
+  geo::WorldConfig world_config = config.world;
+  world_config.seed = world_rng();
+  s.world_ = std::make_unique<geo::World>(geo::World::generate(world_config));
+
+  s.catalog_ = std::make_unique<cdn::CdnCatalog>(
+      cdn::CdnCatalog::generate(*s.world_, config.catalog, catalog_rng));
+  if (config.city_cdn_count > 0) {
+    s.catalog_->add_city_cdns(*s.world_, config.city_cdn_count, city_cdn_rng);
+  }
+
+  s.path_model_ = std::make_unique<net::PathModel>(config.path, root.fork("path")());
+  s.mapping_ = std::make_unique<net::MappingTable>(
+      net::MappingTable::measure(*s.world_, s.catalog_->vantages(*s.world_),
+                                 *s.path_model_, config.mapping, mapping_rng));
+
+  s.broker_trace_ = std::make_unique<trace::BrokerTrace>(
+      trace::generate_trace(*s.world_, config.trace, trace_rng));
+  s.background_trace_ = std::make_unique<trace::BrokerTrace>(trace::generate_background(
+      *s.world_, config.trace, config.background_multiplier, background_rng));
+
+  s.broker_groups_ = broker::group_sessions(s.broker_trace_->sessions(), config.grouping);
+  s.background_groups_ =
+      broker::group_sessions(s.background_trace_->sessions(), config.grouping);
+
+  // Provision against the broker workload (§5.1: "all clients are sent to
+  // each CDN individually and clusters are assigned 2x received traffic as
+  // their capacity" — the clients are the broker trace's). Background
+  // traffic arrives on top of this, which is what makes overbooking
+  // possible for capacity-blind designs (Table 3's Congested column).
+  s.provisioning_ =
+      cdn::provision(*s.catalog_, *s.world_, *s.mapping_, to_demand(s.broker_groups_));
+
+  return s;
+}
+
+double Scenario::distance_miles(geo::CityId city, cdn::ClusterId cluster) const {
+  return geo::haversine_miles(world_->city(city).location,
+                              world_->city(catalog_->cluster(cluster).city).location);
+}
+
+std::vector<cdn::DemandPoint> to_demand(std::span<const broker::ClientGroup> groups) {
+  std::vector<cdn::DemandPoint> out;
+  out.reserve(groups.size());
+  for (const broker::ClientGroup& g : groups) {
+    out.push_back(cdn::DemandPoint{g.city, g.bitrate_mbps, g.client_count});
+  }
+  return out;
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,87 @@
+// Scenario assembly: one coherent simulated universe.
+//
+// Mirrors the paper's simulation setup (§5.1): a world, 14 CDNs with
+// provisioned capacities and contract prices, an internet mapping table,
+// the broker trace (33.4K sessions) plus 3x background traffic, and the
+// broker's client groups. Everything is derived deterministically from one
+// seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "broker/grouping.hpp"
+#include "cdn/catalog.hpp"
+#include "cdn/provisioning.hpp"
+#include "geo/world.hpp"
+#include "net/mapping.hpp"
+#include "net/performance.hpp"
+#include "trace/generator.hpp"
+
+namespace vdx::sim {
+
+struct ScenarioConfig {
+  geo::WorldConfig world;
+  cdn::CatalogConfig catalog;
+  trace::TraceConfig trace;
+  net::PathModelConfig path;
+  net::MappingConfig mapping;
+  broker::GroupingConfig grouping;
+  /// Non-broker traffic volume relative to broker traffic (paper: 3x).
+  double background_multiplier = 3.0;
+  /// §7.2 proliferation scenario: number of single-cluster city CDNs to
+  /// append after base provisioning (0 = off).
+  std::size_t city_cdn_count = 0;
+  std::uint64_t seed = 2017;
+};
+
+class Scenario {
+ public:
+  [[nodiscard]] static Scenario build(const ScenarioConfig& config = {});
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const geo::World& world() const noexcept { return *world_; }
+  [[nodiscard]] const cdn::CdnCatalog& catalog() const noexcept { return *catalog_; }
+  [[nodiscard]] cdn::CdnCatalog& catalog_mutable() noexcept { return *catalog_; }
+  [[nodiscard]] const net::PathModel& path_model() const noexcept { return *path_model_; }
+  [[nodiscard]] const net::MappingTable& mapping() const noexcept { return *mapping_; }
+  [[nodiscard]] const trace::BrokerTrace& broker_trace() const noexcept {
+    return *broker_trace_;
+  }
+  [[nodiscard]] const trace::BrokerTrace& background_trace() const noexcept {
+    return *background_trace_;
+  }
+  [[nodiscard]] std::span<const broker::ClientGroup> broker_groups() const noexcept {
+    return broker_groups_;
+  }
+  [[nodiscard]] std::span<const broker::ClientGroup> background_groups() const noexcept {
+    return background_groups_;
+  }
+  [[nodiscard]] const cdn::ProvisioningReport& provisioning() const noexcept {
+    return provisioning_;
+  }
+
+  /// Great-circle miles between a client city and a cluster's city (the
+  /// paper's data-path Distance metric).
+  [[nodiscard]] double distance_miles(geo::CityId city, cdn::ClusterId cluster) const;
+
+ private:
+  Scenario() = default;
+
+  ScenarioConfig config_;
+  std::unique_ptr<geo::World> world_;
+  std::unique_ptr<cdn::CdnCatalog> catalog_;
+  std::unique_ptr<net::PathModel> path_model_;
+  std::unique_ptr<net::MappingTable> mapping_;
+  std::unique_ptr<trace::BrokerTrace> broker_trace_;
+  std::unique_ptr<trace::BrokerTrace> background_trace_;
+  std::vector<broker::ClientGroup> broker_groups_;
+  std::vector<broker::ClientGroup> background_groups_;
+  cdn::ProvisioningReport provisioning_;
+};
+
+/// Demand points (city, bitrate, count) for a set of client groups.
+[[nodiscard]] std::vector<cdn::DemandPoint> to_demand(
+    std::span<const broker::ClientGroup> groups);
+
+}  // namespace vdx::sim

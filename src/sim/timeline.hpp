@@ -1,0 +1,52 @@
+// Time-dynamics simulation: re-running the Decision Protocol periodically
+// over the trace hour.
+//
+// The snapshot evaluation freezes one protocol round; this module plays the
+// hour back in epochs (the paper: decisions re-run "every few minutes",
+// §4.1) with the then-active sessions, and measures *assignment churn* —
+// the fraction of sessions surviving from one epoch to the next whose
+// serving CDN changed. Under today's Brokered interface the broker's QoE
+// estimates fluctuate between rounds (it keeps re-measuring), so decisions
+// keep flapping — the Figure-4 phenomenon. Under VDX the broker optimizes
+// over announced (stable) cluster data, so assignments only move when
+// demand actually moves (§6.2: "traffic unpredictability is greatly reduced
+// in VDX as CDNs are explicitly involved before brokers move any traffic").
+#pragma once
+
+#include <vector>
+
+#include "sim/designs.hpp"
+#include "sim/metrics.hpp"
+
+namespace vdx::sim {
+
+struct TimelineConfig {
+  Design design = Design::kMarketplace;
+  RunConfig run;
+  /// Decision Protocol period (paper: every few minutes).
+  double epoch_s = 300.0;
+};
+
+struct EpochReport {
+  std::size_t epoch = 0;
+  double time_s = 0.0;
+  std::size_t active_sessions = 0;
+  /// Sessions active in both this and the previous epoch whose serving CDN
+  /// changed (0 for the first epoch).
+  double cdn_switch_fraction = 0.0;
+  /// Same, at cluster granularity.
+  double cluster_switch_fraction = 0.0;
+  DesignMetrics metrics;
+};
+
+struct TimelineResult {
+  std::vector<EpochReport> epochs;
+  /// Time-weighted mean CDN-switch fraction over epochs 1..n.
+  double mean_cdn_switch_fraction = 0.0;
+};
+
+/// Plays the scenario's broker trace through repeated decision rounds.
+[[nodiscard]] TimelineResult run_timeline(const Scenario& scenario,
+                                          const TimelineConfig& config = {});
+
+}  // namespace vdx::sim

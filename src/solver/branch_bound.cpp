@@ -1,0 +1,181 @@
+#include "solver/branch_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/greedy.hpp"
+#include "solver/lp_bridge.hpp"
+#include "solver/simplex.hpp"
+
+namespace vdx::solver {
+
+LpProblem build_assignment_lp(const AssignmentProblem& problem, double overflow_penalty) {
+  const std::size_t n = problem.options.size();
+  LpProblem lp;
+  lp.variable_count = n + problem.resource_count();
+  lp.objective.assign(lp.variable_count, 0.0);
+  for (std::size_t i = 0; i < n; ++i) lp.objective[i] = problem.options[i].unit_cost;
+  for (std::size_t r = 0; r < problem.resource_count(); ++r) {
+    lp.objective[n + r] = overflow_penalty;
+  }
+
+  // Group equality rows.
+  std::vector<LpConstraint> group_rows(problem.group_count());
+  for (std::size_t g = 0; g < problem.group_count(); ++g) {
+    group_rows[g].relation = LpConstraint::Relation::kEqual;
+    group_rows[g].rhs = problem.group_counts[g];
+  }
+  // Capacity rows: sum(demand * x) - overflow_r <= cap_r.
+  std::vector<LpConstraint> capacity_rows(problem.resource_count());
+  for (std::size_t r = 0; r < problem.resource_count(); ++r) {
+    capacity_rows[r].relation = LpConstraint::Relation::kLessEqual;
+    capacity_rows[r].rhs = problem.capacities[r];
+    capacity_rows[r].terms.emplace_back(static_cast<std::uint32_t>(n + r), -1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Option& o = problem.options[i];
+    group_rows[o.group].terms.emplace_back(static_cast<std::uint32_t>(i), 1.0);
+    if (o.resource != kNoResource) {
+      capacity_rows[o.resource].terms.emplace_back(static_cast<std::uint32_t>(i),
+                                                   o.unit_demand);
+    }
+  }
+  lp.constraints.reserve(group_rows.size() + capacity_rows.size());
+  for (auto& row : group_rows) lp.constraints.push_back(std::move(row));
+  for (auto& row : capacity_rows) lp.constraints.push_back(std::move(row));
+  return lp;
+}
+
+Assignment decode_assignment_lp(const AssignmentProblem& problem, const LpSolution& lp) {
+  std::vector<double> amounts(problem.options.size(), 0.0);
+  for (std::size_t i = 0; i < amounts.size() && i < lp.x.size(); ++i) {
+    amounts[i] = std::max(0.0, lp.x[i]);
+  }
+  return evaluate(problem, std::move(amounts));
+}
+
+namespace {
+
+struct Bound {
+  std::uint32_t variable = 0;
+  double limit = 0.0;
+  bool is_upper = true;  // x <= limit, else x >= limit
+};
+
+struct Node {
+  std::vector<Bound> bounds;
+  double parent_bound = -std::numeric_limits<double>::infinity();
+};
+
+/// Index of the most fractional option amount, or npos if integral.
+std::size_t most_fractional(const std::vector<double>& x, std::size_t option_count) {
+  std::size_t best = SIZE_MAX;
+  double best_score = 1e-6;  // integrality tolerance
+  for (std::size_t i = 0; i < option_count && i < x.size(); ++i) {
+    const double frac = x[i] - std::floor(x[i]);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BranchBoundResult solve_branch_bound(const AssignmentProblem& problem,
+                                     const BranchBoundConfig& config) {
+  problem.validate();
+  for (const double c : problem.group_counts) {
+    if (std::abs(c - std::round(c)) > 1e-9) {
+      throw std::invalid_argument{"solve_branch_bound: group counts must be integral"};
+    }
+  }
+
+  BranchBoundResult result;
+
+  // Warm incumbent: greedy + integral rounding.
+  GreedyConfig greedy_config;
+  greedy_config.overflow_penalty = config.overflow_penalty;
+  Assignment incumbent = evaluate(
+      problem,
+      round_to_integers(problem, solve_greedy(problem, greedy_config).amounts));
+  double incumbent_value = incumbent.penalized_objective(config.overflow_penalty);
+
+  const LpProblem base_lp = build_assignment_lp(problem, config.overflow_penalty);
+
+  std::vector<Node> stack{Node{}};
+  double best_open_bound = -std::numeric_limits<double>::infinity();
+
+  while (!stack.empty() && result.nodes_explored < config.node_limit) {
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    if (node.parent_bound > incumbent_value * (1.0 + config.gap_tolerance) &&
+        node.parent_bound > incumbent_value + 1e-9) {
+      continue;  // pruned by parent's relaxation
+    }
+
+    // Solve the node LP: base plus branching bounds.
+    LpProblem lp = base_lp;
+    for (const Bound& b : node.bounds) {
+      LpConstraint row;
+      row.terms.emplace_back(b.variable, 1.0);
+      row.relation = b.is_upper ? LpConstraint::Relation::kLessEqual
+                                : LpConstraint::Relation::kGreaterEqual;
+      row.rhs = b.limit;
+      lp.constraints.push_back(std::move(row));
+    }
+    const LpSolution relaxed = solve_lp(lp);
+    if (relaxed.status == LpStatus::kInfeasible) continue;
+    if (relaxed.status != LpStatus::kOptimal) continue;  // give up on this node
+
+    if (relaxed.objective > incumbent_value + 1e-9 &&
+        relaxed.objective > incumbent_value * (1.0 + config.gap_tolerance)) {
+      continue;  // bound
+    }
+    best_open_bound = std::max(best_open_bound, relaxed.objective);
+
+    const std::size_t branch_var = most_fractional(relaxed.x, problem.options.size());
+    if (branch_var == SIZE_MAX) {
+      // Integral: candidate incumbent.
+      Assignment candidate = decode_assignment_lp(problem, relaxed);
+      const double value = candidate.penalized_objective(config.overflow_penalty);
+      if (value < incumbent_value) {
+        incumbent = std::move(candidate);
+        incumbent_value = value;
+      }
+      continue;
+    }
+
+    const double x_value = relaxed.x[branch_var];
+    Node down = node;
+    down.parent_bound = relaxed.objective;
+    down.bounds.push_back(Bound{static_cast<std::uint32_t>(branch_var),
+                                std::floor(x_value), true});
+    Node up = node;
+    up.parent_bound = relaxed.objective;
+    up.bounds.push_back(Bound{static_cast<std::uint32_t>(branch_var),
+                              std::ceil(x_value), false});
+    // Explore the branch nearer the fractional value first.
+    if (x_value - std::floor(x_value) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  result.proved_optimal = stack.empty();
+  result.best_bound = result.proved_optimal ? incumbent_value : best_open_bound;
+  result.assignment = std::move(incumbent);
+  return result;
+}
+
+}  // namespace vdx::solver

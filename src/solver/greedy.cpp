@@ -1,0 +1,168 @@
+#include "solver/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace vdx::solver {
+
+namespace {
+
+struct GroupView {
+  std::vector<std::size_t> options;  // indices into problem.options, by cost
+  double regret = 0.0;
+};
+
+}  // namespace
+
+namespace {
+
+/// One construction + local-search run for a fixed group order.
+Assignment construct_and_improve(const AssignmentProblem& problem,
+                                 const GreedyConfig& config,
+                                 const std::vector<GroupView>& groups,
+                                 const std::vector<std::size_t>& order) {
+  std::vector<double> amounts(problem.options.size(), 0.0);
+  std::vector<double> remaining(problem.capacities.begin(), problem.capacities.end());
+
+  // Construction: cheapest option first, capped by remaining capacity; any
+  // residue lands on the cheapest option regardless (overflow is legal, just
+  // penalized — matching how a real broker can overload a cluster).
+  for (const std::size_t g : order) {
+    double need = problem.group_counts[g];
+    if (need <= 0.0 || groups[g].options.empty()) continue;
+    for (const std::size_t i : groups[g].options) {
+      if (need <= 0.0) break;
+      const Option& o = problem.options[i];
+      double take = need;
+      if (o.resource != kNoResource) {
+        take = std::min(take, std::max(0.0, remaining[o.resource]) / o.unit_demand);
+      }
+      if (take <= 0.0) continue;
+      amounts[i] += take;
+      need -= take;
+      if (o.resource != kNoResource) remaining[o.resource] -= take * o.unit_demand;
+    }
+    if (need > 0.0) {
+      const std::size_t i = groups[g].options.front();
+      amounts[i] += need;
+      const Option& o = problem.options[i];
+      if (o.resource != kNoResource) remaining[o.resource] -= need * o.unit_demand;
+    }
+  }
+
+  // Local search: shift amount from option i to a cheaper-effective option j
+  // of the same group while capacity allows. Effective cost counts the
+  // overflow penalty, so this also repairs forced overflow placed above.
+  const auto effective_unit_cost = [&](const Option& o, double at_remaining) {
+    double c = o.unit_cost;
+    if (o.resource != kNoResource && at_remaining <= 0.0) {
+      c += config.overflow_penalty * o.unit_demand;
+    }
+    return c;
+  };
+
+  for (std::size_t pass = 0; pass < config.improvement_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const std::size_t i : groups[g].options) {
+        if (amounts[i] <= 0.0) continue;
+        const Option& from = problem.options[i];
+        const double from_cost = effective_unit_cost(
+            from, from.resource == kNoResource ? 1.0 : remaining[from.resource]);
+        for (const std::size_t j : groups[g].options) {
+          if (j == i || amounts[i] <= 0.0) continue;
+          const Option& to = problem.options[j];
+          const double to_remaining =
+              to.resource == kNoResource ? std::numeric_limits<double>::infinity()
+                                         : remaining[to.resource];
+          if (to_remaining <= 0.0) continue;
+          const double to_cost = effective_unit_cost(to, to_remaining);
+          if (to_cost + 1e-12 >= from_cost) continue;
+
+          double shift = amounts[i];
+          if (to.resource != kNoResource) {
+            shift = std::min(shift, to_remaining / to.unit_demand);
+          }
+          if (shift <= 0.0) continue;
+          amounts[i] -= shift;
+          amounts[j] += shift;
+          if (from.resource != kNoResource) {
+            remaining[from.resource] += shift * from.unit_demand;
+          }
+          if (to.resource != kNoResource) {
+            remaining[to.resource] -= shift * to.unit_demand;
+          }
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  return evaluate(problem, std::move(amounts));
+}
+
+}  // namespace
+
+Assignment solve_greedy(const AssignmentProblem& problem, const GreedyConfig& config) {
+  problem.validate();
+
+  std::vector<GroupView> groups(problem.group_count());
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    groups[problem.options[i].group].options.push_back(i);
+  }
+  for (auto& g : groups) {
+    std::sort(g.options.begin(), g.options.end(), [&](std::size_t a, std::size_t b) {
+      return problem.options[a].unit_cost < problem.options[b].unit_cost;
+    });
+    if (g.options.size() >= 2) {
+      g.regret = problem.options[g.options[1]].unit_cost -
+                 problem.options[g.options[0]].unit_cost;
+    } else if (!g.options.empty()) {
+      g.regret = std::numeric_limits<double>::max();  // forced choice first
+    }
+  }
+
+  // Multi-start: the construction order matters under tight capacity, so run
+  // a few informative orders and keep the best outcome.
+  std::vector<std::size_t> by_regret(groups.size());
+  std::iota(by_regret.begin(), by_regret.end(), std::size_t{0});
+  std::sort(by_regret.begin(), by_regret.end(), [&](std::size_t a, std::size_t b) {
+    if (groups[a].regret != groups[b].regret) return groups[a].regret > groups[b].regret;
+    return a < b;
+  });
+
+  std::vector<std::size_t> by_demand(groups.size());
+  std::iota(by_demand.begin(), by_demand.end(), std::size_t{0});
+  std::sort(by_demand.begin(), by_demand.end(), [&](std::size_t a, std::size_t b) {
+    const auto demand_of = [&](std::size_t g) {
+      return groups[g].options.empty()
+                 ? 0.0
+                 : problem.group_counts[g] *
+                       problem.options[groups[g].options.front()].unit_demand;
+    };
+    const double da = demand_of(a);
+    const double db = demand_of(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<std::size_t> by_index(groups.size());
+  std::iota(by_index.begin(), by_index.end(), std::size_t{0});
+
+  Assignment best;
+  bool have_best = false;
+  for (const auto* order : {&by_regret, &by_demand, &by_index}) {
+    Assignment candidate = construct_and_improve(problem, config, groups, *order);
+    if (!have_best || candidate.penalized_objective(config.overflow_penalty) <
+                          best.penalized_objective(config.overflow_penalty)) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace vdx::solver

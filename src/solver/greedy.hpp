@@ -1,0 +1,26 @@
+// Regret-ordered greedy assignment with local-search improvement.
+//
+// The paper notes "simpler greedy algorithms" are equally valid broker
+// optimizers (§4.1 step 6). This backend is the scalable workhorse: groups
+// are processed in descending regret (what it costs to miss your best
+// option), demand is water-filled into the cheapest options with remaining
+// capacity, and a shift-move local search then drains any expensive or
+// overflowed placements into cheaper spare capacity.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace vdx::solver {
+
+struct GreedyConfig {
+  /// Price per unit of demand placed above a resource's capacity; steers the
+  /// greedy away from overload without forbidding it.
+  double overflow_penalty = 1e5;
+  /// Local-search sweeps after construction (0 disables improvement).
+  std::size_t improvement_passes = 3;
+};
+
+[[nodiscard]] Assignment solve_greedy(const AssignmentProblem& problem,
+                                      const GreedyConfig& config = {});
+
+}  // namespace vdx::solver

@@ -1,0 +1,100 @@
+#include "solver/lagrangian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "solver/greedy.hpp"
+
+namespace vdx::solver {
+
+LagrangianResult solve_lagrangian(const AssignmentProblem& problem,
+                                  const LagrangianConfig& config) {
+  problem.validate();
+
+  std::vector<std::vector<std::size_t>> by_group(problem.group_count());
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    by_group[problem.options[i].group].push_back(i);
+  }
+
+  LagrangianResult result;
+  result.duals.assign(problem.resource_count(), 0.0);
+
+  double mean_cost = 0.0;
+  for (const Option& o : problem.options) mean_cost += std::abs(o.unit_cost);
+  mean_cost = problem.options.empty() ? 1.0
+                                      : std::max(1e-9, mean_cost /
+                                                           static_cast<double>(
+                                                               problem.options.size()));
+
+  std::vector<double> loads(problem.resource_count());
+  result.dual_bound = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Relaxed subproblem: each group takes its lambda-cheapest option.
+    std::fill(loads.begin(), loads.end(), 0.0);
+    double relaxed_value = 0.0;
+    for (std::size_t g = 0; g < problem.group_count(); ++g) {
+      const double count = problem.group_counts[g];
+      if (count <= 0.0 || by_group[g].empty()) continue;
+      std::size_t best = by_group[g].front();
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (const std::size_t i : by_group[g]) {
+        const Option& o = problem.options[i];
+        const double dual_price =
+            o.resource == kNoResource ? 0.0 : result.duals[o.resource] * o.unit_demand;
+        const double c = o.unit_cost + dual_price;
+        if (c < best_cost) {
+          best_cost = c;
+          best = i;
+        }
+      }
+      relaxed_value += count * best_cost;
+      const Option& chosen = problem.options[best];
+      if (chosen.resource != kNoResource) {
+        loads[chosen.resource] += count * chosen.unit_demand;
+      }
+    }
+    for (std::size_t r = 0; r < problem.resource_count(); ++r) {
+      relaxed_value -= result.duals[r] * problem.capacities[r];
+    }
+    result.dual_bound = std::max(result.dual_bound, relaxed_value);
+
+    // Subgradient step on the capacity violations, diminishing step size.
+    const double step = config.initial_step * mean_cost /
+                        std::sqrt(static_cast<double>(it + 1));
+    for (std::size_t r = 0; r < problem.resource_count(); ++r) {
+      const double violation = loads[r] - problem.capacities[r];
+      const double scale =
+          problem.capacities[r] > 0.0 ? problem.capacities[r] : 1.0;
+      result.duals[r] = std::max(0.0, result.duals[r] + step * violation / scale);
+    }
+  }
+
+  // Primal recovery: greedy on dual-adjusted costs (congestion-priced), then
+  // evaluate against the *true* costs.
+  AssignmentProblem priced = problem;
+  for (Option& o : priced.options) {
+    if (o.resource != kNoResource) {
+      o.unit_cost += result.duals[o.resource] * o.unit_demand;
+    }
+  }
+  GreedyConfig greedy_config;
+  greedy_config.overflow_penalty = config.overflow_penalty;
+  greedy_config.improvement_passes = config.repair_passes;
+  const Assignment priced_solution = solve_greedy(priced, greedy_config);
+  Assignment from_duals = evaluate(problem, priced_solution.amounts);
+
+  // The dual prices can over-steer on loosely constrained instances; keep
+  // whichever of {priced greedy, plain greedy} wins on the true objective.
+  Assignment plain = solve_greedy(problem, greedy_config);
+  result.assignment =
+      plain.penalized_objective(config.overflow_penalty) <
+              from_duals.penalized_objective(config.overflow_penalty)
+          ? std::move(plain)
+          : std::move(from_duals);
+  return result;
+}
+
+}  // namespace vdx::solver

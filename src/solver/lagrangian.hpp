@@ -1,0 +1,37 @@
+// Lagrangian relaxation of the capacity constraints with subgradient ascent.
+//
+// Dualizing the cluster-capacity rows decomposes the broker problem per
+// group: each group independently picks the option minimizing
+//     unit_cost + lambda[resource] * unit_demand,
+// which is exactly the "price signal" interpretation the paper's marketplace
+// builds on (cluster shadow prices rise while overloaded). After the dual
+// ascent converges we run a capacity-aware greedy fill on the
+// lambda-adjusted costs so the primal answer respects capacities.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace vdx::solver {
+
+struct LagrangianConfig {
+  std::size_t iterations = 120;
+  /// Initial subgradient step relative to the mean option cost.
+  double initial_step = 0.5;
+  double overflow_penalty = 1e5;
+  /// Local-search sweeps on the final primal solution.
+  std::size_t repair_passes = 2;
+};
+
+struct LagrangianResult {
+  Assignment assignment;
+  /// Final capacity duals (per resource); exposed so callers can inspect the
+  /// implied congestion prices.
+  std::vector<double> duals;
+  /// Best Lagrangian dual bound found (lower bound on the LP optimum).
+  double dual_bound = 0.0;
+};
+
+[[nodiscard]] LagrangianResult solve_lagrangian(const AssignmentProblem& problem,
+                                                const LagrangianConfig& config = {});
+
+}  // namespace vdx::solver

@@ -1,0 +1,22 @@
+// Bridges the assignment problem to the generic LP layer.
+//
+// Variable layout of the built LP: [option amounts | per-resource overflow].
+// Overflow variables keep every subproblem feasible and are priced at the
+// overflow penalty, mirroring the soft-capacity semantics of
+// solver/problem.hpp.
+#pragma once
+
+#include "solver/problem.hpp"
+#include "solver/simplex.hpp"
+
+namespace vdx::solver {
+
+[[nodiscard]] LpProblem build_assignment_lp(const AssignmentProblem& problem,
+                                            double overflow_penalty);
+
+/// Extracts option amounts from an LP solution built by build_assignment_lp
+/// and re-evaluates them against the original problem.
+[[nodiscard]] Assignment decode_assignment_lp(const AssignmentProblem& problem,
+                                              const LpSolution& lp);
+
+}  // namespace vdx::solver

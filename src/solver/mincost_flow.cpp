@@ -1,0 +1,238 @@
+#include "solver/mincost_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace vdx::solver {
+
+MinCostFlowGraph::NodeId MinCostFlowGraph::add_node() {
+  head_.push_back(SIZE_MAX);
+  return static_cast<NodeId>(head_.size() - 1);
+}
+
+MinCostFlowGraph::ArcRef MinCostFlowGraph::add_arc(NodeId from, NodeId to,
+                                                   std::int64_t capacity, double cost) {
+  if (from >= head_.size() || to >= head_.size()) {
+    throw std::invalid_argument{"MinCostFlowGraph::add_arc: unknown node"};
+  }
+  if (capacity < 0) throw std::invalid_argument{"MinCostFlowGraph::add_arc: capacity < 0"};
+  const std::size_t index = arcs_.size();
+  arcs_.push_back(Arc{to, capacity, cost, head_[from]});
+  head_[from] = index;
+  arcs_.push_back(Arc{from, 0, -cost, head_[to]});
+  head_[to] = index + 1;
+  initial_capacity_.push_back(capacity);
+  initial_capacity_.push_back(0);
+  return ArcRef{index};
+}
+
+std::int64_t MinCostFlowGraph::flow_on(ArcRef arc) const {
+  if (arc.index >= arcs_.size()) throw std::out_of_range{"flow_on: bad arc"};
+  // Flow on the forward arc equals the residual capacity of its twin.
+  return arcs_[arc.index ^ 1].capacity;
+}
+
+bool MinCostFlowGraph::bellman_ford_potentials(NodeId source,
+                                               std::vector<double>& pot) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  pot.assign(head_.size(), kInf);
+  pot[source] = 0.0;
+  std::deque<NodeId> queue{source};
+  std::vector<std::uint8_t> in_queue(head_.size(), 0);
+  std::vector<std::uint32_t> relaxations(head_.size(), 0);
+  in_queue[source] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = 0;
+    for (std::size_t e = head_[u]; e != SIZE_MAX; e = arcs_[e].next) {
+      const Arc& arc = arcs_[e];
+      if (arc.capacity <= 0) continue;
+      const double candidate = pot[u] + arc.cost;
+      if (candidate < pot[arc.to] - 1e-12) {
+        pot[arc.to] = candidate;
+        if (!in_queue[arc.to]) {
+          if (++relaxations[arc.to] > head_.size() + 1) return false;  // negative cycle
+          in_queue[arc.to] = 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+  }
+  // Unreached nodes keep infinite potential; replace with 0 so reduced costs
+  // stay finite (those nodes are unusable anyway).
+  for (auto& p : pot) {
+    if (p == kInf) p = 0.0;
+  }
+  return true;
+}
+
+MinCostFlowGraph::FlowResult MinCostFlowGraph::solve(NodeId source, NodeId sink,
+                                                     std::int64_t target_flow) {
+  if (source >= head_.size() || sink >= head_.size()) {
+    throw std::invalid_argument{"MinCostFlowGraph::solve: unknown node"};
+  }
+  // Reset residual capacities from any prior run.
+  for (std::size_t e = 0; e < arcs_.size(); ++e) arcs_[e].capacity = initial_capacity_[e];
+
+  FlowResult result;
+  if (target_flow <= 0) {
+    result.reached_target = true;
+    return result;
+  }
+
+  std::vector<double> pot;
+  if (!bellman_ford_potentials(source, pot)) {
+    throw std::runtime_error{"MinCostFlowGraph: negative cycle in costs"};
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(head_.size());
+  std::vector<std::size_t> parent_arc(head_.size());
+  using HeapEntry = std::pair<double, NodeId>;
+
+  while (result.flow < target_flow) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_arc.begin(), parent_arc.end(), SIZE_MAX);
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+    dist[source] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + 1e-12) continue;
+      for (std::size_t e = head_[u]; e != SIZE_MAX; e = arcs_[e].next) {
+        const Arc& arc = arcs_[e];
+        if (arc.capacity <= 0) continue;
+        const double reduced = arc.cost + pot[u] - pot[arc.to];
+        const double candidate = dist[u] + std::max(0.0, reduced);
+        if (candidate < dist[arc.to] - 1e-12) {
+          dist[arc.to] = candidate;
+          parent_arc[arc.to] = e;
+          heap.emplace(candidate, arc.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no augmenting path left
+
+    for (std::size_t v = 0; v < head_.size(); ++v) {
+      if (dist[v] < kInf) pot[v] += dist[v];
+    }
+
+    // Bottleneck along the path.
+    std::int64_t push = target_flow - result.flow;
+    for (NodeId v = sink; v != source;) {
+      const std::size_t e = parent_arc[v];
+      push = std::min(push, arcs_[e].capacity);
+      v = arcs_[e ^ 1].to;
+    }
+    for (NodeId v = sink; v != source;) {
+      const std::size_t e = parent_arc[v];
+      arcs_[e].capacity -= push;
+      arcs_[e ^ 1].capacity += push;
+      result.cost += static_cast<double>(push) * arcs_[e].cost;
+      v = arcs_[e ^ 1].to;
+    }
+    result.flow += push;
+  }
+  result.reached_target = result.flow >= target_flow;
+  return result;
+}
+
+Assignment solve_assignment_mcf(const AssignmentProblem& problem, double overflow_penalty,
+                                std::int64_t demand_scale) {
+  problem.validate();
+  if (demand_scale <= 0) throw std::invalid_argument{"demand_scale must be > 0"};
+
+  // Per-group uniform demand requirement (transportation structure).
+  std::vector<double> group_demand(problem.group_count(), -1.0);
+  for (const Option& o : problem.options) {
+    const double d = o.unit_demand;
+    if (group_demand[o.group] < 0.0) {
+      group_demand[o.group] = d;
+    } else if (std::abs(group_demand[o.group] - d) > 1e-9 * std::max(1.0, d)) {
+      throw std::invalid_argument{
+          "solve_assignment_mcf: options of a group must share unit_demand"};
+    }
+  }
+
+  MinCostFlowGraph graph;
+  const auto source = graph.add_node();
+  const auto sink = graph.add_node();
+  std::vector<MinCostFlowGraph::NodeId> group_node(problem.group_count());
+  std::vector<MinCostFlowGraph::NodeId> resource_node(problem.resource_count());
+  for (auto& n : group_node) n = graph.add_node();
+  for (auto& n : resource_node) n = graph.add_node();
+
+  const auto scale_demand = [&](double demand) {
+    return static_cast<std::int64_t>(
+        std::llround(demand * static_cast<double>(demand_scale)));
+  };
+
+  // Source -> group arcs carry the group's total demand.
+  std::int64_t total_supply = 0;
+  std::vector<std::int64_t> supply(problem.group_count(), 0);
+  for (std::size_t g = 0; g < problem.group_count(); ++g) {
+    if (problem.group_counts[g] <= 0.0) continue;
+    const double d = group_demand[g] > 0.0 ? group_demand[g] : 1.0;
+    supply[g] = scale_demand(problem.group_counts[g] * d);
+    if (supply[g] <= 0) supply[g] = 1;  // keep tiny groups representable
+    graph.add_arc(source, group_node[g], supply[g], 0.0);
+    total_supply += supply[g];
+  }
+
+  // Option arcs: group -> resource (or straight to sink when uncapacitated).
+  // Cost is per demand unit.
+  std::vector<MinCostFlowGraph::ArcRef> option_arc(problem.options.size());
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    const Option& o = problem.options[i];
+    const double d = o.unit_demand > 0.0 ? o.unit_demand : 1.0;
+    // One client corresponds to d * demand_scale flow units; spreading the
+    // per-client cost over them reproduces the objective exactly.
+    const double cost_per_flow_unit =
+        o.unit_cost / (d * static_cast<double>(demand_scale));
+    const auto to = o.resource == kNoResource ? sink : resource_node[o.resource];
+    option_arc[i] =
+        graph.add_arc(group_node[o.group], to, supply[o.group], cost_per_flow_unit);
+  }
+
+  // Resource -> sink: capacity arc plus an overflow arc priced at the
+  // penalty (per demand unit, i.e. penalty/demand_scale per flow unit).
+  for (std::size_t r = 0; r < problem.resource_count(); ++r) {
+    graph.add_arc(resource_node[r], sink, scale_demand(problem.capacities[r]), 0.0);
+    graph.add_arc(resource_node[r], sink, total_supply,
+                  overflow_penalty / static_cast<double>(demand_scale));
+  }
+
+  graph.solve(source, sink, total_supply);
+
+  std::vector<double> amounts(problem.options.size(), 0.0);
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    const Option& o = problem.options[i];
+    const double d = o.unit_demand > 0.0 ? o.unit_demand : 1.0;
+    amounts[i] = static_cast<double>(graph.flow_on(option_arc[i])) /
+                 (d * static_cast<double>(demand_scale));
+  }
+
+  // Scaled-supply rounding can leave group totals a hair off the true count;
+  // snap them back proportionally.
+  std::vector<double> assigned(problem.group_count(), 0.0);
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    assigned[problem.options[i].group] += amounts[i];
+  }
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    const std::uint32_t g = problem.options[i].group;
+    if (assigned[g] > 0.0 && problem.group_counts[g] > 0.0) {
+      amounts[i] *= problem.group_counts[g] / assigned[g];
+    }
+  }
+
+  return evaluate(problem, std::move(amounts));
+}
+
+}  // namespace vdx::solver

@@ -1,0 +1,69 @@
+// Min-cost max-flow (successive shortest augmenting paths with potentials).
+//
+// The broker LP has pure transportation structure whenever every option of a
+// group consumes the group's own bitrate — which is how the Share format
+// groups clients — so min-cost flow solves the LP relaxation orders of
+// magnitude faster than the tableau simplex at trace scale. The graph layer
+// here is generic; assignment wiring lives in solve_assignment_mcf().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/problem.hpp"
+
+namespace vdx::solver {
+
+/// Directed graph with integer capacities and real per-unit costs.
+/// Supports negative costs (Bellman-Ford bootstraps the potentials).
+class MinCostFlowGraph {
+ public:
+  using NodeId = std::uint32_t;
+
+  struct ArcRef {
+    std::size_t index = 0;
+  };
+
+  NodeId add_node();
+  [[nodiscard]] std::size_t node_count() const noexcept { return head_.size(); }
+
+  /// Adds a forward arc (and its residual twin). Capacity must be >= 0.
+  ArcRef add_arc(NodeId from, NodeId to, std::int64_t capacity, double cost);
+
+  struct FlowResult {
+    std::int64_t flow = 0;
+    double cost = 0.0;
+    bool reached_target = false;  // pushed the full target_flow
+  };
+
+  /// Sends up to `target_flow` units from source to sink at minimum cost.
+  /// Resets any flow from a previous solve.
+  FlowResult solve(NodeId source, NodeId sink, std::int64_t target_flow);
+
+  /// Flow currently on a forward arc (after solve()).
+  [[nodiscard]] std::int64_t flow_on(ArcRef arc) const;
+
+ private:
+  struct Arc {
+    NodeId to = 0;
+    std::int64_t capacity = 0;  // residual capacity
+    double cost = 0.0;
+    std::size_t next = SIZE_MAX;  // intrusive adjacency list
+  };
+
+  [[nodiscard]] bool bellman_ford_potentials(NodeId source, std::vector<double>& pot) const;
+
+  std::vector<std::size_t> head_;  // first arc per node
+  std::vector<Arc> arcs_;          // twin arcs at (2k, 2k+1)
+  std::vector<std::int64_t> initial_capacity_;
+};
+
+/// Solves the assignment LP via min-cost flow. Requires every option of a
+/// group to have the same unit_demand (throws otherwise). Demands are scaled
+/// to integers with `demand_scale`; the returned amounts are client counts.
+/// `overflow_penalty` prices demand above capacity (per demand unit).
+[[nodiscard]] Assignment solve_assignment_mcf(const AssignmentProblem& problem,
+                                              double overflow_penalty,
+                                              std::int64_t demand_scale = 1000);
+
+}  // namespace vdx::solver

@@ -1,0 +1,300 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vdx::solver {
+
+namespace {
+
+/// Dense tableau with explicit basis bookkeeping. Columns are laid out as
+/// [structural | slack/surplus | artificial | rhs].
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, double tol) : tol_(tol), n_(problem.variable_count) {
+    const std::size_t m = problem.constraints.size();
+    rows_ = m;
+
+    // Count auxiliary columns.
+    std::size_t slack_count = 0;
+    std::size_t artificial_count = 0;
+    for (const auto& c : problem.constraints) {
+      const bool rhs_negative = c.rhs < 0.0;
+      auto rel = c.relation;
+      if (rhs_negative) rel = flipped(rel);
+      if (rel != LpConstraint::Relation::kEqual) ++slack_count;
+      if (rel != LpConstraint::Relation::kLessEqual) ++artificial_count;
+    }
+    slack_begin_ = n_;
+    artificial_begin_ = n_ + slack_count;
+    cols_ = artificial_begin_ + artificial_count;  // + rhs handled separately
+
+    a_.assign(rows_ * (cols_ + 1), 0.0);
+    basis_.assign(rows_, 0);
+
+    std::size_t next_slack = slack_begin_;
+    std::size_t next_artificial = artificial_begin_;
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto& c = problem.constraints[r];
+      double sign = 1.0;
+      auto rel = c.relation;
+      if (c.rhs < 0.0) {
+        sign = -1.0;
+        rel = flipped(rel);
+      }
+      for (const auto& [var, coeff] : c.terms) {
+        if (var >= n_) throw std::invalid_argument{"LpConstraint: variable out of range"};
+        at(r, var) += sign * coeff;
+      }
+      rhs(r) = sign * c.rhs;
+
+      switch (rel) {
+        case LpConstraint::Relation::kLessEqual:
+          at(r, next_slack) = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case LpConstraint::Relation::kGreaterEqual:
+          at(r, next_slack++) = -1.0;
+          at(r, next_artificial) = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+        case LpConstraint::Relation::kEqual:
+          at(r, next_artificial) = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t structural_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t artificial_begin() const noexcept { return artificial_begin_; }
+  [[nodiscard]] std::size_t column_count() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t basis_of_row(std::size_t r) const { return basis_[r]; }
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * (cols_ + 1) + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return a_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return a_[r * (cols_ + 1) + cols_]; }
+  [[nodiscard]] double rhs(std::size_t r) const { return a_[r * (cols_ + 1) + cols_]; }
+
+  /// Runs simplex minimizing `cost` (size column_count()). Returns status.
+  /// `allow_columns(col)` filters entering candidates (used to freeze
+  /// artificial columns in phase 2).
+  template <typename ColumnFilter>
+  LpStatus minimize(std::vector<double> cost, std::size_t max_iterations,
+                    std::size_t& iterations, ColumnFilter allow_column) {
+    // Reduced-cost row: z_j - c_j maintained implicitly by pricing out the
+    // basis from the cost row.
+    std::vector<double> reduced = std::move(cost);
+    double objective_shift = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double cb = reduced_basis_cost(reduced, r);
+      if (cb != 0.0) {
+        for (std::size_t c = 0; c < cols_; ++c) reduced[c] -= cb * at(r, c);
+        objective_shift += cb * rhs(r);
+      }
+    }
+    (void)objective_shift;
+
+    std::size_t stall = 0;
+    while (iterations < max_iterations) {
+      // Entering column: Dantzig rule normally, Bland's rule when stalling to
+      // break degenerate cycles.
+      const bool bland = stall > 64;
+      std::size_t entering = cols_;
+      double best = -tol_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!allow_column(c)) continue;
+        const double rc = reduced[c];
+        if (rc < -tol_) {
+          if (bland) {
+            entering = c;
+            break;
+          }
+          if (rc < best) {
+            best = rc;
+            entering = c;
+          }
+        }
+      }
+      if (entering == cols_) return LpStatus::kOptimal;
+
+      // Ratio test.
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double pivot = at(r, entering);
+        if (pivot > tol_) {
+          const double ratio = rhs(r) / pivot;
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ &&
+               (leaving == rows_ || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == rows_) return LpStatus::kUnbounded;
+
+      stall = best_ratio < tol_ ? stall + 1 : 0;
+      pivot(leaving, entering, reduced);
+      ++iterations;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < n_) x[basis_[r]] = std::max(0.0, rhs(r));
+    }
+    return x;
+  }
+
+  /// Sum of artificial basic variables (phase-1 objective value).
+  [[nodiscard]] double artificial_mass() const {
+    double mass = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] >= artificial_begin_) mass += std::max(0.0, rhs(r));
+    }
+    return mass;
+  }
+
+  /// Pivots any artificial variable still basic (at zero level) out of the
+  /// basis where possible, so phase 2 cannot reintroduce infeasibility.
+  void expel_artificials(std::vector<double>& reduced_dummy) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < artificial_begin_) continue;
+      for (std::size_t c = 0; c < artificial_begin_; ++c) {
+        if (std::abs(at(r, c)) > tol_) {
+          pivot(r, c, reduced_dummy);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  static LpConstraint::Relation flipped(LpConstraint::Relation rel) noexcept {
+    switch (rel) {
+      case LpConstraint::Relation::kLessEqual:
+        return LpConstraint::Relation::kGreaterEqual;
+      case LpConstraint::Relation::kGreaterEqual:
+        return LpConstraint::Relation::kLessEqual;
+      case LpConstraint::Relation::kEqual:
+        return LpConstraint::Relation::kEqual;
+    }
+    return rel;
+  }
+
+  double reduced_basis_cost(const std::vector<double>& reduced, std::size_t r) const {
+    return basis_[r] < reduced.size() ? reduced[basis_[r]] : 0.0;
+  }
+
+  void pivot(std::size_t leaving_row, std::size_t entering_col,
+             std::vector<double>& reduced) {
+    const double pivot_value = at(leaving_row, entering_col);
+    const double inv = 1.0 / pivot_value;
+    for (std::size_t c = 0; c <= cols_; ++c) at(leaving_row, c) *= inv;
+    at(leaving_row, entering_col) = 1.0;  // exact
+
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == leaving_row) continue;
+      const double factor = at(r, entering_col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        at(r, c) -= factor * at(leaving_row, c);
+      }
+      at(r, entering_col) = 0.0;  // exact
+    }
+    if (!reduced.empty()) {
+      const double factor = reduced[entering_col];
+      if (factor != 0.0) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          reduced[c] -= factor * at(leaving_row, c);
+        }
+        reduced[entering_col] = 0.0;
+      }
+    }
+    basis_[leaving_row] = entering_col;
+  }
+
+  double tol_;
+  std::size_t n_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t artificial_begin_ = 0;
+  std::vector<double> a_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexConfig& config) {
+  if (problem.objective.size() != problem.variable_count) {
+    throw std::invalid_argument{"LpProblem: objective arity mismatch"};
+  }
+
+  LpSolution solution;
+  if (problem.variable_count == 0) {
+    // Feasibility is decided purely by constant constraints.
+    for (const auto& c : problem.constraints) {
+      const bool ok = c.relation == LpConstraint::Relation::kLessEqual ? 0.0 <= c.rhs
+                      : c.relation == LpConstraint::Relation::kEqual   ? c.rhs == 0.0
+                                                                       : 0.0 >= c.rhs;
+      if (!ok) {
+        solution.status = LpStatus::kInfeasible;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::kOptimal;
+    return solution;
+  }
+
+  Tableau tableau{problem, config.tolerance};
+
+  // Phase 1: minimize the sum of artificials.
+  if (tableau.artificial_begin() < tableau.column_count()) {
+    std::vector<double> phase1_cost(tableau.column_count(), 0.0);
+    for (std::size_t c = tableau.artificial_begin(); c < tableau.column_count(); ++c) {
+      phase1_cost[c] = 1.0;
+    }
+    const LpStatus status =
+        tableau.minimize(std::move(phase1_cost), config.max_iterations,
+                         solution.iterations, [](std::size_t) { return true; });
+    if (status == LpStatus::kIterationLimit) {
+      solution.status = status;
+      return solution;
+    }
+    if (tableau.artificial_mass() > 1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    std::vector<double> dummy;
+    tableau.expel_artificials(dummy);
+  }
+
+  // Phase 2: minimize the real objective with artificial columns frozen.
+  std::vector<double> phase2_cost(tableau.column_count(), 0.0);
+  std::copy(problem.objective.begin(), problem.objective.end(), phase2_cost.begin());
+  const std::size_t artificial_begin = tableau.artificial_begin();
+  solution.status = tableau.minimize(
+      std::move(phase2_cost), config.max_iterations, solution.iterations,
+      [artificial_begin](std::size_t c) { return c < artificial_begin; });
+
+  if (solution.status == LpStatus::kOptimal) {
+    solution.x = tableau.extract_solution();
+    solution.objective = 0.0;
+    for (std::size_t v = 0; v < problem.variable_count; ++v) {
+      solution.objective += problem.objective[v] * solution.x[v];
+    }
+  }
+  return solution;
+}
+
+}  // namespace vdx::solver

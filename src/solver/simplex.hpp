@@ -1,0 +1,53 @@
+// Dense two-phase primal simplex for general linear programs.
+//
+// This is the exact backend behind the broker ILP (paper Fig. 9, solved with
+// Gurobi by the authors — see DESIGN.md §2 for the substitution): the LP
+// relaxation is solved here, and branch_bound.hpp closes the integrality
+// gap. Dense tableaus are fine at the scale we use exact solves (hundreds of
+// rows); trace-scale instances use the min-cost-flow / Lagrangian backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdx::solver {
+
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpConstraint {
+  enum class Relation : std::uint8_t { kLessEqual, kEqual, kGreaterEqual };
+
+  std::vector<std::pair<std::uint32_t, double>> terms;  // (variable, coefficient)
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Minimize objective . x subject to constraints, x >= 0.
+struct LpProblem {
+  std::size_t variable_count = 0;
+  std::vector<double> objective;  // size == variable_count
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+struct SimplexConfig {
+  std::size_t max_iterations = 200'000;
+  double tolerance = 1e-9;
+};
+
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  const SimplexConfig& config = {});
+
+}  // namespace vdx::solver

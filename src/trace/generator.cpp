@@ -1,0 +1,162 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/distributions.hpp"
+
+namespace vdx::trace {
+
+namespace {
+
+void check_config(const TraceConfig& config) {
+  if (config.session_count == 0) throw std::invalid_argument{"TraceConfig: no sessions"};
+  if (!(config.duration_s > 0.0)) throw std::invalid_argument{"TraceConfig: duration"};
+  if (config.bitrate_ladder.empty() ||
+      config.bitrate_ladder.size() != config.bitrate_weights.size()) {
+    throw std::invalid_argument{"TraceConfig: bitrate ladder/weights mismatch"};
+  }
+  if (!(config.abandonment_rate >= 0.0 && config.abandonment_rate <= 1.0)) {
+    throw std::invalid_argument{"TraceConfig: abandonment_rate outside [0,1]"};
+  }
+}
+
+/// Per-country base CDN shares with heavy cross-country variance (Fig. 7:
+/// "CDN B barely serves 7, yet almost entirely serves 8").
+std::vector<std::array<double, kTraceCdnCount>> country_share_model(
+    const geo::World& world, core::Rng& rng) {
+  constexpr std::array<double, kTraceCdnCount> kBase{0.30, 0.25, 0.25, 0.20};
+  std::vector<std::array<double, kTraceCdnCount>> shares(world.countries().size());
+  for (auto& row : shares) {
+    for (std::size_t c = 0; c < kTraceCdnCount; ++c) {
+      // Lognormal with sigma 1.2 gives the occasional near-total dominance
+      // by one CDN within a country.
+      row[c] = kBase[c] * rng.lognormal(0.0, 1.2);
+    }
+  }
+  return shares;
+}
+
+/// Non-homogeneous Poisson switch times over [0, duration) after `arrival`,
+/// via thinning against the modulated hazard.
+std::vector<double> sample_switch_times(double arrival, double duration,
+                                        const TraceConfig& config, core::Rng& rng) {
+  std::vector<double> times;
+  const double max_rate = config.switch_rate_per_s * (1.0 + config.switch_modulation);
+  if (max_rate <= 0.0) return times;
+  double t = arrival;
+  const double end = arrival + duration;
+  while (true) {
+    t += rng.exponential(max_rate);
+    if (t >= end) break;
+    const double rate =
+        config.switch_rate_per_s *
+        (1.0 + config.switch_modulation *
+                   std::sin(2.0 * M_PI * t / config.switch_period_s));
+    if (rng.uniform() * max_rate < rate) times.push_back(t);
+  }
+  return times;
+}
+
+BrokerTrace generate_impl(const geo::World& world, const TraceConfig& config,
+                          std::size_t session_count, bool broker_controlled,
+                          core::Rng& rng) {
+  check_config(config);
+
+  // Samplers.
+  std::vector<double> city_weights;
+  city_weights.reserve(world.cities().size());
+  for (const auto& city : world.cities()) city_weights.push_back(city.demand_weight);
+  core::DiscreteDistribution city_dist{city_weights};
+  core::ZipfDistribution video_dist{config.video_count, config.video_zipf_exponent};
+  core::ZipfDistribution as_dist{config.as_count, config.as_zipf_exponent};
+  core::DiscreteDistribution bitrate_dist{config.bitrate_weights};
+
+  // Per-city CDN choice distributions: country base shares with CDN A's
+  // small-city boost (Fig. 5).
+  core::Rng shares_rng = rng.fork("country-shares");
+  const auto country_shares = country_share_model(world, shares_rng);
+  std::vector<core::DiscreteDistribution> city_cdn;
+  city_cdn.reserve(world.cities().size());
+  for (const auto& city : world.cities()) {
+    auto weights = country_shares[city.country.value()];
+    const double expected_requests =
+        city.demand_weight * static_cast<double>(session_count);
+    weights[static_cast<std::size_t>(TraceCdn::kCdnA)] *=
+        1.0 + config.small_city_boost *
+                  std::exp(-expected_requests / config.small_city_scale);
+    city_cdn.emplace_back(std::span<const double>{weights.data(), weights.size()});
+  }
+
+  const double engaged_mu =
+      std::log(config.engaged_mean_s) - 0.32;  // lognormal(mu, 0.8) mean fix
+
+  std::vector<Session> sessions;
+  sessions.reserve(session_count);
+  for (std::size_t i = 0; i < session_count; ++i) {
+    Session s;
+    s.id = SessionId{static_cast<std::uint32_t>(i)};
+    s.arrival_s = rng.uniform(0.0, config.duration_s);
+    s.video = VideoId{static_cast<std::uint32_t>(video_dist(rng))};
+    s.city = CityId{static_cast<std::uint32_t>(city_dist(rng))};
+    s.as_number = static_cast<std::uint32_t>(as_dist(rng)) + 1;
+    s.bitrate_mbps = config.bitrate_ladder[bitrate_dist(rng)];
+    s.abandoned = rng.chance(config.abandonment_rate);
+    s.duration_s = s.abandoned ? rng.exponential(1.0 / config.abandon_mean_s)
+                               : rng.lognormal(engaged_mu, 0.8);
+    s.duration_s = std::min(s.duration_s, config.duration_s - s.arrival_s);
+
+    if (broker_controlled) {
+      s.initial_cdn = static_cast<TraceCdn>(city_cdn[s.city.value()](rng));
+      // The broker only bothers moving sessions that live long enough.
+      if (!s.abandoned) {
+        TraceCdn current = s.initial_cdn;
+        for (const double t : sample_switch_times(s.arrival_s, s.duration_s, config,
+                                                  rng)) {
+          // Move to a different CDN drawn from the same city model.
+          TraceCdn next = current;
+          for (int attempt = 0; attempt < 8 && next == current; ++attempt) {
+            next = static_cast<TraceCdn>(city_cdn[s.city.value()](rng));
+          }
+          if (next == current) continue;
+          s.switches.push_back(SwitchEvent{t, current, next});
+          current = next;
+        }
+      }
+    } else {
+      s.initial_cdn = TraceCdn::kOther;
+    }
+    sessions.push_back(std::move(s));
+  }
+
+  // Arrival-ordered, ids re-issued in order (stable and convenient).
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) { return a.arrival_s < b.arrival_s; });
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    sessions[i].id = SessionId{static_cast<std::uint32_t>(i)};
+  }
+  return BrokerTrace{std::move(sessions), config.duration_s};
+}
+
+}  // namespace
+
+BrokerTrace generate_trace(const geo::World& world, const TraceConfig& config,
+                           core::Rng& rng) {
+  return generate_impl(world, config, config.session_count, /*broker_controlled=*/true,
+                       rng);
+}
+
+BrokerTrace generate_background(const geo::World& world, const TraceConfig& config,
+                                double multiplier, core::Rng& rng) {
+  if (!(multiplier > 0.0)) {
+    throw std::invalid_argument{"generate_background: multiplier must be > 0"};
+  }
+  const auto count = static_cast<std::size_t>(
+      std::llround(multiplier * static_cast<double>(config.session_count)));
+  return generate_impl(world, config, std::max<std::size_t>(1, count),
+                       /*broker_controlled=*/false, rng);
+}
+
+}  // namespace vdx::trace

@@ -1,0 +1,78 @@
+// Synthetic broker trace generator.
+//
+// Substitution note (DESIGN.md §2): the paper's broker trace is proprietary,
+// but §3.1–§3.2 state every marginal the evaluation consumes; this generator
+// reproduces them by construction:
+//   * ~33.4K sessions over ~1 hour for one content provider;
+//   * Zipf video popularity, power-law client-city distribution (inherited
+//     from the World demand weights);
+//   * bimodal bitrate distribution peaking at the lowest & highest rungs;
+//   * ~78% of clients abandon almost immediately;
+//   * per-country CDN usage shares that vary wildly (Fig. 7), with the
+//     distributed "CDN A" increasingly favored in small cities (Fig. 5);
+//   * a mid-stream switching process whose per-5s moved fraction averages
+//     ~40% and swings between ~20% and ~60% (Fig. 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "geo/world.hpp"
+#include "trace/session.hpp"
+
+namespace vdx::trace {
+
+struct TraceConfig {
+  std::size_t session_count = 33'400;
+  double duration_s = 3600.0;
+  std::size_t video_count = 3000;
+  double video_zipf_exponent = 0.8;
+  std::size_t as_count = 50;
+  double as_zipf_exponent = 1.1;
+  /// Discrete bitrate ladder (Mbps) and its bimodal weights.
+  std::vector<double> bitrate_ladder{0.35, 0.75, 1.5, 2.8, 4.5};
+  std::vector<double> bitrate_weights{0.34, 0.09, 0.08, 0.14, 0.35};
+  double abandonment_rate = 0.78;
+  /// Mean watch time of abandoning / engaged sessions (seconds).
+  double abandon_mean_s = 8.0;
+  double engaged_mean_s = 420.0;
+  /// Mid-stream switching: base hazard (per second of active streaming) and
+  /// the amplitude/period of its slow modulation (drives Fig. 4's swing).
+  double switch_rate_per_s = 0.0030;
+  double switch_modulation = 0.8;
+  double switch_period_s = 1400.0;
+  /// Strength of CDN A's small-city advantage (Fig. 5): A's weight is
+  /// multiplied by 1 + boost * exp(-city_requests / small_city_scale).
+  double small_city_boost = 3.0;
+  double small_city_scale = 500.0;
+};
+
+/// The generated trace plus the per-country CDN share model behind it
+/// (exposed so tests can assert the generative story).
+class BrokerTrace {
+ public:
+  BrokerTrace(std::vector<Session> sessions, double duration_s)
+      : sessions_(std::move(sessions)), duration_s_(duration_s) {}
+
+  [[nodiscard]] std::span<const Session> sessions() const noexcept { return sessions_; }
+  [[nodiscard]] double duration_s() const noexcept { return duration_s_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+
+ private:
+  std::vector<Session> sessions_;
+  double duration_s_;
+};
+
+/// Generates the broker-optimized trace.
+[[nodiscard]] BrokerTrace generate_trace(const geo::World& world,
+                                         const TraceConfig& config, core::Rng& rng);
+
+/// Generates non-broker background traffic: `multiplier` x the session count
+/// of `config`, same marginals, all labelled TraceCdn::kOther and never
+/// switched (the broker does not control it; paper §5.1 uses 3x).
+[[nodiscard]] BrokerTrace generate_background(const geo::World& world,
+                                              const TraceConfig& config,
+                                              double multiplier, core::Rng& rng);
+
+}  // namespace vdx::trace

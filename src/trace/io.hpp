@@ -1,0 +1,26 @@
+// Binary persistence for broker traces.
+//
+// A generated trace is the unit of reproducibility (the paper's evaluation
+// is "data-driven simulation" over one fixed trace), so being able to save
+// a trace to disk and reload it bit-exactly matters for sharing experiment
+// inputs. Format: a small header (magic, version, session count, duration)
+// followed by fixed-layout session records, little-endian, via the proto
+// wire primitives.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/generator.hpp"
+
+namespace vdx::trace {
+
+/// Serializes a trace. Throws std::runtime_error on I/O failure.
+void save_trace(const BrokerTrace& trace, std::ostream& out);
+void save_trace_file(const BrokerTrace& trace, const std::string& path);
+
+/// Deserializes a trace; throws std::runtime_error on malformed input.
+[[nodiscard]] BrokerTrace load_trace(std::istream& in);
+[[nodiscard]] BrokerTrace load_trace_file(const std::string& path);
+
+}  // namespace vdx::trace

@@ -1,0 +1,138 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace vdx::trace {
+
+std::vector<double> moved_fraction_timeseries(const BrokerTrace& trace, double bin_s) {
+  if (!(bin_s > 0.0)) throw std::invalid_argument{"moved_fraction_timeseries: bin_s"};
+  const auto bins = static_cast<std::size_t>(std::ceil(trace.duration_s() / bin_s));
+  std::vector<double> active(bins, 0.0);
+  std::vector<double> moved(bins, 0.0);
+  for (const Session& s : trace.sessions()) {
+    const auto first = static_cast<std::size_t>(s.arrival_s / bin_s);
+    const auto last = std::min(
+        bins - 1, static_cast<std::size_t>(std::max(s.arrival_s, s.end_s() - 1e-9) / bin_s));
+    for (std::size_t b = first; b <= last; ++b) {
+      const double mid = (static_cast<double>(b) + 0.5) * bin_s;
+      if (!s.active_at(mid)) continue;
+      active[b] += 1.0;
+      if (s.moved_by(mid)) moved[b] += 1.0;
+    }
+  }
+  std::vector<double> out(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b] = active[b] > 0.0 ? moved[b] / active[b] : 0.0;
+  }
+  return out;
+}
+
+double moved_fraction_overall(const BrokerTrace& trace) {
+  if (trace.size() == 0) return 0.0;
+  std::size_t moved = 0;
+  for (const Session& s : trace.sessions()) {
+    if (!s.switches.empty()) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(trace.size());
+}
+
+std::vector<CityUsage> city_usage(const BrokerTrace& trace, const geo::World& world) {
+  std::vector<CityUsage> usage(world.cities().size());
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    usage[i].city = geo::CityId{static_cast<std::uint32_t>(i)};
+  }
+  for (const Session& s : trace.sessions()) {
+    CityUsage& u = usage[s.city.value()];
+    ++u.requests;
+    u.share[static_cast<std::size_t>(s.final_cdn())] += 1.0;
+  }
+  for (auto& u : usage) {
+    if (u.requests == 0) continue;
+    for (auto& share : u.share) share /= static_cast<double>(u.requests);
+  }
+  std::erase_if(usage, [](const CityUsage& u) { return u.requests == 0; });
+  std::sort(usage.begin(), usage.end(), [](const CityUsage& a, const CityUsage& b) {
+    return a.requests < b.requests;
+  });
+  return usage;
+}
+
+std::optional<core::LinearFit> usage_fit(std::span<const CityUsage> usage, TraceCdn cdn) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(usage.size());
+  ys.reserve(usage.size());
+  for (const CityUsage& u : usage) {
+    xs.push_back(static_cast<double>(u.requests));
+    ys.push_back(100.0 * u.share[static_cast<std::size_t>(cdn)]);
+  }
+  return core::fit_line(xs, ys);
+}
+
+std::vector<CountryUsage> country_usage(const BrokerTrace& trace, const geo::World& world,
+                                        std::size_t min_requests) {
+  std::vector<CountryUsage> usage(world.countries().size());
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    usage[i].country = geo::CountryId{static_cast<std::uint32_t>(i)};
+  }
+  for (const Session& s : trace.sessions()) {
+    CountryUsage& u = usage[world.city(s.city).country.value()];
+    ++u.requests;
+    u.share[static_cast<std::size_t>(s.final_cdn())] += 1.0;
+  }
+  for (auto& u : usage) {
+    if (u.requests == 0) continue;
+    for (auto& share : u.share) share /= static_cast<double>(u.requests);
+  }
+  std::erase_if(usage,
+                [min_requests](const CountryUsage& u) { return u.requests < min_requests; });
+  return usage;
+}
+
+std::optional<double> video_zipf_slope(const BrokerTrace& trace) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const Session& s : trace.sessions()) ++counts[s.video.value()];
+  if (counts.size() < 10) return std::nullopt;
+
+  std::vector<double> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [video, count] : counts) {
+    frequencies.push_back(static_cast<double>(count));
+  }
+  std::sort(frequencies.rbegin(), frequencies.rend());
+
+  // Fit the head of the log-log rank-frequency curve (the tail is dominated
+  // by discreteness: many videos with a single request).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const std::size_t head = std::max<std::size_t>(10, frequencies.size() / 10);
+  for (std::size_t rank = 0; rank < head && rank < frequencies.size(); ++rank) {
+    if (frequencies[rank] <= 0.0) break;
+    xs.push_back(std::log(static_cast<double>(rank + 1)));
+    ys.push_back(std::log(frequencies[rank]));
+  }
+  const auto fit = core::fit_line(xs, ys);
+  if (!fit) return std::nullopt;
+  return fit->slope;
+}
+
+double abandonment_rate(const BrokerTrace& trace) {
+  if (trace.size() == 0) return 0.0;
+  std::size_t abandoned = 0;
+  for (const Session& s : trace.sessions()) {
+    if (s.abandoned) ++abandoned;
+  }
+  return static_cast<double>(abandoned) / static_cast<double>(trace.size());
+}
+
+std::vector<std::size_t> requests_per_city(const BrokerTrace& trace,
+                                           const geo::World& world) {
+  std::vector<std::size_t> counts(world.cities().size(), 0);
+  for (const Session& s : trace.sessions()) ++counts[s.city.value()];
+  return counts;
+}
+
+}  // namespace vdx::trace

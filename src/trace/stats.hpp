@@ -1,0 +1,68 @@
+// Trace statistics behind the paper's characterization figures.
+//
+//   Figure 4 — moved_fraction_timeseries(): % of active sessions per 5s bin
+//              that have been shifted between CDNs during their lifetime.
+//   Figure 5 — city_usage() + usage_fit(): CDN usage as a function of
+//              requests-per-city, with best-fit lines.
+//   Figure 7 — country_usage(): per-country CDN shares (>= 100 requests).
+//   §3.1     — popularity sanity stats (Zipf fit, abandonment rate).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "geo/world.hpp"
+#include "trace/generator.hpp"
+
+namespace vdx::trace {
+
+/// Fraction (0..1) of sessions active in each `bin_s` bin that had been
+/// moved at least once by the bin midpoint. Bin i covers
+/// [i*bin_s, (i+1)*bin_s). Empty bins yield 0.
+[[nodiscard]] std::vector<double> moved_fraction_timeseries(const BrokerTrace& trace,
+                                                            double bin_s = 5.0);
+
+/// Fraction of all sessions that were moved between CDNs at least once.
+[[nodiscard]] double moved_fraction_overall(const BrokerTrace& trace);
+
+struct CityUsage {
+  geo::CityId city;
+  std::size_t requests = 0;
+  /// Usage share by TraceCdn label (sums to 1 when requests > 0).
+  std::array<double, kTraceCdnCount> share{};
+};
+
+/// Per-city request counts and CDN shares (by final delivering CDN),
+/// ascending by request count (the x-axis of Fig. 5).
+[[nodiscard]] std::vector<CityUsage> city_usage(const BrokerTrace& trace,
+                                                const geo::World& world);
+
+/// Best-fit line of `cdn`'s usage share (%) vs requests-per-city (Fig. 5's
+/// dotted lines). Returns nullopt for degenerate inputs.
+[[nodiscard]] std::optional<core::LinearFit> usage_fit(std::span<const CityUsage> usage,
+                                                       TraceCdn cdn);
+
+struct CountryUsage {
+  geo::CountryId country;
+  std::size_t requests = 0;
+  std::array<double, kTraceCdnCount> share{};
+};
+
+/// Per-country usage for countries with >= `min_requests` (paper: 100).
+[[nodiscard]] std::vector<CountryUsage> country_usage(const BrokerTrace& trace,
+                                                      const geo::World& world,
+                                                      std::size_t min_requests = 100);
+
+/// Log-log slope of the video rank-frequency curve; ~ -zipf_exponent.
+[[nodiscard]] std::optional<double> video_zipf_slope(const BrokerTrace& trace);
+
+[[nodiscard]] double abandonment_rate(const BrokerTrace& trace);
+
+/// Requests per city (for workload aggregation and Fig. 5's x-axis).
+[[nodiscard]] std::vector<std::size_t> requests_per_city(const BrokerTrace& trace,
+                                                         const geo::World& world);
+
+}  // namespace vdx::trace

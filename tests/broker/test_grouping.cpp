@@ -1,0 +1,88 @@
+#include "broker/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vdx::broker {
+namespace {
+
+trace::Session make_session(std::uint32_t city, double bitrate, std::uint32_t as = 1,
+                            double duration = 100.0) {
+  trace::Session s;
+  s.city = CityId{city};
+  s.bitrate_mbps = bitrate;
+  s.as_number = as;
+  s.duration_s = duration;
+  return s;
+}
+
+TEST(Grouping, GroupsByCityAndBitrate) {
+  std::vector<trace::Session> sessions{
+      make_session(0, 1.5), make_session(0, 1.5), make_session(0, 4.5),
+      make_session(1, 1.5),
+  };
+  const auto groups = group_sessions(sessions);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(total_clients(groups), 4.0);
+
+  // Find the (city 0, 1.5) group.
+  bool found = false;
+  for (const ClientGroup& g : groups) {
+    if (g.city == CityId{0} && g.bitrate_mbps == 1.5) {
+      EXPECT_DOUBLE_EQ(g.client_count, 2.0);
+      EXPECT_DOUBLE_EQ(g.demand_mbps(), 3.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Grouping, IdsAreDenseAndUnique) {
+  std::vector<trace::Session> sessions;
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    for (const double b : {0.35, 4.5}) sessions.push_back(make_session(c, b));
+  }
+  const auto groups = group_sessions(sessions);
+  std::set<std::uint32_t> ids;
+  for (const ClientGroup& g : groups) ids.insert(g.id.value());
+  EXPECT_EQ(ids.size(), groups.size());
+  EXPECT_EQ(*ids.rbegin(), groups.size() - 1);  // dense 0..n-1
+}
+
+TEST(Grouping, IspSplitting) {
+  std::vector<trace::Session> sessions{
+      make_session(0, 1.5, 100), make_session(0, 1.5, 200)};
+  EXPECT_EQ(group_sessions(sessions).size(), 1u);  // aggregated by default
+
+  GroupingConfig config;
+  config.split_by_isp = true;
+  const auto split = group_sessions(sessions, config);
+  EXPECT_EQ(split.size(), 2u);
+  for (const ClientGroup& g : split) EXPECT_NE(g.isp, 0u);
+}
+
+TEST(Grouping, MinDurationFilter) {
+  std::vector<trace::Session> sessions{make_session(0, 1.5, 1, 2.0),
+                                       make_session(0, 1.5, 1, 500.0)};
+  GroupingConfig config;
+  config.min_duration_s = 10.0;
+  const auto groups = group_sessions(sessions, config);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[0].client_count, 1.0);
+}
+
+TEST(Grouping, EmptyInput) {
+  EXPECT_TRUE(group_sessions({}).empty());
+  EXPECT_DOUBLE_EQ(total_clients({}), 0.0);
+}
+
+TEST(Grouping, BitrateQuantizationIsStable) {
+  // Two fp-noisy representations of the same ladder rung must merge.
+  std::vector<trace::Session> sessions{make_session(0, 1.5),
+                                       make_session(0, 1.5000000001)};
+  EXPECT_EQ(group_sessions(sessions).size(), 1u);
+}
+
+}  // namespace
+}  // namespace vdx::broker

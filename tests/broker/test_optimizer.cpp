@@ -1,0 +1,156 @@
+#include "broker/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::broker {
+namespace {
+
+ClientGroup make_group(std::uint32_t id, std::uint32_t city, double bitrate,
+                       double count) {
+  ClientGroup g;
+  g.id = ShareId{id};
+  g.city = CityId{city};
+  g.bitrate_mbps = bitrate;
+  g.client_count = count;
+  return g;
+}
+
+BidView make_bid(std::uint32_t share, std::uint32_t cdn, std::uint32_t cluster,
+                 double score, double price, double capacity) {
+  BidView b;
+  b.share = ShareId{share};
+  b.cdn = CdnId{cdn};
+  b.cluster = ClusterId{cluster};
+  b.score = score;
+  b.price = price;
+  b.capacity = capacity;
+  return b;
+}
+
+TEST(Optimizer, PicksBestBidPerGroup) {
+  const std::vector<ClientGroup> groups{make_group(0, 0, 2.0, 10.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 0, 50.0, 1.0, 1000.0),  // bad score
+      make_bid(0, 1, 1, 10.0, 1.0, 1000.0),  // good score, same price
+  };
+  const OptimizeResult result = optimize(groups, bids);
+  ASSERT_EQ(result.allocations.size(), 1u);
+  EXPECT_EQ(result.allocations[0].bid_index, 1u);
+  EXPECT_NEAR(result.allocations[0].clients, 10.0, 1e-6);
+}
+
+TEST(Optimizer, WeightsTradePerformanceForCost) {
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 10.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 0, 10.0, 10.0, 1000.0),  // fast & expensive
+      make_bid(0, 1, 1, 30.0, 1.0, 1000.0),   // slow & cheap
+  };
+  OptimizerConfig perf;
+  perf.weights = {1.0, 0.0};
+  EXPECT_EQ(optimize(groups, bids, perf).allocations[0].bid_index, 0u);
+
+  OptimizerConfig cost;
+  cost.weights = {0.0, 1.0};
+  EXPECT_EQ(optimize(groups, bids, cost).allocations[0].bid_index, 1u);
+}
+
+TEST(Optimizer, RespectsSharedClusterCapacity) {
+  // Two groups both want the same cluster; capacity only fits one of them.
+  const std::vector<ClientGroup> groups{make_group(0, 0, 2.0, 10.0),
+                                        make_group(1, 1, 2.0, 10.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 7, 10.0, 1.0, 20.0),  // cluster 7: 20 Mbps total
+      make_bid(1, 0, 7, 10.0, 1.0, 20.0),
+      make_bid(0, 1, 8, 20.0, 1.0, 1000.0),
+      make_bid(1, 1, 8, 20.0, 1.0, 1000.0),
+  };
+  const OptimizeResult result = optimize(groups, bids);
+  double cluster7_mbps = 0.0;
+  for (const Allocation& a : result.allocations) {
+    if (bids[a.bid_index].cluster == ClusterId{7}) {
+      cluster7_mbps += a.clients * 2.0;
+    }
+  }
+  EXPECT_LE(cluster7_mbps, 20.0 + 1e-6);
+  EXPECT_NEAR(result.overflow_mbps, 0.0, 1e-6);
+}
+
+TEST(Optimizer, EveryClientPlaced) {
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 7.0),
+                                        make_group(1, 1, 2.0, 3.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 0, 10.0, 1.0, 100.0),
+      make_bid(1, 0, 0, 10.0, 1.0, 100.0),
+  };
+  const OptimizeResult result = optimize(groups, bids);
+  std::vector<double> placed(2, 0.0);
+  for (const Allocation& a : result.allocations) {
+    placed[bids[a.bid_index].share.value()] += a.clients;
+  }
+  EXPECT_NEAR(placed[0], 7.0, 1e-6);
+  EXPECT_NEAR(placed[1], 3.0, 1e-6);
+}
+
+TEST(Optimizer, BlacklistedCdnIsIgnored) {
+  ReputationSystem reputation{2};
+  // Drive CDN 0 into blacklist territory.
+  for (int i = 0; i < 10; ++i) reputation.record(CdnId{0}, 10.0, 100.0);
+  ASSERT_TRUE(reputation.is_blacklisted(CdnId{0}));
+
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 5.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 0, 1.0, 0.1, 1000.0),  // blacklisted CDN, dream bid
+      make_bid(0, 1, 1, 50.0, 5.0, 1000.0),
+  };
+  OptimizerConfig config;
+  config.reputation = &reputation;
+  const OptimizeResult result = optimize(groups, bids, config);
+  ASSERT_EQ(result.allocations.size(), 1u);
+  EXPECT_EQ(bids[result.allocations[0].bid_index].cdn, CdnId{1});
+}
+
+TEST(Optimizer, PenaltyMultiplierShiftsChoice) {
+  ReputationSystem reputation{2};
+  // CDN 0 misreports enough to earn a penalty but not a blacklist.
+  for (int i = 0; i < 3; ++i) reputation.record(CdnId{0}, 10.0, 18.0);
+  ASSERT_GT(reputation.penalty_multiplier(CdnId{0}), 1.1);
+  ASSERT_FALSE(reputation.is_blacklisted(CdnId{0}));
+
+  // Nearly tied bids: the penalty tips the scale to CDN 1.
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 5.0)};
+  const std::vector<BidView> bids{
+      make_bid(0, 0, 0, 10.0, 1.0, 1000.0),
+      make_bid(0, 1, 1, 10.5, 1.05, 1000.0),
+  };
+  OptimizerConfig config;
+  config.reputation = &reputation;
+  const OptimizeResult result = optimize(groups, bids, config);
+  ASSERT_EQ(result.allocations.size(), 1u);
+  EXPECT_EQ(bids[result.allocations[0].bid_index].cdn, CdnId{1});
+}
+
+TEST(Optimizer, RejectsMalformedInput) {
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 5.0)};
+  // Bid referencing an unknown share.
+  const std::vector<BidView> dangling{make_bid(9, 0, 0, 10.0, 1.0, 100.0)};
+  EXPECT_THROW((void)optimize(groups, dangling), std::invalid_argument);
+
+  // Group with clients but no bids.
+  EXPECT_THROW((void)optimize(groups, {}), std::invalid_argument);
+
+  // Duplicate share ids.
+  const std::vector<ClientGroup> duplicate{make_group(0, 0, 1.0, 5.0),
+                                           make_group(0, 1, 1.0, 5.0)};
+  const std::vector<BidView> bids{make_bid(0, 0, 0, 10.0, 1.0, 100.0)};
+  EXPECT_THROW((void)optimize(duplicate, bids), std::invalid_argument);
+}
+
+TEST(Optimizer, OverflowReportedWhenCapacityShort) {
+  const std::vector<ClientGroup> groups{make_group(0, 0, 2.0, 10.0)};
+  const std::vector<BidView> bids{make_bid(0, 0, 0, 10.0, 1.0, 4.0)};  // 20 needed
+  const OptimizeResult result = optimize(groups, bids);
+  EXPECT_NEAR(result.overflow_mbps, 16.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace vdx::broker

@@ -1,0 +1,80 @@
+#include "broker/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::broker {
+namespace {
+
+using core::CdnId;
+
+TEST(Reputation, HonestCdnKeepsCleanRecord) {
+  ReputationSystem rep{3};
+  for (int i = 0; i < 50; ++i) rep.record(CdnId{0}, 10.0, 10.5);  // 5% error
+  EXPECT_DOUBLE_EQ(rep.penalty_multiplier(CdnId{0}), 1.0);
+  EXPECT_FALSE(rep.is_blacklisted(CdnId{0}));
+  EXPECT_LT(rep.error_estimate(CdnId{0}), 0.1);
+}
+
+TEST(Reputation, ToleratedNoiseBandIsFree) {
+  ReputationSystem rep{1};
+  for (int i = 0; i < 20; ++i) rep.record(CdnId{0}, 10.0, 12.5);  // 25% < 30%
+  EXPECT_DOUBLE_EQ(rep.penalty_multiplier(CdnId{0}), 1.0);
+}
+
+TEST(Reputation, MisreportsGrowPenalty) {
+  ReputationSystem rep{1};
+  for (int i = 0; i < 10; ++i) rep.record(CdnId{0}, 10.0, 20.0);  // 100% error
+  EXPECT_GT(rep.penalty_multiplier(CdnId{0}), 2.0);
+  EXPECT_NEAR(rep.error_estimate(CdnId{0}), 1.0, 0.1);
+}
+
+TEST(Reputation, ExtremeFraudGetsBlacklisted) {
+  ReputationSystem rep{1};
+  for (int i = 0; i < 10; ++i) rep.record(CdnId{0}, 10.0, 50.0);  // 400% error
+  EXPECT_TRUE(rep.is_blacklisted(CdnId{0}));
+}
+
+TEST(Reputation, BlacklistRequiresConsecutiveStrikes) {
+  ReputationConfig config;
+  config.blacklist_strikes = 3;
+  ReputationSystem rep{1, config};
+  // Two big misreports, then honesty resets the strike counter.
+  rep.record(CdnId{0}, 10.0, 60.0);
+  rep.record(CdnId{0}, 10.0, 60.0);
+  for (int i = 0; i < 20; ++i) rep.record(CdnId{0}, 10.0, 10.0);
+  EXPECT_FALSE(rep.is_blacklisted(CdnId{0}));
+}
+
+TEST(Reputation, RecoveryAfterCleaningUp) {
+  ReputationSystem rep{1};
+  for (int i = 0; i < 5; ++i) rep.record(CdnId{0}, 10.0, 20.0);
+  const double dirty = rep.penalty_multiplier(CdnId{0});
+  for (int i = 0; i < 30; ++i) rep.record(CdnId{0}, 10.0, 10.0);
+  EXPECT_LT(rep.penalty_multiplier(CdnId{0}), dirty);
+  EXPECT_DOUBLE_EQ(rep.penalty_multiplier(CdnId{0}), 1.0);
+}
+
+TEST(Reputation, CdnsAreIndependent) {
+  ReputationSystem rep{2};
+  for (int i = 0; i < 10; ++i) rep.record(CdnId{0}, 10.0, 60.0);
+  EXPECT_TRUE(rep.is_blacklisted(CdnId{0}));
+  EXPECT_FALSE(rep.is_blacklisted(CdnId{1}));
+  EXPECT_DOUBLE_EQ(rep.penalty_multiplier(CdnId{1}), 1.0);
+}
+
+TEST(Reputation, UnknownCdnThrows) {
+  ReputationSystem rep{2};
+  EXPECT_THROW(rep.record(CdnId{5}, 1.0, 1.0), std::out_of_range);
+  EXPECT_THROW((void)rep.penalty_multiplier(CdnId{}), std::out_of_range);
+  EXPECT_THROW((void)rep.is_blacklisted(CdnId{2}), std::out_of_range);
+  EXPECT_EQ(rep.size(), 2u);
+}
+
+TEST(Reputation, RelativeErrorGuardsAgainstZeroAnnouncement) {
+  ReputationSystem rep{1};
+  rep.record(CdnId{0}, 0.0, 5.0);  // announced 0: guarded division
+  EXPECT_GT(rep.error_estimate(CdnId{0}), 0.0);
+}
+
+}  // namespace
+}  // namespace vdx::broker

@@ -1,0 +1,192 @@
+#include "cdn/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vdx::cdn {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : world_(geo::World::generate({})) {}
+
+  CdnCatalog make_catalog(std::uint64_t seed = 11) {
+    core::Rng rng{seed};
+    return CdnCatalog::generate(world_, config_, rng);
+  }
+
+  geo::World world_;
+  CatalogConfig config_;
+};
+
+TEST_F(CatalogTest, GeneratesRequestedCdnCount) {
+  const CdnCatalog catalog = make_catalog();
+  EXPECT_EQ(catalog.cdns().size(), 14u);
+}
+
+TEST_F(CatalogTest, ClusterIdsDenseAndOwnedConsistently) {
+  const CdnCatalog catalog = make_catalog();
+  for (std::size_t i = 0; i < catalog.clusters().size(); ++i) {
+    EXPECT_EQ(catalog.clusters()[i].id.value(), i);
+  }
+  std::size_t total = 0;
+  for (const Cdn& cdn : catalog.cdns()) {
+    for (const ClusterId id : catalog.clusters_of(cdn.id)) {
+      EXPECT_EQ(catalog.cluster(id).cdn, cdn.id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, catalog.clusters().size());
+}
+
+TEST_F(CatalogTest, DeploymentModelsHaveExpectedFootprints) {
+  const CdnCatalog catalog = make_catalog();
+  const Cdn& distributed = catalog.cdns().front();
+  EXPECT_EQ(distributed.model, DeploymentModel::kDistributed);
+
+  const auto distinct_cities = [&](const Cdn& cdn) {
+    std::set<std::uint32_t> cities;
+    for (const ClusterId id : cdn.clusters) {
+      cities.insert(catalog.cluster(id).city.value());
+    }
+    return cities.size();
+  };
+
+  std::size_t central_count = 0;
+  for (const Cdn& cdn : catalog.cdns()) {
+    switch (cdn.model) {
+      case DeploymentModel::kDistributed:
+        EXPECT_GT(distinct_cities(cdn),
+                  world_.cities().size() / 2);  // most cities covered
+        break;
+      case DeploymentModel::kCentral:
+        ++central_count;
+        // Few strategic sites, multiple clusters per site.
+        EXPECT_LE(distinct_cities(cdn), world_.cities().size() / 4);
+        EXPECT_GT(cdn.clusters.size(), distinct_cities(cdn));
+        break;
+      case DeploymentModel::kRegional:
+        EXPECT_LT(distinct_cities(cdn), world_.cities().size());
+        break;
+      case DeploymentModel::kCityCentric:
+        ADD_FAILURE() << "no city CDNs in the base catalog";
+    }
+  }
+  EXPECT_EQ(central_count, 4u);
+}
+
+TEST_F(CatalogTest, RegionalCdnsAreGeographicallyCompact) {
+  const CdnCatalog catalog = make_catalog();
+  for (const Cdn& cdn : catalog.cdns()) {
+    if (cdn.model != DeploymentModel::kRegional) continue;
+    // Max pairwise distance of a regional CDN must be well below antipodal.
+    double max_d = 0.0;
+    for (const ClusterId a : cdn.clusters) {
+      for (const ClusterId b : cdn.clusters) {
+        max_d = std::max(max_d, world_.distance_km(catalog.cluster(a).city,
+                                                   catalog.cluster(b).city));
+      }
+    }
+    EXPECT_LT(max_d, 19'000.0) << cdn.name;
+  }
+}
+
+TEST_F(CatalogTest, CostsReflectCountryLadder) {
+  const CdnCatalog catalog = make_catalog();
+  // Average cluster bandwidth cost in the most expensive country must exceed
+  // the average in the cheapest country (jitter cannot invert a 30x gap).
+  double expensive_sum = 0.0;
+  std::size_t expensive_n = 0;
+  double cheap_sum = 0.0;
+  std::size_t cheap_n = 0;
+  const auto expensive_country = world_.countries().front().id;
+  const auto cheap_country = world_.countries().back().id;
+  for (const Cluster& cluster : catalog.clusters()) {
+    const auto country = world_.country_of(cluster.city).id;
+    if (country == expensive_country) {
+      expensive_sum += cluster.bandwidth_cost;
+      ++expensive_n;
+    } else if (country == cheap_country) {
+      cheap_sum += cluster.bandwidth_cost;
+      ++cheap_n;
+    }
+  }
+  if (expensive_n > 0 && cheap_n > 0) {
+    EXPECT_GT(expensive_sum / expensive_n, 5.0 * (cheap_sum / cheap_n));
+  }
+}
+
+TEST_F(CatalogTest, ColocationDiscountLowersColoCost) {
+  CdnCatalog catalog = make_catalog();
+  // Count CDNs per city; a city hosting many clusters must have cheaper colo
+  // than the same-country city hosting fewer (formula is deterministic).
+  const Cluster& sample = catalog.clusters().front();
+  const auto& country = world_.country_of(sample.city);
+  const double solo_cost = config_.base_colo_cost * country.colo_cost_factor /
+                           (1.0 + std::log(2.0));
+  EXPECT_LE(sample.colo_cost, solo_cost * 1.0001);
+}
+
+TEST_F(CatalogTest, DeterministicForSameSeed) {
+  const CdnCatalog a = make_catalog(7);
+  const CdnCatalog b = make_catalog(7);
+  ASSERT_EQ(a.clusters().size(), b.clusters().size());
+  for (std::size_t i = 0; i < a.clusters().size(); ++i) {
+    EXPECT_EQ(a.clusters()[i].city, b.clusters()[i].city);
+    EXPECT_DOUBLE_EQ(a.clusters()[i].bandwidth_cost, b.clusters()[i].bandwidth_cost);
+  }
+}
+
+TEST_F(CatalogTest, AddCityCdnsAppendsSingleClusterCdns) {
+  CdnCatalog catalog = make_catalog();
+  const std::size_t base_cdns = catalog.cdns().size();
+  const std::size_t base_clusters = catalog.clusters().size();
+  core::Rng rng{3};
+  catalog.add_city_cdns(world_, 200, rng);
+  EXPECT_EQ(catalog.cdns().size(), base_cdns + 200);
+  EXPECT_EQ(catalog.clusters().size(), base_clusters + 200);
+  for (std::size_t i = base_cdns; i < catalog.cdns().size(); ++i) {
+    const Cdn& cdn = catalog.cdns()[i];
+    EXPECT_EQ(cdn.model, DeploymentModel::kCityCentric);
+    EXPECT_EQ(cdn.clusters.size(), 1u);
+  }
+}
+
+TEST_F(CatalogTest, CityCdnArrivalLowersColoCosts) {
+  CdnCatalog catalog = make_catalog();
+  const double before = catalog.clusters().front().colo_cost;
+  core::Rng rng{3};
+  catalog.add_city_cdns(world_, 200, rng);
+  // With 200 extra tenants spread over the same sites, the first cluster's
+  // city almost surely gained co-located CDNs -> discount deepened (never
+  // shallower).
+  EXPECT_LE(catalog.clusters().front().colo_cost, before);
+}
+
+TEST_F(CatalogTest, VantagesAlignWithClusterIds) {
+  const CdnCatalog catalog = make_catalog();
+  const auto vantages = catalog.vantages(world_);
+  ASSERT_EQ(vantages.size(), catalog.clusters().size());
+  for (std::size_t i = 0; i < vantages.size(); ++i) {
+    EXPECT_EQ(vantages[i].city, catalog.clusters()[i].city);
+    EXPECT_EQ(vantages[i].salt, catalog.clusters()[i].salt);
+  }
+}
+
+TEST_F(CatalogTest, LookupErrors) {
+  const CdnCatalog catalog = make_catalog();
+  EXPECT_THROW((void)catalog.cdn(CdnId{999}), std::out_of_range);
+  EXPECT_THROW((void)catalog.cluster(ClusterId{99'999}), std::out_of_range);
+  EXPECT_THROW((void)catalog.cdn(CdnId{}), std::out_of_range);
+}
+
+TEST_F(CatalogTest, RejectsZeroCdnConfig) {
+  CatalogConfig bad;
+  bad.cdn_count = 0;
+  core::Rng rng{1};
+  EXPECT_THROW((void)CdnCatalog::generate(world_, bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::cdn

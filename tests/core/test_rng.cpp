@@ -1,0 +1,154 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace vdx::core {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanSmallAndLargeRegimes) {
+  Rng rng{19};
+  for (const double mean : {2.5, 80.0}) {
+    double sum = 0.0;
+    constexpr int kN = 50'000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng{23};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{29};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsDeterministicAndLabelSensitive) {
+  Rng parent1{99};
+  Rng parent2{99};
+  Rng a = parent1.fork("alpha");
+  Rng b = parent2.fork("alpha");
+  EXPECT_EQ(a(), b());
+
+  Rng parent3{99};
+  Rng c = parent3.fork("beta");
+  Rng parent4{99};
+  Rng d = parent4.fork("alpha");
+  EXPECT_NE(c(), d());
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{31};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = split_mix64(state);
+  const std::uint64_t second = split_mix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(split_mix64(state2), first);
+}
+
+}  // namespace
+}  // namespace vdx::core

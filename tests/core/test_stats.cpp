@@ -1,0 +1,145 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace vdx::core {
+namespace {
+
+TEST(Median, EmptyIsNullopt) {
+  EXPECT_FALSE(median(std::span<const double>{}).has_value());
+}
+
+TEST(Median, OddAndEvenSizes) {
+  const std::array<double, 5> odd{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(*median(std::span<const double>{odd}), 3.0);
+  const std::array<double, 4> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(*median(std::span<const double>{even}), 2.5);
+}
+
+TEST(Quantile, EdgesAndMiddle) {
+  const std::array<double, 5> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  const std::span<const double> s{v};
+  EXPECT_DOUBLE_EQ(*quantile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*quantile(s, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(*quantile(s, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(*quantile(s, 0.5), 30.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStats) {
+  const std::array<double, 2> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(*quantile(std::span<const double>{v}, 0.3), 3.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ) {
+  const std::array<double, 2> v{0.0, 1.0};
+  EXPECT_THROW((void)quantile(std::span<const double>{v}, 1.5), std::invalid_argument);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  const std::array<double, 3> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{v}), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);        // bin 0
+  h.add(9.9);        // bin 4
+  h.add(-3.0);       // clamps to bin 0
+  h.add(25.0);       // clamps to bin 4
+  h.add(4.0, 2.0);   // bin 2, weight 2
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(2), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const auto fit = fit_line(xs, ys);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->at(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputsRejected) {
+  std::vector<double> one{1.0};
+  EXPECT_FALSE(fit_line(one, one).has_value());
+  std::vector<double> same_x{2.0, 2.0, 2.0};
+  std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_FALSE(fit_line(same_x, ys).has_value());
+  std::vector<double> mismatched{1.0, 2.0};
+  EXPECT_FALSE(fit_line(mismatched, ys).has_value());
+}
+
+TEST(LinearFit, NoisyDataReasonableRSquared) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const auto fit = fit_line(xs, ys);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->slope, 3.0, 0.01);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace vdx::core

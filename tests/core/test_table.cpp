@@ -1,0 +1,51 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vdx::core {
+namespace {
+
+TEST(Table, RejectsEmptyHeadersAndArityMismatch) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{{"Design", "Cost"}};
+  t.set_title("Table 3");
+  t.add_row({"Brokered", "136"});
+  t.add_row({"Marketplace", "93"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table 3"), std::string::npos);
+  EXPECT_NE(out.find("| Design      |"), std::string::npos);
+  EXPECT_NE(out.find("| Marketplace |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{{"name", "note"}};
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_EQ(out.find("\"plain\""), std::string::npos);  // no needless quoting
+}
+
+TEST(Format, DoubleAndPercent) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_percent(0.314, 1), "31.4%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace vdx::core

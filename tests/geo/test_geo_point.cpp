@@ -1,0 +1,71 @@
+#include "geo/geo_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::geo {
+namespace {
+
+TEST(Haversine, ZeroDistanceForSamePoint) {
+  const GeoPoint p{40.0, -75.0};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{52.52, 13.405};   // Berlin
+  const GeoPoint b{40.7128, -74.006};  // New York
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, KnownCityPairWithinTolerance) {
+  // Berlin <-> New York great-circle distance is about 6385 km.
+  const GeoPoint berlin{52.52, 13.405};
+  const GeoPoint nyc{40.7128, -74.006};
+  EXPECT_NEAR(haversine_km(berlin, nyc), 6385.0, 50.0);
+}
+
+TEST(Haversine, QuarterMeridian) {
+  // Equator to pole along a meridian is ~10007 km.
+  const GeoPoint equator{0.0, 0.0};
+  const GeoPoint pole{90.0, 0.0};
+  EXPECT_NEAR(haversine_km(equator, pole), 10007.5, 10.0);
+}
+
+TEST(Haversine, AntipodesAreHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), M_PI * kEarthRadiusKm, 1.0);
+}
+
+TEST(Haversine, MilesConversion) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 1.0};
+  EXPECT_NEAR(haversine_miles(a, b), haversine_km(a, b) / kKmPerMile, 1e-9);
+}
+
+TEST(Haversine, TriangleInequalityHolds) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-30.0, 140.0};
+  const GeoPoint c{55.0, -100.0};
+  EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-9);
+}
+
+TEST(Normalized, WrapsLongitudeAndClampsLatitude) {
+  const GeoPoint wrapped = normalized({95.0, 190.0});
+  EXPECT_DOUBLE_EQ(wrapped.latitude_deg, 90.0);
+  EXPECT_DOUBLE_EQ(wrapped.longitude_deg, -170.0);
+
+  const GeoPoint negative = normalized({-95.0, -190.0});
+  EXPECT_DOUBLE_EQ(negative.latitude_deg, -90.0);
+  EXPECT_DOUBLE_EQ(negative.longitude_deg, 170.0);
+
+  const GeoPoint identity = normalized({45.0, -45.0});
+  EXPECT_EQ(identity, (GeoPoint{45.0, -45.0}));
+}
+
+TEST(DegToRad, Basics) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), M_PI);
+  EXPECT_DOUBLE_EQ(deg_to_rad(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vdx::geo

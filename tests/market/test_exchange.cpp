@@ -1,0 +1,152 @@
+#include "market/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vdx::market {
+namespace {
+
+class ExchangeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 3000;
+    config.seed = 31;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+
+ private:
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* ExchangeTest::scenario_ = nullptr;
+
+TEST_F(ExchangeTest, SingleRoundProducesDecisionsOverTheWire) {
+  VdxExchange exchange{scenario()};
+  const RoundReport report = exchange.run_round();
+  EXPECT_GT(report.wire.shares_sent, 0u);
+  EXPECT_GT(report.wire.bids_received, 0u);
+  EXPECT_GT(report.wire.accepts_sent, report.wire.bids_received);  // fan-out
+  EXPECT_GT(report.wire.bytes_on_wire, 0u);
+  EXPECT_GT(report.mean_score, 0.0);
+  EXPECT_GT(report.mean_cost, 0.0);
+  EXPECT_LT(report.congested_fraction, 0.05);
+
+  const double total_awarded =
+      std::accumulate(report.awarded_mbps.begin(), report.awarded_mbps.end(), 0.0);
+  EXPECT_GT(total_awarded, 0.0);
+}
+
+TEST_F(ExchangeTest, RiskAverseLearnsTrafficPredictability) {
+  ExchangeConfig risk_config;
+  risk_config.strategy = StrategyKind::kRiskAverse;
+  VdxExchange learner{scenario(), risk_config};
+  const auto reports = learner.run(8);
+
+  ExchangeConfig static_config;
+  static_config.strategy = StrategyKind::kStatic;
+  VdxExchange fixed{scenario(), static_config};
+  const auto static_reports = fixed.run(8);
+
+  // The learner's prediction error falls well below round 0 and below the
+  // static bidder's steady-state error (the paper's §6.3 argument).
+  EXPECT_LT(reports.back().mean_prediction_error,
+            reports.front().mean_prediction_error * 0.8);
+  EXPECT_LT(reports.back().mean_prediction_error,
+            static_reports.back().mean_prediction_error);
+}
+
+TEST_F(ExchangeTest, FailedCdnIsAbsorbedByOthers) {
+  VdxExchange exchange{scenario()};
+  const RoundReport healthy = exchange.run_round();
+
+  // Kill the CDN that carried the most traffic.
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < healthy.awarded_mbps.size(); ++i) {
+    if (healthy.awarded_mbps[i] > healthy.awarded_mbps[top]) top = i;
+  }
+  exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, true);
+  const RoundReport degraded = exchange.run_round();
+
+  // The failed CDN gets nothing; every client is still served.
+  EXPECT_DOUBLE_EQ(degraded.awarded_mbps[top], 0.0);
+  const double healthy_total =
+      std::accumulate(healthy.awarded_mbps.begin(), healthy.awarded_mbps.end(), 0.0);
+  const double degraded_total =
+      std::accumulate(degraded.awarded_mbps.begin(), degraded.awarded_mbps.end(), 0.0);
+  EXPECT_NEAR(degraded_total, healthy_total, healthy_total * 0.02);
+
+  // Recovery.
+  exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, false);
+  const RoundReport recovered = exchange.run_round();
+  EXPECT_GT(recovered.awarded_mbps[top], 0.0);
+}
+
+TEST_F(ExchangeTest, FraudulentCdnLosesReputationAndTraffic) {
+  ExchangeConfig config;
+  config.strategy = StrategyKind::kStatic;  // isolate the reputation effect
+  VdxExchange exchange{scenario(), config};
+
+  const RoundReport before = exchange.run_round();
+  // Pick a CDN that currently wins traffic and turn it fraudulent.
+  std::size_t culprit = 0;
+  for (std::size_t i = 1; i < before.awarded_mbps.size(); ++i) {
+    if (before.awarded_mbps[i] > before.awarded_mbps[culprit]) culprit = i;
+  }
+  const cdn::CdnId culprit_id{static_cast<std::uint32_t>(culprit)};
+  exchange.set_fraudulent(culprit_id, true);
+
+  // Fraud initially wins MORE traffic (great fake scores/prices)...
+  const RoundReport fraud_round = exchange.run_round();
+  EXPECT_GT(fraud_round.awarded_mbps[culprit], 0.0);
+
+  // ...but the reputation system catches the misreports and squeezes it.
+  std::vector<RoundReport> later = exchange.run(6);
+  EXPECT_GT(exchange.reputation().error_estimate(culprit_id), 0.5);
+  EXPECT_LT(later.back().awarded_mbps[culprit], fraud_round.awarded_mbps[culprit]);
+}
+
+TEST_F(ExchangeTest, DeliveryProtocolServesClients) {
+  VdxExchange exchange{scenario()};
+  EXPECT_THROW((void)exchange.deliver(1, geo::CityId{0}, 2.0), std::logic_error);
+  (void)exchange.run_round();
+
+  // Deliver a client in a city that has broker traffic.
+  const auto& group = scenario().broker_groups().front();
+  const proto::DeliveryOutcome outcome =
+      exchange.deliver(123, group.city, group.bitrate_mbps);
+  EXPECT_EQ(outcome.delivery.session_id, 123u);
+  EXPECT_GT(outcome.delivery.delivered_mbps, 0.0);
+  EXPECT_LE(outcome.delivery.delivered_mbps, group.bitrate_mbps + 1e-9);
+  EXPECT_GT(outcome.bytes_on_wire, 0u);
+}
+
+TEST_F(ExchangeTest, InvalidCdnSwitchesThrow) {
+  VdxExchange exchange{scenario()};
+  EXPECT_THROW(exchange.set_failed(cdn::CdnId{999}, true), std::out_of_range);
+  EXPECT_THROW(exchange.set_fraudulent(cdn::CdnId{}, true), std::out_of_range);
+}
+
+TEST_F(ExchangeTest, RoundsAreStableWithStaticStrategy) {
+  ExchangeConfig config;
+  config.strategy = StrategyKind::kStatic;
+  config.broker.enable_reputation = false;
+  VdxExchange exchange{scenario(), config};
+  const RoundReport first = exchange.run_round();
+  const RoundReport second = exchange.run_round();
+  // No learning, no reputation: identical decisions round over round (the
+  // Decision Protocol is deterministic).
+  ASSERT_EQ(first.awarded_mbps.size(), second.awarded_mbps.size());
+  for (std::size_t i = 0; i < first.awarded_mbps.size(); ++i) {
+    EXPECT_NEAR(first.awarded_mbps[i], second.awarded_mbps[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace vdx::market

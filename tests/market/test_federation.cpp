@@ -1,0 +1,92 @@
+#include "market/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vdx::market {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 5000;
+    config.seed = 83;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+
+ private:
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* FederationTest::scenario_ = nullptr;
+
+TEST_F(FederationTest, PartitionCoversAllCities) {
+  FederationConfig config;
+  config.region_count = 4;
+  const FederationResult result = run_federated_marketplace(scenario(), config);
+  EXPECT_EQ(result.region_city_counts.size(), 4u);
+  const std::size_t covered = std::accumulate(result.region_city_counts.begin(),
+                                              result.region_city_counts.end(),
+                                              std::size_t{0});
+  EXPECT_EQ(covered, scenario().world().cities().size());
+  for (const std::size_t count : result.region_city_counts) EXPECT_GT(count, 0u);
+}
+
+TEST_F(FederationTest, AllClientsServed) {
+  FederationConfig config;
+  config.region_count = 4;
+  const FederationResult result = run_federated_marketplace(scenario(), config);
+  double expected = 0.0;
+  for (const auto& g : scenario().broker_groups()) {
+    expected += g.client_count * g.bitrate_mbps;
+  }
+  EXPECT_NEAR(result.metrics.broker_traffic_mbps, expected, expected * 1e-3);
+}
+
+TEST_F(FederationTest, SingleRegionMatchesGlobalMarketplace) {
+  FederationConfig config;
+  config.region_count = 1;
+  const FederationResult federated = run_federated_marketplace(scenario(), config);
+  const sim::DesignOutcome global =
+      sim::run_design(scenario(), sim::Design::kMarketplace);
+  const sim::DesignMetrics global_metrics = sim::compute_metrics(scenario(), global);
+  EXPECT_NEAR(federated.metrics.mean_score, global_metrics.mean_score,
+              0.02 * global_metrics.mean_score);
+  EXPECT_NEAR(federated.metrics.mean_cost, global_metrics.mean_cost,
+              0.02 * global_metrics.mean_cost);
+}
+
+TEST_F(FederationTest, RegionalizationShrinksInstancesButCostsQuality) {
+  FederationConfig one;
+  one.region_count = 1;
+  FederationConfig eight;
+  eight.region_count = 8;
+  const FederationResult global = run_federated_marketplace(scenario(), one);
+  const FederationResult regional = run_federated_marketplace(scenario(), eight);
+
+  // Scalability win: the largest optimization instance shrinks.
+  EXPECT_LT(regional.largest_instance_options, global.largest_instance_options);
+  // Quality cost (the paper's §6.3 warning): the federated optimum cannot
+  // beat the global one on the broker's own objective; allow fp slack.
+  const auto objective = [](const FederationResult& r) {
+    return r.metrics.mean_score + 2.0 * r.metrics.mean_cost;
+  };
+  EXPECT_GE(objective(regional), objective(global) - 1e-6);
+}
+
+TEST_F(FederationTest, RejectsZeroRegions) {
+  FederationConfig config;
+  config.region_count = 0;
+  EXPECT_THROW((void)run_federated_marketplace(scenario(), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::market

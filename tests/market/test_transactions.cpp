@@ -1,0 +1,85 @@
+#include "market/transactions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::market {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 3000;
+    config.seed = 41;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+
+ private:
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* TransactionTest::scenario_ = nullptr;
+
+TEST_F(TransactionTest, CommitsImmediatelyWithoutStrategicVetoes) {
+  TransactionConfig config;
+  config.veto_threshold = 0.0;
+  const TransactionResult result = run_transactions(scenario(), config);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.rounds_used, 1u);
+  EXPECT_EQ(result.withdrawn_cdns, 0u);
+  EXPECT_GT(result.final_mean_score, 0.0);
+}
+
+TEST_F(TransactionTest, StrategicVetoesForceRecomputeRounds) {
+  TransactionConfig config;
+  config.veto_threshold = 0.3;
+  const TransactionResult result = run_transactions(scenario(), config);
+  // Some CDNs inevitably win less than 30% of what they bid for (the broker
+  // concentrates traffic), so the first mapping cannot stand.
+  EXPECT_GT(result.rounds_used, 1u);
+  EXPECT_FALSE(result.rounds.front().vetoes.empty());
+  EXPECT_GT(result.withdrawn_cdns, 0u);
+}
+
+TEST_F(TransactionTest, CommittedMappingIsWorseThanFirstAttempt) {
+  TransactionConfig config;
+  config.veto_threshold = 0.3;
+  const TransactionResult result = run_transactions(scenario(), config);
+  if (!result.committed) GTEST_SKIP() << "never committed at this threshold";
+  // Every withdrawal shrinks the broker's option set, so the committed
+  // mapping cannot beat the first (vetoed) one — the cost of "strong TP".
+  EXPECT_GE(result.final_mean_score, result.rounds.front().mean_score - 1e-9);
+}
+
+TEST_F(TransactionTest, GreedyVetoThresholdNeverCommits) {
+  TransactionConfig config;
+  config.veto_threshold = 1.01;  // demand more than everything bid
+  config.max_rounds = 5;
+  const TransactionResult result = run_transactions(scenario(), config);
+  // Every bidding CDN vetoes every round until all have walked away (or the
+  // round limit hits) — the paper's "CDNs may never all approve".
+  EXPECT_FALSE(result.committed && result.withdrawn_cdns == 0);
+  EXPECT_GE(result.withdrawn_cdns, 1u);
+}
+
+TEST_F(TransactionTest, VetoRoundsAreRecorded) {
+  TransactionConfig config;
+  config.veto_threshold = 0.3;
+  const TransactionResult result = run_transactions(scenario(), config);
+  ASSERT_EQ(result.rounds.size(), result.rounds_used);
+  // All rounds except possibly the last carry vetoes.
+  for (std::size_t r = 0; r + 1 < result.rounds.size(); ++r) {
+    EXPECT_FALSE(result.rounds[r].vetoes.empty()) << "round " << r;
+  }
+  if (result.committed) {
+    EXPECT_TRUE(result.rounds.back().vetoes.empty());
+  }
+}
+
+}  // namespace
+}  // namespace vdx::market

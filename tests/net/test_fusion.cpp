@@ -1,0 +1,93 @@
+#include "net/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::net {
+namespace {
+
+TEST(FuseEstimates, NoBrokerSampleReturnsCdnEstimate) {
+  EXPECT_DOUBLE_EQ(fuse_estimates(42.0, 0.35, std::nullopt, 0.15), 42.0);
+}
+
+TEST(FuseEstimates, FusedLandsBetweenTheEstimates) {
+  const double fused = fuse_estimates(40.0, 0.35, 20.0, 0.15);
+  EXPECT_GT(fused, 20.0);
+  EXPECT_LT(fused, 40.0);
+}
+
+TEST(FuseEstimates, LeansTowardTheLessNoisyVantage) {
+  // Broker sigma much smaller -> fused should sit near the broker estimate.
+  const double fused = fuse_estimates(40.0, 0.5, 20.0, 0.05);
+  EXPECT_LT(fused, 22.0);
+  // Symmetric sigmas -> geometric mean.
+  const double balanced = fuse_estimates(40.0, 0.3, 10.0, 0.3);
+  EXPECT_NEAR(balanced, 20.0, 1e-9);
+}
+
+TEST(FuseEstimates, RejectsNonPositive) {
+  EXPECT_THROW((void)fuse_estimates(0.0, 0.3, std::nullopt, 0.3),
+               std::invalid_argument);
+  EXPECT_THROW((void)fuse_estimates(1.0, 0.3, 0.0, 0.3), std::invalid_argument);
+}
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest() : world_(geo::World::generate({})) {
+    std::vector<Vantage> vantages;
+    for (const geo::City& city : world_.cities()) {
+      vantages.push_back(Vantage{city.id, city.id.value()});
+    }
+    PathModel model{{}, 3};
+    core::Rng rng{4};
+    truth_ = std::make_unique<MappingTable>(
+        MappingTable::measure(world_, vantages, model, {}, rng));
+  }
+
+  geo::World world_;
+  std::unique_ptr<MappingTable> truth_;
+};
+
+TEST_F(FusionTest, FusionBeatsCdnOnlyEstimates) {
+  core::Rng rng{11};
+  const FusionReport report = evaluate_fusion(world_, *truth_, {}, rng);
+  EXPECT_GT(report.pairs, 0u);
+  EXPECT_GT(report.broker_covered_pairs, 0u);
+  // §3.3's claim quantified: the fused map is strictly more accurate.
+  EXPECT_LT(report.fused_error, report.cdn_only_error);
+  // On covered pairs the broker's in-connection samples are sharper.
+  EXPECT_LT(report.broker_only_error, report.cdn_only_error);
+  EXPECT_GT(report.improved_fraction, 0.15);  // at least the covered share
+}
+
+TEST_F(FusionTest, MoreBrokerCoverageMoreAccuracy) {
+  VantageNoise sparse;
+  sparse.broker_coverage = 0.1;
+  VantageNoise dense;
+  dense.broker_coverage = 0.9;
+  core::Rng rng_a{21};
+  core::Rng rng_b{21};
+  const FusionReport low = evaluate_fusion(world_, *truth_, sparse, rng_a);
+  const FusionReport high = evaluate_fusion(world_, *truth_, dense, rng_b);
+  EXPECT_LT(high.fused_error, low.fused_error);
+  EXPECT_GT(high.broker_covered_pairs, low.broker_covered_pairs);
+}
+
+TEST_F(FusionTest, ZeroCoverageDegradesToCdnOnly) {
+  VantageNoise none;
+  none.broker_coverage = 0.0;
+  core::Rng rng{31};
+  const FusionReport report = evaluate_fusion(world_, *truth_, none, rng);
+  EXPECT_EQ(report.broker_covered_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.fused_error, report.cdn_only_error);
+}
+
+TEST_F(FusionTest, RejectsBadCoverage) {
+  VantageNoise bad;
+  bad.broker_coverage = 1.5;
+  core::Rng rng{41};
+  EXPECT_THROW((void)evaluate_fusion(world_, *truth_, bad, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::net

@@ -1,0 +1,147 @@
+#include "net/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace vdx::net {
+namespace {
+
+class MappingTest : public ::testing::Test {
+ protected:
+  MappingTest()
+      : world_(geo::World::generate(world_config())), model_(PathModelConfig{}, 5) {
+    for (const auto& city : world_.cities()) {
+      vantages_.push_back(Vantage{city.id, city.id.value()});
+    }
+  }
+
+  static geo::WorldConfig world_config() {
+    geo::WorldConfig config;
+    config.country_count = 6;
+    config.city_count = 20;
+    config.seed = 42;
+    return config;
+  }
+
+  geo::World world_;
+  PathModel model_;
+  std::vector<Vantage> vantages_;
+};
+
+TEST_F(MappingTest, FullyMeasuredTableMatchesModel) {
+  core::Rng rng{1};
+  MappingConfig config;
+  config.measured_fraction = 1.0;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+  for (const auto& city : world_.cities()) {
+    for (std::size_t v = 0; v < vantages_.size(); ++v) {
+      EXPECT_TRUE(table.measured(city.id, v));
+      const double expected = model_.score(
+          city.location, world_.city(vantages_[v].city).location, vantages_[v].salt);
+      EXPECT_DOUBLE_EQ(table.score(city.id, v), expected);
+    }
+  }
+}
+
+TEST_F(MappingTest, MissingPairsAreExtrapolatedPositive) {
+  core::Rng rng{2};
+  MappingConfig config;
+  config.measured_fraction = 0.5;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+  std::size_t unmeasured = 0;
+  for (const auto& city : world_.cities()) {
+    for (std::size_t v = 0; v < vantages_.size(); ++v) {
+      if (!table.measured(city.id, v)) {
+        ++unmeasured;
+        EXPECT_GT(table.score(city.id, v), 0.0);
+      }
+    }
+  }
+  EXPECT_GT(unmeasured, 0u);
+  ASSERT_TRUE(table.extrapolation_fit().has_value());
+  // Scores grow with distance, so the fit slope must be positive.
+  EXPECT_GT(table.extrapolation_fit()->slope, 0.0);
+}
+
+TEST_F(MappingTest, SimilarVantagesSortedBestFirstAndWithinCutoff) {
+  core::Rng rng{3};
+  MappingConfig config;
+  config.measured_fraction = 1.0;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+
+  std::vector<std::size_t> subset(vantages_.size());
+  std::iota(subset.begin(), subset.end(), std::size_t{0});
+  const geo::CityId city = world_.cities().front().id;
+
+  const auto similar = table.similar_vantages(city, subset, 0.25);
+  ASSERT_FALSE(similar.empty());
+  const double best = table.score(city, subset[similar.front()]);
+  double previous = 0.0;
+  for (const std::size_t i : similar) {
+    const double s = table.score(city, subset[i]);
+    EXPECT_GE(s, previous);
+    EXPECT_LE(s, best * 1.25 + 1e-9);
+    previous = s;
+  }
+}
+
+TEST_F(MappingTest, SimilarVantagesEmptySubset) {
+  core::Rng rng{4};
+  MappingConfig config;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+  EXPECT_TRUE(
+      table.similar_vantages(world_.cities().front().id, {}, 0.25).empty());
+}
+
+TEST_F(MappingTest, AlternativeStatsLadderIsMonotone) {
+  core::Rng rng{5};
+  MappingConfig config;
+  config.measured_fraction = 1.0;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+
+  std::vector<std::size_t> subset(vantages_.size());
+  std::iota(subset.begin(), subset.end(), std::size_t{0});
+  const AlternativeStats stats = table.alternative_stats(world_, subset, 0.25);
+  ASSERT_EQ(stats.fraction_with_at_least.size(), 4u);
+  for (std::size_t k = 1; k < stats.fraction_with_at_least.size(); ++k) {
+    EXPECT_LE(stats.fraction_with_at_least[k], stats.fraction_with_at_least[k - 1]);
+  }
+  for (const double f : stats.fraction_with_at_least) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_GE(stats.mean_similar_clusters, 1.0);
+}
+
+TEST_F(MappingTest, WiderToleranceFindsMoreAlternatives) {
+  core::Rng rng{6};
+  MappingConfig config;
+  config.measured_fraction = 1.0;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+  std::vector<std::size_t> subset(vantages_.size());
+  std::iota(subset.begin(), subset.end(), std::size_t{0});
+  const auto narrow = table.alternative_stats(world_, subset, 0.05);
+  const auto wide = table.alternative_stats(world_, subset, 0.50);
+  EXPECT_GE(wide.fraction_with_at_least[0], narrow.fraction_with_at_least[0]);
+  EXPECT_GE(wide.mean_similar_clusters, narrow.mean_similar_clusters);
+}
+
+TEST_F(MappingTest, RejectsBadInputs) {
+  core::Rng rng{7};
+  MappingConfig config;
+  EXPECT_THROW(MappingTable::measure(world_, {}, model_, config, rng),
+               std::invalid_argument);
+  config.measured_fraction = 0.0;
+  EXPECT_THROW(MappingTable::measure(world_, vantages_, model_, config, rng),
+               std::invalid_argument);
+
+  config.measured_fraction = 1.0;
+  const MappingTable table = MappingTable::measure(world_, vantages_, model_, config, rng);
+  EXPECT_THROW((void)table.score(geo::CityId{999}, 0), std::out_of_range);
+  EXPECT_THROW((void)table.score(world_.cities().front().id, 9999), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vdx::net

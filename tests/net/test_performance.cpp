@@ -1,0 +1,78 @@
+#include "net/performance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::net {
+namespace {
+
+const geo::GeoPoint kClient{40.0, -74.0};
+const geo::GeoPoint kNear{41.0, -73.0};
+const geo::GeoPoint kFar{-33.0, 151.0};
+
+TEST(PathModel, DeterministicForSameInputs) {
+  const PathModel model;
+  const PathQuality a = model.quality(kClient, kNear, 1);
+  const PathQuality b = model.quality(kClient, kNear, 1);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate);
+}
+
+TEST(PathModel, SaltChangesJitter) {
+  const PathModel model;
+  const PathQuality a = model.quality(kClient, kNear, 1);
+  const PathQuality b = model.quality(kClient, kNear, 2);
+  EXPECT_NE(a.latency_ms, b.latency_ms);
+}
+
+TEST(PathModel, SeedChangesJitter) {
+  const PathModel a{{}, 7};
+  const PathModel b{{}, 8};
+  EXPECT_NE(a.quality(kClient, kNear, 1).latency_ms,
+            b.quality(kClient, kNear, 1).latency_ms);
+}
+
+TEST(PathModel, FartherIsSlowerOnAverage) {
+  const PathModel model;
+  // Average over many salts to wash out jitter.
+  double near_total = 0.0;
+  double far_total = 0.0;
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    near_total += model.quality(kClient, kNear, salt).latency_ms;
+    far_total += model.quality(kClient, kFar, salt).latency_ms;
+  }
+  EXPECT_GT(far_total, near_total * 2.0);
+}
+
+TEST(PathModel, LossWithinBounds) {
+  const PathModel model;
+  for (std::uint64_t salt = 0; salt < 256; ++salt) {
+    const PathQuality q = model.quality(kClient, kFar, salt);
+    EXPECT_GE(q.loss_rate, 0.0);
+    EXPECT_LE(q.loss_rate, model.config().max_loss);
+  }
+}
+
+TEST(PathModel, ScoreMonotoneInLatencyAndLoss) {
+  const PathModel model;
+  const PathQuality base{50.0, 0.01};
+  EXPECT_GT(model.score(PathQuality{60.0, 0.01}), model.score(base));
+  EXPECT_GT(model.score(PathQuality{50.0, 0.02}), model.score(base));
+}
+
+TEST(PathModel, ScorePositive) {
+  const PathModel model;
+  EXPECT_GT(model.score(PathQuality{0.1, 0.0}), 0.0);
+  EXPECT_GT(model.score(kClient, kNear, 3), 0.0);
+}
+
+TEST(PathModel, RejectsBadConfig) {
+  PathModelConfig config;
+  config.rtt_ms_per_km = 0.0;
+  EXPECT_THROW((void)PathModel{config}, std::invalid_argument);
+  config = {};
+  config.max_loss = 0.0;
+  EXPECT_THROW((void)PathModel{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::net

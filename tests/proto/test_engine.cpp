@@ -1,0 +1,164 @@
+#include "proto/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::proto {
+namespace {
+
+/// Scripted CDN: bids a fixed price per share, records what it saw.
+class ScriptedCdn final : public CdnParticipant {
+ public:
+  explicit ScriptedCdn(std::uint32_t id, double price) : id_(id), price_(price) {}
+
+  void handle_share(std::span<const ShareMessage> shares) override {
+    shares_.assign(shares.begin(), shares.end());
+  }
+
+  std::vector<BidMessage> announce() override {
+    std::vector<BidMessage> bids;
+    for (const ShareMessage& share : shares_) {
+      BidMessage bid;
+      bid.cluster_id = id_ * 100;
+      bid.share_id = share.share_id;
+      bid.performance_estimate = 10.0;
+      bid.capacity_mbps = 1000.0;
+      bid.price = price_;
+      bid.cdn_id = id_;
+      bids.push_back(bid);
+    }
+    return bids;
+  }
+
+  void handle_accept(std::span<const AcceptMessage> accepts) override {
+    accepts_.assign(accepts.begin(), accepts.end());
+  }
+
+  std::vector<ShareMessage> shares_;
+  std::vector<AcceptMessage> accepts_;
+  std::uint32_t id_;
+  double price_;
+};
+
+/// Scripted broker: one share, accepts the cheapest bid fully.
+class ScriptedBroker final : public BrokerParticipant {
+ public:
+  std::vector<ShareMessage> gather() override {
+    ShareMessage share;
+    share.share_id = 1;
+    share.location = 3;
+    share.data_size_mbps = 2.0;
+    share.client_count = 50;
+    return {share};
+  }
+
+  std::vector<AcceptMessage> optimize(std::span<const BidMessage> bids) override {
+    seen_bids_.assign(bids.begin(), bids.end());
+    std::vector<AcceptMessage> accepts;
+    const BidMessage* cheapest = nullptr;
+    for (const BidMessage& bid : bids) {
+      if (cheapest == nullptr || bid.price < cheapest->price) cheapest = &bid;
+    }
+    for (const BidMessage& bid : bids) {
+      AcceptMessage accept;
+      accept.cluster_id = bid.cluster_id;
+      accept.share_id = bid.share_id;
+      accept.performance_estimate = bid.performance_estimate;
+      accept.capacity_mbps = bid.capacity_mbps;
+      accept.price = bid.price;
+      accept.cdn_id = bid.cdn_id;
+      accept.awarded_mbps = (&bid == cheapest) ? 100.0 : 0.0;
+      accepts.push_back(accept);
+    }
+    return accepts;
+  }
+
+  std::vector<BidMessage> seen_bids_;
+};
+
+TEST(DecisionEngine, RunsFullRoundWithShares) {
+  ScriptedBroker broker;
+  ScriptedCdn cheap{1, 1.0};
+  ScriptedCdn pricey{2, 3.0};
+  std::vector<CdnParticipant*> cdns{&cheap, &pricey};
+
+  const RoundStats stats = run_decision_round(broker, cdns);
+
+  // Both CDNs received the share.
+  ASSERT_EQ(cheap.shares_.size(), 1u);
+  EXPECT_EQ(cheap.shares_[0].share_id, 1u);
+  ASSERT_EQ(pricey.shares_.size(), 1u);
+
+  // Broker saw both bids.
+  EXPECT_EQ(broker.seen_bids_.size(), 2u);
+
+  // Both CDNs got the full accept feed, and the cheap one won.
+  ASSERT_EQ(cheap.accepts_.size(), 2u);
+  double cheap_award = 0.0;
+  double pricey_award = 0.0;
+  for (const AcceptMessage& accept : cheap.accepts_) {
+    if (accept.cdn_id == 1) cheap_award += accept.awarded_mbps;
+    if (accept.cdn_id == 2) pricey_award += accept.awarded_mbps;
+  }
+  EXPECT_GT(cheap_award, 0.0);
+  EXPECT_EQ(pricey_award, 0.0);
+
+  EXPECT_EQ(stats.shares_sent, 2u);   // 1 share x 2 CDNs
+  EXPECT_EQ(stats.bids_received, 2u);
+  EXPECT_EQ(stats.accepts_sent, 4u);  // 2 accepts x 2 CDNs
+  EXPECT_GT(stats.bytes_on_wire, 0u);
+}
+
+TEST(DecisionEngine, NoShareModeDeliversEmptySpans) {
+  ScriptedBroker broker;
+  ScriptedCdn cdn{1, 1.0};
+  cdn.shares_ = {ShareMessage{9, 9, 9, 9, 9.0, 9}};  // stale state to be cleared
+  std::vector<CdnParticipant*> cdns{&cdn};
+
+  DecisionEngineConfig config;
+  config.share_client_data = false;
+  const RoundStats stats = run_decision_round(broker, cdns, config);
+  EXPECT_TRUE(cdn.shares_.empty());
+  EXPECT_EQ(stats.shares_sent, 0u);
+}
+
+TEST(DecisionEngine, NullParticipantRejected) {
+  ScriptedBroker broker;
+  std::vector<CdnParticipant*> cdns{nullptr};
+  EXPECT_THROW((void)run_decision_round(broker, cdns), std::invalid_argument);
+}
+
+class ScriptedDirectory final : public DeliveryDirectory {
+ public:
+  ResultMessage resolve(const QueryMessage& query) override {
+    last_query_ = query;
+    return ResultMessage{query.session_id, 7, 42};
+  }
+  QueryMessage last_query_;
+};
+
+class ScriptedFrontend final : public ClusterFrontend {
+ public:
+  DeliveryMessage serve(const RequestMessage& request) override {
+    last_request_ = request;
+    return DeliveryMessage{request.session_id, request.cluster_id, 2.5};
+  }
+  RequestMessage last_request_;
+};
+
+TEST(DeliveryEngine, RunsFourSteps) {
+  ScriptedDirectory directory;
+  ScriptedFrontend frontend;
+  const QueryMessage query{11, 3, 2.5};
+  const DeliveryOutcome outcome = run_delivery(query, directory, frontend);
+
+  EXPECT_EQ(directory.last_query_.session_id, 11u);
+  EXPECT_EQ(frontend.last_request_.cluster_id, 42u);
+  EXPECT_EQ(outcome.result.cluster_id, 42u);
+  EXPECT_EQ(outcome.result.cdn_id, 7u);
+  EXPECT_EQ(outcome.delivery.session_id, 11u);
+  EXPECT_DOUBLE_EQ(outcome.delivery.delivered_mbps, 2.5);
+  EXPECT_GT(outcome.bytes_on_wire, 0u);
+}
+
+}  // namespace
+}  // namespace vdx::proto

@@ -1,0 +1,106 @@
+// Robustness fuzzing: the codec must never crash, hang, or accept garbage —
+// every malformed input must surface as WireError (a hostile marketplace
+// peer cannot take the exchange down).
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "proto/messages.hpp"
+
+namespace vdx::proto {
+namespace {
+
+Message sample_message(std::size_t kind) {
+  switch (kind % 7) {
+    case 0:
+      return ShareMessage{1, 2, 3, 4, 5.0, 6};
+    case 1:
+      return BidMessage{1, 2, 3.0, 4.0, 5.0, 6};
+    case 2:
+      return AcceptMessage{1, 2, 3.0, 4.0, 5.0, 6, 7.0};
+    case 3:
+      return QueryMessage{1, 2, 3.0};
+    case 4:
+      return ResultMessage{1, 2, 3};
+    case 5:
+      return RequestMessage{1, 2, 3};
+    default:
+      return DeliveryMessage{1, 2, 3.0};
+  }
+}
+
+TEST(WireFuzz, RandomBytesNeverCrash) {
+  core::Rng rng{0xF022};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      const Message m = decode(bytes);
+      // Rarely, random bytes form a valid frame; it must round-trip.
+      const Message again = decode(encode(m));
+      EXPECT_EQ(type_of(again), type_of(m));
+    } catch (const WireError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(WireFuzz, EveryTruncationOfAValidFrameThrows) {
+  for (std::size_t kind = 0; kind < 7; ++kind) {
+    const auto frame = encode(sample_message(kind));
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      std::vector<std::uint8_t> truncated(frame.begin(),
+                                          frame.begin() + static_cast<long>(cut));
+      EXPECT_THROW((void)decode(truncated), WireError) << "kind " << kind
+                                                       << " cut " << cut;
+    }
+  }
+}
+
+TEST(WireFuzz, SingleByteCorruptionNeverCrashes) {
+  core::Rng rng{77};
+  for (std::size_t kind = 0; kind < 7; ++kind) {
+    const auto frame = encode(sample_message(kind));
+    for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+      auto corrupted = frame;
+      corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      try {
+        (void)decode(corrupted);  // may succeed (payload bytes) or throw
+      } catch (const WireError&) {
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, StreamWithGarbageTailThrowsNotHangs) {
+  auto stream = encode(sample_message(1));
+  const auto second = encode(sample_message(2));
+  stream.insert(stream.end(), second.begin(), second.end());
+  stream.push_back(0xFF);  // dangling garbage
+  EXPECT_THROW((void)decode_stream(stream), WireError);
+}
+
+TEST(WireFuzz, HugeClaimedLengthRejected) {
+  ByteWriter w;
+  w.write_u32(0x7FFFFFFF);  // absurd payload length
+  w.write_u8(static_cast<std::uint8_t>(MessageType::kBid));
+  w.write_u16(kProtocolVersion);
+  EXPECT_THROW((void)decode(w.data()), WireError);
+}
+
+TEST(WireFuzz, RoundTripFuzzAllTypesWithRandomValues) {
+  core::Rng rng{31337};
+  for (int trial = 0; trial < 5'000; ++trial) {
+    BidMessage bid;
+    bid.cluster_id = static_cast<std::uint32_t>(rng());
+    bid.share_id = static_cast<std::uint32_t>(rng());
+    bid.performance_estimate = rng.uniform(-1e12, 1e12);
+    bid.capacity_mbps = rng.uniform(0.0, 1e9);
+    bid.price = rng.uniform(-1e6, 1e6);
+    bid.cdn_id = static_cast<std::uint32_t>(rng());
+    const Message decoded = decode(encode(Message{bid}));
+    EXPECT_EQ(std::get<BidMessage>(decoded), bid);
+  }
+}
+
+}  // namespace
+}  // namespace vdx::proto

@@ -1,0 +1,111 @@
+#include "proto/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::proto {
+namespace {
+
+ShareMessage sample_share() {
+  return ShareMessage{42, 7, 12345, 99, 2.5, 120};
+}
+
+BidMessage sample_bid() {
+  return BidMessage{17, 42, 23.5, 1500.0, 1.75, 3};
+}
+
+AcceptMessage sample_accept() {
+  return AcceptMessage{17, 42, 23.5, 1500.0, 1.75, 3, 600.0};
+}
+
+TEST(Messages, ShareRoundTrip) {
+  const Message original = sample_share();
+  const Message decoded = decode(encode(original));
+  EXPECT_EQ(std::get<ShareMessage>(decoded), sample_share());
+}
+
+TEST(Messages, BidRoundTrip) {
+  const Message decoded = decode(encode(Message{sample_bid()}));
+  EXPECT_EQ(std::get<BidMessage>(decoded), sample_bid());
+}
+
+TEST(Messages, AcceptRoundTrip) {
+  const Message decoded = decode(encode(Message{sample_accept()}));
+  EXPECT_EQ(std::get<AcceptMessage>(decoded), sample_accept());
+}
+
+TEST(Messages, DeliveryProtocolRoundTrips) {
+  const QueryMessage query{5, 9, 3.5};
+  EXPECT_EQ(std::get<QueryMessage>(decode(encode(Message{query}))), query);
+  const ResultMessage result{5, 2, 17};
+  EXPECT_EQ(std::get<ResultMessage>(decode(encode(Message{result}))), result);
+  const RequestMessage request{5, 17, 99};
+  EXPECT_EQ(std::get<RequestMessage>(decode(encode(Message{request}))), request);
+  const DeliveryMessage delivery{5, 17, 3.47};
+  EXPECT_EQ(std::get<DeliveryMessage>(decode(encode(Message{delivery}))), delivery);
+}
+
+TEST(Messages, TypeOfMatchesVariant) {
+  EXPECT_EQ(type_of(Message{sample_share()}), MessageType::kShare);
+  EXPECT_EQ(type_of(Message{sample_bid()}), MessageType::kBid);
+  EXPECT_EQ(type_of(Message{sample_accept()}), MessageType::kAccept);
+  EXPECT_EQ(type_of(Message{QueryMessage{}}), MessageType::kQuery);
+  EXPECT_EQ(type_of(Message{ResultMessage{}}), MessageType::kResult);
+  EXPECT_EQ(type_of(Message{RequestMessage{}}), MessageType::kRequest);
+  EXPECT_EQ(type_of(Message{DeliveryMessage{}}), MessageType::kDelivery);
+}
+
+TEST(Messages, ConsumedReportsEnvelopeSize) {
+  const auto frame = encode(Message{sample_bid()});
+  std::size_t consumed = 0;
+  (void)decode(frame, &consumed);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(Messages, DecodeStreamSplitsFrames) {
+  auto bytes = encode(Message{sample_share()});
+  const auto second = encode(Message{sample_bid()});
+  const auto third = encode(Message{sample_accept()});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  bytes.insert(bytes.end(), third.begin(), third.end());
+
+  const auto messages = decode_stream(bytes);
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(type_of(messages[0]), MessageType::kShare);
+  EXPECT_EQ(type_of(messages[1]), MessageType::kBid);
+  EXPECT_EQ(type_of(messages[2]), MessageType::kAccept);
+}
+
+TEST(Messages, TruncatedEnvelopeThrows) {
+  auto frame = encode(Message{sample_bid()});
+  frame.resize(frame.size() - 1);
+  EXPECT_THROW((void)decode(frame), WireError);
+}
+
+TEST(Messages, UnknownTypeThrows) {
+  auto frame = encode(Message{sample_bid()});
+  frame[4] = 0x7F;  // type byte
+  EXPECT_THROW((void)decode(frame), WireError);
+}
+
+TEST(Messages, WrongVersionThrows) {
+  auto frame = encode(Message{sample_bid()});
+  frame[5] = 0x55;  // version low byte
+  EXPECT_THROW((void)decode(frame), WireError);
+}
+
+TEST(Messages, TrailingPayloadBytesThrow) {
+  // Hand-build an envelope whose payload is one byte longer than a Result.
+  auto frame = encode(Message{ResultMessage{1, 2, 3}});
+  // Extend payload length by 1 and append a byte.
+  frame[0] += 1;
+  frame.push_back(0xEE);
+  EXPECT_THROW((void)decode(frame), WireError);
+}
+
+TEST(Messages, EmptyInputThrows) {
+  EXPECT_THROW((void)decode({}), WireError);
+  EXPECT_TRUE(decode_stream({}).empty());
+}
+
+}  // namespace
+}  // namespace vdx::proto

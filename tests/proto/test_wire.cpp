@@ -1,0 +1,107 @@
+#include "proto/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace vdx::proto {
+namespace {
+
+TEST(Wire, IntegerRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0xBEEF);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFull);
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0xBEEF);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  ByteWriter w;
+  w.write_u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Wire, DoubleRoundTripIncludingSpecials) {
+  ByteWriter w;
+  w.write_f64(3.141592653589793);
+  w.write_f64(-0.0);
+  w.write_f64(std::numeric_limits<double>::infinity());
+  w.write_f64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r{w.data()};
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.141592653589793);
+  EXPECT_EQ(std::signbit(r.read_f64()), true);
+  EXPECT_TRUE(std::isinf(r.read_f64()));
+  EXPECT_DOUBLE_EQ(r.read_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Wire, NanRoundTripsBitExact) {
+  ByteWriter w;
+  w.write_f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r{w.data()};
+  EXPECT_TRUE(std::isnan(r.read_f64()));
+}
+
+TEST(Wire, StringRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string("\0binary\xff", 8));
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string("\0binary\xff", 8));
+}
+
+TEST(Wire, TruncationThrows) {
+  ByteWriter w;
+  w.write_u32(42);
+  ByteReader r{std::span<const std::uint8_t>{w.data().data(), 3}};
+  EXPECT_THROW((void)r.read_u32(), WireError);
+}
+
+TEST(Wire, StringLengthBeyondBufferThrows) {
+  ByteWriter w;
+  w.write_u32(1000);  // claims 1000 bytes follow
+  ByteReader r{w.data()};
+  EXPECT_THROW((void)r.read_string(), WireError);
+}
+
+TEST(Wire, ReadBytesAndRemaining) {
+  ByteWriter w;
+  w.write_u8(1);
+  w.write_u8(2);
+  w.write_u8(3);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.remaining(), 3u);
+  const auto bytes = r.read_bytes(2);
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[1], 2);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW((void)r.read_bytes(2), WireError);
+}
+
+TEST(Wire, PatchU32) {
+  ByteWriter w;
+  w.write_u32(0);
+  w.write_u8(7);
+  w.patch_u32(0, 0xCAFEBABE);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u32(), 0xCAFEBABEu);
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_THROW(w.patch_u32(2, 0), WireError);
+}
+
+}  // namespace
+}  // namespace vdx::proto

@@ -1,0 +1,76 @@
+// §6.2's third fix: "Applications with non-standard QoE metrics (e.g.,
+// latency agnostic applications) are easy to accommodate" — the CP's goal
+// weights flow straight into the broker's optimization.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace vdx::sim {
+namespace {
+
+class CpGoalsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.trace.session_count = 5000;
+    config.seed = 101;
+    scenario_ = new Scenario(Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const Scenario& scenario() { return *scenario_; }
+
+ private:
+  static Scenario* scenario_;
+};
+
+Scenario* CpGoalsTest::scenario_ = nullptr;
+
+TEST_F(CpGoalsTest, LatencyAgnosticCpGetsCheapestDelivery) {
+  // A latency-agnostic CP (bulk downloads): wp = 0.
+  RunConfig agnostic;
+  agnostic.weights = {0.0, 1.0};
+  const DesignMetrics bulk =
+      compute_metrics(scenario(), run_design(scenario(), Design::kMarketplace, agnostic));
+
+  RunConfig standard;  // default video weights
+  const DesignMetrics video =
+      compute_metrics(scenario(), run_design(scenario(), Design::kMarketplace, standard));
+
+  // Cheapest possible delivery, QoE be damned.
+  EXPECT_LT(bulk.mean_cost, video.mean_cost);
+  EXPECT_GE(bulk.mean_score, video.mean_score);
+}
+
+TEST_F(CpGoalsTest, QoeObsessedCpGetsBestScores) {
+  RunConfig premium;
+  premium.weights = {1.0, 0.0};
+  const DesignMetrics live =
+      compute_metrics(scenario(), run_design(scenario(), Design::kMarketplace, premium));
+
+  RunConfig standard;
+  const DesignMetrics video =
+      compute_metrics(scenario(), run_design(scenario(), Design::kMarketplace, standard));
+
+  EXPECT_LE(live.mean_score, video.mean_score + 1e-9);
+  EXPECT_GE(live.mean_cost, video.mean_cost - 1e-9);
+}
+
+TEST_F(CpGoalsTest, GoalSpectrumIsMonotoneInCost) {
+  // Sweeping wp:wc from performance-only to cost-only gives monotonically
+  // non-increasing delivery cost.
+  double previous_cost = 1e18;
+  for (const double wc : {0.0, 0.5, 2.0, 8.0, 1e6}) {
+    RunConfig config;
+    config.weights = {wc == 0.0 ? 1.0 : 1.0, wc};
+    const DesignMetrics m =
+        compute_metrics(scenario(), run_design(scenario(), Design::kMarketplace, config));
+    EXPECT_LE(m.mean_cost, previous_cost + 1e-6) << "wc=" << wc;
+    previous_cost = m.mean_cost;
+  }
+}
+
+}  // namespace
+}  // namespace vdx::sim

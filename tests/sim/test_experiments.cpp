@@ -1,0 +1,222 @@
+// Integration tests: every experiment driver must reproduce the *shape* of
+// its paper artifact (who wins, rough factors, crossovers) — the acceptance
+// criteria recorded in EXPERIMENTS.md.
+#include "sim/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdx::sim {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.trace.session_count = 8000;
+    config.seed = 2017;
+    scenario_ = new Scenario(Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const Scenario& scenario() { return *scenario_; }
+
+  static const Table3Row& row_of(const std::vector<Table3Row>& rows, Design d) {
+    const auto it = std::find_if(rows.begin(), rows.end(),
+                                 [d](const Table3Row& r) { return r.design == d; });
+    EXPECT_NE(it, rows.end());
+    return *it;
+  }
+
+ private:
+  static Scenario* scenario_;
+};
+
+Scenario* ExperimentTest::scenario_ = nullptr;
+
+TEST_F(ExperimentTest, Fig3CountryCostSpreadIsLarge) {
+  const auto rows = fig3_country_costs(scenario());
+  ASSERT_EQ(rows.size(), 19u);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const Fig3Row& row : rows) {
+    lo = std::min(lo, row.cost_vs_average);
+    hi = std::max(hi, row.cost_vs_average);
+  }
+  // Paper Fig. 3: some countries cost up to ~4x the average; ~30x spread
+  // between extremes.
+  EXPECT_GT(hi, 2.5);
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi / lo, 15.0);
+}
+
+TEST_F(ExperimentTest, Fig4MovedFractionBand) {
+  const auto series = fig4_moved_series(scenario());
+  ASSERT_FALSE(series.empty());
+  std::vector<double> steady(series.begin() + series.size() / 6, series.end());
+  double sum = 0.0;
+  for (const double v : steady) sum += v;
+  const double avg = sum / static_cast<double>(steady.size());
+  EXPECT_NEAR(avg, 0.40, 0.12);  // paper: ~40% on average
+}
+
+TEST_F(ExperimentTest, Fig5CdnADeclinesWithCitySize) {
+  const Fig5Result result = fig5_city_usage(scenario());
+  const auto& fit_a = result.fits[static_cast<std::size_t>(trace::TraceCdn::kCdnA)];
+  ASSERT_TRUE(fit_a.has_value());
+  EXPECT_LT(fit_a->slope, 0.0);
+}
+
+TEST_F(ExperimentTest, Fig7HasWideCountryVariation) {
+  const auto usage = fig7_country_usage(scenario());
+  ASSERT_GT(usage.size(), 3u);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& u : usage) {
+    lo = std::min(lo, u.share[0]);
+    hi = std::max(hi, u.share[0]);
+  }
+  EXPECT_GT(hi - lo, 0.25);
+}
+
+TEST_F(ExperimentTest, Table1LadderInPaperBallpark) {
+  const auto stats = table1_alternatives(scenario());
+  ASSERT_EQ(stats.fraction_with_at_least.size(), 4u);
+  // Paper: 77.8% / 64.5% / 53.7% / 43.8%. Accept the ballpark.
+  EXPECT_NEAR(stats.fraction_with_at_least[0], 0.778, 0.15);
+  EXPECT_NEAR(stats.fraction_with_at_least[3], 0.438, 0.15);
+  // Monotone ladder.
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_LE(stats.fraction_with_at_least[k], stats.fraction_with_at_least[k - 1]);
+  }
+}
+
+TEST_F(ExperimentTest, Table3ReproducesPaperShape) {
+  const auto rows = table3_design_comparison(scenario());
+  ASSERT_EQ(rows.size(), 8u);
+  const auto& brokered = row_of(rows, Design::kBrokered).metrics;
+  const auto& mc100 = row_of(rows, Design::kMulticluster100).metrics;
+  const auto& marketplace = row_of(rows, Design::kMarketplace).metrics;
+  const auto& best_lookup = row_of(rows, Design::kBestLookup).metrics;
+  const auto& omniscient = row_of(rows, Design::kOmniscient).metrics;
+
+  // Brokered: no congestion, but worst performance and distance.
+  EXPECT_LT(brokered.congested_fraction, 0.02);
+  EXPECT_GT(brokered.median_score, marketplace.median_score);
+  EXPECT_GT(brokered.median_distance_miles, marketplace.median_distance_miles);
+
+  // Multicluster: better performance than Brokered, with overloaded
+  // clusters, and no delivery-cost saving relative to the cost-aware
+  // designs (it optimizes performance blind to cluster costs).
+  EXPECT_LT(mc100.median_score, brokered.median_score);
+  EXPECT_GT(mc100.median_cost, marketplace.median_cost);
+  EXPECT_GT(mc100.congested_fraction, 0.05);
+
+  // Marketplace: cheaper AND better-performing than Brokered, zero
+  // congestion (the paper's headline row).
+  EXPECT_LT(marketplace.median_cost, brokered.median_cost);
+  EXPECT_LT(marketplace.median_score, brokered.median_score);
+  EXPECT_LT(marketplace.congested_fraction, 0.01);
+
+  // BestLookup performs like Marketplace but overloads clusters (blind to
+  // non-broker traffic).
+  EXPECT_GT(best_lookup.congested_fraction, 0.05);
+  EXPECT_LT(std::abs(best_lookup.median_score - marketplace.median_score),
+            0.25 * marketplace.median_score);
+
+  // Omniscient: at least as good as Marketplace on cost, no congestion.
+  EXPECT_LE(omniscient.median_cost, marketplace.median_cost * 1.02);
+  EXPECT_LT(omniscient.congested_fraction, 0.01);
+}
+
+TEST_F(ExperimentTest, SettlementBrokeredLosersBecomeVdxWinners) {
+  const SettlementComparison cmp = settlement_comparison(scenario());
+
+  // Fig. 10: under Brokered some CDNs have price-to-cost < 1.
+  bool any_below_one = false;
+  for (const CdnAccount& account : cmp.brokered_cdn) {
+    if (account.traffic_mbps > 0.0 && account.price_to_cost < 1.0) {
+      any_below_one = true;
+    }
+  }
+  EXPECT_TRUE(any_below_one);
+
+  // Fig. 12: under VDX every CDN with traffic profits.
+  for (const CdnAccount& account : cmp.vdx_cdn) {
+    if (account.traffic_mbps > 0.0) {
+      EXPECT_GT(account.profit.micros(), 0) << "CDN " << account.cdn.value();
+    }
+  }
+
+  // Fig. 15: per-country — Brokered loses money somewhere, VDX nowhere.
+  bool any_country_loss = false;
+  for (const CountryAccount& account : cmp.brokered_country) {
+    if (account.profit.micros() < 0) any_country_loss = true;
+  }
+  EXPECT_TRUE(any_country_loss);
+  for (const CountryAccount& account : cmp.vdx_country) {
+    EXPECT_GE(account.profit.micros(), -1);
+  }
+}
+
+TEST_F(ExperimentTest, Fig17VdxDominatesBrokeredSomewhereOnTheCurve) {
+  const double weights[] = {0.25, 1.0, 4.0, 16.0};
+  const Design designs[] = {Design::kBrokered, Design::kMarketplace};
+  const auto points = fig17_tradeoff(scenario(), weights, designs);
+  ASSERT_EQ(points.size(), 8u);
+
+  // The paper's knee claim, qualitatively: at some shared operating point
+  // (same wc), Marketplace beats Brokered on BOTH cost and distance.
+  bool dominating_point = false;
+  for (const Fig17Point& vdx : points) {
+    if (vdx.design != Design::kMarketplace) continue;
+    for (const Fig17Point& brokered : points) {
+      if (brokered.design != Design::kBrokered ||
+          brokered.cost_weight != vdx.cost_weight) {
+        continue;
+      }
+      if (vdx.median_cost < brokered.median_cost &&
+          vdx.median_distance_miles < brokered.median_distance_miles) {
+        dominating_point = true;
+      }
+    }
+  }
+  EXPECT_TRUE(dominating_point);
+}
+
+TEST_F(ExperimentTest, Fig17CostWeightMovesCostDown) {
+  const double weights[] = {0.25, 16.0};
+  const Design designs[] = {Design::kMarketplace};
+  const auto points = fig17_tradeoff(scenario(), weights, designs);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[0].median_cost, points[1].median_cost);       // wc up -> cost down
+  EXPECT_LE(points[0].median_distance_miles,
+            points[1].median_distance_miles + 1e-9);             // ... distance up
+}
+
+TEST_F(ExperimentTest, Fig18SecondBidGivesLargestScoreDrop) {
+  const std::size_t bid_counts[] = {1, 2, 4, 16, 64};
+  const auto points = fig18_bid_count(scenario(), bid_counts);
+  ASSERT_EQ(points.size(), 5u);
+  // Score improves (drops) with more bids...
+  EXPECT_GT(points[0].mean_score, points.back().mean_score);
+  // ...and adding the second bid yields the largest *per-added-bid* score
+  // improvement (paper: "the largest increase in performance is just
+  // achieved by adding the second bid").
+  const double first_drop = points[0].mean_score - points[1].mean_score;
+  EXPECT_GT(first_drop, 0.0);
+  for (std::size_t i = 1; i + 1 < points.size(); ++i) {
+    const double added_bids =
+        static_cast<double>(bid_counts[i + 1] - bid_counts[i]);
+    const double per_bid_drop =
+        (points[i].mean_score - points[i + 1].mean_score) / added_bids;
+    EXPECT_GE(first_drop, per_bid_drop - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vdx::sim

@@ -1,0 +1,179 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::sim {
+namespace {
+
+TEST(WeightedMedian, EmptyAndZeroMass) {
+  EXPECT_DOUBLE_EQ(weighted_median({}), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_median({{1.0, 0.0}, {2.0, 0.0}}), 0.0);
+}
+
+TEST(WeightedMedian, UnweightedMatchesPlainMedian) {
+  EXPECT_DOUBLE_EQ(weighted_median({{3.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}}), 2.0);
+}
+
+TEST(WeightedMedian, HeavyItemDominates) {
+  EXPECT_DOUBLE_EQ(weighted_median({{1.0, 1.0}, {10.0, 100.0}, {5.0, 1.0}}), 10.0);
+}
+
+TEST(WeightedMedian, FractionalWeights) {
+  // Mass: 0.4 below 2.0, 0.6 at 2.0 -> median 2.0.
+  EXPECT_DOUBLE_EQ(weighted_median({{1.0, 0.4}, {2.0, 0.6}}), 2.0);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.trace.session_count = 6000;
+    config.seed = 23;
+    scenario_ = new Scenario(Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const Scenario& scenario() { return *scenario_; }
+
+ private:
+  static Scenario* scenario_;
+};
+
+Scenario* MetricsTest::scenario_ = nullptr;
+
+TEST_F(MetricsTest, MetricsArePositiveAndBounded) {
+  const DesignOutcome outcome = run_design(scenario(), Design::kMarketplace);
+  const DesignMetrics m = compute_metrics(scenario(), outcome);
+  EXPECT_GT(m.median_cost, 0.0);
+  EXPECT_GT(m.median_score, 0.0);
+  EXPECT_GE(m.median_distance_miles, 0.0);
+  EXPECT_GE(m.median_load, 0.0);
+  EXPECT_GE(m.congested_fraction, 0.0);
+  EXPECT_LE(m.congested_fraction, 1.0);
+  EXPECT_GT(m.mean_cost, 0.0);
+  EXPECT_GT(m.mean_score, 0.0);
+  EXPECT_GT(m.broker_traffic_mbps, 0.0);
+}
+
+TEST_F(MetricsTest, CdnAccountsBalance) {
+  const DesignOutcome outcome = run_design(scenario(), Design::kMarketplace);
+  const auto accounts = per_cdn_accounts(scenario(), outcome);
+  ASSERT_EQ(accounts.size(), scenario().catalog().cdns().size());
+
+  const DesignMetrics m = compute_metrics(scenario(), outcome);
+  double traffic = 0.0;
+  for (const CdnAccount& account : accounts) {
+    traffic += account.traffic_mbps;
+    EXPECT_EQ(account.profit, account.revenue - account.cost);
+    if (account.traffic_mbps > 0.0) {
+      EXPECT_GT(account.revenue.dollars(), 0.0);
+      EXPECT_GT(account.cost.dollars(), 0.0);
+    }
+  }
+  EXPECT_NEAR(traffic, m.broker_traffic_mbps, 1e-6 * std::max(1.0, traffic));
+}
+
+TEST_F(MetricsTest, MarketplaceProfitsAreNonNegative) {
+  // VDX's headline: per-cluster pricing means every CDN profits (Fig. 12).
+  const DesignOutcome outcome = run_design(scenario(), Design::kMarketplace);
+  for (const CdnAccount& account : per_cdn_accounts(scenario(), outcome)) {
+    EXPECT_GE(account.profit.micros(), -1) << "CDN " << account.cdn.value();
+    if (account.traffic_mbps > 0.0) {
+      // Price = 1.2 x cost -> ratio 1.2 exactly.
+      EXPECT_NEAR(account.price_to_cost, 1.2, 1e-6);
+    }
+  }
+}
+
+TEST_F(MetricsTest, BrokeredCreatesWinnersAndLosers) {
+  // Fig. 10/12: under flat-rate pricing some CDNs deliver below cost.
+  const DesignOutcome outcome = run_design(scenario(), Design::kBrokered);
+  const auto accounts = per_cdn_accounts(scenario(), outcome);
+  bool any_loss = false;
+  bool any_profit = false;
+  for (const CdnAccount& account : accounts) {
+    if (account.traffic_mbps <= 0.0) continue;
+    any_loss |= account.profit.micros() < 0;
+    any_profit |= account.profit.micros() > 0;
+  }
+  EXPECT_TRUE(any_loss);
+  EXPECT_TRUE(any_profit);
+}
+
+TEST_F(MetricsTest, CountryAccountsGroupByClusterCountry) {
+  const DesignOutcome outcome = run_design(scenario(), Design::kBrokered);
+  const auto accounts = per_country_accounts(scenario(), outcome);
+  ASSERT_EQ(accounts.size(), scenario().world().countries().size());
+  double traffic = 0.0;
+  for (const CountryAccount& account : accounts) traffic += account.traffic_mbps;
+  const DesignMetrics m = compute_metrics(scenario(), outcome);
+  EXPECT_NEAR(traffic, m.broker_traffic_mbps, 1e-6 * std::max(1.0, traffic));
+}
+
+TEST_F(MetricsTest, VdxAvoidsExpensiveCountries) {
+  // Fig. 14: VDX moves delivery away from the most expensive countries.
+  const DesignOutcome brokered = run_design(scenario(), Design::kBrokered);
+  const DesignOutcome vdx = run_design(scenario(), Design::kMarketplace);
+  const auto brokered_accounts = per_country_accounts(scenario(), brokered);
+  const auto vdx_accounts = per_country_accounts(scenario(), vdx);
+
+  // Share of traffic delivered from the 5 most expensive countries (A-E).
+  const auto expensive_share = [&](const std::vector<CountryAccount>& accounts) {
+    double expensive = 0.0;
+    double total = 0.0;
+    for (const CountryAccount& account : accounts) {
+      total += account.traffic_mbps;
+      if (account.country.value() < 5) expensive += account.traffic_mbps;
+    }
+    return total > 0.0 ? expensive / total : 0.0;
+  };
+  EXPECT_LT(expensive_share(vdx_accounts), expensive_share(brokered_accounts));
+}
+
+TEST(WeightedQuantile, EdgesAndMonotone) {
+  std::vector<std::pair<double, double>> data{{1.0, 1.0}, {2.0, 1.0}, {3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 1.0), 3.0);
+  double previous = 0.0;
+  for (int d = 1; d <= 9; ++d) {
+    const double q = weighted_quantile(data, d / 10.0);
+    EXPECT_GE(q, previous);
+    previous = q;
+  }
+  EXPECT_THROW((void)weighted_quantile(data, 1.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(weighted_quantile({}, 0.5), 0.0);
+}
+
+TEST_F(MetricsTest, DistributionDecilesAreMonotoneAndBracketMedian) {
+  const DesignOutcome outcome = run_design(scenario(), Design::kMarketplace);
+  const DistributionSummary cdf = design_distributions(scenario(), outcome);
+  const DesignMetrics m = compute_metrics(scenario(), outcome);
+  ASSERT_EQ(cdf.cost_deciles.size(), 9u);
+  for (std::size_t d = 1; d < 9; ++d) {
+    EXPECT_GE(cdf.cost_deciles[d], cdf.cost_deciles[d - 1]);
+    EXPECT_GE(cdf.score_deciles[d], cdf.score_deciles[d - 1]);
+    EXPECT_GE(cdf.distance_deciles[d], cdf.distance_deciles[d - 1]);
+  }
+  // The 5th decile IS the weighted median.
+  EXPECT_NEAR(cdf.cost_deciles[4], m.median_cost, 1e-9);
+  EXPECT_NEAR(cdf.score_deciles[4], m.median_score, 1e-9);
+}
+
+TEST_F(MetricsTest, VdxCdfDominatesBrokeredOnScore) {
+  // "Same trends in the CDFs": VDX's score deciles sit at or below
+  // Brokered's pointwise (stochastic dominance up to noise).
+  const DesignOutcome brokered = run_design(scenario(), Design::kBrokered);
+  const DesignOutcome vdx = run_design(scenario(), Design::kMarketplace);
+  const DistributionSummary b = design_distributions(scenario(), brokered);
+  const DistributionSummary v = design_distributions(scenario(), vdx);
+  std::size_t dominated = 0;
+  for (std::size_t d = 0; d < 9; ++d) {
+    if (v.score_deciles[d] <= b.score_deciles[d] + 1e-9) ++dominated;
+  }
+  EXPECT_GE(dominated, 7u);  // near-pointwise dominance
+}
+
+}  // namespace
+}  // namespace vdx::sim

@@ -1,0 +1,91 @@
+#include "sim/multibroker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vdx::sim {
+namespace {
+
+class MultiBrokerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config;
+    config.trace.session_count = 6000;
+    config.seed = 91;
+    scenario_ = new Scenario(Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const Scenario& scenario() { return *scenario_; }
+
+ private:
+  static Scenario* scenario_;
+};
+
+Scenario* MultiBrokerTest::scenario_ = nullptr;
+
+TEST_F(MultiBrokerTest, PartitionCoversAllSessions) {
+  MultiBrokerConfig config;
+  config.broker_count = 3;
+  const MultiBrokerResult result = run_multibroker(scenario(), config);
+  const double total = std::accumulate(result.broker_clients.begin(),
+                                       result.broker_clients.end(), 0.0);
+  EXPECT_NEAR(total, 6000.0, 1e-9);
+  for (const double clients : result.broker_clients) EXPECT_GT(clients, 0.0);
+}
+
+TEST_F(MultiBrokerTest, BestLookupOverbookingGrowsWithBrokers) {
+  double previous_congestion = -1.0;
+  for (const std::size_t brokers : {1u, 2u, 4u}) {
+    MultiBrokerConfig config;
+    config.design = Design::kBestLookup;
+    config.broker_count = brokers;
+    const MultiBrokerResult result = run_multibroker(scenario(), config);
+    if (previous_congestion >= 0.0) {
+      // The paper's §4.2 argument: more independent brokers filling the same
+      // announced capacities -> more overbooking (monotone up to noise).
+      EXPECT_GE(result.metrics.congested_fraction, previous_congestion - 0.03)
+          << brokers << " brokers";
+    }
+    previous_congestion = result.metrics.congested_fraction;
+    EXPECT_GT(result.overbooked_clusters, 0u);
+  }
+}
+
+TEST_F(MultiBrokerTest, MarketplaceNeverOverbooksRegardlessOfBrokers) {
+  for (const std::size_t brokers : {1u, 2u, 4u}) {
+    MultiBrokerConfig config;
+    config.design = Design::kMarketplace;
+    config.broker_count = brokers;
+    const MultiBrokerResult result = run_multibroker(scenario(), config);
+    EXPECT_LT(result.metrics.congested_fraction, 0.01) << brokers << " brokers";
+    EXPECT_EQ(result.overbooked_clusters, 0u) << brokers << " brokers";
+  }
+}
+
+TEST_F(MultiBrokerTest, MarketplaceWorseThanBestLookupOnCongestionNever) {
+  MultiBrokerConfig best_lookup;
+  best_lookup.design = Design::kBestLookup;
+  best_lookup.broker_count = 2;
+  MultiBrokerConfig marketplace;
+  marketplace.design = Design::kMarketplace;
+  marketplace.broker_count = 2;
+  const MultiBrokerResult bl = run_multibroker(scenario(), best_lookup);
+  const MultiBrokerResult mkt = run_multibroker(scenario(), marketplace);
+  EXPECT_LT(mkt.metrics.congested_fraction, bl.metrics.congested_fraction);
+}
+
+TEST_F(MultiBrokerTest, RejectsBadConfig) {
+  MultiBrokerConfig config;
+  config.broker_count = 0;
+  EXPECT_THROW((void)run_multibroker(scenario(), config), std::invalid_argument);
+  config.broker_count = 2;
+  config.design = Design::kBrokered;
+  EXPECT_THROW((void)run_multibroker(scenario(), config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::sim

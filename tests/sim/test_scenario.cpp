@@ -1,0 +1,106 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::sim {
+namespace {
+
+/// Reduced-size config so scenario tests stay fast.
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.trace.session_count = 4000;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Scenario, BuildsAllComponents) {
+  const Scenario s = Scenario::build(small_config());
+  EXPECT_EQ(s.world().countries().size(), 19u);
+  EXPECT_EQ(s.catalog().cdns().size(), 14u);
+  EXPECT_EQ(s.broker_trace().size(), 4000u);
+  EXPECT_EQ(s.background_trace().size(), 12000u);  // 3x
+  EXPECT_FALSE(s.broker_groups().empty());
+  EXPECT_FALSE(s.background_groups().empty());
+  EXPECT_EQ(s.mapping().vantage_count(), s.catalog().clusters().size());
+}
+
+TEST(Scenario, GroupsCoverAllSessions) {
+  const Scenario s = Scenario::build(small_config());
+  EXPECT_NEAR(broker::total_clients(s.broker_groups()), 4000.0, 1e-9);
+  EXPECT_NEAR(broker::total_clients(s.background_groups()), 12000.0, 1e-9);
+}
+
+TEST(Scenario, ProvisioningRanForAllCdns) {
+  const Scenario s = Scenario::build(small_config());
+  for (const cdn::Cdn& cdn : s.catalog().cdns()) {
+    EXPECT_GT(cdn.contract_price, 0.0) << cdn.name;
+    EXPECT_GT(s.provisioning().median_capacity[cdn.id.value()], 0.0) << cdn.name;
+  }
+  for (const cdn::Cluster& cluster : s.catalog().clusters()) {
+    EXPECT_GT(cluster.capacity, 0.0);
+  }
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const Scenario a = Scenario::build(small_config());
+  const Scenario b = Scenario::build(small_config());
+  ASSERT_EQ(a.catalog().clusters().size(), b.catalog().clusters().size());
+  for (std::size_t i = 0; i < a.catalog().clusters().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.catalog().clusters()[i].capacity,
+                     b.catalog().clusters()[i].capacity);
+  }
+  ASSERT_EQ(a.broker_groups().size(), b.broker_groups().size());
+  for (std::size_t i = 0; i < a.broker_groups().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.broker_groups()[i].client_count,
+                     b.broker_groups()[i].client_count);
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig other = small_config();
+  other.seed = 8;
+  const Scenario a = Scenario::build(small_config());
+  const Scenario b = Scenario::build(other);
+  bool any_difference = false;
+  for (std::size_t i = 0;
+       i < std::min(a.broker_groups().size(), b.broker_groups().size()); ++i) {
+    if (a.broker_groups()[i].client_count != b.broker_groups()[i].client_count) {
+      any_difference = true;
+      break;
+    }
+  }
+  any_difference |= a.broker_groups().size() != b.broker_groups().size();
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, CityCdnScenarioAppendsCdns) {
+  ScenarioConfig config = small_config();
+  config.city_cdn_count = 50;
+  const Scenario s = Scenario::build(config);
+  EXPECT_EQ(s.catalog().cdns().size(), 64u);
+  // City CDNs were provisioned too.
+  for (const cdn::Cdn& cdn : s.catalog().cdns()) {
+    EXPECT_GT(cdn.contract_price, 0.0) << cdn.name;
+  }
+}
+
+TEST(Scenario, DistanceMilesMatchesGeodesic) {
+  const Scenario s = Scenario::build(small_config());
+  const auto& cluster = s.catalog().clusters().front();
+  const auto city = s.world().cities().front().id;
+  const double expected = geo::haversine_miles(
+      s.world().city(city).location, s.world().city(cluster.city).location);
+  EXPECT_DOUBLE_EQ(s.distance_miles(city, cluster.id), expected);
+}
+
+TEST(ToDemand, PreservesTotals) {
+  const Scenario s = Scenario::build(small_config());
+  const auto demand = to_demand(s.broker_groups());
+  ASSERT_EQ(demand.size(), s.broker_groups().size());
+  double total = 0.0;
+  for (const auto& point : demand) total += point.count;
+  EXPECT_NEAR(total, 4000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vdx::sim

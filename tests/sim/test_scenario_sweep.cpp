@@ -1,0 +1,84 @@
+// Cross-seed / cross-scale property sweep: the structural invariants every
+// scenario must satisfy, independent of the RNG draw or workload size.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace vdx::sim {
+namespace {
+
+struct SweepParams {
+  std::uint64_t seed;
+  std::size_t sessions;
+  std::size_t city_cdns;
+};
+
+class ScenarioSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(ScenarioSweep, StructuralInvariantsHold) {
+  const SweepParams& prm = GetParam();
+  ScenarioConfig config;
+  config.seed = prm.seed;
+  config.trace.session_count = prm.sessions;
+  config.city_cdn_count = prm.city_cdns;
+  const Scenario scenario = Scenario::build(config);
+
+  // Every cluster provisioned, every CDN priced.
+  for (const cdn::Cluster& cluster : scenario.catalog().clusters()) {
+    EXPECT_GT(cluster.capacity, 0.0);
+    EXPECT_GT(cluster.unit_cost(), 0.0);
+  }
+  for (const cdn::Cdn& cdn : scenario.catalog().cdns()) {
+    EXPECT_GT(cdn.contract_price, 0.0);
+  }
+
+  // Per-CDN capacity conservation: 2x the solo workload.
+  double broker_demand = 0.0;
+  for (const auto& g : scenario.broker_groups()) broker_demand += g.demand_mbps();
+  for (const cdn::Cdn& cdn : scenario.catalog().cdns()) {
+    double capacity = 0.0;
+    for (const cdn::ClusterId id : scenario.catalog().clusters_of(cdn.id)) {
+      capacity += scenario.catalog().cluster(id).capacity;
+    }
+    EXPECT_NEAR(capacity, 2.0 * broker_demand, broker_demand * 1e-6) << cdn.name;
+  }
+
+  // Groups conserve the session count.
+  EXPECT_NEAR(broker::total_clients(scenario.broker_groups()),
+              static_cast<double>(prm.sessions), 1e-9);
+}
+
+TEST_P(ScenarioSweep, MarketplaceBeatsBrokeredEverywhere) {
+  const SweepParams& prm = GetParam();
+  ScenarioConfig config;
+  config.seed = prm.seed;
+  config.trace.session_count = prm.sessions;
+  config.city_cdn_count = prm.city_cdns;
+  const Scenario scenario = Scenario::build(config);
+
+  const DesignMetrics brokered =
+      compute_metrics(scenario, run_design(scenario, Design::kBrokered));
+  const DesignMetrics vdx =
+      compute_metrics(scenario, run_design(scenario, Design::kMarketplace));
+
+  // The headline result must be seed-robust: better score AND no congestion,
+  // with cost no worse than ~Brokered (usually much better). In the
+  // proliferation scenarios the 200 city CDNs hand Brokered very cheap
+  // single-cluster answers, so the cost comparison is looser there — the
+  // paper's Fig. 16 point is about *profit fairness*, not Brokered's cost.
+  EXPECT_LT(vdx.median_score, brokered.median_score) << "seed " << prm.seed;
+  EXPECT_LT(vdx.congested_fraction, 0.01) << "seed " << prm.seed;
+  const double cost_slack = prm.city_cdns > 0 ? 1.5 : 1.05;
+  EXPECT_LT(vdx.median_cost, brokered.median_cost * cost_slack) << "seed " << prm.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndScales, ScenarioSweep,
+                         ::testing::Values(SweepParams{1, 3000, 0},
+                                           SweepParams{2, 3000, 0},
+                                           SweepParams{3, 6000, 0},
+                                           SweepParams{4, 6000, 50},
+                                           SweepParams{5, 12000, 0},
+                                           SweepParams{2024, 3000, 100}));
+
+}  // namespace
+}  // namespace vdx::sim

@@ -1,0 +1,114 @@
+// Exhaustive-enumeration ground truth: on tiny instances, branch & bound
+// must find the true integral optimum, and the LP relaxation must lower-
+// bound it. The enumerator tries every integral assignment directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "solver/branch_bound.hpp"
+#include "solver/lp_bridge.hpp"
+#include "solver/simplex.hpp"
+
+namespace vdx::solver {
+namespace {
+
+constexpr double kPenalty = 1e4;
+
+/// Enumerates all integral solutions of a tiny problem and returns the best
+/// penalized objective.
+double brute_force(const AssignmentProblem& problem) {
+  std::vector<std::vector<std::size_t>> options_of(problem.group_count());
+  for (std::size_t i = 0; i < problem.options.size(); ++i) {
+    options_of[problem.options[i].group].push_back(i);
+  }
+
+  std::vector<double> amounts(problem.options.size(), 0.0);
+  double best = std::numeric_limits<double>::infinity();
+
+  // Recursive enumeration over per-group compositions.
+  const std::function<void(std::size_t)> recurse = [&](std::size_t g) {
+    if (g == problem.group_count()) {
+      const Assignment a = evaluate(problem, amounts);
+      best = std::min(best, a.penalized_objective(kPenalty));
+      return;
+    }
+    const auto count = static_cast<int>(std::llround(problem.group_counts[g]));
+    const auto& opts = options_of[g];
+    // Enumerate compositions of `count` over |opts| options.
+    const std::function<void(std::size_t, int)> compose = [&](std::size_t k,
+                                                              int remaining) {
+      if (k + 1 == opts.size()) {
+        amounts[opts[k]] = remaining;
+        recurse(g + 1);
+        amounts[opts[k]] = 0.0;
+        return;
+      }
+      for (int take = 0; take <= remaining; ++take) {
+        amounts[opts[k]] = take;
+        compose(k + 1, remaining - take);
+      }
+      amounts[opts[k]] = 0.0;
+    };
+    if (opts.empty()) {
+      recurse(g + 1);
+    } else {
+      compose(0, count);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+AssignmentProblem tiny_random(std::uint64_t seed) {
+  core::Rng rng{seed};
+  AssignmentProblem p;
+  const std::size_t groups = 2 + rng.below(2);     // 2-3 groups
+  const std::size_t resources = 2 + rng.below(2);  // 2-3 resources
+  p.group_counts.resize(groups);
+  for (auto& c : p.group_counts) c = static_cast<double>(1 + rng.below(3));
+  p.capacities.resize(resources);
+  for (auto& cap : p.capacities) cap = rng.uniform(1.0, 6.0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t n_options = 2 + rng.below(2);
+    for (std::size_t o = 0; o < n_options; ++o) {
+      Option option;
+      option.group = static_cast<std::uint32_t>(g);
+      option.resource = static_cast<std::uint32_t>(rng.below(resources));
+      option.unit_cost = rng.uniform(1.0, 10.0);
+      option.unit_demand = 1.0;
+      p.options.push_back(option);
+    }
+  }
+  return p;
+}
+
+class Exactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Exactness, BranchBoundMatchesBruteForce) {
+  const AssignmentProblem p = tiny_random(GetParam());
+  const double truth = brute_force(p);
+
+  BranchBoundConfig config;
+  config.overflow_penalty = kPenalty;
+  const BranchBoundResult exact = solve_branch_bound(p, config);
+  ASSERT_TRUE(exact.proved_optimal);
+  EXPECT_NEAR(exact.assignment.penalized_objective(kPenalty), truth,
+              1e-6 * std::max(1.0, std::abs(truth)));
+}
+
+TEST_P(Exactness, LpRelaxationLowerBoundsTheIntegerOptimum) {
+  const AssignmentProblem p = tiny_random(GetParam());
+  const double truth = brute_force(p);
+  const LpSolution lp = solve_lp(build_assignment_lp(p, kPenalty));
+  ASSERT_EQ(lp.status, LpStatus::kOptimal);
+  EXPECT_LE(lp.objective, truth + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyInstances, Exactness,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace vdx::solver

@@ -1,0 +1,147 @@
+#include "solver/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdx::solver {
+namespace {
+
+using Relation = LpConstraint::Relation;
+
+LpConstraint row(std::vector<std::pair<std::uint32_t, double>> terms, Relation rel,
+                 double rhs) {
+  LpConstraint c;
+  c.terms = std::move(terms);
+  c.relation = rel;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(Simplex, SimpleTwoVariableMaximizationAsMin) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  min -3x - 2y.
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {-3.0, -2.0};
+  lp.constraints = {row({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0),
+                    row({{0, 1.0}}, Relation::kLessEqual, 2.0)};
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, -10.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x - y = 1  ->  x=2, y=1.
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {1.0, 2.0};
+  lp.constraints = {row({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 3.0),
+                    row({{0, 1.0}, {1, -1.0}}, Relation::kEqual, 1.0)};
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  x=4, y=0 (cost 8).
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {2.0, 3.0};
+  lp.constraints = {row({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEqual, 4.0),
+                    row({{0, 1.0}}, Relation::kGreaterEqual, 1.0)};
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 is infeasible.
+  LpProblem lp;
+  lp.variable_count = 1;
+  lp.objective = {1.0};
+  lp.constraints = {row({{0, 1.0}}, Relation::kLessEqual, 1.0),
+                    row({{0, 1.0}}, Relation::kGreaterEqual, 2.0)};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with only x >= 0: unbounded below.
+  LpProblem lp;
+  lp.variable_count = 1;
+  lp.objective = {-1.0};
+  lp.constraints = {row({{0, 1.0}}, Relation::kGreaterEqual, 0.0)};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -3 (i.e. x >= 3).
+  LpProblem lp;
+  lp.variable_count = 1;
+  lp.objective = {1.0};
+  lp.constraints = {row({{0, -1.0}}, Relation::kLessEqual, -3.0)};
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, ZeroVariablesFeasibility) {
+  LpProblem lp;  // no variables, no constraints
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kOptimal);
+
+  LpProblem bad;
+  bad.constraints = {row({}, Relation::kGreaterEqual, 1.0)};
+  EXPECT_EQ(solve_lp(bad).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum (degeneracy).
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.constraints = {row({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 2.0),
+                    row({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 2.0),
+                    row({{0, 2.0}, {1, 2.0}}, Relation::kLessEqual, 4.0),
+                    row({{0, 1.0}}, Relation::kLessEqual, 2.0),
+                    row({{1, 1.0}}, Relation::kLessEqual, 2.0)};
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblemOptimal) {
+  // Classic 2x3 transportation instance with known optimum.
+  // Supplies: 20, 30. Demands: 10, 25, 15.
+  // Costs: [8, 6, 10; 9, 12, 13]. Optimal cost = 10*8+... compute via LP.
+  LpProblem lp;
+  lp.variable_count = 6;  // x[s][d]
+  lp.objective = {8.0, 6.0, 10.0, 9.0, 12.0, 13.0};
+  lp.constraints = {
+      row({{0, 1.0}, {1, 1.0}, {2, 1.0}}, Relation::kLessEqual, 20.0),
+      row({{3, 1.0}, {4, 1.0}, {5, 1.0}}, Relation::kLessEqual, 30.0),
+      row({{0, 1.0}, {3, 1.0}}, Relation::kEqual, 10.0),
+      row({{1, 1.0}, {4, 1.0}}, Relation::kEqual, 25.0),
+      row({{2, 1.0}, {5, 1.0}}, Relation::kEqual, 15.0),
+  };
+  const LpSolution s = solve_lp(lp);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Hand-verified optimum: s1's 20 units go to d2 (largest per-unit saving),
+  // s2 covers d1=10, d2's remaining 5, and d3=15:
+  // 20*6 + 10*9 + 5*12 + 15*13 = 465.
+  EXPECT_NEAR(s.objective, 465.0, 1e-6);
+}
+
+TEST(Simplex, RejectsMalformedProblem) {
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {1.0};  // arity mismatch
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+
+  lp.objective = {1.0, 1.0};
+  lp.constraints = {row({{7, 1.0}}, Relation::kLessEqual, 1.0)};  // bad index
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::solver

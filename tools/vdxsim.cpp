@@ -1,0 +1,444 @@
+// vdxsim — command-line front end for the VDX simulation stack.
+//
+// A downstream operator's tool: run any paper experiment or extension with
+// custom scenario parameters, print the tables, optionally export CSV.
+//
+//   vdxsim table3  --sessions 33400 --seed 2017 --wc 2
+//   vdxsim design  --name marketplace --wc 4
+//   vdxsim timeline --name brokered --epoch 300
+//   vdxsim exchange --rounds 10 --fraud 2
+//   vdxsim federation --regions 8
+//   vdxsim transactions --veto 0.3
+//   vdxsim multibroker --brokers 4 --name bestlookup
+//   vdxsim world
+//
+// Run `vdxsim help` for the full reference.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "market/exchange.hpp"
+#include "market/federation.hpp"
+#include "market/transactions.hpp"
+#include "sim/experiments.hpp"
+#include "sim/hybrid.hpp"
+#include "sim/multibroker.hpp"
+#include "sim/timeline.hpp"
+#include "trace/stats.hpp"
+
+namespace {
+
+using namespace vdx;
+
+/// Minimal `--flag value` parser. Flags may appear in any order; unknown
+/// flags are an error (fail loudly, not silently).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument{"expected --flag, got '" + key + "'"};
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) throw std::invalid_argument{"--" + key + " needs a value"};
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(*it);
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] std::string text(const std::string& key, std::string fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(*it);
+    return it->second;
+  }
+
+  void check_all_used() const {
+    for (const auto& kv : values_) {
+      if (!used_.contains(kv)) {
+        throw std::invalid_argument{"unknown flag --" + kv.first};
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::pair<std::string, std::string>> used_;
+};
+
+sim::ScenarioConfig scenario_config_from(Flags& flags) {
+  sim::ScenarioConfig config;
+  config.trace.session_count =
+      static_cast<std::size_t>(flags.number("sessions", 33'400));
+  config.seed = static_cast<std::uint64_t>(flags.number("seed", 2017));
+  config.background_multiplier = flags.number("background", 3.0);
+  config.city_cdn_count = static_cast<std::size_t>(flags.number("city-cdns", 0));
+  return config;
+}
+
+sim::RunConfig run_config_from(Flags& flags) {
+  sim::RunConfig config;
+  config.weights.performance = flags.number("wp", config.weights.performance);
+  config.weights.cost = flags.number("wc", config.weights.cost);
+  config.bid_count = static_cast<std::size_t>(flags.number("bids", 100));
+  config.menu_tolerance = flags.number("menu-tolerance", config.menu_tolerance);
+  return config;
+}
+
+std::optional<sim::Design> design_by_name(const std::string& name) {
+  for (const sim::Design design : sim::kAllDesigns) {
+    std::string lowered{sim::to_string(design)};
+    std::string compact;
+    for (const char c : lowered) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        compact += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    std::string want;
+    for (const char c : name) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        want += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (compact == want) return design;
+  }
+  return std::nullopt;
+}
+
+void maybe_export_csv(const core::Table& table, Flags& flags) {
+  const std::string path = flags.text("csv", "");
+  if (path.empty()) return;
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot write " + path};
+  table.write_csv(out);
+  std::printf("[csv] wrote %s\n", path.c_str());
+}
+
+int cmd_world(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  core::Table table{{"Country", "Cost factor", "Colo factor", "Demand share",
+                     "Cities", "Clusters"}};
+  table.set_title("Synthetic world");
+  std::vector<std::size_t> clusters_per_country(scenario.world().countries().size(), 0);
+  for (const cdn::Cluster& cluster : scenario.catalog().clusters()) {
+    ++clusters_per_country[scenario.world().country_of(cluster.city).id.value()];
+  }
+  for (const geo::Country& country : scenario.world().countries()) {
+    table.add_row({country.name, core::format_double(country.bandwidth_cost_factor, 2),
+                   core::format_double(country.colo_cost_factor, 2),
+                   core::format_percent(country.demand_share, 1),
+                   std::to_string(scenario.world().cities_in(country.id).size()),
+                   std::to_string(clusters_per_country[country.id.value()])});
+  }
+  table.print(std::cout);
+  maybe_export_csv(table, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_design(Flags& flags) {
+  const std::string name = flags.text("name", "marketplace");
+  const auto design = design_by_name(name);
+  if (!design) {
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    return 2;
+  }
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  const sim::RunConfig run = run_config_from(flags);
+  const sim::DesignOutcome outcome = sim::run_design(scenario, *design, run);
+  const sim::DesignMetrics metrics = sim::compute_metrics(scenario, outcome);
+
+  core::Table table{{"Metric", "Value"}};
+  table.set_title(std::string{sim::to_string(*design)});
+  table.add_row({"median cost ($/client)", core::format_double(metrics.median_cost, 3)});
+  table.add_row({"median score", core::format_double(metrics.median_score, 1)});
+  table.add_row({"median distance (mi)",
+                 core::format_double(metrics.median_distance_miles, 0)});
+  table.add_row({"median cluster load", core::format_percent(metrics.median_load, 1)});
+  table.add_row({"congested clients", core::format_percent(metrics.congested_fraction, 1)});
+  table.add_row({"broker traffic (Mbps)",
+                 core::format_double(metrics.broker_traffic_mbps, 0)});
+  table.print(std::cout);
+
+  core::Table accounts{{"CDN", "Traffic (Mbps)", "Revenue", "Cost", "Profit"}};
+  accounts.set_title("Per-CDN settlement");
+  for (const sim::CdnAccount& account : sim::per_cdn_accounts(scenario, outcome)) {
+    if (account.traffic_mbps <= 0.0) continue;
+    accounts.add_row({scenario.catalog().cdn(account.cdn).name,
+                      core::format_double(account.traffic_mbps, 0),
+                      account.revenue.to_string(), account.cost.to_string(),
+                      account.profit.to_string()});
+  }
+  accounts.print(std::cout);
+  maybe_export_csv(accounts, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_table3(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  const sim::RunConfig run = run_config_from(flags);
+  const auto rows = sim::table3_design_comparison(scenario, run);
+  core::Table table{{"Design", "Cost", "Score", "Distance (mi)", "Load", "Congested"}};
+  table.set_title("Table 3");
+  for (const sim::Table3Row& row : rows) {
+    table.add_row({std::string{sim::to_string(row.design)},
+                   core::format_double(row.metrics.median_cost, 3),
+                   core::format_double(row.metrics.median_score, 1),
+                   core::format_double(row.metrics.median_distance_miles, 0),
+                   core::format_percent(row.metrics.median_load, 0),
+                   core::format_percent(row.metrics.congested_fraction, 0)});
+  }
+  table.print(std::cout);
+  maybe_export_csv(table, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_timeline(Flags& flags) {
+  const std::string name = flags.text("name", "marketplace");
+  const auto design = design_by_name(name);
+  if (!design) {
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    return 2;
+  }
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  sim::TimelineConfig config;
+  config.design = *design;
+  config.run = run_config_from(flags);
+  config.epoch_s = flags.number("epoch", 300.0);
+  const sim::TimelineResult result = sim::run_timeline(scenario, config);
+
+  core::Table table{{"Epoch", "Time (s)", "Active", "CDN switch", "Cluster switch",
+                     "Mean score"}};
+  table.set_title("Timeline: " + std::string{sim::to_string(*design)});
+  for (const sim::EpochReport& epoch : result.epochs) {
+    table.add_row({std::to_string(epoch.epoch), core::format_double(epoch.time_s, 0),
+                   std::to_string(epoch.active_sessions),
+                   core::format_percent(epoch.cdn_switch_fraction, 1),
+                   core::format_percent(epoch.cluster_switch_fraction, 1),
+                   core::format_double(epoch.metrics.mean_score, 1)});
+  }
+  table.print(std::cout);
+  std::printf("mean CDN switch fraction: %s\n",
+              core::format_percent(result.mean_cdn_switch_fraction, 1).c_str());
+  maybe_export_csv(table, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_exchange(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  market::ExchangeConfig config;
+  if (flags.text("strategy", "risk-averse") == "static") {
+    config.strategy = market::StrategyKind::kStatic;
+  }
+  market::VdxExchange exchange{scenario, config};
+  const double fraud = flags.number("fraud", -1.0);
+  const double fail = flags.number("fail", -1.0);
+  if (fraud >= 0) {
+    exchange.set_fraudulent(cdn::CdnId{static_cast<std::uint32_t>(fraud)}, true);
+  }
+  if (fail >= 0) {
+    exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(fail)}, true);
+  }
+
+  const auto rounds = static_cast<std::size_t>(flags.number("rounds", 5));
+  core::Table table{{"Round", "Bids", "Wire MB", "Mean score", "Mean cost",
+                     "Pred. error", "Congested"}};
+  table.set_title("VDX exchange rounds");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const market::RoundReport report = exchange.run_round();
+    table.add_row({std::to_string(r + 1), std::to_string(report.wire.bids_received),
+                   core::format_double(
+                       static_cast<double>(report.wire.bytes_on_wire) / 1e6, 1),
+                   core::format_double(report.mean_score, 1),
+                   core::format_double(report.mean_cost, 3),
+                   core::format_double(report.mean_prediction_error, 3),
+                   core::format_percent(report.congested_fraction, 1)});
+  }
+  table.print(std::cout);
+  maybe_export_csv(table, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_federation(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  market::FederationConfig config;
+  config.region_count = static_cast<std::size_t>(flags.number("regions", 4));
+  config.run = run_config_from(flags);
+  const market::FederationResult result =
+      market::run_federated_marketplace(scenario, config);
+  std::printf("regions=%zu largest-instance=%zu bids optimize=%.2fs "
+              "mean-cost=%.3f mean-score=%.1f fallback-clients=%.0f\n",
+              result.region_count, result.largest_instance_options,
+              result.optimize_seconds, result.metrics.mean_cost,
+              result.metrics.mean_score, result.fallback_clients);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_transactions(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  market::TransactionConfig config;
+  config.veto_threshold = flags.number("veto", 0.2);
+  config.max_rounds = static_cast<std::size_t>(flags.number("rounds", 12));
+  const market::TransactionResult result = market::run_transactions(scenario, config);
+  std::printf("committed=%s rounds=%zu withdrawn=%zu final-score=%.2f "
+              "final-cost=%.3f\n",
+              result.committed ? "yes" : "NO", result.rounds_used,
+              result.withdrawn_cdns, result.final_mean_score, result.final_mean_cost);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_multibroker(Flags& flags) {
+  const std::string name = flags.text("name", "bestlookup");
+  const auto design = design_by_name(name);
+  if (!design) {
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    return 2;
+  }
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  sim::MultiBrokerConfig config;
+  config.design = *design;
+  config.broker_count = static_cast<std::size_t>(flags.number("brokers", 2));
+  config.run = run_config_from(flags);
+  const sim::MultiBrokerResult result = sim::run_multibroker(scenario, config);
+  std::printf("design=%s brokers=%zu congested=%s overbooked-clusters=%zu "
+              "mean-score=%.1f\n",
+              std::string{sim::to_string(result.design)}.c_str(), result.broker_count,
+              core::format_percent(result.metrics.congested_fraction, 1).c_str(),
+              result.overbooked_clusters, result.metrics.mean_score);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_trace(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  const trace::BrokerTrace& trace = scenario.broker_trace();
+
+  core::Table table{{"Statistic", "Value", "Paper (§3.1)"}};
+  table.set_title("Broker trace characterization");
+  table.add_row({"sessions", std::to_string(trace.size()), "33.4K"});
+  table.add_row({"abandonment rate",
+                 core::format_percent(trace::abandonment_rate(trace), 1), "~78%"});
+  const auto slope = trace::video_zipf_slope(trace);
+  table.add_row({"video rank-frequency slope",
+                 slope ? core::format_double(*slope, 2) : "n/a", "Zipf"});
+  table.add_row({"sessions moved at least once",
+                 core::format_percent(trace::moved_fraction_overall(trace), 1),
+                 "high (Fig. 4)"});
+  const auto series = trace::moved_fraction_timeseries(trace);
+  std::vector<double> steady(series.begin() + series.size() / 6, series.end());
+  double mean = 0.0;
+  for (const double v : steady) mean += v;
+  mean /= static_cast<double>(steady.size());
+  table.add_row({"moved fraction per 5s bin (steady mean)",
+                 core::format_percent(mean, 1), "~40%"});
+  table.print(std::cout);
+
+  const auto usage = trace::country_usage(trace, scenario.world(), 100);
+  core::Table countries{{"Country", "Requests", "CDN A", "CDN B", "CDN C", "other"}};
+  countries.set_title("Per-country CDN usage (Fig. 7)");
+  for (const auto& u : usage) {
+    countries.add_row({scenario.world().countries()[u.country.value()].name,
+                       std::to_string(u.requests),
+                       core::format_percent(u.share[0], 0),
+                       core::format_percent(u.share[1], 0),
+                       core::format_percent(u.share[2], 0),
+                       core::format_percent(u.share[3], 0)});
+  }
+  countries.print(std::cout);
+  maybe_export_csv(countries, flags);
+  flags.check_all_used();
+  return 0;
+}
+
+int cmd_hybrid(Flags& flags) {
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
+  const sim::HybridOutcome result =
+      sim::run_hybrid_pricing(scenario, run_config_from(flags));
+  const double total = result.flat_clients + result.dynamic_clients;
+  std::printf("flat=%.1f%% dynamic=%.1f%% mean-cost=%.3f mean-score=%.1f "
+              "congested=%s\n",
+              100.0 * result.flat_clients / total,
+              100.0 * result.dynamic_clients / total, result.metrics.mean_cost,
+              result.metrics.mean_score,
+              core::format_percent(result.metrics.congested_fraction, 1).c_str());
+  flags.check_all_used();
+  return 0;
+}
+
+void print_help() {
+  std::puts(
+      "vdxsim — VDX marketplace simulation front end\n"
+      "\n"
+      "usage: vdxsim <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  world          print the synthetic world (countries, costs, clusters)\n"
+      "  design         run one design snapshot   (--name brokered|marketplace|...)\n"
+      "  table3         run the full design comparison\n"
+      "  timeline       per-epoch decision churn  (--name X --epoch 300)\n"
+      "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
+      "                 --strategy static|risk-averse)\n"
+      "  federation     regional marketplaces     (--regions R)\n"
+      "  transactions   all-CDN-approval protocol (--veto T --rounds N)\n"
+      "  multibroker    overbooking study         (--brokers B --name X)\n"
+      "  hybrid         flat+dynamic pricing blend\n"
+      "  trace          broker-trace characterization (Figs. 4/7, §3.1)\n"
+      "  help           this text\n"
+      "\n"
+      "scenario flags (all commands): --sessions N --seed S --background X\n"
+      "                               --city-cdns N\n"
+      "optimizer flags:               --wp W --wc W --bids K --menu-tolerance T\n"
+      "output flags:                  --csv FILE (where the command prints a table)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_help();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    Flags flags{argc, argv, 2};
+    if (command == "world") return cmd_world(flags);
+    if (command == "design") return cmd_design(flags);
+    if (command == "table3") return cmd_table3(flags);
+    if (command == "timeline") return cmd_timeline(flags);
+    if (command == "exchange") return cmd_exchange(flags);
+    if (command == "federation") return cmd_federation(flags);
+    if (command == "transactions") return cmd_transactions(flags);
+    if (command == "multibroker") return cmd_multibroker(flags);
+    if (command == "hybrid") return cmd_hybrid(flags);
+    if (command == "trace") return cmd_trace(flags);
+    if (command == "help" || command == "--help" || command == "-h") {
+      print_help();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s' (try 'vdxsim help')\n", command.c_str());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vdxsim %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+}
