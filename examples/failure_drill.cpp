@@ -1,7 +1,9 @@
 // Failure & fraud drill (§6.3): what happens to the marketplace when a CDN
-// goes dark mid-operation, and when one starts submitting fraudulent bids.
+// goes dark mid-operation, when one starts submitting fraudulent bids, and
+// when the transport itself drops and corrupts protocol messages.
 //
 //   $ ./failure_drill
+#include <algorithm>
 #include <cstdio>
 
 #include "market/exchange.hpp"
@@ -17,6 +19,15 @@ int main() {
   // ---------------- Failure: a CDN disappears. ----------------
   {
     market::VdxExchange exchange{scenario};
+
+    // Typed errors instead of exceptions: delivering before any decision
+    // round has run is an ordinary, reportable failure.
+    const auto premature = exchange.deliver(1, geo::CityId{0}, 2.0);
+    std::printf("Typed-error drill\n");
+    std::printf("  deliver() before any round: %s (%s)\n\n",
+                core::errc_name(premature.error().code),
+                premature.error().message.c_str());
+
     const market::RoundReport healthy = exchange.run_round();
     std::size_t top = 0;
     for (std::size_t i = 1; i < healthy.awarded_mbps.size(); ++i) {
@@ -26,6 +37,30 @@ int main() {
     std::printf("  healthy round: %s carries %.0f Mbps, market mean score %.1f\n",
                 scenario.catalog().cdns()[top].name.c_str(), healthy.awarded_mbps[top],
                 healthy.mean_score);
+
+    // Mid-stream failover: probe one session to learn which CDN serves it,
+    // take that CDN dark, and replay the traffic — the previous round still
+    // routes these sessions to the dark clusters, and the Delivery Protocol
+    // re-homes them on the fly.
+    const auto& groups = scenario.broker_groups();
+    const auto probe =
+        exchange.deliver(0, groups[0].city, groups[0].bitrate_mbps).value();
+    const cdn::CdnId serving{probe.result.cdn_id};
+    exchange.set_failed(serving, true);
+
+    std::size_t rehomed = 0;
+    const std::size_t sample_cities = std::min<std::size_t>(groups.size(), 60);
+    constexpr std::uint32_t kSamples = 600;
+    for (std::uint32_t session = 0; session < kSamples; ++session) {
+      const auto& group = groups[session % sample_cities];
+      const auto outcome = exchange.deliver(session, group.city, group.bitrate_mbps);
+      if (outcome.ok() && outcome.value().rehomed) ++rehomed;
+    }
+    std::printf("  %s dark mid-stream: %zu of %u sample sessions re-homed to "
+                "surviving clusters by the Delivery-Protocol failover\n",
+                scenario.catalog().cdns()[serving.value()].name.c_str(), rehomed,
+                kSamples);
+    exchange.set_failed(serving, false);
 
     exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, true);
     const market::RoundReport degraded = exchange.run_round();
@@ -67,6 +102,35 @@ int main() {
     }
     std::printf("  (the reputation system de-prioritizes the liar after one "
                 "round of measured-vs-announced mismatches)\n");
+  }
+
+  // ---------------- Chaos: the transport itself misbehaves. ----------------
+  {
+    market::ExchangeConfig chaos_config;
+    chaos_config.chaos.faults.drop_rate = 0.10;
+    chaos_config.chaos.faults.corrupt_rate = 0.02;
+    chaos_config.chaos.faults.seed = 99;
+    market::VdxExchange exchange{scenario, chaos_config};
+
+    std::printf("\nChaos drill: 10%% frame drops + 2%% bit corruption on every "
+                "link\n");
+    for (int round = 1; round <= 4; ++round) {
+      const market::RoundReport report = exchange.run_round();
+      std::printf("  round %d: %zu retries, %zu timeouts, %zu corrupt frames "
+                  "rejected | degraded=%s stale bids=%zu (%.1f%% of traffic) | "
+                  "mean score %.1f\n",
+                  round, report.wire.chaos.retries, report.wire.chaos.timeouts,
+                  report.wire.chaos.decode_rejects, report.degraded ? "yes" : "no",
+                  report.stale_bids_used, 100.0 * report.stale_bid_share,
+                  report.mean_score);
+    }
+    const proto::FaultCounters& faults = exchange.fault_counters();
+    std::printf("  injector totals: %zu frames, %zu dropped, %zu corrupted, "
+                "%zu truncated, %zu duplicated\n",
+                faults.frames, faults.dropped, faults.corrupted, faults.truncated,
+                faults.duplicated);
+    std::printf("  (every round still completes: retries + stale-bid fallback "
+                "keep the market deciding)\n");
   }
   return 0;
 }

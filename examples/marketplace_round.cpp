@@ -38,7 +38,7 @@ int main() {
   for (std::size_t i = 0; i < scenario.broker_groups().size() && session_id <= 5; i += 37) {
     const broker::ClientGroup& group = scenario.broker_groups()[i];
     const proto::DeliveryOutcome outcome =
-        exchange.deliver(session_id, group.city, group.bitrate_mbps);
+        exchange.deliver(session_id, group.city, group.bitrate_mbps).value();
     const auto& city = scenario.world().city(group.city);
     std::printf("  session %u in %-4s wants %.2f Mbps -> cluster %u (CDN %u) "
                 "delivers %.2f Mbps  [%zu bytes of protocol]\n",

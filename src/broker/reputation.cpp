@@ -35,6 +35,10 @@ double ReputationSystem::penalty_multiplier(core::CdnId cdn) const {
                    std::max(0.0, s.error - config_.tolerated_error);
 }
 
+double ReputationSystem::stale_multiplier(core::CdnId cdn) const {
+  return penalty_multiplier(cdn) * config_.stale_bid_discount;
+}
+
 bool ReputationSystem::is_blacklisted(core::CdnId cdn) const {
   return state_of(cdn).blacklisted;
 }

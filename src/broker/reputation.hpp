@@ -26,6 +26,11 @@ struct ReputationConfig {
   /// Blacklist when the error EWMA exceeds this for `strikes` updates.
   double blacklist_error = 1.5;
   std::size_t blacklist_strikes = 3;
+  /// Base handicap on a stale (cached, last-round) bid reused in a degraded
+  /// round: its announced score is inflated by this factor on top of the
+  /// CDN's regular penalty multiplier, so fresh bids always outrank equally
+  /// good stale ones and bad-reputation CDNs degrade fastest.
+  double stale_bid_discount = 1.5;
 };
 
 class ReputationSystem {
@@ -39,6 +44,10 @@ class ReputationSystem {
   /// Multiplier (>= 1) the optimizer applies to this CDN's bid price/score.
   [[nodiscard]] double penalty_multiplier(core::CdnId cdn) const;
 
+  /// Weight multiplier for a stale cached bid from this CDN (degraded-round
+  /// fallback): the regular penalty compounded with the staleness handicap.
+  [[nodiscard]] double stale_multiplier(core::CdnId cdn) const;
+
   /// True once the CDN's bids should be ignored entirely.
   [[nodiscard]] bool is_blacklisted(core::CdnId cdn) const;
 
@@ -47,6 +56,8 @@ class ReputationSystem {
 
   /// Number of tracked CDNs; record() on ids beyond this throws.
   [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+  [[nodiscard]] const ReputationConfig& config() const noexcept { return config_; }
 
  private:
   struct State {

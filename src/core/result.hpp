@@ -1,0 +1,84 @@
+// Typed error handling for paths that must never throw across a trust
+// boundary (hostile wire input, chaos-transport rejects, "not ready" API
+// misuse surfaced to callers). A `Result<T>` either holds a T or an
+// `Error{code, message}`; accessing the wrong side is a programmer error and
+// throws std::logic_error — wire data can never trigger it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vdx::core {
+
+enum class Errc : std::uint8_t {
+  kInvalidArgument = 1,
+  kNotReady = 2,       // operation requires prior state (e.g. a completed round)
+  kCorruptFrame = 3,   // wire-level rejection: truncated/mutated/unknown frame
+  kTimeout = 4,        // deadline expired after the retry budget
+  kUnavailable = 5,    // the counterpart is dark / withdrawn
+};
+
+[[nodiscard]] constexpr const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kNotReady: return "not_ready";
+    case Errc::kCorruptFrame: return "corrupt_frame";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Errc code = Errc::kInvalidArgument;
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(*-explicit-*)
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(*-explicit-*)
+
+  static Result failure(Errc code, std::string message) {
+    return Result{Error{code, std::move(message)}};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  [[nodiscard]] explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(checked(true)); }
+  [[nodiscard]] const T& value() const& {
+    return std::get<0>(const_cast<Result*>(this)->checked(true));
+  }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(checked(true))); }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<1>(const_cast<Result*>(this)->checked(false));
+  }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return ok() ? std::get<0>(data_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, Error>& checked(bool want_value) {
+    if (ok() != want_value) {
+      throw std::logic_error{want_value ? "Result::value() on an error"
+                                        : "Result::error() on a value"};
+    }
+    return data_;
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Result with no payload: success or an Error.
+using Status = Result<std::monostate>;
+
+[[nodiscard]] inline Status ok_status() { return Status{std::monostate{}}; }
+
+}  // namespace vdx::core

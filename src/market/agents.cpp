@@ -46,7 +46,6 @@ std::vector<proto::BidMessage> VdxCdnAgent::announce() {
   matching.max_candidates = config_.bid_count;
   matching.score_tolerance = config_.menu_tolerance;
 
-  const cdn::Cdn& self = scenario_.catalog().cdn(cdn_);
   std::vector<proto::BidMessage> bids;
   bids.reserve(shares_.size() * config_.bid_count);
   for (const proto::ShareMessage& share : shares_) {
@@ -120,9 +119,86 @@ std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
     std::span<const proto::BidMessage> bids) {
   const auto groups = scenario_.broker_groups();
 
+  ++optimize_round_;
+  stale_substituted_ = 0;
+  stale_cdns_ = 0;
+  stale_awarded_ = 0.0;
+  total_awarded_ = 0.0;
+
+  // Distinct CDNs that delivered fresh bids this round (quorum accounting).
+  std::vector<std::uint32_t> fresh_ids;
+  fresh_ids.reserve(bids.size());
+  for (const proto::BidMessage& bid : bids) fresh_ids.push_back(bid.cdn_id);
+  std::sort(fresh_ids.begin(), fresh_ids.end());
+  fresh_cdns_ = static_cast<std::size_t>(
+      std::unique(fresh_ids.begin(), fresh_ids.end()) - fresh_ids.begin());
+
+  // Working bid set = fresh bids, plus (in degraded rounds) stale cache
+  // substitutes for pairs whose refresh never arrived. `announced` keeps the
+  // pre-discount performance estimates so staleness never reads as fraud.
+  std::vector<proto::BidMessage> working(bids.begin(), bids.end());
+  const std::size_t fresh_count = working.size();
+  std::vector<double> announced;
+  announced.reserve(working.size());
+  for (const proto::BidMessage& bid : bids) announced.push_back(bid.performance_estimate);
+
+  if (config_.enable_stale_bids) {
+    std::vector<StaleKey> fresh_keys;
+    fresh_keys.reserve(bids.size());
+    for (const proto::BidMessage& bid : bids) {
+      fresh_keys.push_back(StaleKey{bid.cdn_id, bid.share_id, bid.cluster_id});
+    }
+    std::sort(fresh_keys.begin(), fresh_keys.end());
+
+    std::vector<std::uint32_t> stale_ids;
+    for (auto it = stale_cache_.begin(); it != stale_cache_.end();) {
+      const std::size_t age = optimize_round_ - it->second.round;
+      if (age > config_.stale_ttl_rounds) {
+        it = stale_cache_.erase(it);
+        continue;
+      }
+      if (!std::binary_search(fresh_keys.begin(), fresh_keys.end(), it->first)) {
+        const cdn::CdnId cdn{it->second.bid.cdn_id};
+        const bool tracked = cdn.valid() && cdn.value() < reputation_.size();
+        const bool banned =
+            config_.enable_reputation && tracked && reputation_.is_blacklisted(cdn);
+        if (!banned) {
+          proto::BidMessage stale = it->second.bid;
+          announced.push_back(stale.performance_estimate);
+          stale.performance_estimate *=
+              tracked ? reputation_.stale_multiplier(cdn)
+                      : reputation_.config().stale_bid_discount;
+          stale.capacity_mbps *= config_.stale_capacity_fraction;
+          working.push_back(stale);
+          ++stale_substituted_;
+          stale_ids.push_back(stale.cdn_id);
+        }
+      }
+      ++it;
+    }
+    std::sort(stale_ids.begin(), stale_ids.end());
+    stale_cdns_ = static_cast<std::size_t>(
+        std::unique(stale_ids.begin(), stale_ids.end()) - stale_ids.begin());
+
+    for (const proto::BidMessage& bid : bids) {
+      stale_cache_[StaleKey{bid.cdn_id, bid.share_id, bid.cluster_id}] =
+          StaleEntry{bid, optimize_round_};
+    }
+  }
+
+  // Total blackout: every Bid was lost and the stale cache has nothing to
+  // substitute. The round completes with an empty award set (degraded, no
+  // quorum) rather than handing the optimizer an infeasible problem.
+  if (working.empty()) {
+    placements_.clear();
+    awarded_by_cdn_.assign(scenario_.catalog().cdns().size(), 0.0);
+    city_choices_.assign(scenario_.world().cities().size(), CityChoice{});
+    return {};
+  }
+
   std::vector<broker::BidView> views;
-  views.reserve(bids.size());
-  for (const proto::BidMessage& bid : bids) {
+  views.reserve(working.size());
+  for (const proto::BidMessage& bid : working) {
     broker::BidView view;
     view.share = broker::ShareId{bid.share_id};
     view.cdn = cdn::CdnId{bid.cdn_id};
@@ -140,14 +216,20 @@ std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
   const broker::OptimizeResult result = broker::optimize(groups, views, optimizer);
 
   // Awarded traffic per bid.
-  std::vector<double> awarded(bids.size(), 0.0);
+  std::vector<double> awarded(working.size(), 0.0);
   placements_.clear();
+  awarded_by_cdn_.assign(scenario_.catalog().cdns().size(), 0.0);
   city_choices_.assign(scenario_.world().cities().size(), CityChoice{});
   for (const broker::Allocation& allocation : result.allocations) {
     const broker::BidView& view = views[allocation.bid_index];
     const broker::ClientGroup& group = groups[view.share.value()];
     const double mbps = allocation.clients * group.bitrate_mbps;
     awarded[allocation.bid_index] += mbps;
+    total_awarded_ += mbps;
+    if (allocation.bid_index >= fresh_count) stale_awarded_ += mbps;
+    if (view.cdn.valid() && view.cdn.value() < awarded_by_cdn_.size()) {
+      awarded_by_cdn_[view.cdn.value()] += mbps;
+    }
 
     sim::Placement placement;
     placement.group = view.share.value();
@@ -164,20 +246,20 @@ std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
     // Reputation: compare the announced performance against the measured
     // truth for traffic we actually observed (the broker's client-side QoE).
     if (config_.enable_reputation) {
-      reputation_.record(view.cdn, view.score, placement.score);
+      reputation_.record(view.cdn, announced[allocation.bid_index], placement.score);
     }
   }
 
   std::vector<proto::AcceptMessage> accepts;
-  accepts.reserve(bids.size());
-  for (std::size_t i = 0; i < bids.size(); ++i) {
+  accepts.reserve(working.size());
+  for (std::size_t i = 0; i < working.size(); ++i) {
     proto::AcceptMessage accept;
-    accept.cluster_id = bids[i].cluster_id;
-    accept.share_id = bids[i].share_id;
-    accept.performance_estimate = bids[i].performance_estimate;
-    accept.capacity_mbps = bids[i].capacity_mbps;
-    accept.price = bids[i].price;
-    accept.cdn_id = bids[i].cdn_id;
+    accept.cluster_id = working[i].cluster_id;
+    accept.share_id = working[i].share_id;
+    accept.performance_estimate = working[i].performance_estimate;
+    accept.capacity_mbps = working[i].capacity_mbps;
+    accept.price = working[i].price;
+    accept.cdn_id = working[i].cdn_id;
     accept.awarded_mbps = awarded[i];
     accepts.push_back(accept);
   }
@@ -214,9 +296,46 @@ proto::ResultMessage VdxBrokerAgent::resolve(const proto::QueryMessage& query) {
   return result;
 }
 
+proto::ResultMessage VdxBrokerAgent::resolve_excluding(const proto::QueryMessage& query,
+                                                       std::uint32_t dark_cluster) {
+  proto::ResultMessage result;
+  result.session_id = query.session_id;
+  result.cdn_id = cdn::CdnId::invalid_value;
+  result.cluster_id = cdn::ClusterId::invalid_value;
+  if (query.location >= city_choices_.size()) return result;
+
+  CityChoice& choice = city_choices_[query.location];
+  double alive_total = 0.0;
+  for (const auto& [cluster, weight] : choice.weighted_clusters) {
+    if (cluster.value() != dark_cluster) alive_total += weight;
+  }
+  if (alive_total <= 0.0) return result;  // every winner is dark: give up
+
+  // Weighted round-robin over the surviving winners, advancing the same
+  // cursor as resolve() so re-homed sessions keep approximating the split.
+  double cursor = std::fmod(choice.cursor, alive_total);
+  choice.cursor += 1.0;
+  const std::pair<cdn::ClusterId, double>* fallback = nullptr;
+  for (const auto& entry : choice.weighted_clusters) {
+    if (entry.first.value() == dark_cluster) continue;
+    fallback = &entry;
+    if (cursor < entry.second) break;
+    cursor -= entry.second;
+  }
+  result.cluster_id = fallback->first.value();
+  result.cdn_id = scenario_.catalog().cluster(fallback->first).cdn.value();
+  return result;
+}
+
 ClusterService::ClusterService(const sim::Scenario& scenario,
                                std::span<const double> cluster_loads)
-    : scenario_(scenario), loads_(cluster_loads.begin(), cluster_loads.end()) {}
+    : scenario_(scenario),
+      loads_(cluster_loads.begin(), cluster_loads.end()),
+      dark_(scenario.catalog().clusters().size(), false) {}
+
+void ClusterService::set_dark(cdn::ClusterId cluster, bool dark) {
+  if (cluster.valid() && cluster.value() < dark_.size()) dark_[cluster.value()] = dark;
+}
 
 void ClusterService::register_session(std::uint32_t session_id, double bitrate_mbps) {
   session_bitrate_[session_id] = bitrate_mbps;
@@ -230,8 +349,9 @@ proto::DeliveryMessage ClusterService::serve(const proto::RequestMessage& reques
   const auto bitrate = session_bitrate_.find(request.session_id);
   const double requested = bitrate == session_bitrate_.end() ? 1.0 : bitrate->second;
 
-  if (request.cluster_id >= scenario_.catalog().clusters().size()) {
-    delivery.delivered_mbps = 0.0;  // unknown cluster: delivery fails
+  if (request.cluster_id >= scenario_.catalog().clusters().size() ||
+      dark_[request.cluster_id]) {
+    delivery.delivered_mbps = 0.0;  // unknown or dark cluster: delivery fails
     return delivery;
   }
   const cdn::Cluster& cluster =

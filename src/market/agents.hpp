@@ -9,6 +9,8 @@
 // model for the reputation system to react to.
 #pragma once
 
+#include <array>
+#include <map>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -78,6 +80,16 @@ struct BrokerAgentConfig {
   broker::OptimizeWeights weights{1.0, 2.0};
   solver::SolveOptions solve;
   bool enable_reputation = true;
+  /// Degraded-round fallback (chaos transport, §6.3): when a CDN bid on a
+  /// (share, cluster) pair last round but no fresh bid arrived this round,
+  /// substitute the cached bid at a reputation-discounted weight instead of
+  /// letting the pair go dark. Off for the perfect transport.
+  bool enable_stale_bids = false;
+  /// Cached bids older than this many rounds are evicted, not substituted.
+  std::size_t stale_ttl_rounds = 2;
+  /// Capacity haircut on substituted stale bids (the CDN's spare capacity
+  /// may have moved since it was announced).
+  double stale_capacity_fraction = 0.5;
 };
 
 class VdxBrokerAgent final : public proto::BrokerParticipant,
@@ -92,6 +104,8 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
 
   // proto::DeliveryDirectory
   [[nodiscard]] proto::ResultMessage resolve(const proto::QueryMessage& query) override;
+  [[nodiscard]] proto::ResultMessage resolve_excluding(
+      const proto::QueryMessage& query, std::uint32_t dark_cluster) override;
 
   [[nodiscard]] const broker::ReputationSystem& reputation() const noexcept {
     return reputation_;
@@ -103,11 +117,44 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
     return placements_;
   }
 
+  /// Broker-side award accounting for the last Optimize, indexed by CDN id.
+  /// Unlike the agents' own view, this stays correct when Accept messages
+  /// are lost on a faulty transport.
+  [[nodiscard]] std::span<const double> awarded_by_cdn() const noexcept {
+    return awarded_by_cdn_;
+  }
+
+  /// Degraded-round telemetry for the last Optimize.
+  [[nodiscard]] std::size_t stale_bids_substituted() const noexcept {
+    return stale_substituted_;
+  }
+  [[nodiscard]] std::size_t stale_cdn_count() const noexcept { return stale_cdns_; }
+  [[nodiscard]] std::size_t fresh_cdn_count() const noexcept { return fresh_cdns_; }
+  [[nodiscard]] double stale_awarded_mbps() const noexcept { return stale_awarded_; }
+  [[nodiscard]] double total_awarded_mbps() const noexcept { return total_awarded_; }
+
  private:
+  /// (cdn, share, cluster) — the identity of a bid across rounds.
+  using StaleKey = std::array<std::uint32_t, 3>;
+  struct StaleEntry {
+    proto::BidMessage bid;
+    std::size_t round = 0;
+  };
+
   const sim::Scenario& scenario_;
   BrokerAgentConfig config_;
   broker::ReputationSystem reputation_;
   std::vector<sim::Placement> placements_;
+  std::vector<double> awarded_by_cdn_;
+  /// Stale-bid cache (ordered so degraded-round substitution is
+  /// deterministic), plus per-round telemetry.
+  std::map<StaleKey, StaleEntry> stale_cache_;
+  std::size_t optimize_round_ = 0;
+  std::size_t stale_substituted_ = 0;
+  std::size_t stale_cdns_ = 0;
+  std::size_t fresh_cdns_ = 0;
+  double stale_awarded_ = 0.0;
+  double total_awarded_ = 0.0;
   /// Per city: winning clusters with cumulative client weights, for
   /// Delivery-Protocol resolution.
   struct CityChoice {
@@ -119,7 +166,8 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
 };
 
 /// Delivery-Protocol cluster frontend: serves at the requested bitrate,
-/// degraded proportionally when the cluster is overloaded.
+/// degraded proportionally when the cluster is overloaded, and not at all
+/// from clusters marked dark (their CDN failed mid-stream).
 class ClusterService final : public proto::ClusterFrontend {
  public:
   ClusterService(const sim::Scenario& scenario, std::span<const double> cluster_loads);
@@ -129,9 +177,14 @@ class ClusterService final : public proto::ClusterFrontend {
   /// Bitrate requested per session must be registered before serve().
   void register_session(std::uint32_t session_id, double bitrate_mbps);
 
+  /// Marks a cluster dark: serve() delivers 0 Mbps from it, which triggers
+  /// the Delivery-Protocol failover (§6.3).
+  void set_dark(cdn::ClusterId cluster, bool dark = true);
+
  private:
   const sim::Scenario& scenario_;
   std::vector<double> loads_;
+  std::vector<bool> dark_;
   std::unordered_map<std::uint32_t, double> session_bitrate_;
 };
 

@@ -12,6 +12,11 @@ namespace vdx::market {
 VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
     : scenario_(scenario), config_(config) {
   background_loads_ = sim::place_background(scenario_);
+  if (config_.chaos.faults.any()) {
+    injector_ = std::make_unique<proto::FaultInjector>(config_.chaos.faults);
+    // A lossy transport needs the degraded-round fallback to stay useful.
+    config_.broker.enable_stale_bids = true;
+  }
   broker_agent_ = std::make_unique<VdxBrokerAgent>(scenario_, config_.broker);
   for (const cdn::Cdn& cdn : scenario_.catalog().cdns()) {
     std::unique_ptr<cdn::BiddingStrategy> strategy =
@@ -34,7 +39,32 @@ RoundReport VdxExchange::run_round() {
   participants.reserve(cdn_agents_.size());
   for (const auto& agent : cdn_agents_) participants.push_back(agent.get());
 
-  report.wire = proto::run_decision_round(*broker_agent_, participants);
+  proto::DecisionEngineConfig engine;
+  engine.faults = injector_.get();
+  engine.deadlines = config_.chaos.deadlines;
+  report.wire = proto::run_decision_round(*broker_agent_, participants, engine);
+
+  // Fault telemetry + degraded-round accounting.
+  std::size_t live_cdns = 0;
+  for (const auto& agent : cdn_agents_) {
+    if (!agent->failed()) ++live_cdns;
+  }
+  const double quorum_floor =
+      config_.chaos.quorum_fraction * static_cast<double>(live_cdns);
+  report.quorum_met = static_cast<double>(broker_agent_->fresh_cdn_count()) + 1e-9 >=
+                      quorum_floor;
+  report.stale_bids_used = broker_agent_->stale_bids_substituted();
+  report.stale_bid_share =
+      broker_agent_->total_awarded_mbps() > 0.0
+          ? broker_agent_->stale_awarded_mbps() / broker_agent_->total_awarded_mbps()
+          : 0.0;
+  report.timeout_rate =
+      report.wire.chaos.messages > 0
+          ? static_cast<double>(report.wire.chaos.timeouts) /
+                static_cast<double>(report.wire.chaos.messages)
+          : 0.0;
+  report.degraded = report.wire.chaos.timeouts > 0 || report.stale_bids_used > 0 ||
+                    !report.quorum_met;
 
   // Metrics from the broker's placements.
   const auto placements = broker_agent_->placements();
@@ -66,13 +96,17 @@ RoundReport VdxExchange::run_round() {
   }
   if (clients > 0.0) report.congested_fraction = congested_clients / clients;
 
-  // Predictability.
+  // Predictability. The award ledger is the broker's under chaos (the
+  // agents' own Accept-derived view undercounts when Accepts are lost);
+  // both sides agree exactly on a perfect transport.
+  const auto broker_awarded = broker_agent_->awarded_by_cdn();
   report.awarded_mbps.resize(cdn_agents_.size(), 0.0);
   double error_sum = 0.0;
   std::size_t bidders = 0;
   for (std::size_t i = 0; i < cdn_agents_.size(); ++i) {
     const VdxCdnAgent& agent = *cdn_agents_[i];
-    report.awarded_mbps[i] = agent.awarded_mbps();
+    report.awarded_mbps[i] =
+        injector_ && i < broker_awarded.size() ? broker_awarded[i] : agent.awarded_mbps();
     if (agent.bid_mbps() > 0.0) {
       error_sum += std::abs(agent.expected_win_mbps() - agent.awarded_mbps()) /
                    std::max(1.0, agent.bid_mbps());
@@ -111,18 +145,34 @@ const broker::ReputationSystem& VdxExchange::reputation() const {
   return broker_agent_->reputation();
 }
 
-proto::DeliveryOutcome VdxExchange::deliver(std::uint32_t session_id, geo::CityId city,
-                                            double bitrate_mbps) {
+core::Result<proto::DeliveryOutcome> VdxExchange::deliver(std::uint32_t session_id,
+                                                          geo::CityId city,
+                                                          double bitrate_mbps) {
   if (rounds_completed_ == 0) {
-    throw std::logic_error{"VdxExchange::deliver: run a decision round first"};
+    return core::Result<proto::DeliveryOutcome>::failure(
+        core::Errc::kNotReady, "VdxExchange::deliver: run a decision round first");
   }
   ClusterService frontend{scenario_, last_cluster_loads_};
   frontend.register_session(session_id, bitrate_mbps);
+  // Clusters of failed CDNs are dark mid-stream: the frontend refuses them,
+  // which drives the Delivery-Protocol failover in run_delivery().
+  const auto clusters = scenario_.catalog().clusters();
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const std::uint32_t cdn = clusters[c].cdn.value();
+    if (cdn < cdn_agents_.size() && cdn_agents_[cdn]->failed()) {
+      frontend.set_dark(cdn::ClusterId{static_cast<std::uint32_t>(c)});
+    }
+  }
   proto::QueryMessage query;
   query.session_id = session_id;
   query.location = city.value();
   query.bitrate_mbps = bitrate_mbps;
   return proto::run_delivery(query, *broker_agent_, frontend);
+}
+
+const proto::FaultCounters& VdxExchange::fault_counters() const {
+  static const proto::FaultCounters kNone{};
+  return injector_ ? injector_->counters() : kNone;
 }
 
 }  // namespace vdx::market

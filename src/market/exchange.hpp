@@ -11,16 +11,29 @@
 #include <memory>
 #include <vector>
 
+#include "core/result.hpp"
 #include "market/agents.hpp"
 
 namespace vdx::market {
 
 enum class StrategyKind : std::uint8_t { kStatic, kRiskAverse };
 
+/// Chaos-transport knobs (§6.3). A profile with any non-zero fault rate
+/// switches the exchange onto the logical-clock chaos transport with
+/// deadlines, retries, and the broker's stale-bid degraded-round fallback.
+struct ChaosConfig {
+  proto::FaultProfile faults;
+  proto::DeadlineConfig deadlines;
+  /// A round is quorate when at least this fraction of live (non-failed)
+  /// CDNs delivered fresh bids within their deadlines.
+  double quorum_fraction = 0.67;
+};
+
 struct ExchangeConfig {
   CdnAgentConfig agent;
   BrokerAgentConfig broker;
   StrategyKind strategy = StrategyKind::kRiskAverse;
+  ChaosConfig chaos;
 };
 
 /// Per-round outcome report.
@@ -37,8 +50,20 @@ struct RoundReport {
   /// predictable. Static bidders expect to win everything, so they start
   /// (and stay) high; risk-averse bidders learn.
   double mean_prediction_error = 0.0;
-  /// Per-CDN awarded traffic (Mbps).
+  /// Per-CDN awarded traffic (Mbps). Under chaos this is the broker-side
+  /// ledger, which stays correct when Accept messages are lost.
   std::vector<double> awarded_mbps;
+
+  /// Fault telemetry (all zero / false / quorate on a perfect transport).
+  /// A round is degraded when any message timed out, any stale cached bid
+  /// was substituted, or the fresh-bidder quorum was missed.
+  bool degraded = false;
+  bool quorum_met = true;
+  std::size_t stale_bids_used = 0;
+  /// Fraction of awarded traffic that went to stale (cached) bids.
+  double stale_bid_share = 0.0;
+  /// Timed-out messages / attempted messages.
+  double timeout_rate = 0.0;
 };
 
 class VdxExchange {
@@ -61,9 +86,16 @@ class VdxExchange {
   [[nodiscard]] const sim::Scenario& scenario() const noexcept { return scenario_; }
 
   /// Runs the Delivery Protocol for one client against the latest round's
-  /// decisions (throws if no round has been run).
-  [[nodiscard]] proto::DeliveryOutcome deliver(std::uint32_t session_id,
-                                               geo::CityId city, double bitrate_mbps);
+  /// decisions. Fails with Errc::kNotReady if no round has been run yet.
+  /// Clusters of CDNs currently marked failed are dark: sessions resolved to
+  /// them are re-homed via the directory failover (outcome records it).
+  [[nodiscard]] core::Result<proto::DeliveryOutcome> deliver(std::uint32_t session_id,
+                                                             geo::CityId city,
+                                                             double bitrate_mbps);
+
+  /// Chaos-transport counters accumulated since construction (empty profile:
+  /// all zero).
+  [[nodiscard]] const proto::FaultCounters& fault_counters() const;
 
  private:
   const sim::Scenario& scenario_;
@@ -72,6 +104,7 @@ class VdxExchange {
   std::vector<std::unique_ptr<cdn::BiddingStrategy>> strategies_;
   std::vector<std::unique_ptr<VdxCdnAgent>> cdn_agents_;
   std::unique_ptr<VdxBrokerAgent> broker_agent_;
+  std::unique_ptr<proto::FaultInjector> injector_;
   std::size_t rounds_completed_ = 0;
   std::vector<double> last_cluster_loads_;
 };

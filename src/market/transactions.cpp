@@ -68,6 +68,23 @@ TransactionResult run_transactions(const sim::Scenario& scenario,
       report.mean_cost = cost_sum / clients;
     }
 
+    // Crash drill: the CDN bid and was awarded traffic, but goes dark before
+    // answering the commit request. The transaction aborts — the mapping is
+    // withdrawn from every CDN (no partial commit), the crashed CDN is
+    // removed, and its clients are re-assigned by the next recompute.
+    if (config.crash_cdn < agents.size() && round == config.crash_round &&
+        !withdrawn[config.crash_cdn]) {
+      report.aborted = true;
+      withdrawn[config.crash_cdn] = true;
+      ++result.aborts;
+      result.crashed.push_back(cdn::CdnId{config.crash_cdn});
+      result.rounds.push_back(report);
+      result.rounds_used = round + 1;
+      result.final_mean_score = report.mean_score;
+      result.final_mean_cost = report.mean_cost;
+      continue;
+    }
+
     // Commit phase: every participating CDN checks its award against its
     // fair share of the demand.
     const std::size_t active =

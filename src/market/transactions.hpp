@@ -31,6 +31,14 @@ struct TransactionConfig {
   double veto_threshold = 0.2;
   /// Give up after this many recompute rounds.
   std::size_t max_rounds = 12;
+  /// Crash drill (§6.3): this CDN goes dark *between its Bid and the commit
+  /// phase* of round `crash_round` — it bid, won traffic, then never
+  /// answered the commit request. The in-flight transaction is aborted
+  /// cleanly (mapping withdrawn from every CDN), the crashed CDN is
+  /// withdrawn, and its clients are re-assigned in the recompute.
+  /// UINT32_MAX disables the drill.
+  std::uint32_t crash_cdn = UINT32_MAX;
+  std::size_t crash_round = 0;
 };
 
 struct TransactionRound {
@@ -38,6 +46,9 @@ struct TransactionRound {
   std::vector<cdn::CdnId> vetoes;    // CDNs that rejected the mapping
   double mean_score = 0.0;           // quality of this round's mapping
   double mean_cost = 0.0;
+  /// True when this round's mapping was aborted by a mid-protocol crash
+  /// (no commit was even attempted).
+  bool aborted = false;
 };
 
 struct TransactionResult {
@@ -49,6 +60,9 @@ struct TransactionResult {
   double final_mean_cost = 0.0;
   /// CDNs that walked away before commit.
   std::size_t withdrawn_cdns = 0;
+  /// Transactions aborted by mid-protocol crashes, and who crashed.
+  std::size_t aborts = 0;
+  std::vector<cdn::CdnId> crashed;
 };
 
 /// Runs the multi-round commit protocol.

@@ -1,5 +1,7 @@
 #include "proto/engine.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace vdx::proto {
@@ -15,11 +17,123 @@ T transmit(const T& message, std::size_t& bytes) {
   return std::get<T>(decoded);
 }
 
+/// One message over a faulty link: send, and on presumed loss retry with
+/// exponential backoff until delivery, deadline expiry, or budget exhaustion.
+/// Mutated frames are rejected by try_decode (checksum) and treated as lost.
+/// Returns the decoded message if a copy arrived within the step deadline;
+/// `step_ticks` tracks the step's completion time on this and other links.
+template <typename T>
+std::optional<T> chaos_transmit(const T& message, std::size_t link,
+                                FaultInjector& injector, const DeadlineConfig& config,
+                                RoundStats& stats, std::size_t& step_ticks) {
+  const std::vector<std::uint8_t> frame = encode(Message{message});
+  ++stats.chaos.messages;
+
+  std::size_t send_tick = 0;
+  std::size_t backoff = std::max<std::size_t>(1, config.retry_backoff_ticks);
+  for (std::size_t attempt = 0; attempt <= config.max_retries; ++attempt) {
+    if (attempt > 0) ++stats.chaos.retries;
+    const FaultCounters before = injector.counters();
+    const std::vector<FaultedFrame> copies = injector.apply(link, frame);
+    const FaultCounters& after = injector.counters();
+    stats.chaos.frames_dropped += after.dropped - before.dropped;
+    stats.chaos.frames_duplicated += after.duplicated - before.duplicated;
+
+    for (const FaultedFrame& copy : copies) {
+      stats.bytes_on_wire += copy.bytes.size();
+      const core::Result<Message> decoded = try_decode(copy.bytes);
+      if (!decoded.ok() || !std::holds_alternative<T>(decoded.value())) {
+        ++stats.chaos.decode_rejects;
+        continue;
+      }
+      const std::size_t arrival = send_tick + 1 + copy.delay_ticks;
+      if (arrival > config.step_deadline_ticks) continue;  // late copies discarded
+      step_ticks = std::max(step_ticks, arrival);
+      return std::get<T>(decoded.value());
+    }
+    send_tick += backoff;
+    backoff *= 2;
+    if (send_tick > config.step_deadline_ticks) break;  // no budget left to resend
+  }
+  ++stats.chaos.timeouts;
+  step_ticks = std::max(step_ticks, config.step_deadline_ticks);
+  return std::nullopt;
+}
+
+RoundStats run_chaos_round(BrokerParticipant& broker,
+                           std::span<CdnParticipant* const> cdns,
+                           const DecisionEngineConfig& config) {
+  RoundStats stats;
+  FaultInjector& injector = *config.faults;
+  const DeadlineConfig& deadlines = config.deadlines;
+
+  for (CdnParticipant* cdn : cdns) {
+    if (cdn == nullptr) throw std::invalid_argument{"null CdnParticipant"};
+  }
+
+  // Steps 2-3: Gather + Share. Each CDN receives whichever shares survive
+  // its link within the step deadline.
+  const std::vector<ShareMessage> shares = broker.gather();
+  std::size_t step_ticks = 0;
+  for (std::size_t i = 0; i < cdns.size(); ++i) {
+    std::vector<ShareMessage> delivered;
+    if (config.share_client_data) {
+      delivered.reserve(shares.size());
+      for (const ShareMessage& share : shares) {
+        ++stats.shares_sent;
+        if (auto got = chaos_transmit(share, i, injector, deadlines, stats, step_ticks)) {
+          delivered.push_back(*got);
+        }
+      }
+    }
+    cdns[i]->handle_share(delivered);
+  }
+  stats.chaos.ticks_elapsed += step_ticks;
+
+  // Steps 4-5: Matching + Announce. Lost bids are simply absent from the
+  // auction; the broker may backfill them with stale cached bids.
+  step_ticks = 0;
+  std::vector<BidMessage> all_bids;
+  for (std::size_t i = 0; i < cdns.size(); ++i) {
+    for (const BidMessage& bid : cdns[i]->announce()) {
+      if (auto got = chaos_transmit(bid, i, injector, deadlines, stats, step_ticks)) {
+        all_bids.push_back(*got);
+        ++stats.bids_received;
+      }
+    }
+  }
+  stats.chaos.ticks_elapsed += step_ticks;
+
+  // Step 6: Optimize (broker-local, no transport).
+  const std::vector<AcceptMessage> accepts = broker.optimize(all_bids);
+
+  // Step 7: Accept — CDNs hear about whichever outcomes reach them; a CDN
+  // that misses an Accept just doesn't update its strategy for that bid.
+  step_ticks = 0;
+  for (std::size_t i = 0; i < cdns.size(); ++i) {
+    std::vector<AcceptMessage> delivered;
+    delivered.reserve(accepts.size());
+    for (const AcceptMessage& accept : accepts) {
+      ++stats.accepts_sent;
+      if (auto got = chaos_transmit(accept, i, injector, deadlines, stats, step_ticks)) {
+        delivered.push_back(*got);
+      }
+    }
+    cdns[i]->handle_accept(delivered);
+  }
+  stats.chaos.ticks_elapsed += step_ticks;
+  return stats;
+}
+
 }  // namespace
 
 RoundStats run_decision_round(BrokerParticipant& broker,
                               std::span<CdnParticipant* const> cdns,
                               const DecisionEngineConfig& config) {
+  if (config.faults != nullptr && config.faults->profile().any()) {
+    return run_chaos_round(broker, cdns, config);
+  }
+
   RoundStats stats;
 
   // Steps 2-3: Gather + Share.
@@ -73,12 +187,29 @@ DeliveryOutcome run_delivery(const QueryMessage& query, DeliveryDirectory& direc
   const QueryMessage sent_query = transmit(query, outcome.bytes_on_wire);
   outcome.result = transmit(directory.resolve(sent_query), outcome.bytes_on_wire);
 
-  RequestMessage request;
-  request.session_id = outcome.result.session_id;
-  request.cluster_id = outcome.result.cluster_id;
-  request.content_id = 0;
-  const RequestMessage sent_request = transmit(request, outcome.bytes_on_wire);
-  outcome.delivery = transmit(frontend.serve(sent_request), outcome.bytes_on_wire);
+  const auto attempt = [&](const ResultMessage& result) {
+    RequestMessage request;
+    request.session_id = result.session_id;
+    request.cluster_id = result.cluster_id;
+    request.content_id = 0;
+    const RequestMessage sent_request = transmit(request, outcome.bytes_on_wire);
+    return transmit(frontend.serve(sent_request), outcome.bytes_on_wire);
+  };
+
+  outcome.delivery = attempt(outcome.result);
+  if (outcome.delivery.delivered_mbps <= 0.0) {
+    // Mid-stream failure: the chosen cluster is dark. Ask the directory for
+    // an alternative home and replay the request there (§6.3 failover).
+    const std::uint32_t dark = outcome.result.cluster_id;
+    const ResultMessage alternative = transmit(
+        directory.resolve_excluding(sent_query, dark), outcome.bytes_on_wire);
+    if (alternative.cluster_id != dark && alternative.cluster_id != UINT32_MAX) {
+      outcome.result = alternative;
+      outcome.delivery = attempt(alternative);
+      outcome.rehomed = true;
+      outcome.failed_cluster = dark;
+    }
+  }
   return outcome;
 }
 

@@ -1,0 +1,91 @@
+#include "proto/fault.hpp"
+
+#include <algorithm>
+
+namespace vdx::proto {
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& other) noexcept {
+  frames += other.frames;
+  delivered += other.delivered;
+  dropped += other.dropped;
+  duplicated += other.duplicated;
+  delayed += other.delayed;
+  truncated += other.truncated;
+  corrupted += other.corrupted;
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile) : profile_(profile) {}
+
+FaultInjector::LinkState& FaultInjector::state_of(std::size_t link) {
+  if (link >= links_.size()) links_.resize(link + 1);
+  LinkState& state = links_[link];
+  if (!state.initialized) {
+    // Decorrelate links by mixing the link index into the seed; Rng's own
+    // SplitMix64 seeding whitens the correlated inputs.
+    std::uint64_t mix = profile_.seed + 0x9e3779b97f4a7c15ULL * (link + 1);
+    state.rng.reseed(core::split_mix64(mix));
+    state.initialized = true;
+  }
+  return state;
+}
+
+bool FaultInjector::in_burst(std::size_t link) const noexcept {
+  return link < links_.size() && links_[link].burst;
+}
+
+std::vector<FaultedFrame> FaultInjector::apply(std::size_t link,
+                                               std::span<const std::uint8_t> frame) {
+  LinkState& state = state_of(link);
+  ++counters_.frames;
+
+  double scale = 1.0;
+  if (profile_.burst_enter > 0.0) {
+    if (state.burst) {
+      if (state.rng.chance(profile_.burst_exit)) state.burst = false;
+    } else if (state.rng.chance(profile_.burst_enter)) {
+      state.burst = true;
+    }
+    if (state.burst) scale = profile_.burst_multiplier;
+  }
+  const auto rate = [scale](double r) { return std::min(1.0, r * scale); };
+
+  if (state.rng.chance(rate(profile_.drop_rate))) {
+    ++counters_.dropped;
+    return {};
+  }
+
+  FaultedFrame out;
+  out.bytes.assign(frame.begin(), frame.end());
+
+  if (!out.bytes.empty() && state.rng.chance(rate(profile_.corrupt_rate))) {
+    const std::size_t flips = 1 + state.rng.below(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t pos = state.rng.below(out.bytes.size());
+      out.bytes[pos] ^= static_cast<std::uint8_t>(1u << state.rng.below(8));
+    }
+    out.mutated = true;
+    ++counters_.corrupted;
+  }
+  if (!out.bytes.empty() && state.rng.chance(rate(profile_.truncate_rate))) {
+    out.bytes.resize(state.rng.below(out.bytes.size()));  // strictly shorter
+    out.mutated = true;
+    ++counters_.truncated;
+  }
+  if (profile_.max_delay_ticks > 0 && state.rng.chance(rate(profile_.delay_rate))) {
+    out.delay_ticks = 1 + state.rng.below(profile_.max_delay_ticks);
+    ++counters_.delayed;
+  }
+
+  std::vector<FaultedFrame> copies;
+  copies.push_back(std::move(out));
+  ++counters_.delivered;
+  if (state.rng.chance(rate(profile_.duplicate_rate))) {
+    copies.push_back(copies.front());
+    ++counters_.duplicated;
+    ++counters_.delivered;
+  }
+  return copies;
+}
+
+}  // namespace vdx::proto

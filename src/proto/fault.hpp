@@ -1,0 +1,100 @@
+// Deterministic chaos transport for the VDX wire protocol (paper §6.3).
+//
+// A FaultInjector sits between a sender and the codec: every outgoing frame
+// is passed through `apply`, which — driven by a seeded per-link RNG stream —
+// may drop it, duplicate it, delay it (in logical-clock ticks), truncate it,
+// or flip bits in it. Links (one per CDN) fork independent sub-streams from
+// the profile seed, so the traffic volume on one link never perturbs the
+// fault sequence of another, and any run replays exactly from its seed.
+//
+// Loss bursts follow a two-state Gilbert-Elliott model: while a link is in
+// the "bad" state every fault rate is scaled by `burst_multiplier`, which
+// produces the clustered losses real paths exhibit instead of iid noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace vdx::proto {
+
+/// Per-link fault rates. All probabilities are per-frame in [0, 1].
+struct FaultProfile {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  double truncate_rate = 0.0;
+  /// Probability of flipping 1-3 random bits in the frame.
+  double corrupt_rate = 0.0;
+  /// Delayed frames arrive 1..max_delay_ticks logical ticks late.
+  std::size_t max_delay_ticks = 4;
+  /// Gilbert-Elliott burst model: P(good->bad) and P(bad->good) per frame;
+  /// in the bad state all rates are scaled by burst_multiplier (capped at 1).
+  double burst_enter = 0.0;
+  double burst_exit = 0.25;
+  double burst_multiplier = 4.0;
+  std::uint64_t seed = 0xC4A05C4A05ULL;
+
+  /// True if any fault can ever fire (a perfect transport otherwise).
+  [[nodiscard]] bool any() const noexcept {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+           truncate_rate > 0.0 || corrupt_rate > 0.0;
+  }
+};
+
+/// Cumulative fault accounting across all links.
+struct FaultCounters {
+  std::size_t frames = 0;      // frames offered to apply()
+  std::size_t delivered = 0;   // copies that left the injector (incl. duplicates)
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t delayed = 0;
+  std::size_t truncated = 0;
+  std::size_t corrupted = 0;
+
+  FaultCounters& operator+=(const FaultCounters& other) noexcept;
+};
+
+/// One copy of a frame after fault injection.
+struct FaultedFrame {
+  std::vector<std::uint8_t> bytes;
+  std::size_t delay_ticks = 0;
+  /// Bytes differ from the input (truncated and/or bit-corrupted).
+  bool mutated = false;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile = {});
+
+  /// Passes one outgoing frame on `link` through the fault model. Returns
+  /// 0 copies (dropped), 1 (normal), or 2 (duplicated); copies may be
+  /// mutated and/or delayed. Deterministic per (seed, link, call sequence).
+  [[nodiscard]] std::vector<FaultedFrame> apply(std::size_t link,
+                                                std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] const FaultProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = FaultCounters{}; }
+
+  /// Whether `link` is currently in the Gilbert-Elliott bad state.
+  [[nodiscard]] bool in_burst(std::size_t link) const noexcept;
+
+ private:
+  struct LinkState {
+    core::Rng rng{0};
+    bool burst = false;
+    bool initialized = false;
+  };
+
+  LinkState& state_of(std::size_t link);
+
+  FaultProfile profile_;
+  std::vector<LinkState> links_;
+  FaultCounters counters_;
+};
+
+}  // namespace vdx::proto

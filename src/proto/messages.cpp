@@ -122,6 +122,48 @@ DeliveryMessage read_delivery(ByteReader& r) {
   return m;
 }
 
+/// Fixed payload size per message type (every field is fixed-width); 0 marks
+/// an unknown type.
+constexpr std::size_t payload_size(std::uint8_t raw_type) noexcept {
+  switch (static_cast<MessageType>(raw_type)) {
+    case MessageType::kShare:
+      return 4 * 4 + 8 + 4;
+    case MessageType::kBid:
+      return 4 + 4 + 8 * 3 + 4;
+    case MessageType::kAccept:
+      return 4 + 4 + 8 * 3 + 4 + 8;
+    case MessageType::kQuery:
+      return 4 + 4 + 8;
+    case MessageType::kResult:
+      return 4 + 4 + 4;
+    case MessageType::kRequest:
+      return 4 + 4 + 4;
+    case MessageType::kDelivery:
+      return 4 + 4 + 8;
+  }
+  return 0;
+}
+
+constexpr std::size_t kHeaderSize = 4 + 1 + 2;
+constexpr std::size_t kChecksumSize = 4;
+
+std::uint32_t fnv1a(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t hash = 0x811c9dc5u;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
+std::uint32_t read_u32_le(std::span<const std::uint8_t> data,
+                          std::size_t pos) noexcept {
+  return static_cast<std::uint32_t>(data[pos]) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+}
+
 }  // namespace
 
 MessageType type_of(const Message& message) noexcept {
@@ -147,20 +189,38 @@ std::vector<std::uint8_t> encode(const Message& message) {
   const std::size_t payload_start = w.size();
   std::visit([&w](const auto& m) { write_payload(w, m); }, message);
   w.patch_u32(0, static_cast<std::uint32_t>(w.size() - payload_start));
+  w.write_u32(fnv1a(w.data()));  // checksum over header + payload
   return w.take();
 }
 
-Message decode(std::span<const std::uint8_t> data, std::size_t* consumed) {
-  ByteReader header{data};
-  const std::uint32_t payload_length = header.read_u32();
-  const std::uint8_t raw_type = header.read_u8();
-  const std::uint16_t version = header.read_u16();
-  if (version != kProtocolVersion) throw WireError{"unsupported protocol version"};
+core::Result<Message> try_decode(std::span<const std::uint8_t> data,
+                                 std::size_t* consumed) {
+  const auto reject = [](std::string why) {
+    return core::Result<Message>::failure(core::Errc::kCorruptFrame, std::move(why));
+  };
+  if (data.size() < kHeaderSize) return reject("truncated envelope header");
 
-  constexpr std::size_t kHeaderSize = 4 + 1 + 2;
-  if (data.size() < kHeaderSize + payload_length) throw WireError{"truncated envelope"};
+  const std::uint32_t payload_length = read_u32_le(data, 0);
+  const std::uint8_t raw_type = data[4];
+  const std::uint16_t version = static_cast<std::uint16_t>(
+      data[5] | (static_cast<std::uint16_t>(data[6]) << 8));
+  if (version != kProtocolVersion) return reject("unsupported protocol version");
+
+  const std::size_t expected = payload_size(raw_type);
+  if (expected == 0) return reject("unknown message type");
+  if (payload_length != expected) return reject("payload length mismatch");
+
+  const std::size_t envelope = kHeaderSize + payload_length + kChecksumSize;
+  if (data.size() < envelope) return reject("truncated envelope");
+
+  const std::size_t checksum_at = kHeaderSize + payload_length;
+  if (read_u32_le(data, checksum_at) != fnv1a(data.first(checksum_at))) {
+    return reject("frame checksum mismatch");
+  }
+
+  // Every field is fixed-width and the payload length is validated above, so
+  // none of the reads below can run out of bytes.
   ByteReader payload{data.subspan(kHeaderSize, payload_length)};
-
   Message message = [&]() -> Message {
     switch (static_cast<MessageType>(raw_type)) {
       case MessageType::kShare:
@@ -175,14 +235,18 @@ Message decode(std::span<const std::uint8_t> data, std::size_t* consumed) {
         return read_result(payload);
       case MessageType::kRequest:
         return read_request(payload);
-      case MessageType::kDelivery:
+      default:
         return read_delivery(payload);
     }
-    throw WireError{"unknown message type"};
   }();
-  if (!payload.exhausted()) throw WireError{"trailing bytes in payload"};
-  if (consumed != nullptr) *consumed = kHeaderSize + payload_length;
+  if (consumed != nullptr) *consumed = envelope;
   return message;
+}
+
+Message decode(std::span<const std::uint8_t> data, std::size_t* consumed) {
+  core::Result<Message> result = try_decode(data, consumed);
+  if (!result.ok()) throw WireError{result.error().message};
+  return std::move(result).value();
 }
 
 std::vector<Message> decode_stream(std::span<const std::uint8_t> data) {

@@ -9,7 +9,10 @@
 // Delivery Protocol:
 //   Query / Result / Request / Delivery.
 //
-// Envelope: [u32 payload_length][u8 type][u16 version][payload bytes].
+// Envelope: [u32 payload_length][u8 type][u16 version][payload][u32 fnv1a].
+// The trailing FNV-1a checksum covers header + payload, so any bit flip a
+// faulty link introduces is detected and the frame rejected — a requirement
+// for running the exchange over the chaos transport (proto/fault.hpp).
 #pragma once
 
 #include <cstdint>
@@ -17,11 +20,12 @@
 #include <variant>
 #include <vector>
 
+#include "core/result.hpp"
 #include "proto/wire.hpp"
 
 namespace vdx::proto {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 enum class MessageType : std::uint8_t {
   kShare = 1,
@@ -112,6 +116,14 @@ using Message = std::variant<ShareMessage, BidMessage, AcceptMessage, QueryMessa
 /// streams of back-to-back messages.
 [[nodiscard]] Message decode(std::span<const std::uint8_t> data,
                              std::size_t* consumed = nullptr);
+
+/// Non-throwing decode for hostile input (the chaos transport's receive
+/// path): truncated, bit-corrupted, mis-typed, or mis-versioned frames come
+/// back as Errc::kCorruptFrame instead of an exception. Every payload is
+/// fixed-size, so the frame is fully validated (including the checksum)
+/// before any field is read.
+[[nodiscard]] core::Result<Message> try_decode(std::span<const std::uint8_t> data,
+                                               std::size_t* consumed = nullptr);
 
 /// Decodes a back-to-back stream of enveloped messages.
 [[nodiscard]] std::vector<Message> decode_stream(std::span<const std::uint8_t> data);

@@ -1,0 +1,56 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vdx::core {
+namespace {
+
+TEST(Result, HoldsValue) {
+  const Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  const auto r = Result<int>::failure(Errc::kCorruptFrame, "bad checksum");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorruptFrame);
+  EXPECT_EQ(r.error().message, "bad checksum");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, WrongSideAccessIsLogicError) {
+  const Result<int> ok{7};
+  const auto bad = Result<int>::failure(Errc::kTimeout, "late");
+  EXPECT_THROW((void)ok.error(), std::logic_error);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string{"payload"}};
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, StatusHelpers) {
+  const Status good = ok_status();
+  EXPECT_TRUE(good.ok());
+  const Status bad = Status::failure(Errc::kNotReady, "no round yet");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::kNotReady);
+}
+
+TEST(Result, ErrcNamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(errc_name(Errc::kNotReady), "not_ready");
+  EXPECT_STREQ(errc_name(Errc::kCorruptFrame), "corrupt_frame");
+  EXPECT_STREQ(errc_name(Errc::kTimeout), "timeout");
+  EXPECT_STREQ(errc_name(Errc::kUnavailable), "unavailable");
+}
+
+}  // namespace
+}  // namespace vdx::core

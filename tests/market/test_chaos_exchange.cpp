@@ -1,0 +1,206 @@
+// Chaos-transport acceptance tests (§6.3): the exchange must keep deciding —
+// deterministically — while the wire drops and corrupts frames, degrade
+// gracefully via stale-bid substitution, and re-home delivery sessions when
+// a CDN goes dark mid-stream.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "market/exchange.hpp"
+
+namespace vdx::market {
+namespace {
+
+class ChaosExchangeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 3000;
+    config.seed = 31;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+
+  static ExchangeConfig chaos_config() {
+    ExchangeConfig config;
+    config.chaos.faults.drop_rate = 0.10;
+    config.chaos.faults.corrupt_rate = 0.02;
+    config.chaos.faults.seed = 0x5EED;
+    return config;
+  }
+
+ private:
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* ChaosExchangeTest::scenario_ = nullptr;
+
+TEST_F(ChaosExchangeTest, LossyRunCompletesDegradedButClose) {
+  VdxExchange faulty{scenario(), chaos_config()};
+  const auto reports = faulty.run(10);
+  ASSERT_EQ(reports.size(), 10u);
+
+  VdxExchange perfect{scenario()};
+  const auto clean = perfect.run(10);
+
+  std::size_t degraded_rounds = 0;
+  std::size_t stale_rounds = 0;
+  double faulty_score = 0.0;
+  double clean_score = 0.0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    // Chaos really happened on the wire...
+    EXPECT_GT(reports[i].wire.chaos.messages, 0u);
+    EXPECT_GT(reports[i].wire.chaos.frames_dropped, 0u);
+    // ...and the market still decided.
+    EXPECT_GT(reports[i].mean_score, 0.0);
+    const double total = std::accumulate(reports[i].awarded_mbps.begin(),
+                                         reports[i].awarded_mbps.end(), 0.0);
+    EXPECT_GT(total, 0.0);
+    if (reports[i].degraded) ++degraded_rounds;
+    if (reports[i].stale_bids_used > 0) ++stale_rounds;
+    faulty_score += reports[i].mean_score;
+    clean_score += clean[i].mean_score;
+  }
+  EXPECT_GE(degraded_rounds, 1u);
+  // The stale-bid fallback actually carried traffic in some round.
+  EXPECT_GE(stale_rounds, 1u);
+
+  // Mean score stays within 15% of the fault-free exchange.
+  faulty_score /= static_cast<double>(reports.size());
+  clean_score /= static_cast<double>(clean.size());
+  EXPECT_NEAR(faulty_score, clean_score, 0.15 * clean_score);
+
+  // Injector totals reconcile.
+  const proto::FaultCounters& counters = faulty.fault_counters();
+  EXPECT_GT(counters.frames, 0u);
+  EXPECT_EQ(counters.delivered + counters.dropped,
+            counters.frames + counters.duplicated);
+}
+
+TEST_F(ChaosExchangeTest, SameSeedReplaysByteIdentically) {
+  VdxExchange first{scenario(), chaos_config()};
+  VdxExchange second{scenario(), chaos_config()};
+  const auto a = first.run(10);
+  const auto b = second.run(10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].wire.bids_received, b[i].wire.bids_received);
+    EXPECT_EQ(a[i].wire.bytes_on_wire, b[i].wire.bytes_on_wire);
+    EXPECT_EQ(a[i].wire.chaos.retries, b[i].wire.chaos.retries);
+    EXPECT_EQ(a[i].wire.chaos.timeouts, b[i].wire.chaos.timeouts);
+    EXPECT_EQ(a[i].wire.chaos.decode_rejects, b[i].wire.chaos.decode_rejects);
+    EXPECT_EQ(a[i].wire.chaos.frames_dropped, b[i].wire.chaos.frames_dropped);
+    EXPECT_EQ(a[i].degraded, b[i].degraded);
+    EXPECT_EQ(a[i].stale_bids_used, b[i].stale_bids_used);
+    // Exact — not approximate — equality: the run must replay bit-for-bit.
+    EXPECT_EQ(a[i].mean_score, b[i].mean_score);
+    EXPECT_EQ(a[i].mean_cost, b[i].mean_cost);
+    EXPECT_EQ(a[i].stale_bid_share, b[i].stale_bid_share);
+    ASSERT_EQ(a[i].awarded_mbps.size(), b[i].awarded_mbps.size());
+    for (std::size_t c = 0; c < a[i].awarded_mbps.size(); ++c) {
+      EXPECT_EQ(a[i].awarded_mbps[c], b[i].awarded_mbps[c]);
+    }
+  }
+}
+
+TEST_F(ChaosExchangeTest, PerfectTransportReportsNoChaos) {
+  VdxExchange exchange{scenario()};
+  const RoundReport report = exchange.run_round();
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.quorum_met);
+  EXPECT_EQ(report.stale_bids_used, 0u);
+  EXPECT_EQ(report.timeout_rate, 0.0);
+  EXPECT_EQ(report.wire.chaos.messages, 0u);
+  EXPECT_EQ(exchange.fault_counters().frames, 0u);
+}
+
+TEST_F(ChaosExchangeTest, TotalBlackoutDegradesToEmptyRound) {
+  ExchangeConfig config;
+  config.chaos.faults.drop_rate = 1.0;
+  config.chaos.faults.seed = 0x5EED;
+  VdxExchange exchange{scenario(), config};
+  // Every frame is lost, the stale cache is empty: the round must still
+  // complete — zero bids, zero awards, degraded, no quorum — not throw.
+  RoundReport report;
+  ASSERT_NO_THROW(report = exchange.run_round());
+  EXPECT_EQ(report.wire.bids_received, 0u);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_FALSE(report.quorum_met);
+  EXPECT_GT(report.wire.chaos.timeouts, 0u);
+  for (const double mbps : report.awarded_mbps) EXPECT_EQ(mbps, 0.0);
+}
+
+TEST_F(ChaosExchangeTest, MassCdnFailureRidesOnStaleBidsThenAgesOut) {
+  ExchangeConfig config = chaos_config();
+  VdxExchange exchange{scenario(), config};
+  (void)exchange.run_round();  // primes the broker's stale-bid cache
+
+  // Fail all but one CDN. The broker cannot tell dead from timed-out: the
+  // next round substitutes the dark CDNs' cached bids (their former winners
+  // among them), so stale bids carry real traffic through the outage.
+  const std::size_t cdn_count = scenario().catalog().cdns().size();
+  ASSERT_GE(cdn_count, 2u);
+  for (std::size_t i = 1; i < cdn_count; ++i) {
+    exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(i)}, true);
+  }
+  const RoundReport outage = exchange.run_round();
+  EXPECT_TRUE(outage.degraded);
+  EXPECT_TRUE(outage.quorum_met);  // 1 of 1 *live* CDNs delivered fresh bids
+  EXPECT_GT(outage.stale_bids_used, 0u);
+  EXPECT_GT(outage.stale_bid_share, 0.0);
+
+  // Once the cache ages past stale_ttl_rounds the dead CDNs stop winning:
+  // the market converges on the survivor (whose own occasionally-dropped
+  // bids may still ride the cache — that is the mechanism working).
+  RoundReport settled;
+  for (std::size_t r = 0; r <= config.broker.stale_ttl_rounds; ++r) {
+    settled = exchange.run_round();
+  }
+  for (std::size_t i = 1; i < cdn_count; ++i) {
+    EXPECT_EQ(settled.awarded_mbps[i], 0.0);
+  }
+  const double survivor_total = std::accumulate(
+      settled.awarded_mbps.begin(), settled.awarded_mbps.end(), 0.0);
+  EXPECT_GT(survivor_total, 0.0);
+}
+
+TEST_F(ChaosExchangeTest, DarkCdnSessionsAreRehomedMidStream) {
+  VdxExchange exchange{scenario()};
+  const RoundReport report = exchange.run_round();
+
+  // Kill the CDN carrying the most traffic; its clusters go dark mid-stream.
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < report.awarded_mbps.size(); ++i) {
+    if (report.awarded_mbps[i] > report.awarded_mbps[top]) top = i;
+  }
+  exchange.set_failed(cdn::CdnId{static_cast<std::uint32_t>(top)}, true);
+
+  std::size_t rehomed = 0;
+  std::size_t served = 0;
+  const auto groups = scenario().broker_groups();
+  for (std::uint32_t session = 0; session < 200; ++session) {
+    const auto& group = groups[session % groups.size()];
+    const auto outcome = exchange.deliver(session, group.city, group.bitrate_mbps);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome.value().delivery.delivered_mbps > 0.0) ++served;
+    if (outcome.value().rehomed) {
+      ++rehomed;
+      // The session ended up on a live cluster owned by someone else.
+      const cdn::ClusterId home{outcome.value().result.cluster_id};
+      EXPECT_NE(scenario().catalog().cluster(home).cdn.value(),
+                static_cast<std::uint32_t>(top));
+      EXPECT_GT(outcome.value().delivery.delivered_mbps, 0.0);
+    }
+  }
+  // The top CDN carried real traffic, so a visible share of sessions must
+  // have hit its dark clusters and been re-homed.
+  EXPECT_GE(rehomed, 1u);
+  EXPECT_GT(served, 150u);
+}
+
+}  // namespace
+}  // namespace vdx::market

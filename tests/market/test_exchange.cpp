@@ -114,13 +114,16 @@ TEST_F(ExchangeTest, FraudulentCdnLosesReputationAndTraffic) {
 
 TEST_F(ExchangeTest, DeliveryProtocolServesClients) {
   VdxExchange exchange{scenario()};
-  EXPECT_THROW((void)exchange.deliver(1, geo::CityId{0}, 2.0), std::logic_error);
+  // No round yet: a typed error, not an exception (§6.3 hardening).
+  const auto premature = exchange.deliver(1, geo::CityId{0}, 2.0);
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.error().code, core::Errc::kNotReady);
   (void)exchange.run_round();
 
   // Deliver a client in a city that has broker traffic.
   const auto& group = scenario().broker_groups().front();
   const proto::DeliveryOutcome outcome =
-      exchange.deliver(123, group.city, group.bitrate_mbps);
+      exchange.deliver(123, group.city, group.bitrate_mbps).value();
   EXPECT_EQ(outcome.delivery.session_id, 123u);
   EXPECT_GT(outcome.delivery.delivered_mbps, 0.0);
   EXPECT_LE(outcome.delivery.delivered_mbps, group.bitrate_mbps + 1e-9);

@@ -81,5 +81,48 @@ TEST_F(TransactionTest, VetoRoundsAreRecorded) {
   }
 }
 
+TEST_F(TransactionTest, MidProtocolCrashAbortsCleanlyAndReassigns) {
+  // Baseline: no vetoes, no crash — commits in one round.
+  TransactionConfig baseline;
+  baseline.veto_threshold = 0.0;
+  const TransactionResult clean = run_transactions(scenario(), baseline);
+  ASSERT_TRUE(clean.committed);
+
+  // Same run, but CDN 0 crashes between its Bid and the commit phase of
+  // round 0: the transaction aborts (no partial commit), the crashed CDN is
+  // withdrawn, and the recompute commits without it.
+  TransactionConfig config;
+  config.veto_threshold = 0.0;
+  config.crash_cdn = 0;
+  config.crash_round = 0;
+  const TransactionResult result = run_transactions(scenario(), config);
+
+  EXPECT_EQ(result.aborts, 1u);
+  ASSERT_EQ(result.crashed.size(), 1u);
+  EXPECT_EQ(result.crashed[0].value(), 0u);
+  ASSERT_GE(result.rounds.size(), 2u);
+  EXPECT_TRUE(result.rounds[0].aborted);
+  EXPECT_TRUE(result.rounds[0].vetoes.empty());  // never reached the commit vote
+  EXPECT_FALSE(result.rounds[1].aborted);
+
+  // The retry commits with the survivors; the crashed CDN's clients were
+  // re-assigned, so the mapping still serves everyone (score stays sane).
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.withdrawn_cdns, 1u);
+  EXPECT_GT(result.final_mean_score, 0.0);
+  EXPECT_GE(result.final_mean_score, clean.final_mean_score - 1e-9);
+}
+
+TEST_F(TransactionTest, CrashDrillDisabledByDefault) {
+  TransactionConfig config;
+  config.veto_threshold = 0.0;
+  const TransactionResult result = run_transactions(scenario(), config);
+  EXPECT_EQ(result.aborts, 0u);
+  EXPECT_TRUE(result.crashed.empty());
+  for (const TransactionRound& round : result.rounds) {
+    EXPECT_FALSE(round.aborted);
+  }
+}
+
 }  // namespace
 }  // namespace vdx::market

@@ -145,6 +145,96 @@ class ScriptedFrontend final : public ClusterFrontend {
   RequestMessage last_request_;
 };
 
+TEST(ChaosEngine, ZeroProfileInjectorMatchesPerfectTransport) {
+  ScriptedBroker perfect_broker;
+  ScriptedCdn perfect_cdn{1, 1.0};
+  std::vector<CdnParticipant*> perfect_cdns{&perfect_cdn};
+  const RoundStats perfect = run_decision_round(perfect_broker, perfect_cdns);
+
+  FaultInjector injector;  // empty profile: chaos path must not engage
+  DecisionEngineConfig config;
+  config.faults = &injector;
+  ScriptedBroker broker;
+  ScriptedCdn cdn{1, 1.0};
+  std::vector<CdnParticipant*> cdns{&cdn};
+  const RoundStats stats = run_decision_round(broker, cdns, config);
+
+  EXPECT_EQ(stats.shares_sent, perfect.shares_sent);
+  EXPECT_EQ(stats.bids_received, perfect.bids_received);
+  EXPECT_EQ(stats.accepts_sent, perfect.accepts_sent);
+  EXPECT_EQ(stats.bytes_on_wire, perfect.bytes_on_wire);
+  EXPECT_EQ(stats.chaos.messages, 0u);
+  EXPECT_EQ(stats.chaos.timeouts, 0u);
+}
+
+TEST(ChaosEngine, TotalLossTimesOutEveryMessageButCompletes) {
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector{profile};
+  DecisionEngineConfig config;
+  config.faults = &injector;
+
+  ScriptedBroker broker;
+  ScriptedCdn cdn{1, 1.0};
+  std::vector<CdnParticipant*> cdns{&cdn};
+  const RoundStats stats = run_decision_round(broker, cdns, config);
+
+  // Nothing gets through, yet the round terminates: shares lost, no bids,
+  // no accepts to send.
+  EXPECT_TRUE(cdn.shares_.empty());
+  EXPECT_TRUE(broker.seen_bids_.empty());
+  EXPECT_EQ(stats.bids_received, 0u);
+  EXPECT_GT(stats.chaos.messages, 0u);
+  EXPECT_EQ(stats.chaos.timeouts, stats.chaos.messages);
+  EXPECT_GT(stats.chaos.retries, 0u);
+  // Each timed-out step is pinned to its deadline.
+  EXPECT_GT(stats.chaos.ticks_elapsed, 0u);
+}
+
+TEST(ChaosEngine, ModerateLossRetriesAndIsDeterministic) {
+  FaultProfile profile;
+  profile.drop_rate = 0.4;
+  profile.seed = 2024;
+
+  const auto run_once = [&profile]() {
+    FaultInjector injector{profile};
+    DecisionEngineConfig config;
+    config.faults = &injector;
+    ScriptedBroker broker;
+    ScriptedCdn a{1, 1.0};
+    ScriptedCdn b{2, 3.0};
+    std::vector<CdnParticipant*> cdns{&a, &b};
+    return run_decision_round(broker, cdns, config);
+  };
+
+  const RoundStats first = run_once();
+  const RoundStats second = run_once();
+  EXPECT_GT(first.chaos.retries, 0u);
+  EXPECT_EQ(first.chaos.retries, second.chaos.retries);
+  EXPECT_EQ(first.chaos.timeouts, second.chaos.timeouts);
+  EXPECT_EQ(first.chaos.frames_dropped, second.chaos.frames_dropped);
+  EXPECT_EQ(first.bids_received, second.bids_received);
+  EXPECT_EQ(first.bytes_on_wire, second.bytes_on_wire);
+}
+
+TEST(ChaosEngine, CorruptedFramesAreRejectedNotThrown) {
+  FaultProfile profile;
+  profile.corrupt_rate = 1.0;  // every frame mutated: checksum rejects all
+  profile.seed = 5;
+  FaultInjector injector{profile};
+  DecisionEngineConfig config;
+  config.faults = &injector;
+
+  ScriptedBroker broker;
+  ScriptedCdn cdn{1, 1.0};
+  std::vector<CdnParticipant*> cdns{&cdn};
+  RoundStats stats;
+  ASSERT_NO_THROW(stats = run_decision_round(broker, cdns, config));
+  EXPECT_GT(stats.chaos.decode_rejects, 0u);
+  EXPECT_EQ(stats.chaos.timeouts, stats.chaos.messages);
+  EXPECT_TRUE(broker.seen_bids_.empty());
+}
+
 TEST(DeliveryEngine, RunsFourSteps) {
   ScriptedDirectory directory;
   ScriptedFrontend frontend;
@@ -158,6 +248,58 @@ TEST(DeliveryEngine, RunsFourSteps) {
   EXPECT_EQ(outcome.delivery.session_id, 11u);
   EXPECT_DOUBLE_EQ(outcome.delivery.delivered_mbps, 2.5);
   EXPECT_GT(outcome.bytes_on_wire, 0u);
+}
+
+/// Directory whose primary answer is a dark cluster; the failover points at
+/// a healthy one (or nowhere, when exhausted=true).
+class FailoverDirectory final : public DeliveryDirectory {
+ public:
+  ResultMessage resolve(const QueryMessage& query) override {
+    return ResultMessage{query.session_id, 7, 42};
+  }
+  ResultMessage resolve_excluding(const QueryMessage& query,
+                                  std::uint32_t dark_cluster) override {
+    excluded_ = dark_cluster;
+    if (exhausted_) return ResultMessage{query.session_id, UINT32_MAX, UINT32_MAX};
+    return ResultMessage{query.session_id, 8, 43};
+  }
+  std::uint32_t excluded_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Frontend where cluster 42 is dark (delivers nothing).
+class DarkClusterFrontend final : public ClusterFrontend {
+ public:
+  DeliveryMessage serve(const RequestMessage& request) override {
+    const double mbps = request.cluster_id == 42 ? 0.0 : 2.5;
+    return DeliveryMessage{request.session_id, request.cluster_id, mbps};
+  }
+};
+
+TEST(DeliveryEngine, DarkClusterFailsOverToAlternative) {
+  FailoverDirectory directory;
+  DarkClusterFrontend frontend;
+  const QueryMessage query{11, 3, 2.5};
+  const DeliveryOutcome outcome = run_delivery(query, directory, frontend);
+
+  EXPECT_TRUE(outcome.rehomed);
+  EXPECT_EQ(outcome.failed_cluster, 42u);
+  EXPECT_EQ(directory.excluded_, 42u);
+  EXPECT_EQ(outcome.result.cluster_id, 43u);
+  EXPECT_EQ(outcome.result.cdn_id, 8u);
+  EXPECT_DOUBLE_EQ(outcome.delivery.delivered_mbps, 2.5);
+}
+
+TEST(DeliveryEngine, FailoverGivesUpWhenNoAlternativeExists) {
+  FailoverDirectory directory;
+  directory.exhausted_ = true;
+  DarkClusterFrontend frontend;
+  const QueryMessage query{12, 3, 2.5};
+  const DeliveryOutcome outcome = run_delivery(query, directory, frontend);
+
+  EXPECT_FALSE(outcome.rehomed);
+  EXPECT_EQ(outcome.result.cluster_id, 42u);  // still pointing at the failure
+  EXPECT_DOUBLE_EQ(outcome.delivery.delivered_mbps, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+#include "proto/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vdx::proto {
+namespace {
+
+std::vector<std::uint8_t> sample_frame(std::size_t size = 32) {
+  std::vector<std::uint8_t> frame(size);
+  for (std::size_t i = 0; i < size; ++i) frame[i] = static_cast<std::uint8_t>(i * 7);
+  return frame;
+}
+
+TEST(FaultInjector, EmptyProfileIsPerfectTransport) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.profile().any());
+  const auto frame = sample_frame();
+  for (int i = 0; i < 100; ++i) {
+    const auto copies = injector.apply(0, frame);
+    ASSERT_EQ(copies.size(), 1u);
+    EXPECT_EQ(copies[0].bytes, frame);
+    EXPECT_EQ(copies[0].delay_ticks, 0u);
+    EXPECT_FALSE(copies[0].mutated);
+  }
+  EXPECT_EQ(injector.counters().frames, 100u);
+  EXPECT_EQ(injector.counters().delivered, 100u);
+  EXPECT_EQ(injector.counters().dropped, 0u);
+}
+
+TEST(FaultInjector, SameSeedReplaysExactly) {
+  FaultProfile profile;
+  profile.drop_rate = 0.2;
+  profile.duplicate_rate = 0.1;
+  profile.delay_rate = 0.2;
+  profile.truncate_rate = 0.1;
+  profile.corrupt_rate = 0.1;
+  profile.seed = 1234;
+
+  FaultInjector a{profile};
+  FaultInjector b{profile};
+  const auto frame = sample_frame();
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t link = static_cast<std::size_t>(i) % 3;
+    const auto ca = a.apply(link, frame);
+    const auto cb = b.apply(link, frame);
+    ASSERT_EQ(ca.size(), cb.size()) << "frame " << i;
+    for (std::size_t c = 0; c < ca.size(); ++c) {
+      EXPECT_EQ(ca[c].bytes, cb[c].bytes);
+      EXPECT_EQ(ca[c].delay_ticks, cb[c].delay_ticks);
+      EXPECT_EQ(ca[c].mutated, cb[c].mutated);
+    }
+  }
+  EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+  EXPECT_EQ(a.counters().corrupted, b.counters().corrupted);
+}
+
+TEST(FaultInjector, LinksAreIndependentStreams) {
+  FaultProfile profile;
+  profile.drop_rate = 0.3;
+  profile.corrupt_rate = 0.2;
+  profile.seed = 99;
+
+  // Reference: link 1 alone.
+  FaultInjector solo{profile};
+  std::vector<std::size_t> solo_sizes;
+  const auto frame = sample_frame();
+  for (int i = 0; i < 500; ++i) solo_sizes.push_back(solo.apply(1, frame).size());
+
+  // Same seed, but link 0 carries varying extra traffic interleaved.
+  FaultInjector busy{profile};
+  std::vector<std::size_t> busy_sizes;
+  for (int i = 0; i < 500; ++i) {
+    for (int j = 0; j < i % 4; ++j) (void)busy.apply(0, frame);
+    busy_sizes.push_back(busy.apply(1, frame).size());
+  }
+  EXPECT_EQ(solo_sizes, busy_sizes);
+}
+
+TEST(FaultInjector, DropRateIsRespectedStatistically) {
+  FaultProfile profile;
+  profile.drop_rate = 0.25;
+  profile.seed = 7;
+  FaultInjector injector{profile};
+  const auto frame = sample_frame();
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) (void)injector.apply(0, frame);
+  const double observed =
+      static_cast<double>(injector.counters().dropped) / static_cast<double>(n);
+  EXPECT_NEAR(observed, 0.25, 0.02);
+  EXPECT_EQ(injector.counters().delivered + injector.counters().dropped,
+            static_cast<std::size_t>(n));
+}
+
+TEST(FaultInjector, FullDropDeliversNothing) {
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector{profile};
+  const auto frame = sample_frame();
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(injector.apply(3, frame).empty());
+  EXPECT_EQ(injector.counters().dropped, 50u);
+  EXPECT_EQ(injector.counters().delivered, 0u);
+}
+
+TEST(FaultInjector, MutationsAreFlaggedAndShaped) {
+  FaultProfile truncating;
+  truncating.truncate_rate = 1.0;
+  FaultInjector trunc{truncating};
+  const auto frame = sample_frame(40);
+  for (int i = 0; i < 200; ++i) {
+    const auto copies = trunc.apply(0, frame);
+    ASSERT_EQ(copies.size(), 1u);
+    EXPECT_TRUE(copies[0].mutated);
+    EXPECT_LT(copies[0].bytes.size(), frame.size());
+  }
+  EXPECT_EQ(trunc.counters().truncated, 200u);
+
+  FaultProfile corrupting;
+  corrupting.corrupt_rate = 1.0;
+  FaultInjector corrupt{corrupting};
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto copies = corrupt.apply(0, frame);
+    ASSERT_EQ(copies.size(), 1u);
+    EXPECT_TRUE(copies[0].mutated);
+    ASSERT_EQ(copies[0].bytes.size(), frame.size());  // same length, flipped bits
+    if (copies[0].bytes != frame) ++changed;
+  }
+  // A pair of flips can land on the same bit and cancel; nearly all trials
+  // must still differ.
+  EXPECT_GE(changed, 190);
+  EXPECT_EQ(corrupt.counters().corrupted, 200u);
+}
+
+TEST(FaultInjector, DuplicatesAndDelaysAreBounded) {
+  FaultProfile profile;
+  profile.duplicate_rate = 1.0;
+  profile.delay_rate = 1.0;
+  profile.max_delay_ticks = 3;
+  FaultInjector injector{profile};
+  const auto frame = sample_frame();
+  for (int i = 0; i < 100; ++i) {
+    const auto copies = injector.apply(0, frame);
+    ASSERT_EQ(copies.size(), 2u);
+    for (const FaultedFrame& copy : copies) {
+      EXPECT_GE(copy.delay_ticks, 1u);
+      EXPECT_LE(copy.delay_ticks, 3u);
+    }
+  }
+  EXPECT_EQ(injector.counters().duplicated, 100u);
+  EXPECT_EQ(injector.counters().delivered, 200u);
+}
+
+TEST(FaultInjector, BurstStateAmplifiesLoss) {
+  // Force the link into the bad state and keep it there: burst losses at the
+  // amplified rate.
+  FaultProfile profile;
+  profile.drop_rate = 0.2;
+  profile.burst_enter = 1.0;
+  profile.burst_exit = 0.0;
+  profile.burst_multiplier = 5.0;  // 0.2 * 5 = certain loss while bursting
+  profile.seed = 5;
+  FaultInjector injector{profile};
+  const auto frame = sample_frame();
+  (void)injector.apply(0, frame);  // enters the bad state
+  EXPECT_TRUE(injector.in_burst(0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(injector.apply(0, frame).empty());
+}
+
+TEST(FaultCounters, Accumulate) {
+  FaultCounters a{10, 8, 2, 1, 0, 3, 4};
+  const FaultCounters b{1, 1, 0, 0, 5, 0, 0};
+  a += b;
+  EXPECT_EQ(a.frames, 11u);
+  EXPECT_EQ(a.delivered, 9u);
+  EXPECT_EQ(a.dropped, 2u);
+  EXPECT_EQ(a.duplicated, 1u);
+  EXPECT_EQ(a.delayed, 5u);
+  EXPECT_EQ(a.truncated, 3u);
+  EXPECT_EQ(a.corrupted, 4u);
+}
+
+}  // namespace
+}  // namespace vdx::proto

@@ -1,9 +1,11 @@
 // Robustness fuzzing: the codec must never crash, hang, or accept garbage —
-// every malformed input must surface as WireError (a hostile marketplace
-// peer cannot take the exchange down).
+// every malformed input must surface as WireError (throwing API) or a typed
+// error (try_decode); a hostile marketplace peer or a corrupting transport
+// cannot take the exchange down.
 #include <gtest/gtest.h>
 
 #include "core/rng.hpp"
+#include "proto/fault.hpp"
 #include "proto/messages.hpp"
 
 namespace vdx::proto {
@@ -56,17 +58,19 @@ TEST(WireFuzz, EveryTruncationOfAValidFrameThrows) {
   }
 }
 
-TEST(WireFuzz, SingleByteCorruptionNeverCrashes) {
+TEST(WireFuzz, SingleByteCorruptionAlwaysRejected) {
+  // Envelope v2 carries an FNV-1a checksum over header + payload, so *any*
+  // single-byte corruption — length, type, version, payload, or the checksum
+  // itself — must be detected, not silently accepted.
   core::Rng rng{77};
   for (std::size_t kind = 0; kind < 7; ++kind) {
     const auto frame = encode(sample_message(kind));
     for (std::size_t pos = 0; pos < frame.size(); ++pos) {
       auto corrupted = frame;
       corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
-      try {
-        (void)decode(corrupted);  // may succeed (payload bytes) or throw
-      } catch (const WireError&) {
-      }
+      EXPECT_THROW((void)decode(corrupted), WireError)
+          << "kind " << kind << " pos " << pos;
+      EXPECT_FALSE(try_decode(corrupted).ok());
     }
   }
 }
@@ -85,6 +89,58 @@ TEST(WireFuzz, HugeClaimedLengthRejected) {
   w.write_u8(static_cast<std::uint8_t>(MessageType::kBid));
   w.write_u16(kProtocolVersion);
   EXPECT_THROW((void)decode(w.data()), WireError);
+}
+
+TEST(WireFuzz, TryDecodeAgreesWithDecodeOnRandomBytes) {
+  core::Rng rng{0xABCD};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(72));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    const core::Result<Message> safe = try_decode(bytes);
+    bool threw = false;
+    try {
+      const Message m = decode(bytes);
+      ASSERT_TRUE(safe.ok());
+      EXPECT_EQ(type_of(m), type_of(safe.value()));
+    } catch (const WireError&) {
+      threw = true;
+    }
+    EXPECT_EQ(threw, !safe.ok());
+    if (!safe.ok()) EXPECT_EQ(safe.error().code, core::Errc::kCorruptFrame);
+  }
+}
+
+TEST(WireFuzz, FaultInjectorMutationsAlwaysRejectedCleanly) {
+  // Drive every frame type through the chaos transport's mutation paths
+  // (bit corruption + truncation) and require that every mutated copy is
+  // rejected by the non-throwing decoder — no crash, no garbage accepted.
+  FaultProfile profile;
+  profile.corrupt_rate = 0.6;
+  profile.truncate_rate = 0.4;
+  profile.seed = 0xFA117;
+  FaultInjector injector{profile};
+
+  std::size_t mutated_seen = 0;
+  for (int trial = 0; trial < 4'000; ++trial) {
+    const auto frame = encode(sample_message(static_cast<std::size_t>(trial)));
+    for (const FaultedFrame& copy :
+         injector.apply(static_cast<std::size_t>(trial) % 5, frame)) {
+      const core::Result<Message> decoded = try_decode(copy.bytes);
+      if (!copy.mutated) {
+        EXPECT_TRUE(decoded.ok());
+        continue;
+      }
+      ++mutated_seen;
+      if (decoded.ok()) {
+        // A mutation can only slip through if flips cancelled exactly (the
+        // bytes are identical); anything else accepted is a codec hole.
+        EXPECT_EQ(copy.bytes, frame);
+      } else {
+        EXPECT_EQ(decoded.error().code, core::Errc::kCorruptFrame);
+      }
+    }
+  }
+  EXPECT_GT(mutated_seen, 1'000u);
 }
 
 TEST(WireFuzz, RoundTripFuzzAllTypesWithRandomValues) {

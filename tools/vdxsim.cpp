@@ -247,7 +247,14 @@ int cmd_exchange(Flags& flags) {
   if (flags.text("strategy", "risk-averse") == "static") {
     config.strategy = market::StrategyKind::kStatic;
   }
+  // Chaos transport (§6.3): --drop/--corrupt per-frame rates switch the
+  // exchange onto the deadline/retry engine with stale-bid fallback.
+  config.chaos.faults.drop_rate = flags.number("drop", 0.0);
+  config.chaos.faults.corrupt_rate = flags.number("corrupt", 0.0);
+  config.chaos.faults.seed =
+      static_cast<std::uint64_t>(flags.number("chaos-seed", 0xC4A05));
   market::VdxExchange exchange{scenario, config};
+  const bool chaos = config.chaos.faults.any();
   const double fraud = flags.number("fraud", -1.0);
   const double fail = flags.number("fail", -1.0);
   if (fraud >= 0) {
@@ -258,18 +265,31 @@ int cmd_exchange(Flags& flags) {
   }
 
   const auto rounds = static_cast<std::size_t>(flags.number("rounds", 5));
-  core::Table table{{"Round", "Bids", "Wire MB", "Mean score", "Mean cost",
-                     "Pred. error", "Congested"}};
-  table.set_title("VDX exchange rounds");
+  std::vector<std::string> header{"Round",      "Bids",        "Wire MB",
+                                  "Mean score", "Mean cost",   "Pred. error",
+                                  "Congested"};
+  if (chaos) {
+    header.insert(header.end(), {"Timeouts", "Retries", "Stale", "Degraded"});
+  }
+  core::Table table{header};
+  table.set_title(chaos ? "VDX exchange rounds (chaos transport)"
+                        : "VDX exchange rounds");
   for (std::size_t r = 0; r < rounds; ++r) {
     const market::RoundReport report = exchange.run_round();
-    table.add_row({std::to_string(r + 1), std::to_string(report.wire.bids_received),
-                   core::format_double(
-                       static_cast<double>(report.wire.bytes_on_wire) / 1e6, 1),
-                   core::format_double(report.mean_score, 1),
-                   core::format_double(report.mean_cost, 3),
-                   core::format_double(report.mean_prediction_error, 3),
-                   core::format_percent(report.congested_fraction, 1)});
+    std::vector<std::string> row{
+        std::to_string(r + 1), std::to_string(report.wire.bids_received),
+        core::format_double(static_cast<double>(report.wire.bytes_on_wire) / 1e6, 1),
+        core::format_double(report.mean_score, 1),
+        core::format_double(report.mean_cost, 3),
+        core::format_double(report.mean_prediction_error, 3),
+        core::format_percent(report.congested_fraction, 1)};
+    if (chaos) {
+      row.push_back(std::to_string(report.wire.chaos.timeouts));
+      row.push_back(std::to_string(report.wire.chaos.retries));
+      row.push_back(std::to_string(report.stale_bids_used));
+      row.push_back(report.degraded ? "yes" : "no");
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   maybe_export_csv(table, flags);
@@ -397,7 +417,8 @@ void print_help() {
       "  table3         run the full design comparison\n"
       "  timeline       per-epoch decision churn  (--name X --epoch 300)\n"
       "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
-      "                 --strategy static|risk-averse)\n"
+      "                 --strategy static|risk-averse --drop P --corrupt P\n"
+      "                 --chaos-seed S)\n"
       "  federation     regional marketplaces     (--regions R)\n"
       "  transactions   all-CDN-approval protocol (--veto T --rounds N)\n"
       "  multibroker    overbooking study         (--brokers B --name X)\n"
