@@ -1,10 +1,17 @@
 // Shared helpers for the figure/table regeneration benches.
+//
+// BenchReporter routes bench output through the vdx::obs metrics registry
+// and emits it as machine-readable `BENCH_JSON {...}` lines (one JSON object
+// per metric) alongside the human tables, so CI and plotting scripts can
+// scrape results without parsing prose.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <utility>
 
+#include "obs/observe.hpp"
 #include "sim/experiments.hpp"
 
 namespace vdx::bench {
@@ -14,15 +21,59 @@ namespace vdx::bench {
 inline sim::Scenario paper_scenario(std::size_t city_cdns = 0) {
   sim::ScenarioConfig config;
   config.city_cdn_count = city_cdns;
-  const auto t0 = std::chrono::steady_clock::now();
-  sim::Scenario scenario = sim::Scenario::build(config);
-  const auto t1 = std::chrono::steady_clock::now();
+  double setup_seconds = 0.0;
+  sim::Scenario scenario = [&] {
+    const obs::ScopedTimer timer{&setup_seconds};
+    return sim::Scenario::build(config);
+  }();
   std::printf("[setup] scenario: %zu broker sessions, %zu background, %zu CDNs, "
               "%zu clusters (%.1fs)\n",
               scenario.broker_trace().size(), scenario.background_trace().size(),
               scenario.catalog().cdns().size(), scenario.catalog().clusters().size(),
-              std::chrono::duration<double>(t1 - t0).count());
+              setup_seconds);
   return scenario;
 }
+
+/// Bench-result sink backed by a MetricsRegistry. Every metric carries a
+/// {"bench": <name>} label; emit() (or destruction) writes one
+/// `BENCH_JSON {...}` line per metric, sorted by (name, labels) so output
+/// is deterministic.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+  ~BenchReporter() {
+    if (!emitted_) emit();
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
+
+  [[nodiscard]] obs::Counter counter(std::string_view metric, obs::Labels labels = {}) {
+    return registry_.counter(metric, tagged(std::move(labels)));
+  }
+  [[nodiscard]] obs::Gauge gauge(std::string_view metric, obs::Labels labels = {}) {
+    return registry_.gauge(metric, tagged(std::move(labels)));
+  }
+  [[nodiscard]] obs::Histogram histogram(std::string_view metric,
+                                         obs::Labels labels = {}) {
+    return registry_.histogram(metric, tagged(std::move(labels)));
+  }
+
+  void emit(std::ostream& out = std::cout) {
+    registry_.write_jsonl(out, "BENCH_JSON ");
+    emitted_ = true;
+  }
+
+ private:
+  [[nodiscard]] obs::Labels tagged(obs::Labels labels) const {
+    labels.emplace_back("bench", name_);
+    return labels;
+  }
+
+  std::string name_;
+  obs::MetricsRegistry registry_;
+  bool emitted_ = false;
+};
 
 }  // namespace vdx::bench

@@ -30,6 +30,10 @@ int main() {
                      "Stale share %"}};
   table.set_title("Chaos sweep: exchange quality vs transport drop rate");
 
+  // Machine-readable results: one labeled gauge per (metric, drop rate),
+  // emitted as BENCH_JSON lines after the table.
+  bench::BenchReporter reporter{"chaos_sweep"};
+
   for (const double drop : kDropRates) {
     market::ExchangeConfig exchange_config;
     exchange_config.chaos.faults.drop_rate = drop;
@@ -63,8 +67,20 @@ int main() {
                    core::format_double(static_cast<double>(retries) / n, 1),
                    std::to_string(degraded) + "/" + std::to_string(kRounds),
                    core::format_double(100.0 * stale_share / n, 2)});
+
+    const obs::Labels at{{"drop", core::format_double(drop, 2)}};
+    reporter.gauge("chaos_sweep.mean_score", at).set(score / n);
+    reporter.gauge("chaos_sweep.mean_cost", at).set(cost / n);
+    reporter.gauge("chaos_sweep.congested_fraction", at).set(congested / n);
+    reporter.gauge("chaos_sweep.timeout_rate", at).set(timeout_rate / n);
+    reporter.gauge("chaos_sweep.retries_per_round", at)
+        .set(static_cast<double>(retries) / n);
+    reporter.gauge("chaos_sweep.degraded_rounds", at)
+        .set(static_cast<double>(degraded));
+    reporter.gauge("chaos_sweep.stale_bid_share", at).set(stale_share / n);
   }
   table.print(std::cout);
+  reporter.emit();
 
   std::printf("\nEvery configuration completed all %zu rounds; the transport "
               "was lossy, the market was not.\n",

@@ -8,6 +8,8 @@ namespace vdx::broker {
 
 OptimizeResult optimize(std::span<const ClientGroup> groups,
                         std::span<const BidView> bids, const OptimizerConfig& config) {
+  const obs::SpanTracer::Scoped span{config.obs.tracer, "broker.optimize"};
+
   // Dense share-id -> group index (ids are dense by construction but the
   // optimizer only assumes they are unique).
   std::unordered_map<std::uint32_t, std::uint32_t> group_of_share;
@@ -61,7 +63,9 @@ OptimizeResult optimize(std::span<const ClientGroup> groups,
 
   problem.validate();  // throws if a populated group ended up with no bids
 
-  const solver::Assignment assignment = solver::solve(problem, config.solve);
+  solver::SolveOptions solve = config.solve;
+  solve.obs = config.obs;
+  const solver::Assignment assignment = solver::solve(problem, solve);
 
   OptimizeResult result;
   result.backend_used = config.solve.backend;
@@ -71,6 +75,14 @@ OptimizeResult optimize(std::span<const ClientGroup> groups,
     if (assignment.amounts[i] > 1e-9) {
       result.allocations.push_back(Allocation{usable_bid[i], assignment.amounts[i]});
     }
+  }
+  if (config.obs.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *config.obs.metrics;
+    metrics.counter("broker.optimize.calls").add();
+    metrics.counter("broker.optimize.bids").add(static_cast<double>(bids.size()));
+    metrics.counter("broker.optimize.allocations")
+        .add(static_cast<double>(result.allocations.size()));
+    metrics.counter("broker.optimize.overflow_mbps").add(result.overflow_mbps);
   }
   return result;
 }

@@ -17,6 +17,7 @@
 #include "broker/grouping.hpp"
 #include "broker/reputation.hpp"
 #include "core/ids.hpp"
+#include "obs/observe.hpp"
 #include "solver/solver.hpp"
 
 namespace vdx::broker {
@@ -62,6 +63,8 @@ struct OptimizerConfig {
   /// Optional reputation system: bids from badly-reputed CDNs have their
   /// price/score inflated by the penalty multiplier before optimizing.
   const ReputationSystem* reputation = nullptr;
+  /// Observability sinks (no-op by default); forwarded into the solver.
+  obs::Observer obs;
 };
 
 /// Solves the assignment of groups to bids. Every group must have at least

@@ -212,6 +212,7 @@ std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
   broker::OptimizerConfig optimizer;
   optimizer.weights = config_.weights;
   optimizer.solve = config_.solve;
+  optimizer.obs = config_.obs;
   if (config_.enable_reputation) optimizer.reputation = &reputation_;
   const broker::OptimizeResult result = broker::optimize(groups, views, optimizer);
 

@@ -90,6 +90,9 @@ struct BrokerAgentConfig {
   /// Capacity haircut on substituted stale bids (the CDN's spare capacity
   /// may have moved since it was announced).
   double stale_capacity_fraction = 0.5;
+  /// Observability sinks (no-op by default); forwarded into the Optimize
+  /// pipeline (broker::optimize -> solver::solve).
+  obs::Observer obs;
 };
 
 class VdxBrokerAgent final : public proto::BrokerParticipant,

@@ -11,12 +11,32 @@ namespace vdx::market {
 
 VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
     : scenario_(scenario), config_(config) {
+  // The exchange always has a live registry so RoundReport telemetry can be
+  // read back from counters; tracer/journal stay opt-in (null = no-op).
+  obs_ = config_.obs;
+  if (obs_.metrics == nullptr) obs_.metrics = &owned_metrics_;
+  counters_.rounds = obs_.metrics->counter("exchange.rounds");
+  counters_.messages = obs_.metrics->counter("exchange.messages");
+  counters_.timeouts = obs_.metrics->counter("exchange.timeouts");
+  counters_.retries = obs_.metrics->counter("exchange.retries");
+  counters_.bids = obs_.metrics->counter("exchange.bids");
+  counters_.stale_bids = obs_.metrics->counter("exchange.stale_bids");
+  counters_.degraded_rounds = obs_.metrics->counter("exchange.degraded_rounds");
+  counters_.quorum_misses = obs_.metrics->counter("exchange.quorum_misses");
+  counters_.awarded_mbps = obs_.metrics->counter("exchange.awarded_mbps");
+  counters_.stale_awarded_mbps = obs_.metrics->counter("exchange.stale_awarded_mbps");
+  counters_.failovers = obs_.metrics->counter("exchange.failovers");
+  counters_.mean_score = obs_.metrics->gauge("exchange.mean_score");
+  counters_.mean_cost = obs_.metrics->gauge("exchange.mean_cost");
+  counters_.prediction_error = obs_.metrics->gauge("exchange.prediction_error");
+
   background_loads_ = sim::place_background(scenario_);
   if (config_.chaos.faults.any()) {
     injector_ = std::make_unique<proto::FaultInjector>(config_.chaos.faults);
     // A lossy transport needs the degraded-round fallback to stay useful.
     config_.broker.enable_stale_bids = true;
   }
+  config_.broker.obs = obs_;
   broker_agent_ = std::make_unique<VdxBrokerAgent>(scenario_, config_.broker);
   for (const cdn::Cdn& cdn : scenario_.catalog().cdns()) {
     std::unique_ptr<cdn::BiddingStrategy> strategy =
@@ -35,6 +55,17 @@ RoundReport VdxExchange::run_round() {
   RoundReport report;
   report.round = rounds_completed_;
 
+  if (obs_.journal != nullptr) {
+    obs_.journal->begin_round(rounds_completed_);
+    obs_.record(obs::EventKind::kRoundStart, obs::RunJournal::kNoSubject,
+                static_cast<double>(rounds_completed_));
+  }
+  // Counter deltas over this round back the report's fault telemetry, so the
+  // registry and the report cannot disagree.
+  const double messages_before = counters_.messages.value();
+  const double timeouts_before = counters_.timeouts.value();
+  const double stale_before = counters_.stale_bids.value();
+
   std::vector<proto::CdnParticipant*> participants;
   participants.reserve(cdn_agents_.size());
   for (const auto& agent : cdn_agents_) participants.push_back(agent.get());
@@ -42,9 +73,20 @@ RoundReport VdxExchange::run_round() {
   proto::DecisionEngineConfig engine;
   engine.faults = injector_.get();
   engine.deadlines = config_.chaos.deadlines;
+  engine.obs = obs_;
   report.wire = proto::run_decision_round(*broker_agent_, participants, engine);
 
-  // Fault telemetry + degraded-round accounting.
+  counters_.rounds.add();
+  counters_.messages.add(static_cast<double>(report.wire.chaos.messages));
+  counters_.timeouts.add(static_cast<double>(report.wire.chaos.timeouts));
+  counters_.retries.add(static_cast<double>(report.wire.chaos.retries));
+  counters_.bids.add(static_cast<double>(report.wire.bids_received));
+  counters_.stale_bids.add(
+      static_cast<double>(broker_agent_->stale_bids_substituted()));
+  counters_.awarded_mbps.add(broker_agent_->total_awarded_mbps());
+  counters_.stale_awarded_mbps.add(broker_agent_->stale_awarded_mbps());
+
+  // Fault telemetry + degraded-round accounting, read back from the deltas.
   std::size_t live_cdns = 0;
   for (const auto& agent : cdn_agents_) {
     if (!agent->failed()) ++live_cdns;
@@ -53,18 +95,32 @@ RoundReport VdxExchange::run_round() {
       config_.chaos.quorum_fraction * static_cast<double>(live_cdns);
   report.quorum_met = static_cast<double>(broker_agent_->fresh_cdn_count()) + 1e-9 >=
                       quorum_floor;
-  report.stale_bids_used = broker_agent_->stale_bids_substituted();
+  const double messages_delta = counters_.messages.value() - messages_before;
+  const double timeouts_delta = counters_.timeouts.value() - timeouts_before;
+  report.stale_bids_used =
+      static_cast<std::size_t>(counters_.stale_bids.value() - stale_before + 0.5);
   report.stale_bid_share =
       broker_agent_->total_awarded_mbps() > 0.0
           ? broker_agent_->stale_awarded_mbps() / broker_agent_->total_awarded_mbps()
           : 0.0;
-  report.timeout_rate =
-      report.wire.chaos.messages > 0
-          ? static_cast<double>(report.wire.chaos.timeouts) /
-                static_cast<double>(report.wire.chaos.messages)
-          : 0.0;
-  report.degraded = report.wire.chaos.timeouts > 0 || report.stale_bids_used > 0 ||
+  report.timeout_rate = messages_delta > 0.0 ? timeouts_delta / messages_delta : 0.0;
+  report.degraded = timeouts_delta > 0.0 || report.stale_bids_used > 0 ||
                     !report.quorum_met;
+  if (!report.quorum_met) {
+    counters_.quorum_misses.add();
+    obs_.record(obs::EventKind::kQuorumMiss,
+                static_cast<std::uint32_t>(broker_agent_->fresh_cdn_count()),
+                quorum_floor);
+  }
+  if (report.stale_bids_used > 0) {
+    obs_.record(obs::EventKind::kStaleBid, obs::RunJournal::kNoSubject,
+                static_cast<double>(report.stale_bids_used));
+  }
+  if (report.degraded) {
+    counters_.degraded_rounds.add();
+    obs_.record(obs::EventKind::kDegradedRound, obs::RunJournal::kNoSubject,
+                report.timeout_rate);
+  }
 
   // Metrics from the broker's placements.
   const auto placements = broker_agent_->placements();
@@ -115,6 +171,19 @@ RoundReport VdxExchange::run_round() {
   }
   report.mean_prediction_error =
       bidders > 0 ? error_sum / static_cast<double>(bidders) : 0.0;
+
+  counters_.mean_score.set(report.mean_score);
+  counters_.mean_cost.set(report.mean_cost);
+  counters_.prediction_error.set(report.mean_prediction_error);
+  if (obs_.journal != nullptr) {
+    for (std::size_t i = 0; i < report.awarded_mbps.size(); ++i) {
+      if (report.awarded_mbps[i] > 0.0) {
+        obs_.record(obs::EventKind::kBid, static_cast<std::uint32_t>(i),
+                    report.awarded_mbps[i]);
+      }
+    }
+    obs_.record(obs::EventKind::kRoundEnd, obs::RunJournal::kNoSubject, report.mean_score);
+  }
 
   ++rounds_completed_;
   return report;
@@ -167,7 +236,10 @@ core::Result<proto::DeliveryOutcome> VdxExchange::deliver(std::uint32_t session_
   query.session_id = session_id;
   query.location = city.value();
   query.bitrate_mbps = bitrate_mbps;
-  return proto::run_delivery(query, *broker_agent_, frontend);
+  proto::DeliveryOutcome outcome =
+      proto::run_delivery(query, *broker_agent_, frontend, obs_);
+  if (outcome.rehomed) counters_.failovers.add();
+  return outcome;
 }
 
 const proto::FaultCounters& VdxExchange::fault_counters() const {

@@ -13,6 +13,7 @@
 
 #include "core/result.hpp"
 #include "market/agents.hpp"
+#include "obs/observe.hpp"
 
 namespace vdx::market {
 
@@ -34,6 +35,12 @@ struct ExchangeConfig {
   BrokerAgentConfig broker;
   StrategyKind strategy = StrategyKind::kRiskAverse;
   ChaosConfig chaos;
+  /// Observability sinks, threaded through the protocol engine, broker
+  /// optimize pipeline, and solver. The exchange always maintains an
+  /// `exchange.*` metrics registry (an internal one when none is supplied);
+  /// RoundReport's fault telemetry is *read back* from those counters, so
+  /// the report, the registry, and the journal cannot drift apart.
+  obs::Observer obs;
 };
 
 /// Per-round outcome report.
@@ -97,6 +104,12 @@ class VdxExchange {
   /// all zero).
   [[nodiscard]] const proto::FaultCounters& fault_counters() const;
 
+  /// The registry backing RoundReport telemetry: the external one from
+  /// ExchangeConfig::obs when provided, the exchange's own otherwise.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return *obs_.metrics;
+  }
+
  private:
   const sim::Scenario& scenario_;
   ExchangeConfig config_;
@@ -107,6 +120,18 @@ class VdxExchange {
   std::unique_ptr<proto::FaultInjector> injector_;
   std::size_t rounds_completed_ = 0;
   std::vector<double> last_cluster_loads_;
+
+  /// Fallback registry when ExchangeConfig::obs brings none.
+  obs::MetricsRegistry owned_metrics_;
+  /// Effective observer handed to every layer (metrics always non-null).
+  obs::Observer obs_;
+  /// Pre-interned `exchange.*` handles (hot path: one atomic op each).
+  struct ExchangeCounters {
+    obs::Counter rounds, messages, timeouts, retries, bids, stale_bids,
+        degraded_rounds, quorum_misses, awarded_mbps, stale_awarded_mbps,
+        failovers;
+    obs::Gauge mean_score, mean_cost, prediction_error;
+  } counters_;
 };
 
 }  // namespace vdx::market

@@ -1,11 +1,11 @@
 #include "market/federation.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <stdexcept>
 
 #include "cdn/matching.hpp"
+#include "obs/metrics.hpp"
 #include "sim/designs.hpp"
 
 namespace vdx::market {
@@ -57,6 +57,19 @@ FederationResult run_federated_marketplace(const sim::Scenario& scenario,
 
   FederationResult result;
   result.region_count = config.region_count;
+
+  // Optimize wall time flows through the registry (satellite: no hand-rolled
+  // steady_clock blocks). Without an external registry, a local one keeps the
+  // ScopedTimer/readback path identical.
+  obs::MetricsRegistry local_metrics;
+  obs::Observer obs = config.obs;
+  if (obs.metrics == nullptr) obs.metrics = &local_metrics;
+  const obs::Histogram optimize_hist =
+      obs.metrics->histogram("federation.optimize_seconds");
+  const obs::Counter region_solves = obs.metrics->counter("federation.region_solves");
+  const obs::Counter fallback_clients =
+      obs.metrics->counter("federation.fallback_clients");
+  const double optimize_sum_before = optimize_hist.sum();
 
   // ---- Partition cities across regional exchanges. ----
   const auto seeds = pick_seeds(world, config.region_count);
@@ -148,11 +161,13 @@ FederationResult run_federated_marketplace(const sim::Scenario& scenario,
     broker::OptimizerConfig optimizer;
     optimizer.weights = config.run.weights;
     optimizer.solve = config.run.solve;
-    const auto t0 = std::chrono::steady_clock::now();
-    const broker::OptimizeResult solved =
-        broker::optimize(region_groups, bids, optimizer);
-    const auto t1 = std::chrono::steady_clock::now();
-    result.optimize_seconds += std::chrono::duration<double>(t1 - t0).count();
+    optimizer.obs = obs;
+    broker::OptimizeResult solved;
+    {
+      const obs::ScopedTimer timer{optimize_hist};
+      solved = broker::optimize(region_groups, bids, optimizer);
+    }
+    region_solves.add();
     result.largest_instance_options =
         std::max(result.largest_instance_options, bids.size());
 
@@ -170,6 +185,10 @@ FederationResult run_federated_marketplace(const sim::Scenario& scenario,
       combined.placements.push_back(placement);
     }
   }
+
+  // Read back from the registry: the histogram is the source of truth.
+  result.optimize_seconds = optimize_hist.sum() - optimize_sum_before;
+  fallback_clients.add(result.fallback_clients);
 
   result.metrics = sim::compute_metrics(scenario, combined);
   return result;

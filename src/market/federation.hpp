@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "obs/observe.hpp"
 #include "sim/metrics.hpp"
 
 namespace vdx::market {
@@ -24,6 +25,11 @@ namespace vdx::market {
 struct FederationConfig {
   std::size_t region_count = 4;
   sim::RunConfig run;
+  /// Observability sinks. Per-region optimize wall time lands in the
+  /// `federation.optimize_seconds` histogram (one sample per region solve);
+  /// FederationResult::optimize_seconds is read back from the registry. A
+  /// local registry is used when none is supplied.
+  obs::Observer obs;
 };
 
 struct FederationResult {

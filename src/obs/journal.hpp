@@ -1,0 +1,98 @@
+// RunJournal: a bounded ring of structured run events (DESIGN.md §7).
+//
+// Where metrics aggregate and spans time, the journal *narrates*: every
+// consequential decision-path event — bids landing, messages timing out,
+// stale bids substituted, rounds degraded, sessions failing over — becomes
+// one fixed-schema Event. The ring keeps the most recent `capacity` events
+// (overwrites are counted, never silent), exports as JSONL or CSV, parses
+// its own JSONL back (round-trip tested), and renders a compact end-of-run
+// summary table of event counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "core/table.hpp"
+
+namespace vdx::obs {
+
+enum class EventKind : std::uint8_t {
+  kRoundStart,
+  kRoundEnd,
+  kBid,
+  kRetry,
+  kTimeout,
+  kDecodeReject,
+  kStaleBid,
+  kQuorumMiss,
+  kDegradedRound,
+  kFailover,
+  kSolve,
+  kCustom,
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+[[nodiscard]] std::optional<EventKind> event_kind_from(std::string_view name) noexcept;
+
+struct Event {
+  EventKind kind = EventKind::kCustom;
+  /// Monotonic position in the run (assigned by the journal; survives
+  /// ring overwrites, so gaps in an exported window are detectable).
+  std::uint64_t seq = 0;
+  /// Engine logical clock when recorded (0 when no tracer drives one).
+  std::uint64_t logical = 0;
+  /// Exchange round the event belongs to.
+  std::uint32_t round = 0;
+  /// Event-specific id (CDN/link/cluster/backend); kNoSubject when n/a.
+  std::uint32_t subject = UINT32_MAX;
+  /// Event-specific payload (count, Mbps, ticks, ...).
+  double value = 0.0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class RunJournal {
+ public:
+  static constexpr std::uint32_t kNoSubject = UINT32_MAX;
+
+  explicit RunJournal(std::size_t capacity = 4096);
+
+  /// Sets the ambient round stamped onto subsequent events; the exchange
+  /// calls this once per round so lower layers need no round plumbing.
+  void begin_round(std::uint32_t round) noexcept { round_ = round; }
+  [[nodiscard]] std::uint32_t current_round() const noexcept { return round_; }
+
+  void record(EventKind kind, std::uint32_t subject = kNoSubject,
+              double value = 0.0, std::uint64_t logical = 0);
+
+  /// Events currently retained, oldest first (handles wraparound).
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+  /// Events pushed out of the ring by newer ones.
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+  }
+
+  void write_jsonl(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+  /// Parses write_jsonl() output; throws std::runtime_error on malformed
+  /// input. write_jsonl -> read_jsonl round-trips exactly.
+  [[nodiscard]] static std::vector<Event> read_jsonl(std::istream& in);
+
+  /// Compact end-of-run view: events per kind with first/last round.
+  [[nodiscard]] core::Table summary_table() const;
+
+ private:
+  std::vector<Event> buffer_;
+  std::uint64_t total_ = 0;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace vdx::obs

@@ -1,0 +1,358 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vdx::obs {
+
+namespace detail {
+
+struct HistogramCell {
+  std::array<std::atomic<std::uint64_t>, MetricsRegistry::kBucketCount> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+namespace {
+
+void atomic_min(std::atomic<double>& cell, double value) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (value < current &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& cell, double value) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// ---- Handles ----
+
+void Counter::add(double delta) const noexcept {
+  if (cell_ != nullptr) cell_->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+double Counter::value() const noexcept {
+  return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+}
+
+void Gauge::set(double value) const noexcept {
+  if (cell_ != nullptr) cell_->value.store(value, std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+}
+
+void Histogram::observe(double value) const noexcept {
+  if (cell_ == nullptr) return;
+  detail::HistogramCell& h = *cell_->histogram;
+  h.buckets[MetricsRegistry::bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  detail::atomic_min(h.min, value);
+  detail::atomic_max(h.max, value);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return cell_ != nullptr ? cell_->histogram->count.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+double Histogram::sum() const noexcept {
+  return cell_ != nullptr ? cell_->histogram->sum.load(std::memory_order_relaxed)
+                          : 0.0;
+}
+
+double Histogram::min() const noexcept {
+  return cell_ != nullptr ? cell_->histogram->min.load(std::memory_order_relaxed)
+                          : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::max() const noexcept {
+  return cell_ != nullptr ? cell_->histogram->max.load(std::memory_order_relaxed)
+                          : -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (cell_ == nullptr) return 0.0;
+  const detail::HistogramCell& h = *cell_->histogram;
+  const std::uint64_t total = h.count.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < MetricsRegistry::kBucketCount; ++i) {
+    const double in_bucket =
+        static_cast<double>(h.buckets[i].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double lower = MetricsRegistry::bucket_lower_bound(i);
+      const double upper = MetricsRegistry::bucket_upper_bound(i);
+      const double fraction =
+          in_bucket > 0.0 ? (target - cumulative) / in_bucket : 0.0;
+      const double estimate = lower + (upper - lower) * fraction;
+      return std::clamp(estimate, h.min.load(std::memory_order_relaxed),
+                        h.max.load(std::memory_order_relaxed));
+    }
+    cumulative += in_bucket;
+  }
+  return h.max.load(std::memory_order_relaxed);
+}
+
+// ---- Bucket scheme ----
+
+namespace {
+
+/// log2(r) with r = 2^(1/4): 4 sub-buckets per octave.
+constexpr double kSubBucketsPerOctave = 4.0;
+
+}  // namespace
+
+std::size_t MetricsRegistry::bucket_index(double value) noexcept {
+  if (!(value >= kBucketMin)) return 0;  // NaN, negatives, and underflow
+  // log2(v) - log2(min), not log2(v/min): the quotient overflows to inf for
+  // v near DBL_MAX, and casting inf to size_t is UB.
+  const double octaves = std::log2(value) - std::log2(kBucketMin);
+  if (octaves * kSubBucketsPerOctave >= static_cast<double>(kBucketCount)) {
+    return kBucketCount - 1;
+  }
+  // Nudge past float error so exact bucket edges index into the bucket they
+  // open (half-open intervals); the shift is ~2^1e-9, far below bucket width.
+  const auto index = static_cast<std::size_t>(
+      1 + std::floor(octaves * kSubBucketsPerOctave + 1e-9));
+  return std::min(index, kBucketCount - 1);
+}
+
+double MetricsRegistry::bucket_lower_bound(std::size_t index) noexcept {
+  if (index == 0) return 0.0;
+  return kBucketMin * std::exp2(static_cast<double>(index - 1) / kSubBucketsPerOctave);
+}
+
+double MetricsRegistry::bucket_upper_bound(std::size_t index) noexcept {
+  if (index == 0) return kBucketMin;
+  if (index >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return kBucketMin * std::exp2(static_cast<double>(index) / kSubBucketsPerOctave);
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+// ---- Registry ----
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string intern_key(std::string_view name, const Labels& labels) {
+  std::string key{name};
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void write_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+detail::Cell& MetricsRegistry::resolve(std::string_view name, Labels labels,
+                                       MetricKind kind) {
+  labels = canonical(std::move(labels));
+  const std::string key = intern_key(name, labels);
+  const std::scoped_lock lock{mutex_};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    detail::Cell& cell = cells_[it->second];
+    if (cell.kind != kind) {
+      throw std::invalid_argument{"MetricsRegistry: '" + std::string{name} +
+                                  "' re-registered as a different kind"};
+    }
+    return cell;
+  }
+  detail::Cell& cell = cells_.emplace_back();
+  cell.kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    cell.histogram = std::make_unique<detail::HistogramCell>();
+  }
+  meta_.push_back(Meta{std::string{name}, std::move(labels)});
+  index_.emplace(key, cells_.size() - 1);
+  return cell;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return Counter{&resolve(name, std::move(labels), MetricKind::kCounter)};
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return Gauge{&resolve(name, std::move(labels), MetricKind::kGauge)};
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  return Histogram{&resolve(name, std::move(labels), MetricKind::kHistogram)};
+}
+
+MetricsRegistry::Row MetricsRegistry::snapshot_row(std::size_t index) const {
+  // Caller holds mutex_ (cells/meta structure access only; values are atomic).
+  auto& cell = const_cast<detail::Cell&>(cells_[index]);
+  Row row;
+  row.name = meta_[index].name;
+  row.labels = meta_[index].labels;
+  row.kind = cell.kind;
+  if (cell.kind == MetricKind::kHistogram) {
+    const Histogram h{&cell};
+    row.count = h.count();
+    row.sum = h.sum();
+    row.min = row.count > 0 ? h.min() : 0.0;
+    row.max = row.count > 0 ? h.max() : 0.0;
+    row.p50 = h.quantile(0.50);
+    row.p90 = h.quantile(0.90);
+    row.p99 = h.quantile(0.99);
+    row.value = row.sum;
+  } else {
+    row.value = cell.value.load(std::memory_order_relaxed);
+  }
+  return row;
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
+  std::vector<Row> out;
+  {
+    const std::scoped_lock lock{mutex_};
+    out.reserve(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) out.push_back(snapshot_row(i));
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::optional<MetricsRegistry::Row> MetricsRegistry::find(std::string_view name,
+                                                          const Labels& labels) const {
+  const std::string key = intern_key(name, canonical(labels));
+  const std::scoped_lock lock{mutex_};
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return snapshot_row(it->second);
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::scoped_lock lock{mutex_};
+  return cells_.size();
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& out,
+                                  std::string_view line_prefix) const {
+  for (const Row& row : rows()) {
+    out << line_prefix << "{\"metric\":";
+    write_json_string(out, row.name);
+    out << ",\"kind\":" << '"' << to_string(row.kind) << '"';
+    if (!row.labels.empty()) {
+      out << ",\"labels\":{";
+      bool first = true;
+      for (const auto& [k, v] : row.labels) {
+        if (!first) out << ',';
+        first = false;
+        write_json_string(out, k);
+        out << ':';
+        write_json_string(out, v);
+      }
+      out << '}';
+    }
+    if (row.kind == MetricKind::kHistogram) {
+      out << ",\"count\":" << row.count << ",\"sum\":";
+      write_json_number(out, row.sum);
+      out << ",\"min\":";
+      write_json_number(out, row.min);
+      out << ",\"max\":";
+      write_json_number(out, row.max);
+      out << ",\"p50\":";
+      write_json_number(out, row.p50);
+      out << ",\"p90\":";
+      write_json_number(out, row.p90);
+      out << ",\"p99\":";
+      write_json_number(out, row.p99);
+    } else {
+      out << ",\"value\":";
+      write_json_number(out, row.value);
+    }
+    out << "}\n";
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "metric,labels,kind,value,count,sum,min,max,p50,p90,p99\n";
+  for (const Row& row : rows()) {
+    out << row.name << ',';
+    std::string labels;
+    for (const auto& [k, v] : row.labels) {
+      if (!labels.empty()) labels += ';';
+      labels += k + "=" + v;
+    }
+    out << labels << ',' << to_string(row.kind) << ',' << row.value << ','
+        << row.count << ',' << row.sum << ',' << row.min << ',' << row.max << ','
+        << row.p50 << ',' << row.p90 << ',' << row.p99 << '\n';
+  }
+}
+
+}  // namespace vdx::obs

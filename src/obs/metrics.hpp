@@ -1,0 +1,173 @@
+// MetricsRegistry: the VDX instrumentation spine (DESIGN.md §7).
+//
+// Counters, gauges, and log-bucketed histograms addressed by interned
+// (name, label-set) pairs. Registration is mutex-guarded and returns a
+// lightweight handle whose hot-path operations (add/set/observe) are
+// lock-free atomics on a stable cell — pre-intern once, then update from
+// inner loops at the cost of one atomic RMW. A default-constructed handle
+// is a no-op sink: instrumented code paths compile in a single branch when
+// observability is disabled.
+//
+// Histograms are log-bucketed (4 sub-buckets per octave over
+// [1e-9, ~1.3e10)) so quantile estimates carry bounded relative error
+// (one bucket width, < 2^0.25 - 1 ≈ 19%) at fixed memory; exact min/max
+// and sum are tracked alongside. Exports (rows/JSONL/CSV) are sorted by
+// (name, labels) so output is deterministic regardless of registration or
+// update interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vdx::obs {
+
+/// Label set attached to a metric, e.g. {{"backend", "simplex"}}. Order is
+/// irrelevant: labels are canonicalized (sorted by key) before interning.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+namespace detail {
+
+struct HistogramCell;
+
+struct Cell {
+  MetricKind kind = MetricKind::kCounter;
+  std::atomic<double> value{0.0};
+  std::unique_ptr<HistogramCell> histogram;
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Default-constructed: no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void add(double delta = 1.0) const noexcept;
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::Cell* cell) noexcept : cell_(cell) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Last-value gauge handle. Default-constructed: no-op.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept;
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::Cell* cell) noexcept : cell_(cell) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Log-bucketed histogram handle. Default-constructed: no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double min() const noexcept;  // +inf when empty
+  [[nodiscard]] double max() const noexcept;  // -inf when empty
+  /// Quantile estimate in [0, 1], interpolated within the covering bucket
+  /// and clamped to the exact [min, max] envelope. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::Cell* cell) noexcept : cell_(cell) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  // Out of line: HistogramCell is incomplete here, and the deque<Cell>
+  // special members need its full type.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or re-resolves) a metric. The same (name, labels) always
+  /// yields a handle on the same cell; re-registering under a different
+  /// kind throws std::invalid_argument.
+  [[nodiscard]] Counter counter(std::string_view name, Labels labels = {});
+  [[nodiscard]] Gauge gauge(std::string_view name, Labels labels = {});
+  [[nodiscard]] Histogram histogram(std::string_view name, Labels labels = {});
+
+  /// One exported metric. Histogram rows carry count/sum/min/max/quantiles;
+  /// counter and gauge rows carry `value`.
+  struct Row {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Snapshot of every metric, sorted by (name, canonical labels).
+  [[nodiscard]] std::vector<Row> rows() const;
+  /// Snapshot of one metric, if registered.
+  [[nodiscard]] std::optional<Row> find(std::string_view name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// One JSON object per metric per line; `line_prefix` is prepended to
+  /// every line (e.g. "BENCH_JSON " for scrape-friendly bench output).
+  void write_jsonl(std::ostream& out, std::string_view line_prefix = {}) const;
+  void write_csv(std::ostream& out) const;
+
+  // ---- Bucket scheme (public so tests can pin the boundaries). ----
+  /// Bucket 0 catches v < kBucketMin (incl. zero/negative); buckets
+  /// 1..kBucketCount-2 are [kBucketMin*r^(i-1), kBucketMin*r^i) with
+  /// r = 2^(1/4); the last bucket is the overflow.
+  static constexpr std::size_t kBucketCount = 256;
+  static constexpr double kBucketMin = 1e-9;
+  [[nodiscard]] static std::size_t bucket_index(double value) noexcept;
+  [[nodiscard]] static double bucket_lower_bound(std::size_t index) noexcept;
+  [[nodiscard]] static double bucket_upper_bound(std::size_t index) noexcept;
+
+ private:
+  detail::Cell& resolve(std::string_view name, Labels labels, MetricKind kind);
+  [[nodiscard]] Row snapshot_row(std::size_t index) const;
+
+  mutable std::mutex mutex_;
+  /// Cells live in a deque so handles stay valid across registration.
+  std::deque<detail::Cell> cells_;
+  struct Meta {
+    std::string name;
+    Labels labels;
+  };
+  std::deque<Meta> meta_;
+  /// Interning key: name + '\x1f' + "k=v" pairs (sorted, '\x1f'-joined).
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace vdx::obs

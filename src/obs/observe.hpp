@@ -1,0 +1,68 @@
+// vdx::obs umbrella: the Observer bundle threaded through the stack, and
+// ScopedTimer, the one sanctioned wall-clock timing helper (DESIGN.md §7).
+//
+// Instrumented layers take an `Observer` by value — three nullable pointers.
+// The default Observer is the no-op sink: every instrumentation site guards
+// on a null check (or uses a default-constructed no-op handle), so a
+// non-observed hot loop pays a predictable branch and nothing else.
+#pragma once
+
+#include <chrono>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace vdx::obs {
+
+/// The observability context handed down through configs. All pointers are
+/// non-owning and nullable; a default Observer disables everything.
+struct Observer {
+  MetricsRegistry* metrics = nullptr;
+  SpanTracer* tracer = nullptr;
+  RunJournal* journal = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || tracer != nullptr || journal != nullptr;
+  }
+  /// Logical clock for journal stamping (0 without a tracer).
+  [[nodiscard]] std::uint64_t logical_now() const noexcept {
+    return tracer != nullptr ? tracer->logical_now() : 0;
+  }
+  void record(EventKind kind, std::uint32_t subject = RunJournal::kNoSubject,
+              double value = 0.0) const {
+    if (journal != nullptr) journal->record(kind, subject, value, logical_now());
+  }
+};
+
+/// RAII wall-clock timer: on destruction, observes the elapsed seconds into
+/// a histogram (if valid) and/or accumulates them into a double sink (if
+/// non-null). Replaces hand-rolled steady_clock blocks.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram histogram, double* sink = nullptr) noexcept
+      : histogram_(histogram), sink_(sink),
+        start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(double* sink) noexcept : ScopedTimer(Histogram{}, sink) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer() {
+    const double seconds = elapsed_seconds();
+    if (histogram_.valid()) histogram_.observe(seconds);
+    if (sink_ != nullptr) *sink_ += seconds;
+  }
+
+ private:
+  Histogram histogram_;
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vdx::obs

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/observe.hpp"
 #include "proto/fault.hpp"
 #include "proto/messages.hpp"
 
@@ -99,6 +100,15 @@ struct DecisionEngineConfig {
   /// transport. Link i carries all traffic to/from CDN i.
   FaultInjector* faults = nullptr;
   DeadlineConfig deadlines;
+  /// Observability sinks (no-op by default). With a tracer attached, every
+  /// round emits spans for all 7 Decision-Protocol steps (estimate, gather,
+  /// share, matching, announce, optimize, accept), and the tracer's logical
+  /// clock advances with the transport ticks (1 tick per fault-free step;
+  /// the chaos engine's per-step completion times otherwise), so traces are
+  /// byte-stable under a fixed seed. The journal receives per-message retry,
+  /// timeout, and decode-reject events; the registry aggregates `proto.*`
+  /// counters once per round.
+  obs::Observer obs;
 };
 
 /// Runs one Decision Protocol round. Every message is encoded and re-decoded
@@ -143,9 +153,12 @@ struct DeliveryOutcome {
 
 /// Runs the 4-step Delivery Protocol for one client. If the resolved cluster
 /// fails to deliver, the directory is asked once for an alternative and the
-/// request is replayed there (outcome records the switch).
+/// request is replayed there (outcome records the switch). With observability
+/// attached, emits `delivery.*` spans, counters, and a kFailover journal
+/// event when the session is re-homed.
 [[nodiscard]] DeliveryOutcome run_delivery(const QueryMessage& query,
                                            DeliveryDirectory& directory,
-                                           ClusterFrontend& frontend);
+                                           ClusterFrontend& frontend,
+                                           const obs::Observer& obs = {});
 
 }  // namespace vdx::proto

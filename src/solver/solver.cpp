@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "solver/branch_bound.hpp"
 #include "solver/greedy.hpp"
@@ -60,6 +61,17 @@ Assignment solve(const AssignmentProblem& problem, const SolveOptions& options) 
 
   Backend backend = options.backend;
   if (backend == Backend::kAuto) backend = pick_backend(problem);
+
+  const obs::SpanTracer::Scoped span{options.obs.tracer, "solver.solve"};
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics
+        ->counter("solver.invocations", {{"backend", std::string{to_string(backend)}}})
+        .add();
+    options.obs.metrics->histogram("solver.instance_options")
+        .observe(static_cast<double>(problem.options.size()));
+  }
+  options.obs.record(obs::EventKind::kSolve, static_cast<std::uint32_t>(backend),
+                     static_cast<double>(problem.options.size()));
 
   Assignment result;
   switch (backend) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/observe.hpp"
 #include "solver/problem.hpp"
 
 namespace vdx::solver {
@@ -35,6 +36,10 @@ struct SolveOptions {
   /// Round the final amounts to integral clients (largest remainder,
   /// group totals preserved).
   bool integral = false;
+  /// Observability sinks (no-op by default): per-invocation span, a
+  /// `solver.invocations{backend=...}` counter, instance-size histogram,
+  /// and a kSolve journal event.
+  obs::Observer obs;
 };
 
 /// Solves the assignment problem with the selected backend. Always returns a

@@ -1,0 +1,121 @@
+// RunJournal: ring wraparound, round stamping, JSONL round-trip, CSV, and
+// the end-of-run summary table.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/journal.hpp"
+
+namespace vdx::obs {
+namespace {
+
+TEST(RunJournalTest, RecordsEventsWithAmbientRound) {
+  RunJournal journal{16};
+  journal.begin_round(3);
+  journal.record(EventKind::kTimeout, 7, 2.0, 41);
+  journal.record(EventKind::kRoundEnd);
+
+  const auto events = journal.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kTimeout);
+  EXPECT_EQ(events[0].round, 3u);
+  EXPECT_EQ(events[0].subject, 7u);
+  EXPECT_DOUBLE_EQ(events[0].value, 2.0);
+  EXPECT_EQ(events[0].logical, 41u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].kind, EventKind::kRoundEnd);
+  EXPECT_EQ(events[1].subject, RunJournal::kNoSubject);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(RunJournalTest, RingWrapsKeepingNewestAndCountingOverwrites) {
+  RunJournal journal{8};
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    journal.record(EventKind::kBid, i, static_cast<double>(i));
+  }
+  EXPECT_EQ(journal.size(), 8u);
+  EXPECT_EQ(journal.capacity(), 8u);
+  EXPECT_EQ(journal.total_recorded(), 20u);
+  EXPECT_EQ(journal.overwritten(), 12u);
+
+  const auto events = journal.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and seq survives the overwrites: 12..19.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].subject, 12 + i);
+  }
+}
+
+TEST(RunJournalTest, JsonlRoundTripsExactly) {
+  RunJournal journal{32};
+  journal.begin_round(1);
+  journal.record(EventKind::kRoundStart);
+  journal.record(EventKind::kRetry, 4, 2.0, 17);
+  journal.record(EventKind::kStaleBid, 2, 0.5, 19);
+  journal.begin_round(2);
+  journal.record(EventKind::kFailover, 9, 123.25, 23);
+  journal.record(EventKind::kDegradedRound, RunJournal::kNoSubject, 0.125, 29);
+
+  std::ostringstream out;
+  journal.write_jsonl(out);
+  std::istringstream in{out.str()};
+  const auto parsed = RunJournal::read_jsonl(in);
+  EXPECT_EQ(parsed, journal.events());
+}
+
+TEST(RunJournalTest, ReadJsonlRejectsMalformedInput) {
+  std::istringstream missing_kind{R"({"seq":0,"round":0,"value":1})" "\n"};
+  EXPECT_THROW((void)RunJournal::read_jsonl(missing_kind), std::runtime_error);
+  std::istringstream unknown_kind{
+      R"({"event":"no_such_event","seq":0,"round":0,"logical":0,"value":0})" "\n"};
+  EXPECT_THROW((void)RunJournal::read_jsonl(unknown_kind), std::runtime_error);
+}
+
+TEST(RunJournalTest, EventKindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kCustom); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto back = event_kind_from(to_string(kind));
+    ASSERT_TRUE(back.has_value()) << to_string(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(event_kind_from("bogus").has_value());
+}
+
+TEST(RunJournalTest, CsvHasHeaderAndOneLinePerEvent) {
+  RunJournal journal{8};
+  journal.record(EventKind::kBid, 1, 10.0);
+  journal.record(EventKind::kSolve, 0, 99.0);
+  std::ostringstream out;
+  journal.write_csv(out);
+  std::istringstream lines{out.str()};
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_NE(header.find("event"), std::string::npos);
+  EXPECT_NE(header.find("seq"), std::string::npos);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(RunJournalTest, SummaryTableAggregatesPerKind) {
+  RunJournal journal{64};
+  journal.begin_round(0);
+  journal.record(EventKind::kRoundStart);
+  journal.record(EventKind::kTimeout, 1, 1.0);
+  journal.begin_round(4);
+  journal.record(EventKind::kTimeout, 2, 1.0);
+  const core::Table table = journal.summary_table();
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("timeout"), std::string::npos);
+  EXPECT_NE(text.find("round_start"), std::string::npos);
+  // First/last round of the timeout rows: 0 through 4.
+  EXPECT_NE(text.find("0-4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdx::obs

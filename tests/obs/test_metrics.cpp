@@ -1,0 +1,190 @@
+// MetricsRegistry: bucket boundaries, quantile estimates, label interning,
+// handle semantics, deterministic exports, and thread safety.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vdx::obs {
+namespace {
+
+TEST(MetricsBuckets, UnderflowAndEdgeValuesLandInBucketZero) {
+  EXPECT_EQ(MetricsRegistry::bucket_index(0.0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(-5.0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(MetricsRegistry::kBucketMin / 2), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(std::nan("")), 0u);
+  // kBucketMin itself is the first bounded bucket.
+  EXPECT_EQ(MetricsRegistry::bucket_index(MetricsRegistry::kBucketMin), 1u);
+}
+
+TEST(MetricsBuckets, BoundsAndIndexAreConsistent) {
+  for (std::size_t i = 1; i + 1 < MetricsRegistry::kBucketCount; ++i) {
+    const double lower = MetricsRegistry::bucket_lower_bound(i);
+    const double upper = MetricsRegistry::bucket_upper_bound(i);
+    ASSERT_LT(lower, upper);
+    // Each bucket's lower bound indexes back to that bucket, and its upper
+    // bound is the next bucket's lower bound (half-open intervals).
+    EXPECT_EQ(MetricsRegistry::bucket_index(lower), i) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(MetricsRegistry::bucket_upper_bound(i),
+                     MetricsRegistry::bucket_lower_bound(i + 1));
+    // 4 sub-buckets per octave: width ratio is 2^(1/4).
+    EXPECT_NEAR(upper / lower, std::exp2(0.25), 1e-12);
+  }
+  // Everything enormous lands in the overflow bucket.
+  EXPECT_EQ(MetricsRegistry::bucket_index(1e300),
+            MetricsRegistry::kBucketCount - 1);
+  EXPECT_TRUE(std::isinf(
+      MetricsRegistry::bucket_upper_bound(MetricsRegistry::kBucketCount - 1)));
+}
+
+TEST(MetricsBuckets, IndexIsMonotoneInValue) {
+  double v = MetricsRegistry::kBucketMin;
+  std::size_t last = MetricsRegistry::bucket_index(v);
+  for (int i = 0; i < 200; ++i) {
+    v *= 1.31;
+    const std::size_t index = MetricsRegistry::bucket_index(v);
+    EXPECT_GE(index, last);
+    last = index;
+  }
+}
+
+TEST(MetricsHistogram, QuantilesWithinOneBucketOfExact) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("latency");
+  // 1..1000 ms, uniformly.
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i) * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.sum(), 500.5, 1e-9);
+  // Log buckets at 2^(1/4) spacing: relative error below ~19% + interpolation.
+  EXPECT_NEAR(h.quantile(0.50), 0.5, 0.5 * 0.20);
+  EXPECT_NEAR(h.quantile(0.90), 0.9, 0.9 * 0.20);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.99 * 0.20);
+  // Extremes clamp to the exact envelope.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(MetricsHistogram, SingleObservationIsExactAtEveryQuantile) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("one");
+  h.observe(0.125);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.125) << "q=" << q;
+  }
+}
+
+TEST(MetricsRegistryTest, LabelInterningIsOrderInsensitive) {
+  MetricsRegistry registry;
+  const Counter a = registry.counter("reqs", {{"cdn", "A"}, {"region", "eu"}});
+  const Counter b = registry.counter("reqs", {{"region", "eu"}, {"cdn", "A"}});
+  const Counter c = registry.counter("reqs", {{"cdn", "B"}, {"region", "eu"}});
+  a.add(2.0);
+  b.add(3.0);
+  c.add(10.0);
+  // a and b resolved to the same cell; c did not.
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  EXPECT_DOUBLE_EQ(b.value(), 5.0);
+  EXPECT_DOUBLE_EQ(c.value(), 10.0);
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto row = registry.find("reqs", {{"region", "eu"}, {"cdn", "A"}});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->value, 5.0);
+  EXPECT_FALSE(registry.find("reqs", {{"cdn", "Z"}}).has_value());
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, DefaultHandlesAreNoOpSinks) {
+  const Counter counter;
+  const Gauge gauge;
+  const Histogram histogram;
+  counter.add(42.0);
+  gauge.set(42.0);
+  histogram.observe(42.0);
+  EXPECT_FALSE(counter.valid());
+  EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, RowsAreSortedAndJsonlHonorsPrefix) {
+  MetricsRegistry registry;
+  registry.gauge("zz.last").set(1.0);
+  registry.counter("aa.first").add(1.0);
+  registry.counter("mm.mid", {{"k", "2"}}).add(1.0);
+  registry.counter("mm.mid", {{"k", "1"}}).add(1.0);
+
+  const auto rows = registry.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "aa.first");
+  EXPECT_EQ(rows[1].name, "mm.mid");
+  EXPECT_EQ(rows[1].labels, (Labels{{"k", "1"}}));
+  EXPECT_EQ(rows[2].labels, (Labels{{"k", "2"}}));
+  EXPECT_EQ(rows[3].name, "zz.last");
+
+  std::ostringstream out;
+  registry.write_jsonl(out, "BENCH_JSON ");
+  std::istringstream lines{out.str()};
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("BENCH_JSON {", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(MetricsRegistryTest, CsvHasHeaderAndOneRowPerMetric) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1.0);
+  registry.histogram("b").observe(2.0);
+  std::ostringstream out;
+  registry.write_csv(out);
+  std::istringstream lines{out.str()};
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "metric,labels,kind,value,count,sum,min,max,p50,p90,p99");
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("hits");
+  const Histogram histogram = registry.histogram("obs");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1.0);
+        histogram.observe(1e-3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace vdx::obs

@@ -25,6 +25,7 @@
 
 #include "core/table.hpp"
 #include "market/exchange.hpp"
+#include "obs/observe.hpp"
 #include "market/federation.hpp"
 #include "market/transactions.hpp"
 #include "sim/experiments.hpp"
@@ -253,6 +254,18 @@ int cmd_exchange(Flags& flags) {
   config.chaos.faults.corrupt_rate = flags.number("corrupt", 0.0);
   config.chaos.faults.seed =
       static_cast<std::uint64_t>(flags.number("chaos-seed", 0xC4A05));
+
+  // Observability exports (DESIGN.md §7). Traces use the logical clock only,
+  // so two same-seed runs produce byte-identical files.
+  const std::string metrics_path = flags.text("metrics-out", "");
+  const std::string trace_path = flags.text("trace-out", "");
+  const std::string journal_path = flags.text("journal-out", "");
+  obs::MetricsRegistry metrics;
+  obs::SpanTracer tracer;
+  obs::RunJournal journal;
+  config.obs.metrics = &metrics;
+  if (!trace_path.empty()) config.obs.tracer = &tracer;
+  if (!journal_path.empty()) config.obs.journal = &journal;
   market::VdxExchange exchange{scenario, config};
   const bool chaos = config.chaos.faults.any();
   const double fraud = flags.number("fraud", -1.0);
@@ -292,6 +305,26 @@ int cmd_exchange(Flags& flags) {
     table.add_row(row);
   }
   table.print(std::cout);
+
+  const auto export_file = [](const std::string& path, const auto& writer) {
+    std::ofstream out{path};
+    if (!out) throw std::runtime_error{"cannot write " + path};
+    writer(out);
+    std::printf("[obs] wrote %s\n", path.c_str());
+  };
+  if (!metrics_path.empty()) {
+    export_file(metrics_path,
+                [&](std::ostream& out) { metrics.write_jsonl(out); });
+  }
+  if (!trace_path.empty()) {
+    export_file(trace_path, [&](std::ostream& out) { tracer.write_jsonl(out); });
+  }
+  if (!journal_path.empty()) {
+    export_file(journal_path,
+                [&](std::ostream& out) { journal.write_jsonl(out); });
+    journal.summary_table().print(std::cout);
+  }
+
   maybe_export_csv(table, flags);
   flags.check_all_used();
   return 0;
@@ -418,7 +451,8 @@ void print_help() {
       "  timeline       per-epoch decision churn  (--name X --epoch 300)\n"
       "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
       "                 --strategy static|risk-averse --drop P --corrupt P\n"
-      "                 --chaos-seed S)\n"
+      "                 --chaos-seed S --metrics-out F --trace-out F\n"
+      "                 --journal-out F)\n"
       "  federation     regional marketplaces     (--regions R)\n"
       "  transactions   all-CDN-approval protocol (--veto T --rounds N)\n"
       "  multibroker    overbooking study         (--brokers B --name X)\n"
