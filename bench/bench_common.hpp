@@ -7,14 +7,27 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "obs/observe.hpp"
 #include "sim/experiments.hpp"
 
 namespace vdx::bench {
+
+/// Parses an optional `--threads N` from a bench's argv (0 = all cores, the
+/// default; 1 = serial). Benches stay runnable with no arguments.
+inline std::size_t threads_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view{argv[i]} == "--threads") {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
 
 /// The paper-scale scenario: 33.4K broker sessions + 3x background over the
 /// 14-CDN world (§5.1). One shared seed keeps all benches consistent.

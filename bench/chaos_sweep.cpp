@@ -9,13 +9,20 @@
 // and cost stay near the fault-free values while the transport sheds up to
 // a third of all frames — because retries recover most messages and the
 // broker's stale-bid fallback papers over the rest.
+//
+// The sweep points are independent exchanges, so they run concurrently
+// (`--threads N`, 0/default = all cores, 1 = serial); rows and BENCH_JSON
+// gauges are emitted in drop-rate order after the join, so output is
+// identical at any thread count.
 #include "bench_common.hpp"
 
+#include "core/parallel.hpp"
 #include "core/table.hpp"
 #include "market/exchange.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdx;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   sim::ScenarioConfig config;
   config.trace.session_count = 8000;
   const sim::Scenario scenario = sim::Scenario::build(config);
@@ -34,14 +41,7 @@ int main() {
   // emitted as BENCH_JSON lines after the table.
   bench::BenchReporter reporter{"chaos_sweep"};
 
-  for (const double drop : kDropRates) {
-    market::ExchangeConfig exchange_config;
-    exchange_config.chaos.faults.drop_rate = drop;
-    exchange_config.chaos.faults.corrupt_rate = drop > 0.0 ? 0.02 : 0.0;
-    exchange_config.chaos.faults.seed = 0xC4A05;
-    market::VdxExchange exchange{scenario, exchange_config};
-    const auto reports = exchange.run(kRounds);
-
+  struct SweepPoint {
     double score = 0.0;
     double cost = 0.0;
     double congested = 0.0;
@@ -49,41 +49,66 @@ int main() {
     double stale_share = 0.0;
     std::size_t retries = 0;
     std::size_t degraded = 0;
-    for (const market::RoundReport& report : reports) {
-      score += report.mean_score;
-      cost += report.mean_cost;
-      congested += report.congested_fraction;
-      timeout_rate += report.timeout_rate;
-      stale_share += report.stale_bid_share;
-      retries += report.wire.chaos.retries;
-      if (report.degraded) ++degraded;
-    }
+  };
+
+  core::ThreadPool pool{core::ThreadPool::resolve(threads)};
+  double sweep_seconds = 0.0;
+  const auto points = [&] {
+    const obs::ScopedTimer timer{&sweep_seconds};
+    return core::parallel_map(pool, std::size(kDropRates), [&](std::size_t i) {
+      const double drop = kDropRates[i];
+      market::ExchangeConfig exchange_config;
+      exchange_config.chaos.faults.drop_rate = drop;
+      exchange_config.chaos.faults.corrupt_rate = drop > 0.0 ? 0.02 : 0.0;
+      exchange_config.chaos.faults.seed = 0xC4A05;
+      market::VdxExchange exchange{scenario, exchange_config};
+      const auto reports = exchange.run(kRounds);
+
+      SweepPoint point;
+      for (const market::RoundReport& report : reports) {
+        point.score += report.mean_score;
+        point.cost += report.mean_cost;
+        point.congested += report.congested_fraction;
+        point.timeout_rate += report.timeout_rate;
+        point.stale_share += report.stale_bid_share;
+        point.retries += report.wire.chaos.retries;
+        if (report.degraded) ++point.degraded;
+      }
+      return point;
+    });
+  }();
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double drop = kDropRates[i];
+    const SweepPoint& point = points[i];
     const double n = static_cast<double>(kRounds);
     table.add_row({core::format_double(100.0 * drop, 0) + "%",
-                   core::format_double(score / n, 2),
-                   core::format_double(cost / n, 4),
-                   core::format_double(100.0 * congested / n, 2),
-                   core::format_double(100.0 * timeout_rate / n, 3),
-                   core::format_double(static_cast<double>(retries) / n, 1),
-                   std::to_string(degraded) + "/" + std::to_string(kRounds),
-                   core::format_double(100.0 * stale_share / n, 2)});
+                   core::format_double(point.score / n, 2),
+                   core::format_double(point.cost / n, 4),
+                   core::format_double(100.0 * point.congested / n, 2),
+                   core::format_double(100.0 * point.timeout_rate / n, 3),
+                   core::format_double(static_cast<double>(point.retries) / n, 1),
+                   std::to_string(point.degraded) + "/" + std::to_string(kRounds),
+                   core::format_double(100.0 * point.stale_share / n, 2)});
 
     const obs::Labels at{{"drop", core::format_double(drop, 2)}};
-    reporter.gauge("chaos_sweep.mean_score", at).set(score / n);
-    reporter.gauge("chaos_sweep.mean_cost", at).set(cost / n);
-    reporter.gauge("chaos_sweep.congested_fraction", at).set(congested / n);
-    reporter.gauge("chaos_sweep.timeout_rate", at).set(timeout_rate / n);
+    reporter.gauge("chaos_sweep.mean_score", at).set(point.score / n);
+    reporter.gauge("chaos_sweep.mean_cost", at).set(point.cost / n);
+    reporter.gauge("chaos_sweep.congested_fraction", at).set(point.congested / n);
+    reporter.gauge("chaos_sweep.timeout_rate", at).set(point.timeout_rate / n);
     reporter.gauge("chaos_sweep.retries_per_round", at)
-        .set(static_cast<double>(retries) / n);
+        .set(static_cast<double>(point.retries) / n);
     reporter.gauge("chaos_sweep.degraded_rounds", at)
-        .set(static_cast<double>(degraded));
-    reporter.gauge("chaos_sweep.stale_bid_share", at).set(stale_share / n);
+        .set(static_cast<double>(point.degraded));
+    reporter.gauge("chaos_sweep.stale_bid_share", at).set(point.stale_share / n);
   }
+  reporter.gauge("chaos_sweep.threads").set(static_cast<double>(pool.thread_count()));
+  reporter.gauge("chaos_sweep.sweep_seconds").set(sweep_seconds);
   table.print(std::cout);
   reporter.emit();
 
-  std::printf("\nEvery configuration completed all %zu rounds; the transport "
-              "was lossy, the market was not.\n",
-              kRounds);
+  std::printf("\nEvery configuration completed all %zu rounds on %zu threads; "
+              "the transport was lossy, the market was not.\n",
+              kRounds, pool.thread_count());
   return 0;
 }

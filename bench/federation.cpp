@@ -4,33 +4,55 @@
 // Expected: more regions shrink the largest optimization instance (the
 // scalability win) while the broker's achievable quality degrades —
 // "limiting the broker's view limits the quality of the optimization".
+//
+// Region solves run on `--threads N` threads (0/default = all cores,
+// 1 = serial); results are byte-identical at any value (DESIGN.md §8).
 #include "bench_common.hpp"
 
+#include "core/parallel.hpp"
 #include "core/table.hpp"
 #include "market/federation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdx;
+  const std::size_t threads = bench::threads_flag(argc, argv);
   const sim::Scenario scenario = bench::paper_scenario();
+  bench::BenchReporter reporter{"federation"};
 
   core::Table table{{"Regions", "Largest instance (bids)", "Optimize wall (s)",
-                     "Mean cost", "Mean score", "Median distance (mi)",
-                     "Fallback clients"}};
+                     "Wall (s)", "Mean cost", "Mean score",
+                     "Median distance (mi)", "Fallback clients"}};
   table.set_title("Federated marketplaces: scalability vs optimization quality");
   for (const std::size_t regions : {1u, 2u, 4u, 8u, 16u}) {
     market::FederationConfig config;
     config.region_count = regions;
-    const market::FederationResult result =
-        market::run_federated_marketplace(scenario, config);
+    config.threads = threads;
+    double wall_seconds = 0.0;
+    const market::FederationResult result = [&] {
+      const obs::ScopedTimer timer{&wall_seconds};
+      return market::run_federated_marketplace(scenario, config);
+    }();
     table.add_row({std::to_string(regions),
                    std::to_string(result.largest_instance_options),
                    core::format_double(result.optimize_seconds, 2),
+                   core::format_double(wall_seconds, 2),
                    core::format_double(result.metrics.mean_cost, 3),
                    core::format_double(result.metrics.mean_score, 1),
                    core::format_double(result.metrics.median_distance_miles, 0),
                    core::format_double(result.fallback_clients, 0)});
+    const obs::Labels at{{"regions", std::to_string(regions)}};
+    reporter.gauge("federation.largest_instance", at)
+        .set(static_cast<double>(result.largest_instance_options));
+    reporter.gauge("federation.optimize_seconds", at).set(result.optimize_seconds);
+    reporter.gauge("federation.wall_seconds", at).set(wall_seconds);
+    reporter.gauge("federation.mean_cost", at).set(result.metrics.mean_cost);
+    reporter.gauge("federation.fallback_bids", at)
+        .set(static_cast<double>(result.fallback_bids));
   }
+  reporter.gauge("federation.threads")
+      .set(static_cast<double>(core::ThreadPool::resolve(threads)));
   table.print(std::cout);
+  reporter.emit();
   std::printf("\nReading: each regional exchange solves a much smaller auction "
               "(scalability), but clients lose access to out-of-region "
               "clusters, so cost/score drift up — the §6.3 trade-off, and why "

@@ -10,7 +10,7 @@
 
 #include "core/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdx;
   const sim::Scenario scenario = bench::paper_scenario();
 
@@ -21,7 +21,10 @@ int main() {
       sim::Design::kDynamicMulticluster, sim::Design::kBestLookup,
       sim::Design::kMarketplace,
   };
-  const auto points = sim::fig17_tradeoff(scenario, weights, designs);
+  // 56 independent (design, weight) runs over a shared menu cache
+  // (--threads, default all cores; points come back in sweep order).
+  const auto points = sim::fig17_tradeoff(scenario, weights, designs,
+                                          bench::threads_flag(argc, argv));
 
   core::Table table{{"Design", "wc", "Cost ($/client)", "Distance (mi)"}};
   table.set_title("Figure 17: cost vs distance while sweeping the cost weight");

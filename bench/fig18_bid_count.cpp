@@ -8,12 +8,13 @@
 
 #include "core/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdx;
   const sim::Scenario scenario = bench::paper_scenario();
 
   const std::size_t bid_counts[] = {1, 2, 3, 4, 8, 16, 32, 100, 1000};
-  const auto points = sim::fig18_bid_count(scenario, bid_counts);
+  const auto points = sim::fig18_bid_count(scenario, bid_counts, /*cost_weight=*/0.3,
+                                           bench::threads_flag(argc, argv));
 
   core::Table table{{"Bids", "Cost (avg $/client)", "Score (avg)"}};
   table.set_title("Figure 18: bid count vs average cost and score (Marketplace)");

@@ -1,0 +1,101 @@
+// Parallel execution speedup (DESIGN.md §8): the same work — a federated
+// 8-region marketplace solve and the Table-3 design sweep — run serially and
+// on all cores, with byte-identical results checked inline.
+//
+// Emits BENCH_JSON speedup gauges. On a single-core machine the speedup is
+// ~1.0 by construction; the determinism checks still bite.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/parallel.hpp"
+#include "core/table.hpp"
+#include "market/federation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdx;
+  const std::size_t threads = core::ThreadPool::resolve(bench::threads_flag(argc, argv));
+  const sim::Scenario scenario = bench::paper_scenario();
+  bench::BenchReporter reporter{"parallel_speedup"};
+  reporter.gauge("parallel.threads").set(static_cast<double>(threads));
+
+  core::Table table{{"Workload", "Serial (s)", "Parallel (s)", "Speedup", "Identical"}};
+  table.set_title("Deterministic parallel execution: serial vs " +
+                  std::to_string(threads) + " threads");
+
+  // ---- Federated marketplace, 8 regions. ----
+  {
+    market::FederationConfig config;
+    config.region_count = 8;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+    config.threads = 1;
+    const market::FederationResult serial = [&] {
+      const obs::ScopedTimer timer{&serial_s};
+      return market::run_federated_marketplace(scenario, config);
+    }();
+    config.threads = threads;
+    const market::FederationResult parallel = [&] {
+      const obs::ScopedTimer timer{&parallel_s};
+      return market::run_federated_marketplace(scenario, config);
+    }();
+    const bool identical =
+        serial.metrics.mean_cost == parallel.metrics.mean_cost &&
+        serial.metrics.mean_score == parallel.metrics.mean_score &&
+        serial.largest_instance_options == parallel.largest_instance_options &&
+        serial.fallback_bids == parallel.fallback_bids;
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    table.add_row({"federation (8 regions)", core::format_double(serial_s, 2),
+                   core::format_double(parallel_s, 2),
+                   core::format_double(speedup, 2), identical ? "yes" : "NO"});
+    reporter.gauge("parallel.federation8.serial_seconds").set(serial_s);
+    reporter.gauge("parallel.federation8.parallel_seconds").set(parallel_s);
+    reporter.gauge("parallel.federation8.speedup").set(speedup);
+    reporter.gauge("parallel.federation8.identical").set(identical ? 1.0 : 0.0);
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: federation results differ across thread counts\n");
+      return 1;
+    }
+  }
+
+  // ---- Table-3 design sweep (8 designs). ----
+  {
+    sim::RunConfig run;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+    run.threads = 1;
+    const auto serial = [&] {
+      const obs::ScopedTimer timer{&serial_s};
+      return sim::table3_design_comparison(scenario, run);
+    }();
+    run.threads = threads;
+    const auto parallel = [&] {
+      const obs::ScopedTimer timer{&parallel_s};
+      return sim::table3_design_comparison(scenario, run);
+    }();
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+      identical = serial[i].design == parallel[i].design &&
+                  serial[i].metrics.mean_cost == parallel[i].metrics.mean_cost &&
+                  serial[i].metrics.mean_score == parallel[i].metrics.mean_score &&
+                  serial[i].metrics.congested_fraction ==
+                      parallel[i].metrics.congested_fraction;
+    }
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    table.add_row({"table3 design sweep", core::format_double(serial_s, 2),
+                   core::format_double(parallel_s, 2),
+                   core::format_double(speedup, 2), identical ? "yes" : "NO"});
+    reporter.gauge("parallel.table3.serial_seconds").set(serial_s);
+    reporter.gauge("parallel.table3.parallel_seconds").set(parallel_s);
+    reporter.gauge("parallel.table3.speedup").set(speedup);
+    reporter.gauge("parallel.table3.identical").set(identical ? 1.0 : 0.0);
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: table3 results differ across thread counts\n");
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  reporter.emit();
+  return 0;
+}

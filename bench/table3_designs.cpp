@@ -17,9 +17,11 @@
 
 #include "core/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdx;
   const sim::Scenario scenario = bench::paper_scenario();
+  sim::RunConfig run;
+  run.threads = bench::threads_flag(argc, argv);  // 0 = all cores
 
   // ---- Table 2: requirement matrix. ----
   core::Table matrix{{"Design", "Share", "Matching", "CO", "DCP", "TP"}};
@@ -41,7 +43,7 @@ int main() {
   std::printf("\n");
 
   // ---- Table 3: the design comparison. ----
-  const auto rows = sim::table3_design_comparison(scenario);
+  const auto rows = sim::table3_design_comparison(scenario, run);
   core::Table table{{"Design", "Cost ($/client)", "Score", "Distance (mi)",
                      "Load", "Congested"}};
   table.set_title("Table 3: design comparison (medians; lower is better)");

@@ -30,6 +30,10 @@ struct MatchingConfig {
   /// Cap on candidates returned (the Figure-18 "number of bids" knob).
   /// 0 means "the tolerance set only".
   std::size_t max_candidates = 0;
+
+  /// Equality is the CandidateMenuCache key check: a cache built for one
+  /// config must not serve menus for another.
+  friend bool operator==(const MatchingConfig&, const MatchingConfig&) = default;
 };
 
 /// Builds the candidate list of `cdn` for clients in `city`, sorted by

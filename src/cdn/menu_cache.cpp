@@ -1,0 +1,45 @@
+#include "cdn/menu_cache.hpp"
+
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+
+namespace vdx::cdn {
+
+CandidateMenuCache::CandidateMenuCache(const CdnCatalog& catalog,
+                                       const net::MappingTable& mapping,
+                                       std::size_t city_count,
+                                       const MatchingConfig& config,
+                                       core::ThreadPool* pool)
+    : config_(config),
+      cdn_count_(catalog.cdns().size()),
+      city_count_(city_count),
+      menus_(cdn_count_ * city_count_) {
+  const auto build_slot = [&](std::size_t slot) {
+    const CdnId cdn = catalog.cdns()[slot / city_count_].id;
+    const geo::CityId city{static_cast<std::uint32_t>(slot % city_count_)};
+    menus_[slot] = candidates_for(catalog, mapping, cdn, city, config_);
+  };
+  if (pool != nullptr && menus_.size() > 1) {
+    core::parallel_for_indexed(*pool, menus_.size(), build_slot);
+  } else {
+    for (std::size_t slot = 0; slot < menus_.size(); ++slot) build_slot(slot);
+  }
+}
+
+std::span<const Candidate> CandidateMenuCache::menu(CdnId cdn, geo::CityId city) const {
+  const std::size_t c = cdn.value();
+  const std::size_t y = city.value();
+  if (c >= cdn_count_ || y >= city_count_) {
+    throw std::out_of_range{"CandidateMenuCache::menu: cdn/city out of range"};
+  }
+  return menus_[c * city_count_ + y];
+}
+
+std::size_t CandidateMenuCache::total_candidates() const noexcept {
+  std::size_t total = 0;
+  for (const std::vector<Candidate>& menu : menus_) total += menu.size();
+  return total;
+}
+
+}  // namespace vdx::cdn

@@ -1,0 +1,56 @@
+// CandidateMenuCache: memoized, immutable Matching menus.
+//
+// Every experiment layer (designs, federation, multi-broker, hybrid, the
+// exchange agents) asks the same question over and over: "what candidate
+// clusters does CDN c offer a client in city y under MatchingConfig m?"
+// The answer is a pure function of (catalog, mapping, c, y, m), yet the
+// seed code recomputed it from scratch at eight call sites — per design,
+// per region, per broker, per round. This cache builds every (CDN, city)
+// menu once per scenario and hands out read-only spans.
+//
+// Thread-safety by construction: the cache is *eagerly* built (optionally
+// in parallel — slots are independent) and immutable afterwards, so any
+// number of threads can read menus concurrently with no synchronization.
+// Menus are byte-identical to calling cdn::candidates_for directly (the
+// cache calls it), so cached and uncached paths cannot drift.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cdn/matching.hpp"
+
+namespace vdx::core {
+class ThreadPool;
+}
+
+namespace vdx::cdn {
+
+class CandidateMenuCache {
+ public:
+  /// Builds all cdn x city menus for one MatchingConfig. `city_count` is the
+  /// world/mapping city count (CityIds are dense). Passing a pool builds the
+  /// independent slots in parallel; the result is identical either way.
+  CandidateMenuCache(const CdnCatalog& catalog, const net::MappingTable& mapping,
+                     std::size_t city_count, const MatchingConfig& config,
+                     core::ThreadPool* pool = nullptr);
+
+  /// The menu cdn would offer clients in city, cost-sorted (== candidates_for).
+  [[nodiscard]] std::span<const Candidate> menu(CdnId cdn, geo::CityId city) const;
+
+  [[nodiscard]] const MatchingConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t cdn_count() const noexcept { return cdn_count_; }
+  [[nodiscard]] std::size_t city_count() const noexcept { return city_count_; }
+  /// Total candidates held — the memoized work a scenario no longer redoes.
+  [[nodiscard]] std::size_t total_candidates() const noexcept;
+
+ private:
+  MatchingConfig config_;
+  std::size_t cdn_count_ = 0;
+  std::size_t city_count_ = 0;
+  /// menus_[cdn * city_count_ + city]; CdnIds and CityIds are dense.
+  std::vector<std::vector<Candidate>> menus_;
+};
+
+}  // namespace vdx::cdn

@@ -1,0 +1,99 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdx::core {
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t ThreadPool::resolve(std::size_t requested) noexcept {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = std::max<std::size_t>(1, resolve(threads));
+  workers_.reserve(total - 1);
+  for (std::size_t t = 0; t + 1 < total; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (generation_ != seen && job_ != nullptr); });
+    if (stop_) return;
+    seen = generation_;
+    Job& job = *job_;
+    ++job.active;
+    lock.unlock();
+    run_slice(job);
+    lock.lock();
+    if (--job.active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_slice(Job& job) noexcept {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      job.errors[i] = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::for_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // Legacy serial path: run inline, exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.count = count;
+  job.errors.resize(count);
+  {
+    const std::scoped_lock lock{mutex_};
+    if (job_ != nullptr) {
+      throw std::logic_error{"ThreadPool::for_indexed: reentrant submission"};
+    }
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_slice(job);
+  {
+    std::unique_lock lock{mutex_};
+    // All indices are claimed once run_slice returns; wait for workers still
+    // executing theirs. active is mutex-guarded, so active == 0 implies every
+    // body has finished and no worker will touch `job` again.
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& error : job.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace vdx::core

@@ -1,0 +1,102 @@
+// Deterministic parallel execution (ROADMAP: "as fast as the hardware
+// allows" without giving up the repo's byte-identity invariant).
+//
+// ThreadPool is a small work-stealing-free pool: one shared atomic index
+// counter per job, no per-thread queues, no randomized victim selection.
+// parallel_map / parallel_for_indexed collect results *in input order*, so
+// any pipeline whose per-item work is a pure function of the item produces
+// output byte-identical to a serial run regardless of thread count or
+// scheduling. `threads == 1` short-circuits to a plain serial loop on the
+// calling thread — the legacy path, bit-for-bit untouched.
+//
+// Determinism contract (see DESIGN.md §8):
+//   - item i's result lands in slot i; merge order is input order;
+//   - worker threads must only touch shared state that is immutable or
+//     commutative-exact (atomic integer counters); wall-clock metrics are
+//     exempt from byte-identity;
+//   - exceptions: every item runs; the exception thrown by the *smallest*
+//     failing index is rethrown after the job drains (deterministic even
+//     when several items fail).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace vdx::core {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves to hardware_concurrency; `threads == 1` runs
+  /// every job inline on the calling thread (no workers are spawned).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers plus the participating caller thread.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+  /// 0 -> hardware_threads(); anything else is returned as-is (min 1).
+  [[nodiscard]] static std::size_t resolve(std::size_t requested) noexcept;
+
+  /// Runs body(i) for every i in [0, count). The caller participates; the
+  /// call returns when every index has executed. Exceptions are collected
+  /// per index and the smallest-index one is rethrown. Not reentrant: a
+  /// body must not submit to the same pool (throws std::logic_error).
+  void for_indexed(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t active = 0;  // workers inside run_slice (guarded by mutex_)
+    std::vector<std::exception_ptr> errors;
+  };
+
+  void worker_loop();
+  void run_slice(Job& job) noexcept;
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Ordered parallel map: returns {fn(0), fn(1), ..., fn(count-1)} with slot
+/// i computed by whichever thread claimed i — output order is input order.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  std::vector<std::optional<R>> slots(count);
+  pool.for_indexed(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(count);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// Ordered parallel for: body(i) for i in [0, count) — thin alias over the
+/// pool member, for symmetry with parallel_map at call sites.
+template <typename Fn>
+void parallel_for_indexed(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  pool.for_indexed(count, [&](std::size_t i) { fn(i); });
+}
+
+}  // namespace vdx::core

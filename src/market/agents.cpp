@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cdn/menu_cache.hpp"
+
 namespace vdx::market {
 
 namespace {
@@ -45,13 +47,25 @@ std::vector<proto::BidMessage> VdxCdnAgent::announce() {
   cdn::MatchingConfig matching;
   matching.max_candidates = config_.bid_count;
   matching.score_tolerance = config_.menu_tolerance;
+  const cdn::CandidateMenuCache* menus =
+      (config_.menus != nullptr && config_.menus->config() == matching)
+          ? config_.menus
+          : nullptr;
 
   std::vector<proto::BidMessage> bids;
   bids.reserve(shares_.size() * config_.bid_count);
   for (const proto::ShareMessage& share : shares_) {
     const geo::CityId city{share.location};
-    for (const cdn::Candidate& candidate : cdn::candidates_for(
-             scenario_.catalog(), scenario_.mapping(), cdn_, city, matching)) {
+    std::vector<cdn::Candidate> built;
+    std::span<const cdn::Candidate> candidates;
+    if (menus != nullptr) {
+      candidates = menus->menu(cdn_, city);
+    } else {
+      built = cdn::candidates_for(scenario_.catalog(), scenario_.mapping(), cdn_,
+                                  city, matching);
+      candidates = built;
+    }
+    for (const cdn::Candidate& candidate : candidates) {
       const cdn::BidShading shading = strategy_.shade(city, candidate.cluster);
       const double spare = std::max(
           0.0, candidate.capacity - background_loads_[candidate.cluster.value()]);

@@ -23,6 +23,10 @@
 #include "proto/engine.hpp"
 #include "sim/designs.hpp"
 
+namespace vdx::cdn {
+class CandidateMenuCache;
+}
+
 namespace vdx::market {
 
 struct CdnAgentConfig {
@@ -30,6 +34,10 @@ struct CdnAgentConfig {
   std::size_t bid_count = 8;
   /// Menu score tolerance (see sim::RunConfig::menu_tolerance).
   double menu_tolerance = 1.35;
+  /// Optional shared menu cache (non-owning; typically owned by the
+  /// VdxExchange). Used only when its MatchingConfig matches this agent's
+  /// (bid_count, menu_tolerance); otherwise menus are built per announce().
+  const cdn::CandidateMenuCache* menus = nullptr;
 };
 
 class VdxCdnAgent final : public proto::CdnParticipant {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cdn/menu_cache.hpp"
 #include "sim/designs.hpp"
 #include "sim/metrics.hpp"
 
@@ -31,6 +32,15 @@ VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
   counters_.prediction_error = obs_.metrics->gauge("exchange.prediction_error");
 
   background_loads_ = sim::place_background(scenario_);
+  {
+    cdn::MatchingConfig matching;
+    matching.max_candidates = config_.agent.bid_count;
+    matching.score_tolerance = config_.agent.menu_tolerance;
+    menu_cache_ = std::make_unique<cdn::CandidateMenuCache>(
+        scenario_.catalog(), scenario_.mapping(), scenario_.world().cities().size(),
+        matching);
+    config_.agent.menus = menu_cache_.get();
+  }
   if (config_.chaos.faults.any()) {
     injector_ = std::make_unique<proto::FaultInjector>(config_.chaos.faults);
     // A lossy transport needs the degraded-round fallback to stay useful.

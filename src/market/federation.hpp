@@ -13,8 +13,13 @@
 // optimization means smaller (faster) solves — at the price of losing
 // cross-region placements (e.g. serving an expensive country's clients from
 // a cheap neighbour).
+//
+// Region solves are embarrassingly parallel and run on a core::ThreadPool
+// when `threads > 1`; results merge in region order, so output is
+// byte-identical to the serial path at any thread count (DESIGN.md §8).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "obs/observe.hpp"
@@ -25,28 +30,50 @@ namespace vdx::market {
 struct FederationConfig {
   std::size_t region_count = 4;
   sim::RunConfig run;
+  /// Region solves run on this many threads (0 = hardware_concurrency,
+  /// 1 = the legacy serial path). Same-seed output is byte-identical at any
+  /// value.
+  std::size_t threads = 1;
   /// Observability sinks. Per-region optimize wall time lands in the
   /// `federation.optimize_seconds` histogram (one sample per region solve);
   /// FederationResult::optimize_seconds is read back from the registry. A
-  /// local registry is used when none is supplied.
+  /// local registry is used when none is supplied. Worker threads touch only
+  /// the (thread-safe) metrics registry; span and journal events are
+  /// recorded by the coordinating thread in region order, so trace/journal
+  /// exports stay byte-stable under concurrency.
   obs::Observer obs;
 };
 
 struct FederationResult {
+  /// Effective region count: the requested count clamped to the number of
+  /// cities (each region needs a distinct seed city).
   std::size_t region_count = 0;
-  /// Cities per region (diagnostics).
+  /// Cities per region (diagnostics), sized `region_count`.
   std::vector<std::size_t> region_city_counts;
   /// Combined metrics over all regions' placements.
   sim::DesignMetrics metrics;
   /// Clients whose region contained no usable cluster menu (served by the
   /// global fallback: any CDN, any cluster).
   double fallback_clients = 0.0;
+  /// Bids contributed by the global fallback path, counted separately from
+  /// the in-region bids so `largest_instance_options` (which includes them —
+  /// they are part of that region's solve) can be decomposed.
+  std::size_t fallback_bids = 0;
   /// Total wall time spent in the per-region optimizations (seconds).
   double optimize_seconds = 0.0;
-  /// Largest single optimization instance (options count) — the scalability
-  /// win: max instance size shrinks with region count.
+  /// Largest single optimization instance (options count, in-region +
+  /// fallback bids) — the scalability win: max instance size shrinks with
+  /// region count.
   std::size_t largest_instance_options = 0;
 };
+
+/// Greedy farthest-point seeding: the top-demand city first, then cities
+/// maximizing the minimum distance to the chosen seeds. Gives well-spread
+/// regional exchanges. `count` is clamped to the city count (seeds are
+/// distinct cities); throws std::invalid_argument on an empty world.
+/// Exposed for tests.
+[[nodiscard]] std::vector<geo::CityId> pick_region_seeds(const geo::World& world,
+                                                         std::size_t count);
 
 /// Runs the federated Marketplace. region_count == 1 reproduces the global
 /// marketplace (up to partition bookkeeping).

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "cdn/matching.hpp"
+#include "cdn/menu_cache.hpp"
+#include "core/parallel.hpp"
 
 namespace vdx::sim {
 
@@ -84,9 +86,14 @@ std::vector<double> place_background(const Scenario& scenario) {
 }
 
 std::vector<double> place_background_over(const Scenario& scenario,
-                                          std::span<const broker::ClientGroup> groups) {
+                                          std::span<const broker::ClientGroup> groups,
+                                          const cdn::CandidateMenuCache* menus) {
   const auto& catalog = scenario.catalog();
   std::vector<double> loads(catalog.clusters().size(), 0.0);
+  if (menus != nullptr && !(menus->config() == cdn::MatchingConfig{})) {
+    throw std::invalid_argument{
+        "place_background_over: menu cache must use the default MatchingConfig"};
+  }
 
   // Background traffic belongs to legacy single-CDN contracts: split evenly
   // across the base (non-city-centric) CDNs; each CDN load-balances its
@@ -103,8 +110,14 @@ std::vector<double> place_background_over(const Scenario& scenario,
     const double slice_mbps = slice_clients * group.bitrate_mbps;
     if (slice_mbps <= 0.0) continue;
     for (const cdn::CdnId cdn_id : base_cdns) {
-      const auto candidates =
-          cdn::candidates_for(catalog, scenario.mapping(), cdn_id, group.city);
+      std::vector<cdn::Candidate> built;
+      std::span<const cdn::Candidate> candidates;
+      if (menus != nullptr) {
+        candidates = menus->menu(cdn_id, group.city);
+      } else {
+        built = cdn::candidates_for(catalog, scenario.mapping(), cdn_id, group.city);
+        candidates = built;
+      }
       if (candidates.empty()) continue;
       const cdn::Candidate choice =
           cdn::pick_load_balanced(candidates, loads, slice_mbps);
@@ -208,22 +221,41 @@ DesignOutcome run_design_over(const Scenario& scenario, Design design,
     matching_config.max_candidates = policy.bid_count;
     matching_config.score_tolerance = config.menu_tolerance;
   }
+  // The shared cache can only serve this run when it was built for the exact
+  // menu the run needs; Omniscient bypasses menus entirely.
+  const cdn::CandidateMenuCache* menus =
+      (config.menus != nullptr && !policy.all_clusters &&
+       config.menus->config() == matching_config)
+          ? config.menus
+          : nullptr;
 
-  for (const broker::ClientGroup& group : groups) {
+  // Groups are independent: build each group's bids into its own vector and
+  // concatenate in group order, so the bid list (and therefore the solve) is
+  // identical whether the per-group work ran serially or on a pool.
+  const auto build_group_bids =
+      [&](const broker::ClientGroup& group) -> std::vector<broker::BidView> {
+    std::vector<broker::BidView> group_bids;
     for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
       if (cdn_entry.clusters.empty()) continue;
 
-      std::vector<cdn::Candidate> candidates;
+      std::vector<cdn::Candidate> built;
+      std::span<const cdn::Candidate> candidates;
       if (policy.all_clusters) {
-        candidates.reserve(cdn_entry.clusters.size());
+        built.reserve(cdn_entry.clusters.size());
         for (const cdn::ClusterId id : cdn_entry.clusters) {
           const cdn::Cluster& cluster = catalog.cluster(id);
-          candidates.push_back(cdn::Candidate{id, mapping.score(group.city, id.value()),
-                                              cluster.unit_cost(), cluster.capacity});
+          built.push_back(cdn::Candidate{id, mapping.score(group.city, id.value()),
+                                         cluster.unit_cost(), cluster.capacity});
         }
+        candidates = built;
       } else {
-        candidates = cdn::candidates_for(catalog, mapping, cdn_entry.id, group.city,
-                                         matching_config);
+        if (menus != nullptr) {
+          candidates = menus->menu(cdn_entry.id, group.city);
+        } else {
+          built = cdn::candidates_for(catalog, mapping, cdn_entry.id, group.city,
+                                      matching_config);
+          candidates = built;
+        }
         if (candidates.empty()) continue;
         if (policy.single_cluster) {
           // The CDN's answer today: its best-scoring cluster (network-
@@ -235,7 +267,8 @@ DesignOutcome run_design_over(const Scenario& scenario, Design design,
               [](const cdn::Candidate& a, const cdn::Candidate& b) {
                 return a.score < b.score;
               });
-          candidates = {*best};
+          built = {*best};
+          candidates = built;
         }
       }
 
@@ -286,8 +319,25 @@ DesignOutcome run_design_over(const Scenario& scenario, Design design,
                          outcome.background_loads[candidate.cluster.value()]);
             break;
         }
-        bids.push_back(bid);
+        group_bids.push_back(bid);
       }
+    }
+    return group_bids;
+  };
+
+  const std::size_t threads = core::ThreadPool::resolve(config.threads);
+  if (threads > 1 && groups.size() > 1) {
+    core::ThreadPool pool{threads};
+    auto per_group = core::parallel_map(
+        pool, groups.size(),
+        [&](std::size_t i) { return build_group_bids(groups[i]); });
+    for (const std::vector<broker::BidView>& group_bids : per_group) {
+      bids.insert(bids.end(), group_bids.begin(), group_bids.end());
+    }
+  } else {
+    for (const broker::ClientGroup& group : groups) {
+      const auto group_bids = build_group_bids(group);
+      bids.insert(bids.end(), group_bids.begin(), group_bids.end());
     }
   }
 

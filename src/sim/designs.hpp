@@ -25,6 +25,10 @@
 #include "broker/optimizer.hpp"
 #include "sim/scenario.hpp"
 
+namespace vdx::cdn {
+class CandidateMenuCache;
+}
+
 namespace vdx::sim {
 
 enum class Design : std::uint8_t {
@@ -77,6 +81,14 @@ struct RunConfig {
   /// varies this per epoch to reproduce today's re-decision churn.
   std::uint64_t qoe_epoch = 0;
   solver::SolveOptions solve;  // defaults to kAuto (MCF at trace scale)
+  /// Per-group bid construction runs on this many threads (0 =
+  /// hardware_concurrency, 1 = serial). Groups are independent and bids are
+  /// concatenated in group order, so output is byte-identical at any value.
+  std::size_t threads = 1;
+  /// Optional shared menu cache (non-owning). Used only when its
+  /// MatchingConfig matches the one this run needs — otherwise menus are
+  /// built on the fly exactly as before.
+  const cdn::CandidateMenuCache* menus = nullptr;
 };
 
 /// One placement: `clients` clients of `group` served by `cluster` at
@@ -104,9 +116,12 @@ struct DesignOutcome {
 [[nodiscard]] std::vector<double> place_background(const Scenario& scenario);
 
 /// Same, over an explicit background population (timeline epochs use the
-/// background sessions active at the epoch midpoint).
+/// background sessions active at the epoch midpoint). `menus` (optional,
+/// non-owning) must be built over the default MatchingConfig — the CDN's own
+/// internal load balancing uses full menus, not broker-trimmed ones.
 [[nodiscard]] std::vector<double> place_background_over(
-    const Scenario& scenario, std::span<const broker::ClientGroup> groups);
+    const Scenario& scenario, std::span<const broker::ClientGroup> groups,
+    const cdn::CandidateMenuCache* menus = nullptr);
 
 /// Runs one design end to end (background placement + bid construction +
 /// broker optimization) and returns the placements and final loads.

@@ -2,7 +2,25 @@
 
 #include <numeric>
 
+#include "cdn/menu_cache.hpp"
+#include "core/parallel.hpp"
+
 namespace vdx::sim {
+
+namespace {
+
+/// The menu config shared by every multi-cluster design that keeps the run's
+/// own bid_count (Multicluster-100, DynamicMulticluster, BestLookup,
+/// Marketplace). Designs with a different menu (Brokered, Multicluster-2,
+/// Omniscient) simply fail run_design's config check and build on the fly.
+cdn::MatchingConfig common_matching(const RunConfig& config) {
+  cdn::MatchingConfig matching;
+  matching.max_candidates = config.bid_count;
+  matching.score_tolerance = config.menu_tolerance;
+  return matching;
+}
+
+}  // namespace
 
 std::vector<Fig3Row> fig3_country_costs(const Scenario& scenario) {
   const auto& world = scenario.world();
@@ -44,58 +62,78 @@ net::AlternativeStats table1_alternatives(const Scenario& scenario, double toler
 
 std::vector<Table3Row> table3_design_comparison(const Scenario& scenario,
                                                 const RunConfig& config) {
-  std::vector<Table3Row> rows;
-  for (const Design design : kAllDesigns) {
-    const DesignOutcome outcome = run_design(scenario, design, config);
-    rows.push_back(Table3Row{design, compute_metrics(scenario, outcome)});
-  }
-  return rows;
+  // Design runs are independent: parallelize across designs (config.threads)
+  // and keep each run's inner loop serial. parallel_map collects rows in
+  // design order, so the table is identical at any thread count.
+  core::ThreadPool pool{core::ThreadPool::resolve(config.threads)};
+  const cdn::CandidateMenuCache menus{scenario.catalog(), scenario.mapping(),
+                                      scenario.world().cities().size(),
+                                      common_matching(config), &pool};
+  RunConfig inner = config;
+  inner.threads = 1;
+  inner.menus = &menus;
+  return core::parallel_map(pool, std::size(kAllDesigns), [&](std::size_t i) {
+    const Design design = kAllDesigns[i];
+    const DesignOutcome outcome = run_design(scenario, design, inner);
+    return Table3Row{design, compute_metrics(scenario, outcome)};
+  });
 }
 
 SettlementComparison settlement_comparison(const Scenario& scenario,
                                            const RunConfig& config) {
-  const DesignOutcome brokered = run_design(scenario, Design::kBrokered, config);
-  const DesignOutcome vdx = run_design(scenario, Design::kMarketplace, config);
+  core::ThreadPool pool{core::ThreadPool::resolve(config.threads)};
+  const cdn::CandidateMenuCache menus{scenario.catalog(), scenario.mapping(),
+                                      scenario.world().cities().size(),
+                                      common_matching(config), &pool};
+  RunConfig inner = config;
+  inner.threads = 1;
+  inner.menus = &menus;
+  const Design designs[] = {Design::kBrokered, Design::kMarketplace};
+  const auto outcomes = core::parallel_map(pool, std::size(designs), [&](std::size_t i) {
+    return run_design(scenario, designs[i], inner);
+  });
   SettlementComparison out;
-  out.brokered_cdn = per_cdn_accounts(scenario, brokered);
-  out.vdx_cdn = per_cdn_accounts(scenario, vdx);
-  out.brokered_country = per_country_accounts(scenario, brokered);
-  out.vdx_country = per_country_accounts(scenario, vdx);
+  out.brokered_cdn = per_cdn_accounts(scenario, outcomes[0]);
+  out.vdx_cdn = per_cdn_accounts(scenario, outcomes[1]);
+  out.brokered_country = per_country_accounts(scenario, outcomes[0]);
+  out.vdx_country = per_country_accounts(scenario, outcomes[1]);
   return out;
 }
 
 std::vector<Fig17Point> fig17_tradeoff(const Scenario& scenario,
                                        std::span<const double> cost_weights,
-                                       std::span<const Design> designs) {
-  std::vector<Fig17Point> points;
-  points.reserve(cost_weights.size() * designs.size());
-  for (const Design design : designs) {
-    for (const double wc : cost_weights) {
-      RunConfig config;
-      config.weights.cost = wc;
-      const DesignOutcome outcome = run_design(scenario, design, config);
-      const DesignMetrics metrics = compute_metrics(scenario, outcome);
-      points.push_back(
-          Fig17Point{design, wc, metrics.median_cost, metrics.median_distance_miles});
-    }
-  }
-  return points;
+                                       std::span<const Design> designs,
+                                       std::size_t threads) {
+  core::ThreadPool pool{core::ThreadPool::resolve(threads)};
+  const cdn::CandidateMenuCache menus{scenario.catalog(), scenario.mapping(),
+                                      scenario.world().cities().size(),
+                                      common_matching(RunConfig{}), &pool};
+  const std::size_t count = cost_weights.size() * designs.size();
+  return core::parallel_map(pool, count, [&](std::size_t i) {
+    const Design design = designs[i / cost_weights.size()];
+    const double wc = cost_weights[i % cost_weights.size()];
+    RunConfig config;
+    config.weights.cost = wc;
+    config.menus = &menus;
+    const DesignOutcome outcome = run_design(scenario, design, config);
+    const DesignMetrics metrics = compute_metrics(scenario, outcome);
+    return Fig17Point{design, wc, metrics.median_cost, metrics.median_distance_miles};
+  });
 }
 
 std::vector<Fig18Point> fig18_bid_count(const Scenario& scenario,
                                         std::span<const std::size_t> bid_counts,
-                                        double cost_weight) {
-  std::vector<Fig18Point> points;
-  points.reserve(bid_counts.size());
-  for (const std::size_t bids : bid_counts) {
+                                        double cost_weight, std::size_t threads) {
+  // Each point uses a different menu size, so no shared cache applies here.
+  core::ThreadPool pool{core::ThreadPool::resolve(threads)};
+  return core::parallel_map(pool, bid_counts.size(), [&](std::size_t i) {
     RunConfig config;
-    config.bid_count = bids;
+    config.bid_count = bid_counts[i];
     config.weights.cost = cost_weight;
     const DesignOutcome outcome = run_design(scenario, Design::kMarketplace, config);
     const DesignMetrics metrics = compute_metrics(scenario, outcome);
-    points.push_back(Fig18Point{bids, metrics.mean_cost, metrics.mean_score});
-  }
-  return points;
+    return Fig18Point{bid_counts[i], metrics.mean_cost, metrics.mean_score};
+  });
 }
 
 }  // namespace vdx::sim

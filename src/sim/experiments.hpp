@@ -65,9 +65,11 @@ struct Fig17Point {
   double median_cost = 0.0;
   double median_distance_miles = 0.0;
 };
+/// `threads` parallelizes across (design, weight) points (0 = hardware,
+/// 1 = serial); points come back in sweep order either way.
 [[nodiscard]] std::vector<Fig17Point> fig17_tradeoff(
     const Scenario& scenario, std::span<const double> cost_weights,
-    std::span<const Design> designs);
+    std::span<const Design> designs, std::size_t threads = 1);
 
 // ---- Figure 18: bid count vs average cost and score (Marketplace). ----
 // The paper's figure uses a performance-leaning broker (additional bids buy
@@ -79,6 +81,6 @@ struct Fig18Point {
 };
 [[nodiscard]] std::vector<Fig18Point> fig18_bid_count(
     const Scenario& scenario, std::span<const std::size_t> bid_counts,
-    double cost_weight = 0.3);
+    double cost_weight = 0.3, std::size_t threads = 1);
 
 }  // namespace vdx::sim

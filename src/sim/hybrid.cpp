@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "cdn/matching.hpp"
+#include "cdn/menu_cache.hpp"
+#include "core/parallel.hpp"
 
 namespace vdx::sim {
 
@@ -20,14 +22,22 @@ HybridOutcome run_hybrid_pricing(const Scenario& scenario, const RunConfig& conf
   menu.max_candidates = config.bid_count;
   menu.score_tolerance = config.menu_tolerance;
 
+  // Hybrid needs two menus per (CDN, city): the CDN's full internal view for
+  // the flat offer, and the broker-trimmed marketplace menu. Build both once.
+  core::ThreadPool pool{core::ThreadPool::resolve(config.threads)};
+  const std::size_t city_count = scenario.world().cities().size();
+  const cdn::CandidateMenuCache full_menus{catalog, mapping, city_count,
+                                           cdn::MatchingConfig{}, &pool};
+  const cdn::CandidateMenuCache trimmed_menus{catalog, mapping, city_count, menu,
+                                              &pool};
+
   std::vector<broker::BidView> bids;
   std::vector<std::uint8_t> is_flat;  // parallel to bids
 
   for (const broker::ClientGroup& group : groups) {
     for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
       if (cdn_entry.clusters.empty()) continue;
-      const auto candidates =
-          cdn::candidates_for(catalog, mapping, cdn_entry.id, group.city);
+      const auto candidates = full_menus.menu(cdn_entry.id, group.city);
       if (candidates.empty()) continue;
 
       // (a) High-but-flat: the traditional single-cluster offer at the
@@ -52,8 +62,8 @@ HybridOutcome run_hybrid_pricing(const Scenario& scenario, const RunConfig& conf
 
       // (b) Low-but-variable: the marketplace menu at per-cluster pricing,
       // capacity net of the CDN's background load.
-      for (const cdn::Candidate& candidate : cdn::candidates_for(
-               catalog, mapping, cdn_entry.id, group.city, menu)) {
+      for (const cdn::Candidate& candidate :
+           trimmed_menus.menu(cdn_entry.id, group.city)) {
         broker::BidView bid;
         bid.share = group.id;
         bid.cdn = cdn_entry.id;

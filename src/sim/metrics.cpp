@@ -17,14 +17,28 @@ double weighted_quantile(std::vector<std::pair<double, double>> value_weight,
   if (!(q >= 0.0 && q <= 1.0)) {
     throw std::invalid_argument{"weighted_quantile: q outside [0,1]"};
   }
+  // Negative weights have no quantile semantics; silently folding them into
+  // the total used to shift every threshold.
+  for (const auto& [value, weight] : value_weight) {
+    if (weight < 0.0) {
+      throw std::invalid_argument{"weighted_quantile: negative weight"};
+    }
+  }
+  // Zero-weight entries carry no mass but used to be able to win the final
+  // fallback (and, at q=0, the first-entry return). Drop them up front.
+  std::erase_if(value_weight, [](const auto& vw) { return vw.second == 0.0; });
+  if (value_weight.empty()) return 0.0;
+  std::sort(value_weight.begin(), value_weight.end());
+  // Accumulate in sorted order and compare against the same accumulation
+  // (total == final cumulative), so FP rounding cannot leave q=1 short of
+  // the threshold and fall off the end of the loop.
   double total = 0.0;
   for (const auto& [value, weight] : value_weight) total += weight;
-  if (value_weight.empty() || total <= 0.0) return 0.0;
-  std::sort(value_weight.begin(), value_weight.end());
+  const double threshold = total * q;
   double cumulative = 0.0;
   for (const auto& [value, weight] : value_weight) {
     cumulative += weight;
-    if (cumulative >= total * q) return value;
+    if (cumulative >= threshold) return value;
   }
   return value_weight.back().first;
 }

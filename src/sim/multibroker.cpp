@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "cdn/matching.hpp"
+#include "cdn/menu_cache.hpp"
+#include "core/parallel.hpp"
 
 namespace vdx::sim {
 
@@ -43,23 +45,34 @@ MultiBrokerResult run_multibroker(const Scenario& scenario,
   menu.max_candidates = config.run.bid_count;
   menu.score_tolerance = config.run.menu_tolerance;
 
+  // Every broker asks every CDN for the same menus; the brokers differ only
+  // in remaining capacity. Build the menus once, share read-only.
+  core::ThreadPool pool{core::ThreadPool::resolve(config.run.threads)};
+  const cdn::CandidateMenuCache menus{catalog, mapping,
+                                      scenario.world().cities().size(), menu, &pool};
+
   // Capacity each CDN has already committed to earlier brokers (Marketplace
   // only: Share + Accept give the CDN cross-broker visibility).
   std::vector<double> committed(catalog.clusters().size(), 0.0);
 
   std::vector<broker::ClientGroup> all_groups;
 
+  // The broker loop itself is inherently sequential — each solve consumes
+  // capacity the next broker must see — but a broker's per-group bid
+  // building is independent; it runs on the pool and concatenates in group
+  // order, keeping the bid list byte-identical to the serial path.
   for (std::size_t b = 0; b < config.broker_count; ++b) {
     const auto groups = broker::group_sessions(broker_sessions[b]);
     if (groups.empty()) continue;
     result.broker_clients[b] = broker::total_clients(groups);
 
-    std::vector<broker::BidView> bids;
-    for (const broker::ClientGroup& group : groups) {
+    const auto build_group_bids =
+        [&](std::size_t g) -> std::vector<broker::BidView> {
+      const broker::ClientGroup& group = groups[g];
+      std::vector<broker::BidView> group_bids;
       for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
         if (cdn_entry.clusters.empty()) continue;
-        for (const cdn::Candidate& candidate : cdn::candidates_for(
-                 catalog, mapping, cdn_entry.id, group.city, menu)) {
+        for (const cdn::Candidate& candidate : menus.menu(cdn_entry.id, group.city)) {
           broker::BidView bid;
           bid.share = group.id;
           bid.cdn = cdn_entry.id;
@@ -76,9 +89,16 @@ MultiBrokerResult run_multibroker(const Scenario& scenario,
             bid.capacity = candidate.capacity;
           }
           if (bid.capacity <= 0.0) continue;
-          bids.push_back(bid);
+          group_bids.push_back(bid);
         }
       }
+      return group_bids;
+    };
+
+    std::vector<broker::BidView> bids;
+    const auto per_group = core::parallel_map(pool, groups.size(), build_group_bids);
+    for (const std::vector<broker::BidView>& group_bids : per_group) {
+      bids.insert(bids.end(), group_bids.begin(), group_bids.end());
     }
 
     broker::OptimizerConfig optimizer;

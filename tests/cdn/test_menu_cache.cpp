@@ -1,0 +1,129 @@
+#include "cdn/menu_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+
+namespace vdx::cdn {
+namespace {
+
+class MenuCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new geo::World(geo::World::generate({}));
+    core::Rng rng{5};
+    catalog_ = new CdnCatalog(CdnCatalog::generate(*world_, {}, rng));
+    net::PathModel model{{}, 9};
+    core::Rng map_rng{6};
+    mapping_ = new net::MappingTable(net::MappingTable::measure(
+        *world_, catalog_->vantages(*world_), model, {}, map_rng));
+  }
+  static void TearDownTestSuite() {
+    delete mapping_;
+    delete catalog_;
+    delete world_;
+    mapping_ = nullptr;
+    catalog_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static const geo::World& world() { return *world_; }
+  static const CdnCatalog& catalog() { return *catalog_; }
+  static const net::MappingTable& mapping() { return *mapping_; }
+
+ private:
+  static geo::World* world_;
+  static CdnCatalog* catalog_;
+  static net::MappingTable* mapping_;
+};
+
+geo::World* MenuCacheTest::world_ = nullptr;
+CdnCatalog* MenuCacheTest::catalog_ = nullptr;
+net::MappingTable* MenuCacheTest::mapping_ = nullptr;
+
+void expect_menu_equal(std::span<const Candidate> cached,
+                       const std::vector<Candidate>& direct) {
+  ASSERT_EQ(cached.size(), direct.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].cluster, direct[i].cluster);
+    EXPECT_EQ(cached[i].score, direct[i].score);        // bit-exact
+    EXPECT_EQ(cached[i].unit_cost, direct[i].unit_cost);
+  }
+}
+
+TEST_F(MenuCacheTest, EverySlotMatchesCandidatesFor) {
+  MatchingConfig config;
+  config.score_tolerance = 1.35;
+  config.max_candidates = 100;
+  const CandidateMenuCache cache{catalog(), mapping(), world().cities().size(),
+                                 config};
+  for (const Cdn& cdn : catalog().cdns()) {
+    for (const geo::City& city : world().cities()) {
+      expect_menu_equal(cache.menu(cdn.id, city.id),
+                        candidates_for(catalog(), mapping(), cdn.id, city.id,
+                                       config));
+    }
+  }
+}
+
+TEST_F(MenuCacheTest, ParallelBuildIsIdenticalToSerialBuild) {
+  const MatchingConfig config;  // defaults
+  const std::size_t cities = world().cities().size();
+  const CandidateMenuCache serial{catalog(), mapping(), cities, config};
+  core::ThreadPool pool{8};
+  const CandidateMenuCache parallel{catalog(), mapping(), cities, config, &pool};
+  ASSERT_EQ(serial.total_candidates(), parallel.total_candidates());
+  for (const Cdn& cdn : catalog().cdns()) {
+    for (const geo::City& city : world().cities()) {
+      const auto a = serial.menu(cdn.id, city.id);
+      const auto b = parallel.menu(cdn.id, city.id);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cluster, b[i].cluster);
+        EXPECT_EQ(a[i].score, b[i].score);
+        EXPECT_EQ(a[i].unit_cost, b[i].unit_cost);
+      }
+    }
+  }
+}
+
+TEST_F(MenuCacheTest, RemembersItsConfig) {
+  MatchingConfig config;
+  config.max_candidates = 3;
+  const CandidateMenuCache cache{catalog(), mapping(), world().cities().size(),
+                                 config};
+  EXPECT_TRUE(cache.config() == config);
+  MatchingConfig other;
+  other.max_candidates = 4;
+  EXPECT_FALSE(cache.config() == other);
+  EXPECT_EQ(cache.cdn_count(), catalog().cdns().size());
+  EXPECT_EQ(cache.city_count(), world().cities().size());
+  EXPECT_GT(cache.total_candidates(), 0u);
+}
+
+TEST_F(MenuCacheTest, OutOfRangeLookupThrows) {
+  const CandidateMenuCache cache{catalog(), mapping(), world().cities().size(),
+                                 MatchingConfig{}};
+  EXPECT_THROW((void)cache.menu(CdnId{999}, world().cities()[0].id),
+               std::out_of_range);
+  EXPECT_THROW((void)cache.menu(catalog().cdns()[0].id,
+                                geo::CityId{static_cast<std::uint32_t>(
+                                    world().cities().size())}),
+               std::out_of_range);
+}
+
+TEST_F(MenuCacheTest, MatchingConfigEqualityComparesAllFields) {
+  MatchingConfig a;
+  MatchingConfig b;
+  EXPECT_TRUE(a == b);
+  b.score_tolerance = a.score_tolerance + 0.1;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.max_candidates = a.max_candidates + 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace vdx::cdn

@@ -1,0 +1,145 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vdx::core {
+namespace {
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(0), ThreadPool::hardware_threads());
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+}
+
+TEST(ThreadPool, SingleThreadSpawnsNoWorkers) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ForIndexedRunsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.for_indexed(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ForIndexedZeroCountIsNoop) {
+  ThreadPool pool{4};
+  bool touched = false;
+  pool.for_indexed(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossJobs) {
+  ThreadPool pool{3};
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_indexed(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ParallelMap, CollectsResultsInInputOrder) {
+  ThreadPool pool{8};
+  const auto squares =
+      parallel_map(pool, 500, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 500u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, MatchesSerialByteForByte) {
+  const auto fn = [](std::size_t i) {
+    // Deliberately FP-heavy: same slot, same operations, same rounding.
+    double x = static_cast<double>(i) * 0.1;
+    for (int k = 0; k < 50; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+  ThreadPool serial{1};
+  ThreadPool parallel{8};
+  const auto a = parallel_map(serial, 300, fn);
+  const auto b = parallel_map(parallel, 300, fn);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "slot " << i;  // exact, not near
+  }
+}
+
+TEST(ParallelMap, SupportsMoveOnlyResults) {
+  ThreadPool pool{4};
+  const auto ptrs = parallel_map(
+      pool, 64, [](std::size_t i) { return std::make_unique<std::size_t>(i); });
+  for (std::size_t i = 0; i < ptrs.size(); ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(ThreadPool, RethrowsSmallestFailingIndex) {
+  ThreadPool pool{4};
+  // Several indices fail; the contract picks the smallest one regardless of
+  // which thread hit it first.
+  const auto body = [](std::size_t i) {
+    if (i == 3 || i == 7 || i == 11) {
+      throw std::runtime_error{"boom at " + std::to_string(i)};
+    }
+  };
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.for_indexed(64, body);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom at 3");
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotSkipOtherIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.for_indexed(64,
+                                [&](std::size_t i) {
+                                  hits[i].fetch_add(1);
+                                  if (i == 5) throw std::runtime_error{"x"};
+                                }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SerialPathPropagatesExceptionsDirectly) {
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.for_indexed(
+                   8, [](std::size_t i) {
+                     if (i == 2) throw std::invalid_argument{"serial"};
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ReentrantSubmissionThrowsLogicError) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.for_indexed(4,
+                                [&](std::size_t) {
+                                  pool.for_indexed(4, [](std::size_t) {});
+                                }),
+               std::logic_error);
+}
+
+TEST(ParallelForIndexed, WritesThroughReferences) {
+  ThreadPool pool{4};
+  std::vector<double> out(128, 0.0);
+  parallel_for_indexed(pool, out.size(),
+                       [&](std::size_t i) { out[i] = static_cast<double>(i) * 2.0; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace vdx::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <set>
 
 namespace vdx::market {
 namespace {
@@ -86,6 +87,79 @@ TEST_F(FederationTest, RejectsZeroRegions) {
   config.region_count = 0;
   EXPECT_THROW((void)run_federated_marketplace(scenario(), config),
                std::invalid_argument);
+}
+
+TEST_F(FederationTest, SeedsAreDistinctAndStartAtTopDemand) {
+  const auto seeds = pick_region_seeds(scenario().world(), 6);
+  ASSERT_EQ(seeds.size(), 6u);
+  std::set<geo::CityId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+  // The first seed is the highest-demand city (deterministic anchor).
+  double top = -1.0;
+  geo::CityId top_city;
+  for (const geo::City& city : scenario().world().cities()) {
+    if (city.demand_weight > top) {
+      top = city.demand_weight;
+      top_city = city.id;
+    }
+  }
+  EXPECT_EQ(seeds.front(), top_city);
+}
+
+TEST_F(FederationTest, SeedCountClampsToCityCountWithoutDuplicates) {
+  // Regression: asking for more regions than cities used to keep appending
+  // duplicate seeds (the farthest-point loop had nothing fresh to pick), so
+  // several "regions" collapsed onto the same city while the result still
+  // claimed the requested count.
+  const std::size_t cities = scenario().world().cities().size();
+  const auto seeds = pick_region_seeds(scenario().world(), cities + 50);
+  ASSERT_EQ(seeds.size(), cities);
+  std::set<geo::CityId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+TEST_F(FederationTest, ResultRecordsEffectiveRegionCount) {
+  const std::size_t cities = scenario().world().cities().size();
+  FederationConfig config;
+  config.region_count = cities + 10;
+  const FederationResult result = run_federated_marketplace(scenario(), config);
+  EXPECT_EQ(result.region_count, cities);  // clamped, not the requested count
+  EXPECT_EQ(result.region_city_counts.size(), cities);
+  for (const std::size_t count : result.region_city_counts) EXPECT_GT(count, 0u);
+  // One-city regions rarely contain a usable cluster menu: the global
+  // fallback serves those clients, and its bids are counted separately.
+  EXPECT_GT(result.fallback_clients, 0.0);
+  EXPECT_GT(result.fallback_bids, 0u);
+}
+
+TEST_F(FederationTest, GlobalRegionNeedsNoFallback) {
+  FederationConfig config;
+  config.region_count = 1;
+  const FederationResult result = run_federated_marketplace(scenario(), config);
+  EXPECT_EQ(result.fallback_clients, 0.0);
+  EXPECT_EQ(result.fallback_bids, 0u);
+}
+
+TEST_F(FederationTest, ParallelRegionsMatchSerialExactly) {
+  FederationConfig serial;
+  serial.region_count = 8;
+  serial.threads = 1;
+  FederationConfig parallel = serial;
+  parallel.threads = 8;
+  const FederationResult a = run_federated_marketplace(scenario(), serial);
+  const FederationResult b = run_federated_marketplace(scenario(), parallel);
+  EXPECT_EQ(a.region_count, b.region_count);
+  EXPECT_EQ(a.region_city_counts, b.region_city_counts);
+  EXPECT_EQ(a.fallback_clients, b.fallback_clients);
+  EXPECT_EQ(a.fallback_bids, b.fallback_bids);
+  EXPECT_EQ(a.largest_instance_options, b.largest_instance_options);
+  // Metrics are pure functions of the merged placements: bit-exact.
+  EXPECT_EQ(a.metrics.median_cost, b.metrics.median_cost);
+  EXPECT_EQ(a.metrics.median_score, b.metrics.median_score);
+  EXPECT_EQ(a.metrics.median_distance_miles, b.metrics.median_distance_miles);
+  EXPECT_EQ(a.metrics.mean_cost, b.metrics.mean_cost);
+  EXPECT_EQ(a.metrics.mean_score, b.metrics.mean_score);
+  EXPECT_EQ(a.metrics.broker_traffic_mbps, b.metrics.broker_traffic_mbps);
 }
 
 }  // namespace

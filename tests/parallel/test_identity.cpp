@@ -1,0 +1,278 @@
+// Parallel-vs-serial byte-identity acceptance (DESIGN.md §8).
+//
+// The determinism contract: with the same seed, every placement, journal
+// line, trace line, and integer counter is byte-identical at any --threads
+// value. Only wall-clock histograms (`*seconds*`) and the FP-sum-order
+// diagnostic `broker.optimize.overflow_mbps` are exempt; the metrics-JSONL
+// comparison below filters exactly those lines and nothing else.
+//
+// Override the parallel thread count with VDX_TEST_THREADS (default 8); the
+// TSan CI job runs this suite to flush data races out of the shared-cache
+// read paths.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cdn/menu_cache.hpp"
+#include "core/parallel.hpp"
+#include "market/exchange.hpp"
+#include "market/federation.hpp"
+#include "sim/experiments.hpp"
+#include "sim/multibroker.hpp"
+#include "obs/observe.hpp"
+#include "obs/tracer.hpp"
+
+namespace vdx {
+namespace {
+
+std::size_t test_threads() {
+  if (const char* env = std::getenv("VDX_TEST_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) return static_cast<std::size_t>(parsed);
+  }
+  return 8;
+}
+
+/// Drops the metric lines the determinism contract exempts: wall-clock
+/// timings and the one FP-accumulation-order diagnostic.
+std::string filter_exempt_lines(const std::string& jsonl) {
+  std::istringstream in{jsonl};
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("seconds") != std::string::npos) continue;
+    if (line.find("overflow_mbps") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void expect_outcomes_identical(const sim::DesignOutcome& a,
+                               const sim::DesignOutcome& b) {
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].group, b.placements[i].group) << "slot " << i;
+    EXPECT_EQ(a.placements[i].cluster, b.placements[i].cluster) << "slot " << i;
+    EXPECT_EQ(a.placements[i].clients, b.placements[i].clients) << "slot " << i;
+    EXPECT_EQ(a.placements[i].price, b.placements[i].price) << "slot " << i;
+    EXPECT_EQ(a.placements[i].score, b.placements[i].score) << "slot " << i;
+  }
+  EXPECT_EQ(a.cluster_loads, b.cluster_loads);
+  EXPECT_EQ(a.background_loads, b.background_loads);
+}
+
+void expect_metrics_identical(const sim::DesignMetrics& a,
+                              const sim::DesignMetrics& b) {
+  EXPECT_EQ(a.median_cost, b.median_cost);
+  EXPECT_EQ(a.median_score, b.median_score);
+  EXPECT_EQ(a.median_distance_miles, b.median_distance_miles);
+  EXPECT_EQ(a.median_load, b.median_load);
+  EXPECT_EQ(a.congested_fraction, b.congested_fraction);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.mean_score, b.mean_score);
+  EXPECT_EQ(a.broker_traffic_mbps, b.broker_traffic_mbps);
+}
+
+class ParallelIdentityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 4000;
+    config.seed = 47;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+
+ private:
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* ParallelIdentityTest::scenario_ = nullptr;
+
+TEST_F(ParallelIdentityTest, DesignRunsAreByteIdenticalAcrossThreadCounts) {
+  for (const sim::Design design :
+       {sim::Design::kBrokered, sim::Design::kMarketplace,
+        sim::Design::kBestLookup}) {
+    sim::RunConfig serial;
+    serial.threads = 1;
+    sim::RunConfig parallel;
+    parallel.threads = test_threads();
+    expect_outcomes_identical(sim::run_design(scenario(), design, serial),
+                              sim::run_design(scenario(), design, parallel));
+  }
+}
+
+TEST_F(ParallelIdentityTest, SharedMenuCacheDoesNotChangeOutcomes) {
+  // The cache-eligibility check must make cached and uncached paths
+  // indistinguishable: menus come from the same candidates_for.
+  sim::RunConfig plain;
+  cdn::MatchingConfig matching;
+  matching.max_candidates = plain.bid_count;
+  matching.score_tolerance = plain.menu_tolerance;
+  const cdn::CandidateMenuCache menus{scenario().catalog(), scenario().mapping(),
+                                      scenario().world().cities().size(),
+                                      matching};
+  sim::RunConfig cached = plain;
+  cached.menus = &menus;
+  for (const sim::Design design :
+       {sim::Design::kMarketplace, sim::Design::kDynamicMulticluster}) {
+    expect_outcomes_identical(sim::run_design(scenario(), design, plain),
+                              sim::run_design(scenario(), design, cached));
+  }
+}
+
+TEST_F(ParallelIdentityTest, Table3IsByteIdenticalAcrossThreadCounts) {
+  sim::RunConfig serial;
+  serial.threads = 1;
+  sim::RunConfig parallel;
+  parallel.threads = test_threads();
+  const auto a = sim::table3_design_comparison(scenario(), serial);
+  const auto b = sim::table3_design_comparison(scenario(), parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].design, b[i].design);
+    expect_metrics_identical(a[i].metrics, b[i].metrics);
+  }
+}
+
+TEST_F(ParallelIdentityTest, Fig17SweepIsByteIdenticalAcrossThreadCounts) {
+  const double weights[] = {0.5, 2.0};
+  const sim::Design designs[] = {sim::Design::kBrokered,
+                                 sim::Design::kMarketplace};
+  const auto a = sim::fig17_tradeoff(scenario(), weights, designs, 1);
+  const auto b =
+      sim::fig17_tradeoff(scenario(), weights, designs, test_threads());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].design, b[i].design);
+    EXPECT_EQ(a[i].cost_weight, b[i].cost_weight);
+    EXPECT_EQ(a[i].median_cost, b[i].median_cost);
+    EXPECT_EQ(a[i].median_distance_miles, b[i].median_distance_miles);
+  }
+}
+
+TEST_F(ParallelIdentityTest, MultiBrokerIsByteIdenticalAcrossThreadCounts) {
+  for (const sim::Design design :
+       {sim::Design::kBestLookup, sim::Design::kMarketplace}) {
+    sim::MultiBrokerConfig serial;
+    serial.design = design;
+    serial.broker_count = 3;
+    serial.run.threads = 1;
+    sim::MultiBrokerConfig parallel = serial;
+    parallel.run.threads = test_threads();
+    const auto a = sim::run_multibroker(scenario(), serial);
+    const auto b = sim::run_multibroker(scenario(), parallel);
+    EXPECT_EQ(a.broker_clients, b.broker_clients);
+    EXPECT_EQ(a.overbooked_clusters, b.overbooked_clusters);
+    expect_metrics_identical(a.metrics, b.metrics);
+  }
+}
+
+/// One fully observed federated run; everything exported to strings.
+struct ObservedFederation {
+  market::FederationResult result;
+  std::string metrics_jsonl;
+  std::string trace_jsonl;
+  std::string journal_jsonl;
+};
+
+ObservedFederation observed_federation(const sim::Scenario& scenario,
+                                       std::size_t threads) {
+  obs::MetricsRegistry metrics;
+  obs::SpanTracer tracer;
+  obs::RunJournal journal;
+  market::FederationConfig config;
+  config.region_count = 8;
+  config.threads = threads;
+  config.obs = obs::Observer{&metrics, &tracer, &journal};
+  ObservedFederation run;
+  run.result = market::run_federated_marketplace(scenario, config);
+  std::ostringstream m;
+  metrics.write_jsonl(m);
+  run.metrics_jsonl = m.str();
+  std::ostringstream t;
+  tracer.write_jsonl(t);
+  run.trace_jsonl = t.str();
+  std::ostringstream j;
+  journal.write_jsonl(j);
+  run.journal_jsonl = j.str();
+  return run;
+}
+
+TEST_F(ParallelIdentityTest, FederationExportsAreByteIdenticalAcrossThreads) {
+  const ObservedFederation serial = observed_federation(scenario(), 1);
+  const ObservedFederation parallel =
+      observed_federation(scenario(), test_threads());
+
+  EXPECT_EQ(serial.result.region_city_counts,
+            parallel.result.region_city_counts);
+  EXPECT_EQ(serial.result.fallback_bids, parallel.result.fallback_bids);
+  EXPECT_EQ(serial.result.largest_instance_options,
+            parallel.result.largest_instance_options);
+  expect_metrics_identical(serial.result.metrics, parallel.result.metrics);
+
+  // Journal and trace are recorded by the coordinator in region order:
+  // byte-identical, no filtering allowed.
+  EXPECT_FALSE(serial.journal_jsonl.empty());
+  EXPECT_EQ(serial.journal_jsonl, parallel.journal_jsonl);
+  EXPECT_FALSE(serial.trace_jsonl.empty());
+  EXPECT_EQ(serial.trace_jsonl, parallel.trace_jsonl);
+
+  // Metrics: identical except the documented exemptions.
+  EXPECT_FALSE(serial.metrics_jsonl.empty());
+  EXPECT_EQ(filter_exempt_lines(serial.metrics_jsonl),
+            filter_exempt_lines(parallel.metrics_jsonl));
+  // The filter must not have thrown everything away.
+  EXPECT_NE(filter_exempt_lines(serial.metrics_jsonl).find("federation.region_solves"),
+            std::string::npos);
+}
+
+/// Chaos runs on pool worker threads (the bench/chaos_sweep shape): each
+/// sweep point owns its exchange and observer; results must match a direct
+/// main-thread run byte for byte, drop rate 0.1 included.
+TEST_F(ParallelIdentityTest, ChaosExchangeOnWorkerThreadsIsByteIdentical) {
+  const auto observed_chaos = [&](double drop_rate) {
+    obs::MetricsRegistry metrics;
+    obs::SpanTracer tracer;
+    obs::RunJournal journal;
+    market::ExchangeConfig config;
+    config.chaos.faults.drop_rate = drop_rate;
+    config.chaos.faults.seed = 0x5EED;
+    config.obs = obs::Observer{&metrics, &tracer, &journal};
+    market::VdxExchange exchange{scenario(), config};
+    (void)exchange.run(3);
+    std::ostringstream t;
+    tracer.write_jsonl(t);
+    std::ostringstream j;
+    journal.write_jsonl(j);
+    std::ostringstream m;
+    metrics.write_jsonl(m);
+    return std::array<std::string, 3>{t.str(), j.str(), m.str()};
+  };
+
+  const auto serial = observed_chaos(0.1);
+  const double rates[] = {0.05, 0.1, 0.2};
+  core::ThreadPool pool{test_threads()};
+  const auto parallel = core::parallel_map(
+      pool, 3, [&](std::size_t i) { return observed_chaos(rates[i]); });
+
+  EXPECT_FALSE(serial[0].empty());
+  EXPECT_EQ(serial[0], parallel[1][0]);  // trace
+  EXPECT_EQ(serial[1], parallel[1][1]);  // journal
+  EXPECT_EQ(filter_exempt_lines(serial[2]),
+            filter_exempt_lines(parallel[1][2]));  // metrics
+  // Distinct fault profiles really produced distinct runs.
+  EXPECT_NE(parallel[0][1], parallel[2][1]);
+}
+
+}  // namespace
+}  // namespace vdx

@@ -146,6 +146,41 @@ TEST(WeightedQuantile, EdgesAndMonotone) {
   EXPECT_DOUBLE_EQ(weighted_quantile({}, 0.5), 0.0);
 }
 
+TEST(WeightedQuantile, RejectsNegativeWeights) {
+  // Regression: negative weights used to be folded silently into the total,
+  // shifting every threshold. They have no quantile semantics.
+  EXPECT_THROW((void)weighted_quantile({{1.0, -1.0}, {2.0, 2.0}}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)weighted_median({{1.0, -0.001}}), std::invalid_argument);
+}
+
+TEST(WeightedQuantile, ZeroWeightEntriesCarryNoMass) {
+  // Regression: a trailing zero-weight entry used to win the q=1 fallback
+  // (and a leading one the q=0 return) despite carrying no mass.
+  const std::vector<std::pair<double, double>> data{
+      {3.0, 0.1}, {2.0, 0.2}, {1.0, 0.7}, {999.0, 0.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile({{-999.0, 0.0}, {5.0, 1.0}}, 0.0), 5.0);
+  // All-zero mass behaves like empty input.
+  EXPECT_DOUBLE_EQ(weighted_quantile({{1.0, 0.0}, {2.0, 0.0}}, 0.5), 0.0);
+}
+
+TEST(WeightedQuantile, ExactAtPinnedQuantiles) {
+  // Regression: `cumulative >= total * q` was FP-fragile at q -> 1 when the
+  // weights don't sum exactly (0.1 + 0.2 + 0.7 != 1.0 in binary). The total
+  // is now accumulated in sorted order so the final cumulative equals it
+  // bit-for-bit.
+  const std::vector<std::pair<double, double>> data{
+      {3.0, 0.1}, {2.0, 0.2}, {1.0, 0.7}};
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(data, 1.0), 3.0);
+  // Many tiny equal weights: q=1 must still land on the max value.
+  std::vector<std::pair<double, double>> fine;
+  for (int i = 0; i < 1000; ++i) fine.emplace_back(static_cast<double>(i), 0.001);
+  EXPECT_DOUBLE_EQ(weighted_quantile(fine, 1.0), 999.0);
+}
+
 TEST_F(MetricsTest, DistributionDecilesAreMonotoneAndBracketMedian) {
   const DesignOutcome outcome = run_design(scenario(), Design::kMarketplace);
   const DistributionSummary cdf = design_distributions(scenario(), outcome);

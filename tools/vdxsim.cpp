@@ -97,6 +97,9 @@ sim::RunConfig run_config_from(Flags& flags) {
   config.weights.cost = flags.number("wc", config.weights.cost);
   config.bid_count = static_cast<std::size_t>(flags.number("bids", 100));
   config.menu_tolerance = flags.number("menu-tolerance", config.menu_tolerance);
+  // 0 = hardware_concurrency (the CLI default), 1 = legacy serial. Output is
+  // byte-identical at any value (DESIGN.md §8).
+  config.threads = static_cast<std::size_t>(flags.number("threads", 0));
   return config;
 }
 
@@ -335,6 +338,8 @@ int cmd_federation(Flags& flags) {
   market::FederationConfig config;
   config.region_count = static_cast<std::size_t>(flags.number("regions", 4));
   config.run = run_config_from(flags);
+  config.threads = config.run.threads;  // --threads parallelizes region solves
+  config.run.threads = 1;
   const market::FederationResult result =
       market::run_federated_marketplace(scenario, config);
   std::printf("regions=%zu largest-instance=%zu bids optimize=%.2fs "
@@ -463,6 +468,9 @@ void print_help() {
       "scenario flags (all commands): --sessions N --seed S --background X\n"
       "                               --city-cdns N\n"
       "optimizer flags:               --wp W --wc W --bids K --menu-tolerance T\n"
+      "parallelism:                   --threads N (0 = all cores, the default;\n"
+      "                               1 = serial; same seed gives byte-identical\n"
+      "                               output at any N)\n"
       "output flags:                  --csv FILE (where the command prints a table)\n");
 }
 
