@@ -61,6 +61,21 @@ OptimizeResult optimize(std::span<const ClientGroup> groups,
     usable_bid.push_back(b);
   }
 
+  // Unbid groups: validate() rejects a populated group with no option. When
+  // the caller opted in, zero those groups' counts instead — option indices
+  // are untouched, the groups simply place nobody this round.
+  std::size_t unbid_groups = 0;
+  if (config.allow_unbid_groups) {
+    std::vector<bool> has_bid(problem.group_counts.size(), false);
+    for (const solver::Option& option : problem.options) has_bid[option.group] = true;
+    for (std::size_t g = 0; g < problem.group_counts.size(); ++g) {
+      if (problem.group_counts[g] > 0.0 && !has_bid[g]) {
+        problem.group_counts[g] = 0.0;
+        ++unbid_groups;
+      }
+    }
+  }
+
   problem.validate();  // throws if a populated group ended up with no bids
 
   solver::SolveOptions solve = config.solve;
@@ -83,6 +98,10 @@ OptimizeResult optimize(std::span<const ClientGroup> groups,
     metrics.counter("broker.optimize.allocations")
         .add(static_cast<double>(result.allocations.size()));
     metrics.counter("broker.optimize.overflow_mbps").add(result.overflow_mbps);
+    if (unbid_groups > 0) {
+      metrics.counter("broker.optimize.unbid_groups")
+          .add(static_cast<double>(unbid_groups));
+    }
   }
   return result;
 }

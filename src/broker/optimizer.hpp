@@ -63,13 +63,20 @@ struct OptimizerConfig {
   /// Optional reputation system: bids from badly-reputed CDNs have their
   /// price/score inflated by the penalty multiplier before optimizing.
   const ReputationSystem* reputation = nullptr;
+  /// Incremental feeds (streaming timelines, mid-round load updates) can
+  /// momentarily present groups no CDN has bid on yet. With this set, such
+  /// groups are left unserved — reported via broker.optimize.unbid_groups —
+  /// instead of the call throwing.
+  bool allow_unbid_groups = false;
   /// Observability sinks (no-op by default); forwarded into the solver.
   obs::Observer obs;
 };
 
 /// Solves the assignment of groups to bids. Every group must have at least
-/// one bid; throws std::invalid_argument otherwise. Capacity is shared by
-/// bids naming the same cluster (committed capacity = max over those bids).
+/// one bid; throws std::invalid_argument otherwise (unless
+/// `allow_unbid_groups` is set, in which case unbid groups stay unserved).
+/// Capacity is shared by bids naming the same cluster (committed capacity =
+/// max over those bids).
 [[nodiscard]] OptimizeResult optimize(std::span<const ClientGroup> groups,
                                       std::span<const BidView> bids,
                                       const OptimizerConfig& config = {});

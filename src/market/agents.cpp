@@ -30,6 +30,13 @@ VdxCdnAgent::VdxCdnAgent(const sim::Scenario& scenario, cdn::CdnId cdn,
   }
 }
 
+void VdxCdnAgent::set_background_loads(std::span<const double> background_loads) {
+  if (background_loads.size() != scenario_.catalog().clusters().size()) {
+    throw std::invalid_argument{"VdxCdnAgent: background loads arity mismatch"};
+  }
+  background_loads_.assign(background_loads.begin(), background_loads.end());
+}
+
 void VdxCdnAgent::handle_share(std::span<const proto::ShareMessage> shares) {
   shares_.assign(shares.begin(), shares.end());
   city_of_share_.clear();
@@ -113,10 +120,19 @@ VdxBrokerAgent::VdxBrokerAgent(const sim::Scenario& scenario, BrokerAgentConfig 
       config_(config),
       reputation_(scenario.catalog().cdns().size()) {}
 
+void VdxBrokerAgent::set_demand(std::vector<broker::ClientGroup> groups) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].id.value() != g) {
+      throw std::invalid_argument{"set_demand: group ids must be dense and in order"};
+    }
+  }
+  demand_ = std::move(groups);
+}
+
 std::vector<proto::ShareMessage> VdxBrokerAgent::gather() {
   std::vector<proto::ShareMessage> shares;
-  shares.reserve(scenario_.broker_groups().size());
-  for (const broker::ClientGroup& group : scenario_.broker_groups()) {
+  shares.reserve(demand().size());
+  for (const broker::ClientGroup& group : demand()) {
     proto::ShareMessage share;
     share.share_id = group.id.value();
     share.location = group.city.value();
@@ -131,7 +147,7 @@ std::vector<proto::ShareMessage> VdxBrokerAgent::gather() {
 
 std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
     std::span<const proto::BidMessage> bids) {
-  const auto groups = scenario_.broker_groups();
+  const auto groups = demand();
 
   ++optimize_round_;
   stale_substituted_ = 0;
@@ -227,6 +243,7 @@ std::vector<proto::AcceptMessage> VdxBrokerAgent::optimize(
   optimizer.weights = config_.weights;
   optimizer.solve = config_.solve;
   optimizer.obs = config_.obs;
+  optimizer.allow_unbid_groups = config_.allow_unbid_groups;
   if (config_.enable_reputation) optimizer.reputation = &reputation_;
   const broker::OptimizeResult result = broker::optimize(groups, views, optimizer);
 

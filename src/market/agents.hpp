@@ -54,6 +54,11 @@ class VdxCdnAgent final : public proto::CdnParticipant {
   /// §6.3 switches.
   void set_failed(bool failed) noexcept { failed_ = failed; }
   void set_fraudulent(bool fraudulent) noexcept { fraudulent_ = fraudulent; }
+
+  /// Replaces the background load vector (Mbps per cluster), effective from
+  /// the next announce(). Incremental feeds — a streaming timeline moving
+  /// the exchange between epochs — update this as ambient traffic shifts.
+  void set_background_loads(std::span<const double> background_loads);
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] bool fraudulent() const noexcept { return fraudulent_; }
 
@@ -95,6 +100,10 @@ struct BrokerAgentConfig {
   bool enable_stale_bids = false;
   /// Cached bids older than this many rounds are evicted, not substituted.
   std::size_t stale_ttl_rounds = 2;
+  /// Tolerate demand groups no CDN bid on (see
+  /// broker::OptimizerConfig::allow_unbid_groups). Incremental demand can
+  /// momentarily present groups every CDN is too loaded to bid for.
+  bool allow_unbid_groups = false;
   /// Capacity haircut on substituted stale bids (the CDN's spare capacity
   /// may have moved since it was announced).
   double stale_capacity_fraction = 0.5;
@@ -120,6 +129,19 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
 
   [[nodiscard]] const broker::ReputationSystem& reputation() const noexcept {
     return reputation_;
+  }
+
+  /// Overrides the demand Gathered each round (default: the scenario's
+  /// static broker groups). Group ids must be dense and equal to the group's
+  /// index, exactly as broker::group_sessions produces them. An empty vector
+  /// is a valid override (nobody watching right now).
+  void set_demand(std::vector<broker::ClientGroup> groups);
+
+  /// The demand the next gather()/optimize() round will see: the
+  /// set_demand override when present, the scenario's groups otherwise.
+  [[nodiscard]] std::span<const broker::ClientGroup> demand() const noexcept {
+    return demand_ ? std::span<const broker::ClientGroup>{*demand_}
+                   : scenario_.broker_groups();
   }
 
   /// Winning allocations of the last Optimize (for metric computation):
@@ -155,6 +177,7 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
   const sim::Scenario& scenario_;
   BrokerAgentConfig config_;
   broker::ReputationSystem reputation_;
+  std::optional<std::vector<broker::ClientGroup>> demand_;
   std::vector<sim::Placement> placements_;
   std::vector<double> awarded_by_cdn_;
   /// Stale-bid cache (ordered so degraded-round substitution is

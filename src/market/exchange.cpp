@@ -134,7 +134,7 @@ RoundReport VdxExchange::run_round() {
 
   // Metrics from the broker's placements.
   const auto placements = broker_agent_->placements();
-  const auto groups = scenario_.broker_groups();
+  const auto groups = broker_agent_->demand();
   last_cluster_loads_ = background_loads_;
   double clients = 0.0;
   double score_sum = 0.0;
@@ -218,6 +218,18 @@ void VdxExchange::set_fraudulent(cdn::CdnId cdn, bool fraudulent) {
     throw std::out_of_range{"VdxExchange::set_fraudulent: unknown CDN"};
   }
   cdn_agents_[cdn.value()]->set_fraudulent(fraudulent);
+}
+
+void VdxExchange::set_active_load(std::span<const broker::ClientGroup> groups,
+                                  std::span<const double> background_loads) {
+  if (background_loads.size() != scenario_.catalog().clusters().size()) {
+    throw std::invalid_argument{"VdxExchange::set_active_load: loads arity mismatch"};
+  }
+  broker_agent_->set_demand({groups.begin(), groups.end()});
+  background_loads_.assign(background_loads.begin(), background_loads.end());
+  for (const auto& agent : cdn_agents_) {
+    agent->set_background_loads(background_loads_);
+  }
 }
 
 const broker::ReputationSystem& VdxExchange::reputation() const {

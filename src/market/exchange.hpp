@@ -89,6 +89,16 @@ class VdxExchange {
   void set_failed(cdn::CdnId cdn, bool failed);
   void set_fraudulent(cdn::CdnId cdn, bool fraudulent);
 
+  /// Feeds the exchange an incremental load snapshot, effective from the
+  /// next round: `groups` replaces the broker's Gathered demand (ids dense,
+  /// equal to index — what broker::group_sessions emits) and
+  /// `background_loads` (Mbps per cluster) replaces the ambient traffic the
+  /// CDN agents net out of their spare capacity. A streaming timeline calls
+  /// this between epochs so each decision round prices the *current*
+  /// audience, not the whole-trace snapshot.
+  void set_active_load(std::span<const broker::ClientGroup> groups,
+                       std::span<const double> background_loads);
+
   [[nodiscard]] const broker::ReputationSystem& reputation() const;
   [[nodiscard]] const sim::Scenario& scenario() const noexcept { return scenario_; }
 

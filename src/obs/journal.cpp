@@ -11,10 +11,11 @@ namespace vdx::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, 12> kKindNames{
+constexpr std::array<std::string_view, 13> kKindNames{
     "round_start",    "round_end",   "bid",      "retry",
     "timeout",        "decode_reject", "stale_bid", "quorum_miss",
-    "degraded_round", "failover",    "solve",    "custom",
+    "degraded_round", "failover",    "solve",    "epoch",
+    "custom",
 };
 
 }  // namespace

@@ -33,6 +33,7 @@ enum class EventKind : std::uint8_t {
   kDegradedRound,
   kFailover,
   kSolve,
+  kEpoch,
   kCustom,
 };
 

@@ -196,6 +196,16 @@ DesignPolicy policy_of(Design design, const RunConfig& config) {
 
 }  // namespace
 
+cdn::MatchingConfig menu_config_for(Design design, const RunConfig& config) {
+  const DesignPolicy policy = policy_of(design, config);
+  cdn::MatchingConfig matching;
+  if (!policy.single_cluster && !policy.all_clusters) {
+    matching.max_candidates = policy.bid_count;
+    matching.score_tolerance = config.menu_tolerance;
+  }
+  return matching;
+}
+
 DesignOutcome run_design(const Scenario& scenario, Design design,
                          const RunConfig& config) {
   return run_design_over(scenario, design, config, scenario.broker_groups(),
@@ -345,6 +355,7 @@ DesignOutcome run_design_over(const Scenario& scenario, Design design,
   broker::OptimizerConfig optimizer_config;
   optimizer_config.weights = config.weights;
   optimizer_config.solve = config.solve;
+  optimizer_config.allow_unbid_groups = config.allow_unbid_groups;
   if (policy.capacity == DesignPolicy::Capacity::kEstimate) {
     // Estimated capacities are hints, not commitments: a real broker pushes
     // past them when its options run out, paying in (estimated) congestion

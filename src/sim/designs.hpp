@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "broker/optimizer.hpp"
+#include "cdn/matching.hpp"
 #include "sim/scenario.hpp"
 
 namespace vdx::cdn {
@@ -89,6 +90,10 @@ struct RunConfig {
   /// MatchingConfig matches the one this run needs — otherwise menus are
   /// built on the fly exactly as before.
   const cdn::CandidateMenuCache* menus = nullptr;
+  /// Tolerate groups no CDN bid on (they stay unserved) instead of
+  /// throwing. Incremental feeds — streaming timelines updating demand
+  /// between rounds — can momentarily present such groups.
+  bool allow_unbid_groups = false;
 };
 
 /// One placement: `clients` clients of `group` served by `cluster` at
@@ -122,6 +127,16 @@ struct DesignOutcome {
 [[nodiscard]] std::vector<double> place_background_over(
     const Scenario& scenario, std::span<const broker::ClientGroup> groups,
     const cdn::CandidateMenuCache* menus = nullptr);
+
+/// The MatchingConfig that run_design_over(design, config, ...) builds its
+/// candidate menus with: trimmed (bid_count, menu_tolerance) for
+/// multi-cluster designs, the default config for single-cluster designs
+/// (the CDN answers from its full menu), default for Omniscient too (which
+/// bypasses menus entirely). Build a CandidateMenuCache over this config
+/// and pass it via RunConfig::menus to have every round of a timeline hit
+/// the cache instead of rebuilding menus per epoch.
+[[nodiscard]] cdn::MatchingConfig menu_config_for(Design design,
+                                                  const RunConfig& config);
 
 /// Runs one design end to end (background placement + bid construction +
 /// broker optimization) and returns the placements and final loads.

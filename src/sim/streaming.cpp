@@ -1,0 +1,260 @@
+#include "sim/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "cdn/menu_cache.hpp"
+#include "sim/timeline_detail.hpp"
+
+namespace vdx::sim {
+
+std::vector<trace::Session> TraceStream::next_batch(std::size_t max_sessions) {
+  const auto sessions = trace_->sessions();
+  const std::size_t take = std::min(max_sessions, sessions.size() - pos_);
+  std::vector<trace::Session> out(sessions.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  sessions.begin() +
+                                      static_cast<std::ptrdiff_t>(pos_ + take));
+  pos_ += take;
+  return out;
+}
+
+namespace {
+
+/// The incrementally maintained active population of one stream: an arrival
+/// cursor (pending sessions pulled but not yet begun), a departure min-heap,
+/// the active sessions keyed by id (id order == arrival order, which the
+/// assigner requires), and a group-count map mirroring
+/// broker::group_sessions' (city, kbps, isp) key order so groups can be
+/// rebuilt in O(groups) instead of O(sessions).
+class ActiveSet {
+ public:
+  ActiveSet(SessionStream& stream, std::size_t batch_sessions)
+      : stream_(&stream), batch_(std::max<std::size_t>(1, batch_sessions)) {}
+
+  /// Advances to midpoint t (non-decreasing across calls): ingests arrivals
+  /// with arrival_s <= t, drops departures with end_s <= t (the half-open
+  /// [arrival, end) activity convention). Returns whether the population
+  /// changed.
+  bool advance_to(double t) {
+    bool changed = false;
+    // Arrivals (stream and pending buffer are arrival-ordered).
+    while (true) {
+      while (!pending_.empty() && pending_.front().arrival_s <= t) {
+        const trace::Session& s = pending_.front();
+        // A session that already ended never becomes active at this or any
+        // later midpoint — it lived entirely between two samples.
+        if (s.end_s() > t) {
+          active_.emplace(s.id.value(),
+                          Rec{s.city, s.bitrate_mbps});
+          departures_.emplace(s.end_s(), s.id.value());
+          bump(s.city, s.bitrate_mbps, +1);
+          changed = true;
+        }
+        pending_.pop_front();
+      }
+      if (!pending_.empty() || stream_->exhausted()) break;
+      auto batch = stream_->next_batch(batch_);
+      if (batch.empty()) break;
+      pulled_ += batch.size();
+      pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+    }
+    // Departures.
+    while (!departures_.empty() && departures_.top().first <= t) {
+      const std::uint32_t id = departures_.top().second;
+      departures_.pop();
+      const auto it = active_.find(id);
+      bump(it->second.city, it->second.bitrate_mbps, -1);
+      active_.erase(it);
+      changed = true;
+    }
+    if (changed) groups_dirty_ = true;
+    return changed;
+  }
+
+  /// Client groups of the active population — exactly what
+  /// broker::group_sessions would return for it (same key order, dense ids,
+  /// integral client counts).
+  [[nodiscard]] std::span<const broker::ClientGroup> groups() {
+    if (groups_dirty_) {
+      groups_.clear();
+      groups_.reserve(counts_.size());
+      for (const auto& [key, count] : counts_) {
+        broker::ClientGroup g;
+        g.id = broker::ShareId{static_cast<std::uint32_t>(groups_.size())};
+        g.city = geo::CityId{std::get<0>(key)};
+        g.isp = std::get<2>(key);
+        g.bitrate_mbps = static_cast<double>(std::get<1>(key)) / 1000.0;
+        g.client_count = static_cast<double>(count);
+        groups_.push_back(g);
+      }
+      groups_dirty_ = false;
+    }
+    return groups_;
+  }
+
+  /// Active sessions in id order (std::map iteration).
+  [[nodiscard]] std::vector<detail::SessionRef> session_refs() const {
+    std::vector<detail::SessionRef> refs;
+    refs.reserve(active_.size());
+    for (const auto& [id, rec] : active_) {
+      refs.push_back(detail::SessionRef{id, rec.city, rec.bitrate_mbps});
+    }
+    return refs;
+  }
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t pulled() const noexcept { return pulled_; }
+
+ private:
+  struct Rec {
+    geo::CityId city;
+    double bitrate_mbps = 0.0;
+  };
+
+  void bump(geo::CityId city, double bitrate_mbps, int delta) {
+    const auto kbps = static_cast<std::int64_t>(std::llround(bitrate_mbps * 1000.0));
+    const auto key = std::make_tuple(city.value(), kbps, std::uint32_t{0});
+    if (delta > 0) {
+      ++counts_[key];
+    } else {
+      const auto it = counts_.find(key);
+      if (--it->second == 0) counts_.erase(it);
+    }
+  }
+
+  SessionStream* stream_;
+  std::size_t batch_;
+  std::deque<trace::Session> pending_;
+  std::map<std::uint32_t, Rec> active_;
+  /// (end_s, id) min-heap.
+  std::priority_queue<std::pair<double, std::uint32_t>,
+                      std::vector<std::pair<double, std::uint32_t>>,
+                      std::greater<>>
+      departures_;
+  /// (city, kbps, isp) -> active count; mirrors broker::group_sessions.
+  std::map<std::tuple<std::uint32_t, std::int64_t, std::uint32_t>, std::size_t>
+      counts_;
+  std::vector<broker::ClientGroup> groups_;
+  bool groups_dirty_ = true;
+  std::size_t pulled_ = 0;
+};
+
+}  // namespace
+
+StreamingTimeline::StreamingTimeline(const Scenario& scenario, StreamingConfig config)
+    : scenario_(&scenario), config_(std::move(config)) {
+  if (!(config_.epoch_s > 0.0)) {
+    throw std::invalid_argument{"StreamingConfig: epoch_s must be > 0"};
+  }
+}
+
+StreamingResult StreamingTimeline::run(SessionStream& broker,
+                                       SessionStream& background) const {
+  const Scenario& scenario = *scenario_;
+  StreamingResult result;
+  const double duration = broker.duration_s();
+  const auto epochs = static_cast<std::size_t>(std::ceil(duration / config_.epoch_s));
+
+  // Per-run menu caches, shared by every epoch's round (identical to the
+  // batch engine's — see run_timeline).
+  RunConfig base_run = config_.run;
+  const std::size_t cities = scenario.world().cities().size();
+  std::optional<cdn::CandidateMenuCache> design_cache;
+  std::optional<cdn::CandidateMenuCache> background_cache;
+  if (base_run.menus == nullptr) {
+    design_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                         menu_config_for(config_.design, base_run));
+    base_run.menus = &*design_cache;
+  }
+  const cdn::CandidateMenuCache* background_menus = base_run.menus;
+  if (!(background_menus->config() == cdn::MatchingConfig{})) {
+    background_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                             cdn::MatchingConfig{});
+    background_menus = &*background_cache;
+  }
+
+  obs::Counter rounds_counter;
+  obs::Counter recompute_counter;
+  obs::Gauge active_gauge;
+  obs::Gauge peak_gauge;
+  obs::Histogram epoch_seconds;
+  if (config_.obs.metrics != nullptr) {
+    rounds_counter = config_.obs.metrics->counter("timeline.decision_rounds");
+    recompute_counter = config_.obs.metrics->counter("timeline.background_recomputes");
+    active_gauge = config_.obs.metrics->gauge("timeline.active_sessions");
+    peak_gauge = config_.obs.metrics->gauge("timeline.peak_active_sessions");
+    epoch_seconds = config_.obs.metrics->histogram("timeline.epoch_seconds");
+  }
+
+  ActiveSet broker_set{broker, config_.batch_sessions};
+  ActiveSet background_set{background, config_.batch_sessions};
+  std::vector<double> background_loads;
+  bool background_stale = true;
+
+  detail::ChurnTracker churn;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const obs::SpanTracer::Scoped span{config_.obs.tracer, "timeline.epoch"};
+    const obs::ScopedTimer timer{epoch_seconds};
+    const double mid = (static_cast<double>(e) + 0.5) * config_.epoch_s;
+
+    broker_set.advance_to(mid);
+    background_stale |= background_set.advance_to(mid);
+
+    const std::size_t concurrent =
+        broker_set.active_count() + background_set.active_count();
+    result.peak_active_sessions = std::max(result.peak_active_sessions, concurrent);
+    active_gauge.set(static_cast<double>(concurrent));
+
+    if (broker_set.active_count() == 0) continue;
+
+    // The background only moves when a background session arrived or
+    // departed; otherwise last epoch's placement is still exact.
+    const auto groups = broker_set.groups();
+    if (background_stale) {
+      background_loads =
+          place_background_over(scenario, background_set.groups(), background_menus);
+      background_stale = false;
+      ++result.background_recomputes;
+      recompute_counter.add(1.0);
+    }
+
+    RunConfig run = base_run;
+    run.qoe_epoch = e + 1;  // fresh broker-side measurements each round
+    const DesignOutcome outcome =
+        run_design_over(scenario, config_.design, run, groups, background_loads);
+
+    auto assignment =
+        detail::assign_sessions(broker_set.session_refs(), groups, outcome);
+
+    EpochReport report;
+    report.epoch = e;
+    report.time_s = mid;
+    report.active_sessions = broker_set.active_count();
+    report.assigned_sessions = assignment.size();
+    report.metrics = compute_metrics_over(scenario, outcome, groups);
+    churn.observe(scenario.catalog(), std::move(assignment), report);
+
+    ++result.decision_rounds;
+    rounds_counter.add(1.0);
+    config_.obs.record(obs::EventKind::kEpoch, static_cast<std::uint32_t>(e),
+                       static_cast<double>(report.active_sessions));
+    result.timeline.epochs.push_back(std::move(report));
+  }
+
+  result.timeline.mean_cdn_switch_fraction = churn.mean_cdn_switch_fraction();
+  result.broker_sessions = broker_set.pulled();
+  result.background_sessions = background_set.pulled();
+  peak_gauge.set(static_cast<double>(result.peak_active_sessions));
+  return result;
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,132 @@
+// StreamingTimeline: the timeline simulation as an event-driven engine over
+// a bounded session stream.
+//
+// run_timeline materializes both traces and rescans every session each
+// epoch (O(trace) per epoch, O(trace) resident), which caps the reachable
+// scale far below the ROADMAP's "millions of users". This engine consumes
+// sessions in arrival order from a SessionStream, maintains the active
+// population incrementally — an arrival cursor plus a departure min-heap
+// delta-update a per-(city, bitrate) group-count map and the per-cluster
+// load inputs — and re-runs the Decision Protocol each epoch over state
+// whose size is the *concurrent* session count, not the horizon total.
+// Background placements are recomputed only when the background population
+// actually changed.
+//
+// Equivalence guarantee (tier-1-checked): driven by TraceStream over a
+// scenario's materialized traces, the engine reproduces run_timeline's
+// epoch reports byte-identically (same groups: the count map mirrors
+// broker::group_sessions' (city, kbps, isp) map order; same assignment:
+// both engines share sim::detail::assign_sessions fed in id order; same
+// rounds: run_design_over with qoe_epoch = e+1 and a per-run
+// CandidateMenuCache, which is byte-identical to uncached menus). At
+// million-session scale, GeneratorStream feeds it from
+// trace::BrokerTraceGenerator so the full trace never exists in memory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "obs/observe.hpp"
+#include "sim/timeline.hpp"
+#include "trace/generator.hpp"
+
+namespace vdx::sim {
+
+/// A bounded, arrival-ordered session source. Implementations must emit
+/// sessions with non-decreasing arrival_s and dense ids in emission order
+/// (the invariant both adapters below inherit from the trace layer).
+class SessionStream {
+ public:
+  virtual ~SessionStream() = default;
+  /// Up to `max_sessions` further sessions; empty means exhausted.
+  [[nodiscard]] virtual std::vector<trace::Session> next_batch(
+      std::size_t max_sessions) = 0;
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// The stream horizon (drives the epoch count).
+  [[nodiscard]] virtual double duration_s() const = 0;
+};
+
+/// Adapter over a materialized trace (seed-scale runs and the equivalence
+/// tests — the sessions fed are exactly the batch engine's).
+class TraceStream final : public SessionStream {
+ public:
+  explicit TraceStream(const trace::BrokerTrace& trace) : trace_(&trace) {}
+
+  [[nodiscard]] std::vector<trace::Session> next_batch(
+      std::size_t max_sessions) override;
+  [[nodiscard]] bool exhausted() const override {
+    return pos_ >= trace_->sessions().size();
+  }
+  [[nodiscard]] double duration_s() const override { return trace_->duration_s(); }
+
+ private:
+  const trace::BrokerTrace* trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Adapter over the chunked generator (million-session runs: memory is
+/// bounded by the generator's block size plus the concurrent active set).
+class GeneratorStream final : public SessionStream {
+ public:
+  explicit GeneratorStream(trace::BrokerTraceGenerator& generator)
+      : generator_(&generator) {}
+
+  [[nodiscard]] std::vector<trace::Session> next_batch(
+      std::size_t max_sessions) override {
+    return generator_->next_batch(max_sessions);
+  }
+  [[nodiscard]] bool exhausted() const override { return generator_->exhausted(); }
+  [[nodiscard]] double duration_s() const override { return generator_->duration_s(); }
+
+ private:
+  trace::BrokerTraceGenerator* generator_;
+};
+
+struct StreamingConfig {
+  Design design = Design::kMarketplace;
+  RunConfig run;
+  /// Decision Protocol period (matches TimelineConfig::epoch_s).
+  double epoch_s = 300.0;
+  /// Stream pull granularity. Pure mechanics: results are identical for any
+  /// value (chunk-boundary determinism), it only trades pull overhead
+  /// against peak buffered sessions.
+  std::size_t batch_sessions = 8192;
+  /// Observability sinks (timeline.* metrics/spans, per-epoch journal
+  /// events). Default: disabled.
+  obs::Observer obs;
+};
+
+/// TimelineResult plus the streaming engine's resource accounting.
+struct StreamingResult {
+  TimelineResult timeline;
+  /// Sessions pulled from the broker / background streams.
+  std::size_t broker_sessions = 0;
+  std::size_t background_sessions = 0;
+  /// Peak concurrent active sessions across both populations — with the
+  /// stream batch size, the engine's memory bound (no full-trace residency).
+  std::size_t peak_active_sessions = 0;
+  /// Epochs that ran a decision round (epochs with no active broker
+  /// sessions are skipped, exactly like run_timeline).
+  std::size_t decision_rounds = 0;
+  /// Background placements actually recomputed (≤ decision_rounds; the
+  /// delta engine reuses the previous placement when no background session
+  /// arrived or departed).
+  std::size_t background_recomputes = 0;
+};
+
+class StreamingTimeline {
+ public:
+  StreamingTimeline(const Scenario& scenario, StreamingConfig config);
+
+  /// Plays both streams through repeated decision rounds. Single-shot per
+  /// stream pair (streams are consumed); the engine itself is reusable.
+  [[nodiscard]] StreamingResult run(SessionStream& broker,
+                                    SessionStream& background) const;
+
+ private:
+  const Scenario* scenario_;
+  StreamingConfig config_;
+};
+
+}  // namespace vdx::sim

@@ -1,10 +1,12 @@
 #include "sim/timeline.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <map>
-#include <tuple>
-#include <unordered_map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "cdn/menu_cache.hpp"
+#include "sim/timeline_detail.hpp"
 
 namespace vdx::sim {
 
@@ -19,60 +21,13 @@ std::vector<trace::Session> active_at(const trace::BrokerTrace& trace, double t)
   return out;
 }
 
-/// Grouping key matching broker::group_sessions (city, quantized bitrate).
-std::uint64_t group_key(geo::CityId city, double bitrate_mbps) {
-  const auto kbps = static_cast<std::uint64_t>(std::llround(bitrate_mbps * 1000.0));
-  return (static_cast<std::uint64_t>(city.value()) << 32) | kbps;
-}
-
-/// Distributes each group's winning placements over its individual sessions
-/// deterministically (sessions in id order, placements in cluster order),
-/// returning session-id -> serving cluster.
-std::unordered_map<std::uint32_t, cdn::ClusterId> assign_sessions(
-    const std::vector<trace::Session>& sessions,
-    std::span<const broker::ClientGroup> groups, const DesignOutcome& outcome) {
-  // Group -> ordered placements.
-  std::vector<std::vector<const Placement*>> per_group(groups.size());
-  for (const Placement& p : outcome.placements) per_group[p.group].push_back(&p);
-  for (auto& list : per_group) {
-    std::sort(list.begin(), list.end(), [](const Placement* a, const Placement* b) {
-      return a->cluster < b->cluster;
-    });
-  }
-
-  std::unordered_map<std::uint64_t, std::size_t> group_of_key;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    group_of_key.emplace(group_key(groups[g].city, groups[g].bitrate_mbps), g);
-  }
-
-  // Sessions of each group in id order.
-  std::vector<std::vector<const trace::Session*>> sessions_of(groups.size());
+std::vector<detail::SessionRef> to_refs(const std::vector<trace::Session>& sessions) {
+  std::vector<detail::SessionRef> refs;
+  refs.reserve(sessions.size());
   for (const trace::Session& s : sessions) {
-    const auto it = group_of_key.find(group_key(s.city, s.bitrate_mbps));
-    if (it != group_of_key.end()) sessions_of[it->second].push_back(&s);
+    refs.push_back(detail::SessionRef{s.id.value(), s.city, s.bitrate_mbps});
   }
-
-  std::unordered_map<std::uint32_t, cdn::ClusterId> assignment;
-  assignment.reserve(sessions.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    const auto& list = per_group[g];
-    if (list.empty()) continue;
-    // Sequential quota fill: placement i serves the next round(clients_i)
-    // sessions. Quotas sum to the group size up to rounding; the final
-    // placement absorbs the remainder.
-    std::size_t next = 0;
-    double carry = 0.0;
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      double quota = list[i]->clients + carry;
-      std::size_t take = static_cast<std::size_t>(std::llround(quota));
-      carry = quota - static_cast<double>(take);
-      if (i + 1 == list.size()) take = sessions_of[g].size() - next;  // remainder
-      for (std::size_t k = 0; k < take && next < sessions_of[g].size(); ++k, ++next) {
-        assignment.emplace(sessions_of[g][next]->id.value(), list[i]->cluster);
-      }
-    }
-  }
-  return assignment;
+  return refs;
 }
 
 }  // namespace
@@ -85,10 +40,28 @@ TimelineResult run_timeline(const Scenario& scenario, const TimelineConfig& conf
   const double duration = scenario.broker_trace().duration_s();
   const auto epochs = static_cast<std::size_t>(std::ceil(duration / config.epoch_s));
 
-  std::unordered_map<std::uint32_t, cdn::ClusterId> previous;
-  double switch_weight = 0.0;
-  double switch_sum = 0.0;
+  // Menus are a pure function of the scenario, so build them once per run
+  // and let every epoch's round hit the cache (cached and uncached menus
+  // are byte-identical, DESIGN.md §8). Background placement needs
+  // default-config menus; the design round may need a trimmed config —
+  // share one cache when the two coincide.
+  RunConfig base_run = config.run;
+  const std::size_t cities = scenario.world().cities().size();
+  std::optional<cdn::CandidateMenuCache> design_cache;
+  std::optional<cdn::CandidateMenuCache> background_cache;
+  if (base_run.menus == nullptr) {
+    design_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                         menu_config_for(config.design, base_run));
+    base_run.menus = &*design_cache;
+  }
+  const cdn::CandidateMenuCache* background_menus = base_run.menus;
+  if (!(background_menus->config() == cdn::MatchingConfig{})) {
+    background_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                             cdn::MatchingConfig{});
+    background_menus = &*background_cache;
+  }
 
+  detail::ChurnTracker churn;
   for (std::size_t e = 0; e < epochs; ++e) {
     const double mid = (static_cast<double>(e) + 0.5) * config.epoch_s;
 
@@ -98,50 +71,27 @@ TimelineResult run_timeline(const Scenario& scenario, const TimelineConfig& conf
 
     const auto groups = broker::group_sessions(broker_sessions);
     const auto background_groups = broker::group_sessions(background_sessions);
-    const auto background_loads = place_background_over(scenario, background_groups);
+    const auto background_loads =
+        place_background_over(scenario, background_groups, background_menus);
 
-    RunConfig run = config.run;
+    RunConfig run = base_run;
     run.qoe_epoch = e + 1;  // fresh broker-side measurements each round
     const DesignOutcome outcome =
         run_design_over(scenario, config.design, run, groups, background_loads);
 
-    const auto assignment = assign_sessions(broker_sessions, groups, outcome);
+    auto assignment =
+        detail::assign_sessions(to_refs(broker_sessions), groups, outcome);
 
     EpochReport report;
     report.epoch = e;
     report.time_s = mid;
     report.active_sessions = broker_sessions.size();
+    report.assigned_sessions = assignment.size();
     report.metrics = compute_metrics_over(scenario, outcome, groups);
-
-    if (!previous.empty()) {
-      std::size_t surviving = 0;
-      std::size_t cdn_switched = 0;
-      std::size_t cluster_switched = 0;
-      for (const auto& [session, cluster] : assignment) {
-        const auto before = previous.find(session);
-        if (before == previous.end()) continue;
-        ++surviving;
-        if (before->second != cluster) ++cluster_switched;
-        if (scenario.catalog().cluster(before->second).cdn !=
-            scenario.catalog().cluster(cluster).cdn) {
-          ++cdn_switched;
-        }
-      }
-      if (surviving > 0) {
-        report.cdn_switch_fraction =
-            static_cast<double>(cdn_switched) / static_cast<double>(surviving);
-        report.cluster_switch_fraction =
-            static_cast<double>(cluster_switched) / static_cast<double>(surviving);
-        switch_sum += report.cdn_switch_fraction * static_cast<double>(surviving);
-        switch_weight += static_cast<double>(surviving);
-      }
-    }
-    previous = assignment;
+    churn.observe(scenario.catalog(), std::move(assignment), report);
     result.epochs.push_back(std::move(report));
   }
-  if (switch_weight > 0.0) {
-    result.mean_cdn_switch_fraction = switch_sum / switch_weight;
-  }
+  result.mean_cdn_switch_fraction = churn.mean_cdn_switch_fraction();
   return result;
 }
 

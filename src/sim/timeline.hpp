@@ -31,6 +31,11 @@ struct EpochReport {
   std::size_t epoch = 0;
   double time_s = 0.0;
   std::size_t active_sessions = 0;
+  /// Sessions that received a cluster assignment this epoch — sessions whose
+  /// group won placements; at most active_sessions, and each active session
+  /// is assigned at most once (the conservation invariant the property
+  /// tests pin).
+  std::size_t assigned_sessions = 0;
   /// Sessions active in both this and the previous epoch whose serving CDN
   /// changed (0 for the first epoch).
   double cdn_switch_fraction = 0.0;

@@ -1,0 +1,87 @@
+#include "sim/timeline_detail.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdx::sim::detail {
+
+std::uint64_t group_key(geo::CityId city, double bitrate_mbps) {
+  const auto kbps = static_cast<std::uint64_t>(std::llround(bitrate_mbps * 1000.0));
+  return (static_cast<std::uint64_t>(city.value()) << 32) | kbps;
+}
+
+Assignment assign_sessions(std::span<const SessionRef> sessions,
+                           std::span<const broker::ClientGroup> groups,
+                           const DesignOutcome& outcome) {
+  // Group -> ordered placements.
+  std::vector<std::vector<const Placement*>> per_group(groups.size());
+  for (const Placement& p : outcome.placements) per_group[p.group].push_back(&p);
+  for (auto& list : per_group) {
+    std::sort(list.begin(), list.end(), [](const Placement* a, const Placement* b) {
+      return a->cluster < b->cluster;
+    });
+  }
+
+  std::unordered_map<std::uint64_t, std::size_t> group_of_key;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of_key.emplace(group_key(groups[g].city, groups[g].bitrate_mbps), g);
+  }
+
+  // Sessions of each group in id order.
+  std::vector<std::vector<const SessionRef*>> sessions_of(groups.size());
+  for (const SessionRef& s : sessions) {
+    const auto it = group_of_key.find(group_key(s.city, s.bitrate_mbps));
+    if (it != group_of_key.end()) sessions_of[it->second].push_back(&s);
+  }
+
+  Assignment assignment;
+  assignment.reserve(sessions.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& list = per_group[g];
+    if (list.empty()) continue;
+    // Sequential quota fill: placement i serves the next round(clients_i)
+    // sessions. Quotas sum to the group size up to rounding; the final
+    // placement absorbs the remainder.
+    std::size_t next = 0;
+    double carry = 0.0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      double quota = list[i]->clients + carry;
+      std::size_t take = static_cast<std::size_t>(std::llround(quota));
+      carry = quota - static_cast<double>(take);
+      if (i + 1 == list.size()) take = sessions_of[g].size() - next;  // remainder
+      for (std::size_t k = 0; k < take && next < sessions_of[g].size(); ++k, ++next) {
+        assignment.emplace(sessions_of[g][next]->id, list[i]->cluster);
+      }
+    }
+  }
+  return assignment;
+}
+
+void ChurnTracker::observe(const cdn::CdnCatalog& catalog, Assignment assignment,
+                           EpochReport& report) {
+  if (!previous_.empty()) {
+    std::size_t surviving = 0;
+    std::size_t cdn_switched = 0;
+    std::size_t cluster_switched = 0;
+    for (const auto& [session, cluster] : assignment) {
+      const auto before = previous_.find(session);
+      if (before == previous_.end()) continue;
+      ++surviving;
+      if (before->second != cluster) ++cluster_switched;
+      if (catalog.cluster(before->second).cdn != catalog.cluster(cluster).cdn) {
+        ++cdn_switched;
+      }
+    }
+    if (surviving > 0) {
+      report.cdn_switch_fraction =
+          static_cast<double>(cdn_switched) / static_cast<double>(surviving);
+      report.cluster_switch_fraction =
+          static_cast<double>(cluster_switched) / static_cast<double>(surviving);
+      sum_ += report.cdn_switch_fraction * static_cast<double>(surviving);
+      weight_ += static_cast<double>(surviving);
+    }
+  }
+  previous_ = std::move(assignment);
+}
+
+}  // namespace vdx::sim::detail

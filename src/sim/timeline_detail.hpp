@@ -1,0 +1,69 @@
+// Internals shared by the batch (run_timeline) and streaming
+// (StreamingTimeline) engines.
+//
+// Both engines must produce byte-identical epoch reports on the same
+// scenario (the streaming engine's acceptance invariant), so everything a
+// report depends on — session→cluster assignment, churn bookkeeping — lives
+// here and is used by both. Exposed (under ::detail) for the property and
+// regression tests that pin these semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/grouping.hpp"
+#include "sim/timeline.hpp"
+
+namespace vdx::sim::detail {
+
+/// The per-session fields assignment needs. Both engines hand these over in
+/// session-id order (trace ids are dense in arrival order).
+struct SessionRef {
+  std::uint32_t id = 0;
+  geo::CityId city;
+  double bitrate_mbps = 0.0;
+};
+
+/// Grouping key matching broker::group_sessions (city, quantized bitrate).
+[[nodiscard]] std::uint64_t group_key(geo::CityId city, double bitrate_mbps);
+
+/// session id -> serving cluster for one epoch.
+using Assignment = std::unordered_map<std::uint32_t, cdn::ClusterId>;
+
+/// Distributes each group's winning placements over its individual sessions
+/// deterministically (sessions in id order, placements in cluster order).
+/// Sessions whose group won no placement are absent from the result.
+[[nodiscard]] Assignment assign_sessions(std::span<const SessionRef> sessions,
+                                         std::span<const broker::ClientGroup> groups,
+                                         const DesignOutcome& outcome);
+
+/// Epoch-over-epoch churn bookkeeping: fraction of sessions present in both
+/// consecutive assignments whose serving CDN / cluster changed, and the
+/// surviving-session-weighted mean of the CDN fraction.
+///
+/// Boundary semantics (pinned by regression tests): epochs sample activity
+/// at their midpoint with half-open [arrival, end), so a session ending
+/// exactly at an epoch boundary is counted in at most one epoch's
+/// assignment, and each assignment maps a session id at most once — churn
+/// denominators cannot double-count a session.
+class ChurnTracker {
+ public:
+  /// Fills report.cdn_switch_fraction / cluster_switch_fraction against the
+  /// previously observed assignment (first call leaves them 0), folds the
+  /// epoch into the weighted mean, then adopts `assignment` as previous.
+  void observe(const cdn::CdnCatalog& catalog, Assignment assignment,
+               EpochReport& report);
+
+  [[nodiscard]] double mean_cdn_switch_fraction() const noexcept {
+    return weight_ > 0.0 ? sum_ / weight_ : 0.0;
+  }
+
+ private:
+  Assignment previous_;
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+};
+
+}  // namespace vdx::sim::detail

@@ -1,0 +1,63 @@
+#include "sim/timeline_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace vdx::sim {
+
+namespace {
+
+/// %.17g round-trips every double exactly (same convention as vdx::obs).
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void write_epoch_reports_jsonl(std::ostream& out, const TimelineResult& result) {
+  for (const EpochReport& r : result.epochs) {
+    out << "{\"epoch\":" << r.epoch << ",\"time_s\":" << fmt(r.time_s)
+        << ",\"active_sessions\":" << r.active_sessions
+        << ",\"assigned_sessions\":" << r.assigned_sessions
+        << ",\"cdn_switch_fraction\":" << fmt(r.cdn_switch_fraction)
+        << ",\"cluster_switch_fraction\":" << fmt(r.cluster_switch_fraction)
+        << ",\"median_cost\":" << fmt(r.metrics.median_cost)
+        << ",\"median_score\":" << fmt(r.metrics.median_score)
+        << ",\"median_distance_miles\":" << fmt(r.metrics.median_distance_miles)
+        << ",\"median_load\":" << fmt(r.metrics.median_load)
+        << ",\"congested_fraction\":" << fmt(r.metrics.congested_fraction)
+        << ",\"mean_cost\":" << fmt(r.metrics.mean_cost)
+        << ",\"mean_score\":" << fmt(r.metrics.mean_score)
+        << ",\"broker_traffic_mbps\":" << fmt(r.metrics.broker_traffic_mbps)
+        << "}\n";
+  }
+  out << "{\"epochs\":" << result.epochs.size() << ",\"mean_cdn_switch_fraction\":"
+      << fmt(result.mean_cdn_switch_fraction) << "}\n";
+}
+
+std::string epoch_reports_jsonl(const TimelineResult& result) {
+  std::ostringstream out;
+  write_epoch_reports_jsonl(out, result);
+  return out.str();
+}
+
+void write_placement_summary_jsonl(std::ostream& out, const DesignOutcome& outcome) {
+  for (const Placement& p : outcome.placements) {
+    out << "{\"group\":" << p.group << ",\"cluster\":" << p.cluster.value()
+        << ",\"clients\":" << fmt(p.clients) << ",\"price\":" << fmt(p.price)
+        << ",\"score\":" << fmt(p.score) << "}\n";
+  }
+  out << "{\"design\":\"" << to_string(outcome.design)
+      << "\",\"placements\":" << outcome.placements.size() << "}\n";
+}
+
+std::string placement_summary_jsonl(const DesignOutcome& outcome) {
+  std::ostringstream out;
+  write_placement_summary_jsonl(out, outcome);
+  return out.str();
+}
+
+}  // namespace vdx::sim

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/distributions.hpp"
 
@@ -11,8 +12,10 @@ namespace vdx::trace {
 
 namespace {
 
-void check_config(const TraceConfig& config) {
-  if (config.session_count == 0) throw std::invalid_argument{"TraceConfig: no sessions"};
+void check_config(const TraceConfig& config, bool allow_empty) {
+  if (config.session_count == 0 && !allow_empty) {
+    throw std::invalid_argument{"TraceConfig: no sessions"};
+  }
   if (!(config.duration_s > 0.0)) throw std::invalid_argument{"TraceConfig: duration"};
   if (config.bitrate_ladder.empty() ||
       config.bitrate_ladder.size() != config.bitrate_weights.size()) {
@@ -60,45 +63,62 @@ std::vector<double> sample_switch_times(double arrival, double duration,
   return times;
 }
 
-BrokerTrace generate_impl(const geo::World& world, const TraceConfig& config,
-                          std::size_t session_count, bool broker_controlled,
-                          core::Rng& rng) {
-  check_config(config);
+}  // namespace
 
-  // Samplers.
-  std::vector<double> city_weights;
-  city_weights.reserve(world.cities().size());
-  for (const auto& city : world.cities()) city_weights.push_back(city.demand_weight);
-  core::DiscreteDistribution city_dist{city_weights};
-  core::ZipfDistribution video_dist{config.video_count, config.video_zipf_exponent};
-  core::ZipfDistribution as_dist{config.as_count, config.as_zipf_exponent};
-  core::DiscreteDistribution bitrate_dist{config.bitrate_weights};
-
-  // Per-city CDN choice distributions: country base shares with CDN A's
-  // small-city boost (Fig. 5).
-  core::Rng shares_rng = rng.fork("country-shares");
-  const auto country_shares = country_share_model(world, shares_rng);
+/// The sampling model shared by the monolithic generators and the streaming
+/// BrokerTraceGenerator: the samplers and the per-city CDN choice model,
+/// derived once per trace. sample() draws one session's fields in the exact
+/// order generate_impl always used, so the monolithic trace stays
+/// byte-identical to the seed code.
+struct BrokerTraceGenerator::Model {
+  TraceConfig config;
+  bool broker_controlled = true;
+  core::DiscreteDistribution city_dist;
+  core::ZipfDistribution video_dist;
+  core::ZipfDistribution as_dist;
+  core::DiscreteDistribution bitrate_dist;
   std::vector<core::DiscreteDistribution> city_cdn;
-  city_cdn.reserve(world.cities().size());
-  for (const auto& city : world.cities()) {
-    auto weights = country_shares[city.country.value()];
-    const double expected_requests =
-        city.demand_weight * static_cast<double>(session_count);
-    weights[static_cast<std::size_t>(TraceCdn::kCdnA)] *=
-        1.0 + config.small_city_boost *
-                  std::exp(-expected_requests / config.small_city_scale);
-    city_cdn.emplace_back(std::span<const double>{weights.data(), weights.size()});
+  double engaged_mu = 0.0;
+
+  Model(const geo::World& world, const TraceConfig& cfg, std::size_t session_count,
+        bool broker, core::Rng& rng)
+      : config(cfg),
+        broker_controlled(broker),
+        city_dist(city_weights(world)),
+        video_dist(cfg.video_count, cfg.video_zipf_exponent),
+        as_dist(cfg.as_count, cfg.as_zipf_exponent),
+        bitrate_dist(cfg.bitrate_weights) {
+    // Per-city CDN choice distributions: country base shares with CDN A's
+    // small-city boost (Fig. 5).
+    core::Rng shares_rng = rng.fork("country-shares");
+    const auto country_shares = country_share_model(world, shares_rng);
+    city_cdn.reserve(world.cities().size());
+    for (const auto& city : world.cities()) {
+      auto weights = country_shares[city.country.value()];
+      const double expected_requests =
+          city.demand_weight * static_cast<double>(session_count);
+      weights[static_cast<std::size_t>(TraceCdn::kCdnA)] *=
+          1.0 + cfg.small_city_boost *
+                    std::exp(-expected_requests / cfg.small_city_scale);
+      city_cdn.emplace_back(std::span<const double>{weights.data(), weights.size()});
+    }
+    engaged_mu = std::log(cfg.engaged_mean_s) - 0.32;  // lognormal(mu, 0.8) mean fix
   }
 
-  const double engaged_mu =
-      std::log(config.engaged_mean_s) - 0.32;  // lognormal(mu, 0.8) mean fix
+  static std::vector<double> city_weights(const geo::World& world) {
+    std::vector<double> weights;
+    weights.reserve(world.cities().size());
+    for (const auto& city : world.cities()) weights.push_back(city.demand_weight);
+    return weights;
+  }
 
-  std::vector<Session> sessions;
-  sessions.reserve(session_count);
-  for (std::size_t i = 0; i < session_count; ++i) {
+  /// Draws one session with arrival uniform in [arrival_lo, arrival_hi) and
+  /// duration clamped to the horizon end. Field draw order matches the seed
+  /// generate_impl exactly.
+  [[nodiscard]] Session sample(core::Rng& rng, double arrival_lo,
+                               double arrival_hi) const {
     Session s;
-    s.id = SessionId{static_cast<std::uint32_t>(i)};
-    s.arrival_s = rng.uniform(0.0, config.duration_s);
+    s.arrival_s = rng.uniform(arrival_lo, arrival_hi);
     s.video = VideoId{static_cast<std::uint32_t>(video_dist(rng))};
     s.city = CityId{static_cast<std::uint32_t>(city_dist(rng))};
     s.as_number = static_cast<std::uint32_t>(as_dist(rng)) + 1;
@@ -113,8 +133,8 @@ BrokerTrace generate_impl(const geo::World& world, const TraceConfig& config,
       // The broker only bothers moving sessions that live long enough.
       if (!s.abandoned) {
         TraceCdn current = s.initial_cdn;
-        for (const double t : sample_switch_times(s.arrival_s, s.duration_s, config,
-                                                  rng)) {
+        for (const double t :
+             sample_switch_times(s.arrival_s, s.duration_s, config, rng)) {
           // Move to a different CDN drawn from the same city model.
           TraceCdn next = current;
           for (int attempt = 0; attempt < 8 && next == current; ++attempt) {
@@ -128,6 +148,25 @@ BrokerTrace generate_impl(const geo::World& world, const TraceConfig& config,
     } else {
       s.initial_cdn = TraceCdn::kOther;
     }
+    return s;
+  }
+};
+
+namespace {
+
+BrokerTrace generate_impl(const geo::World& world, const TraceConfig& config,
+                          std::size_t session_count, bool broker_controlled,
+                          core::Rng& rng) {
+  check_config(config, /*allow_empty=*/false);
+
+  const BrokerTraceGenerator::Model model{world, config, session_count,
+                                          broker_controlled, rng};
+
+  std::vector<Session> sessions;
+  sessions.reserve(session_count);
+  for (std::size_t i = 0; i < session_count; ++i) {
+    Session s = model.sample(rng, 0.0, config.duration_s);
+    s.id = SessionId{static_cast<std::uint32_t>(i)};
     sessions.push_back(std::move(s));
   }
 
@@ -157,6 +196,101 @@ BrokerTrace generate_background(const geo::World& world, const TraceConfig& conf
       std::llround(multiplier * static_cast<double>(config.session_count)));
   return generate_impl(world, config, std::max<std::size_t>(1, count),
                        /*broker_controlled=*/false, rng);
+}
+
+BrokerTraceGenerator::BrokerTraceGenerator(const geo::World& world,
+                                           const TraceConfig& config, core::Rng rng)
+    : BrokerTraceGenerator(world, config, rng, Options{}) {}
+
+BrokerTraceGenerator::BrokerTraceGenerator(const geo::World& world,
+                                           const TraceConfig& config, core::Rng rng,
+                                           Options options)
+    : base_rng_(rng), options_(options) {
+  check_config(config, /*allow_empty=*/true);
+  if (options_.block_sessions == 0) {
+    throw std::invalid_argument{"BrokerTraceGenerator: block_sessions must be > 0"};
+  }
+  // The model consumes the base RNG exactly like generate_impl does (the
+  // "country-shares" fork), leaving per-block substreams to fork cleanly
+  // from the post-construction state.
+  model_ = std::make_unique<Model>(world, config, config.session_count,
+                                   options_.broker_controlled, base_rng_);
+  const std::size_t n = config.session_count;
+  block_count_ = n == 0 ? 0 : (n + options_.block_sessions - 1) / options_.block_sessions;
+}
+
+BrokerTraceGenerator::~BrokerTraceGenerator() = default;
+
+std::size_t BrokerTraceGenerator::total_sessions() const noexcept {
+  return model_->config.session_count;
+}
+
+double BrokerTraceGenerator::duration_s() const noexcept {
+  return model_->config.duration_s;
+}
+
+bool BrokerTraceGenerator::exhausted() const noexcept {
+  return next_block_ >= block_count_ && buffer_pos_ >= buffer_.size();
+}
+
+void BrokerTraceGenerator::reset() {
+  next_block_ = 0;
+  emitted_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+}
+
+void BrokerTraceGenerator::refill() {
+  // Keep any unconsumed tail; generation appends the next block after it.
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(buffer_pos_));
+  buffer_pos_ = 0;
+
+  const std::size_t b = next_block_++;
+  const std::size_t n = model_->config.session_count;
+  const std::size_t B = block_count_;
+  // Deterministic partition of N sessions over B blocks: block b gets
+  // floor((b+1)N/B) - floor(bN/B) sessions (sums to N, spread evenly).
+  const std::size_t lo_count = b * n / B;
+  const std::size_t hi_count = (b + 1) * n / B;
+  const double horizon = model_->config.duration_s;
+  const double window_lo = horizon * static_cast<double>(b) / static_cast<double>(B);
+  const double window_hi =
+      horizon * static_cast<double>(b + 1) / static_cast<double>(B);
+
+  // Substream independence: block b's draws depend only on the base seed
+  // and b — never on the other blocks or on batch granularity. Forking
+  // consumes parent state, so fork from a fresh copy every time; the label
+  // alone differentiates the blocks (and reset() replays exactly).
+  core::Rng fork_parent = base_rng_;
+  core::Rng block_rng = fork_parent.fork("block-" + std::to_string(b));
+
+  const std::size_t first = buffer_.size();
+  buffer_.reserve(first + (hi_count - lo_count));
+  for (std::size_t i = lo_count; i < hi_count; ++i) {
+    buffer_.push_back(model_->sample(block_rng, window_lo, window_hi));
+  }
+  // Arrival order within the block; blocks cover disjoint time windows, so
+  // this yields global arrival order. Ids are issued densely on emission.
+  std::sort(buffer_.begin() + static_cast<std::ptrdiff_t>(first), buffer_.end(),
+            [](const Session& a, const Session& b_) {
+              return a.arrival_s < b_.arrival_s;
+            });
+}
+
+std::vector<Session> BrokerTraceGenerator::next_batch(std::size_t max_sessions) {
+  std::vector<Session> out;
+  while (out.size() < max_sessions) {
+    if (buffer_pos_ >= buffer_.size()) {
+      if (next_block_ >= block_count_) break;
+      refill();
+      continue;
+    }
+    Session s = std::move(buffer_[buffer_pos_++]);
+    s.id = SessionId{static_cast<std::uint32_t>(emitted_++)};
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace vdx::trace

@@ -14,6 +14,7 @@
 //     ~40% and swings between ~20% and ~60% (Fig. 4).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -74,5 +75,85 @@ class BrokerTrace {
 [[nodiscard]] BrokerTrace generate_background(const geo::World& world,
                                               const TraceConfig& config,
                                               double multiplier, core::Rng& rng);
+
+/// Streaming trace generation for multi-hour, million-session horizons.
+///
+/// The monolithic generate_trace materializes (and globally sorts) the whole
+/// trace, which caps the reachable scale at available memory. This generator
+/// produces the *same statistical model* as a bounded stream: the horizon is
+/// cut into fixed time blocks, each block's sessions are drawn from an
+/// independent RNG substream forked off the base seed by block index, sorted
+/// by arrival within the block, and handed out through `next_batch(n)` in
+/// global arrival order (blocks cover disjoint time windows). Session ids
+/// are issued densely in arrival order, matching the materialized trace's
+/// id convention.
+///
+/// Determinism contract:
+///   * the emitted session sequence is a pure function of (world, config,
+///     seed, options) — the `n` passed to next_batch() only chunks the
+///     stream, it never changes it (chunk-boundary determinism);
+///   * block substreams are independent: block b's sessions depend only on
+///     the base seed and b, never on how many other blocks were generated;
+///   * memory is bounded by one block (options.block_sessions), not by
+///     config.session_count.
+///
+/// Note the stream is *statistically* equivalent to generate_trace, not
+/// byte-identical to it: the monolithic path draws all fields from one
+/// sequential stream, the blocked path from per-block substreams.
+class BrokerTraceGenerator {
+ public:
+  struct Options {
+    /// Generation granularity: the horizon is split into
+    /// ceil(session_count / block_sessions) time blocks. A model parameter
+    /// (changes the substream layout), unlike next_batch's `n`.
+    std::size_t block_sessions = 65'536;
+    /// false: background traffic (all TraceCdn::kOther, never switched).
+    bool broker_controlled = true;
+  };
+
+  /// `config.duration_s` is the stream horizon (vdxsim exposes it in
+  /// hours); `config.session_count` may be 0 (empty stream, no throw).
+  BrokerTraceGenerator(const geo::World& world, const TraceConfig& config,
+                       core::Rng rng);
+  BrokerTraceGenerator(const geo::World& world, const TraceConfig& config,
+                       core::Rng rng, Options options);
+  ~BrokerTraceGenerator();
+  BrokerTraceGenerator(const BrokerTraceGenerator&) = delete;
+  BrokerTraceGenerator& operator=(const BrokerTraceGenerator&) = delete;
+
+  /// Up to `max_sessions` further sessions in arrival order; empty once the
+  /// horizon is exhausted. `max_sessions == 0` returns an empty batch.
+  [[nodiscard]] std::vector<Session> next_batch(std::size_t max_sessions);
+
+  [[nodiscard]] bool exhausted() const noexcept;
+  /// Sessions handed out so far / over the full horizon.
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::size_t total_sessions() const noexcept;
+  [[nodiscard]] double duration_s() const noexcept;
+  [[nodiscard]] std::size_t block_count() const noexcept { return block_count_; }
+  /// Sessions currently buffered (the memory-bound proxy: at most one
+  /// block plus the unconsumed tail of the previous one).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - buffer_pos_;
+  }
+
+  /// Rewinds to the start of the stream; the replayed sequence is identical.
+  void reset();
+
+  /// The shared sampling model (also backs the monolithic generators).
+  struct Model;
+
+ private:
+  void refill();
+
+  std::unique_ptr<Model> model_;
+  core::Rng base_rng_;
+  Options options_;
+  std::size_t block_count_ = 0;
+  std::size_t next_block_ = 0;
+  std::size_t emitted_ = 0;
+  std::vector<Session> buffer_;
+  std::size_t buffer_pos_ = 0;
+};
 
 }  // namespace vdx::trace

@@ -145,6 +145,41 @@ TEST(Optimizer, RejectsMalformedInput) {
   EXPECT_THROW((void)optimize(duplicate, bids), std::invalid_argument);
 }
 
+TEST(Optimizer, AllowUnbidGroupsLeavesThemUnservedInsteadOfThrowing) {
+  // Incremental feeds can momentarily present a group no CDN bid on: with
+  // the opt-in, it simply places nobody while the bid-covered group is
+  // optimized normally.
+  const std::vector<ClientGroup> groups{make_group(0, 0, 2.0, 10.0),
+                                        make_group(1, 1, 2.0, 4.0)};
+  const std::vector<BidView> bids{make_bid(0, 0, 0, 10.0, 1.0, 1000.0)};
+
+  EXPECT_THROW((void)optimize(groups, bids), std::invalid_argument);
+
+  OptimizerConfig config;
+  config.allow_unbid_groups = true;
+  obs::MetricsRegistry metrics;
+  config.obs.metrics = &metrics;
+  const OptimizeResult result = optimize(groups, bids, config);
+  ASSERT_EQ(result.allocations.size(), 1u);
+  EXPECT_EQ(result.allocations[0].bid_index, 0u);
+  EXPECT_NEAR(result.allocations[0].clients, 10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(metrics.counter("broker.optimize.unbid_groups").value(), 1.0);
+}
+
+TEST(Optimizer, AllowUnbidGroupsStillRejectsTrulyMalformedInput) {
+  // The opt-in relaxes only the unbid-group rule — dangling shares and
+  // duplicates stay hard errors.
+  OptimizerConfig config;
+  config.allow_unbid_groups = true;
+  const std::vector<ClientGroup> groups{make_group(0, 0, 1.0, 5.0)};
+  const std::vector<BidView> dangling{make_bid(9, 0, 0, 10.0, 1.0, 100.0)};
+  EXPECT_THROW((void)optimize(groups, dangling, config), std::invalid_argument);
+
+  // All groups unbid: a legal (empty) outcome, not an error.
+  const OptimizeResult result = optimize(groups, {}, config);
+  EXPECT_TRUE(result.allocations.empty());
+}
+
 TEST(Optimizer, OverflowReportedWhenCapacityShort) {
   const std::vector<ClientGroup> groups{make_group(0, 0, 2.0, 10.0)};
   const std::vector<BidView> bids{make_bid(0, 0, 0, 10.0, 1.0, 4.0)};  // 20 needed

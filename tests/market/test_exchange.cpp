@@ -151,5 +151,64 @@ TEST_F(ExchangeTest, RoundsAreStableWithStaticStrategy) {
   }
 }
 
+TEST_F(ExchangeTest, IncrementalActiveLoadReshapesTheNextRound) {
+  // The streaming-timeline feed: between epochs the exchange is handed the
+  // *current* audience and ambient load, and the next round prices exactly
+  // that — not the whole-trace snapshot it was built with.
+  ExchangeConfig config;
+  config.strategy = StrategyKind::kStatic;
+  config.broker.enable_reputation = false;
+  config.broker.allow_unbid_groups = true;
+  VdxExchange exchange{scenario(), config};
+  const RoundReport full = exchange.run_round();
+
+  // Keep every fourth group at a quarter of its audience, re-ided densely.
+  std::vector<broker::ClientGroup> slice;
+  const auto groups = scenario().broker_groups();
+  for (std::size_t g = 0; g < groups.size(); g += 4) {
+    broker::ClientGroup group = groups[g];
+    group.id = broker::ShareId{static_cast<std::uint32_t>(slice.size())};
+    group.client_count *= 0.25;
+    slice.push_back(group);
+  }
+  const std::vector<double> quiet(scenario().catalog().clusters().size(), 0.0);
+  exchange.set_active_load(slice, quiet);
+  const RoundReport offpeak = exchange.run_round();
+
+  // Shares fan out once per CDN on the wire.
+  EXPECT_EQ(offpeak.wire.shares_sent,
+            slice.size() * scenario().catalog().cdns().size());
+  const double full_awarded =
+      std::accumulate(full.awarded_mbps.begin(), full.awarded_mbps.end(), 0.0);
+  const double offpeak_awarded = std::accumulate(
+      offpeak.awarded_mbps.begin(), offpeak.awarded_mbps.end(), 0.0);
+  EXPECT_GT(offpeak_awarded, 0.0);
+  EXPECT_LT(offpeak_awarded, full_awarded * 0.5);
+  EXPECT_GT(offpeak.mean_score, 0.0);
+
+  // An empty audience is a legal update: the round completes with nothing
+  // gathered and nothing awarded instead of erroring out.
+  exchange.set_active_load({}, quiet);
+  const RoundReport idle = exchange.run_round();
+  EXPECT_EQ(idle.wire.shares_sent, 0u);
+  EXPECT_DOUBLE_EQ(
+      std::accumulate(idle.awarded_mbps.begin(), idle.awarded_mbps.end(), 0.0), 0.0);
+}
+
+TEST_F(ExchangeTest, MalformedActiveLoadThrows) {
+  VdxExchange exchange{scenario()};
+  const std::vector<double> short_loads(1, 0.0);
+  EXPECT_THROW(exchange.set_active_load({}, short_loads), std::invalid_argument);
+
+  // Demand ids must be dense and in order (what broker::group_sessions
+  // emits); anything else would silently mis-attribute placements.
+  std::vector<broker::ClientGroup> sparse{scenario().broker_groups().begin(),
+                                          scenario().broker_groups().end()};
+  ASSERT_GT(sparse.size(), 1u);
+  sparse[0].id = broker::ShareId{42'000};
+  const std::vector<double> quiet(scenario().catalog().clusters().size(), 0.0);
+  EXPECT_THROW(exchange.set_active_load(sparse, quiet), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vdx::market

@@ -1,0 +1,80 @@
+#include "support/golden.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vdx::test {
+
+namespace {
+
+bool g_update_mode = false;
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < text.size()) lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+bool update_golden_mode() { return g_update_mode; }
+void set_update_golden_mode(bool on) { g_update_mode = on; }
+
+std::string golden_path(std::string_view name) {
+  return std::string{VDX_GOLDEN_DIR} + "/" + std::string{name};
+}
+
+::testing::AssertionResult golden_compare(std::string_view name,
+                                          std::string_view actual) {
+  const std::string path = golden_path(name);
+  if (g_update_mode) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "--update-golden: cannot write " << path;
+    }
+    out << actual;
+    return ::testing::AssertionSuccess() << "updated " << path;
+  }
+
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "missing golden file " << path
+           << " — regenerate with: <test-binary> --update-golden";
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string expected = content.str();
+  if (expected == actual) return ::testing::AssertionSuccess();
+
+  // Pinpoint the first differing line for the failure message.
+  const auto expected_lines = split_lines(expected);
+  const auto actual_lines = split_lines(actual);
+  const std::size_t common = std::min(expected_lines.size(), actual_lines.size());
+  std::size_t line = 0;
+  while (line < common && expected_lines[line] == actual_lines[line]) ++line;
+  auto failure = ::testing::AssertionFailure();
+  failure << name << " differs from golden (expected " << expected_lines.size()
+          << " lines, got " << actual_lines.size() << ")";
+  if (line < common) {
+    failure << "; first difference at line " << line + 1 << ":\n  golden: "
+            << expected_lines[line] << "\n  actual: " << actual_lines[line];
+  } else {
+    failure << "; line " << line + 1 << " exists on one side only";
+  }
+  failure << "\nregenerate with: <test-binary> --update-golden";
+  return failure;
+}
+
+}  // namespace vdx::test

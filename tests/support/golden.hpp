@@ -1,0 +1,31 @@
+// Golden-snapshot comparison (ISSUE 4): byte-for-byte diffs against small
+// canonical outputs committed under tests/golden/.
+//
+// Regeneration path: run the golden test binary with --update-golden — the
+// custom main (tests/support/golden_main.cpp) flips update mode, and every
+// golden_compare call rewrites its file in the source tree instead of
+// diffing. Review the git diff, commit, done.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace vdx::test {
+
+/// True when the binary was launched with --update-golden.
+[[nodiscard]] bool update_golden_mode();
+void set_update_golden_mode(bool on);
+
+/// Absolute path of golden file `name` (VDX_GOLDEN_DIR is baked in by the
+/// build and points into the source tree, so updates land in git).
+[[nodiscard]] std::string golden_path(std::string_view name);
+
+/// Byte-compares `actual` against the committed golden `name`; the failure
+/// message pinpoints the first differing line. In update mode, (re)writes
+/// the golden and succeeds.
+[[nodiscard]] ::testing::AssertionResult golden_compare(std::string_view name,
+                                                        std::string_view actual);
+
+}  // namespace vdx::test

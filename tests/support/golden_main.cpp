@@ -1,0 +1,22 @@
+// Custom gtest main for golden-snapshot suites: recognizes --update-golden
+// (regenerate the committed snapshots in the source tree) before handing
+// the remaining flags to googletest.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/golden.hpp"
+
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      vdx::test::set_update_golden_mode(true);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

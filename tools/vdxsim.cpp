@@ -13,6 +13,8 @@
 //   vdxsim world
 //
 // Run `vdxsim help` for the full reference.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +33,7 @@
 #include "sim/experiments.hpp"
 #include "sim/hybrid.hpp"
 #include "sim/multibroker.hpp"
+#include "sim/streaming.hpp"
 #include "sim/timeline.hpp"
 #include "trace/stats.hpp"
 
@@ -39,7 +42,8 @@ namespace {
 using namespace vdx;
 
 /// Minimal `--flag value` parser. Flags may appear in any order; unknown
-/// flags are an error (fail loudly, not silently).
+/// flags are an error (fail loudly, not silently). A flag followed by
+/// another flag (or the end of the line) is bare — read it with boolean().
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -49,16 +53,29 @@ class Flags {
         throw std::invalid_argument{"expected --flag, got '" + key + "'"};
       }
       key = key.substr(2);
-      if (i + 1 >= argc) throw std::invalid_argument{"--" + key + " needs a value"};
-      values_[key] = argv[++i];
+      if (i + 1 >= argc || std::string{argv[i + 1]}.rfind("--", 0) == 0) {
+        values_[key] = "";  // bare switch, e.g. --stream
+      } else {
+        values_[key] = argv[++i];
+      }
     }
   }
 
   [[nodiscard]] double number(const std::string& key, double fallback) {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
+    if (it->second.empty()) {
+      throw std::invalid_argument{"--" + key + " needs a value"};
+    }
     used_.insert(*it);
     return std::stod(it->second);
+  }
+
+  [[nodiscard]] bool boolean(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    used_.insert(*it);
+    return it->second.empty() || it->second == "true" || it->second == "1";
   }
 
   [[nodiscard]] std::string text(const std::string& key, std::string fallback) {
@@ -213,23 +230,11 @@ int cmd_table3(Flags& flags) {
   return 0;
 }
 
-int cmd_timeline(Flags& flags) {
-  const std::string name = flags.text("name", "marketplace");
-  const auto design = design_by_name(name);
-  if (!design) {
-    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
-    return 2;
-  }
-  const sim::Scenario scenario = sim::Scenario::build(scenario_config_from(flags));
-  sim::TimelineConfig config;
-  config.design = *design;
-  config.run = run_config_from(flags);
-  config.epoch_s = flags.number("epoch", 300.0);
-  const sim::TimelineResult result = sim::run_timeline(scenario, config);
-
+void print_timeline_table(const sim::TimelineResult& result, sim::Design design,
+                          Flags& flags) {
   core::Table table{{"Epoch", "Time (s)", "Active", "CDN switch", "Cluster switch",
                      "Mean score"}};
-  table.set_title("Timeline: " + std::string{sim::to_string(*design)});
+  table.set_title("Timeline: " + std::string{sim::to_string(design)});
   for (const sim::EpochReport& epoch : result.epochs) {
     table.add_row({std::to_string(epoch.epoch), core::format_double(epoch.time_s, 0),
                    std::to_string(epoch.active_sessions),
@@ -241,6 +246,69 @@ int cmd_timeline(Flags& flags) {
   std::printf("mean CDN switch fraction: %s\n",
               core::format_percent(result.mean_cdn_switch_fraction, 1).c_str());
   maybe_export_csv(table, flags);
+}
+
+int cmd_timeline(Flags& flags) {
+  const std::string name = flags.text("name", "marketplace");
+  const auto design = design_by_name(name);
+  if (!design) {
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    return 2;
+  }
+  sim::ScenarioConfig scenario_config = scenario_config_from(flags);
+  const double hours = flags.number("hours", 0.0);
+  if (hours > 0.0) scenario_config.trace.duration_s = hours * 3600.0;
+  const double epoch_s = flags.number("epoch", 300.0);
+
+  if (!flags.boolean("stream")) {
+    const sim::Scenario scenario = sim::Scenario::build(scenario_config);
+    sim::TimelineConfig config;
+    config.design = *design;
+    config.run = run_config_from(flags);
+    config.epoch_s = epoch_s;
+    print_timeline_table(sim::run_timeline(scenario, config), *design, flags);
+    flags.check_all_used();
+    return 0;
+  }
+
+  // --stream: the event-driven engine fed from chunked generators. The
+  // scenario only contributes world/catalog/mapping here, so it is built
+  // with a small pilot trace — the requested session count lives in the
+  // streams and is never resident in memory all at once.
+  const std::size_t sessions = scenario_config.trace.session_count;
+  sim::ScenarioConfig pilot = scenario_config;
+  pilot.trace.session_count = std::min<std::size_t>(sessions, 10'000);
+  const sim::Scenario scenario = sim::Scenario::build(pilot);
+
+  core::Rng stream_root{scenario_config.seed};
+  core::Rng broker_rng = stream_root.fork("stream-trace");
+  core::Rng background_rng = stream_root.fork("stream-background");
+  trace::TraceConfig broker_trace = scenario_config.trace;
+  trace::TraceConfig background_trace = broker_trace;
+  background_trace.session_count = static_cast<std::size_t>(std::llround(
+      scenario_config.background_multiplier * static_cast<double>(sessions)));
+  trace::BrokerTraceGenerator::Options background_options;
+  background_options.broker_controlled = false;
+  trace::BrokerTraceGenerator broker_generator{scenario.world(), broker_trace,
+                                               broker_rng};
+  trace::BrokerTraceGenerator background_generator{
+      scenario.world(), background_trace, background_rng, background_options};
+
+  sim::StreamingConfig config;
+  config.design = *design;
+  config.run = run_config_from(flags);
+  config.epoch_s = epoch_s;
+  sim::GeneratorStream broker_stream{broker_generator};
+  sim::GeneratorStream background_stream{background_generator};
+  const sim::StreamingResult result =
+      sim::StreamingTimeline{scenario, config}.run(broker_stream, background_stream);
+
+  print_timeline_table(result.timeline, *design, flags);
+  std::printf("streamed: broker=%zu background=%zu peak-active=%zu "
+              "decision-rounds=%zu background-recomputes=%zu\n",
+              result.broker_sessions, result.background_sessions,
+              result.peak_active_sessions, result.decision_rounds,
+              result.background_recomputes);
   flags.check_all_used();
   return 0;
 }
@@ -453,7 +521,10 @@ void print_help() {
       "  world          print the synthetic world (countries, costs, clusters)\n"
       "  design         run one design snapshot   (--name brokered|marketplace|...)\n"
       "  table3         run the full design comparison\n"
-      "  timeline       per-epoch decision churn  (--name X --epoch 300)\n"
+      "  timeline       per-epoch decision churn  (--name X --epoch 300\n"
+      "                 --hours H --stream: event-driven engine over chunked\n"
+      "                 session generators — memory stays bounded at any\n"
+      "                 --sessions)\n"
       "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
       "                 --strategy static|risk-averse --drop P --corrupt P\n"
       "                 --chaos-seed S --metrics-out F --trace-out F\n"
