@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace vdx::broker {
 
@@ -45,6 +47,18 @@ bool ReputationSystem::is_blacklisted(core::CdnId cdn) const {
 
 double ReputationSystem::error_estimate(core::CdnId cdn) const {
   return state_of(cdn).error;
+}
+
+core::Status ReputationSystem::restore(std::vector<State> states) {
+  if (states.size() != states_.size()) {
+    return core::Status::failure(
+        core::Errc::kInvalidArgument,
+        "ReputationSystem::restore: snapshot tracks " +
+            std::to_string(states.size()) + " CDNs, this system tracks " +
+            std::to_string(states_.size()));
+  }
+  states_ = std::move(states);
+  return core::ok_status();
 }
 
 }  // namespace vdx::broker

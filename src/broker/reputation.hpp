@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/result.hpp"
 
 namespace vdx::broker {
 
@@ -59,13 +60,22 @@ class ReputationSystem {
 
   [[nodiscard]] const ReputationConfig& config() const noexcept { return config_; }
 
- private:
+  /// Per-CDN reputation state, exposed for checkpoint/restore.
   struct State {
     double error = 0.0;
     std::size_t strikes = 0;
     bool blacklisted = false;
+
+    friend bool operator==(const State&, const State&) = default;
   };
 
+  /// Checkpoint support: the complete per-CDN state vector (indexed by CDN
+  /// id). restore() rejects a vector of the wrong size — a snapshot from a
+  /// different catalog must not be grafted on.
+  [[nodiscard]] const std::vector<State>& save() const noexcept { return states_; }
+  [[nodiscard]] core::Status restore(std::vector<State> states);
+
+ private:
   [[nodiscard]] const State& state_of(core::CdnId cdn) const;
 
   ReputationConfig config_;

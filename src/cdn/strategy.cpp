@@ -51,6 +51,27 @@ double RiskAverseStrategy::win_rate(CityId city, ClusterId cluster) const {
   return it == state_.end() ? 0.5 : it->second.win_rate;
 }
 
+std::vector<BiddingStrategy::SavedEntry> RiskAverseStrategy::save_state() const {
+  std::vector<SavedEntry> entries;
+  entries.reserve(state_.size());
+  for (const auto& [key, s] : state_) {
+    entries.push_back(SavedEntry{key, s.win_rate, s.price_multiplier});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SavedEntry& a, const SavedEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+void RiskAverseStrategy::restore_state(std::span<const SavedEntry> entries) {
+  state_.clear();
+  state_.reserve(entries.size());
+  for (const SavedEntry& entry : entries) {
+    State s{entry.price_multiplier};
+    s.win_rate = entry.win_rate;
+    state_.emplace(entry.key, s);
+  }
+}
+
 std::unique_ptr<BiddingStrategy> make_static_strategy(double markup) {
   return std::make_unique<StaticStrategy>(markup);
 }

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "cdn/cluster.hpp"
 
@@ -40,6 +42,24 @@ class BiddingStrategy {
   /// metric (|expected - actual| shrinks as the strategy learns).
   [[nodiscard]] virtual double expected_win(CityId city, ClusterId cluster,
                                             double bid_mbps) const = 0;
+
+  /// One learned (city, cluster) entry, for checkpoint/restore. The key
+  /// packs (city << 32 | cluster); values are strategy-specific.
+  struct SavedEntry {
+    std::uint64_t key = 0;
+    double win_rate = 0.0;
+    double price_multiplier = 0.0;
+
+    friend bool operator==(const SavedEntry&, const SavedEntry&) = default;
+  };
+
+  /// Checkpointable learning state in key-ascending order (a canonical
+  /// serialization order, whatever container backs the live state).
+  /// Stateless strategies return empty and ignore restores.
+  [[nodiscard]] virtual std::vector<SavedEntry> save_state() const { return {}; }
+  virtual void restore_state(std::span<const SavedEntry> entries) {
+    (void)entries;
+  }
 };
 
 /// Bids full capacity at the fixed markup every round (no learning).
@@ -84,6 +104,9 @@ class RiskAverseStrategy final : public BiddingStrategy {
 
   /// Current win-rate estimate (testing/inspection).
   [[nodiscard]] double win_rate(CityId city, ClusterId cluster) const;
+
+  [[nodiscard]] std::vector<SavedEntry> save_state() const override;
+  void restore_state(std::span<const SavedEntry> entries) override;
 
  private:
   struct State {

@@ -1,0 +1,129 @@
+#include "core/flags.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+namespace vdx::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& key, const std::string& value,
+                       const std::string& expected) {
+  throw std::invalid_argument{"--" + key + " " + expected + " (got '" + value + "')"};
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    fail(key, value, "needs a number");
+  }
+  if (consumed != value.size() || !std::isfinite(parsed)) {
+    fail(key, value, "needs a finite number");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument{"expected --flag, got '" + key + "'"};
+    }
+    key = key.substr(2);
+    if (key.empty()) throw std::invalid_argument{"empty flag name '--'"};
+    if (i + 1 >= argc || std::string{argv[i + 1]}.rfind("--", 0) == 0) {
+      values_[key] = "";  // bare switch, e.g. --stream
+    } else {
+      values_[key] = argv[++i];
+    }
+  }
+}
+
+Flags::Flags(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  *this = Flags{static_cast<int>(argv.size()), argv.data(), 0};
+}
+
+const std::string* Flags::raw(const std::string& key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return nullptr;
+  used_.insert(key);
+  return &it->second;
+}
+
+double Flags::number(const std::string& key, double fallback) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return fallback;
+  if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
+  return parse_number(key, *value);
+}
+
+double Flags::positive(const std::string& key, double fallback) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return fallback;
+  if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
+  const double parsed = parse_number(key, *value);
+  if (parsed <= 0.0) fail(key, *value, "must be > 0");
+  return parsed;
+}
+
+std::size_t Flags::count(const std::string& key, std::size_t fallback,
+                         std::size_t minimum) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return fallback;
+  if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
+  std::size_t consumed = 0;
+  long long parsed = 0;
+  try {
+    parsed = std::stoll(*value, &consumed);
+  } catch (const std::exception&) {
+    fail(key, *value, "needs an integer");
+  }
+  if (consumed != value->size()) fail(key, *value, "needs an integer");
+  if (parsed < 0 || static_cast<std::size_t>(parsed) < minimum) {
+    fail(key, *value, "must be an integer >= " + std::to_string(minimum));
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+bool Flags::boolean(const std::string& key) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return false;
+  return value->empty() || *value == "true" || *value == "1";
+}
+
+std::string Flags::text(const std::string& key, std::string fallback) {
+  const std::string* value = raw(key);
+  return value == nullptr ? std::move(fallback) : *value;
+}
+
+std::string Flags::existing_path(const std::string& key) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return "";
+  if (value->empty()) throw std::invalid_argument{"--" + key + " needs a path"};
+  if (!std::filesystem::exists(*value)) {
+    throw std::invalid_argument{"--" + key + ": no such file or directory: '" +
+                                *value + "'"};
+  }
+  return *value;
+}
+
+bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+void Flags::check_all_used() const {
+  for (const auto& [key, value] : values_) {
+    if (!used_.contains(key)) {
+      throw std::invalid_argument{"unknown flag --" + key};
+    }
+  }
+}
+
+}  // namespace vdx::core

@@ -1,0 +1,57 @@
+// Validated `--flag value` command-line parsing, shared by the CLI tools.
+//
+// The parser is strict where silent misreads would corrupt a run: unknown
+// flags, non-numeric values, out-of-range counts, and nonexistent paths all
+// throw std::invalid_argument with a one-line message naming the flag and
+// the offending value. Flags may appear in any order; a flag followed by
+// another flag (or the end of the line) is a bare switch, read with
+// boolean(). Accessors record which flags they consumed so check_all_used()
+// can reject typos loudly instead of ignoring them.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vdx::core {
+
+class Flags {
+ public:
+  /// Parses argv[first..argc). Throws on anything that is not `--flag` or a
+  /// value following one.
+  Flags(int argc, const char* const* argv, int first);
+  /// Test-friendly constructor over pre-split arguments.
+  explicit Flags(const std::vector<std::string>& args);
+
+  /// Finite number; `fallback` when the flag is absent.
+  [[nodiscard]] double number(const std::string& key, double fallback);
+  /// Finite number that must be strictly positive *when given explicitly*;
+  /// `fallback` (which may be a 0 sentinel) when absent.
+  [[nodiscard]] double positive(const std::string& key, double fallback);
+  /// Non-negative integer; an explicit value below `minimum` is rejected.
+  /// `fallback` is returned as-is when the flag is absent.
+  [[nodiscard]] std::size_t count(const std::string& key, std::size_t fallback,
+                                  std::size_t minimum = 0);
+  /// Bare switch (`--stream`) or explicit true/1.
+  [[nodiscard]] bool boolean(const std::string& key);
+  [[nodiscard]] std::string text(const std::string& key, std::string fallback);
+  /// Filesystem path that must exist when the flag is given; "" when absent.
+  [[nodiscard]] std::string existing_path(const std::string& key);
+
+  /// Whether the flag was given at all (does not mark it used).
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Throws for any flag no accessor consumed (typo'd or misplaced flags
+  /// must not be silently ignored).
+  void check_all_used() const;
+
+ private:
+  [[nodiscard]] const std::string* raw(const std::string& key);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+}  // namespace vdx::core

@@ -18,6 +18,8 @@ enum class Errc : std::uint8_t {
   kCorruptFrame = 3,   // wire-level rejection: truncated/mutated/unknown frame
   kTimeout = 4,        // deadline expired after the retry budget
   kUnavailable = 5,    // the counterpart is dark / withdrawn
+  kCorruptSnapshot = 6,   // checkpoint rejection: truncated/mutated/bad checksum
+  kVersionMismatch = 7,   // checkpoint written by an incompatible format version
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc code) noexcept {
@@ -27,6 +29,8 @@ enum class Errc : std::uint8_t {
     case Errc::kCorruptFrame: return "corrupt_frame";
     case Errc::kTimeout: return "timeout";
     case Errc::kUnavailable: return "unavailable";
+    case Errc::kCorruptSnapshot: return "corrupt_snapshot";
+    case Errc::kVersionMismatch: return "version_mismatch";
   }
   return "unknown";
 }

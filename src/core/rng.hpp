@@ -90,6 +90,26 @@ class Rng {
   /// forked from the same parent state for different purposes.
   [[nodiscard]] Rng fork(std::string_view label) noexcept;
 
+  /// Complete generator state, for checkpoint/restore: the four xoshiro
+  /// words plus the Box-Muller spare. save()/restore() round-trip exactly —
+  /// a restored generator replays the identical stream.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    double spare_normal = 0.0;
+    bool has_spare = false;
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+
+  [[nodiscard]] Snapshot save() const noexcept {
+    return Snapshot{state_, spare_normal_, has_spare_};
+  }
+  void restore(const Snapshot& snapshot) noexcept {
+    state_ = snapshot.state;
+    spare_normal_ = snapshot.spare_normal;
+    has_spare_ = snapshot.has_spare;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -129,6 +129,37 @@ void VdxBrokerAgent::set_demand(std::vector<broker::ClientGroup> groups) {
   demand_ = std::move(groups);
 }
 
+VdxBrokerAgent::Saved VdxBrokerAgent::save_state() const {
+  Saved saved;
+  saved.reputation = reputation_.save();
+  saved.optimize_round = optimize_round_;
+  saved.has_demand_override = demand_.has_value();
+  if (demand_) saved.demand = *demand_;
+  saved.stale_bids.reserve(stale_cache_.size());
+  for (const auto& [key, entry] : stale_cache_) {  // std::map: key-ascending
+    saved.stale_bids.push_back(
+        SavedStale{key[0], key[1], key[2], entry.bid, entry.round});
+  }
+  return saved;
+}
+
+core::Status VdxBrokerAgent::restore_state(Saved saved) {
+  auto reputation = reputation_.restore(std::move(saved.reputation));
+  if (!reputation.ok()) return reputation;
+  optimize_round_ = static_cast<std::size_t>(saved.optimize_round);
+  if (saved.has_demand_override) {
+    demand_ = std::move(saved.demand);
+  } else {
+    demand_.reset();
+  }
+  stale_cache_.clear();
+  for (SavedStale& stale : saved.stale_bids) {
+    stale_cache_.emplace(StaleKey{stale.cdn, stale.share, stale.cluster},
+                         StaleEntry{stale.bid, static_cast<std::size_t>(stale.round)});
+  }
+  return core::ok_status();
+}
+
 std::vector<proto::ShareMessage> VdxBrokerAgent::gather() {
   std::vector<proto::ShareMessage> shares;
   shares.reserve(demand().size());

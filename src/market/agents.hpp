@@ -69,6 +69,31 @@ class VdxCdnAgent final : public proto::CdnParticipant {
 
   [[nodiscard]] cdn::CdnId id() const noexcept { return cdn_; }
 
+  /// Cross-round agent state for checkpoint/restore. awarded_mbps_ matters:
+  /// it is reset only by handle_accept, which a chaos transport can skip
+  /// (dropped Accepts), so it genuinely carries across rounds. The
+  /// per-round share/commitment maps are rebuilt by the next handle_share
+  /// and need no serialization.
+  struct Saved {
+    bool failed = false;
+    bool fraudulent = false;
+    double expected_mbps = 0.0;
+    double awarded_mbps = 0.0;
+    double bid_mbps = 0.0;
+
+    friend bool operator==(const Saved&, const Saved&) = default;
+  };
+  [[nodiscard]] Saved save_state() const {
+    return Saved{failed_, fraudulent_, expected_mbps_, awarded_mbps_, bid_mbps_};
+  }
+  void restore_state(const Saved& saved) {
+    failed_ = saved.failed;
+    fraudulent_ = saved.fraudulent;
+    expected_mbps_ = saved.expected_mbps;
+    awarded_mbps_ = saved.awarded_mbps;
+    bid_mbps_ = saved.bid_mbps;
+  }
+
  private:
   const sim::Scenario& scenario_;
   cdn::CdnId cdn_;
@@ -165,6 +190,29 @@ class VdxBrokerAgent final : public proto::BrokerParticipant,
   [[nodiscard]] std::size_t fresh_cdn_count() const noexcept { return fresh_cdns_; }
   [[nodiscard]] double stale_awarded_mbps() const noexcept { return stale_awarded_; }
   [[nodiscard]] double total_awarded_mbps() const noexcept { return total_awarded_; }
+
+  /// Cross-round broker state for checkpoint/restore: the reputation
+  /// ledger, the Optimize round counter (drives stale-bid TTLs), the
+  /// demand override, and the stale-bid cache (key-ascending). Per-round
+  /// telemetry and the delivery directory are rebuilt by the next round.
+  struct SavedStale {
+    std::uint32_t cdn = 0;
+    std::uint32_t share = 0;
+    std::uint32_t cluster = 0;
+    proto::BidMessage bid;
+    std::uint64_t round = 0;
+  };
+  struct Saved {
+    std::vector<broker::ReputationSystem::State> reputation;
+    std::uint64_t optimize_round = 0;
+    bool has_demand_override = false;
+    std::vector<broker::ClientGroup> demand;
+    std::vector<SavedStale> stale_bids;
+  };
+  [[nodiscard]] Saved save_state() const;
+  /// Rejects (kInvalidArgument) a snapshot whose reputation vector does not
+  /// match this scenario's CDN count.
+  [[nodiscard]] core::Status restore_state(Saved saved);
 
  private:
   /// (cdn, share, cluster) — the identity of a bid across rounds.

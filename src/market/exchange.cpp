@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "cdn/menu_cache.hpp"
+#include "proto/wire.hpp"
 #include "sim/designs.hpp"
 #include "sim/metrics.hpp"
+#include "state/snapshot.hpp"
 
 namespace vdx::market {
 
@@ -267,6 +271,349 @@ core::Result<proto::DeliveryOutcome> VdxExchange::deliver(std::uint32_t session_
 const proto::FaultCounters& VdxExchange::fault_counters() const {
   static const proto::FaultCounters kNone{};
   return injector_ ? injector_->counters() : kNone;
+}
+
+namespace {
+
+// Exchange snapshot section ids (distinct from the timeline checkpoint's
+// 1-6 range so a file of the wrong kind fails loudly on a missing section).
+constexpr std::uint32_t kSectionExchangeCore = 10;
+constexpr std::uint32_t kSectionBroker = 11;
+constexpr std::uint32_t kSectionStrategies = 12;
+constexpr std::uint32_t kSectionCdnAgents = 13;
+constexpr std::uint32_t kSectionInjector = 14;
+
+core::Status invalid(std::string message) {
+  return core::Status::failure(core::Errc::kInvalidArgument, std::move(message));
+}
+
+core::Status corrupt(std::string message) {
+  return core::Status::failure(core::Errc::kCorruptSnapshot, std::move(message));
+}
+
+void write_f64_vector(proto::ByteWriter& out, std::span<const double> values) {
+  out.write_u64(values.size());
+  for (const double value : values) out.write_f64(value);
+}
+
+std::vector<double> read_f64_vector(proto::ByteReader& in) {
+  const std::uint64_t count = in.read_u64();
+  if (count * 8 > in.remaining()) {
+    throw std::invalid_argument{"f64 vector count overruns the section"};
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) values.push_back(in.read_f64());
+  return values;
+}
+
+void write_bid(proto::ByteWriter& out, const proto::BidMessage& bid) {
+  out.write_u32(bid.cluster_id);
+  out.write_u32(bid.share_id);
+  out.write_f64(bid.performance_estimate);
+  out.write_f64(bid.capacity_mbps);
+  out.write_f64(bid.price);
+  out.write_u32(bid.cdn_id);
+}
+
+proto::BidMessage read_bid(proto::ByteReader& in) {
+  proto::BidMessage bid;
+  bid.cluster_id = in.read_u32();
+  bid.share_id = in.read_u32();
+  bid.performance_estimate = in.read_f64();
+  bid.capacity_mbps = in.read_f64();
+  bid.price = in.read_f64();
+  bid.cdn_id = in.read_u32();
+  return bid;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> VdxExchange::save_state() const {
+  state::SnapshotWriter writer;
+  {
+    proto::ByteWriter out;
+    out.write_u64(rounds_completed_);
+    out.write_u64(obs_.tracer != nullptr ? obs_.tracer->logical_now() : 0);
+    write_f64_vector(out, background_loads_);
+    write_f64_vector(out, last_cluster_loads_);
+    writer.add_section(kSectionExchangeCore, out.take());
+  }
+  {
+    const VdxBrokerAgent::Saved broker = broker_agent_->save_state();
+    proto::ByteWriter out;
+    out.write_u64(broker.reputation.size());
+    for (const broker::ReputationSystem::State& state : broker.reputation) {
+      out.write_f64(state.error);
+      out.write_u64(state.strikes);
+      out.write_u8(state.blacklisted ? 1 : 0);
+    }
+    out.write_u64(broker.optimize_round);
+    out.write_u8(broker.has_demand_override ? 1 : 0);
+    out.write_u64(broker.demand.size());
+    for (const broker::ClientGroup& group : broker.demand) {
+      out.write_u32(group.id.value());
+      out.write_u32(group.city.value());
+      out.write_u32(group.isp);
+      out.write_f64(group.bitrate_mbps);
+      out.write_f64(group.client_count);
+    }
+    out.write_u64(broker.stale_bids.size());
+    for (const VdxBrokerAgent::SavedStale& stale : broker.stale_bids) {
+      out.write_u32(stale.cdn);
+      out.write_u32(stale.share);
+      out.write_u32(stale.cluster);
+      write_bid(out, stale.bid);
+      out.write_u64(stale.round);
+    }
+    writer.add_section(kSectionBroker, out.take());
+  }
+  {
+    proto::ByteWriter out;
+    out.write_u64(strategies_.size());
+    for (const auto& strategy : strategies_) {
+      const std::vector<cdn::BiddingStrategy::SavedEntry> entries =
+          strategy->save_state();
+      out.write_u64(entries.size());
+      for (const cdn::BiddingStrategy::SavedEntry& entry : entries) {
+        out.write_u64(entry.key);
+        out.write_f64(entry.win_rate);
+        out.write_f64(entry.price_multiplier);
+      }
+    }
+    writer.add_section(kSectionStrategies, out.take());
+  }
+  {
+    proto::ByteWriter out;
+    out.write_u64(cdn_agents_.size());
+    for (const auto& agent : cdn_agents_) {
+      const VdxCdnAgent::Saved saved = agent->save_state();
+      out.write_u8(saved.failed ? 1 : 0);
+      out.write_u8(saved.fraudulent ? 1 : 0);
+      out.write_f64(saved.expected_mbps);
+      out.write_f64(saved.awarded_mbps);
+      out.write_f64(saved.bid_mbps);
+    }
+    writer.add_section(kSectionCdnAgents, out.take());
+  }
+  {
+    proto::ByteWriter out;
+    out.write_u8(injector_ != nullptr ? 1 : 0);
+    if (injector_ != nullptr) {
+      const proto::FaultInjector::Saved saved = injector_->save();
+      out.write_u64(saved.links.size());
+      for (const proto::FaultInjector::Saved::Link& link : saved.links) {
+        for (const std::uint64_t word : link.rng.state) out.write_u64(word);
+        out.write_f64(link.rng.spare_normal);
+        out.write_u8(link.rng.has_spare ? 1 : 0);
+        out.write_u8(link.burst ? 1 : 0);
+        out.write_u8(link.initialized ? 1 : 0);
+      }
+      out.write_u64(saved.counters.frames);
+      out.write_u64(saved.counters.delivered);
+      out.write_u64(saved.counters.dropped);
+      out.write_u64(saved.counters.duplicated);
+      out.write_u64(saved.counters.delayed);
+      out.write_u64(saved.counters.truncated);
+      out.write_u64(saved.counters.corrupted);
+    }
+    writer.add_section(kSectionInjector, out.take());
+  }
+  return writer.finish();
+}
+
+core::Status VdxExchange::restore_state(std::span<const std::uint8_t> bytes) {
+  auto parsed = state::SnapshotView::parse(bytes);
+  if (!parsed.ok()) return core::Status{parsed.error()};
+  const state::SnapshotView view = std::move(parsed).value();
+
+  const auto section = [&view](std::uint32_t id) -> const state::Section* {
+    return view.find(id);
+  };
+  const state::Section* core_section = section(kSectionExchangeCore);
+  const state::Section* broker_section = section(kSectionBroker);
+  const state::Section* strategy_section = section(kSectionStrategies);
+  const state::Section* agent_section = section(kSectionCdnAgents);
+  const state::Section* injector_section = section(kSectionInjector);
+  if (core_section == nullptr || broker_section == nullptr ||
+      strategy_section == nullptr || agent_section == nullptr ||
+      injector_section == nullptr) {
+    return corrupt("exchange snapshot is missing a required section");
+  }
+
+  // Decode everything into locals first: restore_state either applies the
+  // whole snapshot or leaves the exchange untouched.
+  std::uint64_t rounds = 0;
+  std::uint64_t logical = 0;
+  std::vector<double> background_loads;
+  std::vector<double> cluster_loads;
+  VdxBrokerAgent::Saved broker;
+  std::vector<std::vector<cdn::BiddingStrategy::SavedEntry>> strategy_entries;
+  std::vector<VdxCdnAgent::Saved> agent_saved;
+  bool has_injector = false;
+  proto::FaultInjector::Saved injector_saved;
+  try {
+    {
+      proto::ByteReader in{core_section->bytes};
+      rounds = in.read_u64();
+      logical = in.read_u64();
+      background_loads = read_f64_vector(in);
+      cluster_loads = read_f64_vector(in);
+    }
+    {
+      proto::ByteReader in{broker_section->bytes};
+      const std::uint64_t reputation_count = in.read_u64();
+      if (reputation_count * 17 > in.remaining()) {
+        return corrupt("reputation row count overruns the section");
+      }
+      broker.reputation.reserve(static_cast<std::size_t>(reputation_count));
+      for (std::uint64_t i = 0; i < reputation_count; ++i) {
+        broker::ReputationSystem::State state;
+        state.error = in.read_f64();
+        state.strikes = static_cast<std::size_t>(in.read_u64());
+        state.blacklisted = in.read_u8() != 0;
+        broker.reputation.push_back(state);
+      }
+      broker.optimize_round = in.read_u64();
+      broker.has_demand_override = in.read_u8() != 0;
+      const std::uint64_t demand_count = in.read_u64();
+      if (demand_count * 28 > in.remaining()) {
+        return corrupt("demand group count overruns the section");
+      }
+      broker.demand.reserve(static_cast<std::size_t>(demand_count));
+      for (std::uint64_t i = 0; i < demand_count; ++i) {
+        const std::uint32_t id = in.read_u32();
+        const std::uint32_t city = in.read_u32();
+        broker::ClientGroup group{broker::ShareId{id}, geo::CityId{city}, in.read_u32(),
+                                  0.0, 0.0};
+        group.bitrate_mbps = in.read_f64();
+        group.client_count = in.read_f64();
+        broker.demand.push_back(group);
+      }
+      const std::uint64_t stale_count = in.read_u64();
+      if (stale_count * 52 > in.remaining()) {
+        return corrupt("stale bid count overruns the section");
+      }
+      broker.stale_bids.reserve(static_cast<std::size_t>(stale_count));
+      for (std::uint64_t i = 0; i < stale_count; ++i) {
+        VdxBrokerAgent::SavedStale stale;
+        stale.cdn = in.read_u32();
+        stale.share = in.read_u32();
+        stale.cluster = in.read_u32();
+        stale.bid = read_bid(in);
+        stale.round = in.read_u64();
+        broker.stale_bids.push_back(stale);
+      }
+    }
+    {
+      proto::ByteReader in{strategy_section->bytes};
+      const std::uint64_t strategy_count = in.read_u64();
+      if (strategy_count * 8 > in.remaining()) {
+        return corrupt("strategy count overruns the section");
+      }
+      strategy_entries.reserve(static_cast<std::size_t>(strategy_count));
+      for (std::uint64_t s = 0; s < strategy_count; ++s) {
+        const std::uint64_t entry_count = in.read_u64();
+        if (entry_count * 24 > in.remaining()) {
+          return corrupt("strategy entry count overruns the section");
+        }
+        std::vector<cdn::BiddingStrategy::SavedEntry> entries;
+        entries.reserve(static_cast<std::size_t>(entry_count));
+        for (std::uint64_t i = 0; i < entry_count; ++i) {
+          cdn::BiddingStrategy::SavedEntry entry;
+          entry.key = in.read_u64();
+          entry.win_rate = in.read_f64();
+          entry.price_multiplier = in.read_f64();
+          entries.push_back(entry);
+        }
+        strategy_entries.push_back(std::move(entries));
+      }
+    }
+    {
+      proto::ByteReader in{agent_section->bytes};
+      const std::uint64_t agent_count = in.read_u64();
+      if (agent_count * 26 > in.remaining()) {
+        return corrupt("CDN agent count overruns the section");
+      }
+      agent_saved.reserve(static_cast<std::size_t>(agent_count));
+      for (std::uint64_t i = 0; i < agent_count; ++i) {
+        VdxCdnAgent::Saved saved;
+        saved.failed = in.read_u8() != 0;
+        saved.fraudulent = in.read_u8() != 0;
+        saved.expected_mbps = in.read_f64();
+        saved.awarded_mbps = in.read_f64();
+        saved.bid_mbps = in.read_f64();
+        agent_saved.push_back(saved);
+      }
+    }
+    {
+      proto::ByteReader in{injector_section->bytes};
+      has_injector = in.read_u8() != 0;
+      if (has_injector) {
+        const std::uint64_t link_count = in.read_u64();
+        if (link_count * 44 > in.remaining()) {
+          return corrupt("fault link count overruns the section");
+        }
+        injector_saved.links.reserve(static_cast<std::size_t>(link_count));
+        for (std::uint64_t i = 0; i < link_count; ++i) {
+          proto::FaultInjector::Saved::Link link;
+          for (std::uint64_t& word : link.rng.state) word = in.read_u64();
+          link.rng.spare_normal = in.read_f64();
+          link.rng.has_spare = in.read_u8() != 0;
+          link.burst = in.read_u8() != 0;
+          link.initialized = in.read_u8() != 0;
+          injector_saved.links.push_back(link);
+        }
+        injector_saved.counters.frames = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.delivered = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.dropped = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.duplicated = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.delayed = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.truncated = static_cast<std::size_t>(in.read_u64());
+        injector_saved.counters.corrupted = static_cast<std::size_t>(in.read_u64());
+      }
+    }
+  } catch (const proto::WireError&) {
+    return corrupt("exchange snapshot section truncated");
+  } catch (const std::invalid_argument& error) {
+    return corrupt(error.what());
+  }
+
+  // Cross-check against this exchange's configuration before mutating
+  // anything: a snapshot from a different scenario or transport must not be
+  // half-applied.
+  if (strategy_entries.size() != strategies_.size() ||
+      agent_saved.size() != cdn_agents_.size()) {
+    return invalid("exchange snapshot CDN count does not match this catalog");
+  }
+  const std::size_t clusters = scenario_.catalog().clusters().size();
+  if (background_loads.size() != clusters ||
+      (!cluster_loads.empty() && cluster_loads.size() != clusters)) {
+    return invalid("exchange snapshot cluster arity does not match this catalog");
+  }
+  if (has_injector != (injector_ != nullptr)) {
+    return invalid("exchange snapshot transport kind (chaos vs perfect) mismatch");
+  }
+  // The broker validates the reputation arity itself; it applies first so a
+  // rejection leaves every other component untouched too.
+  if (core::Status broker_status = broker_agent_->restore_state(std::move(broker));
+      !broker_status.ok()) {
+    return broker_status;
+  }
+
+  rounds_completed_ = static_cast<std::size_t>(rounds);
+  if (obs_.tracer != nullptr) obs_.tracer->set_logical(logical);
+  background_loads_ = std::move(background_loads);
+  last_cluster_loads_ = std::move(cluster_loads);
+  for (std::size_t i = 0; i < strategies_.size(); ++i) {
+    strategies_[i]->restore_state(strategy_entries[i]);
+  }
+  for (std::size_t i = 0; i < cdn_agents_.size(); ++i) {
+    cdn_agents_[i]->restore_state(agent_saved[i]);
+    cdn_agents_[i]->set_background_loads(background_loads_);
+  }
+  if (injector_ != nullptr) injector_->restore(injector_saved);
+  return core::ok_status();
 }
 
 }  // namespace vdx::market

@@ -120,6 +120,21 @@ class VdxExchange {
     return *obs_.metrics;
   }
 
+  /// Serializes every piece of cross-round exchange state — the broker's
+  /// reputation ledger / stale-bid cache / demand override, each strategy's
+  /// learned market state, the CDN agents' fault switches and award
+  /// bookkeeping, the chaos injector's RNG positions, the round counter, and
+  /// the logical clock — into a checksummed state::Snapshot envelope. A
+  /// fresh exchange built from the same Scenario + ExchangeConfig that
+  /// restore_state()s these bytes produces byte-identical RoundReports from
+  /// the next round onward.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+  /// Rejects corrupt bytes (Errc::kCorruptSnapshot / kVersionMismatch via
+  /// the envelope) and snapshots from an incompatible configuration —
+  /// different CDN count, cluster count, or transport kind
+  /// (Errc::kInvalidArgument). On failure the exchange is unchanged.
+  [[nodiscard]] core::Status restore_state(std::span<const std::uint8_t> bytes);
+
  private:
   const sim::Scenario& scenario_;
   ExchangeConfig config_;

@@ -11,11 +11,11 @@ namespace vdx::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, 13> kKindNames{
+constexpr std::array<std::string_view, 15> kKindNames{
     "round_start",    "round_end",   "bid",      "retry",
     "timeout",        "decode_reject", "stale_bid", "quorum_miss",
     "degraded_round", "failover",    "solve",    "epoch",
-    "custom",
+    "checkpoint",     "resume",      "custom",
 };
 
 }  // namespace
@@ -157,6 +157,36 @@ std::vector<Event> RunJournal::read_jsonl(std::istream& in) {
     out.push_back(event);
   }
   return out;
+}
+
+core::Status RunJournal::restore(std::span<const Event> events, std::uint64_t total,
+                                 std::uint32_t round) {
+  const auto reject = [](std::string message) {
+    return core::Status::failure(core::Errc::kInvalidArgument, std::move(message));
+  };
+  // The retained window must be exactly what a journal of this capacity
+  // would hold at `total` records — anything else would leave stale or
+  // missing ring slots and break events()/overwritten() equivalence.
+  const std::uint64_t expected =
+      total < buffer_.size() ? total : static_cast<std::uint64_t>(buffer_.size());
+  if (events.size() != expected) {
+    return reject("journal restore: window holds " + std::to_string(events.size()) +
+                  " events, capacity " + std::to_string(buffer_.size()) +
+                  " at total " + std::to_string(total) + " requires " +
+                  std::to_string(expected));
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::uint64_t want = total - events.size() + i;
+    if (events[i].seq != want) {
+      return reject("journal restore: event " + std::to_string(i) + " has seq " +
+                    std::to_string(events[i].seq) + ", expected " +
+                    std::to_string(want));
+    }
+  }
+  for (const Event& event : events) buffer_[event.seq % buffer_.size()] = event;
+  total_ = total;
+  round_ = round;
+  return core::ok_status();
 }
 
 core::Table RunJournal::summary_table() const {

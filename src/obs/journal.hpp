@@ -14,9 +14,11 @@
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "core/result.hpp"
 #include "core/table.hpp"
 
 namespace vdx::obs {
@@ -34,6 +36,8 @@ enum class EventKind : std::uint8_t {
   kFailover,
   kSolve,
   kEpoch,
+  kCheckpoint,
+  kResume,
   kCustom,
 };
 
@@ -86,6 +90,17 @@ class RunJournal {
   /// Parses write_jsonl() output; throws std::runtime_error on malformed
   /// input. write_jsonl -> read_jsonl round-trips exactly.
   [[nodiscard]] static std::vector<Event> read_jsonl(std::istream& in);
+
+  /// Restores a checkpointed journal: `events` is the retained window
+  /// (oldest first, seq-contiguous, ending at `total` - 1), `total` the
+  /// all-time record count, `round` the ambient round. Each event returns
+  /// to its original ring slot (seq % capacity), so a restored journal's
+  /// events(), seq numbering, and overwrite accounting are byte-identical
+  /// to the uninterrupted run's — seq stays strictly monotone across the
+  /// crash. Fails (kInvalidArgument) when the window is inconsistent with
+  /// `total` or larger than this journal's capacity.
+  [[nodiscard]] core::Status restore(std::span<const Event> events,
+                                     std::uint64_t total, std::uint32_t round);
 
   /// Compact end-of-run view: events per kind with first/last round.
   [[nodiscard]] core::Table summary_table() const;

@@ -41,6 +41,9 @@ class SpanTracer {
   /// Advances the logical clock; ticks come from the protocol engine.
   void advance(std::uint64_t ticks) noexcept { logical_ += ticks; }
   [[nodiscard]] std::uint64_t logical_now() const noexcept { return logical_; }
+  /// Restores the clock from a checkpoint so post-resume events carry the
+  /// same logical stamps as an uninterrupted run.
+  void set_logical(std::uint64_t logical) noexcept { logical_ = logical; }
 
   struct Span {
     std::uint32_t id = 0;

@@ -88,4 +88,25 @@ std::vector<FaultedFrame> FaultInjector::apply(std::size_t link,
   return copies;
 }
 
+FaultInjector::Saved FaultInjector::save() const {
+  Saved saved;
+  saved.links.reserve(links_.size());
+  for (const LinkState& link : links_) {
+    saved.links.push_back(Saved::Link{link.rng.save(), link.burst, link.initialized});
+  }
+  saved.counters = counters_;
+  return saved;
+}
+
+void FaultInjector::restore(const Saved& saved) {
+  links_.clear();
+  links_.resize(saved.links.size());
+  for (std::size_t i = 0; i < saved.links.size(); ++i) {
+    links_[i].rng.restore(saved.links[i].rng);
+    links_[i].burst = saved.links[i].burst;
+    links_[i].initialized = saved.links[i].initialized;
+  }
+  counters_ = saved.counters;
+}
+
 }  // namespace vdx::proto

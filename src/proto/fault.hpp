@@ -83,6 +83,21 @@ class FaultInjector {
   /// Whether `link` is currently in the Gilbert-Elliott bad state.
   [[nodiscard]] bool in_burst(std::size_t link) const noexcept;
 
+  /// Checkpointable state: every link's RNG position + burst flag, plus the
+  /// cumulative counters. save() -> restore() replays the exact fault
+  /// sequence an uninterrupted run would have produced.
+  struct Saved {
+    struct Link {
+      core::Rng::Snapshot rng;
+      bool burst = false;
+      bool initialized = false;
+    };
+    std::vector<Link> links;
+    FaultCounters counters;
+  };
+  [[nodiscard]] Saved save() const;
+  void restore(const Saved& saved);
+
  private:
   struct LinkState {
     core::Rng rng{0};

@@ -8,6 +8,7 @@
 #include <optional>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 #include <utility>
 
@@ -24,6 +25,15 @@ std::vector<trace::Session> TraceStream::next_batch(std::size_t max_sessions) {
                                       static_cast<std::ptrdiff_t>(pos_ + take));
   pos_ += take;
   return out;
+}
+
+void TraceStream::seek(std::uint64_t consumed) {
+  if (consumed > trace_->sessions().size()) {
+    throw std::invalid_argument{"TraceStream::seek: position " +
+                                std::to_string(consumed) + " past trace size " +
+                                std::to_string(trace_->sessions().size())};
+  }
+  pos_ = static_cast<std::size_t>(consumed);
 }
 
 namespace {
@@ -53,7 +63,7 @@ class ActiveSet {
         // later midpoint — it lived entirely between two samples.
         if (s.end_s() > t) {
           active_.emplace(s.id.value(),
-                          Rec{s.city, s.bitrate_mbps});
+                          Rec{s.city, s.bitrate_mbps, s.end_s()});
           departures_.emplace(s.end_s(), s.id.value());
           bump(s.city, s.bitrate_mbps, +1);
           changed = true;
@@ -114,10 +124,46 @@ class ActiveSet {
   [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
   [[nodiscard]] std::size_t pulled() const noexcept { return pulled_; }
 
+  /// Checkpointable position: sessions consumed from the stream (popped
+  /// from the pending buffer — sessions pulled but still pending are
+  /// re-pulled on resume) plus the active population in id order. The
+  /// departure heap and group counts are derived deterministically from the
+  /// active list on restore ((end_s, id) is a total order, so the rebuilt
+  /// heap pops in exactly the original sequence).
+  [[nodiscard]] state::StreamCursor cursor() const {
+    state::StreamCursor cursor;
+    cursor.consumed = pulled_ - pending_.size();
+    cursor.active.reserve(active_.size());
+    for (const auto& [id, rec] : active_) {
+      cursor.active.push_back(
+          state::ActiveSession{id, rec.city.value(), rec.bitrate_mbps, rec.end_s});
+    }
+    return cursor;
+  }
+
+  /// Restores a cursor(): seeks the stream and rebuilds the id map, the
+  /// departure heap, and the group-count map. Throws std::invalid_argument
+  /// (via SessionStream::seek) when the position is past the horizon.
+  void restore(const state::StreamCursor& cursor) {
+    stream_->seek(cursor.consumed);
+    pulled_ = static_cast<std::size_t>(cursor.consumed);
+    pending_.clear();
+    active_.clear();
+    departures_ = {};
+    counts_.clear();
+    for (const state::ActiveSession& s : cursor.active) {
+      active_.emplace(s.id, Rec{geo::CityId{s.city}, s.bitrate_mbps, s.end_s});
+      departures_.emplace(s.end_s, s.id);
+      bump(geo::CityId{s.city}, s.bitrate_mbps, +1);
+    }
+    groups_dirty_ = true;
+  }
+
  private:
   struct Rec {
     geo::CityId city;
     double bitrate_mbps = 0.0;
+    double end_s = 0.0;
   };
 
   void bump(geo::CityId city, double bitrate_mbps, int delta) {
@@ -159,6 +205,45 @@ StreamingTimeline::StreamingTimeline(const Scenario& scenario, StreamingConfig c
 
 StreamingResult StreamingTimeline::run(SessionStream& broker,
                                        SessionStream& background) const {
+  return run_impl(broker, background, nullptr, 0);
+}
+
+core::Result<StreamingResult> StreamingTimeline::resume(
+    SessionStream& broker, SessionStream& background,
+    std::span<const std::uint8_t> snapshot) const {
+  auto decoded = state::decode_timeline(snapshot);
+  if (!decoded.ok()) return core::Result<StreamingResult>{decoded.error()};
+  const state::TimelineCheckpoint checkpoint = std::move(decoded).value();
+
+  if (!(checkpoint.fingerprint == config_.checkpoint.fingerprint)) {
+    return core::Result<StreamingResult>::failure(
+        core::Errc::kInvalidArgument,
+        "snapshot fingerprint does not match this run's configuration "
+        "(different seed, design, horizon, or scenario)");
+  }
+  const auto epochs = static_cast<std::size_t>(
+      std::ceil(broker.duration_s() / config_.epoch_s));
+  if (checkpoint.next_epoch == 0 || checkpoint.next_epoch > epochs) {
+    return core::Result<StreamingResult>::failure(
+        core::Errc::kCorruptSnapshot,
+        "checkpoint resumes at epoch " + std::to_string(checkpoint.next_epoch) +
+            ", outside the run's " + std::to_string(epochs) + "-epoch horizon");
+  }
+  try {
+    return run_impl(broker, background, &checkpoint, snapshot.size());
+  } catch (const std::invalid_argument& error) {
+    // Stream seeks and journal restores reject internally inconsistent
+    // positions; surface them as typed corruption, not a crash.
+    return core::Result<StreamingResult>::failure(
+        core::Errc::kCorruptSnapshot,
+        std::string{"checkpoint rejected during restore: "} + error.what());
+  }
+}
+
+StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
+                                            SessionStream& background,
+                                            const state::TimelineCheckpoint* resume_from,
+                                            std::size_t snapshot_bytes) const {
   const Scenario& scenario = *scenario_;
   StreamingResult result;
   const double duration = broker.duration_s();
@@ -184,12 +269,14 @@ StreamingResult StreamingTimeline::run(SessionStream& broker,
 
   obs::Counter rounds_counter;
   obs::Counter recompute_counter;
+  obs::Counter resume_counter;
   obs::Gauge active_gauge;
   obs::Gauge peak_gauge;
   obs::Histogram epoch_seconds;
   if (config_.obs.metrics != nullptr) {
     rounds_counter = config_.obs.metrics->counter("timeline.decision_rounds");
     recompute_counter = config_.obs.metrics->counter("timeline.background_recomputes");
+    resume_counter = config_.obs.metrics->counter("state.resumes");
     active_gauge = config_.obs.metrics->gauge("timeline.active_sessions");
     peak_gauge = config_.obs.metrics->gauge("timeline.peak_active_sessions");
     epoch_seconds = config_.obs.metrics->histogram("timeline.epoch_seconds");
@@ -199,55 +286,135 @@ StreamingResult StreamingTimeline::run(SessionStream& broker,
   ActiveSet background_set{background, config_.batch_sessions};
   std::vector<double> background_loads;
   bool background_stale = true;
-
   detail::ChurnTracker churn;
-  for (std::size_t e = 0; e < epochs; ++e) {
-    const obs::SpanTracer::Scoped span{config_.obs.tracer, "timeline.epoch"};
-    const obs::ScopedTimer timer{epoch_seconds};
-    const double mid = (static_cast<double>(e) + 0.5) * config_.epoch_s;
+  std::size_t start_epoch = 0;
 
-    broker_set.advance_to(mid);
-    background_stale |= background_set.advance_to(mid);
+  if (resume_from != nullptr) {
+    const state::TimelineCheckpoint& cp = *resume_from;
+    broker_set.restore(cp.broker);
+    background_set.restore(cp.background);
+    background_loads = cp.background_loads;
+    background_stale = cp.background_stale;
+    churn.restore(detail::ChurnTracker::Saved{cp.churn.previous, cp.churn.sum,
+                                              cp.churn.weight});
+    result.peak_active_sessions = static_cast<std::size_t>(cp.peak_active_sessions);
+    result.decision_rounds = static_cast<std::size_t>(cp.decision_rounds);
+    result.background_recomputes =
+        static_cast<std::size_t>(cp.background_recomputes);
+    start_epoch = static_cast<std::size_t>(cp.next_epoch);
+    if (config_.obs.journal != nullptr) {
+      auto restored = config_.obs.journal->restore(
+          cp.journal.events, cp.journal.total, cp.journal.round);
+      if (!restored.ok()) throw std::invalid_argument{restored.error().message};
+    }
+    if (config_.obs.tracer != nullptr) {
+      config_.obs.tracer->set_logical(cp.logical_clock);
+    }
+    // The kResume event lands at exactly the seq the uninterrupted run's
+    // kCheckpoint occupied (the snapshot captured the journal *before*
+    // recording kCheckpoint), so the two journals agree on every later seq.
+    config_.obs.record(obs::EventKind::kResume,
+                       static_cast<std::uint32_t>(start_epoch - 1),
+                       static_cast<double>(snapshot_bytes));
+    resume_counter.add(1.0);
+  }
 
-    const std::size_t concurrent =
-        broker_set.active_count() + background_set.active_count();
-    result.peak_active_sessions = std::max(result.peak_active_sessions, concurrent);
-    active_gauge.set(static_cast<double>(concurrent));
+  // Snapshots the complete engine state after epoch e into the policy's
+  // store. Journal state is captured before the kCheckpoint event is
+  // recorded — see the kResume note above.
+  const auto take_checkpoint = [&](std::size_t e) {
+    state::TimelineCheckpoint cp;
+    cp.fingerprint = config_.checkpoint.fingerprint;
+    cp.next_epoch = e + 1;
+    cp.broker = broker_set.cursor();
+    cp.background = background_set.cursor();
+    const detail::ChurnTracker::Saved saved = churn.save();
+    cp.churn.previous = saved.previous;
+    cp.churn.sum = saved.sum;
+    cp.churn.weight = saved.weight;
+    cp.background_loads = background_loads;
+    cp.background_stale = background_stale;
+    cp.peak_active_sessions = result.peak_active_sessions;
+    cp.decision_rounds = result.decision_rounds;
+    cp.background_recomputes = result.background_recomputes;
+    cp.logical_clock =
+        config_.obs.tracer != nullptr ? config_.obs.tracer->logical_now() : 0;
+    if (config_.obs.journal != nullptr) {
+      cp.journal.events = config_.obs.journal->events();
+      cp.journal.total = config_.obs.journal->total_recorded();
+      cp.journal.round = config_.obs.journal->current_round();
+    }
+    const std::vector<std::uint8_t> bytes = state::encode(cp);
+    // A failed write must not kill a long-horizon run: the previous
+    // snapshot is still durable, so recovery merely loses one interval.
+    // The missing kCheckpoint event keeps the journal honest about it.
+    if (config_.checkpoint.store->write(e, bytes).ok()) {
+      config_.obs.record(obs::EventKind::kCheckpoint, static_cast<std::uint32_t>(e),
+                         static_cast<double>(bytes.size()));
+    }
+  };
 
-    if (broker_set.active_count() == 0) continue;
+  std::size_t executed = 0;
+  for (std::size_t e = start_epoch; e < epochs; ++e) {
+    {
+      const obs::SpanTracer::Scoped span{config_.obs.tracer, "timeline.epoch"};
+      const obs::ScopedTimer timer{epoch_seconds};
+      const double mid = (static_cast<double>(e) + 0.5) * config_.epoch_s;
 
-    // The background only moves when a background session arrived or
-    // departed; otherwise last epoch's placement is still exact.
-    const auto groups = broker_set.groups();
-    if (background_stale) {
-      background_loads =
-          place_background_over(scenario, background_set.groups(), background_menus);
-      background_stale = false;
-      ++result.background_recomputes;
-      recompute_counter.add(1.0);
+      broker_set.advance_to(mid);
+      background_stale |= background_set.advance_to(mid);
+
+      const std::size_t concurrent =
+          broker_set.active_count() + background_set.active_count();
+      result.peak_active_sessions = std::max(result.peak_active_sessions, concurrent);
+      active_gauge.set(static_cast<double>(concurrent));
+
+      if (broker_set.active_count() > 0) {
+        // The background only moves when a background session arrived or
+        // departed; otherwise last epoch's placement is still exact.
+        const auto groups = broker_set.groups();
+        if (background_stale) {
+          background_loads = place_background_over(scenario, background_set.groups(),
+                                                   background_menus);
+          background_stale = false;
+          ++result.background_recomputes;
+          recompute_counter.add(1.0);
+        }
+
+        RunConfig run = base_run;
+        run.qoe_epoch = e + 1;  // fresh broker-side measurements each round
+        const DesignOutcome outcome =
+            run_design_over(scenario, config_.design, run, groups, background_loads);
+
+        auto assignment =
+            detail::assign_sessions(broker_set.session_refs(), groups, outcome);
+
+        EpochReport report;
+        report.epoch = e;
+        report.time_s = mid;
+        report.active_sessions = broker_set.active_count();
+        report.assigned_sessions = assignment.size();
+        report.metrics = compute_metrics_over(scenario, outcome, groups);
+        churn.observe(scenario.catalog(), std::move(assignment), report);
+
+        ++result.decision_rounds;
+        rounds_counter.add(1.0);
+        config_.obs.record(obs::EventKind::kEpoch, static_cast<std::uint32_t>(e),
+                           static_cast<double>(report.active_sessions));
+        result.timeline.epochs.push_back(std::move(report));
+      }
     }
 
-    RunConfig run = base_run;
-    run.qoe_epoch = e + 1;  // fresh broker-side measurements each round
-    const DesignOutcome outcome =
-        run_design_over(scenario, config_.design, run, groups, background_loads);
-
-    auto assignment =
-        detail::assign_sessions(broker_set.session_refs(), groups, outcome);
-
-    EpochReport report;
-    report.epoch = e;
-    report.time_s = mid;
-    report.active_sessions = broker_set.active_count();
-    report.assigned_sessions = assignment.size();
-    report.metrics = compute_metrics_over(scenario, outcome, groups);
-    churn.observe(scenario.catalog(), std::move(assignment), report);
-
-    ++result.decision_rounds;
-    rounds_counter.add(1.0);
-    config_.obs.record(obs::EventKind::kEpoch, static_cast<std::uint32_t>(e),
-                       static_cast<double>(report.active_sessions));
-    result.timeline.epochs.push_back(std::move(report));
+    // Epoch e is complete (checkpoints sit on epoch boundaries; the final
+    // epoch is never checkpointed — the run is already done).
+    if (config_.checkpoint.every_epochs > 0 && config_.checkpoint.store != nullptr &&
+        (e + 1) % config_.checkpoint.every_epochs == 0 && e + 1 < epochs) {
+      take_checkpoint(e);
+    }
+    ++executed;
+    if (config_.halt_after_epochs > 0 && executed >= config_.halt_after_epochs) {
+      break;  // simulated crash (recovery-drill hook)
+    }
   }
 
   result.timeline.mean_cdn_switch_fraction = churn.mean_cdn_switch_fraction();

@@ -24,11 +24,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/result.hpp"
 #include "obs/observe.hpp"
 #include "sim/timeline.hpp"
+#include "state/checkpoint.hpp"
+#include "state/store.hpp"
 #include "trace/generator.hpp"
 
 namespace vdx::sim {
@@ -45,6 +49,10 @@ class SessionStream {
   [[nodiscard]] virtual bool exhausted() const = 0;
   /// The stream horizon (drives the epoch count).
   [[nodiscard]] virtual double duration_s() const = 0;
+  /// Repositions so the next emitted session is number `consumed` (0-based
+  /// in emission order). Checkpoint resume rewinds streams through this;
+  /// implementations throw std::invalid_argument past their horizon.
+  virtual void seek(std::uint64_t consumed) = 0;
 };
 
 /// Adapter over a materialized trace (seed-scale runs and the equivalence
@@ -59,6 +67,7 @@ class TraceStream final : public SessionStream {
     return pos_ >= trace_->sessions().size();
   }
   [[nodiscard]] double duration_s() const override { return trace_->duration_s(); }
+  void seek(std::uint64_t consumed) override;
 
  private:
   const trace::BrokerTrace* trace_;
@@ -78,9 +87,24 @@ class GeneratorStream final : public SessionStream {
   }
   [[nodiscard]] bool exhausted() const override { return generator_->exhausted(); }
   [[nodiscard]] double duration_s() const override { return generator_->duration_s(); }
+  void seek(std::uint64_t consumed) override {
+    generator_->seek(static_cast<std::size_t>(consumed));
+  }
 
  private:
   trace::BrokerTraceGenerator* generator_;
+};
+
+/// Crash-consistency policy for a streaming run (DESIGN.md §10). Disabled
+/// by default; when enabled, the engine snapshots its complete state after
+/// every `every_epochs`-th epoch into `store`.
+struct CheckpointPolicy {
+  /// 0 disables checkpointing.
+  std::size_t every_epochs = 0;
+  /// Snapshot destination; required (non-null) when every_epochs > 0.
+  state::CheckpointStore* store = nullptr;
+  /// Run identity stamped into every snapshot and validated on resume.
+  state::RunFingerprint fingerprint;
 };
 
 struct StreamingConfig {
@@ -95,6 +119,12 @@ struct StreamingConfig {
   /// Observability sinks (timeline.* metrics/spans, per-epoch journal
   /// events). Default: disabled.
   obs::Observer obs;
+  CheckpointPolicy checkpoint;
+  /// Test hook simulating a crash: when > 0, run()/resume() return after
+  /// executing this many epochs of the current invocation (checkpoints
+  /// taken on the way are durable; the partial result is discarded by the
+  /// recovery drill).
+  std::size_t halt_after_epochs = 0;
 };
 
 /// TimelineResult plus the streaming engine's resource accounting.
@@ -124,7 +154,25 @@ class StreamingTimeline {
   [[nodiscard]] StreamingResult run(SessionStream& broker,
                                     SessionStream& background) const;
 
+  /// Resumes a run from a serialized checkpoint: decodes and validates the
+  /// snapshot (typed rejection of corrupt/mismatched-version bytes and of
+  /// fingerprints that disagree with config.checkpoint.fingerprint), seeks
+  /// both streams, restores the engine/journal state, records a kResume
+  /// journal event, and continues from the checkpointed epoch. The epochs
+  /// executed after resume are byte-identical — reports, placements,
+  /// journal tail — to the same epochs of an uninterrupted run (the
+  /// recovery drill's acceptance invariant). The returned result covers
+  /// only the epochs executed by this invocation; churn means and resource
+  /// accounting still span the whole horizon.
+  [[nodiscard]] core::Result<StreamingResult> resume(
+      SessionStream& broker, SessionStream& background,
+      std::span<const std::uint8_t> snapshot) const;
+
  private:
+  StreamingResult run_impl(SessionStream& broker, SessionStream& background,
+                           const state::TimelineCheckpoint* checkpoint,
+                           std::size_t snapshot_bytes) const;
+
   const Scenario* scenario_;
   StreamingConfig config_;
 };

@@ -57,6 +57,28 @@ Assignment assign_sessions(std::span<const SessionRef> sessions,
   return assignment;
 }
 
+ChurnTracker::Saved ChurnTracker::save() const {
+  Saved saved;
+  saved.previous.reserve(previous_.size());
+  for (const auto& [session, cluster] : previous_) {
+    saved.previous.emplace_back(session, cluster.value());
+  }
+  std::sort(saved.previous.begin(), saved.previous.end());
+  saved.sum = sum_;
+  saved.weight = weight_;
+  return saved;
+}
+
+void ChurnTracker::restore(const Saved& saved) {
+  previous_.clear();
+  previous_.reserve(saved.previous.size());
+  for (const auto& [session, cluster] : saved.previous) {
+    previous_.emplace(session, cdn::ClusterId{cluster});
+  }
+  sum_ = saved.sum;
+  weight_ = saved.weight;
+}
+
 void ChurnTracker::observe(const cdn::CdnCatalog& catalog, Assignment assignment,
                            EpochReport& report) {
   if (!previous_.empty()) {

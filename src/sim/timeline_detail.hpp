@@ -60,6 +60,17 @@ class ChurnTracker {
     return weight_ > 0.0 ? sum_ / weight_ : 0.0;
   }
 
+  /// Checkpointable state: the previous assignment as id-ascending pairs
+  /// (a canonical order, unlike the live unordered_map) plus the running
+  /// mean. save() -> restore() reproduces observe() byte-identically.
+  struct Saved {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> previous;
+    double sum = 0.0;
+    double weight = 0.0;
+  };
+  [[nodiscard]] Saved save() const;
+  void restore(const Saved& saved);
+
  private:
   Assignment previous_;
   double sum_ = 0.0;

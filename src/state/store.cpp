@@ -1,0 +1,136 @@
+#include "state/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "state/snapshot.hpp"
+
+namespace vdx::state {
+
+namespace {
+
+constexpr std::string_view kPrefix = "checkpoint-";
+constexpr std::string_view kSuffix = ".vdxsnap";
+
+std::string file_name(std::uint64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof name, "checkpoint-%08llu.vdxsnap",
+                static_cast<unsigned long long>(epoch));
+  return name;
+}
+
+/// Epoch encoded in a snapshot file name, or nullopt for foreign files.
+std::optional<std::uint64_t> epoch_of(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (!name.starts_with(kPrefix) || !name.ends_with(kSuffix)) return std::nullopt;
+  std::uint64_t epoch = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    epoch = epoch * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return epoch;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir, std::size_t keep,
+                                 obs::Observer obs)
+    : dir_(std::move(dir)), keep_(std::max<std::size_t>(keep, 1)) {
+  if (obs.metrics != nullptr) {
+    written_ = obs.metrics->counter("state.snapshots_written");
+    written_bytes_ = obs.metrics->counter("state.snapshot_bytes");
+    rejected_ = obs.metrics->counter("state.snapshots_rejected");
+  }
+}
+
+core::Status CheckpointStore::write(std::uint64_t epoch,
+                                    std::span<const std::uint8_t> bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return core::Status::failure(core::Errc::kUnavailable,
+                                 "cannot create " + dir_.string() + ": " + ec.message());
+  }
+  auto status = write_file_atomic(dir_ / file_name(epoch), bytes);
+  if (!status.ok()) return status;
+  written_.add(1.0);
+  written_bytes_.add(static_cast<double>(bytes.size()));
+
+  // Retention: drop everything older than the newest `keep_` snapshots. A
+  // failed unlink is non-fatal — the snapshot we just wrote is durable.
+  const std::vector<std::filesystem::path> snapshots = list();
+  for (std::size_t i = keep_; i < snapshots.size(); ++i) {
+    std::error_code ignored;
+    std::filesystem::remove(snapshots[i], ignored);
+  }
+  return core::ok_status();
+}
+
+std::vector<std::filesystem::path> CheckpointStore::list() const {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it{dir_, ec}, end; !ec && it != end;
+       it.increment(ec)) {
+    if (const auto epoch = epoch_of(it->path())) {
+      found.emplace_back(*epoch, it->path());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+core::Result<CheckpointStore::Loaded> CheckpointStore::load_latest(
+    const Validator& validate) const {
+  const std::vector<std::filesystem::path> candidates = list();
+  if (candidates.empty()) {
+    return core::Result<Loaded>::failure(
+        core::Errc::kUnavailable, "no snapshots in " + dir_.string());
+  }
+
+  Loaded loaded;
+  core::Error last{core::Errc::kUnavailable, "no snapshots in " + dir_.string()};
+  for (const std::filesystem::path& path : candidates) {
+    auto bytes = read_file(path);
+    if (!bytes.ok()) {
+      rejected_.add(1.0);
+      loaded.rejected.push_back(path.filename().string() + ": " +
+                                bytes.error().message);
+      last = bytes.error();
+      continue;
+    }
+    core::Error reason;
+    if (auto parsed = SnapshotView::parse(bytes.value()); !parsed.ok()) {
+      reason = parsed.error();
+    } else if (validate) {
+      if (auto verdict = validate(bytes.value()); !verdict.ok()) {
+        reason = verdict.error();
+      } else {
+        loaded.path = path;
+        loaded.epoch = epoch_of(path).value_or(0);
+        loaded.bytes = std::move(bytes).value();
+        return loaded;
+      }
+    } else {
+      loaded.path = path;
+      loaded.epoch = epoch_of(path).value_or(0);
+      loaded.bytes = std::move(bytes).value();
+      return loaded;
+    }
+    rejected_.add(1.0);
+    loaded.rejected.push_back(path.filename().string() + ": " + reason.message);
+    last = std::move(reason);
+  }
+  return core::Result<Loaded>::failure(
+      last.code, "no valid snapshot in " + dir_.string() + " (newest rejection: " +
+                     last.message + ")");
+}
+
+}  // namespace vdx::state

@@ -1,0 +1,72 @@
+// CheckpointStore: on-disk snapshot directory with atomic writes, bounded
+// retention, and corruption-tolerant recovery (DESIGN.md §10).
+//
+// Snapshots land as `checkpoint-<epoch, 8 digits>.vdxsnap` via a
+// write-tmp-then-rename so a crash mid-checkpoint can never shadow the
+// previous good snapshot with a torn file. The store keeps the newest
+// `keep` snapshots and prunes older ones after each successful write.
+// Recovery walks newest → oldest: every unreadable or invalid file is
+// skipped (counted in state.snapshots_rejected, reasons reported to the
+// caller) and the next-oldest candidate is tried, so one corrupted snapshot
+// degrades recovery by one checkpoint interval instead of killing it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "obs/observe.hpp"
+
+namespace vdx::state {
+
+class CheckpointStore {
+ public:
+  /// `keep` newest snapshots are retained (minimum 1). The observer wires
+  /// state.* metrics; a default Observer disables them.
+  explicit CheckpointStore(std::filesystem::path dir, std::size_t keep = 3,
+                           obs::Observer obs = {});
+
+  /// Validates `bytes` against the caller's domain decoder before accepting
+  /// a snapshot during recovery. Return ok() to accept.
+  using Validator = std::function<core::Status(std::span<const std::uint8_t>)>;
+
+  /// Atomically writes the snapshot taken after `epoch`, then prunes beyond
+  /// the retention bound. Creates the directory on first use.
+  [[nodiscard]] core::Status write(std::uint64_t epoch,
+                                   std::span<const std::uint8_t> bytes);
+
+  /// Snapshot files present on disk, newest epoch first. Files that do not
+  /// match the checkpoint naming scheme (including stale .tmp files from a
+  /// crashed write) are ignored.
+  [[nodiscard]] std::vector<std::filesystem::path> list() const;
+
+  struct Loaded {
+    std::filesystem::path path;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint8_t> bytes;
+    /// One "<file>: <reason>" line per newer snapshot that was rejected
+    /// before this one was accepted.
+    std::vector<std::string> rejected;
+  };
+
+  /// Loads the newest snapshot that passes both the envelope parse and the
+  /// caller's validator, falling back across invalid files. Fails with the
+  /// last rejection's code when no candidate survives, or kUnavailable when
+  /// the directory holds no snapshots at all.
+  [[nodiscard]] core::Result<Loaded> load_latest(const Validator& validate = {}) const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+  obs::Counter written_;
+  obs::Counter written_bytes_;
+  obs::Counter rejected_;
+};
+
+}  // namespace vdx::state

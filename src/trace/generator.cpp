@@ -240,6 +240,33 @@ void BrokerTraceGenerator::reset() {
   buffer_pos_ = 0;
 }
 
+void BrokerTraceGenerator::seek(std::size_t emitted) {
+  const std::size_t n = model_->config.session_count;
+  if (emitted > n) {
+    throw std::invalid_argument{"BrokerTraceGenerator::seek: position " +
+                                std::to_string(emitted) + " past horizon total " +
+                                std::to_string(n)};
+  }
+  reset();
+  if (n == 0) return;
+  if (emitted == n) {  // exhausted stream: nothing left to regenerate
+    next_block_ = block_count_;
+    emitted_ = n;
+    return;
+  }
+  // Containing block: the b with floor(bN/B) <= emitted < floor((b+1)N/B).
+  // The initial estimate is within one block of the answer; nudge exactly.
+  const std::size_t B = block_count_;
+  std::size_t b = emitted * B / n;
+  while (b + 1 < B && (b + 1) * n / B <= emitted) ++b;
+  while (b > 0 && b * n / B > emitted) --b;
+
+  next_block_ = b;
+  refill();  // regenerates block b (advances next_block_ to b + 1)
+  buffer_pos_ = emitted - b * n / B;
+  emitted_ = emitted;
+}
+
 void BrokerTraceGenerator::refill() {
   // Keep any unconsumed tail; generation appends the next block after it.
   buffer_.erase(buffer_.begin(),

@@ -140,6 +140,15 @@ class BrokerTraceGenerator {
   /// Rewinds to the start of the stream; the replayed sequence is identical.
   void reset();
 
+  /// Repositions the stream so the next emitted session is number `emitted`
+  /// (0-based, as counted by emitted()). Because block substreams are pure
+  /// functions of (seed, block index), only the block containing that
+  /// position is regenerated — a checkpoint can resume a million-session
+  /// stream by storing one integer. Sessions emitted after a seek are
+  /// byte-identical to an uninterrupted pass. Throws std::invalid_argument
+  /// when `emitted` exceeds the horizon total.
+  void seek(std::size_t emitted);
+
   /// The shared sampling model (also backs the monolithic generators).
   struct Model;
 

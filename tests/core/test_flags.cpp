@@ -1,0 +1,107 @@
+// core::Flags: the validated CLI parser behind vdxsim. Invalid values must
+// die loudly with a one-line message naming the flag and the offending
+// value; absent flags fall back; typo'd flags are rejected, never ignored.
+#include "core/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vdx::core {
+namespace {
+
+Flags make(std::initializer_list<std::string> args) {
+  return Flags{std::vector<std::string>{args}};
+}
+
+/// The exact one-line message matters: it is the CLI's entire error UX.
+void expect_throws(const std::function<void()>& action, const std::string& message) {
+  try {
+    action();
+    FAIL() << "expected std::invalid_argument: " << message;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string{error.what()}, message);
+  }
+}
+
+TEST(Flags, ParsesValuesSwitchesAndFallbacks) {
+  Flags flags = make({"--sessions", "2000", "--hours", "1.5", "--stream",
+                      "--name", "marketplace"});
+  EXPECT_EQ(flags.count("sessions", 0, 1), 2000u);
+  EXPECT_DOUBLE_EQ(flags.positive("hours", 0.0), 1.5);
+  EXPECT_TRUE(flags.boolean("stream"));
+  EXPECT_EQ(flags.text("name", "x"), "marketplace");
+  EXPECT_FALSE(flags.boolean("absent-switch"));
+  EXPECT_EQ(flags.count("absent", 7, 1), 7u);
+  EXPECT_DOUBLE_EQ(flags.number("absent-number", 2.5), 2.5);
+  EXPECT_EQ(flags.text("absent-text", "fallback"), "fallback");
+  flags.check_all_used();
+}
+
+TEST(Flags, PositiveRejectsZeroAndNegativeButAllowsZeroFallback) {
+  expect_throws([] { (void)make({"--hours", "0"}).positive("hours", 0.0); },
+                "--hours must be > 0 (got '0')");
+  expect_throws([] { (void)make({"--hours", "-2"}).positive("hours", 0.0); },
+                "--hours must be > 0 (got '-2')");
+  // Absent flag: the 0.0 sentinel passes through untouched (vdxsim uses it
+  // for "keep the trace default horizon").
+  EXPECT_DOUBLE_EQ(make({}).positive("hours", 0.0), 0.0);
+}
+
+TEST(Flags, NumberRejectsGarbageAndNonFinite) {
+  expect_throws([] { (void)make({"--veto", "abc"}).number("veto", 0.0); },
+                "--veto needs a number (got 'abc')");
+  expect_throws([] { (void)make({"--veto", "1.5x"}).number("veto", 0.0); },
+                "--veto needs a finite number (got '1.5x')");
+  expect_throws([] { (void)make({"--veto", "inf"}).number("veto", 0.0); },
+                "--veto needs a finite number (got 'inf')");
+  expect_throws([] { (void)make({"--veto"}).number("veto", 0.0); },
+                "--veto needs a value");
+}
+
+TEST(Flags, CountEnforcesIntegerAndMinimum) {
+  expect_throws([] { (void)make({"--threads", "0"}).count("threads", 0, 1); },
+                "--threads must be an integer >= 1 (got '0')");
+  expect_throws([] { (void)make({"--threads", "-4"}).count("threads", 0, 1); },
+                "--threads must be an integer >= 1 (got '-4')");
+  expect_throws([] { (void)make({"--threads", "2.5"}).count("threads", 0, 1); },
+                "--threads needs an integer (got '2.5')");
+  // Absent flag: the fallback may sit below the minimum (vdxsim's 0 =
+  // hardware_concurrency sentinel) — only explicit values are range-checked.
+  EXPECT_EQ(make({}).count("threads", 0, 1), 0u);
+  EXPECT_EQ(make({"--threads", "8"}).count("threads", 0, 1), 8u);
+}
+
+TEST(Flags, ExistingPathRejectsMissingFiles) {
+  expect_throws(
+      [] { (void)make({"--resume-from", "no-such.vdxsnap"}).existing_path("resume-from"); },
+      "--resume-from: no such file or directory: 'no-such.vdxsnap'");
+  EXPECT_EQ(make({}).existing_path("resume-from"), "");
+}
+
+TEST(Flags, UnknownFlagsAreRejectedNotIgnored) {
+  Flags flags = make({"--sessions", "2000", "--sesions", "99"});
+  EXPECT_EQ(flags.count("sessions", 0, 1), 2000u);
+  expect_throws([&flags] { flags.check_all_used(); }, "unknown flag --sesions");
+}
+
+TEST(Flags, RejectsMalformedTokens) {
+  expect_throws([] { (void)make({"sessions", "2000"}); },
+                "expected --flag, got 'sessions'");
+  expect_throws([] { (void)make({"--"}); }, "empty flag name '--'");
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlagParses) {
+  Flags flags = make({"--stream", "--sessions", "2000"});
+  EXPECT_TRUE(flags.boolean("stream"));
+  EXPECT_EQ(flags.count("sessions", 0, 1), 2000u);
+  EXPECT_TRUE(flags.has("stream"));
+  EXPECT_FALSE(flags.has("hours"));
+}
+
+}  // namespace
+}  // namespace vdx::core

@@ -117,5 +117,70 @@ TEST(RunJournalTest, SummaryTableAggregatesPerKind) {
   EXPECT_NE(text.find("0-4"), std::string::npos);
 }
 
+TEST(RunJournalTest, SeqStaysStrictlyMonotoneAcrossManyWraps) {
+  RunJournal journal{8};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    journal.record(EventKind::kEpoch, i, static_cast<double>(i));
+  }
+  EXPECT_EQ(journal.total_recorded(), 100u);
+  EXPECT_EQ(journal.overwritten(), 92u);
+  const std::vector<Event> events = journal.events();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring wrapped 12 times; seqs must still be dense and ascending,
+  // ending at total - 1 — gaps or resets would make exported windows lie.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 92u + i);
+  }
+}
+
+TEST(RunJournalTest, RestoreRoundTripsAWrappedWindowAndSeqSurvivesResume) {
+  RunJournal original{8};
+  original.begin_round(3);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    original.record(i % 2 == 0 ? EventKind::kEpoch : EventKind::kCheckpoint, i,
+                    0.5 * i);
+  }
+
+  RunJournal resumed{8};
+  ASSERT_TRUE(resumed
+                  .restore(original.events(), original.total_recorded(),
+                           original.current_round())
+                  .ok());
+  EXPECT_EQ(resumed.events(), original.events());
+  EXPECT_EQ(resumed.total_recorded(), original.total_recorded());
+  EXPECT_EQ(resumed.overwritten(), original.overwritten());
+  EXPECT_EQ(resumed.current_round(), original.current_round());
+
+  // Seq keeps counting from where the crash left off — strictly monotone
+  // across the snapshot boundary, and both journals keep agreeing.
+  original.record(EventKind::kResume, 99, 1.0);
+  resumed.record(EventKind::kResume, 99, 1.0);
+  EXPECT_EQ(resumed.events(), original.events());
+  EXPECT_EQ(resumed.events().back().seq, 20u);
+}
+
+TEST(RunJournalTest, RestoreRejectsInconsistentWindows) {
+  RunJournal source{8};
+  for (std::uint32_t i = 0; i < 12; ++i) source.record(EventKind::kEpoch, i);
+  const std::vector<Event> window = source.events();
+
+  RunJournal target{8};
+  // Window larger than this journal's capacity.
+  EXPECT_FALSE(RunJournal{4}.restore(window, 12, 0).ok());
+  // Window shorter than what total + capacity imply was retained.
+  std::vector<Event> truncated{window.begin(), window.end() - 2};
+  EXPECT_FALSE(target.restore(truncated, 12, 0).ok());
+  // Tail seq disagreeing with total.
+  EXPECT_FALSE(target.restore(window, 13, 0).ok());
+  // Non-contiguous seqs inside the window.
+  std::vector<Event> gapped = window;
+  gapped[3].seq += 1;
+  EXPECT_FALSE(target.restore(gapped, 12, 0).ok());
+  // The untouched window restores fine afterwards (failed attempts did not
+  // poison the journal).
+  EXPECT_TRUE(target.restore(window, 12, 0).ok());
+  EXPECT_EQ(target.events(), window);
+}
+
 }  // namespace
 }  // namespace vdx::obs

@@ -113,6 +113,9 @@ class VectorStream final : public SessionStream {
   }
   [[nodiscard]] bool exhausted() const override { return pos_ >= sessions_.size(); }
   [[nodiscard]] double duration_s() const override { return duration_s_; }
+  void seek(std::uint64_t consumed) override {
+    pos_ = static_cast<std::size_t>(consumed);
+  }
 
  private:
   std::vector<trace::Session> sessions_;

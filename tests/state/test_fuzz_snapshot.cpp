@@ -1,0 +1,183 @@
+// Snapshot fuzzing via the PR-1 chaos transport: valid checkpoint bytes are
+// routed through proto::FaultInjector (truncation, bit corruption,
+// duplication) and every mutated output must be rejected with a typed error
+// — or, at the store layer, fall back to an older intact snapshot. A failed
+// exchange restore must leave the exchange bit-exactly unchanged. No input
+// may crash, allocate unboundedly, or silently resume divergent state.
+#include "state/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "market/exchange.hpp"
+#include "proto/fault.hpp"
+#include "sim/scenario.hpp"
+#include "state/snapshot.hpp"
+#include "state/store.hpp"
+
+namespace vdx::state {
+namespace {
+
+bool typed_rejection(core::Errc code) {
+  return code == core::Errc::kCorruptSnapshot ||
+         code == core::Errc::kVersionMismatch ||
+         code == core::Errc::kInvalidArgument;
+}
+
+/// A representative timeline checkpoint: non-trivial cursors, churn history,
+/// and a consistent journal window, so mutations have real structure to hit.
+TimelineCheckpoint sample_checkpoint() {
+  TimelineCheckpoint checkpoint;
+  checkpoint.fingerprint.seed = 2017;
+  checkpoint.fingerprint.broker_sessions = 800;
+  checkpoint.fingerprint.duration_s = 3600.0;
+  checkpoint.fingerprint.epoch_s = 600.0;
+  checkpoint.next_epoch = 3;
+  checkpoint.broker.consumed = 420;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    checkpoint.broker.active.push_back({400 + i, i % 9, 1.5 + 0.25 * i, 1800.0 + i});
+  }
+  checkpoint.background.consumed = 1260;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    checkpoint.background.active.push_back({1200 + i, i % 11, 2.0, 1900.0 + i});
+  }
+  for (std::uint32_t i = 0; i < 24; ++i) checkpoint.churn.previous.emplace_back(400 + i, i % 5);
+  checkpoint.churn.sum = 12.5;
+  checkpoint.churn.weight = 840.0;
+  checkpoint.background_loads = {10.0, 20.5, 0.0, 33.25};
+  checkpoint.background_stale = false;
+  checkpoint.peak_active_sessions = 77;
+  checkpoint.decision_rounds = 3;
+  checkpoint.logical_clock = 91;
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    obs::Event event;
+    event.kind = obs::EventKind::kEpoch;
+    event.seq = seq;
+    event.subject = static_cast<std::uint32_t>(seq);
+    event.value = 100.0 + static_cast<double>(seq);
+    checkpoint.journal.events.push_back(event);
+  }
+  checkpoint.journal.total = 6;
+  checkpoint.journal.round = 3;
+  return checkpoint;
+}
+
+proto::FaultProfile fuzz_profile(std::uint64_t seed) {
+  proto::FaultProfile profile;
+  profile.truncate_rate = 0.35;
+  profile.corrupt_rate = 0.35;
+  profile.duplicate_rate = 0.2;
+  profile.seed = seed;
+  return profile;
+}
+
+TEST(SnapshotFuzz, MutatedTimelineSnapshotsAreRejectedWithTypedErrors) {
+  const std::vector<std::uint8_t> bytes = encode(sample_checkpoint());
+  ASSERT_TRUE(decode_timeline(bytes).ok());
+
+  std::size_t mutated_seen = 0;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    proto::FaultInjector injector{fuzz_profile(seed)};
+    for (std::size_t frame = 0; frame < 300; ++frame) {
+      for (const proto::FaultedFrame& copy : injector.apply(frame % 7, bytes)) {
+        const auto decoded = decode_timeline(copy.bytes);
+        if (copy.bytes == bytes) {
+          // Unmutated copy (possibly a duplicate delivery): must still parse.
+          EXPECT_TRUE(decoded.ok());
+          continue;
+        }
+        ++mutated_seen;
+        ASSERT_FALSE(decoded.ok())
+            << "mutated snapshot (" << copy.bytes.size() << " bytes, frame "
+            << frame << ", seed " << seed << ") decoded successfully";
+        EXPECT_TRUE(typed_rejection(decoded.error().code))
+            << errc_name(decoded.error().code);
+        EXPECT_FALSE(decoded.error().message.empty());
+      }
+    }
+  }
+  // The profile must actually have exercised the rejection path.
+  EXPECT_GE(mutated_seen, 100u);
+}
+
+TEST(SnapshotFuzz, StoreFallsBackToIntactSnapshotUnderMutation) {
+  const std::vector<std::uint8_t> bytes = encode(sample_checkpoint());
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "vdx_fuzz_store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  proto::FaultInjector injector{fuzz_profile(7)};
+  std::size_t mutated_files = 0;
+  for (std::size_t trial = 0; trial < 60; ++trial) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    CheckpointStore store{dir, 4};
+    ASSERT_TRUE(store.write(0, bytes).ok());  // intact baseline
+
+    const auto copies = injector.apply(0, bytes);
+    if (copies.empty()) continue;  // dropped: nothing newer than the baseline
+    ASSERT_TRUE(store.write(1, copies.front().bytes).ok());
+    mutated_files += copies.front().bytes != bytes ? 1 : 0;
+
+    const auto loaded = store.load_latest([](std::span<const std::uint8_t> raw) {
+      const auto decoded = decode_timeline(raw);
+      if (!decoded.ok()) return core::Status{decoded.error()};
+      return core::ok_status();
+    });
+    // Recovery always lands on a snapshot that decodes — the mutated newest
+    // when the fault left it intact, the baseline otherwise.
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_TRUE(decode_timeline(loaded.value().bytes).ok());
+    if (copies.front().bytes != bytes) {
+      EXPECT_EQ(loaded.value().epoch, 0u);
+      EXPECT_EQ(loaded.value().rejected.size(), 1u);
+    }
+  }
+  EXPECT_GE(mutated_files, 20u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFuzz, ExchangeRejectsMutatedStateAndStaysUnchanged) {
+  sim::ScenarioConfig scenario_config;
+  scenario_config.trace.session_count = 2000;
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config);
+
+  market::VdxExchange reference{scenario};
+  (void)reference.run(2);
+  const std::vector<std::uint8_t> bytes = reference.save_state();
+  const market::RoundReport expected = reference.run_round();
+
+  market::VdxExchange subject{scenario};
+  ASSERT_TRUE(subject.restore_state(bytes).ok());
+
+  proto::FaultInjector injector{fuzz_profile(11)};
+  std::size_t mutated_seen = 0;
+  for (std::size_t frame = 0; frame < 150; ++frame) {
+    for (const proto::FaultedFrame& copy : injector.apply(frame % 3, bytes)) {
+      if (copy.bytes == bytes) continue;
+      ++mutated_seen;
+      const core::Status status = subject.restore_state(copy.bytes);
+      ASSERT_FALSE(status.ok()) << "mutated exchange state restored";
+      EXPECT_TRUE(typed_rejection(status.error().code))
+          << errc_name(status.error().code);
+    }
+  }
+  EXPECT_GE(mutated_seen, 50u);
+
+  // Every rejection above must have left the exchange untouched: its next
+  // round is byte-identical to the uninterrupted reference.
+  const market::RoundReport actual = subject.run_round();
+  EXPECT_EQ(actual.round, expected.round);
+  EXPECT_EQ(actual.mean_score, expected.mean_score);
+  EXPECT_EQ(actual.mean_cost, expected.mean_cost);
+  EXPECT_EQ(actual.mean_prediction_error, expected.mean_prediction_error);
+  EXPECT_EQ(actual.awarded_mbps, expected.awarded_mbps);
+}
+
+}  // namespace
+}  // namespace vdx::state

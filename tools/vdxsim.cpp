@@ -17,94 +17,45 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "core/flags.hpp"
 #include "core/table.hpp"
 #include "market/exchange.hpp"
 #include "obs/observe.hpp"
 #include "market/federation.hpp"
 #include "market/transactions.hpp"
+#include "proto/wire.hpp"
 #include "sim/experiments.hpp"
 #include "sim/hybrid.hpp"
 #include "sim/multibroker.hpp"
 #include "sim/streaming.hpp"
 #include "sim/timeline.hpp"
+#include "state/checkpoint.hpp"
+#include "state/snapshot.hpp"
+#include "state/store.hpp"
 #include "trace/stats.hpp"
 
 namespace {
 
 using namespace vdx;
 
-/// Minimal `--flag value` parser. Flags may appear in any order; unknown
-/// flags are an error (fail loudly, not silently). A flag followed by
-/// another flag (or the end of the line) is bare — read it with boolean().
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        throw std::invalid_argument{"expected --flag, got '" + key + "'"};
-      }
-      key = key.substr(2);
-      if (i + 1 >= argc || std::string{argv[i + 1]}.rfind("--", 0) == 0) {
-        values_[key] = "";  // bare switch, e.g. --stream
-      } else {
-        values_[key] = argv[++i];
-      }
-    }
-  }
-
-  [[nodiscard]] double number(const std::string& key, double fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    if (it->second.empty()) {
-      throw std::invalid_argument{"--" + key + " needs a value"};
-    }
-    used_.insert(*it);
-    return std::stod(it->second);
-  }
-
-  [[nodiscard]] bool boolean(const std::string& key) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return false;
-    used_.insert(*it);
-    return it->second.empty() || it->second == "true" || it->second == "1";
-  }
-
-  [[nodiscard]] std::string text(const std::string& key, std::string fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.insert(*it);
-    return it->second;
-  }
-
-  void check_all_used() const {
-    for (const auto& kv : values_) {
-      if (!used_.contains(kv)) {
-        throw std::invalid_argument{"unknown flag --" + kv.first};
-      }
-    }
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::set<std::pair<std::string, std::string>> used_;
-};
+// Strict `--flag value` parsing with typed validation lives in core::Flags;
+// every accessor below throws a one-line std::invalid_argument on a bad
+// value, which main() prints as `vdxsim <command>: <message>`.
+using core::Flags;
 
 sim::ScenarioConfig scenario_config_from(Flags& flags) {
   sim::ScenarioConfig config;
-  config.trace.session_count =
-      static_cast<std::size_t>(flags.number("sessions", 33'400));
+  config.trace.session_count = flags.count("sessions", 33'400, 1);
   config.seed = static_cast<std::uint64_t>(flags.number("seed", 2017));
   config.background_multiplier = flags.number("background", 3.0);
-  config.city_cdn_count = static_cast<std::size_t>(flags.number("city-cdns", 0));
+  config.city_cdn_count = flags.count("city-cdns", 0);
   return config;
 }
 
@@ -112,11 +63,12 @@ sim::RunConfig run_config_from(Flags& flags) {
   sim::RunConfig config;
   config.weights.performance = flags.number("wp", config.weights.performance);
   config.weights.cost = flags.number("wc", config.weights.cost);
-  config.bid_count = static_cast<std::size_t>(flags.number("bids", 100));
+  config.bid_count = flags.count("bids", 100, 1);
   config.menu_tolerance = flags.number("menu-tolerance", config.menu_tolerance);
-  // 0 = hardware_concurrency (the CLI default), 1 = legacy serial. Output is
-  // byte-identical at any value (DESIGN.md §8).
-  config.threads = static_cast<std::size_t>(flags.number("threads", 0));
+  // Absent = hardware_concurrency (the internal 0 sentinel), 1 = legacy
+  // serial. Output is byte-identical at any value (DESIGN.md §8), so an
+  // explicit `--threads 0` is a mistake, not a request — rejected.
+  config.threads = flags.count("threads", 0, 1);
   return config;
 }
 
@@ -256,11 +208,21 @@ int cmd_timeline(Flags& flags) {
     return 2;
   }
   sim::ScenarioConfig scenario_config = scenario_config_from(flags);
-  const double hours = flags.number("hours", 0.0);
+  // 0 sentinel = keep the trace default; an explicit `--hours 0` (or a
+  // negative) is rejected by positive() with a one-line error.
+  const double hours = flags.positive("hours", 0.0);
   if (hours > 0.0) scenario_config.trace.duration_s = hours * 3600.0;
-  const double epoch_s = flags.number("epoch", 300.0);
+  const double epoch_s = flags.positive("epoch", 300.0);
 
   if (!flags.boolean("stream")) {
+    for (const char* checkpoint_flag :
+         {"checkpoint-every", "checkpoint-dir", "keep", "resume-from"}) {
+      if (flags.has(checkpoint_flag)) {
+        throw std::invalid_argument{std::string{"--"} + checkpoint_flag +
+                                    " requires --stream (checkpointing is a "
+                                    "streaming-engine feature)"};
+      }
+    }
     const sim::Scenario scenario = sim::Scenario::build(scenario_config);
     sim::TimelineConfig config;
     config.design = *design;
@@ -298,10 +260,97 @@ int cmd_timeline(Flags& flags) {
   config.design = *design;
   config.run = run_config_from(flags);
   config.epoch_s = epoch_s;
+
+  // Crash-consistency flags (DESIGN.md §10). The fingerprint binds every
+  // snapshot to this exact run configuration: resuming under different
+  // flags is rejected instead of silently diverging.
+  const std::size_t checkpoint_every = flags.count("checkpoint-every", 0, 1);
+  const std::string checkpoint_dir = flags.text("checkpoint-dir", "");
+  const std::size_t keep = flags.count("keep", 3, 1);
+  const std::string resume_from = flags.existing_path("resume-from");
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    throw std::invalid_argument{"--checkpoint-every requires --checkpoint-dir"};
+  }
+  state::RunFingerprint fingerprint;
+  fingerprint.seed = scenario_config.seed;
+  fingerprint.design = static_cast<std::uint8_t>(*design);
+  fingerprint.broker_sessions = sessions;
+  fingerprint.background_sessions = background_trace.session_count;
+  fingerprint.duration_s = broker_trace.duration_s;
+  fingerprint.epoch_s = epoch_s;
+  {
+    proto::ByteWriter hashed;
+    hashed.write_f64(config.run.weights.performance);
+    hashed.write_f64(config.run.weights.cost);
+    hashed.write_u64(config.run.bid_count);
+    hashed.write_f64(config.run.menu_tolerance);
+    hashed.write_f64(scenario_config.background_multiplier);
+    hashed.write_u64(scenario_config.city_cdn_count);
+    const std::vector<std::uint8_t> bytes = hashed.take();
+    fingerprint.config_hash = state::fnv1a(bytes);
+  }
+  // The engine validates every resumed snapshot against this fingerprint,
+  // so it is set even when this invocation writes no checkpoints itself.
+  config.checkpoint.fingerprint = fingerprint;
+  std::optional<state::CheckpointStore> store;
+  if (!checkpoint_dir.empty()) {
+    store.emplace(checkpoint_dir, keep);
+    config.checkpoint.every_epochs = checkpoint_every > 0 ? checkpoint_every : 1;
+    config.checkpoint.store = &*store;
+  }
+
   sim::GeneratorStream broker_stream{broker_generator};
   sim::GeneratorStream background_stream{background_generator};
-  const sim::StreamingResult result =
-      sim::StreamingTimeline{scenario, config}.run(broker_stream, background_stream);
+  const sim::StreamingTimeline timeline{scenario, config};
+
+  sim::StreamingResult result;
+  if (!resume_from.empty()) {
+    std::vector<std::uint8_t> snapshot;
+    if (std::filesystem::is_directory(resume_from)) {
+      // A directory means "latest valid snapshot in this checkpoint dir",
+      // falling back across corrupted files.
+      const state::CheckpointStore source{resume_from, keep};
+      auto loaded = source.load_latest([&](std::span<const std::uint8_t> bytes) {
+        auto decoded = state::decode_timeline(bytes);
+        if (!decoded.ok()) return core::Status{decoded.error()};
+        if (!(decoded.value().fingerprint == fingerprint)) {
+          return core::Status::failure(
+              core::Errc::kInvalidArgument,
+              "snapshot fingerprint does not match these flags");
+        }
+        return core::ok_status();
+      });
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "vdxsim timeline: --resume-from: %s (%s)\n",
+                     loaded.error().message.c_str(), errc_name(loaded.error().code));
+        return 1;
+      }
+      for (const std::string& line : loaded.value().rejected) {
+        std::fprintf(stderr, "[resume] skipped %s\n", line.c_str());
+      }
+      std::printf("[resume] %s (epoch %llu)\n",
+                  loaded.value().path.string().c_str(),
+                  static_cast<unsigned long long>(loaded.value().epoch));
+      snapshot = std::move(loaded).value().bytes;
+    } else {
+      auto bytes = state::read_file(resume_from);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "vdxsim timeline: --resume-from: %s\n",
+                     bytes.error().message.c_str());
+        return 1;
+      }
+      snapshot = std::move(bytes).value();
+    }
+    auto resumed = timeline.resume(broker_stream, background_stream, snapshot);
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "vdxsim timeline: resume rejected: %s (%s)\n",
+                   resumed.error().message.c_str(), errc_name(resumed.error().code));
+      return 1;
+    }
+    result = std::move(resumed).value();
+  } else {
+    result = timeline.run(broker_stream, background_stream);
+  }
 
   print_timeline_table(result.timeline, *design, flags);
   std::printf("streamed: broker=%zu background=%zu peak-active=%zu "
@@ -525,6 +574,12 @@ void print_help() {
       "                 --hours H --stream: event-driven engine over chunked\n"
       "                 session generators — memory stays bounded at any\n"
       "                 --sessions)\n"
+      "                 crash consistency (--stream only):\n"
+      "                   --checkpoint-dir D    snapshot directory\n"
+      "                   --checkpoint-every N  epochs between snapshots (default 1)\n"
+      "                   --keep K              snapshots retained (default 3)\n"
+      "                   --resume-from PATH    snapshot file, or a checkpoint\n"
+      "                                         dir (= latest valid snapshot)\n"
       "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
       "                 --strategy static|risk-averse --drop P --corrupt P\n"
       "                 --chaos-seed S --metrics-out F --trace-out F\n"
