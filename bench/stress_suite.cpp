@@ -1,0 +1,191 @@
+// Adversarial stress suite (DESIGN.md §11; ISSUE 6): degradation curves vs
+// steady-state for every named stress scenario. Each case streams the same
+// session population through the overload-graceful engine under one regime —
+// flash crowds at rising intensity, a diurnal swing, a regional blackout, a
+// market-wide price shock, and the perfect storm composing all four — and
+// reports QoE/cost/congestion deltas plus shed counts against the steady
+// baseline. The admission budget is self-calibrating: it is set to the
+// steady run's peak concurrency, so steady sheds nothing and every shed
+// session downstream is stress-induced by construction.
+//
+//   bench_stress_suite                 # full sweep, BENCH_JSON per case
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/streaming.hpp"
+#include "sim/stress.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace vdx;
+
+constexpr double kHorizonSeconds = 3600.0;
+constexpr double kEpochSeconds = 300.0;
+constexpr std::size_t kBrokerSessions = 4000;
+constexpr std::size_t kBackgroundSessions = 1500;
+constexpr std::uint64_t kSeed = 2017;
+
+struct CaseSummary {
+  sim::StreamingResult result;
+  double mean_score = 0.0;
+  double mean_cost = 0.0;
+  double congested_fraction = 0.0;
+};
+
+/// One streaming run under `stress`. Fresh generators and a fresh supply
+/// controller per case; the controller restores the catalog on destruction,
+/// so cases can share one Scenario sequentially.
+CaseSummary run_case(sim::Scenario& scenario, const sim::StressConfig& stress,
+                     std::size_t budget) {
+  const sim::StressProfile profile =
+      sim::make_stress_profile(scenario.world(), stress, kHorizonSeconds);
+
+  core::Rng root{kSeed};
+  core::Rng broker_rng = root.fork("stress-broker");
+  core::Rng background_rng = root.fork("stress-background");
+  trace::TraceConfig broker_trace;
+  broker_trace.session_count = kBrokerSessions;
+  broker_trace.duration_s = kHorizonSeconds;
+  trace::BrokerTraceGenerator::Options broker_options;
+  broker_options.modulation = &profile.demand;
+  trace::BrokerTraceGenerator broker_generator{scenario.world(), broker_trace,
+                                               broker_rng, broker_options};
+  trace::TraceConfig background_trace = broker_trace;
+  background_trace.session_count = kBackgroundSessions;
+  trace::BrokerTraceGenerator::Options background_options;
+  background_options.broker_controlled = false;
+  trace::BrokerTraceGenerator background_generator{
+      scenario.world(), background_trace, background_rng, background_options};
+
+  std::optional<sim::SupplyStressController> controller;
+  sim::StreamingConfig config;
+  config.design = sim::Design::kMarketplace;
+  config.epoch_s = kEpochSeconds;
+  config.overload.max_active_sessions = budget;
+  if (profile.supply_active()) {
+    controller.emplace(scenario, profile);
+    config.stress = &*controller;
+  }
+
+  sim::GeneratorStream broker{broker_generator};
+  sim::GeneratorStream background{background_generator};
+  CaseSummary summary;
+  summary.result = sim::StreamingTimeline{scenario, config}.run(broker, background);
+
+  // Session-weighted means over the decision epochs: a degraded epoch with
+  // ten times the population weighs ten times as much in the curve.
+  double weight = 0.0;
+  for (const sim::EpochReport& epoch : summary.result.timeline.epochs) {
+    const double w = static_cast<double>(epoch.assigned_sessions);
+    if (w <= 0.0) continue;
+    summary.mean_score += w * epoch.metrics.mean_score;
+    summary.mean_cost += w * epoch.metrics.mean_cost;
+    summary.congested_fraction += w * epoch.metrics.congested_fraction;
+    weight += w;
+  }
+  if (weight > 0.0) {
+    summary.mean_score /= weight;
+    summary.mean_cost /= weight;
+    summary.congested_fraction /= weight;
+  }
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  sim::ScenarioConfig scenario_config;
+  scenario_config.trace.session_count = 2'000;
+  scenario_config.trace.duration_s = kHorizonSeconds;
+  scenario_config.seed = kSeed;
+  sim::Scenario scenario = sim::Scenario::build(scenario_config);
+  std::printf("[setup] world: %zu CDNs, %zu clusters; streaming %zu broker + %zu "
+              "background sessions per case over %.0f s\n",
+              scenario.catalog().cdns().size(), scenario.catalog().clusters().size(),
+              kBrokerSessions, kBackgroundSessions, kHorizonSeconds);
+
+  // Steady baseline, unshed: its peak concurrency becomes the admission
+  // budget for every stress case.
+  sim::StressConfig steady;
+  const CaseSummary baseline = run_case(scenario, steady, 0);
+  const std::size_t budget = baseline.result.peak_active_sessions;
+  std::printf("[baseline] steady: peak active %zu (= admission budget), "
+              "mean score %.4f, mean cost %.4f, congested %.3f\n",
+              budget, baseline.mean_score, baseline.mean_cost,
+              baseline.congested_fraction);
+
+  struct Case {
+    const char* label;
+    sim::StressConfig stress;
+    double intensity;
+  };
+  std::vector<Case> cases;
+  for (const double factor : {2.0, 10.0, 50.0}) {
+    sim::StressConfig stress;
+    stress.scenario = sim::StressScenario::kFlashCrowd;
+    stress.spike_factor = factor;
+    cases.push_back({"flash-crowd", stress, factor});
+  }
+  {
+    sim::StressConfig stress;
+    stress.scenario = sim::StressScenario::kDiurnal;
+    cases.push_back({"diurnal", stress, 1.0});
+  }
+  {
+    sim::StressConfig stress;
+    stress.scenario = sim::StressScenario::kBlackout;
+    cases.push_back({"blackout", stress, 1.0});
+  }
+  for (const double factor : {3.0, 10.0}) {
+    sim::StressConfig stress;
+    stress.scenario = sim::StressScenario::kPriceShock;
+    stress.shock_factor = factor;
+    cases.push_back({"price-shock", stress, factor});
+  }
+  {
+    sim::StressConfig stress;
+    stress.scenario = sim::StressScenario::kPerfectStorm;
+    cases.push_back({"perfect-storm", stress, 50.0});
+  }
+
+  bench::BenchReporter reporter{"stress_suite"};
+  std::printf("\n%-14s %9s %9s %9s %9s %9s %9s %9s\n", "scenario", "intensity",
+              "peak", "shed", "score", "d_score", "x_cost", "congested");
+  std::printf("%-14s %9s %9zu %9zu %9.4f %9s %9s %9.3f\n", "steady", "1", budget,
+              baseline.result.shed_sessions, baseline.mean_score, "-", "-",
+              baseline.congested_fraction);
+  for (Case& c : cases) {
+    c.stress.shed_budget = budget;
+    const CaseSummary summary = run_case(scenario, c.stress, budget);
+    const double score_delta = summary.mean_score - baseline.mean_score;
+    const double cost_ratio =
+        baseline.mean_cost > 0.0 ? summary.mean_cost / baseline.mean_cost : 0.0;
+    std::printf("%-14s %9.0f %9zu %9zu %9.4f %+9.4f %9.3f %9.3f\n", c.label,
+                c.intensity, summary.result.peak_active_sessions,
+                summary.result.shed_sessions, summary.mean_score, score_delta,
+                cost_ratio, summary.congested_fraction);
+
+    char intensity[32];
+    std::snprintf(intensity, sizeof intensity, "%g", c.intensity);
+    const obs::Labels labels{{"scenario", c.label}, {"intensity", intensity}};
+    reporter.gauge("stress.mean_score", labels).set(summary.mean_score);
+    reporter.gauge("stress.score_delta", labels).set(score_delta);
+    reporter.gauge("stress.cost_ratio", labels).set(cost_ratio);
+    reporter.gauge("stress.congested_fraction", labels)
+        .set(summary.congested_fraction);
+    reporter.gauge("stress.shed_sessions", labels)
+        .set(static_cast<double>(summary.result.shed_sessions));
+    reporter.gauge("stress.peak_active", labels)
+        .set(static_cast<double>(summary.result.peak_active_sessions));
+  }
+  reporter.gauge("stress.baseline_score").set(baseline.mean_score);
+  reporter.gauge("stress.baseline_cost").set(baseline.mean_cost);
+  reporter.gauge("stress.admission_budget").set(static_cast<double>(budget));
+  reporter.emit();
+  return 0;
+}

@@ -105,6 +105,22 @@ std::string Flags::text(const std::string& key, std::string fallback) {
   return value == nullptr ? std::move(fallback) : *value;
 }
 
+std::string Flags::one_of(const std::string& key, std::string fallback,
+                          const std::vector<std::string>& allowed) {
+  const std::string* value = raw(key);
+  if (value == nullptr) return std::move(fallback);
+  if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
+  for (const std::string& candidate : allowed) {
+    if (*value == candidate) return *value;
+  }
+  std::string expected = "must be one of ";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (i > 0) expected += '|';
+    expected += allowed[i];
+  }
+  fail(key, *value, expected);
+}
+
 std::string Flags::existing_path(const std::string& key) {
   const std::string* value = raw(key);
   if (value == nullptr) return "";

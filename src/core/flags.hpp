@@ -38,6 +38,11 @@ class Flags {
   /// Bare switch (`--stream`) or explicit true/1.
   [[nodiscard]] bool boolean(const std::string& key);
   [[nodiscard]] std::string text(const std::string& key, std::string fallback);
+  /// Value restricted to an allow-list; `fallback` when absent (fallback is
+  /// trusted, not re-validated). Rejects anything else with a one-line
+  /// error listing the accepted values.
+  [[nodiscard]] std::string one_of(const std::string& key, std::string fallback,
+                                   const std::vector<std::string>& allowed);
   /// Filesystem path that must exist when the flag is given; "" when absent.
   [[nodiscard]] std::string existing_path(const std::string& key);
 

@@ -20,6 +20,7 @@ enum class Errc : std::uint8_t {
   kUnavailable = 5,    // the counterpart is dark / withdrawn
   kCorruptSnapshot = 6,   // checkpoint rejection: truncated/mutated/bad checksum
   kVersionMismatch = 7,   // checkpoint written by an incompatible format version
+  kOverloaded = 8,        // demand exceeds the configured budget/capacity
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc code) noexcept {
@@ -31,6 +32,7 @@ enum class Errc : std::uint8_t {
     case Errc::kUnavailable: return "unavailable";
     case Errc::kCorruptSnapshot: return "corrupt_snapshot";
     case Errc::kVersionMismatch: return "version_mismatch";
+    case Errc::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -13,6 +14,58 @@
 #include "state/snapshot.hpp"
 
 namespace vdx::market {
+
+core::Result<AdmissionReport> shed_to_budget(std::vector<broker::ClientGroup>& groups,
+                                             double budget_mbps) {
+  if (!std::isfinite(budget_mbps) || budget_mbps < 0.0) {
+    return core::Result<AdmissionReport>::failure(
+        core::Errc::kInvalidArgument,
+        "shed_to_budget: budget must be finite and >= 0");
+  }
+  AdmissionReport report;
+  double total = 0.0;
+  for (const broker::ClientGroup& g : groups) total += g.client_count * g.bitrate_mbps;
+  if (total <= budget_mbps) return report;
+
+  // Victim order: lowest value first — ascending bitrate, then group id.
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&groups](std::size_t a, std::size_t b) {
+    if (groups[a].bitrate_mbps != groups[b].bitrate_mbps) {
+      return groups[a].bitrate_mbps < groups[b].bitrate_mbps;
+    }
+    return groups[a].id.value() < groups[b].id.value();
+  });
+
+  double excess = total - budget_mbps;
+  for (const std::size_t idx : order) {
+    if (excess <= 0.0) break;
+    broker::ClientGroup& g = groups[idx];
+    const double demand = g.client_count * g.bitrate_mbps;
+    if (demand <= 0.0) continue;
+    if (demand <= excess) {
+      report.shed_mbps += demand;
+      report.shed_clients += g.client_count;
+      excess -= demand;
+      g.client_count = 0.0;
+    } else {
+      const double clients = excess / g.bitrate_mbps;
+      report.shed_mbps += excess;
+      report.shed_clients += clients;
+      g.client_count -= clients;
+      excess = 0.0;
+    }
+  }
+
+  const std::size_t before = groups.size();
+  std::erase_if(groups,
+                [](const broker::ClientGroup& g) { return g.client_count <= 0.0; });
+  report.groups_dropped = before - groups.size();
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    groups[i].id = broker::ShareId{static_cast<std::uint32_t>(i)};
+  }
+  return report;
+}
 
 VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
     : scenario_(scenario), config_(config) {
@@ -31,6 +84,11 @@ VdxExchange::VdxExchange(const sim::Scenario& scenario, ExchangeConfig config)
   counters_.awarded_mbps = obs_.metrics->counter("exchange.awarded_mbps");
   counters_.stale_awarded_mbps = obs_.metrics->counter("exchange.stale_awarded_mbps");
   counters_.failovers = obs_.metrics->counter("exchange.failovers");
+  counters_.shed_mbps = obs_.metrics->counter("exchange.shed.mbps");
+  counters_.shed_clients = obs_.metrics->counter("exchange.shed.clients");
+  counters_.shed_rounds = obs_.metrics->counter("exchange.shed.rounds");
+  counters_.peering_rehomed = obs_.metrics->counter("exchange.peering.rehomed");
+  counters_.peering_rejected = obs_.metrics->counter("exchange.peering.rejected");
   counters_.mean_score = obs_.metrics->gauge("exchange.mean_score");
   counters_.mean_cost = obs_.metrics->gauge("exchange.mean_cost");
   counters_.prediction_error = obs_.metrics->gauge("exchange.prediction_error");
@@ -74,6 +132,24 @@ RoundReport VdxExchange::run_round() {
     obs_.record(obs::EventKind::kRoundStart, obs::RunJournal::kNoSubject,
                 static_cast<double>(rounds_completed_));
   }
+  // Admission control: trim the Gathered demand to the budget before the
+  // decision round ever prices it (overload-graceful degradation, §11).
+  if (config_.overload.demand_budget_mbps > 0.0) {
+    const auto demand = broker_agent_->demand();
+    std::vector<broker::ClientGroup> admitted{demand.begin(), demand.end()};
+    auto admission = shed_to_budget(admitted, config_.overload.demand_budget_mbps);
+    if (admission.ok() && admission.value().shed_mbps > 0.0) {
+      const AdmissionReport& shed = admission.value();
+      broker_agent_->set_demand(std::move(admitted));
+      report.shed_mbps = shed.shed_mbps;
+      report.shed_clients = shed.shed_clients;
+      counters_.shed_mbps.add(shed.shed_mbps);
+      counters_.shed_clients.add(shed.shed_clients);
+      counters_.shed_rounds.add();
+      obs_.record(obs::EventKind::kShed, obs::RunJournal::kNoSubject, shed.shed_mbps);
+    }
+  }
+
   // Counter deltas over this round back the report's fault telemetry, so the
   // registry and the report cannot disagree.
   const double messages_before = counters_.messages.value();
@@ -250,11 +326,22 @@ core::Result<proto::DeliveryOutcome> VdxExchange::deliver(std::uint32_t session_
   ClusterService frontend{scenario_, last_cluster_loads_};
   frontend.register_session(session_id, bitrate_mbps);
   // Clusters of failed CDNs are dark mid-stream: the frontend refuses them,
-  // which drives the Delivery-Protocol failover in run_delivery().
+  // which drives the Delivery-Protocol failover in run_delivery(). With QoS
+  // peering on, saturated clusters (load past threshold x capacity, or no
+  // capacity at all — e.g. blacked out) are dark too, so sessions re-home to
+  // healthy clusters instead of piling onto overloaded ones.
+  const bool peering = config_.overload.saturation_threshold > 0.0;
   const auto clusters = scenario_.catalog().clusters();
   for (std::size_t c = 0; c < clusters.size(); ++c) {
     const std::uint32_t cdn = clusters[c].cdn.value();
     if (cdn < cdn_agents_.size() && cdn_agents_[cdn]->failed()) {
+      frontend.set_dark(cdn::ClusterId{static_cast<std::uint32_t>(c)});
+      continue;
+    }
+    if (peering && (clusters[c].capacity <= 0.0 ||
+                    (c < last_cluster_loads_.size() &&
+                     last_cluster_loads_[c] > config_.overload.saturation_threshold *
+                                                  clusters[c].capacity))) {
       frontend.set_dark(cdn::ClusterId{static_cast<std::uint32_t>(c)});
     }
   }
@@ -264,7 +351,16 @@ core::Result<proto::DeliveryOutcome> VdxExchange::deliver(std::uint32_t session_
   query.bitrate_mbps = bitrate_mbps;
   proto::DeliveryOutcome outcome =
       proto::run_delivery(query, *broker_agent_, frontend, obs_);
-  if (outcome.rehomed) counters_.failovers.add();
+  if (outcome.rehomed) {
+    counters_.failovers.add();
+    if (peering) counters_.peering_rehomed.add();
+  }
+  if (peering && outcome.delivery.delivered_mbps <= 0.0) {
+    counters_.peering_rejected.add();
+    return core::Result<proto::DeliveryOutcome>::failure(
+        core::Errc::kOverloaded,
+        "VdxExchange::deliver: no healthy cluster can take this session");
+  }
   return outcome;
 }
 

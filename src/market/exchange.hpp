@@ -30,11 +30,45 @@ struct ChaosConfig {
   double quorum_fraction = 0.67;
 };
 
+/// Overload-graceful exchange policy (DESIGN.md §11): per-round admission
+/// control on the broker's Gathered demand, plus the Pathan/Buyya-style
+/// QoS-driven peering response in the Delivery Protocol.
+struct OverloadConfig {
+  /// Demand budget per round, Mbps; when the broker's total demand exceeds
+  /// it, the overflow is shed lowest-bitrate-groups-first before the
+  /// decision round ever prices it. 0 disables admission control.
+  double demand_budget_mbps = 0.0;
+  /// Delivery-side saturation threshold as a fraction of cluster capacity:
+  /// clusters whose post-round load exceeds threshold x capacity are
+  /// treated as dark in deliver(), re-homing sessions to healthy clusters
+  /// (QoS peering). A session no healthy cluster can take fails with
+  /// Errc::kOverloaded instead of landing on a saturated one. 0 disables.
+  double saturation_threshold = 0.0;
+};
+
+/// What one shed_to_budget() pass removed.
+struct AdmissionReport {
+  double shed_mbps = 0.0;
+  double shed_clients = 0.0;
+  /// Groups fully drained (and removed) by the trim.
+  std::size_t groups_dropped = 0;
+};
+
+/// Trims `groups` in place to `budget_mbps` total demand, shedding the
+/// lowest-value demand first (ascending bitrate, group id as the
+/// deterministic tiebreak; the marginal group is shrunk, not dropped).
+/// Emptied groups are removed and ids renumbered densely, so the result is
+/// a valid broker demand set. Fails with Errc::kInvalidArgument on a
+/// non-finite or negative budget; budget 0 sheds everything.
+[[nodiscard]] core::Result<AdmissionReport> shed_to_budget(
+    std::vector<broker::ClientGroup>& groups, double budget_mbps);
+
 struct ExchangeConfig {
   CdnAgentConfig agent;
   BrokerAgentConfig broker;
   StrategyKind strategy = StrategyKind::kRiskAverse;
   ChaosConfig chaos;
+  OverloadConfig overload;
   /// Observability sinks, threaded through the protocol engine, broker
   /// optimize pipeline, and solver. The exchange always maintains an
   /// `exchange.*` metrics registry (an internal one when none is supplied);
@@ -52,6 +86,10 @@ struct RoundReport {
   double mean_cost = 0.0;
   /// Fraction of broker clients on clusters loaded above capacity.
   double congested_fraction = 0.0;
+  /// Demand shed by admission control before this round (0 with the policy
+  /// off or under budget).
+  double shed_mbps = 0.0;
+  double shed_clients = 0.0;
   /// Traffic predictability: mean over CDNs of
   /// |expected win - actual win| / max(bid traffic, 1). Lower = more
   /// predictable. Static bidders expect to win everything, so they start
@@ -158,7 +196,8 @@ class VdxExchange {
   struct ExchangeCounters {
     obs::Counter rounds, messages, timeouts, retries, bids, stale_bids,
         degraded_rounds, quorum_misses, awarded_mbps, stale_awarded_mbps,
-        failovers;
+        failovers, shed_mbps, shed_clients, shed_rounds, peering_rehomed,
+        peering_rejected;
     obs::Gauge mean_score, mean_cost, prediction_error;
   } counters_;
 };

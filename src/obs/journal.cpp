@@ -11,11 +11,12 @@ namespace vdx::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, 15> kKindNames{
+constexpr std::array<std::string_view, 17> kKindNames{
     "round_start",    "round_end",   "bid",      "retry",
     "timeout",        "decode_reject", "stale_bid", "quorum_miss",
     "degraded_round", "failover",    "solve",    "epoch",
-    "checkpoint",     "resume",      "custom",
+    "checkpoint",     "resume",      "shed",     "supply_shift",
+    "custom",
 };
 
 }  // namespace

@@ -38,7 +38,9 @@ enum class EventKind : std::uint8_t {
   kEpoch,
   kCheckpoint,
   kResume,
-  kCustom,
+  kShed,
+  kSupplyShift,
+  kCustom,  // must stay last: the checkpoint codec bounds kind bytes by it
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "cdn/menu_cache.hpp"
+#include "sim/stress.hpp"
 #include "sim/timeline_detail.hpp"
 
 namespace vdx::sim {
@@ -77,11 +78,13 @@ class ActiveSet {
       pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
                       std::make_move_iterator(batch.end()));
     }
-    // Departures.
+    // Departures. Lazy deletion: shed_lowest removes sessions from the id
+    // map without touching the heap, so stale heap entries are skipped.
     while (!departures_.empty() && departures_.top().first <= t) {
       const std::uint32_t id = departures_.top().second;
       departures_.pop();
       const auto it = active_.find(id);
+      if (it == active_.end()) continue;  // already shed
       bump(it->second.city, it->second.bitrate_mbps, -1);
       active_.erase(it);
       changed = true;
@@ -119,6 +122,27 @@ class ActiveSet {
       refs.push_back(detail::SessionRef{id, rec.city, rec.bitrate_mbps});
     }
     return refs;
+  }
+
+  /// Sheds up to `n` active sessions, lowest value first (ascending
+  /// bitrate, id as the deterministic tiebreak — thread count and chunking
+  /// never change the victim set). Heap entries are left behind and
+  /// lazily skipped by advance_to. Returns the number actually shed.
+  std::size_t shed_lowest(std::size_t n) {
+    n = std::min(n, active_.size());
+    if (n == 0) return 0;
+    std::vector<std::pair<double, std::uint32_t>> order;
+    order.reserve(active_.size());
+    for (const auto& [id, rec] : active_) order.emplace_back(rec.bitrate_mbps, id);
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+                      order.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = active_.find(order[i].second);
+      bump(it->second.city, it->second.bitrate_mbps, -1);
+      active_.erase(it);
+    }
+    groups_dirty_ = true;
+    return n;
   }
 
   [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
@@ -201,6 +225,12 @@ StreamingTimeline::StreamingTimeline(const Scenario& scenario, StreamingConfig c
   if (!(config_.epoch_s > 0.0)) {
     throw std::invalid_argument{"StreamingConfig: epoch_s must be > 0"};
   }
+  if (config_.stress != nullptr && config_.run.menus != nullptr) {
+    throw std::invalid_argument{
+        "StreamingConfig: supply stress mutates catalog values that candidate "
+        "menus bake in; an external RunConfig::menus cache would go stale — "
+        "leave menus null so the engine owns (and rebuilds) the caches"};
+  }
 }
 
 StreamingResult StreamingTimeline::run(SessionStream& broker,
@@ -255,21 +285,28 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
   const std::size_t cities = scenario.world().cities().size();
   std::optional<cdn::CandidateMenuCache> design_cache;
   std::optional<cdn::CandidateMenuCache> background_cache;
-  if (base_run.menus == nullptr) {
-    design_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
-                         menu_config_for(config_.design, base_run));
-    base_run.menus = &*design_cache;
-  }
-  const cdn::CandidateMenuCache* background_menus = base_run.menus;
-  if (!(background_menus->config() == cdn::MatchingConfig{})) {
-    background_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
-                             cdn::MatchingConfig{});
-    background_menus = &*background_cache;
-  }
+  const cdn::CandidateMenuCache* background_menus = nullptr;
+  const auto build_menus = [&] {
+    if (config_.run.menus == nullptr) {
+      design_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                           menu_config_for(config_.design, base_run));
+      base_run.menus = &*design_cache;
+    }
+    background_menus = base_run.menus;
+    if (!(background_menus->config() == cdn::MatchingConfig{})) {
+      background_cache.emplace(scenario.catalog(), scenario.mapping(), cities,
+                               cdn::MatchingConfig{});
+      background_menus = &*background_cache;
+    }
+  };
+  build_menus();
 
   obs::Counter rounds_counter;
   obs::Counter recompute_counter;
   obs::Counter resume_counter;
+  obs::Counter shed_counter;
+  obs::Counter overload_epochs_counter;
+  obs::Counter supply_shift_counter;
   obs::Gauge active_gauge;
   obs::Gauge peak_gauge;
   obs::Histogram epoch_seconds;
@@ -277,6 +314,9 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
     rounds_counter = config_.obs.metrics->counter("timeline.decision_rounds");
     recompute_counter = config_.obs.metrics->counter("timeline.background_recomputes");
     resume_counter = config_.obs.metrics->counter("state.resumes");
+    shed_counter = config_.obs.metrics->counter("timeline.overload.shed_sessions");
+    overload_epochs_counter = config_.obs.metrics->counter("timeline.overload.epochs");
+    supply_shift_counter = config_.obs.metrics->counter("timeline.stress.supply_shifts");
     active_gauge = config_.obs.metrics->gauge("timeline.active_sessions");
     peak_gauge = config_.obs.metrics->gauge("timeline.peak_active_sessions");
     epoch_seconds = config_.obs.metrics->histogram("timeline.epoch_seconds");
@@ -301,6 +341,7 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
     result.decision_rounds = static_cast<std::size_t>(cp.decision_rounds);
     result.background_recomputes =
         static_cast<std::size_t>(cp.background_recomputes);
+    result.shed_sessions = static_cast<std::size_t>(cp.shed_sessions);
     start_epoch = static_cast<std::size_t>(cp.next_epoch);
     if (config_.obs.journal != nullptr) {
       auto restored = config_.obs.journal->restore(
@@ -337,6 +378,7 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
     cp.peak_active_sessions = result.peak_active_sessions;
     cp.decision_rounds = result.decision_rounds;
     cp.background_recomputes = result.background_recomputes;
+    cp.shed_sessions = result.shed_sessions;
     cp.logical_clock =
         config_.obs.tracer != nullptr ? config_.obs.tracer->logical_now() : 0;
     if (config_.obs.journal != nullptr) {
@@ -361,6 +403,19 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
       const obs::ScopedTimer timer{epoch_seconds};
       const double mid = (static_cast<double>(e) + 0.5) * config_.epoch_s;
 
+      // Supply-side stress is a pure function of the epoch midpoint, so a
+      // resumed run's first apply() reconstitutes the identical catalog
+      // state. On a transition everything that baked catalog values —
+      // candidate menus, the background placement — must be rebuilt.
+      if (config_.stress != nullptr && config_.stress->apply(mid)) {
+        build_menus();
+        background_stale = true;
+        supply_shift_counter.add(1.0);
+        config_.obs.record(obs::EventKind::kSupplyShift,
+                           static_cast<std::uint32_t>(e),
+                           static_cast<double>(config_.stress->state_key()));
+      }
+
       broker_set.advance_to(mid);
       background_stale |= background_set.advance_to(mid);
 
@@ -368,6 +423,21 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
           broker_set.active_count() + background_set.active_count();
       result.peak_active_sessions = std::max(result.peak_active_sessions, concurrent);
       active_gauge.set(static_cast<double>(concurrent));
+
+      // Admission control: shed the overflow before the decision round so
+      // the round never sees more demand than the budget.
+      const std::size_t pre_shed_active = broker_set.active_count();
+      std::size_t shed_now = 0;
+      if (config_.overload.max_active_sessions > 0 &&
+          pre_shed_active > config_.overload.max_active_sessions) {
+        shed_now = broker_set.shed_lowest(pre_shed_active -
+                                          config_.overload.max_active_sessions);
+        result.shed_sessions += shed_now;
+        shed_counter.add(static_cast<double>(shed_now));
+        overload_epochs_counter.add(1.0);
+        config_.obs.record(obs::EventKind::kShed, static_cast<std::uint32_t>(e),
+                           static_cast<double>(shed_now));
+      }
 
       if (broker_set.active_count() > 0) {
         // The background only moves when a background session arrived or
@@ -392,7 +462,10 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
         EpochReport report;
         report.epoch = e;
         report.time_s = mid;
-        report.active_sessions = broker_set.active_count();
+        // Pre-shed population: with assigned computed post-shed, the
+        // conservation the property tests pin is assigned + shed <= active.
+        report.active_sessions = pre_shed_active;
+        report.shed_sessions = shed_now;
         report.assigned_sessions = assignment.size();
         report.metrics = compute_metrics_over(scenario, outcome, groups);
         churn.observe(scenario.catalog(), std::move(assignment), report);

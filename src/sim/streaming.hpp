@@ -37,6 +37,8 @@
 
 namespace vdx::sim {
 
+class SupplyStressController;
+
 /// A bounded, arrival-ordered session source. Implementations must emit
 /// sessions with non-decreasing arrival_s and dense ids in emission order
 /// (the invariant both adapters below inherit from the trace layer).
@@ -107,6 +109,16 @@ struct CheckpointPolicy {
   state::RunFingerprint fingerprint;
 };
 
+/// Overload-graceful admission control for streaming runs (DESIGN.md §11).
+/// When the broker-side active population exceeds the budget after an
+/// epoch's arrivals, the engine sheds the overflow lowest-value-first
+/// (ascending bitrate, then id — the deterministic tiebreak) before the
+/// decision round, so the round never sees more demand than the budget.
+struct OverloadPolicy {
+  /// Maximum broker sessions admitted to a decision round; 0 disables.
+  std::size_t max_active_sessions = 0;
+};
+
 struct StreamingConfig {
   Design design = Design::kMarketplace;
   RunConfig run;
@@ -120,6 +132,15 @@ struct StreamingConfig {
   /// events). Default: disabled.
   obs::Observer obs;
   CheckpointPolicy checkpoint;
+  /// Admission control; disabled by default.
+  OverloadPolicy overload;
+  /// Optional supply-side stress (blackouts, price shocks), applied at each
+  /// epoch midpoint; non-owning, must outlive the engine. Because the
+  /// controller mutates catalog values that candidate menus bake in, the
+  /// engine rebuilds its menu caches on every stress transition — which is
+  /// why an external RunConfig::menus is rejected when stress is attached
+  /// (it would silently go stale).
+  SupplyStressController* stress = nullptr;
   /// Test hook simulating a crash: when > 0, run()/resume() return after
   /// executing this many epochs of the current invocation (checkpoints
   /// taken on the way are durable; the partial result is discarded by the
@@ -143,6 +164,8 @@ struct StreamingResult {
   /// delta engine reuses the previous placement when no background session
   /// arrived or departed).
   std::size_t background_recomputes = 0;
+  /// Broker sessions shed by admission control across the run.
+  std::size_t shed_sessions = 0;
 };
 
 class StreamingTimeline {

@@ -1,0 +1,271 @@
+#include "sim/stress.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "sim/scenario.hpp"
+
+namespace vdx::sim {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kScenarioNames{
+    "steady", "flash-crowd", "diurnal", "blackout", "price-shock",
+    "perfect-storm"};
+
+/// Event-window placement as horizon fractions: the spike peaks in the
+/// middle third, the blackout and price shock overlap it so the composed
+/// perfect-storm scenario stresses admission, peering, and settlement at
+/// once. Model constants — changing them changes every stressed stream.
+constexpr double kSpikeStartFrac = 0.25;
+constexpr double kSpikeRampFrac = 0.05;
+constexpr double kSpikeHoldFrac = 0.25;
+constexpr double kSpikeDecayFrac = 0.10;
+constexpr double kBlackoutStartFrac = 0.40;
+constexpr double kBlackoutEndFrac = 0.70;
+constexpr double kShockStartFrac = 0.30;
+constexpr double kShockEndFrac = 0.70;
+constexpr double kDiurnalAmplitude = 0.5;
+constexpr double kDiurnalMaxPeriodS = 86'400.0;
+
+std::size_t busiest_city(const geo::World& world) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < world.cities().size(); ++i) {
+    if (world.cities()[i].demand_weight > world.cities()[best].demand_weight) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+core::CountryId resolve_region(const geo::World& world, const std::string& name) {
+  if (name.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < world.countries().size(); ++i) {
+      if (world.countries()[i].demand_share > world.countries()[best].demand_share) {
+        best = i;
+      }
+    }
+    return core::CountryId{static_cast<std::uint32_t>(best)};
+  }
+  for (const geo::Country& country : world.countries()) {
+    if (country.name == name) return country.id;
+  }
+  throw std::invalid_argument{
+      "--blackout-region: unknown region '" + name + "' (world has " +
+      std::string{world.countries().front().name} + ".." +
+      std::string{world.countries().back().name} + ")"};
+}
+
+}  // namespace
+
+std::string_view to_string(StressScenario scenario) noexcept {
+  const auto idx = static_cast<std::size_t>(scenario);
+  return idx < kScenarioNames.size() ? kScenarioNames[idx] : "unknown";
+}
+
+std::span<const std::string_view> stress_scenario_names() noexcept {
+  return kScenarioNames;
+}
+
+std::optional<StressScenario> stress_scenario_from(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kScenarioNames.size(); ++i) {
+    if (kScenarioNames[i] == name) return static_cast<StressScenario>(i);
+  }
+  return std::nullopt;
+}
+
+StressConfig stress_config_from_flags(core::Flags& flags) {
+  StressConfig config;
+  std::vector<std::string> names;
+  names.reserve(kScenarioNames.size());
+  for (const std::string_view name : kScenarioNames) names.emplace_back(name);
+  const std::string scenario = flags.one_of("scenario", "steady", names);
+  config.scenario = *stress_scenario_from(scenario);
+  config.spike_city = flags.count("spike-city", config.spike_city);
+  config.spike_factor = flags.positive("spike-factor", config.spike_factor);
+  config.blackout_region = flags.text("blackout-region", "");
+  config.shock_factor = flags.positive("shock-factor", config.shock_factor);
+  config.shed_budget = flags.count("shed-budget", 0);
+  return config;
+}
+
+std::uint64_t stress_config_hash(const StressConfig& config) noexcept {
+  // FNV-1a over the canonical field encoding; steady-with-defaults hashes
+  // to a fixed value so pre-stress checkpoints keep their fingerprints.
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&mix](double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(config.scenario));
+  mix(static_cast<std::uint64_t>(config.spike_city));
+  mix_double(config.spike_factor);
+  mix(static_cast<std::uint64_t>(config.blackout_region.size()));
+  for (const char c : config.blackout_region) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  mix_double(config.shock_factor);
+  mix(static_cast<std::uint64_t>(config.shed_budget));
+  return hash;
+}
+
+StressProfile make_stress_profile(const geo::World& world, const StressConfig& config,
+                                  double horizon_s) {
+  if (!(horizon_s > 0.0)) {
+    throw std::invalid_argument{"make_stress_profile: horizon must be > 0"};
+  }
+  StressProfile profile;
+  const StressScenario s = config.scenario;
+  const bool storm = s == StressScenario::kPerfectStorm;
+
+  if (s == StressScenario::kFlashCrowd || storm) {
+    std::size_t city = config.spike_city;
+    if (city == static_cast<std::size_t>(-1)) {
+      city = busiest_city(world);
+    } else if (city >= world.cities().size()) {
+      throw std::invalid_argument{
+          "--spike-city: no such city index " + std::to_string(city) + " (world has " +
+          std::to_string(world.cities().size()) + " cities)"};
+    }
+    trace::FlashCrowdSpec spike;
+    spike.city = core::CityId{static_cast<std::uint32_t>(city)};
+    spike.factor = config.spike_factor;
+    spike.start_s = kSpikeStartFrac * horizon_s;
+    spike.ramp_s = kSpikeRampFrac * horizon_s;
+    spike.hold_s = kSpikeHoldFrac * horizon_s;
+    spike.decay_s = kSpikeDecayFrac * horizon_s;
+    profile.demand.add_flash_crowd(spike);
+  }
+  if (s == StressScenario::kDiurnal || storm) {
+    trace::DiurnalSpec diurnal;
+    diurnal.amplitude = kDiurnalAmplitude;
+    diurnal.period_s = std::min(kDiurnalMaxPeriodS, horizon_s);
+    profile.demand.add_diurnal(diurnal);
+  }
+  if (s == StressScenario::kBlackout || storm) {
+    profile.blackouts.push_back(BlackoutSpec{resolve_region(world, config.blackout_region),
+                                             kBlackoutStartFrac * horizon_s,
+                                             kBlackoutEndFrac * horizon_s});
+  }
+  if (s == StressScenario::kPriceShock || storm) {
+    profile.price_shocks.push_back(PriceShockSpec{
+        config.shock_factor, kShockStartFrac * horizon_s, kShockEndFrac * horizon_s});
+  }
+  return profile;
+}
+
+SupplyStressController::SupplyStressController(Scenario& scenario,
+                                               StressProfile profile)
+    : scenario_(&scenario), profile_(std::move(profile)) {
+  if (profile_.blackouts.size() > 16 || profile_.price_shocks.size() > 16) {
+    throw std::invalid_argument{
+        "SupplyStressController: at most 16 blackouts and 16 price shocks"};
+  }
+  const cdn::CdnCatalog& catalog = scenario_->catalog();
+  base_capacity_.reserve(catalog.clusters().size());
+  base_bandwidth_cost_.reserve(catalog.clusters().size());
+  for (const cdn::Cluster& cluster : catalog.clusters()) {
+    base_capacity_.push_back(cluster.capacity);
+    base_bandwidth_cost_.push_back(cluster.bandwidth_cost);
+  }
+  base_contract_price_.reserve(catalog.cdns().size());
+  for (const cdn::Cdn& cdn : catalog.cdns()) {
+    base_contract_price_.push_back(cdn.contract_price);
+  }
+  dark_.assign(catalog.clusters().size(), 0);
+
+  blackout_clusters_.reserve(profile_.blackouts.size());
+  for (const BlackoutSpec& blackout : profile_.blackouts) {
+    std::vector<cdn::ClusterId> hit;
+    for (const cdn::Cluster& cluster : catalog.clusters()) {
+      if (scenario_->world().country_of(cluster.city).id == blackout.country) {
+        hit.push_back(cluster.id);
+      }
+    }
+    blackout_clusters_.push_back(std::move(hit));
+  }
+}
+
+SupplyStressController::~SupplyStressController() { reset(); }
+
+bool SupplyStressController::apply(double t) {
+  std::uint32_t key = 0;
+  for (std::size_t i = 0; i < profile_.blackouts.size(); ++i) {
+    const BlackoutSpec& b = profile_.blackouts[i];
+    if (t >= b.start_s && t < b.end_s) key |= 1u << i;
+  }
+  for (std::size_t j = 0; j < profile_.price_shocks.size(); ++j) {
+    const PriceShockSpec& p = profile_.price_shocks[j];
+    if (t >= p.start_s && t < p.end_s) key |= 1u << (16 + j);
+  }
+  if (key == state_) return false;
+
+  // Rebuild from base so the state is a function of `key` alone.
+  cdn::CdnCatalog& catalog = scenario_->catalog_mutable();
+  for (std::size_t c = 0; c < base_capacity_.size(); ++c) {
+    cdn::Cluster& cluster =
+        catalog.cluster_mutable(cdn::ClusterId{static_cast<std::uint32_t>(c)});
+    cluster.capacity = base_capacity_[c];
+    cluster.bandwidth_cost = base_bandwidth_cost_[c];
+  }
+  for (std::size_t d = 0; d < base_contract_price_.size(); ++d) {
+    catalog.cdn_mutable(cdn::CdnId{static_cast<std::uint32_t>(d)}).contract_price =
+        base_contract_price_[d];
+  }
+  std::fill(dark_.begin(), dark_.end(), 0);
+
+  for (std::size_t i = 0; i < profile_.blackouts.size(); ++i) {
+    if ((key & (1u << i)) == 0) continue;
+    for (const cdn::ClusterId cluster : blackout_clusters_[i]) {
+      catalog.cluster_mutable(cluster).capacity = 0.0;
+      dark_[cluster.value()] = 1;
+    }
+  }
+  for (std::size_t j = 0; j < profile_.price_shocks.size(); ++j) {
+    if ((key & (1u << (16 + j))) == 0) continue;
+    const double factor = profile_.price_shocks[j].factor;
+    for (std::size_t c = 0; c < base_capacity_.size(); ++c) {
+      catalog.cluster_mutable(cdn::ClusterId{static_cast<std::uint32_t>(c)})
+          .bandwidth_cost *= factor;
+    }
+    for (std::size_t d = 0; d < base_contract_price_.size(); ++d) {
+      catalog.cdn_mutable(cdn::CdnId{static_cast<std::uint32_t>(d)}).contract_price *=
+          factor;
+    }
+  }
+  state_ = key;
+  return true;
+}
+
+bool SupplyStressController::cluster_dark(cdn::ClusterId cluster) const noexcept {
+  return cluster.value() < dark_.size() && dark_[cluster.value()] != 0;
+}
+
+void SupplyStressController::reset() {
+  if (state_ == 0) return;
+  cdn::CdnCatalog& catalog = scenario_->catalog_mutable();
+  for (std::size_t c = 0; c < base_capacity_.size(); ++c) {
+    cdn::Cluster& cluster =
+        catalog.cluster_mutable(cdn::ClusterId{static_cast<std::uint32_t>(c)});
+    cluster.capacity = base_capacity_[c];
+    cluster.bandwidth_cost = base_bandwidth_cost_[c];
+  }
+  for (std::size_t d = 0; d < base_contract_price_.size(); ++d) {
+    catalog.cdn_mutable(cdn::CdnId{static_cast<std::uint32_t>(d)}).contract_price =
+        base_contract_price_[d];
+  }
+  std::fill(dark_.begin(), dark_.end(), 0);
+  state_ = 0;
+}
+
+}  // namespace vdx::sim

@@ -1,0 +1,150 @@
+// Adversarial stress scenarios: the named workload/supply regimes the
+// steady-state paper never explores (DESIGN.md §11).
+//
+// A scenario bundles demand-side modulators (trace::WorkloadModulation:
+// flash crowds, diurnal sinusoids) with supply-side events (regional
+// blackouts that take clusters dark, CDN price shocks) placed at fixed
+// fractions of the run horizon. Both sides are pure functions of
+// (config, time): the demand side reshapes the deterministic trace
+// partition, and the SupplyStressController below reconstitutes the exact
+// catalog state for any epoch time — which is what keeps
+// StreamingTimeline::resume() byte-identical across a crash inside a
+// blackout or mid-spike.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "core/flags.hpp"
+#include "core/ids.hpp"
+#include "geo/world.hpp"
+#include "trace/modulation.hpp"
+
+namespace vdx::sim {
+
+class Scenario;
+
+/// The named stress regimes. kPerfectStorm composes every other one.
+enum class StressScenario : std::uint8_t {
+  kSteady = 0,
+  kFlashCrowd,
+  kDiurnal,
+  kBlackout,
+  kPriceShock,
+  kPerfectStorm,
+};
+
+[[nodiscard]] std::string_view to_string(StressScenario scenario) noexcept;
+/// All scenario names, registry order (for --list-scenarios and one_of).
+[[nodiscard]] std::span<const std::string_view> stress_scenario_names() noexcept;
+[[nodiscard]] std::optional<StressScenario> stress_scenario_from(
+    std::string_view name) noexcept;
+
+/// CLI-facing stress knobs; defaults reproduce the ISSUE's flagship numbers
+/// (a 50x single-city flash crowd, a 3x price shock).
+struct StressConfig {
+  StressScenario scenario = StressScenario::kSteady;
+  /// City hit by the flash crowd; SIZE_MAX picks the busiest city.
+  std::size_t spike_city = static_cast<std::size_t>(-1);
+  double spike_factor = 50.0;
+  /// Country name ("A".."S") blacked out; empty picks the highest-demand one.
+  std::string blackout_region;
+  double shock_factor = 3.0;
+  /// Active-session admission budget for the streaming engine; 0 = off.
+  std::size_t shed_budget = 0;
+};
+
+/// Reads and validates the stress flags (--scenario, --spike-city,
+/// --spike-factor, --blackout-region, --shock-factor, --shed-budget).
+/// Throws std::invalid_argument with a one-line message on nonsense
+/// (unknown scenario, factor <= 0).
+[[nodiscard]] StressConfig stress_config_from_flags(core::Flags& flags);
+
+/// Folds the stress configuration into a stable 64-bit hash, mixed into the
+/// run fingerprint so a checkpoint taken under one scenario refuses to
+/// resume under another.
+[[nodiscard]] std::uint64_t stress_config_hash(const StressConfig& config) noexcept;
+
+/// A regional blackout: every cluster in `country` is dark (capacity 0)
+/// while start_s <= t < end_s.
+struct BlackoutSpec {
+  core::CountryId country;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// A market-wide price shock: bandwidth costs and contract prices multiply
+/// by `factor` while start_s <= t < end_s.
+struct PriceShockSpec {
+  double factor = 3.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// A fully resolved scenario over one run horizon.
+struct StressProfile {
+  trace::WorkloadModulation demand;
+  std::vector<BlackoutSpec> blackouts;
+  std::vector<PriceShockSpec> price_shocks;
+
+  [[nodiscard]] bool supply_active() const noexcept {
+    return !blackouts.empty() || !price_shocks.empty();
+  }
+};
+
+/// Resolves `config` against a world and horizon: picks default spike city /
+/// blackout country (busiest by demand), places event windows at fixed
+/// horizon fractions, validates explicit city/region references. Throws
+/// std::invalid_argument on an unknown city index or region name.
+[[nodiscard]] StressProfile make_stress_profile(const geo::World& world,
+                                                const StressConfig& config,
+                                                double horizon_s);
+
+/// Applies the supply-side events to a Scenario's mutable CDN catalog as a
+/// pure function of time. apply(t) computes the set of active windows at t
+/// and, only on a set transition, restores every cluster/CDN to its base
+/// values and re-applies the active events — so the catalog state depends
+/// on t alone, never on the visit order. A freshly constructed controller
+/// replaying any epoch sequence lands in the identical state, which makes
+/// crash/resume safe without checkpointing the catalog.
+class SupplyStressController {
+ public:
+  /// Captures base catalog values. `scenario` must outlive the controller.
+  SupplyStressController(Scenario& scenario, StressProfile profile);
+  /// Restores the base catalog.
+  ~SupplyStressController();
+  SupplyStressController(const SupplyStressController&) = delete;
+  SupplyStressController& operator=(const SupplyStressController&) = delete;
+
+  /// Moves the catalog to the state active at time t. Returns true when the
+  /// active-window set changed (callers must rebuild anything that baked
+  /// catalog values, e.g. candidate menus).
+  bool apply(double t);
+
+  /// Whether `cluster` is currently blacked out.
+  [[nodiscard]] bool cluster_dark(cdn::ClusterId cluster) const noexcept;
+  /// Bitmask of active windows (bit i: blackout i, bit 16+j: shock j).
+  [[nodiscard]] std::uint32_t state_key() const noexcept { return state_; }
+  [[nodiscard]] const StressProfile& profile() const noexcept { return profile_; }
+
+  /// Restores the base catalog and clears the active set.
+  void reset();
+
+ private:
+  Scenario* scenario_;
+  StressProfile profile_;
+  /// Clusters taken dark by each blackout spec (resolved once).
+  std::vector<std::vector<cdn::ClusterId>> blackout_clusters_;
+  std::vector<double> base_capacity_;
+  std::vector<double> base_bandwidth_cost_;
+  std::vector<double> base_contract_price_;
+  std::vector<char> dark_;
+  std::uint32_t state_ = 0;
+};
+
+}  // namespace vdx::sim

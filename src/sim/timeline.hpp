@@ -36,6 +36,10 @@ struct EpochReport {
   /// is assigned at most once (the conservation invariant the property
   /// tests pin).
   std::size_t assigned_sessions = 0;
+  /// Sessions shed by admission control this epoch (overload-graceful
+  /// streaming runs only; 0 and absent from exports otherwise). Shedding
+  /// preserves conservation: assigned + shed <= active.
+  std::size_t shed_sessions = 0;
   /// Sessions active in both this and the previous epoch whose serving CDN
   /// changed (0 for the first epoch).
   double cdn_switch_fraction = 0.0;

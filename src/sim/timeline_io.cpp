@@ -21,8 +21,11 @@ void write_epoch_reports_jsonl(std::ostream& out, const TimelineResult& result) 
   for (const EpochReport& r : result.epochs) {
     out << "{\"epoch\":" << r.epoch << ",\"time_s\":" << fmt(r.time_s)
         << ",\"active_sessions\":" << r.active_sessions
-        << ",\"assigned_sessions\":" << r.assigned_sessions
-        << ",\"cdn_switch_fraction\":" << fmt(r.cdn_switch_fraction)
+        << ",\"assigned_sessions\":" << r.assigned_sessions;
+    // Only overload-graceful runs carry the field; steady exports (and the
+    // golden files) stay byte-identical.
+    if (r.shed_sessions > 0) out << ",\"shed_sessions\":" << r.shed_sessions;
+    out << ",\"cdn_switch_fraction\":" << fmt(r.cdn_switch_fraction)
         << ",\"cluster_switch_fraction\":" << fmt(r.cluster_switch_fraction)
         << ",\"median_cost\":" << fmt(r.metrics.median_cost)
         << ",\"median_score\":" << fmt(r.metrics.median_score)

@@ -99,6 +99,7 @@ std::vector<std::uint8_t> encode_progress(const TimelineCheckpoint& checkpoint) 
   out.write_u64(checkpoint.background_recomputes);
   out.write_u64(checkpoint.logical_clock);
   out.write_u8(checkpoint.background_stale ? 1 : 0);
+  out.write_u64(checkpoint.shed_sessions);
   out.write_u64(checkpoint.background_loads.size());
   for (const double load : checkpoint.background_loads) out.write_f64(load);
   return out.take();
@@ -214,6 +215,7 @@ core::Result<TimelineCheckpoint> decode_timeline(std::span<const std::uint8_t> b
       checkpoint.background_recomputes = in.read_u64();
       checkpoint.logical_clock = in.read_u64();
       checkpoint.background_stale = in.read_u8() != 0;
+      checkpoint.shed_sessions = in.read_u64();
       const std::uint64_t loads = in.read_u64();
       if (loads * 8 > in.remaining()) {
         return malformed<TimelineCheckpoint>(

@@ -86,6 +86,8 @@ struct TimelineCheckpoint {
   std::uint64_t peak_active_sessions = 0;
   std::uint64_t decision_rounds = 0;
   std::uint64_t background_recomputes = 0;
+  /// Sessions shed by admission control so far (overload-graceful runs).
+  std::uint64_t shed_sessions = 0;
   /// SpanTracer logical clock, so post-resume events carry the same stamps.
   std::uint64_t logical_clock = 0;
   JournalState journal;

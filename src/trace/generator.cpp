@@ -7,8 +7,16 @@
 #include <string>
 
 #include "core/distributions.hpp"
+#include "trace/modulation.hpp"
 
 namespace vdx::trace {
+
+namespace {
+/// Sub-intervals discretizing one block window for the modulated arrival
+/// inverse-CDF and the block-mass integrals (midpoint rule). A pure model
+/// constant: changing it changes the modulated stream.
+constexpr std::size_t kModulationBins = 256;
+}  // namespace
 
 namespace {
 
@@ -112,15 +120,38 @@ struct BrokerTraceGenerator::Model {
     return weights;
   }
 
+  /// City draw. Unmodulated: the base demand distribution. Modulated with
+  /// hotspots: mixture of the time-dependent hotspot mass and the remaining
+  /// base mass (the diurnal term cancels in this conditional); the
+  /// non-hotspot branch rejection-samples the base distribution, which
+  /// terminates fast because hotspots carry a small base mass.
+  [[nodiscard]] std::size_t sample_city(core::Rng& rng, double t,
+                                        const BlockModulation* mod) const {
+    if (mod == nullptr || !mod->has_hotspots()) return city_dist(rng);
+    const double hot = mod->hot_mass(t);
+    const double rest = 1.0 - mod->hot_base_mass();
+    const double pick = rng.uniform() * (hot + rest);
+    if (pick < hot) return mod->pick_hotspot(t, pick);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t city = city_dist(rng);
+      if (!mod->is_hotspot(city)) return city;
+    }
+    return city_dist(rng);  // pathological weights: accept anything
+  }
+
   /// Draws one session with arrival uniform in [arrival_lo, arrival_hi) and
   /// duration clamped to the horizon end. Field draw order matches the seed
-  /// generate_impl exactly.
-  [[nodiscard]] Session sample(core::Rng& rng, double arrival_lo,
-                               double arrival_hi) const {
+  /// generate_impl exactly. With `mod`, the arrival follows the modulated
+  /// intensity's inverse-CDF over the window and the city draw mixes the
+  /// flash-crowd hotspots in at their time-dependent weight (one extra
+  /// uniform draw — draw order is still a pure function of the block).
+  [[nodiscard]] Session sample(core::Rng& rng, double arrival_lo, double arrival_hi,
+                               const BlockModulation* mod = nullptr) const {
     Session s;
-    s.arrival_s = rng.uniform(arrival_lo, arrival_hi);
+    s.arrival_s = mod != nullptr ? mod->arrival_from(rng.uniform())
+                                 : rng.uniform(arrival_lo, arrival_hi);
     s.video = VideoId{static_cast<std::uint32_t>(video_dist(rng))};
-    s.city = CityId{static_cast<std::uint32_t>(city_dist(rng))};
+    s.city = CityId{static_cast<std::uint32_t>(sample_city(rng, s.arrival_s, mod))};
     s.as_number = static_cast<std::uint32_t>(as_dist(rng)) + 1;
     s.bitrate_mbps = config.bitrate_ladder[bitrate_dist(rng)];
     s.abandoned = rng.chance(config.abandonment_rate);
@@ -217,12 +248,38 @@ BrokerTraceGenerator::BrokerTraceGenerator(const geo::World& world,
                                    options_.broker_controlled, base_rng_);
   const std::size_t n = config.session_count;
   block_count_ = n == 0 ? 0 : (n + options_.block_sessions - 1) / options_.block_sessions;
+
+  if (options_.modulation != nullptr && options_.modulation->active() &&
+      block_count_ > 0) {
+    // Modulated partition: block b emits floor(N * cum_b / T) - floor(N *
+    // cum_{b-1} / T) sessions, where cum_b integrates the modulated
+    // intensity g(t) up to block b's end. With g == 1 this reduces to the
+    // seed partition, but the unmodulated path below keeps its exact
+    // integer arithmetic — float never touches the golden stream.
+    modulated_ = true;
+    city_weights_ = Model::city_weights(world);
+    mod_offsets_.assign(block_count_ + 1, 0);
+    const double horizon = config.duration_s;
+    double cum = 0.0;
+    for (std::size_t b = 0; b < block_count_; ++b) {
+      const double lo =
+          horizon * static_cast<double>(b) / static_cast<double>(block_count_);
+      const double hi =
+          horizon * static_cast<double>(b + 1) / static_cast<double>(block_count_);
+      const BlockModulation block{*options_.modulation, city_weights_, lo, hi,
+                                  kModulationBins};
+      cum += block.integral();
+      mod_offsets_[b + 1] = static_cast<std::uint64_t>(
+          std::floor(static_cast<double>(n) * cum / horizon));
+    }
+  }
 }
 
 BrokerTraceGenerator::~BrokerTraceGenerator() = default;
 
 std::size_t BrokerTraceGenerator::total_sessions() const noexcept {
-  return model_->config.session_count;
+  return modulated_ ? static_cast<std::size_t>(mod_offsets_.back())
+                    : model_->config.session_count;
 }
 
 double BrokerTraceGenerator::duration_s() const noexcept {
@@ -241,29 +298,43 @@ void BrokerTraceGenerator::reset() {
 }
 
 void BrokerTraceGenerator::seek(std::size_t emitted) {
-  const std::size_t n = model_->config.session_count;
-  if (emitted > n) {
+  const std::size_t total = total_sessions();
+  if (emitted > total) {
     throw std::invalid_argument{"BrokerTraceGenerator::seek: position " +
                                 std::to_string(emitted) + " past horizon total " +
-                                std::to_string(n)};
+                                std::to_string(total)};
   }
   reset();
-  if (n == 0) return;
-  if (emitted == n) {  // exhausted stream: nothing left to regenerate
+  if (total == 0) return;
+  if (emitted == total) {  // exhausted stream: nothing left to regenerate
     next_block_ = block_count_;
-    emitted_ = n;
+    emitted_ = total;
     return;
   }
-  // Containing block: the b with floor(bN/B) <= emitted < floor((b+1)N/B).
-  // The initial estimate is within one block of the answer; nudge exactly.
-  const std::size_t B = block_count_;
-  std::size_t b = emitted * B / n;
-  while (b + 1 < B && (b + 1) * n / B <= emitted) ++b;
-  while (b > 0 && b * n / B > emitted) --b;
+
+  std::size_t b = 0;
+  std::size_t block_lo = 0;
+  if (modulated_) {
+    // Containing block: the last b with offsets[b] <= emitted (consecutive
+    // equal offsets are empty blocks, skipped by upper_bound).
+    const auto it = std::upper_bound(mod_offsets_.begin(), mod_offsets_.end(),
+                                     static_cast<std::uint64_t>(emitted));
+    b = static_cast<std::size_t>(it - mod_offsets_.begin()) - 1;
+    block_lo = static_cast<std::size_t>(mod_offsets_[b]);
+  } else {
+    // Containing block: the b with floor(bN/B) <= emitted < floor((b+1)N/B).
+    // The initial estimate is within one block of the answer; nudge exactly.
+    const std::size_t n = model_->config.session_count;
+    const std::size_t B = block_count_;
+    b = emitted * B / n;
+    while (b + 1 < B && (b + 1) * n / B <= emitted) ++b;
+    while (b > 0 && b * n / B > emitted) --b;
+    block_lo = b * n / B;
+  }
 
   next_block_ = b;
   refill();  // regenerates block b (advances next_block_ to b + 1)
-  buffer_pos_ = emitted - b * n / B;
+  buffer_pos_ = emitted - block_lo;
   emitted_ = emitted;
 }
 
@@ -276,10 +347,13 @@ void BrokerTraceGenerator::refill() {
   const std::size_t b = next_block_++;
   const std::size_t n = model_->config.session_count;
   const std::size_t B = block_count_;
-  // Deterministic partition of N sessions over B blocks: block b gets
-  // floor((b+1)N/B) - floor(bN/B) sessions (sums to N, spread evenly).
-  const std::size_t lo_count = b * n / B;
-  const std::size_t hi_count = (b + 1) * n / B;
+  // Deterministic partition of N sessions over B blocks. Unmodulated: block
+  // b gets floor((b+1)N/B) - floor(bN/B) sessions (sums to N, spread
+  // evenly). Modulated: the precomputed intensity-cumulative offsets.
+  const std::size_t lo_count =
+      modulated_ ? static_cast<std::size_t>(mod_offsets_[b]) : b * n / B;
+  const std::size_t hi_count =
+      modulated_ ? static_cast<std::size_t>(mod_offsets_[b + 1]) : (b + 1) * n / B;
   const double horizon = model_->config.duration_s;
   const double window_lo = horizon * static_cast<double>(b) / static_cast<double>(B);
   const double window_hi =
@@ -292,10 +366,18 @@ void BrokerTraceGenerator::refill() {
   core::Rng fork_parent = base_rng_;
   core::Rng block_rng = fork_parent.fork("block-" + std::to_string(b));
 
+  std::unique_ptr<BlockModulation> block_mod;
+  if (modulated_ && hi_count > lo_count) {
+    block_mod = std::make_unique<BlockModulation>(*options_.modulation, city_weights_,
+                                                  window_lo, window_hi,
+                                                  kModulationBins);
+  }
+
   const std::size_t first = buffer_.size();
   buffer_.reserve(first + (hi_count - lo_count));
   for (std::size_t i = lo_count; i < hi_count; ++i) {
-    buffer_.push_back(model_->sample(block_rng, window_lo, window_hi));
+    buffer_.push_back(
+        model_->sample(block_rng, window_lo, window_hi, block_mod.get()));
   }
   // Arrival order within the block; blocks cover disjoint time windows, so
   // this yields global arrival order. Ids are issued densely on emission.

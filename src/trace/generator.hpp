@@ -24,6 +24,8 @@
 
 namespace vdx::trace {
 
+class WorkloadModulation;
+
 struct TraceConfig {
   std::size_t session_count = 33'400;
   double duration_s = 3600.0;
@@ -109,6 +111,14 @@ class BrokerTraceGenerator {
     std::size_t block_sessions = 65'536;
     /// false: background traffic (all TraceCdn::kOther, never switched).
     bool broker_controlled = true;
+    /// Optional demand modulators (non-owning; must outlive the generator).
+    /// When null or inactive the generator is byte-identical to the
+    /// unmodulated stream. When active, the horizon partition follows the
+    /// cumulative modulated intensity — total_sessions() scales with the
+    /// injected load (a 50x flash crowd adds sessions, a suppression removes
+    /// them) — and every block stays a pure function of (seed, block), so
+    /// reset()/seek()/resume() keep their byte-identity contracts.
+    const WorkloadModulation* modulation = nullptr;
   };
 
   /// `config.duration_s` is the stream horizon (vdxsim exposes it in
@@ -158,6 +168,12 @@ class BrokerTraceGenerator {
   std::unique_ptr<Model> model_;
   core::Rng base_rng_;
   Options options_;
+  /// Modulated-mode state: base city demand weights and the cumulative
+  /// session partition (block b emits offsets[b+1] - offsets[b] sessions).
+  /// Empty in the unmodulated path, which keeps the seed integer partition.
+  std::vector<double> city_weights_;
+  std::vector<std::uint64_t> mod_offsets_;
+  bool modulated_ = false;
   std::size_t block_count_ = 0;
   std::size_t next_block_ = 0;
   std::size_t emitted_ = 0;

@@ -1,0 +1,178 @@
+#include "trace/modulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdx::trace {
+
+double clamp_rate_multiplier(double multiplier) noexcept {
+  if (std::isnan(multiplier)) return 1.0;
+  if (multiplier < 0.0) return 0.0;
+  return std::min(multiplier, kMaxRateMultiplier);
+}
+
+void WorkloadModulation::add_flash_crowd(FlashCrowdSpec spec) {
+  if (!std::isfinite(spec.factor) || spec.factor < 0.0) {
+    throw std::invalid_argument{"FlashCrowdSpec: factor must be finite and >= 0"};
+  }
+  if (!std::isfinite(spec.start_s) || spec.start_s < 0.0) {
+    throw std::invalid_argument{"FlashCrowdSpec: start_s must be finite and >= 0"};
+  }
+  if (!std::isfinite(spec.ramp_s) || !std::isfinite(spec.hold_s) ||
+      !std::isfinite(spec.decay_s) || spec.ramp_s < 0.0 || spec.hold_s < 0.0 ||
+      spec.decay_s < 0.0 || spec.end_s() <= spec.start_s) {
+    throw std::invalid_argument{"FlashCrowdSpec: ramp/hold/decay must be finite, >= 0, "
+                                "and not all zero"};
+  }
+  if (!spec.city.valid()) {
+    throw std::invalid_argument{"FlashCrowdSpec: invalid city"};
+  }
+  spec.factor = clamp_rate_multiplier(spec.factor);
+  flash_crowds_.push_back(spec);
+}
+
+void WorkloadModulation::add_diurnal(DiurnalSpec spec) {
+  if (!std::isfinite(spec.amplitude) || spec.amplitude < 0.0) {
+    throw std::invalid_argument{"DiurnalSpec: amplitude must be finite and >= 0"};
+  }
+  if (!std::isfinite(spec.period_s) || spec.period_s <= 0.0) {
+    throw std::invalid_argument{"DiurnalSpec: period_s must be finite and > 0"};
+  }
+  if (!std::isfinite(spec.phase_s)) {
+    throw std::invalid_argument{"DiurnalSpec: phase_s must be finite"};
+  }
+  diurnals_.push_back(spec);
+}
+
+double WorkloadModulation::diurnal_multiplier(double t) const noexcept {
+  double multiplier = 1.0;
+  for (const DiurnalSpec& d : diurnals_) {
+    const double phase = 2.0 * M_PI * (t - d.phase_s) / d.period_s;
+    multiplier *= std::max(0.0, 1.0 + d.amplitude * std::sin(phase));
+  }
+  return clamp_rate_multiplier(multiplier);
+}
+
+namespace {
+
+/// The trapezoid: 1 outside the event, `factor` through the hold, linear
+/// on the ramps. Zero-length ramps degrade to steps (no 0/0).
+double trapezoid(const FlashCrowdSpec& spec, double t) noexcept {
+  if (t <= spec.start_s || t >= spec.end_s()) return 1.0;
+  const double up_end = spec.start_s + spec.ramp_s;
+  const double hold_end = up_end + spec.hold_s;
+  if (t < up_end) {
+    return 1.0 + (spec.factor - 1.0) * (t - spec.start_s) / spec.ramp_s;
+  }
+  if (t <= hold_end) return spec.factor;
+  return spec.factor + (1.0 - spec.factor) * (t - hold_end) / spec.decay_s;
+}
+
+}  // namespace
+
+double WorkloadModulation::city_boost(std::uint32_t city, double t) const noexcept {
+  double boost = 1.0;
+  for (const FlashCrowdSpec& spec : flash_crowds_) {
+    if (spec.city.value() == city) boost *= trapezoid(spec, t);
+  }
+  return clamp_rate_multiplier(boost);
+}
+
+BlockModulation::BlockModulation(const WorkloadModulation& modulation,
+                                 std::span<const double> city_weights,
+                                 double window_lo, double window_hi,
+                                 std::size_t bins)
+    : modulation_(&modulation), window_lo_(window_lo), window_hi_(window_hi) {
+  for (const FlashCrowdSpec& spec : modulation.flash_crowds()) {
+    const std::uint32_t city = spec.city.value();
+    const bool known = std::any_of(
+        hotspots_.begin(), hotspots_.end(),
+        [city](const Hotspot& h) { return h.city == city; });
+    if (!known && city < city_weights.size()) {
+      hotspots_.push_back(Hotspot{city, city_weights[city]});
+    }
+  }
+  std::sort(hotspots_.begin(), hotspots_.end(),
+            [](const Hotspot& a, const Hotspot& b) { return a.city < b.city; });
+  for (const Hotspot& h : hotspots_) hot_base_mass_ += h.weight;
+
+  bins = std::max<std::size_t>(1, bins);
+  const double dt = (window_hi_ - window_lo_) / static_cast<double>(bins);
+  cumulative_.resize(bins + 1, 0.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < bins; ++k) {
+    const double mid = window_lo_ + (static_cast<double>(k) + 0.5) * dt;
+    sum += intensity(modulation, city_weights, mid) * dt;
+    cumulative_[k + 1] = sum;
+  }
+  integral_ = sum;
+  if (sum > 0.0) {
+    for (double& c : cumulative_) c /= sum;
+    cumulative_.back() = 1.0;
+  }
+}
+
+double BlockModulation::arrival_from(double u) const noexcept {
+  if (integral_ <= 0.0) {  // degenerate: fall back to a uniform window map
+    return window_lo_ + (window_hi_ - window_lo_) * u;
+  }
+  u = std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t k =
+      std::min(static_cast<std::size_t>(it - cumulative_.begin()),
+               cumulative_.size() - 1) - 1;
+  const double lo = cumulative_[k];
+  const double hi = cumulative_[k + 1];
+  const double frac = hi > lo ? (u - lo) / (hi - lo) : 0.0;
+  const double bins = static_cast<double>(cumulative_.size() - 1);
+  const double dt = (window_hi_ - window_lo_) / bins;
+  const double t = window_lo_ + (static_cast<double>(k) + frac) * dt;
+  return std::min(t, std::nextafter(window_hi_, window_lo_));
+}
+
+double BlockModulation::hot_mass(double t) const noexcept {
+  double mass = 0.0;
+  for (const Hotspot& h : hotspots_) {
+    mass += h.weight * modulation_->city_boost(h.city, t);
+  }
+  return mass;
+}
+
+bool BlockModulation::is_hotspot(std::size_t city) const noexcept {
+  for (const Hotspot& h : hotspots_) {  // city-ascending, tiny
+    if (h.city == city) return true;
+    if (h.city > city) return false;
+  }
+  return false;
+}
+
+std::uint32_t BlockModulation::pick_hotspot(double t, double pick) const noexcept {
+  for (const Hotspot& h : hotspots_) {
+    const double mass = h.weight * modulation_->city_boost(h.city, t);
+    if (pick < mass) return h.city;
+    pick -= mass;
+  }
+  return hotspots_.back().city;  // numeric tail: the last positive-mass city
+}
+
+double BlockModulation::intensity(const WorkloadModulation& modulation,
+                                  std::span<const double> city_weights, double t) {
+  // city_boost already folds every spec targeting one city, so each distinct
+  // hotspot city must contribute exactly once.
+  double hotspot_term = 1.0;
+  std::vector<std::uint32_t> seen;
+  seen.reserve(modulation.flash_crowds().size());
+  for (const FlashCrowdSpec& spec : modulation.flash_crowds()) {
+    const std::uint32_t city = spec.city.value();
+    if (city >= city_weights.size()) continue;
+    if (std::find(seen.begin(), seen.end(), city) != seen.end()) continue;
+    seen.push_back(city);
+    const double boost = modulation.city_boost(city, t);
+    hotspot_term += city_weights[city] * (boost - 1.0);
+  }
+  const double g = modulation.diurnal_multiplier(t) * hotspot_term;
+  return clamp_rate_multiplier(g);
+}
+
+}  // namespace vdx::trace

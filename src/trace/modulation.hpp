@@ -1,0 +1,150 @@
+// Workload modulators: deterministic, checkpoint-safe stress on the
+// synthetic broker workload (DESIGN.md §11).
+//
+// The paper evaluates one steady traffic hour; production brokers live
+// through live-event flash crowds and diurnal swings. A WorkloadModulation
+// reshapes the BrokerTraceGenerator's arrival process as a non-homogeneous
+// Poisson intensity
+//
+//     g(t) = d(t) * (1 + sum_hotspots w_c * (h_c(t) - 1))
+//
+// where d(t) is the diurnal multiplier, h_c(t) the flash-crowd boost of
+// hotspot city c, and w_c that city's base demand weight. Everything is a
+// pure function of time and the spec — no RNG, no mutable state — so the
+// chunked generator keeps its contract: block b's sessions depend only on
+// (seed, b), and reset()/seek()/resume() replay byte-identically.
+//
+// Every multiplier is clamped to [0, kMaxRateMultiplier] before use
+// (clamp_rate_multiplier): Poisson thinning/boosting can never see a
+// negative, NaN, or runaway rate, even at adversarial spike factors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace vdx::trace {
+
+/// Hard ceiling on any arrival-rate multiplier. A spike factor beyond this
+/// is clamped, not rejected: the library stays total, the CLI layer rejects
+/// nonsense loudly.
+inline constexpr double kMaxRateMultiplier = 1e6;
+
+/// Clamps an arrival-rate multiplier into [0, kMaxRateMultiplier].
+/// Negative values floor at 0 (a rate cannot be negative); NaN maps to 1
+/// (no modulation — the neutral element, never a poisoned rate).
+[[nodiscard]] double clamp_rate_multiplier(double multiplier) noexcept;
+
+/// A live-event flash crowd: one city's arrival rate ramps to `factor`x,
+/// holds, and decays back — the trapezoid h_c(t). factor may be < 1
+/// (suppression) or 0 (the city goes silent); it must be finite and >= 0.
+struct FlashCrowdSpec {
+  core::CityId city;
+  double factor = 50.0;
+  double start_s = 0.0;
+  double ramp_s = 120.0;
+  double hold_s = 600.0;
+  double decay_s = 300.0;
+
+  [[nodiscard]] double end_s() const noexcept {
+    return start_s + ramp_s + hold_s + decay_s;
+  }
+};
+
+/// A diurnal sinusoid: the global rate multiplier
+/// d(t) = max(0, 1 + amplitude * sin(2*pi*(t - phase_s)/period_s)).
+struct DiurnalSpec {
+  double amplitude = 0.5;
+  double period_s = 86'400.0;
+  double phase_s = 0.0;
+};
+
+/// A composable set of demand modulators. Immutable once handed to a
+/// generator; all evaluation is const and allocation-free.
+class WorkloadModulation {
+ public:
+  /// Throws std::invalid_argument on a non-finite or negative factor, a
+  /// non-positive ramp geometry, or an invalid city id.
+  void add_flash_crowd(FlashCrowdSpec spec);
+  /// Throws std::invalid_argument on a non-finite/negative amplitude or a
+  /// non-positive period.
+  void add_diurnal(DiurnalSpec spec);
+
+  [[nodiscard]] bool active() const noexcept {
+    return !flash_crowds_.empty() || !diurnals_.empty();
+  }
+
+  /// Global (city-independent) multiplier d(t), clamped.
+  [[nodiscard]] double diurnal_multiplier(double t) const noexcept;
+  /// Flash-crowd boost h_c(t) for `city` (1 when no spec targets it), clamped.
+  [[nodiscard]] double city_boost(std::uint32_t city, double t) const noexcept;
+
+  [[nodiscard]] std::span<const FlashCrowdSpec> flash_crowds() const noexcept {
+    return flash_crowds_;
+  }
+  [[nodiscard]] std::span<const DiurnalSpec> diurnals() const noexcept {
+    return diurnals_;
+  }
+
+ private:
+  std::vector<FlashCrowdSpec> flash_crowds_;
+  std::vector<DiurnalSpec> diurnals_;
+};
+
+/// Precomputed modulation view over one generation block's time window:
+/// the discretized arrival inverse-CDF plus the hotspot city mixture. A
+/// pure function of (modulation, city weights, window), so two
+/// constructions over the same window are identical — the property that
+/// keeps seek()/resume() byte-exact.
+class BlockModulation {
+ public:
+  /// `city_weights` are the base city demand weights (summing to ~1), index
+  /// == CityId value. `bins` sub-intervals discretize the window for the
+  /// inverse-CDF (midpoint rule).
+  BlockModulation(const WorkloadModulation& modulation,
+                  std::span<const double> city_weights, double window_lo,
+                  double window_hi, std::size_t bins);
+
+  /// Integral of g(t) over the window (the block's expected-intensity mass).
+  [[nodiscard]] double integral() const noexcept { return integral_; }
+
+  /// Maps u in [0,1) to an arrival time in [window_lo, window_hi) by the
+  /// piecewise-constant inverse CDF of g restricted to the window.
+  [[nodiscard]] double arrival_from(double u) const noexcept;
+
+  /// Hotspot mixture at time t. hot_mass(t) = sum_c w_c * h_c(t) over
+  /// hotspot cities; hot_base_mass() the same sum with h == 1. The diurnal
+  /// multiplier cancels in the city conditional, so neither includes it.
+  [[nodiscard]] bool has_hotspots() const noexcept { return !hotspots_.empty(); }
+  [[nodiscard]] double hot_mass(double t) const noexcept;
+  [[nodiscard]] double hot_base_mass() const noexcept { return hot_base_mass_; }
+  [[nodiscard]] bool is_hotspot(std::size_t city) const noexcept;
+  /// Picks the hotspot city for `pick` in [0, hot_mass(t)) by cumulative
+  /// w_c * h_c(t) weight.
+  [[nodiscard]] std::uint32_t pick_hotspot(double t, double pick) const noexcept;
+
+  /// The modulated intensity g(t) (clamped), shared with the generator's
+  /// block partitioning.
+  [[nodiscard]] static double intensity(const WorkloadModulation& modulation,
+                                        std::span<const double> city_weights,
+                                        double t);
+
+ private:
+  struct Hotspot {
+    std::uint32_t city = 0;
+    double weight = 0.0;  // base demand weight
+  };
+
+  const WorkloadModulation* modulation_;
+  double window_lo_ = 0.0;
+  double window_hi_ = 0.0;
+  std::vector<Hotspot> hotspots_;  // city-ascending, deduplicated
+  double hot_base_mass_ = 0.0;
+  /// Cumulative bin weights normalized to [0, 1]; size bins + 1.
+  std::vector<double> cumulative_;
+  double integral_ = 0.0;
+};
+
+}  // namespace vdx::trace

@@ -95,6 +95,28 @@ TEST(Flags, RejectsMalformedTokens) {
   expect_throws([] { (void)make({"--"}); }, "empty flag name '--'");
 }
 
+TEST(Flags, OneOfAcceptsListedValuesAndFallsBack) {
+  const std::vector<std::string> scenarios{"steady", "flash-crowd", "blackout"};
+  EXPECT_EQ(make({"--scenario", "blackout"}).one_of("scenario", "steady", scenarios),
+            "blackout");
+  // Absent flag: the fallback is returned as-is, not re-validated.
+  EXPECT_EQ(make({}).one_of("scenario", "steady", scenarios), "steady");
+}
+
+TEST(Flags, OneOfRejectsUnlistedValuesWithTheFullMenu) {
+  const std::vector<std::string> scenarios{"steady", "flash-crowd", "blackout"};
+  expect_throws(
+      [&scenarios] {
+        (void)make({"--scenario", "tsunami"}).one_of("scenario", "steady", scenarios);
+      },
+      "--scenario must be one of steady|flash-crowd|blackout (got 'tsunami')");
+  expect_throws(
+      [&scenarios] {
+        (void)make({"--scenario"}).one_of("scenario", "steady", scenarios);
+      },
+      "--scenario needs a value");
+}
+
 TEST(Flags, BareSwitchBeforeAnotherFlagParses) {
   Flags flags = make({"--stream", "--sessions", "2000"});
   EXPECT_TRUE(flags.boolean("stream"));

@@ -1,0 +1,473 @@
+// Adversarial stress suite (DESIGN.md §11): scenario registry + flag
+// parsing, supply-side controller determinism (blackouts zero capacity,
+// price shocks scale prices, state is a pure function of time), shedding
+// conservation and monotonicity in the streaming engine, and the exchange's
+// admission control + QoS peering response.
+#include "sim/stress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cdn/menu_cache.hpp"
+#include "market/exchange.hpp"
+#include "obs/observe.hpp"
+#include "sim/scenario.hpp"
+#include "sim/streaming.hpp"
+
+namespace vdx::sim {
+namespace {
+
+Scenario build_scenario(std::uint64_t seed = 11, std::size_t sessions = 800) {
+  ScenarioConfig config;
+  config.trace.session_count = sessions;
+  config.seed = seed;
+  return Scenario::build(config);
+}
+
+// --- registry + flags -----------------------------------------------------
+
+TEST(StressRegistry, NamesRoundTrip) {
+  const auto names = stress_scenario_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const std::string_view name : names) {
+    const auto scenario = stress_scenario_from(name);
+    ASSERT_TRUE(scenario.has_value()) << name;
+    EXPECT_EQ(to_string(*scenario), name);
+  }
+  EXPECT_FALSE(stress_scenario_from("bogus").has_value());
+  EXPECT_FALSE(stress_scenario_from("").has_value());
+}
+
+TEST(StressFlags, ParsesTheFullKnobSet) {
+  core::Flags flags{{"--scenario", "flash-crowd", "--spike-city", "3",
+                     "--spike-factor", "12.5", "--blackout-region", "B",
+                     "--shock-factor", "4", "--shed-budget", "1000"}};
+  const StressConfig config = stress_config_from_flags(flags);
+  EXPECT_EQ(config.scenario, StressScenario::kFlashCrowd);
+  EXPECT_EQ(config.spike_city, 3u);
+  EXPECT_DOUBLE_EQ(config.spike_factor, 12.5);
+  EXPECT_EQ(config.blackout_region, "B");
+  EXPECT_DOUBLE_EQ(config.shock_factor, 4.0);
+  EXPECT_EQ(config.shed_budget, 1000u);
+  flags.check_all_used();
+}
+
+TEST(StressFlags, RejectsNonsenseWithOneLineErrors) {
+  {
+    core::Flags flags{{"--scenario", "tsunami"}};
+    EXPECT_THROW((void)stress_config_from_flags(flags), std::invalid_argument);
+  }
+  {
+    core::Flags flags{{"--spike-factor", "0"}};
+    EXPECT_THROW((void)stress_config_from_flags(flags), std::invalid_argument);
+  }
+  {
+    core::Flags flags{{"--spike-factor", "-50"}};
+    EXPECT_THROW((void)stress_config_from_flags(flags), std::invalid_argument);
+  }
+  {
+    core::Flags flags{{"--shock-factor", "nan"}};
+    EXPECT_THROW((void)stress_config_from_flags(flags), std::invalid_argument);
+  }
+}
+
+TEST(StressFlags, HashSeparatesConfigurations) {
+  StressConfig a;
+  StressConfig b;
+  EXPECT_EQ(stress_config_hash(a), stress_config_hash(b));
+  b.scenario = StressScenario::kBlackout;
+  EXPECT_NE(stress_config_hash(a), stress_config_hash(b));
+  StressConfig c;
+  c.spike_factor = 51.0;
+  EXPECT_NE(stress_config_hash(a), stress_config_hash(c));
+  StressConfig d;
+  d.shed_budget = 1;
+  EXPECT_NE(stress_config_hash(a), stress_config_hash(d));
+}
+
+// --- profile resolution ---------------------------------------------------
+
+TEST(StressProfileTest, SteadyIsInert) {
+  const Scenario scenario = build_scenario();
+  StressConfig config;
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), config, 3600.0);
+  EXPECT_FALSE(profile.demand.active());
+  EXPECT_FALSE(profile.supply_active());
+}
+
+TEST(StressProfileTest, PerfectStormComposesEveryRegime) {
+  const Scenario scenario = build_scenario();
+  StressConfig config;
+  config.scenario = StressScenario::kPerfectStorm;
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), config, 3600.0);
+  EXPECT_EQ(profile.demand.flash_crowds().size(), 1u);
+  EXPECT_EQ(profile.demand.diurnals().size(), 1u);
+  EXPECT_EQ(profile.blackouts.size(), 1u);
+  EXPECT_EQ(profile.price_shocks.size(), 1u);
+  // Every window lies inside the horizon.
+  EXPECT_GE(profile.demand.flash_crowds()[0].start_s, 0.0);
+  EXPECT_LE(profile.demand.flash_crowds()[0].end_s(), 3600.0);
+  EXPECT_LT(profile.blackouts[0].start_s, profile.blackouts[0].end_s);
+  EXPECT_LE(profile.blackouts[0].end_s, 3600.0);
+}
+
+TEST(StressProfileTest, RejectsUnknownCityAndRegion) {
+  const Scenario scenario = build_scenario();
+  StressConfig config;
+  config.scenario = StressScenario::kFlashCrowd;
+  config.spike_city = scenario.world().cities().size() + 7;
+  EXPECT_THROW((void)make_stress_profile(scenario.world(), config, 3600.0),
+               std::invalid_argument);
+  StressConfig blackout;
+  blackout.scenario = StressScenario::kBlackout;
+  blackout.blackout_region = "Atlantis";
+  EXPECT_THROW((void)make_stress_profile(scenario.world(), blackout, 3600.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_stress_profile(scenario.world(), StressConfig{}, 0.0),
+               std::invalid_argument);
+}
+
+// --- supply-side controller ----------------------------------------------
+
+TEST(SupplyStressControllerTest, BlackoutZeroesRegionCapacityAndRestores) {
+  Scenario scenario = build_scenario();
+  StressConfig config;
+  config.scenario = StressScenario::kBlackout;
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), config, 3600.0);
+  ASSERT_EQ(profile.blackouts.size(), 1u);
+  const BlackoutSpec blackout = profile.blackouts[0];
+
+  const std::vector<cdn::Cluster> base{scenario.catalog().clusters().begin(),
+                                       scenario.catalog().clusters().end()};
+  SupplyStressController controller{scenario, profile};
+
+  const double mid = 0.5 * (blackout.start_s + blackout.end_s);
+  EXPECT_TRUE(controller.apply(mid));
+  EXPECT_FALSE(controller.apply(mid));  // same active set: no transition
+  std::size_t darkened = 0;
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    const cdn::Cluster& cluster = scenario.catalog().clusters()[c];
+    const bool in_region =
+        scenario.world().country_of(cluster.city).id == blackout.country;
+    if (in_region) {
+      ++darkened;
+      EXPECT_DOUBLE_EQ(cluster.capacity, 0.0);
+      EXPECT_TRUE(controller.cluster_dark(cdn::ClusterId{
+          static_cast<std::uint32_t>(c)}));
+    } else {
+      EXPECT_DOUBLE_EQ(cluster.capacity, base[c].capacity);
+      EXPECT_FALSE(controller.cluster_dark(cdn::ClusterId{
+          static_cast<std::uint32_t>(c)}));
+    }
+  }
+  EXPECT_GT(darkened, 0u);
+
+  // Past the window everything restores bit-exactly.
+  EXPECT_TRUE(controller.apply(blackout.end_s + 1.0));
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    EXPECT_DOUBLE_EQ(scenario.catalog().clusters()[c].capacity, base[c].capacity);
+  }
+}
+
+TEST(SupplyStressControllerTest, PriceShockScalesPricesAndResetRestores) {
+  Scenario scenario = build_scenario();
+  StressConfig config;
+  config.scenario = StressScenario::kPriceShock;
+  config.shock_factor = 3.0;
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), config, 3600.0);
+  ASSERT_EQ(profile.price_shocks.size(), 1u);
+  const PriceShockSpec shock = profile.price_shocks[0];
+
+  const double base_cost = scenario.catalog().clusters()[0].bandwidth_cost;
+  const double base_price = scenario.catalog().cdns()[0].contract_price;
+  SupplyStressController controller{scenario, profile};
+  EXPECT_TRUE(controller.apply(0.5 * (shock.start_s + shock.end_s)));
+  EXPECT_DOUBLE_EQ(scenario.catalog().clusters()[0].bandwidth_cost,
+                   base_cost * 3.0);
+  EXPECT_DOUBLE_EQ(scenario.catalog().cdns()[0].contract_price, base_price * 3.0);
+  controller.reset();
+  EXPECT_DOUBLE_EQ(scenario.catalog().clusters()[0].bandwidth_cost, base_cost);
+  EXPECT_DOUBLE_EQ(scenario.catalog().cdns()[0].contract_price, base_price);
+}
+
+TEST(SupplyStressControllerTest, CatalogStateIsAPureFunctionOfTime) {
+  StressConfig config;
+  config.scenario = StressScenario::kPerfectStorm;
+
+  // Controller A replays a whole epoch schedule; controller B (on a fresh
+  // scenario) jumps straight to the final time. Identical catalogs — the
+  // crash/resume guarantee.
+  Scenario replayed = build_scenario();
+  Scenario fresh = build_scenario();
+  SupplyStressController a{
+      replayed, make_stress_profile(replayed.world(), config, 3600.0)};
+  SupplyStressController b{fresh,
+                           make_stress_profile(fresh.world(), config, 3600.0)};
+  for (double t = 150.0; t <= 3450.0; t += 300.0) a.apply(t);
+  b.apply(3450.0);
+  EXPECT_EQ(a.state_key(), b.state_key());
+  const auto clusters_a = replayed.catalog().clusters();
+  const auto clusters_b = fresh.catalog().clusters();
+  ASSERT_EQ(clusters_a.size(), clusters_b.size());
+  for (std::size_t c = 0; c < clusters_a.size(); ++c) {
+    EXPECT_DOUBLE_EQ(clusters_a[c].capacity, clusters_b[c].capacity);
+    EXPECT_DOUBLE_EQ(clusters_a[c].bandwidth_cost, clusters_b[c].bandwidth_cost);
+  }
+}
+
+// --- streaming engine: shedding + stress hooks ---------------------------
+
+StreamingResult run_streaming(const Scenario& scenario, StreamingConfig config) {
+  TraceStream broker{scenario.broker_trace()};
+  TraceStream background{scenario.background_trace()};
+  return StreamingTimeline{scenario, config}.run(broker, background);
+}
+
+TEST(StreamingOverloadTest, SheddingPreservesConservationPerEpoch) {
+  const Scenario scenario = build_scenario(11);
+  obs::MetricsRegistry metrics;
+  StreamingConfig config;
+  config.epoch_s = 600.0;
+  config.obs.metrics = &metrics;
+  // The 800-session scenario peaks at ~33 midpoint-active broker sessions;
+  // a budget of 20 binds in the middle epochs without silencing the early
+  // ones.
+  config.overload.max_active_sessions = 20;
+
+  const StreamingResult result = run_streaming(scenario, config);
+  std::size_t total_shed = 0;
+  bool shed_any = false;
+  for (const EpochReport& epoch : result.timeline.epochs) {
+    EXPECT_LE(epoch.assigned_sessions + epoch.shed_sessions,
+              epoch.active_sessions)
+        << "epoch " << epoch.epoch;
+    EXPECT_LE(epoch.active_sessions - epoch.shed_sessions,
+              config.overload.max_active_sessions + 0u)
+        << "epoch " << epoch.epoch << " admitted past the budget";
+    total_shed += epoch.shed_sessions;
+    shed_any |= epoch.shed_sessions > 0;
+  }
+  EXPECT_TRUE(shed_any);
+  EXPECT_EQ(result.shed_sessions, total_shed);
+  EXPECT_DOUBLE_EQ(metrics.counter("timeline.overload.shed_sessions").value(),
+                   static_cast<double>(total_shed));
+}
+
+TEST(StreamingOverloadTest, SheddingIsMonotoneInStressIntensity) {
+  // Fixed admission budget; rising flash-crowd factor. The engine must shed
+  // monotonically more as the spike intensifies.
+  const Scenario scenario = build_scenario(11, 400);
+  trace::TraceConfig trace_config;
+  trace_config.session_count = 2000;
+
+  std::size_t previous_shed = 0;
+  bool first = true;
+  for (const double factor : {1.0, 10.0, 50.0}) {
+    StressConfig stress_config;
+    stress_config.scenario = StressScenario::kFlashCrowd;
+    stress_config.spike_factor = factor;
+    const StressProfile profile = make_stress_profile(
+        scenario.world(), stress_config, trace_config.duration_s);
+
+    core::Rng root{2017};
+    core::Rng broker_rng = root.fork("stress-broker");
+    core::Rng background_rng = root.fork("stress-background");
+    trace::BrokerTraceGenerator::Options broker_options;
+    broker_options.modulation = &profile.demand;
+    trace::BrokerTraceGenerator broker_generator{
+        scenario.world(), trace_config, broker_rng, broker_options};
+    trace::TraceConfig background_config = trace_config;
+    background_config.session_count = 500;
+    trace::BrokerTraceGenerator::Options background_options;
+    background_options.broker_controlled = false;
+    trace::BrokerTraceGenerator background_generator{
+        scenario.world(), background_config, background_rng, background_options};
+
+    StreamingConfig config;
+    config.epoch_s = 600.0;
+    config.overload.max_active_sessions = 300;
+    GeneratorStream broker{broker_generator};
+    GeneratorStream background{background_generator};
+    const StreamingResult result =
+        StreamingTimeline{scenario, config}.run(broker, background);
+    if (!first) {
+      EXPECT_GE(result.shed_sessions, previous_shed)
+          << "factor " << factor << " shed less than a weaker spike";
+    }
+    first = false;
+    previous_shed = result.shed_sessions;
+  }
+  EXPECT_GT(previous_shed, 0u);  // the 50x spike must actually shed
+}
+
+TEST(StreamingStressTest, SupplyShiftsRebuildMenusAndRaiseCostsInWindow) {
+  Scenario scenario = build_scenario(11);
+  StressConfig stress_config;
+  stress_config.scenario = StressScenario::kPriceShock;
+  stress_config.shock_factor = 3.0;
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), stress_config, 3600.0);
+  ASSERT_EQ(profile.price_shocks.size(), 1u);
+  const PriceShockSpec shock = profile.price_shocks[0];
+  SupplyStressController controller{scenario, profile};
+
+  obs::MetricsRegistry metrics;
+  StreamingConfig config;
+  config.epoch_s = 300.0;
+  config.obs.metrics = &metrics;
+  config.stress = &controller;
+  const StreamingResult result = run_streaming(scenario, config);
+
+  // Enter + exit are two transitions.
+  EXPECT_GE(metrics.counter("timeline.stress.supply_shifts").value(), 2.0);
+  double inside = 0.0;
+  double inside_n = 0.0;
+  double outside = 0.0;
+  double outside_n = 0.0;
+  for (const EpochReport& epoch : result.timeline.epochs) {
+    const double mid = epoch.time_s;
+    if (epoch.metrics.mean_cost <= 0.0) continue;
+    if (mid >= shock.start_s && mid < shock.end_s) {
+      inside += epoch.metrics.mean_cost;
+      inside_n += 1.0;
+    } else {
+      outside += epoch.metrics.mean_cost;
+      outside_n += 1.0;
+    }
+  }
+  ASSERT_GT(inside_n, 0.0);
+  ASSERT_GT(outside_n, 0.0);
+  EXPECT_GT(inside / inside_n, 1.5 * (outside / outside_n));
+}
+
+TEST(StreamingStressTest, RejectsExternalMenusWhenStressAttached) {
+  Scenario scenario = build_scenario(11);
+  const StressProfile profile = make_stress_profile(
+      scenario.world(),
+      [] {
+        StressConfig c;
+        c.scenario = StressScenario::kBlackout;
+        return c;
+      }(),
+      3600.0);
+  SupplyStressController controller{scenario, profile};
+
+  cdn::CandidateMenuCache menus{scenario.catalog(), scenario.mapping(),
+                                scenario.world().cities().size(), {}};
+  StreamingConfig config;
+  config.run.menus = &menus;
+  config.stress = &controller;
+  EXPECT_THROW((StreamingTimeline{scenario, config}), std::invalid_argument);
+}
+
+// --- exchange: admission control + QoS peering ---------------------------
+
+TEST(ShedToBudgetTest, ValidatesAndShedsLowestValueFirst) {
+  using broker::ClientGroup;
+  const auto group = [](std::uint32_t id, double bitrate, double clients) {
+    return ClientGroup{broker::ShareId{id}, geo::CityId{0}, 0, bitrate, clients};
+  };
+
+  std::vector<ClientGroup> groups{group(0, 4.5, 10.0), group(1, 0.35, 100.0),
+                                  group(2, 1.5, 20.0)};
+  // total = 45 + 35 + 30 = 110 Mbps.
+  auto invalid = market::shed_to_budget(groups, -1.0);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.error().code, core::Errc::kInvalidArgument);
+  auto nan = market::shed_to_budget(
+      groups, std::numeric_limits<double>::quiet_NaN());
+  ASSERT_FALSE(nan.ok());
+
+  auto under = market::shed_to_budget(groups, 200.0);
+  ASSERT_TRUE(under.ok());
+  EXPECT_DOUBLE_EQ(under.value().shed_mbps, 0.0);
+  ASSERT_EQ(groups.size(), 3u);
+
+  // Budget 60: drop all of group 1 (35 Mbps, lowest bitrate), then shave
+  // group 2 (1.5 Mbps) down by 15 Mbps; group 0 untouched.
+  auto trimmed = market::shed_to_budget(groups, 60.0);
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_DOUBLE_EQ(trimmed.value().shed_mbps, 50.0);
+  EXPECT_EQ(trimmed.value().groups_dropped, 1u);
+  ASSERT_EQ(groups.size(), 2u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].id.value(), i);  // ids renumbered densely
+    total += groups[i].client_count * groups[i].bitrate_mbps;
+  }
+  EXPECT_NEAR(total, 60.0, 1e-9);
+
+  // Budget 0 sheds everything.
+  auto drained = market::shed_to_budget(groups, 0.0);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_NEAR(drained.value().shed_mbps, 60.0, 1e-9);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(ExchangeOverloadTest, AdmissionControlCapsRoundDemand) {
+  const Scenario scenario = build_scenario(11);
+  obs::MetricsRegistry metrics;
+  market::ExchangeConfig config;
+  config.overload.demand_budget_mbps = 500.0;
+  config.obs.metrics = &metrics;
+  market::VdxExchange exchange{scenario, config};
+
+  const market::RoundReport report = exchange.run_round();
+  EXPECT_GT(report.shed_mbps, 0.0);
+  EXPECT_GT(report.shed_clients, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("exchange.shed.rounds").value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("exchange.shed.mbps").value(),
+                   report.shed_mbps);
+  // The round that actually ran saw at most the budget.
+  double admitted = 0.0;
+  for (const double awarded : report.awarded_mbps) admitted += awarded;
+  EXPECT_LE(admitted, config.overload.demand_budget_mbps + 1e-6);
+}
+
+TEST(ExchangeOverloadTest, WithoutBudgetNothingSheds) {
+  const Scenario scenario = build_scenario(11);
+  market::VdxExchange exchange{scenario, {}};
+  const market::RoundReport report = exchange.run_round();
+  EXPECT_DOUBLE_EQ(report.shed_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(report.shed_clients, 0.0);
+}
+
+TEST(ExchangeOverloadTest, QosPeeringRehomesFromSaturatedClustersOrRejects) {
+  Scenario scenario = build_scenario(11);
+  obs::MetricsRegistry metrics;
+  market::ExchangeConfig config;
+  config.overload.saturation_threshold = 0.9;
+  config.obs.metrics = &metrics;
+  market::VdxExchange exchange{scenario, config};
+  (void)exchange.run_round();
+
+  // Healthy catalog: a delivery succeeds and lands on a live cluster.
+  const geo::CityId city{0};
+  auto first = exchange.deliver(1, city, 1.5);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_GT(first.value().delivery.delivered_mbps, 0.0);
+
+  // Regional blackout: zero every cluster's capacity. With peering on,
+  // every cluster is saturated/dark, so the session must be rejected with
+  // the typed overload error instead of landing on a dead cluster.
+  cdn::CdnCatalog& catalog = scenario.catalog_mutable();
+  for (std::size_t c = 0; c < catalog.clusters().size(); ++c) {
+    catalog.cluster_mutable(cdn::ClusterId{static_cast<std::uint32_t>(c)})
+        .capacity = 0.0;
+  }
+  auto rejected = exchange.deliver(2, city, 1.5);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, core::Errc::kOverloaded);
+  EXPECT_GE(metrics.counter("exchange.peering.rejected").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace vdx::sim

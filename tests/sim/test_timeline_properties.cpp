@@ -95,6 +95,48 @@ TEST(TimelineProperties, HoldAcrossSeedsConfigsAndBothEngines) {
   }
 }
 
+TEST(TimelineProperties, ConservationHoldsUnderShedding) {
+  // With admission control the exact-assignment invariant relaxes to
+  // assigned + shed <= active, and the admitted population never exceeds
+  // the budget — across seeds, designs, and budgets.
+  const struct {
+    std::uint64_t seed;
+    std::size_t sessions;
+    Design design;
+    std::size_t budget;
+  } cases[] = {
+      {1, 700, Design::kMarketplace, 50},
+      {2, 900, Design::kBrokered, 120},
+      {3, 1100, Design::kDynamicMulticluster, 1},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << c.seed << " budget=" << c.budget);
+    const Scenario scenario = small_scenario(c.seed, c.sessions);
+    StreamingConfig streaming;
+    streaming.design = c.design;
+    streaming.epoch_s = 300.0;
+    streaming.overload.max_active_sessions = c.budget;
+    TraceStream broker{scenario.broker_trace()};
+    TraceStream background{scenario.background_trace()};
+    const StreamingResult streamed =
+        StreamingTimeline{scenario, streaming}.run(broker, background);
+
+    std::size_t total_shed = 0;
+    for (const EpochReport& r : streamed.timeline.epochs) {
+      EXPECT_LE(r.assigned_sessions + r.shed_sessions, r.active_sessions);
+      EXPECT_LE(r.active_sessions - r.shed_sessions, c.budget);
+      // Shedding only ever removes the overflow, never more.
+      if (r.active_sessions > c.budget) {
+        EXPECT_EQ(r.shed_sessions, r.active_sessions - c.budget);
+      } else {
+        EXPECT_EQ(r.shed_sessions, 0u);
+      }
+      total_shed += r.shed_sessions;
+    }
+    EXPECT_EQ(streamed.shed_sessions, total_shed);
+  }
+}
+
 // -- Epoch-boundary regression (the satellite-4 audit) -----------------------
 
 /// Hand-built arrival-ordered stream for boundary cases.

@@ -1,0 +1,208 @@
+// Checkpoint/resume drill under every workload modulator (DESIGN.md §11):
+// crash the streaming engine mid-spike, mid-blackout, mid-shock, and under a
+// diurnal swing, resume from the latest snapshot, and byte-compare the
+// remaining epoch reports against an uninterrupted run. Demand modulation is
+// a pure function of (seed, block) and supply stress a pure function of
+// epoch time, so the resumed tail must be identical — including the shed-
+// session accumulator, which rides in the checkpoint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/observe.hpp"
+#include "sim/scenario.hpp"
+#include "sim/streaming.hpp"
+#include "sim/stress.hpp"
+#include "sim/timeline_io.hpp"
+#include "state/checkpoint.hpp"
+#include "state/store.hpp"
+#include "trace/generator.hpp"
+
+namespace vdx::sim {
+namespace {
+
+constexpr double kEpochSeconds = 600.0;  // 3600s horizon -> 6 epochs
+constexpr std::size_t kBrokerSessions = 1500;
+constexpr std::size_t kBackgroundSessions = 500;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() / ("vdx_stress_rec_" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+Scenario build_scenario() {
+  ScenarioConfig config;
+  config.trace.session_count = 600;
+  config.seed = 11;
+  return Scenario::build(config);
+}
+
+StressConfig stress_config_for(StressScenario scenario) {
+  StressConfig config;
+  config.scenario = scenario;
+  config.shed_budget = 250;  // forces shedding inside the spike
+  return config;
+}
+
+state::RunFingerprint fingerprint_for(const StressConfig& stress) {
+  state::RunFingerprint fingerprint;
+  fingerprint.seed = 2017;
+  fingerprint.design = static_cast<std::uint8_t>(Design::kMarketplace);
+  fingerprint.broker_sessions = kBrokerSessions;
+  fingerprint.background_sessions = kBackgroundSessions;
+  fingerprint.duration_s = 3600.0;
+  fingerprint.epoch_s = kEpochSeconds;
+  fingerprint.config_hash = stress_config_hash(stress);
+  return fingerprint;
+}
+
+/// One drill invocation: fresh generators, a fresh controller, and a
+/// checkpointed streaming run (or a resume when `resume` is set). Every
+/// piece of stress state is rebuilt from the config — nothing survives the
+/// "crash" except the snapshot bytes, exactly like a real restart.
+core::Result<StreamingResult> drill(Scenario& scenario, const StressConfig& stress,
+                                    const std::filesystem::path& dir,
+                                    std::size_t halt_after, bool resume) {
+  const StressProfile profile =
+      make_stress_profile(scenario.world(), stress, 3600.0);
+
+  core::Rng root{2017};
+  core::Rng broker_rng = root.fork("stress-broker");
+  core::Rng background_rng = root.fork("stress-background");
+  trace::TraceConfig trace_config;
+  trace_config.session_count = kBrokerSessions;
+  trace::BrokerTraceGenerator::Options broker_options;
+  broker_options.block_sessions = 400;
+  broker_options.modulation = &profile.demand;
+  trace::BrokerTraceGenerator broker_generator{scenario.world(), trace_config,
+                                               broker_rng, broker_options};
+  trace::TraceConfig background_config = trace_config;
+  background_config.session_count = kBackgroundSessions;
+  trace::BrokerTraceGenerator::Options background_options;
+  background_options.block_sessions = 400;
+  background_options.broker_controlled = false;
+  trace::BrokerTraceGenerator background_generator{
+      scenario.world(), background_config, background_rng, background_options};
+
+  std::optional<SupplyStressController> controller;
+  state::CheckpointStore store{dir, 16};
+  StreamingConfig config;
+  config.design = Design::kMarketplace;
+  config.epoch_s = kEpochSeconds;
+  config.checkpoint.every_epochs = 1;
+  config.checkpoint.store = &store;
+  config.checkpoint.fingerprint = fingerprint_for(stress);
+  config.overload.max_active_sessions = stress.shed_budget;
+  config.halt_after_epochs = halt_after;
+  if (profile.supply_active()) {
+    controller.emplace(scenario, profile);
+    config.stress = &*controller;
+  }
+
+  GeneratorStream broker{broker_generator};
+  GeneratorStream background{background_generator};
+  const StreamingTimeline timeline{scenario, config};
+  if (!resume) return timeline.run(broker, background);
+  const auto loaded = store.load_latest([&](std::span<const std::uint8_t> bytes) {
+    auto decoded = state::decode_timeline(bytes);
+    if (!decoded.ok()) return core::Status{decoded.error()};
+    if (!(decoded.value().fingerprint == config.checkpoint.fingerprint)) {
+      return core::Status::failure(core::Errc::kInvalidArgument,
+                                   "fingerprint mismatch");
+    }
+    return core::ok_status();
+  });
+  if (!loaded.ok()) return core::Result<StreamingResult>{loaded.error()};
+  return timeline.resume(broker, background, loaded.value().bytes);
+}
+
+std::string tail_jsonl(const StreamingResult& full, std::size_t start_epoch) {
+  TimelineResult tail;
+  for (const EpochReport& report : full.timeline.epochs) {
+    if (report.epoch >= start_epoch) tail.epochs.push_back(report);
+  }
+  tail.mean_cdn_switch_fraction = full.timeline.mean_cdn_switch_fraction;
+  return epoch_reports_jsonl(tail);
+}
+
+void drill_every_crash_point(StressScenario kind, const std::string& tag) {
+  const StressConfig stress = stress_config_for(kind);
+  Scenario scenario = build_scenario();
+  TempDir full_dir{tag + "_full"};
+  const auto full = drill(scenario, stress, full_dir.path(), 0, false);
+  ASSERT_TRUE(full.ok()) << full.error().message;
+  const std::size_t epochs = full.value().timeline.epochs.size();
+  ASSERT_GE(epochs, 4u);
+
+  for (std::size_t crash_after = 1; crash_after < epochs; ++crash_after) {
+    TempDir crash_dir{tag + "_k" + std::to_string(crash_after)};
+    (void)drill(scenario, stress, crash_dir.path(), crash_after, false);
+    const auto resumed = drill(scenario, stress, crash_dir.path(), 0, true);
+    ASSERT_TRUE(resumed.ok())
+        << tag << " crash_after=" << crash_after << ": " << resumed.error().message;
+    EXPECT_EQ(epoch_reports_jsonl(resumed.value().timeline),
+              tail_jsonl(full.value(), crash_after))
+        << tag << " diverged after resume at epoch " << crash_after;
+    // The shed accumulator rides in the checkpoint: horizon totals match.
+    EXPECT_EQ(resumed.value().shed_sessions, full.value().shed_sessions)
+        << tag << " crash_after=" << crash_after;
+  }
+}
+
+TEST(StressRecoveryDrill, CrashMidFlashCrowdResumesByteIdentically) {
+  // The spike window spans epochs 1-3; shedding is active inside it, so the
+  // crash points cover ramp, hold, and decay with a non-trivial shed count.
+  drill_every_crash_point(StressScenario::kFlashCrowd, "spike");
+}
+
+TEST(StressRecoveryDrill, CrashMidBlackoutResumesByteIdentically) {
+  // Blackout window 1440-2520s: crash points 3 and 4 land mid-blackout, so
+  // the resumed run must reconstitute the darkened catalog from time alone.
+  drill_every_crash_point(StressScenario::kBlackout, "blackout");
+}
+
+TEST(StressRecoveryDrill, CrashUnderDiurnalResumesByteIdentically) {
+  drill_every_crash_point(StressScenario::kDiurnal, "diurnal");
+}
+
+TEST(StressRecoveryDrill, CrashMidPriceShockResumesByteIdentically) {
+  drill_every_crash_point(StressScenario::kPriceShock, "shock");
+}
+
+TEST(StressRecoveryDrill, CrashUnderPerfectStormResumesByteIdentically) {
+  drill_every_crash_point(StressScenario::kPerfectStorm, "storm");
+}
+
+TEST(StressRecoveryDrill, ResumeUnderDifferentScenarioIsRejected) {
+  Scenario scenario = build_scenario();
+  const StressConfig spike = stress_config_for(StressScenario::kFlashCrowd);
+  TempDir dir{"mismatch"};
+  (void)drill(scenario, spike, dir.path(), 2, false);
+
+  // Same seed and horizon, different stress scenario: the config hash folds
+  // the stress knobs into the fingerprint, so the resume must refuse.
+  const StressConfig blackout = stress_config_for(StressScenario::kBlackout);
+  const auto resumed = drill(scenario, blackout, dir.path(), 0, true);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, core::Errc::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vdx::sim

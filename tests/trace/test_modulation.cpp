@@ -1,0 +1,295 @@
+// Workload modulators (DESIGN.md §11): rate-clamp regressions at
+// adversarial factors, byte-identity of the inactive path, chunk/seek/reset
+// determinism under active modulation, and the statistical signatures (a
+// flash crowd boosts its city's share and the horizon total; a diurnal
+// redistributes arrivals without touching per-session marginals).
+#include "trace/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "trace/generator.hpp"
+
+namespace vdx::trace {
+namespace {
+
+geo::World test_world() { return geo::World::generate({}); }
+
+std::vector<Session> drain(BrokerTraceGenerator& generator, std::size_t batch) {
+  std::vector<Session> all;
+  while (!generator.exhausted()) {
+    auto chunk = generator.next_batch(batch);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+void expect_same_sessions(const std::vector<Session>& a,
+                          const std::vector<Session>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id.value(), b[i].id.value());
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_DOUBLE_EQ(a[i].duration_s, b[i].duration_s);
+    EXPECT_EQ(a[i].city.value(), b[i].city.value());
+    EXPECT_DOUBLE_EQ(a[i].bitrate_mbps, b[i].bitrate_mbps);
+    EXPECT_EQ(a[i].abandoned, b[i].abandoned);
+    EXPECT_EQ(a[i].initial_cdn, b[i].initial_cdn);
+    EXPECT_EQ(a[i].switches.size(), b[i].switches.size());
+  }
+}
+
+std::uint32_t busiest_city(const geo::World& world) {
+  std::uint32_t best = 0;
+  double best_weight = -1.0;
+  for (const geo::City& city : world.cities()) {
+    if (city.demand_weight > best_weight) {
+      best_weight = city.demand_weight;
+      best = city.id.value();
+    }
+  }
+  return best;
+}
+
+// --- satellite (b): the clamp regression at factor 0 and 1e6 -------------
+
+TEST(ClampRateMultiplier, NeverYieldsNegativeNanOrRunawayRates) {
+  EXPECT_DOUBLE_EQ(clamp_rate_multiplier(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_rate_multiplier(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp_rate_multiplier(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_rate_multiplier(1e6), 1e6);
+  EXPECT_DOUBLE_EQ(clamp_rate_multiplier(1e12), kMaxRateMultiplier);
+  EXPECT_DOUBLE_EQ(
+      clamp_rate_multiplier(std::numeric_limits<double>::infinity()),
+      kMaxRateMultiplier);
+  // NaN is "no modulation", never a poisoned rate.
+  EXPECT_DOUBLE_EQ(
+      clamp_rate_multiplier(std::numeric_limits<double>::quiet_NaN()), 1.0);
+}
+
+TEST(WorkloadModulationTest, RejectsNonsenseSpecs) {
+  WorkloadModulation modulation;
+  FlashCrowdSpec bad;
+  bad.city = core::CityId{0};
+  bad.factor = -1.0;
+  EXPECT_THROW(modulation.add_flash_crowd(bad), std::invalid_argument);
+  bad.factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(modulation.add_flash_crowd(bad), std::invalid_argument);
+  DiurnalSpec diurnal;
+  diurnal.period_s = 0.0;
+  EXPECT_THROW(modulation.add_diurnal(diurnal), std::invalid_argument);
+  EXPECT_FALSE(modulation.active());
+}
+
+TEST(WorkloadModulationTest, ExtremeFactorsStayFiniteAndClamped) {
+  WorkloadModulation modulation;
+  FlashCrowdSpec spike;
+  spike.city = core::CityId{0};
+  spike.factor = 1e6;
+  spike.start_s = 0.0;
+  spike.ramp_s = 10.0;
+  spike.hold_s = 100.0;
+  spike.decay_s = 10.0;
+  modulation.add_flash_crowd(spike);
+  // Factor 0 silences a second city entirely.
+  FlashCrowdSpec silence = spike;
+  silence.city = core::CityId{1};
+  silence.factor = 0.0;
+  modulation.add_flash_crowd(silence);
+
+  for (double t = 0.0; t < 200.0; t += 7.0) {
+    const double boosted = modulation.city_boost(0, t);
+    EXPECT_TRUE(std::isfinite(boosted));
+    EXPECT_GE(boosted, 0.0);
+    EXPECT_LE(boosted, kMaxRateMultiplier);
+    const double silenced = modulation.city_boost(1, t);
+    EXPECT_GE(silenced, 0.0);
+    EXPECT_LE(silenced, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(modulation.city_boost(1, 60.0), 0.0);  // mid-hold
+}
+
+// --- byte-identity of the inactive path ----------------------------------
+
+TEST(ModulatedGeneratorTest, NullAndInactiveModulationAreByteIdentical) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 2000;
+
+  BrokerTraceGenerator plain{world, config, core::Rng{42}};
+  const auto baseline = drain(plain, 512);
+
+  const WorkloadModulation inactive;  // active() == false
+  BrokerTraceGenerator::Options options;
+  options.modulation = &inactive;
+  BrokerTraceGenerator gated{world, config, core::Rng{42}, options};
+  EXPECT_EQ(gated.total_sessions(), 2000u);
+  expect_same_sessions(baseline, drain(gated, 512));
+}
+
+// --- determinism contracts under active modulation -----------------------
+
+WorkloadModulation flagship_spike(const geo::World& world, double factor = 50.0) {
+  WorkloadModulation modulation;
+  FlashCrowdSpec spike;
+  spike.city = core::CityId{busiest_city(world)};
+  spike.factor = factor;
+  spike.start_s = 900.0;
+  spike.ramp_s = 120.0;
+  spike.hold_s = 600.0;
+  spike.decay_s = 300.0;
+  modulation.add_flash_crowd(spike);
+  return modulation;
+}
+
+TEST(ModulatedGeneratorTest, ChunkBoundaryDeterminismUnderFlashCrowd) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 3000;
+  const WorkloadModulation modulation = flagship_spike(world);
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+  options.block_sessions = 700;
+
+  BrokerTraceGenerator one{world, config, core::Rng{42}, options};
+  BrokerTraceGenerator other{world, config, core::Rng{42}, options};
+  expect_same_sessions(drain(one, 1), drain(other, 1024));
+}
+
+TEST(ModulatedGeneratorTest, ResetAndSeekReplayByteIdentically) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 2500;
+  WorkloadModulation modulation = flagship_spike(world);
+  modulation.add_diurnal({0.5, 3600.0, 0.0});
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+  options.block_sessions = 600;
+
+  BrokerTraceGenerator generator{world, config, core::Rng{7}, options};
+  const auto full = drain(generator, 800);
+
+  generator.reset();
+  expect_same_sessions(full, drain(generator, 800));
+
+  // Seek into the middle of a block inside the spike window and replay.
+  const std::size_t mid = full.size() / 3;
+  generator.seek(mid);
+  const auto tail = drain(generator, 800);
+  ASSERT_EQ(tail.size(), full.size() - mid);
+  expect_same_sessions({full.begin() + static_cast<std::ptrdiff_t>(mid), full.end()},
+                       tail);
+  EXPECT_THROW(generator.seek(generator.total_sessions() + 1), std::invalid_argument);
+}
+
+// --- statistical signatures ----------------------------------------------
+
+TEST(ModulatedGeneratorTest, FlashCrowdBoostsTargetCityShareAndHorizonTotal) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 6000;
+  const std::uint32_t hotspot = busiest_city(world);
+  const WorkloadModulation modulation = flagship_spike(world);
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+
+  BrokerTraceGenerator plain{world, config, core::Rng{42}};
+  BrokerTraceGenerator spiked{world, config, core::Rng{42}, options};
+  // A 50x boost on the busiest city adds sessions to the horizon.
+  EXPECT_GT(spiked.total_sessions(), plain.total_sessions());
+
+  const auto baseline = drain(plain, 2048);
+  const auto stressed = drain(spiked, 2048);
+  const auto window_share = [hotspot](const std::vector<Session>& sessions) {
+    std::size_t in_window = 0;
+    std::size_t hot = 0;
+    for (const Session& s : sessions) {
+      if (s.arrival_s < 900.0 || s.arrival_s >= 1920.0) continue;
+      ++in_window;
+      if (s.city.value() == hotspot) ++hot;
+    }
+    return in_window > 0 ? static_cast<double>(hot) / static_cast<double>(in_window)
+                         : 0.0;
+  };
+  // The hotspot dominates the spike window under stress.
+  EXPECT_GT(window_share(stressed), 2.0 * window_share(baseline));
+  EXPECT_GT(window_share(stressed), 0.5);
+}
+
+TEST(ModulatedGeneratorTest, SuppressionAtFactorZeroSilencesTheCity) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 4000;
+  const std::uint32_t hotspot = busiest_city(world);
+  const WorkloadModulation modulation = flagship_spike(world, 0.0);
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+
+  BrokerTraceGenerator generator{world, config, core::Rng{42}, options};
+  // Suppressing the busiest city removes sessions from the horizon, and
+  // during the hold no arrival lands there.
+  EXPECT_LT(generator.total_sessions(), config.session_count);
+  for (const Session& s : drain(generator, 2048)) {
+    if (s.arrival_s >= 1020.0 && s.arrival_s < 1620.0) {
+      EXPECT_NE(s.city.value(), hotspot) << "arrival at t=" << s.arrival_s;
+    }
+  }
+}
+
+TEST(ModulatedGeneratorTest, ExtremeSpikeFactorKeepsTheStreamFiniteAndOrdered) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 500;
+  config.duration_s = 1800.0;
+  WorkloadModulation modulation;
+  FlashCrowdSpec spike;
+  spike.city = core::CityId{busiest_city(world)};
+  spike.factor = 1e6;  // adversarial but legal: the clamp holds it
+  spike.start_s = 600.0;
+  spike.ramp_s = 30.0;
+  spike.hold_s = 60.0;
+  spike.decay_s = 30.0;
+  modulation.add_flash_crowd(spike);
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+  options.block_sessions = 250;
+
+  BrokerTraceGenerator generator{world, config, core::Rng{3}, options};
+  const auto sessions = drain(generator, 1024);
+  ASSERT_EQ(sessions.size(), generator.total_sessions());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(sessions[i].arrival_s));
+    EXPECT_GE(sessions[i].arrival_s, 0.0);
+    EXPECT_LT(sessions[i].arrival_s, config.duration_s);
+    EXPECT_EQ(sessions[i].id.value(), i);
+    if (i > 0) {
+      EXPECT_GE(sessions[i].arrival_s, sessions[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(ModulatedGeneratorTest, DiurnalRedistributesArrivalsTowardTheCrest) {
+  const geo::World world = test_world();
+  TraceConfig config;
+  config.session_count = 6000;
+  WorkloadModulation modulation;
+  // One full period over the hour: crest in the first half (sin > 0),
+  // trough in the second.
+  modulation.add_diurnal({0.8, 3600.0, 0.0});
+  BrokerTraceGenerator::Options options;
+  options.modulation = &modulation;
+
+  BrokerTraceGenerator generator{world, config, core::Rng{42}, options};
+  std::size_t first_half = 0;
+  std::size_t second_half = 0;
+  for (const Session& s : drain(generator, 2048)) {
+    (s.arrival_s < 1800.0 ? first_half : second_half) += 1;
+  }
+  EXPECT_GT(first_half, second_half * 2);
+}
+
+}  // namespace
+}  // namespace vdx::trace

@@ -35,6 +35,7 @@
 #include "sim/hybrid.hpp"
 #include "sim/multibroker.hpp"
 #include "sim/streaming.hpp"
+#include "sim/stress.hpp"
 #include "sim/timeline.hpp"
 #include "state/checkpoint.hpp"
 #include "state/snapshot.hpp"
@@ -201,6 +202,13 @@ void print_timeline_table(const sim::TimelineResult& result, sim::Design design,
 }
 
 int cmd_timeline(Flags& flags) {
+  if (flags.boolean("list-scenarios")) {
+    for (const std::string_view scenario : sim::stress_scenario_names()) {
+      std::printf("%.*s\n", static_cast<int>(scenario.size()), scenario.data());
+    }
+    flags.check_all_used();
+    return 0;
+  }
   const std::string name = flags.text("name", "marketplace");
   const auto design = design_by_name(name);
   if (!design) {
@@ -223,6 +231,15 @@ int cmd_timeline(Flags& flags) {
                                     "streaming-engine feature)"};
       }
     }
+    for (const char* stress_flag : {"scenario", "spike-city", "spike-factor",
+                                    "blackout-region", "shock-factor",
+                                    "shed-budget"}) {
+      if (flags.has(stress_flag)) {
+        throw std::invalid_argument{std::string{"--"} + stress_flag +
+                                    " requires --stream (stress scenarios run "
+                                    "on the streaming engine)"};
+      }
+    }
     const sim::Scenario scenario = sim::Scenario::build(scenario_config);
     sim::TimelineConfig config;
     config.design = *design;
@@ -240,7 +257,14 @@ int cmd_timeline(Flags& flags) {
   const std::size_t sessions = scenario_config.trace.session_count;
   sim::ScenarioConfig pilot = scenario_config;
   pilot.trace.session_count = std::min<std::size_t>(sessions, 10'000);
-  const sim::Scenario scenario = sim::Scenario::build(pilot);
+  sim::Scenario scenario = sim::Scenario::build(pilot);
+
+  // Adversarial stress (DESIGN.md §11): demand-side modulators attach to the
+  // broker generator; supply-side events mutate the catalog through a
+  // controller the engine drives at each epoch midpoint.
+  const sim::StressConfig stress_config = sim::stress_config_from_flags(flags);
+  const sim::StressProfile stress_profile = sim::make_stress_profile(
+      scenario.world(), stress_config, scenario_config.trace.duration_s);
 
   core::Rng stream_root{scenario_config.seed};
   core::Rng broker_rng = stream_root.fork("stream-trace");
@@ -249,10 +273,12 @@ int cmd_timeline(Flags& flags) {
   trace::TraceConfig background_trace = broker_trace;
   background_trace.session_count = static_cast<std::size_t>(std::llround(
       scenario_config.background_multiplier * static_cast<double>(sessions)));
+  trace::BrokerTraceGenerator::Options broker_options;
+  broker_options.modulation = &stress_profile.demand;
   trace::BrokerTraceGenerator::Options background_options;
   background_options.broker_controlled = false;
   trace::BrokerTraceGenerator broker_generator{scenario.world(), broker_trace,
-                                               broker_rng};
+                                               broker_rng, broker_options};
   trace::BrokerTraceGenerator background_generator{
       scenario.world(), background_trace, background_rng, background_options};
 
@@ -260,6 +286,12 @@ int cmd_timeline(Flags& flags) {
   config.design = *design;
   config.run = run_config_from(flags);
   config.epoch_s = epoch_s;
+  config.overload.max_active_sessions = stress_config.shed_budget;
+  std::optional<sim::SupplyStressController> stress;
+  if (stress_profile.supply_active()) {
+    stress.emplace(scenario, stress_profile);
+    config.stress = &*stress;
+  }
 
   // Crash-consistency flags (DESIGN.md §10). The fingerprint binds every
   // snapshot to this exact run configuration: resuming under different
@@ -286,6 +318,9 @@ int cmd_timeline(Flags& flags) {
     hashed.write_f64(config.run.menu_tolerance);
     hashed.write_f64(scenario_config.background_multiplier);
     hashed.write_u64(scenario_config.city_cdn_count);
+    // A checkpoint taken under one stress scenario must refuse to resume
+    // under another — the scenario reshapes both streams and the catalog.
+    hashed.write_u64(sim::stress_config_hash(stress_config));
     const std::vector<std::uint8_t> bytes = hashed.take();
     fingerprint.config_hash = state::fnv1a(bytes);
   }
@@ -354,10 +389,10 @@ int cmd_timeline(Flags& flags) {
 
   print_timeline_table(result.timeline, *design, flags);
   std::printf("streamed: broker=%zu background=%zu peak-active=%zu "
-              "decision-rounds=%zu background-recomputes=%zu\n",
+              "decision-rounds=%zu background-recomputes=%zu shed=%zu\n",
               result.broker_sessions, result.background_sessions,
               result.peak_active_sessions, result.decision_rounds,
-              result.background_recomputes);
+              result.background_recomputes, result.shed_sessions);
   flags.check_all_used();
   return 0;
 }
@@ -580,6 +615,15 @@ void print_help() {
       "                   --keep K              snapshots retained (default 3)\n"
       "                   --resume-from PATH    snapshot file, or a checkpoint\n"
       "                                         dir (= latest valid snapshot)\n"
+      "                 adversarial stress (--stream only):\n"
+      "                   --scenario S          steady|flash-crowd|diurnal|\n"
+      "                                         blackout|price-shock|perfect-storm\n"
+      "                   --spike-city I        flash-crowd city (default busiest)\n"
+      "                   --spike-factor X      flash-crowd demand multiplier (50)\n"
+      "                   --blackout-region R   country name (default highest-demand)\n"
+      "                   --shock-factor X      price-shock multiplier (3)\n"
+      "                   --shed-budget N       max active sessions per round (0=off)\n"
+      "                   --list-scenarios      print scenario names and exit\n"
       "  exchange       multi-round VDX exchange  (--rounds N --fraud I --fail I\n"
       "                 --strategy static|risk-averse --drop P --corrupt P\n"
       "                 --chaos-seed S --metrics-out F --trace-out F\n"
