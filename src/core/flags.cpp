@@ -1,7 +1,10 @@
 #include "core/flags.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace vdx::core {
@@ -27,6 +30,15 @@ double parse_number(const std::string& key, const std::string& value) {
   return parsed;
 }
 
+std::string repr(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv, int first) {
@@ -37,6 +49,15 @@ Flags::Flags(int argc, const char* const* argv, int first) {
     }
     key = key.substr(2);
     if (key.empty()) throw std::invalid_argument{"empty flag name '--'"};
+    // `--key=value` carries its value inline; the value may itself start
+    // with `--` or be empty (an empty value reads as a bare switch).
+    if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+      if (eq == 0) {
+        throw std::invalid_argument{"empty flag name '--" + key + "'"};
+      }
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 >= argc || std::string{argv[i + 1]}.rfind("--", 0) == 0) {
       values_[key] = "";  // bare switch, e.g. --stream
     } else {
@@ -59,7 +80,14 @@ const std::string* Flags::raw(const std::string& key) {
   return &it->second;
 }
 
+void Flags::note(const std::string& key, std::string kind,
+                 std::string fallback) {
+  if (!help_keys_.insert(key).second) return;
+  help_.push_back({key, std::move(kind), std::move(fallback)});
+}
+
 double Flags::number(const std::string& key, double fallback) {
+  note(key, "<number>", repr(fallback));
   const std::string* value = raw(key);
   if (value == nullptr) return fallback;
   if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
@@ -67,6 +95,7 @@ double Flags::number(const std::string& key, double fallback) {
 }
 
 double Flags::positive(const std::string& key, double fallback) {
+  note(key, "<number > 0>", repr(fallback));
   const std::string* value = raw(key);
   if (value == nullptr) return fallback;
   if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
@@ -77,6 +106,8 @@ double Flags::positive(const std::string& key, double fallback) {
 
 std::size_t Flags::count(const std::string& key, std::size_t fallback,
                          std::size_t minimum) {
+  note(key, "<integer >= " + std::to_string(minimum) + ">",
+       std::to_string(fallback));
   const std::string* value = raw(key);
   if (value == nullptr) return fallback;
   if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
@@ -95,18 +126,27 @@ std::size_t Flags::count(const std::string& key, std::size_t fallback,
 }
 
 bool Flags::boolean(const std::string& key) {
+  note(key, "", "");
   const std::string* value = raw(key);
   if (value == nullptr) return false;
   return value->empty() || *value == "true" || *value == "1";
 }
 
 std::string Flags::text(const std::string& key, std::string fallback) {
+  note(key, "<text>", fallback);
   const std::string* value = raw(key);
   return value == nullptr ? std::move(fallback) : *value;
 }
 
 std::string Flags::one_of(const std::string& key, std::string fallback,
                           const std::vector<std::string>& allowed) {
+  std::string kind = "<";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (i > 0) kind += '|';
+    kind += allowed[i];
+  }
+  kind += '>';
+  note(key, std::move(kind), fallback);
   const std::string* value = raw(key);
   if (value == nullptr) return std::move(fallback);
   if (value->empty()) throw std::invalid_argument{"--" + key + " needs a value"};
@@ -122,6 +162,7 @@ std::string Flags::one_of(const std::string& key, std::string fallback,
 }
 
 std::string Flags::existing_path(const std::string& key) {
+  note(key, "<path>", "");
   const std::string* value = raw(key);
   if (value == nullptr) return "";
   if (value->empty()) throw std::invalid_argument{"--" + key + " needs a path"};
@@ -139,6 +180,26 @@ void Flags::check_all_used() const {
     if (!used_.contains(key)) {
       throw std::invalid_argument{"unknown flag --" + key};
     }
+  }
+}
+
+void Flags::write_help(std::ostream& out) const {
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(help_.size());
+  for (const HelpEntry& entry : help_) {
+    std::string head = "--" + entry.key;
+    if (!entry.kind.empty()) head += " " + entry.kind;
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < help_.size(); ++i) {
+    out << "  " << heads[i];
+    if (!help_[i].fallback.empty()) {
+      out << std::string(width - heads[i].size() + 2, ' ')
+          << "default: " << help_[i].fallback;
+    }
+    out << '\n';
   }
 }
 

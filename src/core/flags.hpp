@@ -1,4 +1,5 @@
-// Validated `--flag value` command-line parsing, shared by the CLI tools.
+// Validated `--flag value` / `--flag=value` command-line parsing, shared by
+// the CLI tools.
 //
 // The parser is strict where silent misreads would corrupt a run: unknown
 // flags, non-numeric values, out-of-range counts, and nonexistent paths all
@@ -7,9 +8,14 @@
 // another flag (or the end of the line) is a bare switch, read with
 // boolean(). Accessors record which flags they consumed so check_all_used()
 // can reject typos loudly instead of ignoring them.
+//
+// Accessors also record a help entry (flag name, value kind, default), so a
+// tool can print a generated `--help` listing by running its accessor
+// sequence over an empty Flags instance and calling write_help().
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
@@ -20,8 +26,8 @@ namespace vdx::core {
 
 class Flags {
  public:
-  /// Parses argv[first..argc). Throws on anything that is not `--flag` or a
-  /// value following one.
+  /// Parses argv[first..argc). Throws on anything that is not `--flag`,
+  /// `--flag=value`, or a value following a `--flag`.
   Flags(int argc, const char* const* argv, int first);
   /// Test-friendly constructor over pre-split arguments.
   explicit Flags(const std::vector<std::string>& args);
@@ -52,11 +58,25 @@ class Flags {
   /// must not be silently ignored).
   void check_all_used() const;
 
+  /// One line per flag an accessor declared, in first-declaration order:
+  /// `  --key <kind>   default: ...`. Run the tool's accessor sequence over
+  /// an empty Flags first so every flag is declared.
+  void write_help(std::ostream& out) const;
+
  private:
   [[nodiscard]] const std::string* raw(const std::string& key);
+  void note(const std::string& key, std::string kind, std::string fallback);
 
   std::map<std::string, std::string> values_;
   std::set<std::string> used_;
+
+  struct HelpEntry {
+    std::string key;
+    std::string kind;      // e.g. "<number>", "<a|b>", "" for a switch
+    std::string fallback;  // printable default, "" when none
+  };
+  std::vector<HelpEntry> help_;
+  std::set<std::string> help_keys_;
 };
 
 }  // namespace vdx::core

@@ -143,6 +143,7 @@ RoundReport VdxExchange::run_round() {
       broker_agent_->set_demand(std::move(admitted));
       report.shed_mbps = shed.shed_mbps;
       report.shed_clients = shed.shed_clients;
+      report.shed_groups = shed.groups_dropped;
       counters_.shed_mbps.add(shed.shed_mbps);
       counters_.shed_clients.add(shed.shed_clients);
       counters_.shed_rounds.add();
@@ -310,6 +311,14 @@ void VdxExchange::set_active_load(std::span<const broker::ClientGroup> groups,
   for (const auto& agent : cdn_agents_) {
     agent->set_background_loads(background_loads_);
   }
+}
+
+void VdxExchange::set_demand_budget(double budget_mbps) {
+  if (!std::isfinite(budget_mbps) || budget_mbps < 0.0) {
+    throw std::invalid_argument{
+        "VdxExchange::set_demand_budget: budget must be finite and >= 0"};
+  }
+  config_.overload.demand_budget_mbps = budget_mbps;
 }
 
 const broker::ReputationSystem& VdxExchange::reputation() const {

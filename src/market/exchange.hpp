@@ -90,6 +90,8 @@ struct RoundReport {
   /// off or under budget).
   double shed_mbps = 0.0;
   double shed_clients = 0.0;
+  /// Groups fully drained by admission control this round.
+  std::size_t shed_groups = 0;
   /// Traffic predictability: mean over CDNs of
   /// |expected win - actual win| / max(bid traffic, 1). Lower = more
   /// predictable. Static bidders expect to win everything, so they start
@@ -136,6 +138,21 @@ class VdxExchange {
   /// audience, not the whole-trace snapshot.
   void set_active_load(std::span<const broker::ClientGroup> groups,
                        std::span<const double> background_loads);
+
+  /// Retunes the per-round admission budget (Mbps), effective from the next
+  /// round; 0 disables admission control. The serving daemon uses this to
+  /// adjust backpressure on a live exchange without rebuilding it. Throws
+  /// std::invalid_argument on a non-finite or negative budget.
+  void set_demand_budget(double budget_mbps);
+  [[nodiscard]] double demand_budget() const noexcept {
+    return config_.overload.demand_budget_mbps;
+  }
+
+  /// Decision rounds completed since construction (restored by
+  /// restore_state, so a resumed exchange keeps counting where it left off).
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return rounds_completed_;
+  }
 
   [[nodiscard]] const broker::ReputationSystem& reputation() const;
   [[nodiscard]] const sim::Scenario& scenario() const noexcept { return scenario_; }

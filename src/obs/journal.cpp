@@ -11,12 +11,12 @@ namespace vdx::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, 17> kKindNames{
+constexpr std::array<std::string_view, 19> kKindNames{
     "round_start",    "round_end",   "bid",      "retry",
     "timeout",        "decode_reject", "stale_bid", "quorum_miss",
     "degraded_round", "failover",    "solve",    "epoch",
     "checkpoint",     "resume",      "shed",     "supply_shift",
-    "custom",
+    "admit",          "drain",       "custom",
 };
 
 }  // namespace

@@ -40,6 +40,8 @@ enum class EventKind : std::uint8_t {
   kResume,
   kShed,
   kSupplyShift,
+  kAdmit,
+  kDrain,
   kCustom,  // must stay last: the checkpoint codec bounds kind bytes by it
 };
 

@@ -287,6 +287,39 @@ std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
   return out;
 }
 
+const detail::Cell* MetricsRegistry::lookup(std::string_view name,
+                                            const Labels& labels) const {
+  const std::string key = intern_key(name, canonical(labels));
+  const std::scoped_lock lock{mutex_};
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &cells_[it->second];
+}
+
+double MetricsRegistry::quantile(std::string_view name, double q,
+                                 const Labels& labels) const {
+  const detail::Cell* cell = lookup(name, labels);
+  if (cell == nullptr || cell->kind != MetricKind::kHistogram) return 0.0;
+  // Handles only read atomics; shedding const here mirrors snapshot_row.
+  return Histogram{const_cast<detail::Cell*>(cell)}.quantile(q);
+}
+
+std::optional<MetricsRegistry::HistogramSummary> MetricsRegistry::histogram_summary(
+    std::string_view name, const Labels& labels) const {
+  const detail::Cell* cell = lookup(name, labels);
+  if (cell == nullptr || cell->kind != MetricKind::kHistogram) return std::nullopt;
+  const Histogram h{const_cast<detail::Cell*>(cell)};
+  HistogramSummary summary;
+  summary.count = h.count();
+  summary.sum = h.sum();
+  summary.min = summary.count > 0 ? h.min() : 0.0;
+  summary.max = summary.count > 0 ? h.max() : 0.0;
+  summary.p50 = h.quantile(0.50);
+  summary.p90 = h.quantile(0.90);
+  summary.p99 = h.quantile(0.99);
+  summary.p999 = h.quantile(0.999);
+  return summary;
+}
+
 std::optional<MetricsRegistry::Row> MetricsRegistry::find(std::string_view name,
                                                           const Labels& labels) const {
   const std::string key = intern_key(name, canonical(labels));

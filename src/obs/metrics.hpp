@@ -132,6 +132,31 @@ class MetricsRegistry {
     double p99 = 0.0;
   };
 
+  /// Summary of one histogram, as read back by benches and the serving
+  /// daemon (SLO accounting wants p999, which Row deliberately omits to
+  /// keep the JSONL/CSV schema stable).
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when empty
+    double max = 0.0;  // 0 when empty
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
+
+  /// Quantile readback by name: the interpolated estimate of the named
+  /// histogram at q (clamped to [0, 1]). 0 when the metric is missing, not
+  /// a histogram, or empty — readback never throws, matching the no-op
+  /// handle convention.
+  [[nodiscard]] double quantile(std::string_view name, double q,
+                                const Labels& labels = {}) const;
+  /// Full summary readback; nullopt when the metric is missing or not a
+  /// histogram (an *empty* histogram returns a zeroed summary, count 0).
+  [[nodiscard]] std::optional<HistogramSummary> histogram_summary(
+      std::string_view name, const Labels& labels = {}) const;
+
   /// Snapshot of every metric, sorted by (name, canonical labels).
   [[nodiscard]] std::vector<Row> rows() const;
   /// Snapshot of one metric, if registered.
@@ -156,6 +181,8 @@ class MetricsRegistry {
 
  private:
   detail::Cell& resolve(std::string_view name, Labels labels, MetricKind kind);
+  [[nodiscard]] const detail::Cell* lookup(std::string_view name,
+                                           const Labels& labels) const;
   [[nodiscard]] Row snapshot_row(std::size_t index) const;
 
   mutable std::mutex mutex_;

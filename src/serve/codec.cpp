@@ -1,0 +1,177 @@
+#include "serve/codec.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace vdx::serve {
+
+namespace {
+
+/// Pulls `"key":<raw value>` out of one flat JSON object line (same
+/// targeted scanner as RunJournal::read_jsonl — the codec parses only its
+/// own fixed-schema output plus vdxload's).
+std::optional<std::string_view> json_field(std::string_view line,
+                                           std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":");
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string_view::npos) return std::nullopt;
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+template <typename T>
+core::Result<T> corrupt(std::string message) {
+  return core::Result<T>::failure(core::Errc::kCorruptFrame, std::move(message));
+}
+
+std::optional<double> parse_finite(std::string_view text) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(std::string{text}, &consumed);
+    if (consumed != text.size() || !std::isfinite(parsed)) return std::nullopt;
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty() || text.front() == '-') return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(std::string{text}, &consumed);
+    if (consumed != text.size()) return std::nullopt;
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+core::Result<trace::Session> parse_arrival(std::string_view line) {
+  const auto id = json_field(line, "id");
+  const auto arrival = json_field(line, "arrival_s");
+  const auto bitrate = json_field(line, "bitrate_mbps");
+  const auto duration = json_field(line, "duration_s");
+  const auto city = json_field(line, "city");
+  if (!id || !arrival || !bitrate || !duration || !city) {
+    return corrupt<trace::Session>("arrival line is missing a required field");
+  }
+  const auto id_v = parse_u64(*id);
+  const auto city_v = parse_u64(*city);
+  const auto arrival_v = parse_finite(*arrival);
+  const auto bitrate_v = parse_finite(*bitrate);
+  const auto duration_v = parse_finite(*duration);
+  if (!id_v || !city_v || !arrival_v || !bitrate_v || !duration_v ||
+      *id_v > UINT32_MAX || *city_v > UINT32_MAX) {
+    return corrupt<trace::Session>("arrival line has an unparsable field");
+  }
+  if (*arrival_v < 0.0 || *bitrate_v <= 0.0 || *duration_v < 0.0) {
+    return corrupt<trace::Session>("arrival line has an out-of-range field");
+  }
+  trace::Session session;
+  session.id = trace::SessionId{static_cast<std::uint32_t>(*id_v)};
+  session.arrival_s = *arrival_v;
+  session.bitrate_mbps = *bitrate_v;
+  session.duration_s = *duration_v;
+  session.city = trace::CityId{static_cast<std::uint32_t>(*city_v)};
+  if (const auto video = json_field(line, "video")) {
+    const auto video_v = parse_u64(*video);
+    if (!video_v || *video_v > UINT32_MAX) {
+      return corrupt<trace::Session>("arrival line has an unparsable field");
+    }
+    session.video = trace::VideoId{static_cast<std::uint32_t>(*video_v)};
+  }
+  if (const auto as = json_field(line, "as")) {
+    const auto as_v = parse_u64(*as);
+    if (!as_v || *as_v > UINT32_MAX) {
+      return corrupt<trace::Session>("arrival line has an unparsable field");
+    }
+    session.as_number = static_cast<std::uint32_t>(*as_v);
+  }
+  return session;
+}
+
+void write_arrival(std::ostream& out, const trace::Session& session) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"id\":%u,\"arrival_s\":%.17g,\"video\":%u,"
+                "\"bitrate_mbps\":%.17g,\"duration_s\":%.17g,\"city\":%u,"
+                "\"as\":%u}",
+                session.id.value(), session.arrival_s, session.video.value(),
+                session.bitrate_mbps, session.duration_s, session.city.value(),
+                session.as_number);
+  out << line << '\n';
+}
+
+void write_decision(std::ostream& out, const DecisionLine& line) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"round\":%" PRIu64 ",\"active\":%" PRIu64
+                ",\"demand_mbps\":%.17g,\"admitted_mbps\":%.17g,"
+                "\"shed_mbps\":%.17g,\"shed_clients\":%.17g,"
+                "\"mean_score\":%.17g,\"mean_cost\":%.17g,"
+                "\"logical_ticks\":%" PRIu64 "}",
+                line.round, line.active_sessions, line.demand_mbps,
+                line.admitted_mbps, line.shed_mbps, line.shed_clients,
+                line.mean_score, line.mean_cost, line.logical_ticks);
+  out << buffer << '\n';
+}
+
+core::Result<DecisionLine> parse_decision(std::string_view line) {
+  const auto round = json_field(line, "round");
+  const auto active = json_field(line, "active");
+  const auto demand = json_field(line, "demand_mbps");
+  const auto admitted = json_field(line, "admitted_mbps");
+  const auto shed = json_field(line, "shed_mbps");
+  const auto shed_clients = json_field(line, "shed_clients");
+  const auto score = json_field(line, "mean_score");
+  const auto cost = json_field(line, "mean_cost");
+  const auto ticks = json_field(line, "logical_ticks");
+  if (!round || !active || !demand || !admitted || !shed || !shed_clients ||
+      !score || !cost || !ticks) {
+    return corrupt<DecisionLine>("decision line is missing a field");
+  }
+  const auto round_v = parse_u64(*round);
+  const auto active_v = parse_u64(*active);
+  const auto ticks_v = parse_u64(*ticks);
+  const auto demand_v = parse_finite(*demand);
+  const auto admitted_v = parse_finite(*admitted);
+  const auto shed_v = parse_finite(*shed);
+  const auto shed_clients_v = parse_finite(*shed_clients);
+  const auto score_v = parse_finite(*score);
+  const auto cost_v = parse_finite(*cost);
+  if (!round_v || !active_v || !ticks_v || !demand_v || !admitted_v || !shed_v ||
+      !shed_clients_v || !score_v || !cost_v) {
+    return corrupt<DecisionLine>("decision line has an unparsable field");
+  }
+  DecisionLine parsed;
+  parsed.round = *round_v;
+  parsed.active_sessions = *active_v;
+  parsed.demand_mbps = *demand_v;
+  parsed.admitted_mbps = *admitted_v;
+  parsed.shed_mbps = *shed_v;
+  parsed.shed_clients = *shed_clients_v;
+  parsed.mean_score = *score_v;
+  parsed.mean_cost = *cost_v;
+  parsed.logical_ticks = *ticks_v;
+  return parsed;
+}
+
+}  // namespace vdx::serve

@@ -1,0 +1,54 @@
+// Serving wire codec: the JSONL formats vdxd speaks (DESIGN.md §12).
+//
+// Two line formats, both flat fixed-schema JSON objects so the daemon can
+// parse with a targeted scanner instead of a JSON dependency (same policy
+// as RunJournal):
+//   * arrival lines — one session-arrival event per line, produced by
+//     vdxload (or any compatible client) and consumed by the daemon's
+//     stdin feed;
+//   * decision lines — one Decision-Protocol round outcome per line,
+//     written by the daemon. Every field is deterministic under --sim-clock
+//     (%.17g doubles, logical latency), so two same-seed serving runs emit
+//     byte-identical decision logs.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "core/result.hpp"
+#include "trace/session.hpp"
+
+namespace vdx::serve {
+
+/// One decision line: the round outcome the daemon publishes per answered
+/// Decision-Protocol round.
+struct DecisionLine {
+  std::uint64_t round = 0;
+  std::uint64_t active_sessions = 0;
+  double demand_mbps = 0.0;
+  double admitted_mbps = 0.0;
+  double shed_mbps = 0.0;
+  double shed_clients = 0.0;
+  double mean_score = 0.0;
+  double mean_cost = 0.0;
+  /// Logical-clock ticks the round consumed (deterministic; wall latency
+  /// lives in the serve.* histograms, never on this line).
+  std::uint64_t logical_ticks = 0;
+
+  friend bool operator==(const DecisionLine&, const DecisionLine&) = default;
+};
+
+/// Parses one arrival line. Required fields: id, arrival_s, bitrate_mbps,
+/// duration_s, city; optional: video, as (default 0). Malformed lines fail
+/// with Errc::kCorruptFrame and a one-line reason — the daemon counts and
+/// skips them rather than dying on hostile stdin.
+[[nodiscard]] core::Result<trace::Session> parse_arrival(std::string_view line);
+
+/// Writes the arrival line parse_arrival() reads back (round-trip exact for
+/// the fields the serving path consumes).
+void write_arrival(std::ostream& out, const trace::Session& session);
+
+void write_decision(std::ostream& out, const DecisionLine& line);
+[[nodiscard]] core::Result<DecisionLine> parse_decision(std::string_view line);
+
+}  // namespace vdx::serve

@@ -1,0 +1,376 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "serve/codec.hpp"
+#include "state/store.hpp"
+
+namespace vdx::serve {
+
+/// The daemon's active population: same structure as the streaming engine's
+/// ActiveSet (id map + departure min-heap + (city, kbps, isp) group-count
+/// map mirroring broker::group_sessions), minus the stream coupling — the
+/// ArrivalFeed owns the pull side, the daemon pushes arrivals in.
+class ServeDaemon::ActiveSessions {
+ public:
+  /// Ingests one arrival at midpoint t; a session that already ended never
+  /// becomes active (it lived entirely between two samples).
+  void add(const trace::Session& s, double t) {
+    if (s.end_s() <= t) return;
+    active_.emplace(s.id.value(), Rec{s.city, s.bitrate_mbps, s.end_s()});
+    departures_.emplace(s.end_s(), s.id.value());
+    bump(s.city, s.bitrate_mbps, +1);
+    groups_dirty_ = true;
+  }
+
+  /// Drops departures with end_s <= t (half-open [arrival, end) activity).
+  void drop_until(double t) {
+    while (!departures_.empty() && departures_.top().first <= t) {
+      const std::uint32_t id = departures_.top().second;
+      departures_.pop();
+      const auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      bump(it->second.city, it->second.bitrate_mbps, -1);
+      active_.erase(it);
+      groups_dirty_ = true;
+    }
+  }
+
+  /// Client groups of the active population — exactly what
+  /// broker::group_sessions would return for it.
+  [[nodiscard]] std::span<const broker::ClientGroup> groups() {
+    if (groups_dirty_) {
+      groups_.clear();
+      groups_.reserve(counts_.size());
+      for (const auto& [key, count] : counts_) {
+        broker::ClientGroup g;
+        g.id = broker::ShareId{static_cast<std::uint32_t>(groups_.size())};
+        g.city = geo::CityId{std::get<0>(key)};
+        g.isp = std::get<2>(key);
+        g.bitrate_mbps = static_cast<double>(std::get<1>(key)) / 1000.0;
+        g.client_count = static_cast<double>(count);
+        groups_.push_back(g);
+      }
+      groups_dirty_ = false;
+    }
+    return groups_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return active_.size(); }
+
+  /// Active population in id order; the daemon fills in the feed position.
+  [[nodiscard]] state::StreamCursor cursor() const {
+    state::StreamCursor cursor;
+    cursor.active.reserve(active_.size());
+    for (const auto& [id, rec] : active_) {
+      cursor.active.push_back(
+          state::ActiveSession{id, rec.city.value(), rec.bitrate_mbps, rec.end_s});
+    }
+    return cursor;
+  }
+
+  /// Rebuilds the id map, departure heap, and group counts from a cursor;
+  /// (end_s, id) is a total order, so the rebuilt heap pops in exactly the
+  /// original sequence.
+  void restore(const state::StreamCursor& cursor) {
+    active_.clear();
+    departures_ = {};
+    counts_.clear();
+    for (const state::ActiveSession& s : cursor.active) {
+      active_.emplace(s.id, Rec{geo::CityId{s.city}, s.bitrate_mbps, s.end_s});
+      departures_.emplace(s.end_s, s.id);
+      bump(geo::CityId{s.city}, s.bitrate_mbps, +1);
+    }
+    groups_dirty_ = true;
+  }
+
+ private:
+  struct Rec {
+    geo::CityId city;
+    double bitrate_mbps = 0.0;
+    double end_s = 0.0;
+  };
+
+  void bump(geo::CityId city, double bitrate_mbps, int delta) {
+    const auto kbps = static_cast<std::int64_t>(std::llround(bitrate_mbps * 1000.0));
+    const auto key = std::make_tuple(city.value(), kbps, std::uint32_t{0});
+    if (delta > 0) {
+      ++counts_[key];
+    } else {
+      const auto it = counts_.find(key);
+      if (--it->second == 0) counts_.erase(it);
+    }
+  }
+
+  std::map<std::uint32_t, Rec> active_;
+  std::priority_queue<std::pair<double, std::uint32_t>,
+                      std::vector<std::pair<double, std::uint32_t>>,
+                      std::greater<>>
+      departures_;
+  std::map<std::tuple<std::uint32_t, std::int64_t, std::uint32_t>, std::size_t>
+      counts_;
+  std::vector<broker::ClientGroup> groups_;
+  bool groups_dirty_ = true;
+};
+
+ServeDaemon::ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,
+                         ServeConfig config)
+    : scenario_(scenario), config_(std::move(config)), feed_(&feed) {
+  if (!std::isfinite(config_.round_s) || config_.round_s <= 0.0) {
+    throw std::invalid_argument{"ServeDaemon: round_s must be > 0"};
+  }
+  if (config_.checkpoint_every_rounds > 0 && config_.checkpoint_dir.empty()) {
+    throw std::invalid_argument{
+        "ServeDaemon: checkpoint_every_rounds needs checkpoint_dir"};
+  }
+  if (config_.obs.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    config_.obs.metrics = owned_metrics_.get();
+  }
+  obs_ = config_.obs;
+  // Incremental demand can momentarily present groups every CDN is too
+  // loaded to bid for; the broker must tolerate them (PR 4 contract).
+  config_.exchange.broker.allow_unbid_groups = true;
+  config_.exchange.obs = obs_;
+  config_.fingerprint.design = kDaemonDesign;
+  config_.fingerprint.epoch_s = config_.round_s;
+
+  exchange_ = std::make_unique<market::VdxExchange>(scenario_, config_.exchange);
+  active_ = std::make_unique<ActiveSessions>();
+  latency_ = std::make_unique<LatencyRecorder>(*obs_.metrics);
+  zero_loads_.assign(scenario_.catalog().clusters().size(), 0.0);
+
+  rounds_counter_ = obs_.metrics->counter("serve.rounds");
+  arrivals_counter_ = obs_.metrics->counter("serve.arrivals");
+  queue_dropped_counter_ = obs_.metrics->counter("serve.queue_dropped");
+  shed_mbps_counter_ = obs_.metrics->counter("serve.shed.mbps");
+  shed_clients_counter_ = obs_.metrics->counter("serve.shed.clients");
+  checkpoints_counter_ = obs_.metrics->counter("serve.checkpoints");
+  active_gauge_ = obs_.metrics->gauge("serve.active_sessions");
+}
+
+ServeDaemon::~ServeDaemon() = default;
+
+ServeReport ServeDaemon::run() { return run_loop(0); }
+
+core::Result<ServeReport> ServeDaemon::resume(
+    std::span<const std::uint8_t> snapshot_bytes) {
+  auto decoded = state::decode_daemon(snapshot_bytes);
+  if (!decoded.ok()) return core::Result<ServeReport>{decoded.error()};
+  const state::DaemonCheckpoint& cp = decoded.value();
+  if (!(cp.fingerprint == config_.fingerprint)) {
+    return core::Result<ServeReport>::failure(
+        core::Errc::kInvalidArgument,
+        "serve resume: snapshot fingerprint does not match this run");
+  }
+  if (!feed_->seekable()) {
+    return core::Result<ServeReport>::failure(
+        core::Errc::kInvalidArgument,
+        "serve resume: the arrival feed cannot seek (live feeds are not "
+        "resumable)");
+  }
+  // Restore order matters: the exchange restore also sets the tracer's
+  // logical clock to the exchange's saved value; the daemon's own clock
+  // (which may run ahead across skipped rounds) is reapplied after.
+  const core::Status restored = exchange_->restore_state(cp.exchange_state);
+  if (!restored.ok()) return core::Result<ServeReport>{restored.error()};
+  try {
+    feed_->seek(cp.feed.consumed);
+  } catch (const std::invalid_argument& error) {
+    return core::Result<ServeReport>::failure(core::Errc::kCorruptSnapshot,
+                                              error.what());
+  }
+  active_->restore(cp.feed);
+  if (obs_.journal != nullptr) {
+    const core::Status journal = obs_.journal->restore(
+        cp.journal.events, cp.journal.total, cp.journal.round);
+    if (!journal.ok()) return core::Result<ServeReport>{journal.error()};
+  }
+  if (obs_.tracer != nullptr) obs_.tracer->set_logical(cp.logical_clock);
+  decision_rounds_ = cp.decision_rounds;
+  skipped_rounds_ = cp.skipped_rounds;
+  queue_dropped_ = cp.queue_dropped;
+  peak_active_ = cp.peak_active_sessions;
+  shed_mbps_total_ = cp.shed_mbps_total;
+  shed_clients_total_ = cp.shed_clients_total;
+  shed_rounds_ = cp.shed_rounds;
+  // kResume lands in the seq slot the checkpoint's own kCheckpoint event
+  // occupied (the snapshot captured the journal *before* that event), so
+  // the resumed journal stays byte-identical to the uninterrupted run's.
+  obs_.record(obs::EventKind::kResume, obs::RunJournal::kNoSubject,
+              static_cast<double>(cp.next_round));
+  return run_loop(cp.next_round);
+}
+
+state::DaemonCheckpoint ServeDaemon::make_checkpoint(
+    std::uint64_t next_round) const {
+  state::DaemonCheckpoint cp;
+  cp.fingerprint = config_.fingerprint;
+  cp.next_round = next_round;
+  cp.feed = active_->cursor();
+  cp.feed.consumed = feed_->consumed();
+  cp.exchange_state = exchange_->save_state();
+  cp.decision_rounds = decision_rounds_;
+  cp.skipped_rounds = skipped_rounds_;
+  cp.queue_dropped = queue_dropped_;
+  cp.peak_active_sessions = peak_active_;
+  cp.shed_mbps_total = shed_mbps_total_;
+  cp.shed_clients_total = shed_clients_total_;
+  cp.shed_rounds = shed_rounds_;
+  cp.logical_clock = obs_.tracer != nullptr ? obs_.tracer->logical_now() : 0;
+  if (obs_.journal != nullptr) {
+    cp.journal.events = obs_.journal->events();
+    cp.journal.total = obs_.journal->total_recorded();
+    cp.journal.round = obs_.journal->current_round();
+  }
+  return cp;
+}
+
+ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
+  ServeReport report;
+  const double horizon_s = feed_->duration_s();
+  const std::uint64_t horizon_rounds =
+      horizon_s > 0.0
+          ? static_cast<std::uint64_t>(std::ceil(horizon_s / config_.round_s))
+          : UINT64_MAX;
+
+  std::unique_ptr<state::CheckpointStore> store;
+  if (config_.checkpoint_every_rounds > 0) {
+    store = std::make_unique<state::CheckpointStore>(
+        config_.checkpoint_dir, std::max<std::size_t>(1, config_.checkpoint_keep),
+        obs_);
+  }
+  const auto write_checkpoint = [&](std::uint64_t next_round) {
+    const state::DaemonCheckpoint cp = make_checkpoint(next_round);
+    obs_.record(obs::EventKind::kCheckpoint, obs::RunJournal::kNoSubject,
+                static_cast<double>(next_round));
+    if (store->write(next_round, state::encode(cp)).ok()) {
+      checkpoints_counter_.add();
+      ++report.checkpoints_written;
+    }
+  };
+
+  std::uint64_t r = start_round;
+  while (r < horizon_rounds) {
+    if (config_.stop != nullptr && config_.stop->load(std::memory_order_relaxed)) {
+      // Graceful drain: journal the event, snapshot, and hand back a
+      // resumable state instead of finishing the horizon.
+      obs_.record(obs::EventKind::kDrain, obs::RunJournal::kNoSubject,
+                  static_cast<double>(active_->count()));
+      if (store != nullptr) write_checkpoint(r);
+      report.drained = true;
+      break;
+    }
+
+    const double t = (static_cast<double>(r) + 0.5) * config_.round_s;
+    if (obs_.tracer != nullptr) obs_.tracer->advance(1);
+
+    std::vector<trace::Session> arrivals = feed_->next_until(t);
+    std::size_t turned_away = 0;
+    if (config_.queue_capacity > 0 &&
+        active_->count() + arrivals.size() > config_.queue_capacity) {
+      // Door backpressure: the latest arrivals are rejected outright (they
+      // never enter the population the exchange prices).
+      const std::size_t room = config_.queue_capacity > active_->count()
+                                   ? config_.queue_capacity - active_->count()
+                                   : 0;
+      turned_away = arrivals.size() - room;
+      arrivals.resize(room);
+    }
+    for (const trace::Session& s : arrivals) active_->add(s, t);
+    active_->drop_until(t);
+    if (!arrivals.empty()) {
+      arrivals_counter_.add(static_cast<double>(arrivals.size()));
+    }
+    if (turned_away > 0) {
+      queue_dropped_ += turned_away;
+      queue_dropped_counter_.add(static_cast<double>(turned_away));
+      obs_.record(obs::EventKind::kAdmit, obs::RunJournal::kNoSubject,
+                  static_cast<double>(turned_away));
+    }
+    peak_active_ = std::max(peak_active_, static_cast<std::uint64_t>(active_->count()));
+    active_gauge_.set(static_cast<double>(active_->count()));
+
+    if (active_->count() == 0 && feed_->exhausted()) break;
+
+    if (active_->count() == 0) {
+      // Nothing to price: no exchange round, no decision line (the skip is
+      // itself deterministic — it depends only on the feed).
+      ++skipped_rounds_;
+    } else {
+      exchange_->set_active_load(active_->groups(), zero_loads_);
+      double demand_mbps = 0.0;
+      for (const broker::ClientGroup& g : active_->groups()) {
+        demand_mbps += g.demand_mbps();
+      }
+      const std::uint64_t logical_before = obs_.logical_now();
+      double wall_s = 0.0;
+      market::RoundReport round_report;
+      {
+        const obs::ScopedTimer timer{&wall_s};
+        round_report = exchange_->run_round();
+      }
+      const std::uint64_t ticks = obs_.logical_now() - logical_before;
+      latency_->record_round(wall_s * 1000.0, ticks, demand_mbps,
+                             demand_mbps - round_report.shed_mbps);
+      if (round_report.shed_mbps > 0.0) {
+        shed_mbps_total_ += round_report.shed_mbps;
+        shed_clients_total_ += round_report.shed_clients;
+        ++shed_rounds_;
+        shed_mbps_counter_.add(round_report.shed_mbps);
+        shed_clients_counter_.add(round_report.shed_clients);
+      }
+      if (config_.decisions != nullptr) {
+        DecisionLine line;
+        line.round = r;
+        line.active_sessions = active_->count();
+        line.demand_mbps = demand_mbps;
+        line.admitted_mbps = demand_mbps - round_report.shed_mbps;
+        line.shed_mbps = round_report.shed_mbps;
+        line.shed_clients = round_report.shed_clients;
+        line.mean_score = round_report.mean_score;
+        line.mean_cost = round_report.mean_cost;
+        line.logical_ticks = ticks;
+        write_decision(*config_.decisions, line);
+      }
+      ++decision_rounds_;
+    }
+
+    ++r;
+    rounds_counter_.add();
+    if (store != nullptr && r % config_.checkpoint_every_rounds == 0) {
+      write_checkpoint(r);
+    }
+    if (config_.halt_after_rounds > 0 &&
+        r - start_round >= config_.halt_after_rounds) {
+      report.halted = true;
+      break;
+    }
+    if (config_.throw_after_rounds > 0 &&
+        r - start_round >= config_.throw_after_rounds) {
+      throw std::runtime_error{"ServeDaemon: injected failure after round " +
+                               std::to_string(r)};
+    }
+  }
+
+  report.rounds = r;
+  report.decision_rounds = decision_rounds_;
+  report.skipped_rounds = skipped_rounds_;
+  report.arrivals = feed_->consumed();
+  report.queue_dropped = queue_dropped_;
+  report.peak_active_sessions = peak_active_;
+  report.shed_mbps_total = shed_mbps_total_;
+  report.shed_clients_total = shed_clients_total_;
+  report.shed_rounds = shed_rounds_;
+  report.slo = latency_->slo();
+  return report;
+}
+
+}  // namespace vdx::serve

@@ -1,0 +1,162 @@
+// ServeDaemon: the long-lived serving loop behind vdxd (DESIGN.md §12).
+//
+// Owns a VdxExchange and an incrementally maintained active-session
+// population, admits arrival events online from an ArrivalFeed, and answers
+// Decision-Protocol rounds continuously: round r prices the population
+// active at the midpoint (r + 0.5) * round_s on the logical-clock engine.
+// Per-round service latency lands in the serve.* histograms (wall ms for
+// the SLO, logical ticks for the determinism contract), admission
+// backpressure reuses the exchange's shed_to_budget round budget plus an
+// arrival-queue bound, checkpoints go through state::CheckpointStore, and a
+// stop flag (vdxd wires SIGTERM to it) drains gracefully with a final
+// snapshot.
+//
+// Determinism contract: with a seekable deterministic feed (GeneratorFeed)
+// the full serving run — decision lines, journal, shed totals, checkpoint
+// bytes — is a pure function of (scenario, config, feed); resume() from any
+// mid-run snapshot continues byte-identically. Wall-clock latency is
+// recorded but never flows into a deterministic output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <span>
+
+#include "market/exchange.hpp"
+#include "serve/feed.hpp"
+#include "serve/latency.hpp"
+#include "sim/scenario.hpp"
+#include "state/checkpoint.hpp"
+
+namespace vdx::serve {
+
+/// RunFingerprint::design value marking daemon snapshots (timeline designs
+/// are small enums; this cannot collide).
+inline constexpr std::uint8_t kDaemonDesign = 0xD0;
+
+struct ServeConfig {
+  /// Decision-round period (seconds of feed time). Rounds sample the
+  /// population at midpoints (r + 0.5) * round_s.
+  double round_s = 5.0;
+  /// Arrival-queue bound per round: when the incoming batch would push the
+  /// active population past this, the latest arrivals are turned away at
+  /// the door (counted, journaled as kAdmit). 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// Checkpoint every N elapsed rounds (0 = off; needs checkpoint_dir).
+  std::size_t checkpoint_every_rounds = 0;
+  std::filesystem::path checkpoint_dir;
+  std::size_t checkpoint_keep = 3;
+  /// Crash drill: stop the loop abruptly after this many rounds (no drain,
+  /// no final snapshot) — recovery tests resume from the last checkpoint.
+  std::uint64_t halt_after_rounds = 0;
+  /// Abnormal-exit drill: throw std::runtime_error after this many rounds —
+  /// the ExportGuard test asserts the journal tail still lands well-formed.
+  std::uint64_t throw_after_rounds = 0;
+  /// Graceful-drain flag (non-owning; vdxd points it at its SIGTERM flag).
+  /// When it flips true the daemon records kDrain, takes a final snapshot,
+  /// and returns with ServeReport::drained set.
+  const std::atomic<bool>* stop = nullptr;
+  /// Decision-line sink (one codec decision line per answered round).
+  std::ostream* decisions = nullptr;
+  /// Exchange configuration; the daemon forces broker.allow_unbid_groups
+  /// (incremental demand) and threads `obs` through it. The admission
+  /// budget lives in exchange.overload.demand_budget_mbps.
+  market::ExchangeConfig exchange;
+  /// Identity stamped into checkpoints; resume() validates it. The daemon
+  /// overrides `design` with kDaemonDesign and `epoch_s` with round_s.
+  state::RunFingerprint fingerprint;
+  obs::Observer obs;
+};
+
+struct ServeReport {
+  /// Rounds elapsed (answered + skipped); the resumed-run total covers the
+  /// whole serve, not just the post-resume stretch.
+  std::uint64_t rounds = 0;
+  std::uint64_t decision_rounds = 0;
+  /// Rounds with zero active broker sessions (no exchange round, no
+  /// decision line).
+  std::uint64_t skipped_rounds = 0;
+  /// Sessions consumed from the feed.
+  std::uint64_t arrivals = 0;
+  /// Arrivals turned away by the queue bound.
+  std::uint64_t queue_dropped = 0;
+  std::uint64_t peak_active_sessions = 0;
+  /// Admission-control (shed_to_budget) totals across all rounds.
+  double shed_mbps_total = 0.0;
+  double shed_clients_total = 0.0;
+  std::uint64_t shed_rounds = 0;
+  std::uint64_t checkpoints_written = 0;
+  bool drained = false;
+  bool halted = false;
+  LatencyRecorder::Slo slo;
+};
+
+class ServeDaemon {
+ public:
+  /// `feed` must outlive the daemon. Throws std::invalid_argument on a
+  /// non-positive round_s or a checkpoint policy without a directory.
+  ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,
+              ServeConfig config);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Serves the whole feed from round 0.
+  [[nodiscard]] ServeReport run();
+
+  /// Resumes from encode(DaemonCheckpoint) bytes: validates the
+  /// fingerprint, seeks the feed (kInvalidArgument when the feed cannot
+  /// seek), restores the exchange/journal/accumulators, then continues the
+  /// loop. The continuation is byte-identical to the uninterrupted run.
+  [[nodiscard]] core::Result<ServeReport> resume(
+      std::span<const std::uint8_t> snapshot_bytes);
+
+  [[nodiscard]] const LatencyRecorder& latency() const noexcept {
+    return *latency_;
+  }
+  [[nodiscard]] const market::VdxExchange& exchange() const noexcept {
+    return *exchange_;
+  }
+
+ private:
+  class ActiveSessions;
+
+  [[nodiscard]] ServeReport run_loop(std::uint64_t start_round);
+  [[nodiscard]] state::DaemonCheckpoint make_checkpoint(
+      std::uint64_t next_round) const;
+
+  const sim::Scenario& scenario_;
+  ServeConfig config_;
+  ArrivalFeed* feed_;
+  /// Fallback registry when ServeConfig::obs brings none (the latency
+  /// recorder and the /metrics endpoint need one to exist).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::unique_ptr<market::VdxExchange> exchange_;
+  std::unique_ptr<ActiveSessions> active_;
+  std::unique_ptr<LatencyRecorder> latency_;
+  std::vector<double> zero_loads_;
+  obs::Observer obs_;
+
+  /// Cross-resume accumulators (mirrored into ServeReport).
+  std::uint64_t decision_rounds_ = 0;
+  std::uint64_t skipped_rounds_ = 0;
+  std::uint64_t queue_dropped_ = 0;
+  std::uint64_t peak_active_ = 0;
+  double shed_mbps_total_ = 0.0;
+  double shed_clients_total_ = 0.0;
+  std::uint64_t shed_rounds_ = 0;
+
+  /// Pre-interned serve.* handles.
+  obs::Counter rounds_counter_;
+  obs::Counter arrivals_counter_;
+  obs::Counter queue_dropped_counter_;
+  obs::Counter shed_mbps_counter_;
+  obs::Counter shed_clients_counter_;
+  obs::Counter checkpoints_counter_;
+  obs::Gauge active_gauge_;
+};
+
+}  // namespace vdx::serve

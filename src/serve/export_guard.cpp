@@ -1,0 +1,47 @@
+#include "serve/export_guard.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "state/snapshot.hpp"
+
+namespace vdx::serve {
+
+void ExportGuard::flush() noexcept {
+  if (flushed_) return;
+  flushed_ = true;
+  const auto write_one = [this](const std::filesystem::path& path,
+                                const std::function<void(std::ostream&)>& emit) {
+    if (path.empty()) return;
+    try {
+      std::ostringstream out;
+      emit(out);
+      const std::string text = out.str();
+      const std::vector<std::uint8_t> payload(text.begin(), text.end());
+      const core::Status status = state::write_file_atomic(path, payload);
+      if (!status.ok()) {
+        errors_.push_back(path.string() + ": " + status.error().message);
+      }
+    } catch (const std::exception& error) {
+      errors_.push_back(path.string() + ": " + error.what());
+    } catch (...) {
+      errors_.push_back(path.string() + ": unknown error");
+    }
+  };
+  if (obs_.metrics != nullptr) {
+    write_one(paths_.metrics_jsonl,
+              [this](std::ostream& out) { obs_.metrics->write_jsonl(out); });
+  }
+  if (obs_.journal != nullptr) {
+    write_one(paths_.journal_jsonl,
+              [this](std::ostream& out) { obs_.journal->write_jsonl(out); });
+  }
+  if (obs_.tracer != nullptr) {
+    write_one(paths_.trace_jsonl,
+              [this](std::ostream& out) { obs_.tracer->write_jsonl(out); });
+  }
+}
+
+}  // namespace vdx::serve

@@ -1,0 +1,55 @@
+// ExportGuard: RAII flush of observability exports on *every* daemon exit
+// path (DESIGN.md §12).
+//
+// The graceful-shutdown gap this closes: before the guard, metrics/journal/
+// trace JSONL was written at the end of a successful run only — an
+// exception (or a drill-injected crash) between rounds lost the entire
+// export. The guard flushes in its destructor, so stack unwinding writes
+// the journal tail as well-formed JSONL no matter where the daemon died.
+// Writes are atomic (write-tmp-rename) and the flush is idempotent, so a
+// normal exit path may flush() eagerly to report errors and the destructor
+// becomes a no-op.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/observe.hpp"
+
+namespace vdx::serve {
+
+class ExportGuard {
+ public:
+  struct Paths {
+    std::filesystem::path metrics_jsonl;  // empty: skip
+    std::filesystem::path journal_jsonl;  // empty: skip
+    std::filesystem::path trace_jsonl;    // empty: skip
+  };
+
+  /// The observer's pointers are non-owning; null sinks are skipped even
+  /// when a path is set.
+  ExportGuard(Paths paths, obs::Observer obs) noexcept
+      : paths_(std::move(paths)), obs_(obs) {}
+  ~ExportGuard() { flush(); }
+  ExportGuard(const ExportGuard&) = delete;
+  ExportGuard& operator=(const ExportGuard&) = delete;
+
+  /// Writes every configured export atomically. Idempotent: the second and
+  /// later calls are no-ops. Never throws (the destructor runs during
+  /// unwinding); failures are collected into errors() instead.
+  void flush() noexcept;
+  [[nodiscard]] bool flushed() const noexcept { return flushed_; }
+  /// One "<path>: <reason>" line per failed write in the flush that ran.
+  [[nodiscard]] const std::vector<std::string>& errors() const noexcept {
+    return errors_;
+  }
+
+ private:
+  Paths paths_;
+  obs::Observer obs_;
+  bool flushed_ = false;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace vdx::serve

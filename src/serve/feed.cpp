@@ -1,0 +1,89 @@
+#include "serve/feed.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+#include "serve/codec.hpp"
+
+namespace vdx::serve {
+
+GeneratorFeed::GeneratorFeed(const geo::World& world,
+                             const trace::TraceConfig& config, core::Rng rng,
+                             trace::BrokerTraceGenerator::Options options,
+                             std::size_t batch_sessions)
+    : generator_(std::make_unique<trace::BrokerTraceGenerator>(
+          world, config, std::move(rng), options)),
+      batch_(std::max<std::size_t>(1, batch_sessions)) {}
+
+std::vector<trace::Session> GeneratorFeed::next_until(double t) {
+  std::vector<trace::Session> out;
+  while (true) {
+    while (!pending_.empty() && pending_.front().arrival_s <= t) {
+      out.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    if (!pending_.empty() || generator_->exhausted()) break;
+    auto batch = generator_->next_batch(batch_);
+    if (batch.empty()) break;
+    pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+  }
+  consumed_ += out.size();
+  return out;
+}
+
+bool GeneratorFeed::exhausted() const {
+  return pending_.empty() && generator_->exhausted();
+}
+
+double GeneratorFeed::duration_s() const { return generator_->duration_s(); }
+
+void GeneratorFeed::seek(std::uint64_t consumed) {
+  // Sessions pulled into pending_ but never handed out are regenerated —
+  // block substreams are pure functions of (seed, block), so the re-pulled
+  // sequence is byte-identical.
+  generator_->seek(static_cast<std::size_t>(consumed));
+  pending_.clear();
+  consumed_ = consumed;
+}
+
+JsonlFeed::JsonlFeed(std::istream& in) : in_(&in) {}
+
+std::vector<trace::Session> JsonlFeed::next_until(double t) {
+  std::vector<trace::Session> out;
+  while (true) {
+    while (!pending_.empty() && pending_.front().arrival_s <= t) {
+      out.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    if (!pending_.empty() || eof_) break;
+    std::string line;
+    if (!std::getline(*in_, line)) {
+      eof_ = true;
+      break;
+    }
+    if (line.empty()) continue;
+    auto parsed = parse_arrival(line);
+    if (!parsed.ok()) {
+      ++malformed_;
+      continue;
+    }
+    pending_.push_back(std::move(parsed).value());
+  }
+  consumed_ += out.size();
+  return out;
+}
+
+bool JsonlFeed::exhausted() const { return pending_.empty() && eof_; }
+
+void JsonlFeed::seek(std::uint64_t consumed) {
+  if (consumed != consumed_) {
+    throw std::invalid_argument{
+        "JsonlFeed: a live feed cannot seek; resume requires the generator "
+        "feed (--sessions, not --stdin)"};
+  }
+}
+
+}  // namespace vdx::serve

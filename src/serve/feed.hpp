@@ -1,0 +1,99 @@
+// Arrival feeds: where the serving daemon's session-arrival events come
+// from (DESIGN.md §12).
+//
+// A feed hands the daemon every arrival with arrival_s <= t, in arrival
+// order, one round midpoint at a time. Two implementations:
+//   * GeneratorFeed — the built-in open-loop client: wraps the chunked
+//     trace::BrokerTraceGenerator, so the feed is a pure function of
+//     (world, config, seed) and is seekable for checkpoint/resume (the
+//     determinism contract's --sim-clock path);
+//   * JsonlFeed — online admission from a socket/stdin stream of codec
+//     arrival lines. Malformed lines are counted and skipped, never fatal
+//     (hostile input must not kill the daemon). Not seekable: a live feed
+//     cannot be replayed, so --resume-from requires the generator feed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/session.hpp"
+
+namespace vdx::serve {
+
+class ArrivalFeed {
+ public:
+  virtual ~ArrivalFeed() = default;
+
+  /// Arrivals with arrival_s <= t, arrival-ordered; `t` must be
+  /// non-decreasing across calls. Later-arriving sessions stay buffered.
+  [[nodiscard]] virtual std::vector<trace::Session> next_until(double t) = 0;
+  /// No further sessions will ever be returned.
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// Feed horizon in seconds (0 when unknown — a live stream).
+  [[nodiscard]] virtual double duration_s() const = 0;
+  /// Sessions handed out via next_until() so far.
+  [[nodiscard]] virtual std::uint64_t consumed() const = 0;
+  /// Repositions so the next handed-out session is number `consumed`.
+  /// Throws std::invalid_argument when unsupported or past the horizon.
+  virtual void seek(std::uint64_t consumed) = 0;
+  [[nodiscard]] virtual bool seekable() const = 0;
+};
+
+/// Built-in open-loop generator feed (seekable, deterministic).
+class GeneratorFeed final : public ArrivalFeed {
+ public:
+  /// `batch_sessions` bounds memory: sessions are pulled from the generator
+  /// in batches of this size.
+  GeneratorFeed(const geo::World& world, const trace::TraceConfig& config,
+                core::Rng rng, trace::BrokerTraceGenerator::Options options = {},
+                std::size_t batch_sessions = 4096);
+
+  [[nodiscard]] std::vector<trace::Session> next_until(double t) override;
+  [[nodiscard]] bool exhausted() const override;
+  [[nodiscard]] double duration_s() const override;
+  [[nodiscard]] std::uint64_t consumed() const override { return consumed_; }
+  void seek(std::uint64_t consumed) override;
+  [[nodiscard]] bool seekable() const override { return true; }
+
+  [[nodiscard]] std::size_t total_sessions() const noexcept {
+    return generator_->total_sessions();
+  }
+
+ private:
+  std::unique_ptr<trace::BrokerTraceGenerator> generator_;
+  std::size_t batch_;
+  std::deque<trace::Session> pending_;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Live JSONL feed over an istream of codec arrival lines.
+class JsonlFeed final : public ArrivalFeed {
+ public:
+  /// `in` must outlive the feed. Lines are assumed arrival-ordered; an
+  /// out-of-order arrival is clamped to the current midpoint rather than
+  /// reordered (the daemon serves it in the round it was seen).
+  explicit JsonlFeed(std::istream& in);
+
+  [[nodiscard]] std::vector<trace::Session> next_until(double t) override;
+  [[nodiscard]] bool exhausted() const override;
+  [[nodiscard]] double duration_s() const override { return 0.0; }
+  [[nodiscard]] std::uint64_t consumed() const override { return consumed_; }
+  void seek(std::uint64_t consumed) override;
+  [[nodiscard]] bool seekable() const override { return false; }
+
+  /// Malformed lines skipped so far.
+  [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  std::istream* in_;
+  std::deque<trace::Session> pending_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t malformed_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace vdx::serve

@@ -1,0 +1,197 @@
+#include "serve/httpd.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vdx::serve {
+
+namespace {
+
+std::string sanitize_name(std::string_view name) {
+  std::string out{name};
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string label_block(const obs::Labels& labels, const char* quantile = nullptr) {
+  if (labels.empty() && quantile == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    out += sanitize_name(key) + "=\"" + value + "\"";
+    first = false;
+  }
+  if (quantile != nullptr) {
+    if (!first) out += ',';
+    out += std::string{"quantile=\""} + quantile + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void write_value_line(std::ostream& out, const std::string& name,
+                      const std::string& labels, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out << name << labels << ' ' << buffer << '\n';
+}
+
+}  // namespace
+
+void write_metrics_text(const obs::MetricsRegistry& registry, std::ostream& out) {
+  for (const obs::MetricsRegistry::Row& row : registry.rows()) {
+    const std::string name = sanitize_name(row.name);
+    switch (row.kind) {
+      case obs::MetricKind::kCounter:
+      case obs::MetricKind::kGauge:
+        write_value_line(out, name, label_block(row.labels), row.value);
+        break;
+      case obs::MetricKind::kHistogram: {
+        write_value_line(out, name + "_count", label_block(row.labels),
+                         static_cast<double>(row.count));
+        write_value_line(out, name + "_sum", label_block(row.labels), row.sum);
+        const auto summary = registry.histogram_summary(row.name, row.labels);
+        if (summary) {
+          write_value_line(out, name, label_block(row.labels, "0.5"), summary->p50);
+          write_value_line(out, name, label_block(row.labels, "0.9"), summary->p90);
+          write_value_line(out, name, label_block(row.labels, "0.99"), summary->p99);
+          write_value_line(out, name, label_block(row.labels, "0.999"),
+                           summary->p999);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Httpd::Httpd(const obs::MetricsRegistry& registry, std::uint16_t port)
+    : registry_(&registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error{"httpd: socket() failed"};
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error{"httpd: cannot bind 127.0.0.1:" +
+                             std::to_string(port)};
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error{"httpd: getsockname() failed"};
+  }
+  port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error{"httpd: pipe() failed"};
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  thread_ = std::thread{[this] { serve_loop(); }};
+}
+
+Httpd::~Httpd() { stop(); }
+
+void Httpd::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  const char byte = 'x';
+  [[maybe_unused]] const auto ignored = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void Httpd::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One request line is all we need; read until "\r\n" or a small cap.
+    std::string request;
+    char buffer[1024];
+    while (request.find("\r\n") == std::string::npos && request.size() < 8192) {
+      const ssize_t n = ::read(client, buffer, sizeof buffer);
+      if (n <= 0) break;
+      request.append(buffer, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+
+    std::string body;
+    const char* status = "200 OK";
+    const char* content_type = "text/plain; version=0.0.4";
+    if (line.rfind("GET /metrics", 0) == 0) {
+      std::ostringstream out;
+      write_metrics_text(*registry_, out);
+      body = out.str();
+    } else if (line.rfind("GET /healthz", 0) == 0) {
+      body = "ok\n";
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+
+    std::ostringstream response;
+    response << "HTTP/1.0 " << status << "\r\n"
+             << "Content-Type: " << content_type << "\r\n"
+             << "Content-Length: " << body.size() << "\r\n"
+             << "Connection: close\r\n\r\n"
+             << body;
+    const std::string bytes = response.str();
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(client, bytes.data() + sent, bytes.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vdx::serve

@@ -1,0 +1,61 @@
+// Minimal blocking HTTP/1.0 responder for the daemon's /metrics endpoint
+// (DESIGN.md §12).
+//
+// Scope is deliberately tiny: one accept thread, one request per
+// connection, GET only, Connection: close. The daemon's control loop never
+// blocks on it — the responder snapshots the (thread-safe) MetricsRegistry
+// on each request. This is a scrape endpoint, not a web server: no
+// keep-alive, no TLS, no request body handling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace vdx::serve {
+
+/// Writes the registry in a Prometheus-style plaintext exposition: metric
+/// names with dots mapped to underscores, one `name value` line per
+/// counter/gauge, and `_count`/`_sum`/`{quantile="..."}` lines per
+/// histogram. Deterministic (rows() is sorted).
+void write_metrics_text(const obs::MetricsRegistry& registry, std::ostream& out);
+
+class Httpd {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, read the outcome from port())
+  /// and starts the accept thread. Throws std::runtime_error when the
+  /// socket cannot be bound.
+  Httpd(const obs::MetricsRegistry& registry, std::uint16_t port);
+  ~Httpd();
+  Httpd(const Httpd&) = delete;
+  Httpd& operator=(const Httpd&) = delete;
+
+  /// The bound port (the ephemeral one when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting and joins the thread; idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  const obs::MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  /// Self-pipe: stop() writes one byte so the poll() in the accept loop
+  /// wakes even with no client connecting.
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace vdx::serve

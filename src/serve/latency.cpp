@@ -1,0 +1,32 @@
+#include "serve/latency.hpp"
+
+namespace vdx::serve {
+
+LatencyRecorder::LatencyRecorder(obs::MetricsRegistry& registry)
+    : registry_(&registry),
+      round_ms_(registry.histogram("serve.round_ms")),
+      round_ticks_(registry.histogram("serve.round_ticks")),
+      demand_mbps_(registry.histogram("serve.demand_mbps")),
+      admitted_mbps_(registry.histogram("serve.admitted_mbps")) {}
+
+void LatencyRecorder::record_round(double wall_ms, std::uint64_t logical_ticks,
+                                   double demand_mbps, double admitted_mbps) {
+  round_ms_.observe(wall_ms);
+  round_ticks_.observe(static_cast<double>(logical_ticks));
+  demand_mbps_.observe(demand_mbps);
+  admitted_mbps_.observe(admitted_mbps);
+}
+
+LatencyRecorder::Slo LatencyRecorder::slo() const {
+  Slo slo;
+  if (const auto summary = registry_->histogram_summary("serve.round_ms")) {
+    slo.rounds = summary->count;
+    slo.p50_ms = summary->p50;
+    slo.p99_ms = summary->p99;
+    slo.p999_ms = summary->p999;
+    slo.max_ms = summary->max;
+  }
+  return slo;
+}
+
+}  // namespace vdx::serve

@@ -1,0 +1,48 @@
+// SLO-grade latency accounting for the serving daemon (DESIGN.md §12).
+//
+// Every answered Decision-Protocol round lands one observation in each of
+// the serve.* histograms; the recorder reads p50/p99/p999 back through
+// MetricsRegistry::quantile(), so the daemon, benches, and the /metrics
+// endpoint all report from the same log-bucketed data.
+//
+// Two clock domains, deliberately separate metrics:
+//   * serve.round_ms — wall-clock service latency of one round (the SLO
+//     quantity; excluded from golden comparisons, it is nondeterministic);
+//   * serve.round_ticks — logical-clock ticks the round consumed (byte-
+//     stable under --sim-clock; what the determinism contract compares).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace vdx::serve {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(obs::MetricsRegistry& registry);
+
+  /// Records one answered round.
+  void record_round(double wall_ms, std::uint64_t logical_ticks,
+                    double demand_mbps, double admitted_mbps);
+
+  /// Wall-latency SLO readback (milliseconds), via the registry's quantile
+  /// interpolation.
+  struct Slo {
+    std::uint64_t rounds = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  [[nodiscard]] Slo slo() const;
+
+ private:
+  obs::MetricsRegistry* registry_;
+  obs::Histogram round_ms_;
+  obs::Histogram round_ticks_;
+  obs::Histogram demand_mbps_;
+  obs::Histogram admitted_mbps_;
+};
+
+}  // namespace vdx::serve

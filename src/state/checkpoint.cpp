@@ -19,6 +19,11 @@ constexpr std::uint32_t kSectionBrokerCursor = 3;
 constexpr std::uint32_t kSectionBackgroundCursor = 4;
 constexpr std::uint32_t kSectionChurn = 5;
 constexpr std::uint32_t kSectionJournal = 6;
+// Daemon-checkpoint sections (disjoint from the timeline's 2..5, so each
+// decoder rejects the other kind with a missing-section error).
+constexpr std::uint32_t kSectionFeedCursor = 7;
+constexpr std::uint32_t kSectionDaemonProgress = 8;
+constexpr std::uint32_t kSectionExchangeState = 9;
 
 template <typename T>
 core::Result<T> malformed(std::string message) {
@@ -192,6 +197,85 @@ std::vector<std::uint8_t> encode(const TimelineCheckpoint& checkpoint) {
   writer.add_section(kSectionChurn, encode_churn(checkpoint.churn));
   writer.add_section(kSectionJournal, encode_journal(checkpoint.journal));
   return writer.finish();
+}
+
+std::vector<std::uint8_t> encode(const DaemonCheckpoint& checkpoint) {
+  proto::ByteWriter progress;
+  progress.write_u64(checkpoint.next_round);
+  progress.write_u64(checkpoint.decision_rounds);
+  progress.write_u64(checkpoint.skipped_rounds);
+  progress.write_u64(checkpoint.queue_dropped);
+  progress.write_u64(checkpoint.peak_active_sessions);
+  progress.write_f64(checkpoint.shed_mbps_total);
+  progress.write_f64(checkpoint.shed_clients_total);
+  progress.write_u64(checkpoint.shed_rounds);
+  progress.write_u64(checkpoint.logical_clock);
+
+  SnapshotWriter writer;
+  writer.add_section(kSectionFingerprint, encode_fingerprint(checkpoint.fingerprint));
+  writer.add_section(kSectionDaemonProgress, progress.take());
+  writer.add_section(kSectionFeedCursor, encode_cursor(checkpoint.feed));
+  writer.add_section(kSectionExchangeState, checkpoint.exchange_state);
+  writer.add_section(kSectionJournal, encode_journal(checkpoint.journal));
+  return writer.finish();
+}
+
+core::Result<DaemonCheckpoint> decode_daemon(std::span<const std::uint8_t> bytes) {
+  auto parsed = SnapshotView::parse(bytes);
+  if (!parsed.ok()) return core::Result<DaemonCheckpoint>{parsed.error()};
+  const SnapshotView view = std::move(parsed).value();
+
+  DaemonCheckpoint checkpoint;
+  try {
+    auto fingerprint = section_reader(view, kSectionFingerprint, "fingerprint");
+    if (!fingerprint.ok()) return core::Result<DaemonCheckpoint>{fingerprint.error()};
+    checkpoint.fingerprint = decode_fingerprint(fingerprint.value());
+
+    auto progress = section_reader(view, kSectionDaemonProgress, "daemon progress");
+    if (!progress.ok()) return core::Result<DaemonCheckpoint>{progress.error()};
+    {
+      proto::ByteReader& in = progress.value();
+      checkpoint.next_round = in.read_u64();
+      checkpoint.decision_rounds = in.read_u64();
+      checkpoint.skipped_rounds = in.read_u64();
+      checkpoint.queue_dropped = in.read_u64();
+      checkpoint.peak_active_sessions = in.read_u64();
+      checkpoint.shed_mbps_total = in.read_f64();
+      checkpoint.shed_clients_total = in.read_f64();
+      checkpoint.shed_rounds = in.read_u64();
+      checkpoint.logical_clock = in.read_u64();
+    }
+    if (checkpoint.decision_rounds + checkpoint.skipped_rounds >
+        checkpoint.next_round) {
+      return malformed<DaemonCheckpoint>(
+          "daemon progress counts more rounds than have elapsed");
+    }
+
+    auto feed = section_reader(view, kSectionFeedCursor, "feed cursor");
+    if (!feed.ok()) return core::Result<DaemonCheckpoint>{feed.error()};
+    auto feed_cursor = decode_cursor(feed.value());
+    if (!feed_cursor.ok()) return core::Result<DaemonCheckpoint>{feed_cursor.error()};
+    checkpoint.feed = std::move(feed_cursor).value();
+
+    // The exchange payload is opaque here; VdxExchange::restore_state()
+    // validates it (it is itself a nested snapshot envelope).
+    auto exchange = section_reader(view, kSectionExchangeState, "exchange state");
+    if (!exchange.ok()) return core::Result<DaemonCheckpoint>{exchange.error()};
+    {
+      proto::ByteReader& in = exchange.value();
+      checkpoint.exchange_state.resize(in.remaining());
+      for (std::uint8_t& byte : checkpoint.exchange_state) byte = in.read_u8();
+    }
+
+    auto journal = section_reader(view, kSectionJournal, "journal");
+    if (!journal.ok()) return core::Result<DaemonCheckpoint>{journal.error()};
+    auto journal_state = decode_journal(journal.value());
+    if (!journal_state.ok()) return core::Result<DaemonCheckpoint>{journal_state.error()};
+    checkpoint.journal = std::move(journal_state).value();
+  } catch (const proto::WireError&) {
+    return malformed<DaemonCheckpoint>("checkpoint section truncated");
+  }
+  return checkpoint;
 }
 
 core::Result<TimelineCheckpoint> decode_timeline(std::span<const std::uint8_t> bytes) {

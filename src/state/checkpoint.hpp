@@ -93,15 +93,52 @@ struct TimelineCheckpoint {
   JournalState journal;
 };
 
+/// Everything a serving daemon (serve::ServeDaemon) needs to resume
+/// bit-exactly: feed position + active population, the exchange's opaque
+/// save_state() bytes (reputation, strategies, RNG positions, round
+/// counter, logical clock), the daemon's own accumulators, and the journal
+/// window. Uses its own section ids, so a daemon snapshot and a timeline
+/// snapshot reject each other's decoder with a missing-section error.
+struct DaemonCheckpoint {
+  /// `design` is serve::kDaemonDesign for daemon snapshots; broker_sessions
+  /// is the feed horizon (session count), epoch_s the round period.
+  RunFingerprint fingerprint;
+  /// First round the resumed daemon executes.
+  std::uint64_t next_round = 0;
+  /// Arrival feed position: sessions consumed plus the still-active set.
+  StreamCursor feed;
+  /// VdxExchange::save_state() bytes, restored wholesale.
+  std::vector<std::uint8_t> exchange_state;
+  /// ServeReport accumulators, restored so the resumed run's final report
+  /// covers the whole serve.
+  std::uint64_t decision_rounds = 0;
+  std::uint64_t skipped_rounds = 0;
+  std::uint64_t queue_dropped = 0;
+  std::uint64_t peak_active_sessions = 0;
+  double shed_mbps_total = 0.0;
+  double shed_clients_total = 0.0;
+  std::uint64_t shed_rounds = 0;
+  /// SpanTracer logical clock at the checkpoint (may run ahead of the
+  /// exchange's own saved clock when zero-active rounds were skipped).
+  std::uint64_t logical_clock = 0;
+  JournalState journal;
+};
+
 /// Serializes to the vdx::state snapshot envelope (magic, version, per-
 /// section checksums — see snapshot.hpp).
 [[nodiscard]] std::vector<std::uint8_t> encode(const TimelineCheckpoint& checkpoint);
+[[nodiscard]] std::vector<std::uint8_t> encode(const DaemonCheckpoint& checkpoint);
 
 /// Parses + validates a snapshot produced by encode(). Typed failures:
 /// Errc::kCorruptSnapshot (truncation/mutation/checksum), kVersionMismatch
 /// (format version), kInvalidArgument (valid envelope, but not a timeline
 /// checkpoint or internally inconsistent).
 [[nodiscard]] core::Result<TimelineCheckpoint> decode_timeline(
+    std::span<const std::uint8_t> bytes);
+
+/// Daemon counterpart of decode_timeline(); a timeline snapshot fails with
+/// kCorruptSnapshot ("missing ... section"), never mis-decodes.
+[[nodiscard]] core::Result<DaemonCheckpoint> decode_daemon(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace vdx::state

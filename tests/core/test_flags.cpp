@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <initializer_list>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -115,6 +117,65 @@ TEST(Flags, OneOfRejectsUnlistedValuesWithTheFullMenu) {
         (void)make({"--scenario"}).one_of("scenario", "steady", scenarios);
       },
       "--scenario needs a value");
+}
+
+TEST(Flags, EqualsSyntaxParsesLikeSpaceSyntax) {
+  Flags flags = make({"--sessions=2000", "--hours=1.5", "--stream",
+                      "--name=marketplace", "--scenario=flash-crowd"});
+  EXPECT_EQ(flags.count("sessions", 0, 1), 2000u);
+  EXPECT_DOUBLE_EQ(flags.positive("hours", 0.0), 1.5);
+  EXPECT_TRUE(flags.boolean("stream"));
+  EXPECT_EQ(flags.text("name", "x"), "marketplace");
+  EXPECT_EQ(flags.one_of("scenario", "steady", {"steady", "flash-crowd"}),
+            "flash-crowd");
+  flags.check_all_used();
+}
+
+TEST(Flags, EqualsSyntaxKeepsValuesThatLookLikeFlags) {
+  // `--out=--weird` must take the literal value; the space form would have
+  // read `--weird` as the next flag.
+  Flags flags = make({"--out=--weird", "--factor=-2.5"});
+  EXPECT_EQ(flags.text("out", ""), "--weird");
+  EXPECT_DOUBLE_EQ(flags.number("factor", 0.0), -2.5);
+  flags.check_all_used();
+}
+
+TEST(Flags, EqualsSyntaxRejectionsMatchSpaceSyntax) {
+  // Same one-line messages for both spellings of an invalid value.
+  expect_throws([] { (void)make({"--hours=0"}).positive("hours", 0.0); },
+                "--hours must be > 0 (got '0')");
+  expect_throws([] { (void)make({"--threads=2.5"}).count("threads", 0, 1); },
+                "--threads needs an integer (got '2.5')");
+  expect_throws([] { (void)make({"--veto=abc"}).number("veto", 0.0); },
+                "--veto needs a number (got 'abc')");
+  expect_throws([] { (void)make({"--veto="}).number("veto", 0.0); },
+                "--veto needs a value");
+  expect_throws([] { (void)make({"--=5"}); }, "empty flag name '--=5'");
+  // The first '=' splits; later ones belong to the value.
+  EXPECT_EQ(make({"--out=a=b"}).text("out", ""), "a=b");
+}
+
+TEST(Flags, WriteHelpListsDeclaredFlagsInDeclarationOrder) {
+  Flags flags = make({});
+  (void)flags.count("sessions", 2000, 1);
+  (void)flags.positive("hours", 1.5);
+  (void)flags.boolean("stream");
+  (void)flags.one_of("scenario", "steady", {"steady", "blackout"});
+  (void)flags.count("sessions", 0, 1);  // re-declaration: listed once
+  std::ostringstream out;
+  flags.write_help(out);
+  const std::string help = out.str();
+  EXPECT_NE(help.find("--sessions <integer >= 1>"), std::string::npos);
+  EXPECT_NE(help.find("default: 2000"), std::string::npos);
+  EXPECT_NE(help.find("--hours <number > 0>"), std::string::npos);
+  EXPECT_NE(help.find("--stream"), std::string::npos);
+  EXPECT_NE(help.find("--scenario <steady|blackout>"), std::string::npos);
+  EXPECT_NE(help.find("default: steady"), std::string::npos);
+  // First declaration wins the ordering and the default shown.
+  EXPECT_LT(help.find("--sessions"), help.find("--hours"));
+  EXPECT_EQ(help.find("default: 0\n"), std::string::npos);
+  // Exactly one line per distinct flag.
+  EXPECT_EQ(std::count(help.begin(), help.end(), '\n'), 4);
 }
 
 TEST(Flags, BareSwitchBeforeAnotherFlagParses) {

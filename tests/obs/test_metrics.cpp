@@ -165,6 +165,75 @@ TEST(MetricsRegistryTest, CsvHasHeaderAndOneRowPerMetric) {
   EXPECT_EQ(rows, 2u);
 }
 
+TEST(MetricsReadback, QuantileByNameMatchesHandleQuantile) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("serve.round_ms", {{"mode", "sim"}});
+  for (int i = 1; i <= 500; ++i) h.observe(static_cast<double>(i));
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(registry.quantile("serve.round_ms", q, {{"mode", "sim"}}),
+                     h.quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(MetricsReadback, MissingWrongKindAndEmptyNeverThrow) {
+  MetricsRegistry registry;
+  // Missing name: 0 / nullopt, not a throw (readback is a no-op sink).
+  EXPECT_DOUBLE_EQ(registry.quantile("no.such.metric", 0.99), 0.0);
+  EXPECT_FALSE(registry.histogram_summary("no.such.metric").has_value());
+  // Registered but not a histogram.
+  (void)registry.counter("serve.rounds");
+  EXPECT_DOUBLE_EQ(registry.quantile("serve.rounds", 0.5), 0.0);
+  EXPECT_FALSE(registry.histogram_summary("serve.rounds").has_value());
+  // Registered histogram with no observations: zeroed summary, count 0.
+  (void)registry.histogram("serve.empty");
+  EXPECT_DOUBLE_EQ(registry.quantile("serve.empty", 0.5), 0.0);
+  const auto summary = registry.histogram_summary("serve.empty");
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->count, 0u);
+  EXPECT_DOUBLE_EQ(summary->min, 0.0);
+  EXPECT_DOUBLE_EQ(summary->max, 0.0);
+  EXPECT_DOUBLE_EQ(summary->p999, 0.0);
+}
+
+TEST(MetricsReadback, SingleBucketInterpolationStaysInsideMinMaxEnvelope) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("one.bucket");
+  // All observations land in the same log bucket: interpolation across the
+  // bucket would overshoot, but the [min, max] clamp must contain it.
+  h.observe(1.00);
+  h.observe(1.01);
+  h.observe(1.02);
+  const auto summary = registry.histogram_summary("one.bucket");
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->count, 3u);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.999, 1.0}) {
+    const double estimate = registry.quantile("one.bucket", q);
+    EXPECT_GE(estimate, 1.00) << "q=" << q;
+    EXPECT_LE(estimate, 1.02) << "q=" << q;
+  }
+  // q extremes are exact: clamped to the tracked min/max, not bucket edges.
+  EXPECT_DOUBLE_EQ(registry.quantile("one.bucket", 0.0), 1.00);
+  EXPECT_DOUBLE_EQ(registry.quantile("one.bucket", 1.0), 1.02);
+}
+
+TEST(MetricsReadback, SummaryQuantilesAreMonotoneAndP999CoversTail) {
+  MetricsRegistry registry;
+  const Histogram h = registry.histogram("tail");
+  // 994 fast rounds and 6 slow outliers (0.6% tail): p99 must stay in the
+  // body while p999 reaches into the outliers' bucket.
+  for (int i = 0; i < 994; ++i) h.observe(0.001);
+  for (int i = 0; i < 6; ++i) h.observe(10.0);
+  const auto summary = registry.histogram_summary("tail");
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_LE(summary->p50, summary->p90);
+  EXPECT_LE(summary->p90, summary->p99);
+  EXPECT_LE(summary->p99, summary->p999);
+  EXPECT_LT(summary->p99, 1.0);
+  EXPECT_GT(summary->p999, 1.0);
+  EXPECT_DOUBLE_EQ(summary->max, 10.0);
+}
+
 TEST(MetricsRegistryTest, ConcurrentUpdatesLoseNothing) {
   MetricsRegistry registry;
   const Counter counter = registry.counter("hits");

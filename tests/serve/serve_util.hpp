@@ -1,0 +1,122 @@
+// Shared fixtures for the serve tests: a small cached scenario, a scratch
+// directory, and a one-call daemon harness that captures the run's decision
+// lines, journal, and report.
+#pragma once
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/observe.hpp"
+#include "serve/daemon.hpp"
+#include "serve/feed.hpp"
+#include "sim/scenario.hpp"
+
+namespace vdx::serve::test {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() / ("vdx_serve_" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// One shared world/catalog for every serve test (scenario construction
+/// dominates test wall time; the daemon never mutates it).
+inline const sim::Scenario& test_scenario() {
+  static const sim::Scenario scenario = [] {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 1'500;
+    config.seed = 11;
+    return sim::Scenario::build(config);
+  }();
+  return scenario;
+}
+
+struct HarnessOptions {
+  std::size_t sessions = 600;
+  std::uint64_t seed = 11;
+  /// 120s rounds over the 3600s trace horizon -> 30 rounds per run.
+  double round_s = 120.0;
+  double budget_mbps = 0.0;
+  std::size_t queue_capacity = 0;
+  std::size_t checkpoint_every = 0;
+  std::filesystem::path checkpoint_dir;
+  std::uint64_t halt_after = 0;
+  std::uint64_t throw_after = 0;
+};
+
+struct RunOutput {
+  ServeReport report;
+  std::string decisions;
+  std::string journal_jsonl;
+  std::vector<obs::Event> journal;
+};
+
+inline state::RunFingerprint fingerprint_for(const HarnessOptions& options) {
+  state::RunFingerprint fingerprint;
+  fingerprint.seed = options.seed;
+  fingerprint.design = kDaemonDesign;
+  fingerprint.broker_sessions = options.sessions;
+  fingerprint.duration_s = 3600.0;
+  fingerprint.epoch_s = options.round_s;
+  fingerprint.config_hash = 0xF00D;
+  return fingerprint;
+}
+
+inline GeneratorFeed make_feed(const HarnessOptions& options) {
+  trace::TraceConfig trace;
+  trace.session_count = options.sessions;
+  core::Rng root{options.seed};
+  core::Rng rng = root.fork("stream-trace");
+  return GeneratorFeed{test_scenario().world(), trace, rng};
+}
+
+inline ServeConfig config_for(const HarnessOptions& options, obs::Observer obs,
+                              std::ostream* decisions) {
+  ServeConfig config;
+  config.round_s = options.round_s;
+  config.queue_capacity = options.queue_capacity;
+  config.checkpoint_every_rounds = options.checkpoint_every;
+  config.checkpoint_dir = options.checkpoint_dir;
+  config.halt_after_rounds = options.halt_after;
+  config.throw_after_rounds = options.throw_after;
+  config.exchange.overload.demand_budget_mbps = options.budget_mbps;
+  config.fingerprint = fingerprint_for(options);
+  config.obs = obs;
+  config.decisions = decisions;
+  return config;
+}
+
+/// Runs a whole serve and captures every deterministic output.
+inline RunOutput run_serve(const HarnessOptions& options) {
+  GeneratorFeed feed = make_feed(options);
+  obs::MetricsRegistry metrics;
+  obs::SpanTracer tracer;
+  obs::RunJournal journal;
+  const obs::Observer obs{&metrics, &tracer, &journal};
+  std::ostringstream decisions;
+  ServeDaemon daemon{test_scenario(), feed,
+                     config_for(options, obs, &decisions)};
+  RunOutput output;
+  output.report = daemon.run();
+  output.decisions = decisions.str();
+  std::ostringstream journal_out;
+  journal.write_jsonl(journal_out);
+  output.journal_jsonl = journal_out.str();
+  output.journal = journal.events();
+  return output;
+}
+
+}  // namespace vdx::serve::test

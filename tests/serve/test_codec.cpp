@@ -1,0 +1,114 @@
+// Serving wire codec: arrival/decision JSONL round-trips exactly, and
+// hostile lines fail with typed errors (never exceptions) so the daemon's
+// stdin feed can count-and-skip them.
+#include "serve/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/feed.hpp"
+
+namespace vdx::serve {
+namespace {
+
+trace::Session sample_session() {
+  trace::Session session;
+  session.id = trace::SessionId{42};
+  session.arrival_s = 12.625;
+  session.video = trace::VideoId{7};
+  session.bitrate_mbps = 2.35;
+  session.duration_s = 301.5;
+  session.city = trace::CityId{19};
+  session.as_number = 64500;
+  return session;
+}
+
+TEST(ServeCodec, ArrivalLineRoundTripsExactly) {
+  const trace::Session session = sample_session();
+  std::ostringstream out;
+  write_arrival(out, session);
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  const auto parsed = parse_arrival(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().id.value(), session.id.value());
+  EXPECT_EQ(parsed.value().arrival_s, session.arrival_s);
+  EXPECT_EQ(parsed.value().video.value(), session.video.value());
+  EXPECT_EQ(parsed.value().bitrate_mbps, session.bitrate_mbps);
+  EXPECT_EQ(parsed.value().duration_s, session.duration_s);
+  EXPECT_EQ(parsed.value().city.value(), session.city.value());
+  EXPECT_EQ(parsed.value().as_number, session.as_number);
+}
+
+TEST(ServeCodec, DecisionLineRoundTripsExactly) {
+  DecisionLine line;
+  line.round = 17;
+  line.active_sessions = 240;
+  line.demand_mbps = 812.4375;
+  line.admitted_mbps = 700.25;
+  line.shed_mbps = 112.1875;
+  line.shed_clients = 31;
+  line.mean_score = 23.84;
+  line.mean_cost = 1.0625;
+  line.logical_ticks = 3;
+
+  std::ostringstream out;
+  write_decision(out, line);
+  const auto parsed = parse_decision(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), line);
+}
+
+TEST(ServeCodec, MalformedArrivalLinesFailTypedNeverThrow) {
+  const std::vector<std::string> hostile{
+      "",
+      "not json at all",
+      R"({"id":1,"arrival_s":0.5,"bitrate_mbps":2.0,"duration_s":30})",  // no city
+      R"({"id":1,"arrival_s":"soon","bitrate_mbps":2.0,"duration_s":30,"city":3})",
+      R"({"id":1,"arrival_s":-4,"bitrate_mbps":2.0,"duration_s":30,"city":3})",
+      R"({"id":1,"arrival_s":0.5,"bitrate_mbps":0,"duration_s":30,"city":3})",
+      R"({"id":1,"arrival_s":0.5,"bitrate_mbps":2.0,"duration_s":-1,"city":3})",
+      R"({"id":99999999999,"arrival_s":0.5,"bitrate_mbps":2,"duration_s":3,"city":3})",
+      R"({"id":1,"arrival_s":inf,"bitrate_mbps":2.0,"duration_s":30,"city":3})",
+  };
+  for (const std::string& line : hostile) {
+    const auto parsed = parse_arrival(line);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << line;
+    EXPECT_EQ(parsed.error().code, core::Errc::kCorruptFrame) << line;
+  }
+}
+
+TEST(ServeCodec, JsonlFeedSkipsMalformedLinesAndKeepsServing) {
+  std::istringstream in{
+      R"({"id":1,"arrival_s":1,"bitrate_mbps":2,"duration_s":60,"city":3})"
+      "\n"
+      "garbage line\n"
+      R"({"id":2,"arrival_s":2,"bitrate_mbps":1.5,"duration_s":60,"city":4})"
+      "\n"
+      R"({"id":3,"arrival_s":900,"bitrate_mbps":1,"duration_s":60,"city":4})"
+      "\n"};
+  JsonlFeed feed{in};
+  EXPECT_FALSE(feed.seekable());
+
+  const auto first = feed.next_until(10.0);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].id.value(), 1u);
+  EXPECT_EQ(first[1].id.value(), 2u);
+  EXPECT_EQ(feed.malformed(), 1u);
+  EXPECT_FALSE(feed.exhausted());
+
+  const auto second = feed.next_until(1000.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id.value(), 3u);
+  EXPECT_TRUE(feed.exhausted());
+  EXPECT_EQ(feed.consumed(), 3u);
+  EXPECT_THROW(feed.seek(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdx::serve

@@ -1,0 +1,113 @@
+// ExportGuard abnormal-exit drill: kill the daemon mid-round with an
+// injected throw and assert the guard's unwinding flush still leaves a
+// well-formed JSONL journal tail on disk.
+#include "serve/export_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "serve/daemon.hpp"
+#include "serve_util.hpp"
+
+namespace vdx::serve {
+namespace {
+
+using test::HarnessOptions;
+using test::TempDir;
+
+TEST(ExportGuard, CrashMidRoundStillWritesWellFormedJournal) {
+  TempDir dir{"export_crash"};
+  const auto journal_path = dir.path() / "journal.jsonl";
+  const auto metrics_path = dir.path() / "metrics.jsonl";
+
+  HarnessOptions options;
+  options.throw_after = 5;
+
+  obs::MetricsRegistry metrics;
+  obs::SpanTracer tracer;
+  obs::RunJournal journal;
+  const obs::Observer obs{&metrics, &tracer, &journal};
+  {
+    ExportGuard guard{{metrics_path, journal_path, {}}, obs};
+    GeneratorFeed feed = test::make_feed(options);
+    ServeDaemon daemon{test::test_scenario(), feed,
+                       test::config_for(options, obs, nullptr)};
+    EXPECT_THROW((void)daemon.run(), std::runtime_error);
+    // guard destructs here, mid-unwind as far as the run is concerned
+  }
+
+  // The journal tail must parse as JSONL, event for event — not truncated
+  // mid-line, not empty.
+  std::ifstream in{journal_path};
+  ASSERT_TRUE(in.is_open());
+  const std::vector<obs::Event> events = obs::RunJournal::read_jsonl(in);
+  EXPECT_FALSE(events.empty());
+  EXPECT_EQ(events.size(), journal.events().size());
+
+  std::ifstream metrics_in{metrics_path};
+  ASSERT_TRUE(metrics_in.is_open());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(metrics_in, line);) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(ExportGuard, FlushIsIdempotentAndEagerFlushDisarmsDestructor) {
+  TempDir dir{"export_idempotent"};
+  const auto journal_path = dir.path() / "journal.jsonl";
+  obs::RunJournal journal;
+  obs::Observer obs;
+  obs.journal = &journal;
+  journal.record(obs::EventKind::kCustom, obs::RunJournal::kNoSubject, 1.0);
+
+  ExportGuard guard{{{}, journal_path, {}}, obs};
+  guard.flush();
+  EXPECT_TRUE(guard.flushed());
+  EXPECT_TRUE(guard.errors().empty());
+
+  // A record landing after the flush must not be picked up by the
+  // destructor — the flush is one-shot by design.
+  journal.record(obs::EventKind::kCustom, obs::RunJournal::kNoSubject, 2.0);
+  guard.flush();
+  std::ifstream in{journal_path};
+  const std::vector<obs::Event> events = obs::RunJournal::read_jsonl(in);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(ExportGuard, CollectsErrorsInsteadOfThrowing) {
+  TempDir dir{"export_errors"};
+  // The parent "directory" is a regular file, so the atomic write must fail
+  // and the failure must surface via errors(), never an exception.
+  const auto blocker = dir.path() / "blocker";
+  { std::ofstream touch{blocker}; }
+  const auto unwritable = blocker / "journal.jsonl";
+
+  obs::RunJournal journal;
+  obs::Observer obs;
+  obs.journal = &journal;
+  journal.record(obs::EventKind::kCustom, obs::RunJournal::kNoSubject, 1.0);
+
+  ExportGuard guard{{{}, unwritable, {}}, obs};
+  guard.flush();
+  ASSERT_EQ(guard.errors().size(), 1u);
+  EXPECT_NE(guard.errors()[0].find(unwritable.string()), std::string::npos);
+}
+
+TEST(ExportGuard, NullSinksAndEmptyPathsAreSkipped) {
+  ExportGuard guard{{{}, {}, {}}, obs::Observer{}};
+  guard.flush();
+  EXPECT_TRUE(guard.errors().empty());
+}
+
+}  // namespace
+}  // namespace vdx::serve

@@ -1,0 +1,115 @@
+// /metrics endpoint round-trip over a real socket: scrape the registry
+// through the daemon's HTTP responder and parse every line back.
+#include "serve/httpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vdx::serve {
+namespace {
+
+/// One blocking HTTP/1.0 request against 127.0.0.1:port; returns the whole
+/// response (status line + headers + body).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string{} : response.substr(at + 4);
+}
+
+TEST(ServeHttpd, MetricsScrapeRoundTripsEveryLine) {
+  obs::MetricsRegistry registry;
+  registry.counter("serve.rounds").add(42);
+  registry.gauge("serve.active_sessions").set(17);
+  auto latency = registry.histogram("serve.round_ms");
+  for (int i = 1; i <= 100; ++i) latency.observe(static_cast<double>(i));
+
+  Httpd httpd{registry, 0};
+  ASSERT_GT(httpd.port(), 0);
+
+  const std::string response = http_get(httpd.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("serve_rounds 42"), std::string::npos);
+  EXPECT_NE(body.find("serve_active_sessions 17"), std::string::npos);
+  EXPECT_NE(body.find("serve_round_ms_count 100"), std::string::npos);
+
+  // Every non-empty line is `name[{labels}] value` with a finite value —
+  // the round-trip-parse half of the contract.
+  std::istringstream lines{body};
+  std::string line;
+  std::size_t parsed = 0;
+  bool saw_quantile = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+    EXPECT_TRUE(std::isfinite(value)) << line;
+    EXPECT_FALSE(name.empty());
+    saw_quantile = saw_quantile ||
+                   name.find("quantile=\"0.999\"") != std::string::npos;
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 7u);  // counter + gauge + count/sum + >=3 quantiles
+  EXPECT_TRUE(saw_quantile);
+  EXPECT_EQ(httpd.requests(), 1u);
+}
+
+TEST(ServeHttpd, HealthzAndUnknownTargets) {
+  obs::MetricsRegistry registry;
+  Httpd httpd{registry, 0};
+  const std::string healthz = http_get(httpd.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(healthz), "ok\n");
+  const std::string missing = http_get(httpd.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_EQ(httpd.requests(), 2u);
+  httpd.stop();
+  httpd.stop();  // idempotent
+}
+
+TEST(ServeHttpd, EmptyRegistryStillServes) {
+  obs::MetricsRegistry registry;
+  Httpd httpd{registry, 0};
+  const std::string response = http_get(httpd.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdx::serve

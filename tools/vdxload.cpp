@@ -1,0 +1,132 @@
+// vdxload — open-loop load client for vdxd (DESIGN.md §12).
+//
+// Emits codec arrival lines (one session-arrival JSONL object per line)
+// from the chunked trace::BrokerTraceGenerator, so the stream is a pure
+// function of (--seed, --sessions, --hours, --multiplier) and memory stays
+// bounded at any volume:
+//
+//   vdxload --sessions 5000 | vdxd --stdin --round 5
+//   vdxload --sessions 33400 --multiplier 4 --out arrivals.jsonl
+//
+// --multiplier scales the offered load (session count) without touching the
+// horizon — the knob bench_serving_load sweeps. With --multiplier 1 the
+// stream matches what `vdxd --sim-clock` serves from its built-in feed,
+// byte for byte (same generator, same stream fork).
+//
+// Run `vdxload --help` for the generated flag reference.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/flags.hpp"
+#include "serve/codec.hpp"
+#include "sim/scenario.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace vdx;
+
+struct Options {
+  std::size_t sessions = 0;
+  std::uint64_t seed = 0;
+  double hours = 0.0;
+  double multiplier = 1.0;
+  std::size_t batch = 0;
+  std::string out;
+};
+
+Options options_from(core::Flags& flags) {
+  Options opt;
+  opt.sessions = flags.count("sessions", 33'400, 1);
+  opt.seed = static_cast<std::uint64_t>(flags.number("seed", 2017));
+  opt.hours = flags.positive("hours", 0.0);
+  opt.multiplier = flags.positive("multiplier", 1.0);
+  opt.batch = flags.count("batch", 4096, 1);
+  opt.out = flags.text("out", "");
+  return opt;
+}
+
+void print_help() {
+  std::puts(
+      "vdxload — open-loop arrival-stream client for vdxd\n"
+      "\n"
+      "usage: vdxload [--flag value | --flag=value ...]\n"
+      "\n"
+      "Writes deterministic arrival JSONL (the vdxd --stdin format) to\n"
+      "stdout or --out; the summary goes to stderr.\n"
+      "\n"
+      "flags:");
+  core::Flags empty{std::vector<std::string>{}};
+  (void)options_from(empty);
+  empty.write_help(std::cout);
+}
+
+int run(core::Flags& flags) {
+  const Options opt = options_from(flags);
+  flags.check_all_used();
+
+  // The scenario contributes the world only (city population the generator
+  // samples from); the pilot trace stays small.
+  sim::ScenarioConfig scenario_config;
+  scenario_config.trace.session_count = opt.sessions;
+  scenario_config.seed = opt.seed;
+  if (opt.hours > 0.0) scenario_config.trace.duration_s = opt.hours * 3600.0;
+  sim::ScenarioConfig pilot = scenario_config;
+  pilot.trace.session_count = std::min<std::size_t>(opt.sessions, 10'000);
+  const sim::Scenario scenario = sim::Scenario::build(pilot);
+
+  trace::TraceConfig trace = scenario_config.trace;
+  trace.session_count = static_cast<std::size_t>(std::llround(
+      opt.multiplier * static_cast<double>(opt.sessions)));
+
+  // Same stream fork as vdxd's built-in generator feed: piping this into
+  // `vdxd --stdin` replays the --sim-clock arrival stream exactly.
+  core::Rng root{scenario_config.seed};
+  core::Rng rng = root.fork("stream-trace");
+  trace::BrokerTraceGenerator generator{scenario.world(), trace, rng};
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!opt.out.empty()) {
+    out_file.open(opt.out);
+    if (!out_file) throw std::runtime_error{"cannot write " + opt.out};
+    out = &out_file;
+  }
+
+  std::size_t emitted = 0;
+  while (true) {
+    const std::vector<trace::Session> batch = generator.next_batch(opt.batch);
+    if (batch.empty()) break;
+    for (const trace::Session& session : batch) {
+      serve::write_arrival(*out, session);
+    }
+    emitted += batch.size();
+  }
+  out->flush();
+
+  std::fprintf(stderr, "vdxload: wrote %zu arrivals over %.0fs%s%s\n", emitted,
+               generator.duration_s(), opt.out.empty() ? "" : " to ",
+               opt.out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    core::Flags flags{argc, argv, 1};
+    if (flags.boolean("help")) {
+      print_help();
+      return 0;
+    }
+    return run(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "vdxload: %s\n", error.what());
+    return 1;
+  }
+}
