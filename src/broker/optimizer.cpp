@@ -2,28 +2,41 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace vdx::broker {
+
+namespace {
+constexpr std::uint32_t kUnmapped = UINT32_MAX;
+}  // namespace
 
 OptimizeResult optimize(std::span<const ClientGroup> groups,
                         std::span<const BidView> bids, const OptimizerConfig& config) {
   const obs::SpanTracer::Scoped span{config.obs.tracer, "broker.optimize"};
 
-  // Dense share-id -> group index (ids are dense by construction but the
-  // optimizer only assumes they are unique).
-  std::unordered_map<std::uint32_t, std::uint32_t> group_of_share;
-  group_of_share.reserve(groups.size());
+  // Share-id -> group index as a dense direct-index table (share and cluster
+  // ids are dense by construction, so the tables stay small; the optimizer
+  // still only assumes uniqueness and tolerates gaps via the sentinel).
+  std::uint32_t max_share = 0;
+  for (const ClientGroup& g : groups) max_share = std::max(max_share, g.id.value());
+  std::vector<std::uint32_t> group_of_share(groups.empty() ? 0 : max_share + 1,
+                                            kUnmapped);
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    if (!group_of_share.emplace(groups[g].id.value(), static_cast<std::uint32_t>(g))
-             .second) {
+    std::uint32_t& slot = group_of_share[groups[g].id.value()];
+    if (slot != kUnmapped) {
       throw std::invalid_argument{"optimize: duplicate share id"};
     }
+    slot = static_cast<std::uint32_t>(g);
   }
 
-  // Cluster -> resource row; committed capacity is shared by all bids naming
-  // the cluster (take the max commitment announced).
-  std::unordered_map<std::uint32_t, std::uint32_t> resource_of_cluster;
+  // Cluster -> resource row, same dense-table scheme (rows are issued in
+  // first-appearance order over the bid list); committed capacity is shared
+  // by all bids naming the cluster (take the max commitment announced).
+  std::uint32_t max_cluster = 0;
+  for (const BidView& bid : bids) {
+    max_cluster = std::max(max_cluster, bid.cluster.value());
+  }
+  std::vector<std::uint32_t> resource_of_cluster(bids.empty() ? 0 : max_cluster + 1,
+                                                 kUnmapped);
   solver::AssignmentProblem problem;
   problem.group_counts.reserve(groups.size());
   for (const ClientGroup& g : groups) problem.group_counts.push_back(g.client_count);
@@ -32,28 +45,28 @@ OptimizeResult optimize(std::span<const ClientGroup> groups,
   usable_bid.reserve(bids.size());
   for (std::size_t b = 0; b < bids.size(); ++b) {
     const BidView& bid = bids[b];
-    const auto group_it = group_of_share.find(bid.share.value());
-    if (group_it == group_of_share.end()) {
+    if (bid.share.value() >= group_of_share.size() ||
+        group_of_share[bid.share.value()] == kUnmapped) {
       throw std::invalid_argument{"optimize: bid references unknown share"};
     }
     if (config.reputation && config.reputation->is_blacklisted(bid.cdn)) continue;
 
     const double penalty =
         config.reputation ? config.reputation->penalty_multiplier(bid.cdn) : 1.0;
-    const ClientGroup& group = groups[group_it->second];
+    const ClientGroup& group = groups[group_of_share[bid.share.value()]];
 
-    auto [res_it, inserted] = resource_of_cluster.try_emplace(
-        bid.cluster.value(), static_cast<std::uint32_t>(problem.capacities.size()));
-    if (inserted) {
+    std::uint32_t& resource = resource_of_cluster[bid.cluster.value()];
+    if (resource == kUnmapped) {
+      resource = static_cast<std::uint32_t>(problem.capacities.size());
       problem.capacities.push_back(bid.capacity);
     } else {
-      problem.capacities[res_it->second] =
-          std::max(problem.capacities[res_it->second], bid.capacity);
+      problem.capacities[resource] =
+          std::max(problem.capacities[resource], bid.capacity);
     }
 
     solver::Option option;
-    option.group = group_it->second;
-    option.resource = res_it->second;
+    option.group = group_of_share[bid.share.value()];
+    option.resource = resource;
     option.unit_demand = group.bitrate_mbps;
     option.unit_cost = penalty * (config.weights.performance * bid.score +
                                   config.weights.cost * bid.price * group.bitrate_mbps);

@@ -13,33 +13,71 @@ CandidateMenuCache::CandidateMenuCache(const CdnCatalog& catalog,
                                        core::ThreadPool* pool)
     : config_(config),
       cdn_count_(catalog.cdns().size()),
-      city_count_(city_count),
-      menus_(cdn_count_ * city_count_) {
+      city_count_(city_count) {
+  // Menus are computed slot-by-slot (independently, so optionally in
+  // parallel), then compacted into the arena serially in slot order — the
+  // layout is identical at any thread count.
+  const std::size_t slots = cdn_count_ * city_count_;
+  std::vector<std::vector<Candidate>> built(slots);
   const auto build_slot = [&](std::size_t slot) {
     const CdnId cdn = catalog.cdns()[slot / city_count_].id;
     const geo::CityId city{static_cast<std::uint32_t>(slot % city_count_)};
-    menus_[slot] = candidates_for(catalog, mapping, cdn, city, config_);
+    built[slot] = candidates_for(catalog, mapping, cdn, city, config_);
   };
-  if (pool != nullptr && menus_.size() > 1) {
-    core::parallel_for_indexed(*pool, menus_.size(), build_slot);
+  if (pool != nullptr && slots > 1) {
+    core::parallel_for_indexed(*pool, slots, build_slot);
   } else {
-    for (std::size_t slot = 0; slot < menus_.size(); ++slot) build_slot(slot);
+    for (std::size_t slot = 0; slot < slots; ++slot) build_slot(slot);
+  }
+
+  offsets_.resize(slots + 1);
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    offsets_[slot] = static_cast<std::uint32_t>(total);
+    total += built[slot].size();
+  }
+  offsets_[slots] = static_cast<std::uint32_t>(total);
+
+  arena_.reserve(total);
+  lane_cluster_.reserve(total);
+  lane_score_.reserve(total);
+  lane_cost_.reserve(total);
+  lane_capacity_.reserve(total);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    for (const Candidate& c : built[slot]) {
+      arena_.push_back(c);
+      lane_cluster_.push_back(c.cluster.value());
+      lane_score_.push_back(c.score);
+      lane_cost_.push_back(c.unit_cost);
+      lane_capacity_.push_back(c.capacity);
+    }
   }
 }
 
-std::span<const Candidate> CandidateMenuCache::menu(CdnId cdn, geo::CityId city) const {
+std::size_t CandidateMenuCache::slot_of(CdnId cdn, geo::CityId city) const {
   const std::size_t c = cdn.value();
   const std::size_t y = city.value();
   if (c >= cdn_count_ || y >= city_count_) {
     throw std::out_of_range{"CandidateMenuCache::menu: cdn/city out of range"};
   }
-  return menus_[c * city_count_ + y];
+  return c * city_count_ + y;
 }
 
-std::size_t CandidateMenuCache::total_candidates() const noexcept {
-  std::size_t total = 0;
-  for (const std::vector<Candidate>& menu : menus_) total += menu.size();
-  return total;
+std::span<const Candidate> CandidateMenuCache::menu(CdnId cdn, geo::CityId city) const {
+  const std::size_t slot = slot_of(cdn, city);
+  return {arena_.data() + offsets_[slot], offsets_[slot + 1] - offsets_[slot]};
+}
+
+MenuLanes CandidateMenuCache::lanes(CdnId cdn, geo::CityId city) const {
+  const std::size_t slot = slot_of(cdn, city);
+  const std::size_t first = offsets_[slot];
+  const std::size_t len = offsets_[slot + 1] - first;
+  MenuLanes lanes;
+  lanes.cluster = {lane_cluster_.data() + first, len};
+  lanes.score = {lane_score_.data() + first, len};
+  lanes.unit_cost = {lane_cost_.data() + first, len};
+  lanes.capacity = {lane_capacity_.data() + first, len};
+  return lanes;
 }
 
 }  // namespace vdx::cdn

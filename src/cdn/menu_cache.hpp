@@ -13,13 +13,20 @@
 // number of threads can read menus concurrently with no synchronization.
 // Menus are byte-identical to calling cdn::candidates_for directly (the
 // cache calls it), so cached and uncached paths cannot drift.
+//
+// Storage is one contiguous arena: every menu is an (offset, length) span
+// into flat candidate arrays — an AoS image serving the menu() span API,
+// plus structure-of-arrays lanes (cluster/score/cost/capacity) that the
+// batched scoring kernel (cdn/score_sweep.hpp) sweeps contiguously.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "cdn/matching.hpp"
+#include "cdn/score_sweep.hpp"
 
 namespace vdx::core {
 class ThreadPool;
@@ -39,18 +46,33 @@ class CandidateMenuCache {
   /// The menu cdn would offer clients in city, cost-sorted (== candidates_for).
   [[nodiscard]] std::span<const Candidate> menu(CdnId cdn, geo::CityId city) const;
 
+  /// The same menu as SoA lanes for the score_sweep kernel (element i of
+  /// every lane describes element i of the menu() span).
+  [[nodiscard]] MenuLanes lanes(CdnId cdn, geo::CityId city) const;
+
   [[nodiscard]] const MatchingConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t cdn_count() const noexcept { return cdn_count_; }
   [[nodiscard]] std::size_t city_count() const noexcept { return city_count_; }
   /// Total candidates held — the memoized work a scenario no longer redoes.
-  [[nodiscard]] std::size_t total_candidates() const noexcept;
+  [[nodiscard]] std::size_t total_candidates() const noexcept {
+    return arena_.size();
+  }
 
  private:
+  [[nodiscard]] std::size_t slot_of(CdnId cdn, geo::CityId city) const;
+
   MatchingConfig config_;
   std::size_t cdn_count_ = 0;
   std::size_t city_count_ = 0;
-  /// menus_[cdn * city_count_ + city]; CdnIds and CityIds are dense.
-  std::vector<std::vector<Candidate>> menus_;
+  /// Arena: slot = cdn * city_count_ + city (CdnIds and CityIds are dense);
+  /// menu(slot) = candidates [offsets_[slot], offsets_[slot + 1]).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<Candidate> arena_;  // AoS image behind the menu() span API
+  // SoA lanes, parallel to arena_.
+  std::vector<std::uint32_t> lane_cluster_;
+  std::vector<double> lane_score_;
+  std::vector<double> lane_cost_;
+  std::vector<double> lane_capacity_;
 };
 
 }  // namespace vdx::cdn

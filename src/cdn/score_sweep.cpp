@@ -1,0 +1,26 @@
+#include "cdn/score_sweep.hpp"
+
+#include <algorithm>
+
+namespace vdx::cdn {
+
+void score_sweep(const MenuLanes& lanes, double price_multiplier,
+                 std::span<const double> background, SweepBuffer& out) {
+  const std::size_t n = lanes.size();
+  out.price.resize(n);
+  out.spare.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.price[i] = lanes.unit_cost[i] * price_multiplier;
+  }
+  if (background.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.spare[i] = std::max(0.0, lanes.capacity[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.spare[i] = std::max(0.0, lanes.capacity[i] - background[lanes.cluster[i]]);
+    }
+  }
+}
+
+}  // namespace vdx::cdn

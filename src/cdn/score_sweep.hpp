@@ -1,0 +1,47 @@
+// Batched candidate scoring: the one sweep every bidding layer shares.
+//
+// The streaming timeline (sim/designs.cpp), the exchange CDN agents
+// (market/agents.cpp), and the federation regions (market/federation.cpp)
+// all walk a (cdn, city) menu computing the same two values per candidate:
+// the spare capacity after background load ("max(0, capacity - load)") and a
+// scaled price ("unit_cost * multiplier"). With the menu cache holding its
+// candidates as structure-of-arrays lanes, that walk becomes two contiguous
+// strided sweeps over flat double arrays plus one gather on the cluster ids
+// — no per-candidate struct hops, and the arithmetic (operand order and all)
+// is exactly the scalar loop each call site used to inline, so bids are
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vdx::cdn {
+
+/// SoA view of one (cdn, city) menu inside the arena (see
+/// CandidateMenuCache::lanes). Lane i describes the same candidate as
+/// element i of the menu() span.
+struct MenuLanes {
+  std::span<const std::uint32_t> cluster;
+  std::span<const double> score;
+  std::span<const double> unit_cost;
+  std::span<const double> capacity;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cluster.size(); }
+};
+
+/// Reusable sweep output (sized by score_sweep; keep one per worker so the
+/// hot path never allocates).
+struct SweepBuffer {
+  std::vector<double> price;
+  std::vector<double> spare;
+};
+
+/// Fills, for each candidate i of `lanes`:
+///   out.price[i] = unit_cost[i] * price_multiplier
+///   out.spare[i] = max(0.0, capacity[i] - background[cluster[i]])
+/// `background` may be empty, in which case spare[i] = max(0.0, capacity[i]).
+void score_sweep(const MenuLanes& lanes, double price_multiplier,
+                 std::span<const double> background, SweepBuffer& out);
+
+}  // namespace vdx::cdn

@@ -61,39 +61,55 @@ std::vector<proto::BidMessage> VdxCdnAgent::announce() {
 
   std::vector<proto::BidMessage> bids;
   bids.reserve(shares_.size() * config_.bid_count);
+  cdn::SweepBuffer sweep;
+  // Per-candidate lanes, either straight out of the cache arena or staged
+  // locally from candidates_for — the bidding loop below sees one shape.
+  std::vector<std::uint32_t> built_cluster;
+  std::vector<double> built_score, built_cost, built_capacity;
   for (const proto::ShareMessage& share : shares_) {
     const geo::CityId city{share.location};
-    std::vector<cdn::Candidate> built;
-    std::span<const cdn::Candidate> candidates;
+    cdn::MenuLanes lanes;
     if (menus != nullptr) {
-      candidates = menus->menu(cdn_, city);
+      lanes = menus->lanes(cdn_, city);
     } else {
-      built = cdn::candidates_for(scenario_.catalog(), scenario_.mapping(), cdn_,
-                                  city, matching);
-      candidates = built;
+      const std::vector<cdn::Candidate> built = cdn::candidates_for(
+          scenario_.catalog(), scenario_.mapping(), cdn_, city, matching);
+      built_cluster.clear();
+      built_score.clear();
+      built_cost.clear();
+      built_capacity.clear();
+      for (const cdn::Candidate& c : built) {
+        built_cluster.push_back(c.cluster.value());
+        built_score.push_back(c.score);
+        built_cost.push_back(c.unit_cost);
+        built_capacity.push_back(c.capacity);
+      }
+      lanes = cdn::MenuLanes{built_cluster, built_score, built_cost, built_capacity};
     }
-    for (const cdn::Candidate& candidate : candidates) {
-      const cdn::BidShading shading = strategy_.shade(city, candidate.cluster);
-      const double spare = std::max(
-          0.0, candidate.capacity - background_loads_[candidate.cluster.value()]);
+    // Spare capacity for the whole menu in one strided sweep; prices are
+    // shaded per candidate afterwards (the multiplier varies per cluster).
+    cdn::score_sweep(lanes, 1.0, background_loads_, sweep);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const cdn::ClusterId cluster{lanes.cluster[i]};
+      const cdn::BidShading shading = strategy_.shade(city, cluster);
 
       proto::BidMessage bid;
-      bid.cluster_id = candidate.cluster.value();
+      bid.cluster_id = lanes.cluster[i];
       bid.share_id = share.share_id;
       bid.cdn_id = cdn_.value();
-      bid.performance_estimate = candidate.score;
-      bid.capacity_mbps = spare * shading.capacity_fraction;
-      bid.price = candidate.unit_cost * shading.price_multiplier;
+      bid.performance_estimate = lanes.score[i];
+      bid.capacity_mbps = sweep.spare[i] * shading.capacity_fraction;
+      bid.price = lanes.unit_cost[i] * shading.price_multiplier;
       if (fraudulent_) {
         // §6.3 fraud: claim stellar performance at a knock-down price.
-        bid.performance_estimate = candidate.score * 0.25;
-        bid.price = candidate.unit_cost * 0.5;
+        bid.performance_estimate = lanes.score[i] * 0.25;
+        bid.price = lanes.unit_cost[i] * 0.5;
       }
       if (bid.capacity_mbps <= 0.0) continue;
 
       committed_.emplace(bid_key(bid.share_id, bid.cluster_id), bid.capacity_mbps);
       expected_mbps_ +=
-          strategy_.expected_win(city, candidate.cluster, bid.capacity_mbps);
+          strategy_.expected_win(city, cluster, bid.capacity_mbps);
       bid_mbps_ += bid.capacity_mbps;
       bids.push_back(bid);
     }

@@ -68,21 +68,23 @@ std::size_t append_group_bids(std::vector<broker::BidView>& bids,
                               const std::vector<std::size_t>* region_of_city,
                               std::size_t region) {
   std::size_t appended = 0;
+  cdn::SweepBuffer sweep;
   for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
-    for (const cdn::Candidate& candidate : menus.menu(cdn_entry.id, group.city)) {
+    const cdn::MenuLanes lanes = menus.lanes(cdn_entry.id, group.city);
+    cdn::score_sweep(lanes, cdn_entry.markup, background, sweep);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const cdn::ClusterId cluster{lanes.cluster[i]};
       if (region_of_city != nullptr &&
-          (*region_of_city)[catalog.cluster(candidate.cluster).city.value()] !=
-              region) {
+          (*region_of_city)[catalog.cluster(cluster).city.value()] != region) {
         continue;
       }
       broker::BidView bid;
       bid.share = group.id;
       bid.cdn = cdn_entry.id;
-      bid.cluster = candidate.cluster;
-      bid.score = candidate.score;
-      bid.price = candidate.unit_cost * cdn_entry.markup;
-      bid.capacity =
-          std::max(0.0, candidate.capacity - background[candidate.cluster.value()]);
+      bid.cluster = cluster;
+      bid.score = lanes.score[i];
+      bid.price = sweep.price[i];
+      bid.capacity = sweep.spare[i];
       bids.push_back(bid);
       ++appended;
     }

@@ -2,122 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
-#include <map>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
 #include "serve/codec.hpp"
+#include "sim/session_store.hpp"
 #include "state/store.hpp"
 
 namespace vdx::serve {
 
-/// The daemon's active population: same structure as the streaming engine's
-/// ActiveSet (id map + departure min-heap + (city, kbps, isp) group-count
-/// map mirroring broker::group_sessions), minus the stream coupling — the
-/// ArrivalFeed owns the pull side, the daemon pushes arrivals in.
+/// The daemon's active population: the same SoA SessionStore the streaming
+/// engine uses, minus the stream coupling — the ArrivalFeed owns the pull
+/// side, the daemon pushes arrivals in and fills the feed position into the
+/// cursor itself.
 class ServeDaemon::ActiveSessions {
  public:
   /// Ingests one arrival at midpoint t; a session that already ended never
   /// becomes active (it lived entirely between two samples).
   void add(const trace::Session& s, double t) {
-    if (s.end_s() <= t) return;
-    active_.emplace(s.id.value(), Rec{s.city, s.bitrate_mbps, s.end_s()});
-    departures_.emplace(s.end_s(), s.id.value());
-    bump(s.city, s.bitrate_mbps, +1);
-    groups_dirty_ = true;
+    store_.admit(s.id.value(), s.city, s.bitrate_mbps, s.end_s(), t);
   }
 
   /// Drops departures with end_s <= t (half-open [arrival, end) activity).
-  void drop_until(double t) {
-    while (!departures_.empty() && departures_.top().first <= t) {
-      const std::uint32_t id = departures_.top().second;
-      departures_.pop();
-      const auto it = active_.find(id);
-      if (it == active_.end()) continue;
-      bump(it->second.city, it->second.bitrate_mbps, -1);
-      active_.erase(it);
-      groups_dirty_ = true;
-    }
-  }
+  void drop_until(double t) { store_.drop_until(t); }
 
   /// Client groups of the active population — exactly what
   /// broker::group_sessions would return for it.
   [[nodiscard]] std::span<const broker::ClientGroup> groups() {
-    if (groups_dirty_) {
-      groups_.clear();
-      groups_.reserve(counts_.size());
-      for (const auto& [key, count] : counts_) {
-        broker::ClientGroup g;
-        g.id = broker::ShareId{static_cast<std::uint32_t>(groups_.size())};
-        g.city = geo::CityId{std::get<0>(key)};
-        g.isp = std::get<2>(key);
-        g.bitrate_mbps = static_cast<double>(std::get<1>(key)) / 1000.0;
-        g.client_count = static_cast<double>(count);
-        groups_.push_back(g);
-      }
-      groups_dirty_ = false;
-    }
-    return groups_;
+    return store_.groups();
   }
 
-  [[nodiscard]] std::size_t count() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return store_.size(); }
 
   /// Active population in id order; the daemon fills in the feed position.
-  [[nodiscard]] state::StreamCursor cursor() const {
-    state::StreamCursor cursor;
-    cursor.active.reserve(active_.size());
-    for (const auto& [id, rec] : active_) {
-      cursor.active.push_back(
-          state::ActiveSession{id, rec.city.value(), rec.bitrate_mbps, rec.end_s});
-    }
-    return cursor;
-  }
+  [[nodiscard]] state::StreamCursor cursor() const { return store_.cursor(); }
 
-  /// Rebuilds the id map, departure heap, and group counts from a cursor;
-  /// (end_s, id) is a total order, so the rebuilt heap pops in exactly the
-  /// original sequence.
   void restore(const state::StreamCursor& cursor) {
-    active_.clear();
-    departures_ = {};
-    counts_.clear();
-    for (const state::ActiveSession& s : cursor.active) {
-      active_.emplace(s.id, Rec{geo::CityId{s.city}, s.bitrate_mbps, s.end_s});
-      departures_.emplace(s.end_s, s.id);
-      bump(geo::CityId{s.city}, s.bitrate_mbps, +1);
-    }
-    groups_dirty_ = true;
+    store_.restore(cursor.active);
   }
 
  private:
-  struct Rec {
-    geo::CityId city;
-    double bitrate_mbps = 0.0;
-    double end_s = 0.0;
-  };
-
-  void bump(geo::CityId city, double bitrate_mbps, int delta) {
-    const auto kbps = static_cast<std::int64_t>(std::llround(bitrate_mbps * 1000.0));
-    const auto key = std::make_tuple(city.value(), kbps, std::uint32_t{0});
-    if (delta > 0) {
-      ++counts_[key];
-    } else {
-      const auto it = counts_.find(key);
-      if (--it->second == 0) counts_.erase(it);
-    }
-  }
-
-  std::map<std::uint32_t, Rec> active_;
-  std::priority_queue<std::pair<double, std::uint32_t>,
-                      std::vector<std::pair<double, std::uint32_t>>,
-                      std::greater<>>
-      departures_;
-  std::map<std::tuple<std::uint32_t, std::int64_t, std::uint32_t>, std::size_t>
-      counts_;
-  std::vector<broker::ClientGroup> groups_;
-  bool groups_dirty_ = true;
+  sim::SessionStore store_;
 };
 
 ServeDaemon::ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,

@@ -155,7 +155,8 @@ void Httpd::serve_loop() {
     char buffer[1024];
     while (request.find("\r\n") == std::string::npos && request.size() < 8192) {
       const ssize_t n = ::read(client, buffer, sizeof buffer);
-      if (n <= 0) break;
+      if (n < 0 && errno == EINTR) continue;  // signal landed mid-read; retry
+      if (n <= 0) break;                      // peer gone or hard error
       request.append(buffer, static_cast<std::size_t>(n));
     }
     const std::size_t line_end = request.find("\r\n");
@@ -183,14 +184,24 @@ void Httpd::serve_loop() {
              << "Connection: close\r\n\r\n"
              << body;
     const std::string bytes = response.str();
+    // Short writes are normal once the body outgrows the socket buffer (a
+    // full /metrics page easily does), and a signal can interrupt any write:
+    // retry EINTR instead of silently truncating the response, and only give
+    // up when the peer is actually gone (n == 0 or a hard error). MSG_NOSIGNAL
+    // turns a disconnected peer into EPIPE rather than a process-killing
+    // SIGPIPE.
     std::size_t sent = 0;
     while (sent < bytes.size()) {
-      const ssize_t n = ::write(client, bytes.data() + sent, bytes.size() - sent);
+      const ssize_t n =
+          ::send(client, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       sent += static_cast<std::size_t>(n);
     }
-    ::close(client);
+    // Count before close: a client that saw EOF must also see the bump
+    // (tests and scrapers read requests() right after a completed GET).
     requests_.fetch_add(1, std::memory_order_relaxed);
+    ::close(client);
   }
 }
 

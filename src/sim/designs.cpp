@@ -239,14 +239,40 @@ DesignOutcome run_design_over(const Scenario& scenario, Design design,
           ? config.menus
           : nullptr;
 
+  // The dominant configuration — cached menus, true performance, net-of-
+  // background capacity, markup pricing (every Marketplace round) — runs as
+  // batched lane sweeps (cdn/score_sweep.hpp) instead of per-candidate
+  // struct hops; the arithmetic is identical, so the bids are too.
+  const bool sweepable = menus != nullptr && !policy.single_cluster &&
+                         policy.announces_performance && !policy.flat_price &&
+                         policy.capacity == DesignPolicy::Capacity::kNetOfBackground;
+
   // Groups are independent: build each group's bids into its own vector and
   // concatenate in group order, so the bid list (and therefore the solve) is
   // identical whether the per-group work ran serially or on a pool.
   const auto build_group_bids =
       [&](const broker::ClientGroup& group) -> std::vector<broker::BidView> {
     std::vector<broker::BidView> group_bids;
+    cdn::SweepBuffer sweep;
     for (const cdn::Cdn& cdn_entry : catalog.cdns()) {
       if (cdn_entry.clusters.empty()) continue;
+
+      if (sweepable) {
+        const cdn::MenuLanes lanes = menus->lanes(cdn_entry.id, group.city);
+        if (lanes.size() == 0) continue;
+        cdn::score_sweep(lanes, cdn_entry.markup, outcome.background_loads, sweep);
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          broker::BidView bid;
+          bid.share = group.id;
+          bid.cdn = cdn_entry.id;
+          bid.cluster = cdn::ClusterId{lanes.cluster[i]};
+          bid.score = lanes.score[i];
+          bid.price = sweep.price[i];
+          bid.capacity = sweep.spare[i];
+          group_bids.push_back(bid);
+        }
+        continue;
+      }
 
       std::vector<cdn::Candidate> built;
       std::span<const cdn::Candidate> candidates;

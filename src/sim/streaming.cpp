@@ -3,16 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <functional>
-#include <map>
 #include <optional>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <tuple>
 #include <utility>
 
 #include "cdn/menu_cache.hpp"
+#include "sim/session_store.hpp"
 #include "sim/stress.hpp"
 #include "sim/timeline_detail.hpp"
 
@@ -40,11 +37,9 @@ void TraceStream::seek(std::uint64_t consumed) {
 namespace {
 
 /// The incrementally maintained active population of one stream: an arrival
-/// cursor (pending sessions pulled but not yet begun), a departure min-heap,
-/// the active sessions keyed by id (id order == arrival order, which the
-/// assigner requires), and a group-count map mirroring
-/// broker::group_sessions' (city, kbps, isp) key order so groups can be
-/// rebuilt in O(groups) instead of O(sessions).
+/// cursor (pending sessions pulled but not yet begun) feeding a SessionStore,
+/// which holds the population as flat parallel arrays and serves groups,
+/// shedding, and the checkpoint cursor (see sim/session_store.hpp).
 class ActiveSet {
  public:
   ActiveSet(SessionStream& stream, std::size_t batch_sessions)
@@ -60,15 +55,7 @@ class ActiveSet {
     while (true) {
       while (!pending_.empty() && pending_.front().arrival_s <= t) {
         const trace::Session& s = pending_.front();
-        // A session that already ended never becomes active at this or any
-        // later midpoint — it lived entirely between two samples.
-        if (s.end_s() > t) {
-          active_.emplace(s.id.value(),
-                          Rec{s.city, s.bitrate_mbps, s.end_s()});
-          departures_.emplace(s.end_s(), s.id.value());
-          bump(s.city, s.bitrate_mbps, +1);
-          changed = true;
-        }
+        changed |= store_.admit(s.id.value(), s.city, s.bitrate_mbps, s.end_s(), t);
         pending_.pop_front();
       }
       if (!pending_.empty() || stream_->exhausted()) break;
@@ -78,143 +65,45 @@ class ActiveSet {
       pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
                       std::make_move_iterator(batch.end()));
     }
-    // Departures. Lazy deletion: shed_lowest removes sessions from the id
-    // map without touching the heap, so stale heap entries are skipped.
-    while (!departures_.empty() && departures_.top().first <= t) {
-      const std::uint32_t id = departures_.top().second;
-      departures_.pop();
-      const auto it = active_.find(id);
-      if (it == active_.end()) continue;  // already shed
-      bump(it->second.city, it->second.bitrate_mbps, -1);
-      active_.erase(it);
-      changed = true;
-    }
-    if (changed) groups_dirty_ = true;
+    changed |= store_.drop_until(t) > 0;
     return changed;
   }
 
-  /// Client groups of the active population — exactly what
-  /// broker::group_sessions would return for it (same key order, dense ids,
-  /// integral client counts).
   [[nodiscard]] std::span<const broker::ClientGroup> groups() {
-    if (groups_dirty_) {
-      groups_.clear();
-      groups_.reserve(counts_.size());
-      for (const auto& [key, count] : counts_) {
-        broker::ClientGroup g;
-        g.id = broker::ShareId{static_cast<std::uint32_t>(groups_.size())};
-        g.city = geo::CityId{std::get<0>(key)};
-        g.isp = std::get<2>(key);
-        g.bitrate_mbps = static_cast<double>(std::get<1>(key)) / 1000.0;
-        g.client_count = static_cast<double>(count);
-        groups_.push_back(g);
-      }
-      groups_dirty_ = false;
-    }
-    return groups_;
+    return store_.groups();
   }
 
-  /// Active sessions in id order (std::map iteration).
-  [[nodiscard]] std::vector<detail::SessionRef> session_refs() const {
-    std::vector<detail::SessionRef> refs;
-    refs.reserve(active_.size());
-    for (const auto& [id, rec] : active_) {
-      refs.push_back(detail::SessionRef{id, rec.city, rec.bitrate_mbps});
-    }
-    return refs;
-  }
+  std::size_t shed_lowest(std::size_t n) { return store_.shed_lowest(n); }
 
-  /// Sheds up to `n` active sessions, lowest value first (ascending
-  /// bitrate, id as the deterministic tiebreak — thread count and chunking
-  /// never change the victim set). Heap entries are left behind and
-  /// lazily skipped by advance_to. Returns the number actually shed.
-  std::size_t shed_lowest(std::size_t n) {
-    n = std::min(n, active_.size());
-    if (n == 0) return 0;
-    std::vector<std::pair<double, std::uint32_t>> order;
-    order.reserve(active_.size());
-    for (const auto& [id, rec] : active_) order.emplace_back(rec.bitrate_mbps, id);
-    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
-                      order.end());
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto it = active_.find(order[i].second);
-      bump(it->second.city, it->second.bitrate_mbps, -1);
-      active_.erase(it);
-    }
-    groups_dirty_ = true;
-    return n;
-  }
-
-  [[nodiscard]] std::size_t active_count() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t active_count() const noexcept { return store_.size(); }
   [[nodiscard]] std::size_t pulled() const noexcept { return pulled_; }
+
+  [[nodiscard]] SessionStore& store() noexcept { return store_; }
 
   /// Checkpointable position: sessions consumed from the stream (popped
   /// from the pending buffer — sessions pulled but still pending are
-  /// re-pulled on resume) plus the active population in id order. The
-  /// departure heap and group counts are derived deterministically from the
-  /// active list on restore ((end_s, id) is a total order, so the rebuilt
-  /// heap pops in exactly the original sequence).
+  /// re-pulled on resume) plus the active population in id order.
   [[nodiscard]] state::StreamCursor cursor() const {
-    state::StreamCursor cursor;
+    state::StreamCursor cursor = store_.cursor();
     cursor.consumed = pulled_ - pending_.size();
-    cursor.active.reserve(active_.size());
-    for (const auto& [id, rec] : active_) {
-      cursor.active.push_back(
-          state::ActiveSession{id, rec.city.value(), rec.bitrate_mbps, rec.end_s});
-    }
     return cursor;
   }
 
-  /// Restores a cursor(): seeks the stream and rebuilds the id map, the
-  /// departure heap, and the group-count map. Throws std::invalid_argument
-  /// (via SessionStream::seek) when the position is past the horizon.
+  /// Restores a cursor(): seeks the stream and rebuilds the store. Throws
+  /// std::invalid_argument (via SessionStream::seek) when the position is
+  /// past the horizon.
   void restore(const state::StreamCursor& cursor) {
     stream_->seek(cursor.consumed);
     pulled_ = static_cast<std::size_t>(cursor.consumed);
     pending_.clear();
-    active_.clear();
-    departures_ = {};
-    counts_.clear();
-    for (const state::ActiveSession& s : cursor.active) {
-      active_.emplace(s.id, Rec{geo::CityId{s.city}, s.bitrate_mbps, s.end_s});
-      departures_.emplace(s.end_s, s.id);
-      bump(geo::CityId{s.city}, s.bitrate_mbps, +1);
-    }
-    groups_dirty_ = true;
+    store_.restore(cursor.active);
   }
 
  private:
-  struct Rec {
-    geo::CityId city;
-    double bitrate_mbps = 0.0;
-    double end_s = 0.0;
-  };
-
-  void bump(geo::CityId city, double bitrate_mbps, int delta) {
-    const auto kbps = static_cast<std::int64_t>(std::llround(bitrate_mbps * 1000.0));
-    const auto key = std::make_tuple(city.value(), kbps, std::uint32_t{0});
-    if (delta > 0) {
-      ++counts_[key];
-    } else {
-      const auto it = counts_.find(key);
-      if (--it->second == 0) counts_.erase(it);
-    }
-  }
-
   SessionStream* stream_;
   std::size_t batch_;
   std::deque<trace::Session> pending_;
-  std::map<std::uint32_t, Rec> active_;
-  /// (end_s, id) min-heap.
-  std::priority_queue<std::pair<double, std::uint32_t>,
-                      std::vector<std::pair<double, std::uint32_t>>,
-                      std::greater<>>
-      departures_;
-  /// (city, kbps, isp) -> active count; mirrors broker::group_sessions.
-  std::map<std::tuple<std::uint32_t, std::int64_t, std::uint32_t>, std::size_t>
-      counts_;
-  std::vector<broker::ClientGroup> groups_;
-  bool groups_dirty_ = true;
+  SessionStore store_;
   std::size_t pulled_ = 0;
 };
 
@@ -456,8 +345,8 @@ StreamingResult StreamingTimeline::run_impl(SessionStream& broker,
         const DesignOutcome outcome =
             run_design_over(scenario, config_.design, run, groups, background_loads);
 
-        auto assignment =
-            detail::assign_sessions(broker_set.session_refs(), groups, outcome);
+        auto assignment = detail::assign_sessions(broker_set.store(), outcome);
+        broker_set.store().apply_assignment(assignment);
 
         EpochReport report;
         report.epoch = e;

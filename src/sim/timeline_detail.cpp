@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <unordered_map>
 
 namespace vdx::sim::detail {
 
@@ -10,9 +12,14 @@ std::uint64_t group_key(geo::CityId city, double bitrate_mbps) {
   return (static_cast<std::uint64_t>(city.value()) << 32) | kbps;
 }
 
-Assignment assign_sessions(std::span<const SessionRef> sessions,
-                           std::span<const broker::ClientGroup> groups,
-                           const DesignOutcome& outcome) {
+namespace {
+
+/// Shared tail of both assign_sessions overloads: the sequential quota fill
+/// distributing each group's placements (cluster order) over its sessions
+/// (id order), then the canonical id sort.
+Assignment fill_quotas(std::span<const broker::ClientGroup> groups,
+                       const std::vector<std::vector<std::uint32_t>>& sessions_of,
+                       const DesignOutcome& outcome) {
   // Group -> ordered placements.
   std::vector<std::vector<const Placement*>> per_group(groups.size());
   for (const Placement& p : outcome.placements) per_group[p.group].push_back(&p);
@@ -22,20 +29,10 @@ Assignment assign_sessions(std::span<const SessionRef> sessions,
     });
   }
 
-  std::unordered_map<std::uint64_t, std::size_t> group_of_key;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    group_of_key.emplace(group_key(groups[g].city, groups[g].bitrate_mbps), g);
-  }
-
-  // Sessions of each group in id order.
-  std::vector<std::vector<const SessionRef*>> sessions_of(groups.size());
-  for (const SessionRef& s : sessions) {
-    const auto it = group_of_key.find(group_key(s.city, s.bitrate_mbps));
-    if (it != group_of_key.end()) sessions_of[it->second].push_back(&s);
-  }
-
   Assignment assignment;
-  assignment.reserve(sessions.size());
+  assignment.reserve(
+      std::accumulate(sessions_of.begin(), sessions_of.end(), std::size_t{0},
+                      [](std::size_t n, const auto& v) { return n + v.size(); }));
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const auto& list = per_group[g];
     if (list.empty()) continue;
@@ -50,11 +47,43 @@ Assignment assign_sessions(std::span<const SessionRef> sessions,
       carry = quota - static_cast<double>(take);
       if (i + 1 == list.size()) take = sessions_of[g].size() - next;  // remainder
       for (std::size_t k = 0; k < take && next < sessions_of[g].size(); ++k, ++next) {
-        assignment.emplace(sessions_of[g][next]->id, list[i]->cluster);
+        assignment.emplace_back(sessions_of[g][next], list[i]->cluster);
       }
     }
   }
+  // Per-group runs are id-ascending but groups interleave; one sort restores
+  // the canonical order (ids are unique, so the order is total).
+  std::sort(assignment.begin(), assignment.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return assignment;
+}
+
+}  // namespace
+
+Assignment assign_sessions(std::span<const SessionRef> sessions,
+                           std::span<const broker::ClientGroup> groups,
+                           const DesignOutcome& outcome) {
+  std::unordered_map<std::uint64_t, std::size_t> group_of_key;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_of_key.emplace(group_key(groups[g].city, groups[g].bitrate_mbps), g);
+  }
+
+  // Sessions of each group in id order.
+  std::vector<std::vector<std::uint32_t>> sessions_of(groups.size());
+  for (const SessionRef& s : sessions) {
+    const auto it = group_of_key.find(group_key(s.city, s.bitrate_mbps));
+    if (it != group_of_key.end()) sessions_of[it->second].push_back(s.id);
+  }
+  return fill_quotas(groups, sessions_of, outcome);
+}
+
+Assignment assign_sessions(SessionStore& store, const DesignOutcome& outcome) {
+  const auto groups = store.groups();
+  std::vector<std::vector<std::uint32_t>> sessions_of(groups.size());
+  store.for_each_live([&](std::uint32_t id, std::uint32_t slot) {
+    sessions_of[store.group_of_slot(slot)].push_back(id);
+  });
+  return fill_quotas(groups, sessions_of, outcome);
 }
 
 ChurnTracker::Saved ChurnTracker::save() const {
@@ -63,17 +92,22 @@ ChurnTracker::Saved ChurnTracker::save() const {
   for (const auto& [session, cluster] : previous_) {
     saved.previous.emplace_back(session, cluster.value());
   }
-  std::sort(saved.previous.begin(), saved.previous.end());
   saved.sum = sum_;
   saved.weight = weight_;
-  return saved;
+  return saved;  // previous_ is already id-ascending
 }
 
 void ChurnTracker::restore(const Saved& saved) {
   previous_.clear();
   previous_.reserve(saved.previous.size());
   for (const auto& [session, cluster] : saved.previous) {
-    previous_.emplace(session, cdn::ClusterId{cluster});
+    previous_.emplace_back(session, cdn::ClusterId{cluster});
+  }
+  // Decoders may hand back arbitrary order; canonicalize once.
+  if (!std::is_sorted(previous_.begin(), previous_.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; })) {
+    std::sort(previous_.begin(), previous_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
   sum_ = saved.sum;
   weight_ = saved.weight;
@@ -85,12 +119,16 @@ void ChurnTracker::observe(const cdn::CdnCatalog& catalog, Assignment assignment
     std::size_t surviving = 0;
     std::size_t cdn_switched = 0;
     std::size_t cluster_switched = 0;
+    // Both assignments are id-ascending: a linear merge finds the survivors.
+    std::size_t p = 0;
     for (const auto& [session, cluster] : assignment) {
-      const auto before = previous_.find(session);
-      if (before == previous_.end()) continue;
+      while (p < previous_.size() && previous_[p].first < session) ++p;
+      if (p == previous_.size()) break;
+      if (previous_[p].first != session) continue;
+      const cdn::ClusterId before = previous_[p].second;
       ++surviving;
-      if (before->second != cluster) ++cluster_switched;
-      if (catalog.cluster(before->second).cdn != catalog.cluster(cluster).cdn) {
+      if (before != cluster) ++cluster_switched;
+      if (catalog.cluster(before).cdn != catalog.cluster(cluster).cdn) {
         ++cdn_switched;
       }
     }

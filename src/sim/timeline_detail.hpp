@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "broker/grouping.hpp"
+#include "sim/session_store.hpp"
 #include "sim/timeline.hpp"
 
 namespace vdx::sim::detail {
@@ -29,14 +30,24 @@ struct SessionRef {
 /// Grouping key matching broker::group_sessions (city, quantized bitrate).
 [[nodiscard]] std::uint64_t group_key(geo::CityId city, double bitrate_mbps);
 
-/// session id -> serving cluster for one epoch.
-using Assignment = std::unordered_map<std::uint32_t, cdn::ClusterId>;
+/// session id -> serving cluster for one epoch, as id-ascending pairs (each
+/// id at most once). The flat canonical order makes churn comparison a
+/// merge/binary-search over two sorted arrays and checkpoint serialization a
+/// plain copy — no hash-order laundering anywhere on the hot path.
+using Assignment = std::vector<std::pair<std::uint32_t, cdn::ClusterId>>;
 
 /// Distributes each group's winning placements over its individual sessions
 /// deterministically (sessions in id order, placements in cluster order).
 /// Sessions whose group won no placement are absent from the result.
 [[nodiscard]] Assignment assign_sessions(std::span<const SessionRef> sessions,
                                          std::span<const broker::ClientGroup> groups,
+                                         const DesignOutcome& outcome);
+
+/// Store-aware variant: reads the population straight out of the SoA store
+/// (group membership via its dense (rung, city) cells — no key hashing, no
+/// materialized SessionRef copy). `store.groups()` must be the `groups` the
+/// outcome was computed over, i.e. no mutation in between.
+[[nodiscard]] Assignment assign_sessions(SessionStore& store,
                                          const DesignOutcome& outcome);
 
 /// Epoch-over-epoch churn bookkeeping: fraction of sessions present in both
@@ -61,8 +72,8 @@ class ChurnTracker {
   }
 
   /// Checkpointable state: the previous assignment as id-ascending pairs
-  /// (a canonical order, unlike the live unordered_map) plus the running
-  /// mean. save() -> restore() reproduces observe() byte-identically.
+  /// (the live representation is already in that canonical order, so this is
+  /// a plain copy). save() -> restore() reproduces observe() byte-identically.
   struct Saved {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> previous;
     double sum = 0.0;
@@ -72,7 +83,7 @@ class ChurnTracker {
   void restore(const Saved& saved);
 
  private:
-  Assignment previous_;
+  Assignment previous_;  // id-ascending
   double sum_ = 0.0;
   double weight_ = 0.0;
 };

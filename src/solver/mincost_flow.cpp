@@ -4,8 +4,8 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace vdx::solver {
 
@@ -20,20 +20,64 @@ MinCostFlowGraph::ArcRef MinCostFlowGraph::add_arc(NodeId from, NodeId to,
     throw std::invalid_argument{"MinCostFlowGraph::add_arc: unknown node"};
   }
   if (capacity < 0) throw std::invalid_argument{"MinCostFlowGraph::add_arc: capacity < 0"};
-  const std::size_t index = arcs_.size();
-  arcs_.push_back(Arc{to, capacity, cost, head_[from]});
+  const std::size_t index = arc_to_.size();
+  arc_to_.push_back(to);
+  arc_cost_.push_back(cost);
+  arc_next_.push_back(head_[from]);
   head_[from] = index;
-  arcs_.push_back(Arc{from, 0, -cost, head_[to]});
+  arc_to_.push_back(from);
+  arc_cost_.push_back(-cost);
+  arc_next_.push_back(head_[to]);
   head_[to] = index + 1;
   initial_capacity_.push_back(capacity);
   initial_capacity_.push_back(0);
+  csr_arc_count_ = SIZE_MAX;  // adjacency changed; rebuild on next solve
   return ArcRef{index};
 }
 
 std::int64_t MinCostFlowGraph::flow_on(ArcRef arc) const {
-  if (arc.index >= arcs_.size()) throw std::out_of_range{"flow_on: bad arc"};
+  if (arc.index >= arc_to_.size()) throw std::out_of_range{"flow_on: bad arc"};
+  if (csr_arc_count_ != arc_to_.size() || residual_.empty()) return 0;  // no solve yet
   // Flow on the forward arc equals the residual capacity of its twin.
-  return arcs_[arc.index ^ 1].capacity;
+  return residual_[pos_of_arc_[arc.index ^ 1]];
+}
+
+void MinCostFlowGraph::build_csr() {
+  if (csr_arc_count_ == arc_to_.size()) return;
+  const std::size_t nodes = head_.size();
+  const std::size_t arcs = arc_to_.size();
+  csr_start_.assign(nodes + 1, 0);
+  csr_to_.resize(arcs);
+  csr_cost_.resize(arcs);
+  csr_twin_.resize(arcs);
+  pos_of_arc_.resize(arcs);
+  csr_cap_init_.resize(arcs);
+
+  // Pass 1: lay arcs out per node by walking the newest-first chains, which
+  // is the exact order the list-based relax loop visited them.
+  std::uint32_t pos = 0;
+  for (std::size_t u = 0; u < nodes; ++u) {
+    csr_start_[u] = pos;
+    for (std::size_t e = head_[u]; e != SIZE_MAX; e = arc_next_[e]) {
+      pos_of_arc_[e] = pos++;
+    }
+  }
+  csr_start_[nodes] = pos;
+
+  // Pass 2: fill the permuted arrays (twin positions need pass 1 complete).
+  for (std::size_t e = 0; e < arcs; ++e) {
+    const std::uint32_t p = pos_of_arc_[e];
+    csr_to_[p] = arc_to_[e];
+    csr_cost_[p] = arc_cost_[e];
+    csr_twin_[p] = pos_of_arc_[e ^ 1];
+    csr_cap_init_[p] = initial_capacity_[e];
+  }
+
+  dist_.resize(nodes);
+  parent_pos_.resize(nodes);
+  heap_index_.resize(nodes);
+  heap_.reserve(nodes);
+  csr_arc_count_ = arcs;
 }
 
 bool MinCostFlowGraph::bellman_ford_potentials(NodeId source,
@@ -49,16 +93,18 @@ bool MinCostFlowGraph::bellman_ford_potentials(NodeId source,
     const NodeId u = queue.front();
     queue.pop_front();
     in_queue[u] = 0;
-    for (std::size_t e = head_[u]; e != SIZE_MAX; e = arcs_[e].next) {
-      const Arc& arc = arcs_[e];
-      if (arc.capacity <= 0) continue;
-      const double candidate = pot[u] + arc.cost;
-      if (candidate < pot[arc.to] - 1e-12) {
-        pot[arc.to] = candidate;
-        if (!in_queue[arc.to]) {
-          if (++relaxations[arc.to] > head_.size() + 1) return false;  // negative cycle
-          in_queue[arc.to] = 1;
-          queue.push_back(arc.to);
+    const std::uint32_t begin = csr_start_[u];
+    const std::uint32_t end = csr_start_[u + 1];
+    for (std::uint32_t p = begin; p < end; ++p) {
+      if (residual_[p] <= 0) continue;
+      const double candidate = pot[u] + csr_cost_[p];
+      const NodeId to = csr_to_[p];
+      if (candidate < pot[to] - 1e-12) {
+        pot[to] = candidate;
+        if (!in_queue[to]) {
+          if (++relaxations[to] > head_.size() + 1) return false;  // negative cycle
+          in_queue[to] = 1;
+          queue.push_back(to);
         }
       }
     }
@@ -71,13 +117,65 @@ bool MinCostFlowGraph::bellman_ford_potentials(NodeId source,
   return true;
 }
 
+void MinCostFlowGraph::heap_sift_up(std::uint32_t hole) {
+  while (hole > 0) {
+    const std::uint32_t up = (hole - 1) / 2;
+    if (!heap_less(heap_[hole], heap_[up])) break;
+    std::swap(heap_[hole], heap_[up]);
+    heap_index_[heap_[hole]] = hole;
+    heap_index_[heap_[up]] = up;
+    hole = up;
+  }
+}
+
+void MinCostFlowGraph::heap_sift_down(std::uint32_t hole) {
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint32_t left = 2 * hole + 1;
+    if (left >= size) break;
+    std::uint32_t best = left;
+    const std::uint32_t right = left + 1;
+    if (right < size && heap_less(heap_[right], heap_[left])) best = right;
+    if (!heap_less(heap_[best], heap_[hole])) break;
+    std::swap(heap_[best], heap_[hole]);
+    heap_index_[heap_[hole]] = hole;
+    heap_index_[heap_[best]] = best;
+    hole = best;
+  }
+}
+
+void MinCostFlowGraph::heap_push_or_decrease(NodeId node) {
+  const std::uint32_t slot = heap_index_[node];
+  if (slot == kNoPos) {
+    heap_.push_back(node);
+    heap_index_[node] = static_cast<std::uint32_t>(heap_.size() - 1);
+    heap_sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+  } else {
+    heap_sift_up(slot);  // dist only ever decreases
+  }
+}
+
+MinCostFlowGraph::NodeId MinCostFlowGraph::heap_pop_min() {
+  const NodeId top = heap_[0];
+  heap_index_[top] = kNoPos;
+  const NodeId last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_index_[last] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
 MinCostFlowGraph::FlowResult MinCostFlowGraph::solve(NodeId source, NodeId sink,
                                                      std::int64_t target_flow) {
   if (source >= head_.size() || sink >= head_.size()) {
     throw std::invalid_argument{"MinCostFlowGraph::solve: unknown node"};
   }
+  build_csr();
   // Reset residual capacities from any prior run.
-  for (std::size_t e = 0; e < arcs_.size(); ++e) arcs_[e].capacity = initial_capacity_[e];
+  residual_ = csr_cap_init_;
 
   FlowResult result;
   if (target_flow <= 0) {
@@ -91,52 +189,55 @@ MinCostFlowGraph::FlowResult MinCostFlowGraph::solve(NodeId source, NodeId sink,
   }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(head_.size());
-  std::vector<std::size_t> parent_arc(head_.size());
-  using HeapEntry = std::pair<double, NodeId>;
+  const std::size_t nodes = head_.size();
 
   while (result.flow < target_flow) {
-    // Dijkstra on reduced costs.
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(parent_arc.begin(), parent_arc.end(), SIZE_MAX);
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-    dist[source] = 0.0;
-    heap.emplace(0.0, source);
-    while (!heap.empty()) {
-      const auto [d, u] = heap.top();
-      heap.pop();
-      if (d > dist[u] + 1e-12) continue;
-      for (std::size_t e = head_[u]; e != SIZE_MAX; e = arcs_[e].next) {
-        const Arc& arc = arcs_[e];
-        if (arc.capacity <= 0) continue;
-        const double reduced = arc.cost + pot[u] - pot[arc.to];
-        const double candidate = dist[u] + std::max(0.0, reduced);
-        if (candidate < dist[arc.to] - 1e-12) {
-          dist[arc.to] = candidate;
-          parent_arc[arc.to] = e;
-          heap.emplace(candidate, arc.to);
+    // Dijkstra on reduced costs. Each reached node pops exactly once, in
+    // increasing (dist, node) order — the same effective sequence the lazy
+    // heap produced — and scans its CSR block once.
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    std::fill(parent_pos_.begin(), parent_pos_.end(), kNoPos);
+    std::fill(heap_index_.begin(), heap_index_.end(), kNoPos);
+    heap_.clear();
+    dist_[source] = 0.0;
+    heap_push_or_decrease(source);
+    while (!heap_.empty()) {
+      const NodeId u = heap_pop_min();
+      const double du = dist_[u];
+      const double pu = pot[u];
+      const std::uint32_t begin = csr_start_[u];
+      const std::uint32_t end = csr_start_[u + 1];
+      for (std::uint32_t p = begin; p < end; ++p) {
+        if (residual_[p] <= 0) continue;
+        const NodeId to = csr_to_[p];
+        const double reduced = csr_cost_[p] + pu - pot[to];
+        const double candidate = du + std::max(0.0, reduced);
+        if (candidate < dist_[to] - 1e-12) {
+          dist_[to] = candidate;
+          parent_pos_[to] = p;
+          heap_push_or_decrease(to);
         }
       }
     }
-    if (dist[sink] == kInf) break;  // no augmenting path left
+    if (dist_[sink] == kInf) break;  // no augmenting path left
 
-    for (std::size_t v = 0; v < head_.size(); ++v) {
-      if (dist[v] < kInf) pot[v] += dist[v];
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (dist_[v] < kInf) pot[v] += dist_[v];
     }
 
     // Bottleneck along the path.
     std::int64_t push = target_flow - result.flow;
     for (NodeId v = sink; v != source;) {
-      const std::size_t e = parent_arc[v];
-      push = std::min(push, arcs_[e].capacity);
-      v = arcs_[e ^ 1].to;
+      const std::uint32_t p = parent_pos_[v];
+      push = std::min(push, residual_[p]);
+      v = csr_to_[csr_twin_[p]];
     }
     for (NodeId v = sink; v != source;) {
-      const std::size_t e = parent_arc[v];
-      arcs_[e].capacity -= push;
-      arcs_[e ^ 1].capacity += push;
-      result.cost += static_cast<double>(push) * arcs_[e].cost;
-      v = arcs_[e ^ 1].to;
+      const std::uint32_t p = parent_pos_[v];
+      residual_[p] -= push;
+      residual_[csr_twin_[p]] += push;
+      result.cost += static_cast<double>(push) * csr_cost_[p];
+      v = csr_to_[csr_twin_[p]];
     }
     result.flow += push;
   }

@@ -5,6 +5,13 @@
 // groups clients — so min-cost flow solves the LP relaxation orders of
 // magnitude faster than the tableau simplex at trace scale. The graph layer
 // here is generic; assignment wiring lives in solve_assignment_mcf().
+//
+// Data layout: arcs are recorded append-only as flat parallel arrays, then
+// compacted into a CSR adjacency image on the first solve. The CSR arc order
+// per node is exactly the order the previous intrusive linked list iterated
+// (newest arc first), so every relaxation — and therefore every tie-break,
+// parent choice, and potential — is byte-identical to the list-based walk;
+// the CSR merely makes the Dijkstra inner loop a contiguous strided sweep.
 #pragma once
 
 #include <cstdint>
@@ -44,18 +51,50 @@ class MinCostFlowGraph {
   [[nodiscard]] std::int64_t flow_on(ArcRef arc) const;
 
  private:
-  struct Arc {
-    NodeId to = 0;
-    std::int64_t capacity = 0;  // residual capacity
-    double cost = 0.0;
-    std::size_t next = SIZE_MAX;  // intrusive adjacency list
-  };
+  static constexpr std::uint32_t kNoPos = UINT32_MAX;
 
-  [[nodiscard]] bool bellman_ford_potentials(NodeId source, std::vector<double>& pot) const;
+  [[nodiscard]] bool bellman_ford_potentials(NodeId source,
+                                             std::vector<double>& pot) const;
+  void build_csr();
+  void heap_push_or_decrease(NodeId node);
+  NodeId heap_pop_min();
+  void heap_sift_up(std::uint32_t hole);
+  void heap_sift_down(std::uint32_t hole);
+  [[nodiscard]] bool heap_less(NodeId a, NodeId b) const noexcept {
+    return dist_[a] < dist_[b] || (dist_[a] == dist_[b] && a < b);
+  }
 
+  // Append-side arc storage (twin arcs at (2k, 2k+1)). `arc_next_` chains a
+  // node's arcs newest-first — the iteration order the solver's tie-breaking
+  // is pinned to.
   std::vector<std::size_t> head_;  // first arc per node
-  std::vector<Arc> arcs_;          // twin arcs at (2k, 2k+1)
+  std::vector<NodeId> arc_to_;
+  std::vector<double> arc_cost_;
+  std::vector<std::size_t> arc_next_;
   std::vector<std::int64_t> initial_capacity_;
+
+  // CSR image (built lazily on solve, invalidated by add_arc). Residual
+  // capacities live in csr order so the relax loop touches one contiguous
+  // block per node.
+  std::size_t csr_arc_count_ = SIZE_MAX;
+  std::vector<std::uint32_t> csr_start_;   // node -> first csr position
+  std::vector<NodeId> csr_to_;
+  std::vector<double> csr_cost_;
+  std::vector<std::uint32_t> csr_twin_;    // csr position of the twin arc
+  std::vector<std::uint32_t> pos_of_arc_;  // arc index -> csr position
+  std::vector<std::int64_t> csr_cap_init_;
+  std::vector<std::int64_t> residual_;
+
+  // Dijkstra workspace, reused across augmentations (no per-iteration
+  // allocation). The heap is an indexed binary min-heap on (dist, node):
+  // decrease-key keeps exactly one live entry per node, so the sequence of
+  // effective pops — and hence the relaxation order — matches the previous
+  // lazy-deletion priority_queue, which skipped its stale duplicates without
+  // side effects.
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> parent_pos_;
+  std::vector<std::uint32_t> heap_index_;  // node -> heap slot (kNoPos if out)
+  std::vector<NodeId> heap_;
 };
 
 /// Solves the assignment LP via min-cost flow. Requires every option of a

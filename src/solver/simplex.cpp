@@ -13,7 +13,8 @@ namespace {
 /// [structural | slack/surplus | artificial | rhs].
 class Tableau {
  public:
-  Tableau(const LpProblem& problem, double tol) : tol_(tol), n_(problem.variable_count) {
+  Tableau(const LpProblem& problem, double tol, std::size_t degenerate_limit)
+      : tol_(tol), degenerate_limit_(degenerate_limit), n_(problem.variable_count) {
     const std::size_t m = problem.constraints.size();
     rows_ = m;
 
@@ -104,7 +105,7 @@ class Tableau {
     while (iterations < max_iterations) {
       // Entering column: Dantzig rule normally, Bland's rule when stalling to
       // break degenerate cycles.
-      const bool bland = stall > 64;
+      const bool bland = stall > degenerate_limit_;
       std::size_t entering = cols_;
       double best = -tol_;
       for (std::size_t c = 0; c < cols_; ++c) {
@@ -224,6 +225,7 @@ class Tableau {
   }
 
   double tol_;
+  std::size_t degenerate_limit_;
   std::size_t n_ = 0;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -256,7 +258,7 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexConfig& config) {
     return solution;
   }
 
-  Tableau tableau{problem, config.tolerance};
+  Tableau tableau{problem, config.tolerance, config.degenerate_pivot_limit};
 
   // Phase 1: minimize the sum of artificials.
   if (tableau.artificial_begin() < tableau.column_count()) {

@@ -45,6 +45,11 @@ struct LpSolution {
 struct SimplexConfig {
   std::size_t max_iterations = 200'000;
   double tolerance = 1e-9;
+  /// Consecutive degenerate pivots tolerated under the Dantzig rule before
+  /// switching to Bland's rule (which provably terminates but crawls).
+  /// Classic cycling instances (Beale's) spin under pure Dantzig; the
+  /// regression tests pin that this cutover breaks the cycle.
+  std::size_t degenerate_pivot_limit = 64;
 };
 
 [[nodiscard]] LpSolution solve_lp(const LpProblem& problem,

@@ -89,6 +89,66 @@ TEST_F(MenuCacheTest, ParallelBuildIsIdenticalToSerialBuild) {
   }
 }
 
+TEST_F(MenuCacheTest, LanesMirrorTheMenuArenaForEverySlot) {
+  MatchingConfig config;
+  config.score_tolerance = 1.35;
+  const CandidateMenuCache cache{catalog(), mapping(), world().cities().size(),
+                                 config};
+  std::size_t spanned = 0;
+  for (const Cdn& cdn : catalog().cdns()) {
+    for (const geo::City& city : world().cities()) {
+      const std::span<const Candidate> menu = cache.menu(cdn.id, city.id);
+      const MenuLanes lanes = cache.lanes(cdn.id, city.id);
+      ASSERT_EQ(lanes.size(), menu.size());
+      for (std::size_t i = 0; i < menu.size(); ++i) {
+        EXPECT_EQ(lanes.cluster[i], menu[i].cluster.value());
+        EXPECT_EQ(lanes.score[i], menu[i].score);
+        EXPECT_EQ(lanes.unit_cost[i], menu[i].unit_cost);
+        EXPECT_EQ(lanes.capacity[i], menu[i].capacity);
+      }
+      spanned += menu.size();
+    }
+  }
+  // The arena is exactly the concatenation of the slots: no padding, no gaps.
+  EXPECT_EQ(spanned, cache.total_candidates());
+}
+
+TEST_F(MenuCacheTest, ZeroCandidateSlotsMatchCandidatesForExactly) {
+  // A CDN with no clusters produces a 0-candidate menu for every city; the
+  // arena must represent those slots as genuinely empty spans (adjacent
+  // offsets), agreeing with a direct candidates_for call, without disturbing
+  // its neighbors' spans.
+  geo::World world_copy = geo::World::generate({});
+  core::Rng rng{5};
+  CdnCatalog pruned = CdnCatalog::generate(world_copy, {}, rng);
+  const CdnId emptied = pruned.cdns()[1].id;
+  pruned.cdn_mutable(emptied).clusters.clear();
+
+  net::PathModel model{{}, 9};
+  core::Rng map_rng{6};
+  const net::MappingTable pruned_mapping = net::MappingTable::measure(
+      world_copy, pruned.vantages(world_copy), model, {}, map_rng);
+
+  const MatchingConfig config;
+  const CandidateMenuCache cache{pruned, pruned_mapping,
+                                 world_copy.cities().size(), config};
+  for (const geo::City& city : world_copy.cities()) {
+    EXPECT_EQ(cache.menu(emptied, city.id).size(), 0u);
+    EXPECT_EQ(cache.lanes(emptied, city.id).size(), 0u);
+    EXPECT_TRUE(
+        candidates_for(pruned, pruned_mapping, emptied, city.id, config).empty());
+  }
+  // Neighboring CDNs still match the uncached path through the holes.
+  for (const Cdn& cdn : pruned.cdns()) {
+    if (cdn.id == emptied) continue;
+    for (const geo::City& city : world_copy.cities()) {
+      expect_menu_equal(cache.menu(cdn.id, city.id),
+                        candidates_for(pruned, pruned_mapping, cdn.id, city.id,
+                                       config));
+    }
+  }
+}
+
 TEST_F(MenuCacheTest, RemembersItsConfig) {
   MatchingConfig config;
   config.max_candidates = 3;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cdn/menu_cache.hpp"
 #include "sim/designs.hpp"
 
 namespace vdx::market {
@@ -68,6 +69,49 @@ TEST_F(AgentTest, CdnAgentBidsOnlyWithSpareCapacity) {
     // Committed capacity never exceeds capacity net of background.
     EXPECT_LE(bid.capacity_mbps,
               cluster.capacity - background()[bid.cluster_id] + 1e-9);
+  }
+}
+
+TEST_F(AgentTest, CachedAndFallbackMenusProduceIdenticalBids) {
+  // The announce() loop reads candidate lanes either out of the shared arena
+  // or staged locally from candidates_for (no usable cache). Both shapes
+  // must produce bit-identical bids — including through a cache whose config
+  // mismatches, which has to be ignored in favor of the fallback.
+  const auto shares = gather_shares();
+  CdnAgentConfig config;
+
+  cdn::MatchingConfig matching;
+  matching.max_candidates = config.bid_count;
+  matching.score_tolerance = config.menu_tolerance;
+  const cdn::CandidateMenuCache cache{scenario().catalog(), scenario().mapping(),
+                                      scenario().world().cities().size(), matching};
+  cdn::MatchingConfig other = matching;
+  other.max_candidates = config.bid_count + 1;
+  const cdn::CandidateMenuCache mismatched{scenario().catalog(), scenario().mapping(),
+                                           scenario().world().cities().size(), other};
+
+  const auto announce_with = [&](const cdn::CandidateMenuCache* menus) {
+    cdn::StaticStrategy strategy;
+    CdnAgentConfig with_menus = config;
+    with_menus.menus = menus;
+    VdxCdnAgent agent{scenario(), cdn::CdnId{0}, strategy, background(), with_menus};
+    agent.handle_share(shares);
+    return agent.announce();
+  };
+
+  const auto cached = announce_with(&cache);
+  const auto fallback = announce_with(nullptr);
+  const auto ignored = announce_with(&mismatched);
+  ASSERT_EQ(cached.size(), fallback.size());
+  ASSERT_EQ(ignored.size(), fallback.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].share_id, fallback[i].share_id);
+    EXPECT_EQ(cached[i].cluster_id, fallback[i].cluster_id);
+    EXPECT_EQ(cached[i].performance_estimate, fallback[i].performance_estimate);
+    EXPECT_EQ(cached[i].price, fallback[i].price);
+    EXPECT_EQ(cached[i].capacity_mbps, fallback[i].capacity_mbps);
+    EXPECT_EQ(ignored[i].cluster_id, fallback[i].cluster_id);
+    EXPECT_EQ(ignored[i].capacity_mbps, fallback[i].capacity_mbps);
   }
 }
 

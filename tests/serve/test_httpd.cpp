@@ -6,11 +6,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -109,6 +113,81 @@ TEST(ServeHttpd, EmptyRegistryStillServes) {
   Httpd httpd{registry, 0};
   const std::string response = http_get(httpd.port(), "/metrics");
   EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+}
+
+// Regression: the response loop used to abort on any write() that returned
+// -1 — including EINTR — silently truncating large /metrics bodies; a peer
+// that disconnected mid-send could even raise a fatal SIGPIPE. Scrape a
+// multi-megabyte body through a deliberately tiny client receive buffer
+// (forcing the server into many short, blockable writes) while an interval
+// timer peppers the serve thread with signals, and require every byte.
+TEST(ServeHttpd, LargeScrapeSurvivesSignalsAndShortWrites) {
+  obs::MetricsRegistry registry;
+  // ~50k series => a body well past any default socket buffer.
+  for (int i = 0; i < 50000; ++i) {
+    registry.counter("serve.slow_scrape_" + std::to_string(i)).add(i);
+  }
+  Httpd httpd{registry, 0};
+  ASSERT_GT(httpd.port(), 0);
+
+  // The serve thread inherited an unblocked SIGALRM at construction; block
+  // it here so every timer tick is delivered to the serve thread, landing
+  // mid-read or mid-send.
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  // No SA_RESTART: the whole point is to surface EINTR to the server.
+  sigemptyset(&action.sa_mask);
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGALRM, &action, &previous), 0);
+  sigset_t block, old_mask;
+  sigemptyset(&block);
+  sigaddset(&block, SIGALRM);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &block, &old_mask), 0);
+  itimerval timer{};
+  timer.it_interval = {0, 2000};  // every 2ms
+  timer.it_value = {0, 2000};
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;  // keep the server's sends short
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(httpd.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  // Drain slowly so the server's socket buffer stays full and its writes
+  // keep blocking (prime EINTR territory).
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+    ::usleep(200);
+  }
+  ::close(fd);
+
+  const itimerval disarm{};
+  setitimer(ITIMER_REAL, &disarm, nullptr);
+  sigaction(SIGALRM, &previous, nullptr);
+  pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
+
+  // The advertised length and the delivered body must agree exactly.
+  const std::size_t header_at = response.find("Content-Length: ");
+  ASSERT_NE(header_at, std::string::npos);
+  const std::size_t advertised = std::strtoull(
+      response.c_str() + header_at + std::string{"Content-Length: "}.size(),
+      nullptr, 10);
+  const std::string body = body_of(response);
+  EXPECT_GT(advertised, 1u << 20);  // the scrape really was multi-megabyte
+  EXPECT_EQ(body.size(), advertised);
+  EXPECT_NE(body.find("serve_slow_scrape_49999 49999"), std::string::npos);
 }
 
 }  // namespace

@@ -126,6 +126,29 @@ TEST_F(StreamingSmallTest, EquivalenceSmallSerialAndParallel) {
   expect_equivalent(scenario(), Design::kMarketplace, env_threads(8), 256);
 }
 
+TEST_F(StreamingSmallTest, PerSessionPullsMatchBulkPullsByteForByte) {
+  // Regression for the count-map churn bug: pulling one session at a time
+  // maximizes erase-on-zero/reinsert churn in the active population between
+  // epochs. With the dense count arrays the export must not depend on that
+  // history at all — byte-identical to one-big-pull, and to the batch engine.
+  expect_equivalent(scenario(), Design::kMarketplace, 1, 1);
+
+  StreamingConfig config;
+  config.batch_sessions = 1;
+  TraceStream broker1{scenario().broker_trace()};
+  TraceStream background1{scenario().background_trace()};
+  const auto drip = StreamingTimeline{scenario(), config}.run(broker1, background1);
+
+  config.batch_sessions = 4096;
+  TraceStream broker_bulk{scenario().broker_trace()};
+  TraceStream background_bulk{scenario().background_trace()};
+  const auto bulk =
+      StreamingTimeline{scenario(), config}.run(broker_bulk, background_bulk);
+
+  EXPECT_EQ(epoch_reports_jsonl(drip.timeline), epoch_reports_jsonl(bulk.timeline));
+  EXPECT_EQ(drip.peak_active_sessions, bulk.peak_active_sessions);
+}
+
 TEST_F(StreamingSmallTest, ResourceAccountingInvariants) {
   StreamingConfig config;
   config.batch_sessions = 128;

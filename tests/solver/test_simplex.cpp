@@ -110,6 +110,60 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(s.objective, -2.0, 1e-9);
 }
 
+// Beale's classic cycling instance: under the pure Dantzig rule with a
+// lowest-basis-index ratio tie-break, the tableau revisits the same bases
+// forever without the degenerate-pivot cutover to Bland's rule.
+LpProblem beale_cycling_lp() {
+  LpProblem lp;
+  lp.variable_count = 4;
+  lp.objective = {-0.75, 150.0, -0.02, 6.0};
+  lp.constraints = {
+      row({{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, Relation::kLessEqual, 0.0),
+      row({{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, Relation::kLessEqual, 0.0),
+      row({{2, 1.0}}, Relation::kLessEqual, 1.0)};
+  return lp;
+}
+
+TEST(Simplex, BealeCyclingInstanceSolvesWithDegenerateCutover) {
+  const LpSolution s = solve_lp(beale_cycling_lp());
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.04, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[2], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[3], 0.0, 1e-9);
+}
+
+TEST(Simplex, BealeCyclingInstanceSpinsWithoutCutover) {
+  // Disable the cutover: the cycle burns the whole iteration budget. This is
+  // the guard the previous test relies on being load-bearing.
+  SimplexConfig config;
+  config.degenerate_pivot_limit = SIZE_MAX;
+  config.max_iterations = 10'000;
+  const LpSolution s = solve_lp(beale_cycling_lp(), config);
+  EXPECT_EQ(s.status, LpStatus::kIterationLimit);
+  EXPECT_EQ(s.iterations, 10'000u);
+}
+
+TEST(Simplex, DegenerateCutoverLeavesNondegenerateSolvesUntouched) {
+  // The limit only matters on degenerate stalls: an ordinary LP solves to
+  // the same solution with the cutover effectively disabled.
+  LpProblem lp;
+  lp.variable_count = 2;
+  lp.objective = {-3.0, -2.0};
+  lp.constraints = {row({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0),
+                    row({{0, 1.0}}, Relation::kLessEqual, 2.0)};
+  SimplexConfig no_cutover;
+  no_cutover.degenerate_pivot_limit = SIZE_MAX;
+  const LpSolution with_default = solve_lp(lp);
+  const LpSolution without = solve_lp(lp, no_cutover);
+  ASSERT_EQ(with_default.status, LpStatus::kOptimal);
+  ASSERT_EQ(without.status, LpStatus::kOptimal);
+  EXPECT_EQ(with_default.iterations, without.iterations);
+  EXPECT_EQ(with_default.objective, without.objective);
+  EXPECT_EQ(with_default.x, without.x);
+}
+
 TEST(Simplex, TransportationProblemOptimal) {
   // Classic 2x3 transportation instance with known optimum.
   // Supplies: 20, 30. Demands: 10, 25, 15.
