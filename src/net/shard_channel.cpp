@@ -1,0 +1,317 @@
+#include "net/shard_channel.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <unistd.h>
+
+namespace vdx::net {
+namespace {
+
+/// Largest frame the stream framing will accept; mirrors the shard codec's
+/// payload bound so a corrupted length prefix cannot trigger a huge alloc.
+constexpr std::uint32_t kMaxStreamFrame = 257u * 1024u * 1024u;
+
+[[nodiscard]] core::Status unavailable(const std::string& what) {
+  return core::Status::failure(core::Errc::kUnavailable, what);
+}
+
+}  // namespace
+
+std::vector<core::Result<std::vector<std::uint8_t>>> ShardTransport::broadcast(
+    std::span<const std::vector<std::uint8_t>> requests) {
+  std::vector<core::Result<std::vector<std::uint8_t>>> out;
+  out.reserve(requests.size());
+  for (std::size_t s = 0; s < requests.size(); ++s) {
+    out.push_back(roundtrip(s, requests[s]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InprocShardTransport
+// ---------------------------------------------------------------------------
+
+InprocShardTransport::InprocShardTransport(std::size_t shards, HandlerFactory factory,
+                                           core::ThreadPool* pool)
+    : factory_(std::move(factory)), pool_(pool) {
+  if (shards == 0) throw std::invalid_argument{"InprocShardTransport: 0 shards"};
+  if (!factory_) throw std::invalid_argument{"InprocShardTransport: null factory"};
+  handlers_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) handlers_.push_back(factory_(s));
+}
+
+core::Result<std::vector<std::uint8_t>> InprocShardTransport::roundtrip(
+    std::size_t shard, std::span<const std::uint8_t> request) {
+  if (shard >= handlers_.size()) {
+    return core::Result<std::vector<std::uint8_t>>::failure(
+        core::Errc::kInvalidArgument, "inproc transport: shard out of range");
+  }
+  if (!handlers_[shard]) {
+    return core::Result<std::vector<std::uint8_t>>::failure(
+        core::Errc::kUnavailable, "inproc transport: worker killed");
+  }
+  return handlers_[shard](request);
+}
+
+void InprocShardTransport::kill(std::size_t shard) {
+  if (shard < handlers_.size()) handlers_[shard] = nullptr;
+}
+
+core::Status InprocShardTransport::respawn(std::size_t shard) {
+  if (shard >= handlers_.size()) {
+    return core::Status::failure(core::Errc::kInvalidArgument,
+                                 "inproc transport: shard out of range");
+  }
+  handlers_[shard] = factory_(shard);
+  return core::ok_status();
+}
+
+bool InprocShardTransport::alive(std::size_t shard) const noexcept {
+  return shard < handlers_.size() && static_cast<bool>(handlers_[shard]);
+}
+
+std::vector<core::Result<std::vector<std::uint8_t>>> InprocShardTransport::broadcast(
+    std::span<const std::vector<std::uint8_t>> requests) {
+  if (pool_ == nullptr || requests.size() < 2) {
+    return ShardTransport::broadcast(requests);
+  }
+  using R = core::Result<std::vector<std::uint8_t>>;
+  std::vector<R> out(requests.size(), R::failure(core::Errc::kUnavailable,
+                                                 "inproc broadcast: not run"));
+  pool_->for_indexed(requests.size(), [&](std::size_t s) {
+    out[s] = roundtrip(s, requests[s]);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] core::Status write_all(int fd, const std::uint8_t* data,
+                                     std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // coordinator with SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(std::string{"shard channel write: "} + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return core::ok_status();
+}
+
+[[nodiscard]] core::Status read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(std::string{"shard channel read: "} + std::strerror(errno));
+    }
+    if (n == 0) return unavailable("shard channel read: peer hung up");
+    got += static_cast<std::size_t>(n);
+  }
+  return core::ok_status();
+}
+
+}  // namespace
+
+core::Status write_frame_fd(int fd, std::span<const std::uint8_t> bytes) {
+  if (fd < 0) return unavailable("shard channel write: closed fd");
+  std::uint8_t header[4];
+  const auto size = static_cast<std::uint32_t>(bytes.size());
+  header[0] = static_cast<std::uint8_t>(size & 0xFF);
+  header[1] = static_cast<std::uint8_t>((size >> 8) & 0xFF);
+  header[2] = static_cast<std::uint8_t>((size >> 16) & 0xFF);
+  header[3] = static_cast<std::uint8_t>((size >> 24) & 0xFF);
+  if (auto status = write_all(fd, header, sizeof header); !status.ok()) return status;
+  return write_all(fd, bytes.data(), bytes.size());
+}
+
+core::Result<std::vector<std::uint8_t>> read_frame_fd(int fd) {
+  using R = core::Result<std::vector<std::uint8_t>>;
+  if (fd < 0) return R::failure(core::Errc::kUnavailable, "shard channel read: closed fd");
+  std::uint8_t header[4];
+  if (auto status = read_all(fd, header, sizeof header); !status.ok()) {
+    return R{status.error()};
+  }
+  const std::uint32_t size = static_cast<std::uint32_t>(header[0]) |
+                             (static_cast<std::uint32_t>(header[1]) << 8) |
+                             (static_cast<std::uint32_t>(header[2]) << 16) |
+                             (static_cast<std::uint32_t>(header[3]) << 24);
+  if (size > kMaxStreamFrame) {
+    return R::failure(core::Errc::kCorruptFrame,
+                      "shard channel read: frame length lie");
+  }
+  std::vector<std::uint8_t> bytes(size);
+  if (size > 0) {
+    if (auto status = read_all(fd, bytes.data(), size); !status.ok()) {
+      return R{status.error()};
+    }
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// ProcessShardTransport
+// ---------------------------------------------------------------------------
+
+ProcessShardTransport::ProcessShardTransport(std::size_t shards, WorkerMain worker_main)
+    : worker_main_(std::move(worker_main)) {
+  if (shards == 0) throw std::invalid_argument{"ProcessShardTransport: 0 shards"};
+  if (!worker_main_) {
+    throw std::invalid_argument{"ProcessShardTransport: null worker_main"};
+  }
+  workers_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (auto status = spawn(s); !status.ok()) {
+      for (std::size_t k = 0; k < s; ++k) kill(k);
+      throw std::runtime_error{"ProcessShardTransport: " + status.error().message};
+    }
+  }
+}
+
+ProcessShardTransport::~ProcessShardTransport() {
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    // Closing our end EOFs the worker's serve loop; it exits on its own.
+    if (workers_[s].fd >= 0) ::close(workers_[s].fd);
+    workers_[s].fd = -1;
+    reap(s);
+  }
+}
+
+core::Status ProcessShardTransport::spawn(std::size_t shard) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return unavailable(std::string{"socketpair: "} + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return unavailable(std::string{"fork: "} + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Drop every fd that belongs to the parent's side of the world:
+    // our parent end, and both ends of every sibling (holding a sibling's
+    // parent-end open would defeat its EOF-on-coordinator-death shutdown).
+    ::close(fds[0]);
+    for (const Worker& w : workers_) {
+      if (w.fd >= 0) ::close(w.fd);
+    }
+    int code = 1;
+    try {
+      code = worker_main_(shard, fds[1]);
+    } catch (...) {
+      code = 1;
+    }
+    // Never unwind into the parent's stack (gtest teardown, atexit).
+    ::_exit(code);
+  }
+  ::close(fds[1]);
+  workers_[shard].fd = fds[0];
+  workers_[shard].pid = pid;
+  return core::ok_status();
+}
+
+void ProcessShardTransport::reap(std::size_t shard) noexcept {
+  Worker& w = workers_[shard];
+  if (w.pid > 0) {
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  w.pid = -1;
+}
+
+core::Result<std::vector<std::uint8_t>> ProcessShardTransport::roundtrip(
+    std::size_t shard, std::span<const std::uint8_t> request) {
+  using R = core::Result<std::vector<std::uint8_t>>;
+  if (shard >= workers_.size()) {
+    return R::failure(core::Errc::kInvalidArgument,
+                      "process transport: shard out of range");
+  }
+  Worker& w = workers_[shard];
+  if (w.fd < 0) {
+    return R::failure(core::Errc::kUnavailable, "process transport: worker killed");
+  }
+  if (auto status = write_frame_fd(w.fd, request); !status.ok()) {
+    return R{status.error()};
+  }
+  return read_frame_fd(w.fd);
+}
+
+void ProcessShardTransport::kill(std::size_t shard) {
+  if (shard >= workers_.size()) return;
+  Worker& w = workers_[shard];
+  if (w.pid > 0) ::kill(w.pid, SIGKILL);
+  if (w.fd >= 0) ::close(w.fd);
+  w.fd = -1;
+  reap(shard);
+}
+
+core::Status ProcessShardTransport::respawn(std::size_t shard) {
+  if (shard >= workers_.size()) {
+    return core::Status::failure(core::Errc::kInvalidArgument,
+                                 "process transport: shard out of range");
+  }
+  kill(shard);
+  return spawn(shard);
+}
+
+bool ProcessShardTransport::alive(std::size_t shard) const noexcept {
+  return shard < workers_.size() && workers_[shard].fd >= 0;
+}
+
+int ProcessShardTransport::worker_pid(std::size_t shard) const noexcept {
+  return shard < workers_.size() ? workers_[shard].pid : -1;
+}
+
+std::vector<core::Result<std::vector<std::uint8_t>>>
+ProcessShardTransport::broadcast(std::span<const std::vector<std::uint8_t>> requests) {
+  using R = core::Result<std::vector<std::uint8_t>>;
+  std::vector<R> out(requests.size(), R::failure(core::Errc::kUnavailable,
+                                                 "process broadcast: not run"));
+  const std::size_t n = std::min(requests.size(), workers_.size());
+  // Leg 1: every live worker gets its request before we block on any reply.
+  std::vector<bool> wrote(requests.size(), false);
+  for (std::size_t s = 0; s < n; ++s) {
+    Worker& w = workers_[s];
+    if (w.fd < 0) {
+      out[s] = R::failure(core::Errc::kUnavailable, "process transport: worker killed");
+      continue;
+    }
+    if (auto status = write_frame_fd(w.fd, requests[s]); !status.ok()) {
+      out[s] = R{status.error()};
+      continue;
+    }
+    wrote[s] = true;
+  }
+  // Leg 2: collect responses in shard order.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (wrote[s]) out[s] = read_frame_fd(workers_[s].fd);
+  }
+  for (std::size_t s = n; s < requests.size(); ++s) {
+    out[s] = R::failure(core::Errc::kInvalidArgument,
+                        "process transport: shard out of range");
+  }
+  return out;
+}
+
+}  // namespace vdx::net

@@ -1,0 +1,145 @@
+// Shard transports: how the exchange coordinator reaches its worker shards
+// (DESIGN.md §14).
+//
+// The contract is a strict request/response RPC over opaque frame bytes —
+// the transport moves bytes, the market layer owns the codec, and chaos
+// injection happens *above* this interface (so both backends see the
+// identical fault stream and stay byte-identical under a fixed seed).
+//
+// Two interchangeable backends:
+//   - InprocShardTransport: workers are in-process handlers (deterministic
+//     default; supports dispatching one batch across a ThreadPool).
+//   - ProcessShardTransport: each worker is a fork()ed child on a
+//     socketpair, speaking [u32 length][bytes] framing — the `vdxd --shard`
+//     topology. kill() delivers a real SIGKILL; respawn() forks a fresh
+//     worker for the coordinator-driven resume path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/result.hpp"
+
+namespace vdx::net {
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  [[nodiscard]] virtual std::size_t shard_count() const noexcept = 0;
+
+  /// One request -> response exchange with `shard`. Fails with
+  /// Errc::kUnavailable when the worker is gone (killed process, dropped
+  /// handler) and Errc::kInvalidArgument on an out-of-range shard.
+  [[nodiscard]] virtual core::Result<std::vector<std::uint8_t>> roundtrip(
+      std::size_t shard, std::span<const std::uint8_t> request) = 0;
+
+  /// Hard-kills the worker (SIGKILL for processes, handler drop in-process);
+  /// the shard answers kUnavailable until respawn().
+  virtual void kill(std::size_t shard) = 0;
+
+  /// Brings a killed worker back with fresh, empty state (the coordinator
+  /// re-establishes context and restores from checkpoints above this layer).
+  [[nodiscard]] virtual core::Status respawn(std::size_t shard) = 0;
+
+  [[nodiscard]] virtual bool alive(std::size_t shard) const noexcept = 0;
+
+  /// One request per shard (requests.size() must equal shard_count()),
+  /// answered in shard order. The default walks shards serially; backends
+  /// override to overlap the legs — the process transport writes every
+  /// request before reading any response, the in-process transport can fan
+  /// handlers out across a ThreadPool. Per-shard failures land in the
+  /// matching slot; the batch itself always returns shard_count() entries.
+  [[nodiscard]] virtual std::vector<core::Result<std::vector<std::uint8_t>>>
+  broadcast(std::span<const std::vector<std::uint8_t>> requests);
+};
+
+/// Workers as in-process request handlers. A handler takes the request
+/// frame's bytes and returns the response frame's bytes; the factory builds
+/// the handler for a shard (and is re-invoked by respawn(), which is what
+/// makes an in-process "kill" lose state exactly like a dead process).
+class InprocShardTransport final : public ShardTransport {
+ public:
+  using Handler =
+      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+  using HandlerFactory = std::function<Handler(std::size_t shard)>;
+
+  /// `pool` (optional, non-owning) parallelises broadcast() across shards —
+  /// handlers must then be mutually thread-safe (workers own disjoint state,
+  /// so the shard workers are). Null keeps everything on the calling thread.
+  InprocShardTransport(std::size_t shards, HandlerFactory factory,
+                       core::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept override {
+    return handlers_.size();
+  }
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> roundtrip(
+      std::size_t shard, std::span<const std::uint8_t> request) override;
+  void kill(std::size_t shard) override;
+  [[nodiscard]] core::Status respawn(std::size_t shard) override;
+  [[nodiscard]] bool alive(std::size_t shard) const noexcept override;
+  [[nodiscard]] std::vector<core::Result<std::vector<std::uint8_t>>> broadcast(
+      std::span<const std::vector<std::uint8_t>> requests) override;
+
+ private:
+  HandlerFactory factory_;
+  std::vector<Handler> handlers_;
+  core::ThreadPool* pool_ = nullptr;
+};
+
+/// Length-prefixed stream framing shared by the process transport and the
+/// worker serve loop: [u32 length, little-endian][length bytes]. Handles
+/// partial reads/writes and EINTR; a peer hangup reads as kUnavailable.
+[[nodiscard]] core::Status write_frame_fd(int fd, std::span<const std::uint8_t> bytes);
+[[nodiscard]] core::Result<std::vector<std::uint8_t>> read_frame_fd(int fd);
+
+/// Workers as fork()ed child processes, one AF_UNIX socketpair each.
+class ProcessShardTransport final : public ShardTransport {
+ public:
+  /// Runs inside the forked child: serve request/response frames on `fd`
+  /// until EOF or shutdown, then return the exit code. The transport
+  /// _exit()s with that code — the child never unwinds into the parent's
+  /// stack (atexit handlers, test harness teardown).
+  using WorkerMain = std::function<int(std::size_t shard, int fd)>;
+
+  /// Forks one worker per shard. Throws std::runtime_error when a
+  /// socketpair or fork fails outright at construction.
+  ProcessShardTransport(std::size_t shards, WorkerMain worker_main);
+  ~ProcessShardTransport() override;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept override {
+    return workers_.size();
+  }
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> roundtrip(
+      std::size_t shard, std::span<const std::uint8_t> request) override;
+  /// SIGKILL + reap. Idempotent.
+  void kill(std::size_t shard) override;
+  [[nodiscard]] core::Status respawn(std::size_t shard) override;
+  [[nodiscard]] bool alive(std::size_t shard) const noexcept override;
+  /// Pipelined: writes every shard's request first, then reads responses in
+  /// shard order — the workers crunch concurrently while the coordinator
+  /// stays single-threaded.
+  [[nodiscard]] std::vector<core::Result<std::vector<std::uint8_t>>> broadcast(
+      std::span<const std::vector<std::uint8_t>> requests) override;
+
+  /// Child pid (tests assert the process actually died); -1 when dead.
+  [[nodiscard]] int worker_pid(std::size_t shard) const noexcept;
+
+ private:
+  struct Worker {
+    int fd = -1;
+    int pid = -1;
+  };
+
+  [[nodiscard]] core::Status spawn(std::size_t shard);
+  void reap(std::size_t shard) noexcept;
+
+  WorkerMain worker_main_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace vdx::net

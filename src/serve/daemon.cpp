@@ -67,7 +67,17 @@ ServeDaemon::ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,
   config_.fingerprint.design = kDaemonDesign;
   config_.fingerprint.epoch_s = config_.round_s;
 
-  exchange_ = std::make_unique<market::VdxExchange>(scenario_, config_.exchange);
+  if (config_.shards > 1) {
+    market::ShardedConfig sharded;
+    sharded.shards = config_.shards;
+    sharded.backend = config_.shard_backend;
+    sharded.exchange = config_.exchange;
+    sharded.link_faults = config_.shard_link_faults;
+    exchange_ = std::make_unique<market::ShardedExchange>(scenario_, sharded);
+  } else {
+    exchange_ =
+        std::make_unique<market::VdxExchange>(scenario_, config_.exchange);
+  }
   active_ = std::make_unique<ActiveSessions>();
   latency_ = std::make_unique<LatencyRecorder>(*obs_.metrics);
   zero_loads_.assign(scenario_.catalog().clusters().size(), 0.0);

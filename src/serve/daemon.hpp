@@ -26,6 +26,7 @@
 #include <span>
 
 #include "market/exchange.hpp"
+#include "market/shard.hpp"
 #include "serve/feed.hpp"
 #include "serve/latency.hpp"
 #include "sim/scenario.hpp"
@@ -65,6 +66,13 @@ struct ServeConfig {
   /// (incremental demand) and threads `obs` through it. The admission
   /// budget lives in exchange.overload.demand_budget_mbps.
   market::ExchangeConfig exchange;
+  /// >1 serves through a market::ShardedExchange: the marketplace is
+  /// partitioned into this many region shards behind the coordinator
+  /// (byte-identical decisions at any count — see DESIGN.md §14).
+  std::size_t shards = 1;
+  market::ShardBackend shard_backend = market::ShardBackend::kInproc;
+  /// Chaos on the coordinator<->shard links (shards > 1 only).
+  proto::FaultProfile shard_link_faults;
   /// Identity stamped into checkpoints; resume() validates it. The daemon
   /// overrides `design` with kDaemonDesign and `epoch_s` with round_s.
   state::RunFingerprint fingerprint;
@@ -117,7 +125,7 @@ class ServeDaemon {
   [[nodiscard]] const LatencyRecorder& latency() const noexcept {
     return *latency_;
   }
-  [[nodiscard]] const market::VdxExchange& exchange() const noexcept {
+  [[nodiscard]] const market::ExchangeFrontend& exchange() const noexcept {
     return *exchange_;
   }
 
@@ -134,7 +142,7 @@ class ServeDaemon {
   /// Fallback registry when ServeConfig::obs brings none (the latency
   /// recorder and the /metrics endpoint need one to exist).
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
-  std::unique_ptr<market::VdxExchange> exchange_;
+  std::unique_ptr<market::ExchangeFrontend> exchange_;
   std::unique_ptr<ActiveSessions> active_;
   std::unique_ptr<LatencyRecorder> latency_;
   std::vector<double> zero_loads_;

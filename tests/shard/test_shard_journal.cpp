@@ -1,0 +1,137 @@
+// Journal merge across shards (DESIGN.md §14, satellite of the sharded
+// exchange): every shard numbers its own events from seq 0, so a naive
+// concatenation repeats seq values and breaks the journal's strict
+// monotonicity contract. merge_journal_slices must reassign seqs densely
+// over the (logical, round, source, seq) total order — this suite pins the
+// exact interleaving that used to produce non-monotone output, plus the
+// end-to-end merged_worker_journal() surface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "market/shard.hpp"
+#include "obs/journal.hpp"
+#include "shard/shard_test_util.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::obs {
+namespace {
+
+Event event(std::uint64_t seq, std::uint32_t round, std::uint64_t logical,
+            EventKind kind = EventKind::kRoundStart, double value = 0.0) {
+  Event e;
+  e.seq = seq;
+  e.round = round;
+  e.logical = logical;
+  e.kind = kind;
+  e.value = value;
+  return e;
+}
+
+// The regression: two shards, SAME seq values 0..2, interleaved logical
+// clocks. The old concatenation kept duplicate seqs (0,1,2,0,1,2); the
+// merge must emit 0..5 strictly monotone while interleaving on the shared
+// logical clock.
+TEST(ShardJournalMerge, ReassignsDuplicateSeqsStrictlyMonotone) {
+  JournalSlice a;
+  a.source = 0;
+  a.total_recorded = 3;
+  a.events = {event(0, 0, 10), event(1, 1, 30), event(2, 2, 50)};
+  JournalSlice b;
+  b.source = 1;
+  b.total_recorded = 3;
+  b.events = {event(0, 0, 20), event(1, 1, 40), event(2, 2, 60)};
+
+  const std::vector<JournalSlice> slices = {a, b};
+  const std::vector<Event> merged = merge_journal_slices(slices);
+  ASSERT_EQ(merged.size(), 6u);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].seq, i) << "seq not dense at " << i;
+  }
+  // Interleaved on logical: 10, 20, 30, 40, 50, 60.
+  const std::uint64_t want_logical[] = {10, 20, 30, 40, 50, 60};
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].logical, want_logical[i]) << i;
+  }
+}
+
+// Equal (logical, round): the source shard breaks the tie, and within one
+// shard the original recorded order survives (stable).
+TEST(ShardJournalMerge, TiesBreakBySourceShardThenOriginalSeq) {
+  JournalSlice a;
+  a.source = 2;
+  a.total_recorded = 2;
+  a.events = {event(0, 5, 100, EventKind::kRoundStart, 2.0),
+              event(1, 5, 100, EventKind::kRoundEnd, 2.5)};
+  JournalSlice b;
+  b.source = 0;
+  b.total_recorded = 2;
+  b.events = {event(0, 5, 100, EventKind::kRoundStart, 0.0),
+              event(1, 5, 100, EventKind::kRoundEnd, 0.5)};
+
+  const std::vector<JournalSlice> slices = {a, b};
+  const std::vector<Event> merged = merge_journal_slices(slices);
+  ASSERT_EQ(merged.size(), 4u);
+  // Shard 0's pair first (lower source), each pair in recorded order.
+  EXPECT_EQ(merged[0].value, 0.0);
+  EXPECT_EQ(merged[1].value, 0.5);
+  EXPECT_EQ(merged[2].value, 2.0);
+  EXPECT_EQ(merged[3].value, 2.5);
+  for (std::size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i].seq, i);
+}
+
+TEST(ShardJournalMerge, EmptyAndSingleSliceAreTrivial) {
+  EXPECT_TRUE(merge_journal_slices({}).empty());
+  JournalSlice only;
+  only.source = 3;
+  only.total_recorded = 2;
+  only.events = {event(7, 1, 5), event(8, 2, 6)};
+  const std::vector<Event> merged = merge_journal_slices(std::span{&only, 1});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].seq, 0u);  // reassigned even for one slice
+  EXPECT_EQ(merged[1].seq, 1u);
+}
+
+// End to end: a real 4-shard run's merged worker journal is strictly
+// monotone, round-ordered, and covers every shard that announced groups.
+TEST(ShardJournalMerge, MergedWorkerJournalIsStrictlyMonotone) {
+  sim::ScenarioConfig scenario_config;
+  scenario_config.trace.session_count = 700;
+  scenario_config.seed = 41;
+  const sim::Scenario scenario = sim::Scenario::build(scenario_config);
+  const std::vector<double> background = sim::place_background(scenario);
+
+  market::ShardedConfig config;
+  config.shards = 4;
+  market::ShardedExchange exchange{scenario, config};
+  const auto script = market::shard_test::make_script(
+      scenario, sim::StressScenario::kSteady, 3);
+  for (const auto& action : script) {
+    exchange.set_active_load(action.groups, background);
+    (void)exchange.run_round();
+  }
+
+  const auto merged = exchange.merged_worker_journal();
+  ASSERT_TRUE(merged.ok());
+  ASSERT_FALSE(merged.value().empty());
+  std::uint32_t last_round = 0;
+  for (std::size_t i = 0; i < merged.value().size(); ++i) {
+    const Event& e = merged.value()[i];
+    EXPECT_EQ(e.seq, i) << "merged seq must be dense and strictly monotone";
+    EXPECT_GE(e.round, last_round) << "rounds must not run backwards at " << i;
+    last_round = e.round;
+  }
+  // Every shard recorded at least one round-start on the shared clock.
+  std::vector<bool> seen(config.shards, false);
+  for (const Event& e : merged.value()) {
+    if (e.kind == EventKind::kRoundStart && e.subject < config.shards) {
+      seen[e.subject] = true;
+    }
+  }
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    EXPECT_TRUE(seen[s]) << "shard " << s << " missing from the merged journal";
+  }
+}
+
+}  // namespace
+}  // namespace vdx::obs

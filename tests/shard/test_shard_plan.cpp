@@ -1,0 +1,171 @@
+// ShardPlan partition + SessionLedger structural units (DESIGN.md §14).
+// The plan must be a total, deterministic function of (world, shard count);
+// the ledger must apply batches atomically and emit groups in the canonical
+// (city, bitrate) order whose per-shard concatenation equals the global
+// ledger — the property the equivalence suite leans on end to end.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "market/shard.hpp"
+#include "sim/scenario.hpp"
+
+namespace vdx::market {
+namespace {
+
+const geo::World& world() {
+  static const sim::Scenario* scenario = [] {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 400;
+    config.seed = 7;
+    return new sim::Scenario(sim::Scenario::build(config));
+  }();
+  return scenario->world();
+}
+
+TEST(ShardPlanTest, EveryCityLandsOnExactlyOneShard) {
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const ShardPlan plan = ShardPlan::build(world(), shards);
+    ASSERT_EQ(plan.shard_count, shards);
+    ASSERT_EQ(plan.shard_of_city.size(), world().cities().size());
+    std::vector<std::size_t> counted(shards, 0);
+    for (const std::uint32_t owner : plan.shard_of_city) {
+      ASSERT_LT(owner, shards);
+      ++counted[owner];
+    }
+    ASSERT_EQ(plan.city_counts.size(), shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(plan.city_counts[s], counted[s]);
+      EXPECT_GT(plan.city_counts[s], 0u)
+          << "farthest-point seeding left shard " << s << " empty";
+    }
+  }
+}
+
+TEST(ShardPlanTest, BuildIsDeterministicAndHashDiscriminates) {
+  const ShardPlan a = ShardPlan::build(world(), 4);
+  const ShardPlan b = ShardPlan::build(world(), 4);
+  EXPECT_EQ(a.shard_of_city, b.shard_of_city);
+  EXPECT_EQ(a.hash(), b.hash());
+  const ShardPlan other = ShardPlan::build(world(), 3);
+  EXPECT_NE(a.hash(), other.hash());
+}
+
+TEST(ShardPlanTest, ShardCountClampsToCityCount) {
+  const std::size_t cities = world().cities().size();
+  const ShardPlan plan = ShardPlan::build(world(), cities + 50);
+  EXPECT_EQ(plan.shard_count, cities);
+  const ShardPlan zero = ShardPlan::build(world(), 0);
+  EXPECT_EQ(zero.shard_count, 1u);  // floor at one shard
+}
+
+TEST(SessionLedgerTest, GroupsAreCanonicallyOrderedWithDenseIds) {
+  SessionLedger ledger;
+  const std::vector<proto::ShardSessionAdd> adds = {
+      {0, 3, 2.4}, {1, 1, 1.2}, {2, 3, 1.2}, {3, 1, 1.2}, {4, 0, 4.8},
+  };
+  ASSERT_TRUE(ledger.apply(adds, {}).ok());
+  const auto groups = ledger.groups();
+  ASSERT_EQ(groups.size(), 4u);  // (0,4.8) (1,1.2)x2 (3,1.2) (3,2.4)
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].id.value(), i);
+    if (i > 0) {
+      const bool ordered =
+          groups[i - 1].city.value() < groups[i].city.value() ||
+          (groups[i - 1].city == groups[i].city &&
+           groups[i - 1].bitrate_mbps < groups[i].bitrate_mbps);
+      EXPECT_TRUE(ordered) << "groups out of (city, bitrate) order at " << i;
+    }
+  }
+  EXPECT_EQ(groups[1].city.value(), 1u);
+  EXPECT_DOUBLE_EQ(groups[1].client_count, 2.0);
+}
+
+TEST(SessionLedgerTest, RejectedBatchMutatesNothing) {
+  SessionLedger ledger;
+  const std::vector<proto::ShardSessionAdd> seed = {{0, 0, 1.0}, {1, 1, 2.0}};
+  ASSERT_TRUE(ledger.apply(seed, {}).ok());
+  const auto before = ledger.sessions();
+
+  // Valid adds + one conflicting re-add: the WHOLE batch must bounce.
+  const std::vector<proto::ShardSessionAdd> mixed = {
+      {2, 0, 1.0}, {3, 1, 2.0}, {0, 1, 9.0},
+  };
+  const auto status = ledger.apply(mixed, {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, core::Errc::kInvalidArgument);
+  EXPECT_EQ(ledger.sessions(), before);
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
+TEST(SessionLedgerTest, RetriedDeliveriesAreIdempotent) {
+  SessionLedger ledger;
+  const std::vector<proto::ShardSessionAdd> adds = {{5, 2, 1.6}};
+  ASSERT_TRUE(ledger.apply(adds, {}).ok());
+  // Identical re-add: no-op. Unknown remove: no-op.
+  ASSERT_TRUE(ledger.apply(adds, {}).ok());
+  EXPECT_EQ(ledger.size(), 1u);
+  const std::vector<std::uint32_t> unknown = {777};
+  ASSERT_TRUE(ledger.apply({}, unknown).ok());
+  EXPECT_EQ(ledger.size(), 1u);
+  // Remove then re-add round-trips.
+  const std::vector<std::uint32_t> known = {5};
+  ASSERT_TRUE(ledger.apply({}, known).ok());
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_TRUE(ledger.groups().empty());
+  ASSERT_TRUE(ledger.apply(adds, {}).ok());
+  EXPECT_EQ(ledger.size(), 1u);
+}
+
+// The load-bearing property: cities are disjoint across shards, so the
+// (city, bitrate)-ordered concatenation of per-shard ledgers equals one
+// global ledger over the same sessions.
+TEST(SessionLedgerTest, PerShardConcatenationEqualsGlobalLedger) {
+  const ShardPlan plan = ShardPlan::build(world(), 4);
+  const std::size_t cities = world().cities().size();
+
+  std::vector<proto::ShardSessionAdd> all;
+  for (std::uint32_t id = 0; id < 500; ++id) {
+    all.push_back({id, id % static_cast<std::uint32_t>(cities),
+                   id % 3 == 0 ? 1.2 : 3.6});
+  }
+  SessionLedger global;
+  ASSERT_TRUE(global.apply(all, {}).ok());
+
+  std::vector<SessionLedger> shards(plan.shard_count);
+  for (const proto::ShardSessionAdd& add : all) {
+    ASSERT_TRUE(
+        shards[plan.shard_of_city[add.city]].apply(std::span{&add, 1}, {}).ok());
+  }
+  std::vector<broker::ClientGroup> concat;
+  for (const SessionLedger& ledger : shards) {
+    for (const broker::ClientGroup& group : ledger.groups()) concat.push_back(group);
+  }
+  std::stable_sort(concat.begin(), concat.end(),
+                   [](const broker::ClientGroup& a, const broker::ClientGroup& b) {
+                     if (a.city.value() != b.city.value()) {
+                       return a.city.value() < b.city.value();
+                     }
+                     return a.bitrate_mbps < b.bitrate_mbps;
+                   });
+  const auto expected = global.groups();
+  ASSERT_EQ(concat.size(), expected.size());
+  for (std::size_t i = 0; i < concat.size(); ++i) {
+    EXPECT_EQ(concat[i].city.value(), expected[i].city.value()) << i;
+    EXPECT_EQ(concat[i].bitrate_mbps, expected[i].bitrate_mbps) << i;
+    EXPECT_EQ(concat[i].client_count, expected[i].client_count) << i;
+  }
+}
+
+TEST(ShardBackendTest, NamesRoundTrip) {
+  EXPECT_EQ(to_string(ShardBackend::kInproc), "inproc");
+  EXPECT_EQ(to_string(ShardBackend::kProcess), "process");
+  EXPECT_EQ(shard_backend_from("inproc"), ShardBackend::kInproc);
+  EXPECT_EQ(shard_backend_from("process"), ShardBackend::kProcess);
+  EXPECT_FALSE(shard_backend_from("threads").has_value());
+  EXPECT_FALSE(shard_backend_from("").has_value());
+}
+
+}  // namespace
+}  // namespace vdx::market

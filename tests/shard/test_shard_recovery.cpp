@@ -1,0 +1,310 @@
+// Kill-and-resume drill (DESIGN.md §14): hard-kill every worker shard (a
+// real SIGKILL under the process backend) after every settlement round,
+// resume from the per-shard checkpoint stores, and byte-compare the
+// settlement against the monolithic reference. A killed coordinator
+// rebuilds from its own store with resume_from_stores(). Crash tolerance
+// must cost restarts — never settlement bytes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "market/shard.hpp"
+#include "shard/shard_test_util.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::market {
+namespace {
+
+using shard_test::RoundAction;
+using shard_test::RunCapture;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() / ("vdx_shard_" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(path_, ignored);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+class ShardRecovery : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 900;
+    config.seed = 29;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+    background_ = new std::vector<double>(sim::place_background(*scenario_));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+    delete background_;
+    background_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+  static std::span<const double> background() { return *background_; }
+
+  static RunCapture run_mono(const std::vector<RoundAction>& script) {
+    obs::MetricsRegistry metrics;
+    obs::RunJournal journal;
+    ExchangeConfig config;
+    config.obs = obs::Observer{&metrics, nullptr, &journal};
+    VdxExchange exchange{scenario(), config};
+    return shard_test::drive(exchange, script, background(), journal, metrics);
+  }
+
+ private:
+  static sim::Scenario* scenario_;
+  static std::vector<double>* background_;
+};
+
+sim::Scenario* ShardRecovery::scenario_ = nullptr;
+std::vector<double>* ShardRecovery::background_ = nullptr;
+
+constexpr std::size_t kRounds = 5;
+
+// Demand mode needs no store at all: the coordinator's cached slice is
+// authoritative, so a storeless worker death costs one respawn + re-push.
+TEST_F(ShardRecovery, StorelessWorkerDeathInDemandModeIsInvisible) {
+  const auto script = shard_test::make_script(
+      scenario(), sim::StressScenario::kFlashCrowd, kRounds);
+  const RunCapture mono = run_mono(script);
+
+  for (const ShardBackend backend :
+       {ShardBackend::kInproc, ShardBackend::kProcess}) {
+    ShardedConfig config;
+    config.shards = 4;
+    config.backend = backend;
+    obs::MetricsRegistry metrics;
+    obs::RunJournal journal;
+    config.exchange.obs = obs::Observer{&metrics, nullptr, &journal};
+    ShardedExchange exchange{scenario(), config};
+
+    RunCapture capture;
+    for (std::size_t r = 0; r < script.size(); ++r) {
+      const RoundAction& action = script[r];
+      if (action.fail.has_value()) exchange.set_failed(cdn::CdnId{1}, *action.fail);
+      if (action.budget.has_value()) exchange.set_demand_budget(*action.budget);
+      exchange.set_active_load(action.groups, background());
+      capture.reports.push_back(exchange.run_round());
+      exchange.kill_worker(r % config.shards);
+      EXPECT_FALSE(exchange.worker_alive(r % config.shards));
+    }
+    const auto placed = exchange.settlement().placements();
+    capture.placements.assign(placed.begin(), placed.end());
+    std::ostringstream journal_out;
+    journal.write_jsonl(journal_out);
+    capture.journal_jsonl = journal_out.str();
+    std::ostringstream metrics_out;
+    metrics.write_jsonl(metrics_out);
+    capture.metrics_jsonl = metrics_out.str();
+
+    shard_test::expect_identical(
+        mono, capture,
+        std::string{"storeless kill "} + std::string{to_string(backend)});
+    EXPECT_EQ(exchange.worker_restarts(), kRounds - 1);  // last kill never recovered
+  }
+}
+
+// Session mode CANNOT replay lost ledgers from the coordinator — per-shard
+// checkpoint stores are mandatory, and with checkpoint_every_rounds=1 a
+// SIGKILL after every settlement round must still be byte-invisible.
+TEST_F(ShardRecovery, SessionModeResumesFromPerShardStoresAfterEveryRoundKill) {
+  const std::size_t cities = scenario().world().cities().size();
+  const auto add_of = [&](std::uint32_t id) {
+    return proto::ShardSessionAdd{id, id % static_cast<std::uint32_t>(cities),
+                                  id % 2 == 0 ? 1.2 : 3.6};
+  };
+
+  // Monolithic reference over the same deltas (global ledger, regrouped).
+  std::vector<RoundReport> mono_reports;
+  {
+    VdxExchange mono{scenario()};
+    SessionLedger global;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      std::vector<proto::ShardSessionAdd> adds;
+      for (std::uint32_t k = 0; k < 300; ++k) {
+        adds.push_back(add_of(static_cast<std::uint32_t>(r) * 300 + k));
+      }
+      ASSERT_TRUE(global.apply(adds, {}).ok());
+      mono.set_active_load(global.groups(), background());
+      mono_reports.push_back(mono.run_round());
+    }
+  }
+
+  for (const ShardBackend backend :
+       {ShardBackend::kInproc, ShardBackend::kProcess}) {
+    TempDir dir{std::string{"sessions_"} + std::string{to_string(backend)}};
+    ShardedConfig config;
+    config.shards = 4;
+    config.backend = backend;
+    config.checkpoint_dir = dir.path();
+    config.checkpoint_every_rounds = 1;
+    ShardedExchange exchange{scenario(), config};
+
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      std::vector<proto::ShardSessionAdd> adds;
+      for (std::uint32_t k = 0; k < 300; ++k) {
+        adds.push_back(add_of(static_cast<std::uint32_t>(r) * 300 + k));
+      }
+      ASSERT_TRUE(exchange.push_session_delta(adds, {}).ok());
+      const RoundReport report = exchange.run_round();
+      EXPECT_EQ(mono_reports[r].awarded_mbps, report.awarded_mbps)
+          << to_string(backend) << " round " << r;
+      EXPECT_EQ(mono_reports[r].mean_score, report.mean_score)
+          << to_string(backend) << " round " << r;
+      // The auto-checkpoint has landed; now the shard dies for real.
+      exchange.kill_worker(r % config.shards);
+    }
+    EXPECT_GT(exchange.worker_restarts(), 0u);
+  }
+}
+
+// A session-fed worker that dies WITHOUT a store is unrecoverable — the
+// next round must fail with a typed error, not silently settle wrong bytes.
+TEST_F(ShardRecovery, SessionModeWithoutStoreFailsClosedOnWorkerDeath) {
+  ShardedConfig config;
+  config.shards = 2;
+  ShardedExchange exchange{scenario(), config};
+  std::vector<proto::ShardSessionAdd> adds;
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    adds.push_back({id, id % static_cast<std::uint32_t>(
+                            scenario().world().cities().size()),
+                    1.5});
+  }
+  ASSERT_TRUE(exchange.push_session_delta(adds, {}).ok());
+  (void)exchange.run_round();
+
+  exchange.kill_worker(0);
+  const auto result = exchange.try_run_round();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, core::Errc::kUnavailable);
+  EXPECT_THROW((void)exchange.run_round(), std::runtime_error);
+}
+
+// Coordinator crash: a FRESH ShardedExchange over the same stores resumes
+// via resume_from_stores() and the tail is byte-identical to the
+// uninterrupted run — for both backends, killing a worker mid-tail too.
+TEST_F(ShardRecovery, CoordinatorResumesFromStoreWithIdenticalTail) {
+  const auto script = shard_test::make_script(
+      scenario(), sim::StressScenario::kPerfectStorm, kRounds);
+  const RunCapture uninterrupted = run_mono(script);
+  constexpr std::size_t kCrashAfter = 2;
+
+  for (const ShardBackend backend :
+       {ShardBackend::kInproc, ShardBackend::kProcess}) {
+    TempDir dir{std::string{"coord_"} + std::string{to_string(backend)}};
+    ShardedConfig config;
+    config.shards = 4;
+    config.backend = backend;
+    config.checkpoint_dir = dir.path();
+    config.checkpoint_every_rounds = 1;
+
+    std::vector<RoundReport> head;
+    {
+      ShardedExchange first{scenario(), config};
+      for (std::size_t r = 0; r < kCrashAfter; ++r) {
+        const RoundAction& action = script[r];
+        if (action.fail.has_value()) first.set_failed(cdn::CdnId{1}, *action.fail);
+        if (action.budget.has_value()) first.set_demand_budget(*action.budget);
+        first.set_active_load(action.groups, background());
+        head.push_back(first.run_round());
+      }
+      // ~first: the coordinator process "dies" (stores survive on disk).
+    }
+
+    ShardedExchange resumed{scenario(), config};
+    ASSERT_TRUE(resumed.resume_from_stores().ok()) << to_string(backend);
+    ASSERT_EQ(resumed.rounds_completed(), kCrashAfter);
+    // The resumed coordinator must re-learn the failure/budget knobs the
+    // script had applied before the crash (external control state, exactly
+    // like the daemon re-applies its own config on resume).
+    bool fail_on = false;
+    double budget = 0.0;
+    for (std::size_t r = 0; r < kCrashAfter; ++r) {
+      if (script[r].fail.has_value()) fail_on = *script[r].fail;
+      if (script[r].budget.has_value()) budget = *script[r].budget;
+    }
+    resumed.set_failed(cdn::CdnId{1}, fail_on);
+    resumed.set_demand_budget(budget);
+
+    std::vector<RoundReport> tail;
+    for (std::size_t r = kCrashAfter; r < script.size(); ++r) {
+      const RoundAction& action = script[r];
+      if (action.fail.has_value()) resumed.set_failed(cdn::CdnId{1}, *action.fail);
+      if (action.budget.has_value()) resumed.set_demand_budget(*action.budget);
+      resumed.set_active_load(action.groups, background());
+      tail.push_back(resumed.run_round());
+      resumed.kill_worker(r % config.shards);  // and workers keep dying
+    }
+
+    for (std::size_t r = 0; r < script.size(); ++r) {
+      const RoundReport& expected = uninterrupted.reports[r];
+      const RoundReport& actual =
+          r < kCrashAfter ? head[r] : tail[r - kCrashAfter];
+      const std::string at = std::string{to_string(backend)} + " resumed round " +
+                             std::to_string(r);
+      EXPECT_EQ(expected.awarded_mbps, actual.awarded_mbps) << at;
+      EXPECT_EQ(expected.mean_score, actual.mean_score) << at;
+      EXPECT_EQ(expected.mean_cost, actual.mean_cost) << at;
+      EXPECT_EQ(expected.shed_mbps, actual.shed_mbps) << at;
+      EXPECT_EQ(expected.wire.bytes_on_wire, actual.wire.bytes_on_wire) << at;
+    }
+  }
+}
+
+// The embedded snapshot path (the daemon's checkpoint file): save_state()
+// bundles coordinator + settlement + every worker; restore_state() on a
+// fresh exchange continues byte-identically.
+TEST_F(ShardRecovery, EmbeddedSnapshotRoundTripsAcrossAFreshExchange) {
+  const auto script = shard_test::make_script(
+      scenario(), sim::StressScenario::kDiurnal, kRounds);
+  const RunCapture uninterrupted = run_mono(script);
+  constexpr std::size_t kCrashAfter = 3;
+
+  ShardedConfig config;
+  config.shards = 3;
+  std::vector<std::uint8_t> snapshot;
+  {
+    ShardedExchange first{scenario(), config};
+    for (std::size_t r = 0; r < kCrashAfter; ++r) {
+      first.set_active_load(script[r].groups, background());
+      (void)first.run_round();
+    }
+    snapshot = first.save_state();
+  }
+  ASSERT_FALSE(snapshot.empty());
+
+  ShardedExchange resumed{scenario(), config};
+  ASSERT_TRUE(resumed.restore_state(snapshot).ok());
+  ASSERT_EQ(resumed.rounds_completed(), kCrashAfter);
+  for (std::size_t r = kCrashAfter; r < script.size(); ++r) {
+    resumed.set_active_load(script[r].groups, background());
+    const RoundReport report = resumed.run_round();
+    EXPECT_EQ(uninterrupted.reports[r].awarded_mbps, report.awarded_mbps)
+        << "embedded round " << r;
+    EXPECT_EQ(uninterrupted.reports[r].mean_score, report.mean_score)
+        << "embedded round " << r;
+  }
+
+  // A snapshot from a different shard topology must be refused.
+  ShardedConfig other = config;
+  other.shards = 2;
+  ShardedExchange wrong_plan{scenario(), other};
+  EXPECT_FALSE(wrong_plan.restore_state(snapshot).ok());
+}
+
+}  // namespace
+}  // namespace vdx::market

@@ -1,0 +1,275 @@
+// Shard wire-codec fuzz (DESIGN.md §14): every corrupted, truncated, or
+// otherwise mangled frame — produced by proto::FaultInjector, the same
+// mutation engine the chaos drills use — must be rejected with a typed
+// Errc::kCorruptFrame, and a worker fed such bytes must NEVER partially
+// apply state: its save_state() image is byte-identical before and after
+// every rejected frame.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "market/shard.hpp"
+#include "proto/fault.hpp"
+#include "proto/shard_wire.hpp"
+
+namespace vdx::proto {
+namespace {
+
+/// A representative valid frame of every data-plane type.
+std::vector<ShardFrame> corpus() {
+  std::vector<ShardFrame> frames;
+  {
+    ShardFrame hello;
+    hello.type = ShardFrameType::kHello;
+    ShardHello payload;
+    payload.shard = 1;
+    payload.shard_count = 4;
+    payload.city_count = 6;
+    payload.plan_hash = 0xfeedfacecafebeefULL;
+    payload.cdn_of_cluster = {0, 0, 1, 2, 2, 2};
+    hello.shard = 1;
+    hello.payload = encode_shard_hello(payload);
+    frames.push_back(hello);
+  }
+  {
+    ShardFrame demand;
+    demand.type = ShardFrameType::kSetDemand;
+    demand.shard = 1;
+    std::vector<ShardGroup> groups;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      broker::ClientGroup g{broker::ShareId{i}, geo::CityId{i % 3}, 0,
+                            1.0 + 0.5 * i, 10.0 * (i + 1)};
+      groups.push_back(ShardGroup{i, g});
+    }
+    demand.payload = encode_shard_groups(groups);
+    frames.push_back(demand);
+  }
+  {
+    ShardFrame delta;
+    delta.type = ShardFrameType::kSessionDelta;
+    delta.shard = 1;
+    ShardSessionDelta payload;
+    for (std::uint32_t i = 0; i < 8; ++i) payload.adds.push_back({i, i % 3, 2.4});
+    payload.removes = {100, 101};
+    delta.payload = encode_session_delta(payload);
+    frames.push_back(delta);
+  }
+  {
+    ShardFrame collect;
+    collect.type = ShardFrameType::kCollect;
+    collect.shard = 1;
+    collect.round = 7;
+    frames.push_back(collect);
+  }
+  {
+    ShardFrame allocation;
+    allocation.type = ShardFrameType::kAllocation;
+    allocation.shard = 1;
+    allocation.round = 7;
+    std::vector<ShardPlacement> placements;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      placements.push_back({i, i * 3, 12.5, 0.02, 3.9, 1.5});
+    }
+    allocation.payload = encode_allocation(placements);
+    frames.push_back(allocation);
+  }
+  return frames;
+}
+
+TEST(ShardWireFuzz, EveryInjectorMutationIsRejectedWithCorruptFrame) {
+  // 100% corruption (1-3 bit flips) and, in a second pass, 100% truncation.
+  for (const bool truncate : {false, true}) {
+    FaultProfile profile;
+    profile.corrupt_rate = truncate ? 0.0 : 1.0;
+    profile.truncate_rate = truncate ? 1.0 : 0.0;
+    profile.seed = truncate ? 77 : 33;
+    FaultInjector injector{profile};
+
+    std::size_t mutated_frames = 0;
+    for (std::size_t round = 0; round < 64; ++round) {
+      for (const ShardFrame& frame : corpus()) {
+        const std::vector<std::uint8_t> wire = encode_shard_frame(frame);
+        for (const FaultedFrame& out : injector.apply(round % 8, wire)) {
+          const auto decoded = try_decode_shard_frame(out.bytes);
+          if (!out.mutated) {
+            // An unmutated copy must still decode to the original.
+            ASSERT_TRUE(decoded.ok());
+            EXPECT_EQ(decoded.value(), frame);
+            continue;
+          }
+          ++mutated_frames;
+          ASSERT_FALSE(decoded.ok())
+              << "mutated frame decoded cleanly (round " << round << ")";
+          EXPECT_EQ(decoded.error().code, core::Errc::kCorruptFrame);
+        }
+      }
+    }
+    EXPECT_GT(mutated_frames, 100u);  // the injector demonstrably fired
+  }
+}
+
+TEST(ShardWireFuzz, EveryTruncationPrefixIsRejected) {
+  for (const ShardFrame& frame : corpus()) {
+    const std::vector<std::uint8_t> wire = encode_shard_frame(frame);
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const auto decoded =
+          try_decode_shard_frame(std::span{wire.data(), len});
+      ASSERT_FALSE(decoded.ok()) << "prefix " << len << "/" << wire.size();
+      EXPECT_EQ(decoded.error().code, core::Errc::kCorruptFrame);
+    }
+    // Trailing garbage after a valid frame is just as corrupt.
+    std::vector<std::uint8_t> padded = wire;
+    padded.push_back(0xAB);
+    const auto decoded = try_decode_shard_frame(padded);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, core::Errc::kCorruptFrame);
+  }
+}
+
+TEST(ShardWireFuzz, DuplicatedFramesDecodeToTheOriginal) {
+  FaultProfile profile;
+  profile.duplicate_rate = 1.0;
+  profile.seed = 55;
+  FaultInjector injector{profile};
+  for (const ShardFrame& frame : corpus()) {
+    const std::vector<std::uint8_t> wire = encode_shard_frame(frame);
+    const auto copies = injector.apply(0, wire);
+    ASSERT_EQ(copies.size(), 2u);
+    for (const FaultedFrame& out : copies) {
+      const auto decoded = try_decode_shard_frame(out.bytes);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value(), frame);
+    }
+  }
+}
+
+/// Configures `worker` (shard 1 of 2) with a populated session ledger —
+/// state worth protecting from partial application.
+void configure_worker(market::ShardWorker& worker) {
+  ShardFrame hello;
+  hello.type = ShardFrameType::kHello;
+  hello.shard = 1;
+  ShardHello payload;
+  payload.shard = 1;
+  payload.shard_count = 2;
+  payload.city_count = 4;
+  payload.plan_hash = 42;
+  payload.cdn_of_cluster = {0, 1, 1, 2};
+  hello.payload = encode_shard_hello(payload);
+  EXPECT_EQ(worker.handle(hello).type, ShardFrameType::kAck);
+
+  ShardFrame delta;
+  delta.type = ShardFrameType::kSessionDelta;
+  delta.shard = 1;
+  ShardSessionDelta sessions;
+  for (std::uint32_t i = 0; i < 16; ++i) sessions.adds.push_back({i, i % 4, 1.8});
+  delta.payload = encode_session_delta(sessions);
+  EXPECT_EQ(worker.handle(delta).type, ShardFrameType::kAck);
+}
+
+TEST(ShardWireFuzz, WorkerRejectsMutatedBytesWithoutTouchingState) {
+  market::ShardWorker worker{1};
+  configure_worker(worker);
+  const std::vector<std::uint8_t> before = worker.save_state();
+  ASSERT_FALSE(before.empty());
+
+  FaultProfile profile;
+  profile.corrupt_rate = 0.6;
+  profile.truncate_rate = 0.4;
+  profile.seed = 99;
+  FaultInjector injector{profile};
+
+  std::size_t rejected = 0;
+  for (std::size_t round = 0; round < 48; ++round) {
+    for (const ShardFrame& frame : corpus()) {
+      const std::vector<std::uint8_t> wire = encode_shard_frame(frame);
+      for (const FaultedFrame& out : injector.apply(0, wire)) {
+        if (!out.mutated) continue;
+        bool shutdown = false;
+        const auto response_bytes = worker.handle_bytes(out.bytes, &shutdown);
+        EXPECT_FALSE(shutdown);
+        const auto response = try_decode_shard_frame(response_bytes);
+        ASSERT_TRUE(response.ok());  // the REPLY is always well-formed
+        ASSERT_EQ(response.value().type, ShardFrameType::kError);
+        const auto error = decode_shard_error(response.value().payload);
+        ASSERT_TRUE(error.ok());
+        EXPECT_EQ(error.value().code, core::Errc::kCorruptFrame);
+        ++rejected;
+        EXPECT_EQ(worker.save_state(), before)
+            << "rejected frame partially applied state (round " << round << ")";
+      }
+    }
+  }
+  EXPECT_GT(rejected, 50u);
+}
+
+TEST(ShardWireFuzz, WorkerRejectsWellFormedButInvalidPayloadsAtomically) {
+  market::ShardWorker worker{1};
+  configure_worker(worker);
+  const std::vector<std::uint8_t> before = worker.save_state();
+
+  const auto expect_rejected = [&](const ShardFrame& frame, core::Errc want) {
+    const ShardFrame response = worker.handle(frame);
+    ASSERT_EQ(response.type, ShardFrameType::kError);
+    const auto error = decode_shard_error(response.payload);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(error.value().code, want);
+    EXPECT_EQ(worker.save_state(), before);
+  };
+
+  // A delta whose LAST add references an unknown city: the valid prefix
+  // must not survive the rejection.
+  ShardFrame bad_city;
+  bad_city.type = ShardFrameType::kSessionDelta;
+  bad_city.shard = 1;
+  ShardSessionDelta payload;
+  payload.adds = {{200, 0, 1.0}, {201, 1, 1.0}, {202, 999, 1.0}};
+  bad_city.payload = encode_session_delta(payload);
+  expect_rejected(bad_city, core::Errc::kInvalidArgument);
+
+  // Non-finite bitrate.
+  ShardFrame bad_rate = bad_city;
+  payload.adds = {{203, 0, std::numeric_limits<double>::quiet_NaN()}};
+  bad_rate.payload = encode_session_delta(payload);
+  expect_rejected(bad_rate, core::Errc::kInvalidArgument);
+
+  // Re-add of a live session with DIFFERENT attributes.
+  ShardFrame conflict = bad_city;
+  payload.adds = {{0, 2, 9.9}};
+  conflict.payload = encode_session_delta(payload);
+  expect_rejected(conflict, core::Errc::kInvalidArgument);
+
+  // A frame addressed to the wrong shard.
+  ShardFrame misrouted;
+  misrouted.type = ShardFrameType::kCollect;
+  misrouted.shard = 3;
+  expect_rejected(misrouted, core::Errc::kInvalidArgument);
+
+  // kSetDemand onto a session-fed worker (modes are exclusive).
+  ShardFrame mode_mix;
+  mode_mix.type = ShardFrameType::kSetDemand;
+  mode_mix.shard = 1;
+  mode_mix.payload = encode_shard_groups({});
+  expect_rejected(mode_mix, core::Errc::kInvalidArgument);
+}
+
+TEST(ShardWireFuzz, UnconfiguredWorkerRefusesEverythingButHello) {
+  market::ShardWorker worker{0};
+  for (const ShardFrameType type :
+       {ShardFrameType::kSetDemand, ShardFrameType::kSessionDelta,
+        ShardFrameType::kCollect, ShardFrameType::kAllocation,
+        ShardFrameType::kCheckpoint, ShardFrameType::kJournalRequest}) {
+    ShardFrame frame;
+    frame.type = type;
+    frame.shard = 0;
+    const ShardFrame response = worker.handle(frame);
+    ASSERT_EQ(response.type, ShardFrameType::kError) << static_cast<int>(type);
+    const auto error = decode_shard_error(response.payload);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(error.value().code, core::Errc::kNotReady);
+  }
+}
+
+}  // namespace
+}  // namespace vdx::proto

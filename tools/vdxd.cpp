@@ -77,6 +77,8 @@ struct Options {
   std::string metrics_out;
   std::string journal_out;
   std::string trace_out;
+  std::size_t shards = 1;
+  std::string shard_backend = "inproc";
 };
 
 // The single accessor sequence: parses a real command line, and — run over
@@ -106,6 +108,8 @@ Options options_from(core::Flags& flags) {
   opt.metrics_out = flags.text("metrics-out", "");
   opt.journal_out = flags.text("journal-out", "");
   opt.trace_out = flags.text("trace-out", "");
+  opt.shards = flags.count("shards", 1, 1);
+  opt.shard_backend = flags.text("shard-backend", "inproc");
   return opt;
 }
 
@@ -207,6 +211,16 @@ int run(core::Flags& flags) {
   config.exchange.overload.demand_budget_mbps = opt.budget_mbps;
   config.exchange.broker.weights = {opt.wp, opt.wc};
   config.obs = obs;
+  // Shard topology: decisions are byte-identical at any count (DESIGN.md
+  // §14), so the snapshot fingerprint deliberately excludes it — a run
+  // checkpointed at --shards 4 resumes cleanly as a monolith and vice versa.
+  config.shards = opt.shards;
+  const auto backend = market::shard_backend_from(opt.shard_backend);
+  if (!backend.has_value()) {
+    throw std::invalid_argument{"--shard-backend must be inproc or process, got " +
+                                opt.shard_backend};
+  }
+  config.shard_backend = *backend;
 
   // The fingerprint binds snapshots to this exact serving configuration;
   // resuming under different flags is rejected instead of diverging.
