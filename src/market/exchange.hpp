@@ -137,6 +137,15 @@ class ExchangeFrontend {
   /// Checkpointable state; restore on a freshly built peer continues
   /// byte-identically.
   [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
+  /// Non-throwing save_state. A frontend whose state gathering can fail
+  /// (e.g. a sharded topology with an unrecoverable worker) returns the
+  /// typed error instead of throwing — checkpoint paths that must survive a
+  /// degraded exchange call this one. The monolith's save never fails, so
+  /// the default just wraps save_state().
+  [[nodiscard]] virtual core::Result<std::vector<std::uint8_t>> try_save_state()
+      const {
+    return save_state();
+  }
   [[nodiscard]] virtual core::Status restore_state(
       std::span<const std::uint8_t> bytes) = 0;
   /// Runs the Delivery Protocol for one client against the latest round.

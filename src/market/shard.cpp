@@ -610,6 +610,15 @@ core::Status ShardWorker::restore_state(std::span<const std::uint8_t> bytes) {
                            std::string{"worker snapshot: "} + e.what());
   }
 
+  // Validate the sessions on a scratch ledger in the decode phase: a
+  // checksum-valid snapshot can still carry an unappliable session set
+  // (non-finite/<=0 bitrate, conflicting duplicate ids), and finding that
+  // out after the commit started would leave the worker half-mutated.
+  SessionLedger ledger;
+  if (!sessions.empty()) {
+    if (auto status = ledger.apply(sessions, {}); !status.ok()) return status;
+  }
+
   auto journal_slice = proto::decode_journal_slice(journal_section->bytes);
   if (!journal_slice.ok()) return Status{journal_slice.error()};
 
@@ -648,10 +657,7 @@ core::Status ShardWorker::restore_state(std::span<const std::uint8_t> bytes) {
   last_collect_logged_round_ = last_collect;
   mode_ = mode;
   demand_ = std::move(demand);
-  ledger_.clear();
-  if (!sessions.empty()) {
-    if (auto status = ledger_.apply(sessions, {}); !status.ok()) return status;
-  }
+  ledger_ = std::move(ledger);
   journal_ = std::move(journal);
   const std::pair<const char*, obs::Counter*> handles[] = {
       {"shard.rounds", &counters_.rounds},
@@ -805,10 +811,17 @@ ShardedExchange::FrameResult ShardedExchange::chaotic_call(
     if (attempt > 0) counters_.retries.add();
     auto tx_copies = link_injector_->apply(tx_link, request_bytes);
     if (tx_copies.empty()) continue;  // dropped on the wire
-    counters_.frames.add();
-    // Duplicates collapse to last-copy-wins: the worker is idempotent per
-    // round anyway, and one send per attempt keeps both backends identical.
-    auto raw = transport_->roundtrip(shard, tx_copies.back().bytes);
+    counters_.frames.add(static_cast<double>(tx_copies.size()));
+    // Deliver EVERY copy the injector emitted: a duplicated frame really
+    // reaches the worker twice, exercising per-round idempotency end to end.
+    // The coordinator acts on the response to the LAST copy delivered;
+    // earlier copies' responses are stale and discarded unread, so the rx
+    // fault stream still advances exactly once per attempt.
+    core::Result<std::vector<std::uint8_t>> raw =
+        transport_->roundtrip(shard, tx_copies.front().bytes);
+    for (std::size_t c = 1; c < tx_copies.size() && raw.ok(); ++c) {
+      raw = transport_->roundtrip(shard, tx_copies[c].bytes);
+    }
     if (!raw.ok()) {
       if (raw.error().code == Errc::kUnavailable) {
         if (auto status = recover_worker(shard); !status.ok()) {
@@ -820,6 +833,8 @@ ShardedExchange::FrameResult ShardedExchange::chaotic_call(
     }
     auto rx_copies = link_injector_->apply(rx_link, raw.value());
     if (rx_copies.empty()) continue;  // response dropped
+    // A duplicated response doesn't re-execute anything — the receiving end
+    // simply consumes the last copy delivered.
     auto decoded = proto::try_decode_shard_frame(rx_copies.back().bytes);
     if (!decoded.ok()) {
       counters_.rejects.add();  // response mutated in flight
@@ -893,6 +908,18 @@ core::Result<std::vector<proto::ShardFrame>> ShardedExchange::data_broadcast(
 }
 
 core::Status ShardedExchange::recover_worker(std::size_t shard) const {
+  auto status = try_recover_worker(shard);
+  if (!status.ok()) {
+    // A worker that failed recovery must not linger half-initialized: a
+    // respawned-but-empty worker would happily accept the next session
+    // delta against an empty ledger and silently lose every session it held
+    // before. Keep it dead so every subsequent call fails typed instead.
+    transport_->kill(shard);
+  }
+  return status;
+}
+
+core::Status ShardedExchange::try_recover_worker(std::size_t shard) const {
   if (auto status = transport_->respawn(shard); !status.ok()) return status;
   ++worker_restarts_;
   counters_.restarts.add();
@@ -1002,6 +1029,21 @@ void ShardedExchange::set_active_load(std::span<const broker::ClientGroup> group
   }
 }
 
+std::uint64_t ShardedExchange::delta_hash(
+    std::span<const proto::ShardSessionAdd> adds,
+    std::span<const std::uint32_t> removes) {
+  proto::ByteWriter w;
+  w.write_u32(static_cast<std::uint32_t>(adds.size()));
+  for (const proto::ShardSessionAdd& add : adds) {
+    w.write_u32(add.id);
+    w.write_u32(add.city);
+    w.write_f64(add.bitrate_mbps);
+  }
+  w.write_u32(static_cast<std::uint32_t>(removes.size()));
+  for (const std::uint32_t id : removes) w.write_u32(id);
+  return state::fnv1a(w.data());
+}
+
 core::Status ShardedExchange::push_session_delta(
     std::span<const proto::ShardSessionAdd> adds,
     std::span<const std::uint32_t> removes) {
@@ -1010,18 +1052,59 @@ core::Status ShardedExchange::push_session_delta(
         "ShardedExchange: exchange holds explicit demand; session deltas are "
         "exclusive");
   }
+  const std::uint64_t batch_hash = delta_hash(adds, removes);
+  if (delta_pending_ && batch_hash != pending_delta_hash_) {
+    return Status::failure(
+        Errc::kNotReady,
+        "push_session_delta: a previous delta failed mid-push and may be "
+        "applied on some shards; retry the identical batch first");
+  }
   std::vector<proto::ShardSessionDelta> deltas(plan_.shard_count);
+  // Same-batch ids are remembered so a remove in the SAME batch follows its
+  // add to the owning shard (SessionLedger::apply applies adds before removes
+  // within one batch); routing it via session_shard_ — committed batches only
+  // — would skip the remove and leak a phantom session into the worker ledger.
+  std::unordered_map<std::uint32_t, std::uint32_t> batch_shard;
+  batch_shard.reserve(adds.size());
   for (const proto::ShardSessionAdd& add : adds) {
     if (add.city >= plan_.shard_of_city.size()) {
       return invalid("push_session_delta: unknown city " + std::to_string(add.city));
     }
-    deltas[plan_.shard_of_city[add.city]].adds.push_back(add);
+    const std::uint32_t shard = plan_.shard_of_city[add.city];
+    if (const auto [it, inserted] = batch_shard.emplace(add.id, shard);
+        !inserted && it->second != shard) {
+      // A conflicting duplicate on ONE shard is rejected by its ledger, but
+      // copies routed to different shards would each be accepted — refuse
+      // here, where both are visible, exactly like the global ledger would.
+      return invalid("push_session_delta: session " + std::to_string(add.id) +
+                     " added twice with cities on different shards");
+    }
+    if (const auto owner = session_shard_.find(add.id);
+        owner != session_shard_.end() && owner->second != shard) {
+      // A re-add whose new city routes to a different shard would be accepted
+      // there as a brand-new session while the old shard keeps its copy. The
+      // global ledger rejects a re-add with different data — mirror that here,
+      // where both owners are visible.
+      return invalid("push_session_delta: session " + std::to_string(add.id) +
+                     " re-added with a city on a different shard");
+    }
+    deltas[shard].adds.push_back(add);
   }
   for (const std::uint32_t id : removes) {
+    if (const auto bit = batch_shard.find(id); bit != batch_shard.end()) {
+      deltas[bit->second].removes.push_back(id);
+      continue;
+    }
     const auto it = session_shard_.find(id);
     if (it == session_shard_.end()) continue;  // idempotent re-remove
     deltas[it->second].removes.push_back(id);
   }
+  // The per-shard sends are NOT atomic as a set: a failure at shard k leaves
+  // shards < k applied. Mark the batch outstanding before the first send —
+  // settlement refuses to run and only a verbatim retry (idempotent on the
+  // already-applied shards) may follow until the whole batch lands.
+  delta_pending_ = true;
+  pending_delta_hash_ = batch_hash;
   for (std::size_t s = 0; s < plan_.shard_count; ++s) {
     if (deltas[s].adds.empty() && deltas[s].removes.empty()) continue;
     ShardFrame frame;
@@ -1031,7 +1114,9 @@ core::Status ShardedExchange::push_session_delta(
     auto response = data_call(s, frame);
     if (!response.ok()) return Status{response.error()};
   }
-  // Commit routing only after every shard accepted its delta.
+  delta_pending_ = false;
+  // Commit routing only after every shard accepted its delta. Adds first,
+  // then removes — the same order the workers applied them in.
   for (const proto::ShardSessionAdd& add : adds) {
     session_shard_[add.id] = plan_.shard_of_city[add.city];
   }
@@ -1066,12 +1151,15 @@ core::Result<std::vector<broker::ClientGroup>> ShardedExchange::collect_and_merg
   if (!responses.ok()) return R{responses.error()};
 
   // Shards the routing table says hold live sessions MUST answer in session
-  // mode. A worker that lost its ledger (respawned after a failed recovery)
-  // reports kNone — merging its empty slice would silently settle without
-  // those sessions, so the round fails closed instead.
-  std::vector<char> expects_sessions(plan_.shard_count, 0);
+  // mode with exactly as many clients as the table routed to them. A worker
+  // that lost its ledger (respawned after a failed recovery) reports kNone;
+  // one restored from a stale checkpoint reports kSessions with the wrong
+  // population. Merging either slice would silently settle without those
+  // sessions, so the round fails closed instead. Every session contributes
+  // exactly 1.0 to its group's client_count, so the sums are exact doubles.
+  std::vector<double> expected_clients(plan_.shard_count, 0.0);
   if (mode_ == ShardDemandMode::kSessions) {
-    for (const auto& [id, owner] : session_shard_) expects_sessions[owner] = 1;
+    for (const auto& [id, owner] : session_shard_) expected_clients[owner] += 1.0;
   }
 
   std::vector<proto::ShardGroup> all;
@@ -1084,13 +1172,27 @@ core::Result<std::vector<broker::ClientGroup>> ShardedExchange::collect_and_merg
     }
     auto candidates = proto::decode_candidates(frame.payload);
     if (!candidates.ok()) return R{candidates.error()};
-    if (expects_sessions[s] != 0 &&
+    if (expected_clients[s] > 0.0 &&
         candidates.value().mode != ShardDemandMode::kSessions) {
       return R::failure(Errc::kUnavailable,
                         "collect: shard " + std::to_string(s) +
                             " lost its session ledger (reported mode " +
                             std::to_string(static_cast<int>(candidates.value().mode)) +
                             ")");
+    }
+    if (mode_ == ShardDemandMode::kSessions &&
+        candidates.value().mode == ShardDemandMode::kSessions) {
+      double held = 0.0;
+      for (const proto::ShardGroup& g : candidates.value().groups) {
+        held += g.group.client_count;
+      }
+      if (held != expected_clients[s]) {
+        return R::failure(
+            Errc::kUnavailable,
+            "collect: shard " + std::to_string(s) + " holds " +
+                std::to_string(held) + " session clients but routing expects " +
+                std::to_string(expected_clients[s]));
+      }
     }
     for (proto::ShardGroup& g : candidates.value().groups) {
       all.push_back(std::move(g));
@@ -1180,6 +1282,11 @@ core::Status ShardedExchange::broadcast_allocation(std::uint64_t round) {
 
 core::Result<RoundReport> ShardedExchange::try_run_round() {
   using R = core::Result<RoundReport>;
+  if (delta_pending_) {
+    return R::failure(Errc::kNotReady,
+                      "run_round: an uncommitted session delta is outstanding; "
+                      "retry push_session_delta with the identical batch");
+  }
   if (auto status = ensure_fed(); !status.ok()) return R{status.error()};
   const std::uint64_t round = settlement_->rounds_completed();
 
@@ -1451,6 +1558,10 @@ core::Status ShardedExchange::restore_from_snapshot(const state::SnapshotView& v
   mode_ = core.mode;
   fed_ = core.fed;
   demand_dirty_ = core.dirty;
+  // The snapshot captured a consistent routing/worker pair, so any delta
+  // that was outstanding at save time is moot after restore.
+  delta_pending_ = false;
+  pending_delta_hash_ = 0;
   background_loads_ = std::move(core.background_loads);
   session_shard_.clear();
   for (const auto& [id, shard] : core.session_shard) session_shard_[id] = shard;
@@ -1469,7 +1580,14 @@ core::Status ShardedExchange::restore_from_snapshot(const state::SnapshotView& v
   return core::ok_status();
 }
 
-std::vector<std::uint8_t> ShardedExchange::save_state() const {
+core::Result<std::vector<std::uint8_t>> ShardedExchange::try_save_state() const {
+  using R = core::Result<std::vector<std::uint8_t>>;
+  if (delta_pending_) {
+    // Routing and worker ledgers disagree mid-push; a snapshot taken now
+    // would restore into that inconsistency.
+    return R::failure(Errc::kNotReady,
+                      "save_state: an uncommitted session delta is outstanding");
+  }
   state::SnapshotWriter writer;
   writer.add_section(kCoordCoreSection, encode_coordinator_core());
   writer.add_section(kCoordSettlementSection, settlement_->save_state());
@@ -1482,12 +1600,15 @@ std::vector<std::uint8_t> ShardedExchange::save_state() const {
       frame.type = ShardFrameType::kStateRequest;
       frame.shard = static_cast<std::uint32_t>(s);
       auto response = direct_call(s, frame, /*recover=*/true);
-      if (!response.ok() ||
-          response.value().type != ShardFrameType::kStateResponse) {
-        throw std::runtime_error{
-            "ShardedExchange::save_state: shard " + std::to_string(s) +
-            " state unavailable" +
-            (response.ok() ? std::string{} : ": " + response.error().message)};
+      if (!response.ok()) {
+        return R::failure(response.error().code,
+                          "save_state: shard " + std::to_string(s) +
+                              " state unavailable: " + response.error().message);
+      }
+      if (response.value().type != ShardFrameType::kStateResponse) {
+        return R::failure(Errc::kCorruptFrame,
+                          "save_state: shard " + std::to_string(s) +
+                              " returned an unexpected frame type");
       }
       w.write_u32(static_cast<std::uint32_t>(response.value().payload.size()));
       w.write_bytes(response.value().payload);
@@ -1495,6 +1616,15 @@ std::vector<std::uint8_t> ShardedExchange::save_state() const {
     writer.add_section(kCoordWorkersSection, w.take());
   }
   return writer.finish();
+}
+
+std::vector<std::uint8_t> ShardedExchange::save_state() const {
+  auto state = try_save_state();
+  if (!state.ok()) {
+    throw std::runtime_error{"ShardedExchange::save_state: " +
+                             state.error().message};
+  }
+  return std::move(state).value();
 }
 
 core::Status ShardedExchange::restore_state(std::span<const std::uint8_t> bytes) {
@@ -1506,6 +1636,11 @@ core::Status ShardedExchange::restore_state(std::span<const std::uint8_t> bytes)
 core::Status ShardedExchange::checkpoint_now() {
   if (!coordinator_store_.has_value()) {
     return invalid("ShardedExchange::checkpoint_now: no checkpoint_dir configured");
+  }
+  if (delta_pending_) {
+    return Status::failure(
+        Errc::kNotReady,
+        "checkpoint_now: an uncommitted session delta is outstanding");
   }
   const std::uint64_t epoch = settlement_->rounds_completed();
   state::SnapshotWriter writer;

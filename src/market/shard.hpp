@@ -251,7 +251,15 @@ class ShardedExchange final : public ExchangeFrontend {
                        std::span<const double> background_loads) override;
 
   /// Session-fed mode: routes adds/removes to their owning shards' ledgers.
-  /// Mutually exclusive with set_active_load on one exchange (logic_error).
+  /// A remove follows its same-batch add to the owning shard (adds apply
+  /// before removes within one batch, the SessionLedger contract). Mutually
+  /// exclusive with set_active_load on one exchange (logic_error).
+  ///
+  /// The per-shard sends are not atomic as a set: on failure some shards may
+  /// have applied their slice. The batch stays OUTSTANDING — run_round,
+  /// checkpointing, and any DIFFERENT delta fail with kNotReady until the
+  /// identical batch is retried to completion (idempotent on the shards that
+  /// already applied it).
   [[nodiscard]] core::Status push_session_delta(
       std::span<const proto::ShardSessionAdd> adds,
       std::span<const std::uint32_t> removes);
@@ -268,6 +276,10 @@ class ShardedExchange final : public ExchangeFrontend {
 
   /// Embedded snapshot: coordinator core + settlement exchange + every
   /// worker's state in one envelope (the daemon checkpoint path).
+  /// try_save_state returns the typed error when a worker's state is
+  /// unavailable (dead and unrecoverable); save_state throws on it.
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> try_save_state()
+      const override;
   [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
   [[nodiscard]] core::Status restore_state(
       std::span<const std::uint8_t> bytes) override;
@@ -327,7 +339,10 @@ class ShardedExchange final : public ExchangeFrontend {
   [[nodiscard]] core::Result<std::vector<proto::ShardFrame>> data_broadcast(
       const std::vector<proto::ShardFrame>& requests) const;
 
+  /// Respawn + restore; on failure the worker is re-killed so it cannot
+  /// linger half-initialized and absorb later deltas into an empty ledger.
   [[nodiscard]] core::Status recover_worker(std::size_t shard) const;
+  [[nodiscard]] core::Status try_recover_worker(std::size_t shard) const;
   /// Partitions a dense global demand vector into per-shard ShardGroup
   /// slices (index = global id). Throws std::invalid_argument on non-dense
   /// ids or unknown cities.
@@ -343,6 +358,11 @@ class ShardedExchange final : public ExchangeFrontend {
   [[nodiscard]] core::Status broadcast_allocation(std::uint64_t round);
 
   struct CoordinatorCore;
+  /// Canonical fingerprint of one (adds, removes) batch — pins the verbatim
+  /// retry of a delta that failed mid-push.
+  [[nodiscard]] static std::uint64_t delta_hash(
+      std::span<const proto::ShardSessionAdd> adds,
+      std::span<const std::uint32_t> removes);
   [[nodiscard]] std::vector<std::uint8_t> encode_coordinator_core() const;
   [[nodiscard]] std::vector<std::uint8_t> encode_slices() const;
   [[nodiscard]] core::Status restore_from_snapshot(const state::SnapshotView& view,
@@ -372,6 +392,11 @@ class ShardedExchange final : public ExchangeFrontend {
   std::vector<std::vector<proto::ShardGroup>> last_slices_;
   /// Session-mode routing: id -> owning shard.
   std::unordered_map<std::uint32_t, std::uint32_t> session_shard_;
+  /// A push_session_delta failed mid-broadcast: some shards applied their
+  /// slice, routing was not committed. Settlement and checkpoints refuse to
+  /// run, and only a verbatim retry (pinned by the batch hash) may follow.
+  bool delta_pending_ = false;
+  std::uint64_t pending_delta_hash_ = 0;
 
   std::optional<state::CheckpointStore> coordinator_store_;
   std::vector<std::filesystem::path> worker_store_dirs_;

@@ -145,13 +145,13 @@ core::Result<ServeReport> ServeDaemon::resume(
 }
 
 state::DaemonCheckpoint ServeDaemon::make_checkpoint(
-    std::uint64_t next_round) const {
+    std::uint64_t next_round, std::vector<std::uint8_t> exchange_state) const {
   state::DaemonCheckpoint cp;
   cp.fingerprint = config_.fingerprint;
   cp.next_round = next_round;
   cp.feed = active_->cursor();
   cp.feed.consumed = feed_->consumed();
-  cp.exchange_state = exchange_->save_state();
+  cp.exchange_state = std::move(exchange_state);
   cp.decision_rounds = decision_rounds_;
   cp.skipped_rounds = skipped_rounds_;
   cp.queue_dropped = queue_dropped_;
@@ -183,7 +183,14 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
         obs_);
   }
   const auto write_checkpoint = [&](std::uint64_t next_round) {
-    const state::DaemonCheckpoint cp = make_checkpoint(next_round);
+    // A sharded exchange can transiently fail to snapshot (a worker died and
+    // recovery failed); skip this checkpoint and keep serving — the previous
+    // one stays the resume point — rather than let save_state throw through
+    // the serve loop.
+    auto exchange_state = exchange_->try_save_state();
+    if (!exchange_state.ok()) return;
+    const state::DaemonCheckpoint cp =
+        make_checkpoint(next_round, std::move(exchange_state).value());
     obs_.record(obs::EventKind::kCheckpoint, obs::RunJournal::kNoSubject,
                 static_cast<double>(next_round));
     if (store->write(next_round, state::encode(cp)).ok()) {

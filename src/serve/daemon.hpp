@@ -133,8 +133,11 @@ class ServeDaemon {
   class ActiveSessions;
 
   [[nodiscard]] ServeReport run_loop(std::uint64_t start_round);
+  /// Assembles the checkpoint around an already-captured exchange snapshot
+  /// (the caller gathers it via try_save_state so a degraded sharded
+  /// exchange skips the checkpoint instead of killing the daemon).
   [[nodiscard]] state::DaemonCheckpoint make_checkpoint(
-      std::uint64_t next_round) const;
+      std::uint64_t next_round, std::vector<std::uint8_t> exchange_state) const;
 
   const sim::Scenario& scenario_;
   ServeConfig config_;

@@ -153,6 +153,32 @@ TEST_F(ShardEquivalence, LinkChaosNeverChangesSettlementBytes) {
   }
 }
 
+// Duplicate-only chaos: every duplicated frame is delivered to its worker
+// TWICE — no collapsing at the coordinator — so per-round idempotency is
+// exercised end to end, and the settlement bytes still must not move.
+TEST_F(ShardEquivalence, DuplicatedFramesAreDeliveredWithoutChangingBytes) {
+  const auto script =
+      shard_test::make_script(scenario(), sim::StressScenario::kSteady, kRounds);
+  const RunCapture mono = run_mono(script);
+  ShardedConfig config;
+  config.shards = 4;
+  config.link_faults.duplicate_rate = 1.0;  // EVERY data-plane frame, twice
+
+  obs::MetricsRegistry metrics;
+  obs::RunJournal journal;
+  config.exchange.obs = obs::Observer{&metrics, nullptr, &journal};
+  ShardedExchange exchange{scenario(), config};
+  const RunCapture sharded =
+      shard_test::drive(exchange, script, background(), journal, metrics);
+  shard_test::expect_identical(mono, sharded, "duplicate-only chaos");
+
+  const proto::FaultCounters link = exchange.link_fault_counters();
+  EXPECT_GT(link.duplicated, 0u);
+  // Each apply emitted both copies and none were dropped: everything the
+  // injector produced really went to (or came back from) a worker.
+  EXPECT_EQ(link.delivered, link.frames + link.duplicated);
+}
+
 // Session-fed mode: the coordinator routes deltas to per-shard ledgers; a
 // monolith holding ONE global ledger and regrouping each round must settle
 // identically (the per-shard concatenation property, end to end).
@@ -229,6 +255,65 @@ TEST_F(ShardEquivalence, SessionFedMatchesGlobalLedgerAtEveryShardCount) {
     std::ostringstream metrics_out;
     metrics.write_jsonl(metrics_out);
     EXPECT_EQ(mono_metrics_out.str(), metrics_out.str()) << at;
+  }
+}
+
+// A batch whose removes target ids added in the SAME batch: the remove must
+// follow its add to the owning shard (adds apply before removes, the
+// SessionLedger contract). Routing removes off the committed table alone
+// used to drop them, leaking phantom sessions into the worker ledgers that
+// no later delta could ever remove — this pins the fix differentially.
+TEST_F(ShardEquivalence, SameBatchAddRemoveMatchesGlobalLedger) {
+  const auto cities =
+      static_cast<std::uint32_t>(scenario().world().cities().size());
+  constexpr std::uint32_t kAdds = 120;
+  constexpr std::size_t kBatchRounds = 4;
+  const auto add_of = [&](std::uint32_t id) {
+    return proto::ShardSessionAdd{id, id % cities, id % 2 == 0 ? 1.1 : 2.7};
+  };
+  // Round r adds a block and, in the SAME batch, removes every third id of
+  // that block — plus a slice of the previous round's ids, some of which
+  // were already removed (idempotent re-remove coverage).
+  const auto deltas_of = [&](std::size_t r) {
+    std::pair<std::vector<proto::ShardSessionAdd>, std::vector<std::uint32_t>> d;
+    const auto base = static_cast<std::uint32_t>(r) * kAdds;
+    for (std::uint32_t k = 0; k < kAdds; ++k) d.first.push_back(add_of(base + k));
+    for (std::uint32_t k = 0; k < kAdds; k += 3) d.second.push_back(base + k);
+    if (r > 0) {
+      for (std::uint32_t k = 1; k < kAdds; k += 4) {
+        d.second.push_back(base - kAdds + k);
+      }
+    }
+    return d;
+  };
+
+  std::vector<RoundReport> mono_reports;
+  {
+    VdxExchange mono{scenario()};
+    SessionLedger global;
+    for (std::size_t r = 0; r < kBatchRounds; ++r) {
+      const auto [adds, removes] = deltas_of(r);
+      ASSERT_TRUE(global.apply(adds, removes).ok());
+      mono.set_active_load(global.groups(), background());
+      mono_reports.push_back(mono.run_round());
+    }
+  }
+
+  for (const std::size_t shards : kShardCounts) {
+    ShardedConfig config;
+    config.shards = shards;
+    ShardedExchange exchange{scenario(), config};
+    for (std::size_t r = 0; r < kBatchRounds; ++r) {
+      const auto [adds, removes] = deltas_of(r);
+      ASSERT_TRUE(exchange.push_session_delta(adds, removes).ok());
+      const RoundReport report = exchange.run_round();
+      const std::string at = "same-batch shards=" + std::to_string(shards) +
+                             " round " + std::to_string(r);
+      EXPECT_EQ(mono_reports[r].awarded_mbps, report.awarded_mbps) << at;
+      EXPECT_EQ(mono_reports[r].mean_score, report.mean_score) << at;
+      EXPECT_EQ(mono_reports[r].wire.bytes_on_wire, report.wire.bytes_on_wire)
+          << at;
+    }
   }
 }
 

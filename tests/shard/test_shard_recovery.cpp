@@ -194,6 +194,58 @@ TEST_F(ShardRecovery, SessionModeWithoutStoreFailsClosedOnWorkerDeath) {
   EXPECT_THROW((void)exchange.run_round(), std::runtime_error);
 }
 
+// A delta that fails mid-push leaves some shards applied and routing
+// uncommitted. The batch stays OUTSTANDING: settlement and snapshots refuse
+// to run, a DIFFERENT batch is refused outright, and only the verbatim
+// retry passes the gate (idempotent on the shards that already applied it).
+TEST_F(ShardRecovery, FailedDeltaPushWedgesSettlementUntilVerbatimRetry) {
+  ShardedConfig config;
+  config.shards = 2;
+  ShardedExchange exchange{scenario(), config};
+  // One city per shard so the batch demonstrably spans both workers.
+  const auto& plan = exchange.plan();
+  std::uint32_t city0 = UINT32_MAX;
+  std::uint32_t city1 = UINT32_MAX;
+  for (std::uint32_t c = 0; c < plan.shard_of_city.size(); ++c) {
+    (plan.shard_of_city[c] == 0 ? city0 : city1) = c;
+  }
+  ASSERT_NE(city0, UINT32_MAX);
+  ASSERT_NE(city1, UINT32_MAX);
+
+  std::vector<proto::ShardSessionAdd> first{{1, city0, 1.0}, {2, city1, 1.0}};
+  ASSERT_TRUE(exchange.push_session_delta(first, {}).ok());
+  (void)exchange.run_round();
+
+  // Shard 1 is session-fed with no store: unrecoverable. The push applies
+  // on shard 0, then fails on shard 1 — the exact partial state.
+  exchange.kill_worker(1);
+  std::vector<proto::ShardSessionAdd> second{{3, city0, 2.0}, {4, city1, 2.0}};
+  const auto failed = exchange.push_session_delta(second, {});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, core::Errc::kUnavailable);
+
+  // Settlement and snapshots fail closed while the batch is outstanding.
+  const auto round = exchange.try_run_round();
+  ASSERT_FALSE(round.ok());
+  EXPECT_EQ(round.error().code, core::Errc::kNotReady);
+  const auto snapshot = exchange.try_save_state();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.error().code, core::Errc::kNotReady);
+  EXPECT_THROW((void)exchange.save_state(), std::runtime_error);
+
+  // A different batch is refused at the gate...
+  std::vector<proto::ShardSessionAdd> different{{5, city0, 3.0}};
+  const auto refused = exchange.push_session_delta(different, {});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, core::Errc::kNotReady);
+
+  // ...while the verbatim retry passes it (and here fails only because the
+  // worker is truly unrecoverable — a healed worker would clear the wedge).
+  const auto retried = exchange.push_session_delta(second, {});
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.error().code, core::Errc::kUnavailable);
+}
+
 // Coordinator crash: a FRESH ShardedExchange over the same stores resumes
 // via resume_from_stores() and the tail is byte-identical to the
 // uninterrupted run — for both backends, killing a worker mid-tail too.

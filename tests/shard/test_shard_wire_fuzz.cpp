@@ -6,12 +6,15 @@
 // every rejected frame.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "market/shard.hpp"
 #include "proto/fault.hpp"
 #include "proto/shard_wire.hpp"
+#include "proto/wire.hpp"
+#include "state/snapshot.hpp"
 
 namespace vdx::proto {
 namespace {
@@ -252,6 +255,106 @@ TEST(ShardWireFuzz, WorkerRejectsWellFormedButInvalidPayloadsAtomically) {
   mode_mix.shard = 1;
   mode_mix.payload = encode_shard_groups({});
   expect_rejected(mode_mix, core::Errc::kInvalidArgument);
+}
+
+// A checksum-valid snapshot whose session set cannot form a ledger (bad
+// bitrate, conflicting duplicate ids) must be rejected with NO partial
+// mutation — rounds/mode/demand/ledger/journal all stay exactly as they
+// were, even though the failure is only discoverable after the envelope
+// and every section decoded cleanly.
+TEST(ShardWireFuzz, WorkerSnapshotWithUnappliableSessionsIsRejectedAtomically) {
+  market::ShardWorker worker{1};
+  configure_worker(worker);
+  const std::vector<std::uint8_t> before = worker.save_state();
+
+  // Replicates ShardWorker::save_state's layout (sections 20/21/22) around
+  // an arbitrary session set, with the topology configure_worker pinned.
+  const auto snapshot_with = [](const std::vector<ShardSessionAdd>& sessions) {
+    state::SnapshotWriter writer;
+    ByteWriter w;
+    w.write_u32(1);   // shard
+    w.write_u32(2);   // shard_count
+    w.write_u32(4);   // city_count
+    w.write_u64(42);  // plan_hash
+    w.write_u64(3);   // rounds_applied
+    w.write_u64(2);   // last allocation round
+    w.write_u64(2);   // last collect round
+    w.write_u8(2);    // ShardDemandMode::kSessions
+    const auto demand = encode_shard_groups({});
+    w.write_u32(static_cast<std::uint32_t>(demand.size()));
+    w.write_bytes(demand);
+    w.write_u32(static_cast<std::uint32_t>(sessions.size()));
+    for (const ShardSessionAdd& s : sessions) {
+      w.write_u32(s.id);
+      w.write_u32(s.city);
+      w.write_f64(s.bitrate_mbps);
+    }
+    writer.add_section(20, w.take());  // worker core
+    writer.add_section(21, encode_journal_slice({0, 0, {}}));
+    ByteWriter counters;
+    counters.write_u32(0);
+    writer.add_section(22, counters.take());  // counters
+    return writer.finish();
+  };
+
+  const std::vector<std::vector<ShardSessionAdd>> bad_sets = {
+      {{900, 0, -1.0}},                    // non-positive bitrate
+      {{901, 0, 1.0}, {901, 1, 1.0}},      // same id, conflicting city
+  };
+  for (const auto& sessions : bad_sets) {
+    ShardFrame restore;
+    restore.type = ShardFrameType::kRestoreState;
+    restore.shard = 1;
+    restore.payload = snapshot_with(sessions);
+    const ShardFrame response = worker.handle(restore);
+    ASSERT_EQ(response.type, ShardFrameType::kError);
+    const auto error = decode_shard_error(response.payload);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(error.value().code, core::Errc::kInvalidArgument);
+    EXPECT_EQ(worker.save_state(), before)
+        << "rejected snapshot partially applied state";
+  }
+}
+
+// The chaos path delivers EVERY duplicated copy to the worker (no
+// collapsing), so a redelivered data-plane frame must ack byte-identically
+// and leave no extra state behind.
+TEST(ShardWireFuzz, RedeliveredFramesAreIdempotentAtTheWorker) {
+  market::ShardWorker worker{1};
+  configure_worker(worker);
+
+  ShardFrame delta;
+  delta.type = ShardFrameType::kSessionDelta;
+  delta.shard = 1;
+  ShardSessionDelta payload;
+  payload.adds = {{500, 0, 2.0}, {501, 1, 4.0}};
+  payload.removes = {0};
+  delta.payload = encode_session_delta(payload);
+
+  ShardFrame collect;
+  collect.type = ShardFrameType::kCollect;
+  collect.shard = 1;
+  collect.round = 0;
+
+  ShardFrame allocation;
+  allocation.type = ShardFrameType::kAllocation;
+  allocation.shard = 1;
+  allocation.round = 0;
+  const std::vector<ShardPlacement> placements{{0, 1, 3.0, 0.01, 1.0, 2.0}};
+  allocation.payload = encode_allocation(placements);
+
+  for (const ShardFrame& frame : {delta, collect, allocation}) {
+    const ShardFrame first = worker.handle(frame);
+    ASSERT_NE(first.type, ShardFrameType::kError)
+        << static_cast<int>(frame.type);
+    const auto after_first = worker.save_state();
+    const ShardFrame second = worker.handle(frame);
+    EXPECT_EQ(encode_shard_frame(first), encode_shard_frame(second))
+        << static_cast<int>(frame.type);
+    EXPECT_EQ(worker.save_state(), after_first)
+        << "redelivered frame mutated state (" << static_cast<int>(frame.type)
+        << ")";
+  }
 }
 
 TEST(ShardWireFuzz, UnconfiguredWorkerRefusesEverythingButHello) {
