@@ -153,6 +153,11 @@ class ExchangeFrontend {
       std::uint32_t session_id, geo::CityId city, double bitrate_mbps) = 0;
   /// The registry backing round telemetry.
   [[nodiscard]] virtual const obs::MetricsRegistry& metrics() const = 0;
+  /// Internal links currently quarantined by an open circuit breaker. The
+  /// monolith has no internal links, so the default is 0; the sharded
+  /// frontend reports open shard-link breakers (the daemon folds this into
+  /// its brownout signals).
+  [[nodiscard]] virtual std::size_t open_breakers() const { return 0; }
 };
 
 class VdxExchange final : public ExchangeFrontend {

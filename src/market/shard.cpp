@@ -728,9 +728,21 @@ ShardedExchange::ShardedExchange(const sim::Scenario& scenario, ShardedConfig co
   counters_.rejects = shard_metrics_.counter("exchange.shard.rejects");
   counters_.restarts = shard_metrics_.counter("exchange.shard.restarts");
   counters_.checkpoints = shard_metrics_.counter("exchange.shard.checkpoints");
+  counters_.stale_collects = shard_metrics_.counter("exchange.shard.stale_collects");
+  counters_.skipped_pushes = shard_metrics_.counter("exchange.shard.skipped_pushes");
   counters_.shards = shard_metrics_.gauge("exchange.shard.shards");
   counters_.merged_groups = shard_metrics_.gauge("exchange.shard.merged_groups");
   counters_.shards.set(static_cast<double>(plan_.shard_count));
+
+  supervisor_ = resilience::Supervisor{config_.worker_restart, resilience_obs()};
+  needs_resync_.assign(plan_.shard_count, 0);
+  if (config_.link_breaker.enabled()) {
+    link_breakers_.reserve(plan_.shard_count);
+    for (std::size_t s = 0; s < plan_.shard_count; ++s) {
+      link_breakers_.emplace_back(config_.link_breaker, resilience_obs(),
+                                  static_cast<std::uint32_t>(s));
+    }
+  }
 
   for (std::size_t s = 0; s < plan_.shard_count; ++s) {
     if (auto status = send_hello(s); !status.ok()) {
@@ -742,6 +754,27 @@ ShardedExchange::ShardedExchange(const sim::Scenario& scenario, ShardedConfig co
 }
 
 ShardedExchange::~ShardedExchange() = default;
+
+obs::Observer ShardedExchange::resilience_obs() const noexcept {
+  obs::Observer obs;
+  obs.metrics = &shard_metrics_;
+  obs.tracer = config_.exchange.obs.tracer;
+  obs.journal = config_.exchange.obs.journal;
+  return obs;
+}
+
+std::size_t ShardedExchange::open_breakers() const {
+  std::size_t open = 0;
+  for (const resilience::CircuitBreaker& breaker : link_breakers_) {
+    if (breaker.open()) ++open;
+  }
+  return open;
+}
+
+bool ShardedExchange::shard_quarantined(std::size_t shard) const noexcept {
+  if (link_breakers_.empty() || shard >= plan_.shard_count) return false;
+  return link_breakers_[shard].open() || needs_resync_[shard] != 0;
+}
 
 proto::ShardHello ShardedExchange::hello_for(std::size_t shard) const {
   proto::ShardHello hello;
@@ -920,6 +953,24 @@ core::Status ShardedExchange::recover_worker(std::size_t shard) const {
 }
 
 core::Status ShardedExchange::try_recover_worker(std::size_t shard) const {
+  // The supervisor owns the restart budget: a denied respawn fails typed so
+  // the caller (breaker-aware paths quarantine; legacy paths fail closed)
+  // sees kUnavailable instead of a free respawn loop. The default policy is
+  // unbounded and immediate, matching the pre-supervisor behavior.
+  switch (supervisor_.on_failure(static_cast<std::uint32_t>(shard),
+                                 settlement_->rounds_completed())) {
+    case resilience::RestartDecision::kRestart:
+      break;
+    case resilience::RestartDecision::kBackoff:
+      return Status::failure(
+          Errc::kUnavailable,
+          "shard " + std::to_string(shard) + ": restart backoff until round " +
+              std::to_string(supervisor_.retry_at(static_cast<std::uint32_t>(shard))));
+    case resilience::RestartDecision::kGiveUp:
+      return Status::failure(Errc::kUnavailable,
+                             "shard " + std::to_string(shard) +
+                                 ": restart budget exhausted for this window");
+  }
   if (auto status = transport_->respawn(shard); !status.ok()) return status;
   ++worker_restarts_;
   counters_.restarts.add();
@@ -970,6 +1021,7 @@ core::Status ShardedExchange::try_recover_worker(std::size_t shard) const {
     auto response = direct_call(shard, push, /*recover=*/false);
     if (!response.ok()) return Status{response.error()};
   }
+  supervisor_.on_success(static_cast<std::uint32_t>(shard));
   return core::ok_status();
 }
 
@@ -991,20 +1043,63 @@ std::vector<std::vector<proto::ShardGroup>> ShardedExchange::slice_demand(
   return slices;
 }
 
-core::Status ShardedExchange::push_demand_slices() const {
-  for (std::size_t s = 0; s < plan_.shard_count; ++s) {
-    ShardFrame frame;
-    frame.type = ShardFrameType::kSetDemand;
-    frame.shard = static_cast<std::uint32_t>(s);
-    frame.payload = proto::encode_shard_groups(last_slices_[s]);
-    auto response = data_call(s, frame);
-    if (!response.ok()) return Status{response.error()};
-    if (response.value().type != ShardFrameType::kAck) {
-      return Status::failure(Errc::kCorruptFrame,
-                             "set_demand: unexpected response type");
-    }
+core::Status ShardedExchange::push_slice_to(std::size_t shard) const {
+  ShardFrame frame;
+  frame.type = ShardFrameType::kSetDemand;
+  frame.shard = static_cast<std::uint32_t>(shard);
+  frame.payload = proto::encode_shard_groups(last_slices_[shard]);
+  auto response = data_call(shard, frame);
+  if (!response.ok()) return Status{response.error()};
+  if (response.value().type != ShardFrameType::kAck) {
+    return Status::failure(Errc::kCorruptFrame,
+                           "set_demand: unexpected response type");
   }
   return core::ok_status();
+}
+
+core::Status ShardedExchange::push_demand_slices() const {
+  const bool breakers = !link_breakers_.empty();
+  const std::uint64_t now = settlement_->rounds_completed();
+  for (std::size_t s = 0; s < plan_.shard_count; ++s) {
+    if (breakers && !link_breakers_[s].allow(now)) {
+      // Quarantined: leave the shard alone instead of burning the link
+      // retry budget. It settles from the coordinator's cached slice (the
+      // authoritative copy in demand mode) until a half-open probe lands a
+      // fresh push.
+      needs_resync_[s] = 1;
+      counters_.skipped_pushes.add();
+      continue;
+    }
+    auto pushed = push_slice_to(s);
+    if (pushed.ok()) {
+      if (breakers) {
+        link_breakers_[s].on_success(now);
+        needs_resync_[s] = 0;
+      }
+      continue;
+    }
+    if (!breakers) return pushed;
+    link_breakers_[s].on_failure(now);
+    needs_resync_[s] = 1;
+  }
+  return core::ok_status();
+}
+
+/// Half-open probes for flagged shards: a successful re-push of the current
+/// slice is the only thing that clears needs_resync_, because only a push
+/// proves the worker's demand matches the coordinator cache again.
+void ShardedExchange::resync_quarantined(std::uint64_t round) const {
+  for (std::size_t s = 0; s < plan_.shard_count; ++s) {
+    if (needs_resync_[s] == 0) continue;
+    if (!link_breakers_[s].allow(round)) continue;
+    auto pushed = push_slice_to(s);
+    if (pushed.ok()) {
+      link_breakers_[s].on_success(round);
+      needs_resync_[s] = 0;
+    } else {
+      link_breakers_[s].on_failure(round);
+    }
+  }
 }
 
 void ShardedExchange::set_active_load(std::span<const broker::ClientGroup> groups,
@@ -1147,6 +1242,39 @@ core::Result<std::vector<broker::ClientGroup>> ShardedExchange::collect_and_merg
     requests[s].shard = static_cast<std::uint32_t>(s);
     requests[s].round = round;
   }
+
+  if (breaker_active()) {
+    // Demand mode under the breaker: a quarantined shard's groups are
+    // synthesized from the coordinator's cached slice — byte-identical to
+    // a live answer, because workers only echo the slice the coordinator
+    // pushed. Live shards that fail here trip their breaker and fall back
+    // to the cache in the same round, so collect cannot fail.
+    std::vector<proto::ShardGroup> all;
+    bool any_stale = false;
+    for (std::size_t s = 0; s < plan_.shard_count; ++s) {
+      bool stale = needs_resync_[s] != 0;
+      if (!stale && !link_breakers_[s].allow(round)) stale = true;
+      if (!stale) {
+        auto live = collect_live(s, requests[s], round);
+        if (live.ok()) {
+          link_breakers_[s].on_success(round);
+          for (proto::ShardGroup& g : live.value()) all.push_back(std::move(g));
+          continue;
+        }
+        link_breakers_[s].on_failure(round);
+        needs_resync_[s] = 1;
+      }
+      counters_.stale_collects.add();
+      any_stale = true;
+      resilience_obs().record(obs::EventKind::kStaleBid,
+                              static_cast<std::uint32_t>(s),
+                              static_cast<double>(last_slices_[s].size()));
+      for (const proto::ShardGroup& g : last_slices_[s]) all.push_back(g);
+    }
+    if (any_stale) ++stale_rounds_;
+    return merge_demand_groups(std::move(all));
+  }
+
   auto responses = data_broadcast(requests);
   if (!responses.ok()) return R{responses.error()};
 
@@ -1218,23 +1346,54 @@ core::Result<std::vector<broker::ClientGroup>> ShardedExchange::collect_and_merg
       merged.push_back(group);
     }
   } else {
-    // Explicit slices: global ids restore the original vector losslessly —
-    // the merge must be a bijection onto 0..n-1 or a worker lied.
-    std::sort(all.begin(), all.end(),
-              [](const proto::ShardGroup& a, const proto::ShardGroup& b) {
-                return a.global_id < b.global_id;
-              });
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      if (all[i].global_id != i || all[i].group.id.value() != i) {
-        return R::failure(Errc::kCorruptFrame,
-                          "collect: merged demand ids are not dense — shard "
-                          "slices overlap or lost groups");
-      }
-      merged.push_back(all[i].group);
-    }
+    return merge_demand_groups(std::move(all));
   }
   counters_.merged_groups.set(static_cast<double>(merged.size()));
   return merged;
+}
+
+core::Result<std::vector<broker::ClientGroup>> ShardedExchange::merge_demand_groups(
+    std::vector<proto::ShardGroup> all) const {
+  using R = core::Result<std::vector<broker::ClientGroup>>;
+  // Explicit slices: global ids restore the original vector losslessly —
+  // the merge must be a bijection onto 0..n-1 or a worker lied.
+  std::sort(all.begin(), all.end(),
+            [](const proto::ShardGroup& a, const proto::ShardGroup& b) {
+              return a.global_id < b.global_id;
+            });
+  std::vector<broker::ClientGroup> merged;
+  merged.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].global_id != i || all[i].group.id.value() != i) {
+      return R::failure(Errc::kCorruptFrame,
+                        "collect: merged demand ids are not dense — shard "
+                        "slices overlap or lost groups");
+    }
+    merged.push_back(all[i].group);
+  }
+  counters_.merged_groups.set(static_cast<double>(merged.size()));
+  return merged;
+}
+
+core::Result<std::vector<proto::ShardGroup>> ShardedExchange::collect_live(
+    std::size_t shard, const proto::ShardFrame& request, std::uint64_t round) const {
+  using R = core::Result<std::vector<proto::ShardGroup>>;
+  auto response = data_call(shard, request);
+  if (!response.ok()) return R{response.error()};
+  const ShardFrame& frame = response.value();
+  if (frame.type != ShardFrameType::kBidCandidates || frame.round != round) {
+    return R::failure(Errc::kCorruptFrame,
+                      "collect: unexpected response from shard " +
+                          std::to_string(shard));
+  }
+  auto candidates = proto::decode_candidates(frame.payload);
+  if (!candidates.ok()) return R{candidates.error()};
+  if (candidates.value().mode != ShardDemandMode::kDemand) {
+    return R::failure(Errc::kUnavailable,
+                      "collect: shard " + std::to_string(shard) +
+                          " answered in the wrong demand mode");
+  }
+  return std::move(candidates.value().groups);
 }
 
 core::Status ShardedExchange::broadcast_allocation(std::uint64_t round) {
@@ -1259,6 +1418,30 @@ core::Status ShardedExchange::broadcast_allocation(std::uint64_t round) {
     requests[s].round = round;
     requests[s].payload = proto::encode_allocation(slices[s]);
   }
+
+  if (breaker_active()) {
+    // A quarantined shard misses its allocation slice (it re-syncs later);
+    // a live shard that fails here trips its breaker. Either way the round
+    // closes — allocation fan-out is worker-side bookkeeping, settlement
+    // bytes are already committed.
+    for (std::size_t s = 0; s < plan_.shard_count; ++s) {
+      if (needs_resync_[s] != 0 || link_breakers_[s].open()) continue;
+      auto response = data_call(s, requests[s]);
+      bool acked = false;
+      if (response.ok() && response.value().type == ShardFrameType::kAck) {
+        auto value = proto::decode_shard_ack(response.value().payload);
+        acked = value.ok() && value.value() == round;
+      }
+      if (acked) {
+        link_breakers_[s].on_success(round);
+      } else {
+        link_breakers_[s].on_failure(round);
+        needs_resync_[s] = 1;
+      }
+    }
+    return core::ok_status();
+  }
+
   auto responses = data_broadcast(requests);
   if (!responses.ok()) return Status{responses.error()};
   for (std::size_t s = 0; s < responses.value().size(); ++s) {
@@ -1289,6 +1472,10 @@ core::Result<RoundReport> ShardedExchange::try_run_round() {
   }
   if (auto status = ensure_fed(); !status.ok()) return R{status.error()};
   const std::uint64_t round = settlement_->rounds_completed();
+
+  // Half-open probes first: a quarantined shard that accepts a fresh slice
+  // push rejoins the live collect below in the same round.
+  if (breaker_active()) resync_quarantined(round);
 
   auto merged = collect_and_merge(round);
   if (!merged.ok()) return R{merged.error()};

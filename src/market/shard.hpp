@@ -51,6 +51,8 @@
 #include "market/exchange.hpp"
 #include "net/shard_channel.hpp"
 #include "proto/shard_wire.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/supervisor.hpp"
 #include "state/snapshot.hpp"
 #include "state/store.hpp"
 
@@ -228,6 +230,17 @@ struct ShardedConfig {
   std::size_t checkpoint_every_rounds = 0;
   std::size_t checkpoint_keep = 3;
   std::size_t worker_journal_capacity = 4096;
+  /// Restart budget + deterministic backoff for worker respawns, on the
+  /// settlement round clock. The default policy (unbounded, immediate) is
+  /// exactly the pre-supervisor behavior.
+  resilience::RestartPolicy worker_restart;
+  /// Per shard-link circuit breaker (demand mode only). Disabled by default
+  /// (failure_threshold 0): every existing call site keeps its fail-closed
+  /// semantics. When enabled, a tripped shard is quarantined — settled from
+  /// its cached slice (byte-identical: in demand mode the coordinator cache
+  /// is authoritative and workers only echo it) instead of burning the link
+  /// retry budget every round — until a half-open probe re-pushes its slice.
+  resilience::BreakerConfig link_breaker;
 };
 
 /// The coordinator. See the file comment for the topology and invariants.
@@ -317,6 +330,18 @@ class ShardedExchange final : public ExchangeFrontend {
     return worker_restarts_;
   }
 
+  /// Shard links whose breaker is currently open (ExchangeFrontend hook for
+  /// the daemon's brownout signals). Always 0 with the breaker disabled.
+  [[nodiscard]] std::size_t open_breakers() const override;
+  /// True while `shard` settles from its cached slice (breaker open, or a
+  /// fresh slice push has not landed since the last failure).
+  [[nodiscard]] bool shard_quarantined(std::size_t shard) const noexcept;
+  /// Rounds in which at least one shard settled from its cached slice.
+  [[nodiscard]] std::size_t stale_rounds() const noexcept { return stale_rounds_; }
+  [[nodiscard]] const resilience::Supervisor& worker_supervisor() const noexcept {
+    return supervisor_;
+  }
+
  private:
   using FrameResult = core::Result<proto::ShardFrame>;
 
@@ -341,18 +366,41 @@ class ShardedExchange final : public ExchangeFrontend {
 
   /// Respawn + restore; on failure the worker is re-killed so it cannot
   /// linger half-initialized and absorb later deltas into an empty ledger.
+  /// The supervisor can deny the respawn outright (budget spent / backoff
+  /// running), which also fails typed (kUnavailable).
   [[nodiscard]] core::Status recover_worker(std::size_t shard) const;
   [[nodiscard]] core::Status try_recover_worker(std::size_t shard) const;
+
+  [[nodiscard]] bool breaker_active() const noexcept {
+    return !link_breakers_.empty() && mode_ == proto::ShardDemandMode::kDemand;
+  }
+  /// Observer for resilience bookkeeping: shard-side registry (never the
+  /// settlement metrics, whose export must stay byte-identical to the
+  /// monolith's) plus the settlement journal/tracer for typed transitions.
+  [[nodiscard]] obs::Observer resilience_obs() const noexcept;
   /// Partitions a dense global demand vector into per-shard ShardGroup
   /// slices (index = global id). Throws std::invalid_argument on non-dense
   /// ids or unknown cities.
   [[nodiscard]] std::vector<std::vector<proto::ShardGroup>> slice_demand(
       std::span<const broker::ClientGroup> groups) const;
-  /// Sends each shard its slice as kSetDemand and expects acks.
+  /// Sends each shard its slice as kSetDemand and expects acks. With the
+  /// link breaker enabled a quarantined/failed shard is flagged for resync
+  /// instead of failing the push.
   [[nodiscard]] core::Status push_demand_slices() const;
+  [[nodiscard]] core::Status push_slice_to(std::size_t shard) const;
+  /// Half-open probes: re-push the current slice to flagged shards whose
+  /// breaker admits traffic again.
+  void resync_quarantined(std::uint64_t round) const;
   [[nodiscard]] core::Status ensure_fed();
   [[nodiscard]] core::Result<std::vector<broker::ClientGroup>> collect_and_merge(
       std::uint64_t round);
+  /// One live collect round-trip to `shard`, fully validated (demand mode).
+  [[nodiscard]] core::Result<std::vector<proto::ShardGroup>> collect_live(
+      std::size_t shard, const proto::ShardFrame& request,
+      std::uint64_t round) const;
+  /// Demand-mode merge: sorts by global id and checks the dense bijection.
+  [[nodiscard]] core::Result<std::vector<broker::ClientGroup>> merge_demand_groups(
+      std::vector<proto::ShardGroup> all) const;
   /// Slices the settlement's placements by owning shard and broadcasts
   /// kAllocation (every shard gets a frame — empty slices close the round).
   [[nodiscard]] core::Status broadcast_allocation(std::uint64_t round);
@@ -401,10 +449,22 @@ class ShardedExchange final : public ExchangeFrontend {
   std::optional<state::CheckpointStore> coordinator_store_;
   std::vector<std::filesystem::path> worker_store_dirs_;
 
+  /// Gates worker respawns (restart budget + deterministic backoff on the
+  /// settlement round clock).
+  mutable resilience::Supervisor supervisor_;
+  /// One breaker per shard link; empty when the breaker is disabled.
+  mutable std::vector<resilience::CircuitBreaker> link_breakers_;
+  /// Shard must accept a fresh slice push before its live collect output is
+  /// trusted again (set when a push was skipped or failed under the
+  /// breaker; cleared by the next successful push).
+  mutable std::vector<char> needs_resync_;
+  mutable std::size_t stale_rounds_ = 0;
+
   mutable std::size_t worker_restarts_ = 0;
   mutable obs::MetricsRegistry shard_metrics_;
   struct Counters {
     obs::Counter rounds, frames, retries, rejects, restarts, checkpoints;
+    obs::Counter stale_collects, skipped_pushes;
     obs::Gauge shards, merged_groups;
   };
   mutable Counters counters_;

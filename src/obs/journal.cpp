@@ -11,12 +11,14 @@ namespace vdx::obs {
 
 namespace {
 
-constexpr std::array<std::string_view, 19> kKindNames{
+constexpr std::array<std::string_view, 25> kKindNames{
     "round_start",    "round_end",   "bid",      "retry",
     "timeout",        "decode_reject", "stale_bid", "quorum_miss",
     "degraded_round", "failover",    "solve",    "epoch",
     "checkpoint",     "resume",      "shed",     "supply_shift",
-    "admit",          "drain",       "custom",
+    "admit",          "drain",       "breaker_open", "breaker_half_open",
+    "breaker_close",  "brownout_step", "checkpoint_skip", "restart_denied",
+    "custom",
 };
 
 }  // namespace

@@ -42,6 +42,12 @@ enum class EventKind : std::uint8_t {
   kSupplyShift,
   kAdmit,
   kDrain,
+  kBreakerOpen,
+  kBreakerHalfOpen,
+  kBreakerClose,
+  kBrownoutStep,
+  kCheckpointSkip,
+  kRestartDenied,
   kCustom,  // must stay last: the checkpoint codec bounds kind bytes by it
 };
 

@@ -21,6 +21,20 @@
 
 namespace vdx::proto {
 
+/// Half-open logical-clock interval [from, until) during which a fault
+/// source is armed. Shared schedule plumbing for every fault layer (link
+/// chaos, disk faults, drill scripts): schedules expressed as windows on
+/// the logical clock replay exactly, independent of wall time.
+struct FaultWindow {
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+
+  [[nodiscard]] bool active(std::uint64_t tick) const noexcept {
+    return tick >= from && tick < until;
+  }
+  [[nodiscard]] bool empty() const noexcept { return until <= from; }
+};
+
 /// Per-link fault rates. All probabilities are per-frame in [0, 1].
 struct FaultProfile {
   double drop_rate = 0.0;

@@ -1,0 +1,78 @@
+#include "resilience/breaker.hpp"
+
+namespace vdx::resilience {
+
+const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config, obs::Observer obs,
+                               std::uint32_t subject)
+    : config_(config), obs_(obs), subject_(subject) {
+  if (obs.metrics != nullptr) {
+    opens_ = obs.metrics->counter("resilience.breaker.opens");
+    closes_ = obs.metrics->counter("resilience.breaker.closes");
+    rejected_ = obs.metrics->counter("resilience.breaker.rejected");
+  }
+}
+
+bool CircuitBreaker::allow(std::uint64_t now) {
+  if (!config_.enabled()) return true;
+  if (state_ == BreakerState::kOpen) {
+    if (now >= opened_at_ + config_.open_ticks) {
+      state_ = BreakerState::kHalfOpen;
+      probe_streak_ = 0;
+      obs_.record(obs::EventKind::kBreakerHalfOpen, subject_,
+                  static_cast<double>(now - opened_at_));
+      return true;
+    }
+    rejected_.add(1.0);
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(std::uint64_t now) {
+  if (!config_.enabled()) return;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++probe_streak_ >= config_.probe_successes) {
+      state_ = BreakerState::kClosed;
+      probe_streak_ = 0;
+      closes_.add(1.0);
+      obs_.record(obs::EventKind::kBreakerClose, subject_,
+                  static_cast<double>(now - opened_at_));
+    }
+  }
+}
+
+void CircuitBreaker::on_failure(std::uint64_t now) {
+  if (!config_.enabled()) return;
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the timer.
+    trip(now);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    trip(now);
+  }
+}
+
+void CircuitBreaker::trip(std::uint64_t now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  probe_streak_ = 0;
+  ++opened_n_;
+  opens_.add(1.0);
+  obs_.record(obs::EventKind::kBreakerOpen, subject_,
+              static_cast<double>(config_.open_ticks));
+}
+
+}  // namespace vdx::resilience

@@ -1,0 +1,81 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+
+namespace vdx::resilience {
+
+namespace {
+
+/// min(base << streak, max) with shift-overflow clamping.
+std::uint64_t backoff_ticks(const RestartPolicy& policy, std::size_t streak) {
+  if (policy.backoff_base_ticks == 0) return 0;
+  const std::size_t shift = std::min<std::size_t>(streak, 63);
+  std::uint64_t ticks = policy.backoff_base_ticks;
+  for (std::size_t i = 0; i < shift; ++i) {
+    if (policy.backoff_max_ticks != 0 && ticks >= policy.backoff_max_ticks) break;
+    ticks <<= 1;
+  }
+  if (policy.backoff_max_ticks != 0) {
+    ticks = std::min(ticks, policy.backoff_max_ticks);
+  }
+  return ticks;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(RestartPolicy policy, obs::Observer obs)
+    : policy_(policy), obs_(obs) {
+  if (obs.metrics != nullptr) {
+    restarts_ = obs.metrics->counter("resilience.restarts");
+    backoffs_ = obs.metrics->counter("resilience.restart_backoffs");
+    denials_ = obs.metrics->counter("resilience.restarts_denied");
+  }
+}
+
+RestartDecision Supervisor::on_failure(std::uint32_t child, std::uint64_t now) {
+  Child& state = children_[child];
+  if (now < state.next_allowed) {
+    backoffs_.add(1.0);
+    return RestartDecision::kBackoff;
+  }
+  if (policy_.window_ticks > 0) {
+    const std::uint64_t horizon =
+        now >= policy_.window_ticks ? now - policy_.window_ticks + 1 : 0;
+    std::erase_if(state.restart_ticks,
+                  [horizon](std::uint64_t tick) { return tick < horizon; });
+  }
+  if (policy_.max_restarts > 0 && state.restart_ticks.size() >= policy_.max_restarts) {
+    ++denied_n_;
+    denials_.add(1.0);
+    obs_.record(obs::EventKind::kRestartDenied, child,
+                static_cast<double>(state.restart_ticks.size()));
+    return RestartDecision::kGiveUp;
+  }
+  state.restart_ticks.push_back(now);
+  const std::uint64_t wait = backoff_ticks(policy_, state.consecutive);
+  ++state.consecutive;
+  // base == 0 keeps next_allowed at `now`: immediate retries stay legal.
+  state.next_allowed = now + wait;
+  ++restarts_n_;
+  restarts_.add(1.0);
+  return RestartDecision::kRestart;
+}
+
+void Supervisor::on_success(std::uint32_t child) {
+  const auto it = children_.find(child);
+  if (it == children_.end()) return;
+  it->second.consecutive = 0;
+  it->second.next_allowed = 0;
+}
+
+std::uint64_t Supervisor::retry_at(std::uint32_t child) const {
+  const auto it = children_.find(child);
+  return it == children_.end() ? 0 : it->second.next_allowed;
+}
+
+std::size_t Supervisor::consecutive_failures(std::uint32_t child) const {
+  const auto it = children_.find(child);
+  return it == children_.end() ? 0 : it->second.consecutive;
+}
+
+}  // namespace vdx::resilience

@@ -1,0 +1,75 @@
+// Supervisor: deterministic restart policy for crashing children
+// (DESIGN.md §15).
+//
+// Owns the restart budget for a set of children (shard workers, the
+// checkpointer): every failure is answered with one of three decisions —
+// restart now, hold off (exponential backoff still running), or give up
+// (the per-window budget is spent). All timing is expressed in ticks of
+// the caller's logical clock (settlement rounds for the exchange, serve
+// rounds for the daemon), never wall time, and the backoff schedule is
+// jitter-free — min(base << consecutive_failures, max) — so any failure
+// sequence replays to the identical restart sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "obs/observe.hpp"
+
+namespace vdx::resilience {
+
+struct RestartPolicy {
+  /// Restarts allowed inside a sliding `window_ticks` window; 0 = unbounded.
+  std::size_t max_restarts = 0;
+  /// Width of the restart-budget window; 0 = budget never expires entries.
+  std::uint64_t window_ticks = 0;
+  /// First backoff after a failure streak starts; 0 = restart immediately.
+  std::uint64_t backoff_base_ticks = 0;
+  /// Backoff ceiling; 0 = uncapped doubling.
+  std::uint64_t backoff_max_ticks = 0;
+};
+
+enum class RestartDecision : std::uint8_t {
+  kRestart,  // respawn the child now
+  kBackoff,  // too soon — ask again on a later tick
+  kGiveUp,   // restart budget spent; quarantine the child
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(RestartPolicy policy = {}, obs::Observer obs = {});
+
+  /// Child `child` failed at logical time `now`: decides whether to restart.
+  /// kRestart charges the budget and schedules the next backoff; kBackoff
+  /// and kGiveUp leave the child down (kGiveUp is journaled kRestartDenied).
+  [[nodiscard]] RestartDecision on_failure(std::uint32_t child, std::uint64_t now);
+
+  /// Child proved healthy: resets its failure streak and backoff.
+  void on_success(std::uint32_t child);
+
+  /// Earliest tick at which on_failure(child) can return kRestart again.
+  [[nodiscard]] std::uint64_t retry_at(std::uint32_t child) const;
+  [[nodiscard]] std::size_t consecutive_failures(std::uint32_t child) const;
+  [[nodiscard]] std::uint64_t restarts_total() const noexcept { return restarts_n_; }
+  [[nodiscard]] std::uint64_t denied_total() const noexcept { return denied_n_; }
+
+  [[nodiscard]] const RestartPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct Child {
+    std::vector<std::uint64_t> restart_ticks;  // inside the current window
+    std::size_t consecutive = 0;
+    std::uint64_t next_allowed = 0;
+  };
+
+  RestartPolicy policy_;
+  obs::Observer obs_;
+  std::map<std::uint32_t, Child> children_;
+  std::uint64_t restarts_n_ = 0;
+  std::uint64_t denied_n_ = 0;
+  obs::Counter restarts_;
+  obs::Counter backoffs_;
+  obs::Counter denials_;
+};
+
+}  // namespace vdx::resilience

@@ -11,6 +11,12 @@
 
 namespace vdx::serve {
 
+namespace {
+/// Journal subject tagging the checkpointer's circuit breaker (shard-link
+/// breakers use their shard index; this id cannot collide with one).
+constexpr std::uint32_t kCheckpointerSubject = 0xC4EC;
+}  // namespace
+
 /// The daemon's active population: the same SoA SessionStore the streaming
 /// engine uses, minus the stream coupling — the ArrivalFeed owns the pull
 /// side, the daemon pushes arrivals in and fills the feed position into the
@@ -73,6 +79,8 @@ ServeDaemon::ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,
     sharded.backend = config_.shard_backend;
     sharded.exchange = config_.exchange;
     sharded.link_faults = config_.shard_link_faults;
+    sharded.worker_restart = config_.shard_worker_restart;
+    sharded.link_breaker = config_.shard_link_breaker;
     exchange_ = std::make_unique<market::ShardedExchange>(scenario_, sharded);
   } else {
     exchange_ =
@@ -82,12 +90,21 @@ ServeDaemon::ServeDaemon(const sim::Scenario& scenario, ArrivalFeed& feed,
   latency_ = std::make_unique<LatencyRecorder>(*obs_.metrics);
   zero_loads_.assign(scenario_.catalog().clusters().size(), 0.0);
 
+  checkpoint_breaker_ = resilience::CircuitBreaker{config_.checkpoint_breaker,
+                                                   obs_, kCheckpointerSubject};
+  brownout_ = resilience::BrownoutController{config_.brownout, obs_};
+  base_demand_budget_ = config_.exchange.overload.demand_budget_mbps;
+  if (config_.health != nullptr) {
+    config_.health->set_lifecycle(Lifecycle::kStarting);
+  }
+
   rounds_counter_ = obs_.metrics->counter("serve.rounds");
   arrivals_counter_ = obs_.metrics->counter("serve.arrivals");
   queue_dropped_counter_ = obs_.metrics->counter("serve.queue_dropped");
   shed_mbps_counter_ = obs_.metrics->counter("serve.shed.mbps");
   shed_clients_counter_ = obs_.metrics->counter("serve.shed.clients");
   checkpoints_counter_ = obs_.metrics->counter("serve.checkpoints");
+  checkpoint_skips_counter_ = obs_.metrics->counter("serve.checkpoint_skips");
   active_gauge_ = obs_.metrics->gauge("serve.active_sessions");
 }
 
@@ -180,15 +197,31 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
   if (config_.checkpoint_every_rounds > 0) {
     store = std::make_unique<state::CheckpointStore>(
         config_.checkpoint_dir, std::max<std::size_t>(1, config_.checkpoint_keep),
-        obs_);
+        obs_, config_.checkpoint_fs);
   }
+  const auto skip_checkpoint = [&](std::uint64_t next_round) {
+    ++report.checkpoint_skips;
+    checkpoint_skips_counter_.add();
+    obs_.record(obs::EventKind::kCheckpointSkip, obs::RunJournal::kNoSubject,
+                static_cast<double>(next_round));
+  };
   const auto write_checkpoint = [&](std::uint64_t next_round) {
-    // A sharded exchange can transiently fail to snapshot (a worker died and
-    // recovery failed); skip this checkpoint and keep serving — the previous
-    // one stays the resume point — rather than let save_state throw through
-    // the serve loop.
+    // The checkpointer is supervised by a circuit breaker on the round
+    // clock: consecutive failures (a degraded sharded exchange that cannot
+    // snapshot, a sick disk) suspend checkpointing — the previous snapshot
+    // stays the resume point and serving continues — until a half-open
+    // probe succeeds after the fault clears. Every skipped or failed
+    // attempt is journaled (checkpoint_skip) and counted.
+    if (!checkpoint_breaker_.allow(next_round)) {
+      skip_checkpoint(next_round);
+      return;
+    }
     auto exchange_state = exchange_->try_save_state();
-    if (!exchange_state.ok()) return;
+    if (!exchange_state.ok()) {
+      checkpoint_breaker_.on_failure(next_round);
+      skip_checkpoint(next_round);
+      return;
+    }
     const state::DaemonCheckpoint cp =
         make_checkpoint(next_round, std::move(exchange_state).value());
     obs_.record(obs::EventKind::kCheckpoint, obs::RunJournal::kNoSubject,
@@ -196,14 +229,30 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
     if (store->write(next_round, state::encode(cp)).ok()) {
       checkpoints_counter_.add();
       ++report.checkpoints_written;
+      checkpoint_breaker_.on_success(next_round);
+    } else {
+      checkpoint_breaker_.on_failure(next_round);
+      skip_checkpoint(next_round);
     }
   };
 
+  if (config_.health != nullptr) {
+    config_.health->set_lifecycle(Lifecycle::kServing);
+  }
+  // Brownout budget shrink is applied as a multiplier over the configured
+  // budget; track what is currently applied so the (journaling-free) setter
+  // only runs on transitions.
+  double applied_budget_factor = 1.0;
+
   std::uint64_t r = start_round;
   while (r < horizon_rounds) {
+    if (config_.round_hook) config_.round_hook(r);
     if (config_.stop != nullptr && config_.stop->load(std::memory_order_relaxed)) {
       // Graceful drain: journal the event, snapshot, and hand back a
       // resumable state instead of finishing the horizon.
+      if (config_.health != nullptr) {
+        config_.health->set_lifecycle(Lifecycle::kDraining);
+      }
       obs_.record(obs::EventKind::kDrain, obs::RunJournal::kNoSubject,
                   static_cast<double>(active_->count()));
       if (store != nullptr) write_checkpoint(r);
@@ -238,7 +287,12 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
                   static_cast<double>(turned_away));
     }
     peak_active_ = std::max(peak_active_, static_cast<std::uint64_t>(active_->count()));
-    active_gauge_.set(static_cast<double>(active_->count()));
+    // Brownout step >= 1 sheds non-critical telemetry first: the active-
+    // population gauge goes stale while the SLO-critical serve.* histograms
+    // keep recording.
+    if (!brownout_.skip_noncritical_exports()) {
+      active_gauge_.set(static_cast<double>(active_->count()));
+    }
 
     if (active_->count() == 0 && feed_->exhausted()) break;
 
@@ -290,6 +344,31 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
     if (store != nullptr && r % config_.checkpoint_every_rounds == 0) {
       write_checkpoint(r);
     }
+
+    // Re-evaluate the brownout ladder once per round, after the checkpoint
+    // attempt so a fresh suspension registers the same round. The latency
+    // trigger only reads quantiles when armed (p99_slo_ms > 0) — slo() walks
+    // every histogram bucket, which is waste on the default path.
+    resilience::BrownoutController::Signals signals;
+    signals.open_breakers = exchange_->open_breakers();
+    signals.checkpoint_suspended = checkpoint_breaker_.open();
+    if (brownout_.config().p99_slo_ms > 0.0) {
+      const LatencyRecorder::Slo slo = latency_->slo();
+      signals.p99_ms = slo.p99_ms;
+      signals.rounds_observed = slo.rounds;
+    }
+    const int step = brownout_.evaluate(signals, r);
+    if (step > 0) ++report.brownout_rounds;
+    const double factor = brownout_.admission_factor();
+    if (base_demand_budget_ > 0.0 && factor != applied_budget_factor) {
+      exchange_->set_demand_budget(base_demand_budget_ * factor);
+      applied_budget_factor = factor;
+    }
+    if (config_.health != nullptr) {
+      config_.health->set_brownout(brownout_.health(), step);
+      config_.health->set_open_breakers(signals.open_breakers +
+                                        (signals.checkpoint_suspended ? 1 : 0));
+    }
     if (config_.halt_after_rounds > 0 &&
         r - start_round >= config_.halt_after_rounds) {
       report.halted = true;
@@ -302,7 +381,11 @@ ServeReport ServeDaemon::run_loop(std::uint64_t start_round) {
     }
   }
 
+  if (config_.health != nullptr) {
+    config_.health->set_lifecycle(Lifecycle::kStopped);
+  }
   report.rounds = r;
+  report.final_brownout_step = brownout_.step();
   report.decision_rounds = decision_rounds_;
   report.skipped_rounds = skipped_rounds_;
   report.arrivals = feed_->consumed();

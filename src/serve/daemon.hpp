@@ -21,16 +21,22 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <span>
 
 #include "market/exchange.hpp"
 #include "market/shard.hpp"
+#include "resilience/breaker.hpp"
+#include "resilience/brownout.hpp"
+#include "resilience/supervisor.hpp"
 #include "serve/feed.hpp"
+#include "serve/health.hpp"
 #include "serve/latency.hpp"
 #include "sim/scenario.hpp"
 #include "state/checkpoint.hpp"
+#include "state/fs.hpp"
 
 namespace vdx::serve {
 
@@ -73,6 +79,30 @@ struct ServeConfig {
   market::ShardBackend shard_backend = market::ShardBackend::kInproc;
   /// Chaos on the coordinator<->shard links (shards > 1 only).
   proto::FaultProfile shard_link_faults;
+  /// Supervision for shard workers (shards > 1): restart budget + backoff
+  /// on the settlement round clock. Defaults = unbounded immediate restarts
+  /// (the pre-supervisor behavior).
+  resilience::RestartPolicy shard_worker_restart;
+  /// Per-shard-link circuit breakers (shards > 1, demand mode): consecutive
+  /// link failures quarantine the shard onto stale-slice settlement until a
+  /// half-open probe succeeds. Disabled by default (failure_threshold = 0).
+  resilience::BreakerConfig shard_link_breaker;
+  /// Circuit breaker over the checkpointer: consecutive checkpoint failures
+  /// (snapshot capture or storage write) suspend checkpointing — journaled
+  /// as checkpoint_skip — until a probe succeeds after the disk heals.
+  /// Disabled by default: a failed checkpoint is then retried next period.
+  resilience::BreakerConfig checkpoint_breaker;
+  /// Brownout ladder driven by breaker/checkpoint/latency signals; the
+  /// latency trigger stays off unless brownout.p99_slo_ms > 0.
+  resilience::BrownoutConfig brownout;
+  /// Storage seam for the checkpoint store (nullptr = the host filesystem).
+  /// Fault-injection tests pass a state::FaultFs here.
+  state::FileSystem* checkpoint_fs = nullptr;
+  /// Live health snapshot published for /healthz (non-owning; optional).
+  HealthState* health = nullptr;
+  /// Test/drill hook invoked at the top of every round with the round index
+  /// — fault schedules key off it so chaos lands on the logical clock.
+  std::function<void(std::uint64_t)> round_hook;
   /// Identity stamped into checkpoints; resume() validates it. The daemon
   /// overrides `design` with kDaemonDesign and `epoch_s` with round_s.
   state::RunFingerprint fingerprint;
@@ -97,6 +127,12 @@ struct ServeReport {
   double shed_clients_total = 0.0;
   std::uint64_t shed_rounds = 0;
   std::uint64_t checkpoints_written = 0;
+  /// Checkpoint attempts skipped (breaker open) or failed (capture/write).
+  std::uint64_t checkpoint_skips = 0;
+  /// Rounds served at brownout step >= 1.
+  std::uint64_t brownout_rounds = 0;
+  /// Ladder position when the loop ended (0 = fully recovered).
+  int final_brownout_step = 0;
   bool drained = false;
   bool halted = false;
   LatencyRecorder::Slo slo;
@@ -151,6 +187,12 @@ class ServeDaemon {
   std::vector<double> zero_loads_;
   obs::Observer obs_;
 
+  /// Resilience layer: checkpointer breaker + brownout ladder (DESIGN §15).
+  resilience::CircuitBreaker checkpoint_breaker_;
+  resilience::BrownoutController brownout_;
+  /// Unshrunk admission budget, captured before brownout scales it.
+  double base_demand_budget_ = 0.0;
+
   /// Cross-resume accumulators (mirrored into ServeReport).
   std::uint64_t decision_rounds_ = 0;
   std::uint64_t skipped_rounds_ = 0;
@@ -167,6 +209,7 @@ class ServeDaemon {
   obs::Counter shed_mbps_counter_;
   obs::Counter shed_clients_counter_;
   obs::Counter checkpoints_counter_;
+  obs::Counter checkpoint_skips_counter_;
   obs::Gauge active_gauge_;
 };
 

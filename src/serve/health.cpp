@@ -1,0 +1,27 @@
+#include "serve/health.hpp"
+
+namespace vdx::serve {
+
+const char* to_string(Lifecycle lifecycle) noexcept {
+  switch (lifecycle) {
+    case Lifecycle::kStarting: return "starting";
+    case Lifecycle::kServing: return "serving";
+    case Lifecycle::kDraining: return "draining";
+    case Lifecycle::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+std::string HealthState::healthz_body() const {
+  std::string body = resilience::to_string(health());
+  body += " lifecycle=";
+  body += to_string(lifecycle());
+  body += " brownout_step=";
+  body += std::to_string(brownout_step());
+  body += " open_breakers=";
+  body += std::to_string(open_breakers());
+  body += '\n';
+  return body;
+}
+
+}  // namespace vdx::serve

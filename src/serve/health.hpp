@@ -1,0 +1,68 @@
+// Daemon health snapshot for /healthz (DESIGN.md §15).
+//
+// The serve loop writes, the Httpd accept thread reads — every field is a
+// relaxed atomic, so the snapshot is lock-free and never blocks either side.
+// The rendered body is one line, machine-parseable:
+//
+//   ok lifecycle=serving brownout_step=0 open_breakers=0
+//   degraded lifecycle=serving brownout_step=2 open_breakers=1
+//
+// The leading token is the overall verdict (ok|degraded|critical) derived
+// from the brownout ladder; lifecycle tracks the daemon itself
+// (starting|serving|draining|stopped).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "resilience/brownout.hpp"
+
+namespace vdx::serve {
+
+enum class Lifecycle : std::uint8_t { kStarting, kServing, kDraining, kStopped };
+
+[[nodiscard]] const char* to_string(Lifecycle lifecycle) noexcept;
+
+class HealthState {
+ public:
+  void set_lifecycle(Lifecycle lifecycle) noexcept {
+    lifecycle_.store(static_cast<std::uint8_t>(lifecycle),
+                     std::memory_order_relaxed);
+  }
+  void set_brownout(resilience::Health health, int step) noexcept {
+    health_.store(static_cast<std::uint8_t>(health), std::memory_order_relaxed);
+    step_.store(step, std::memory_order_relaxed);
+  }
+  void set_open_breakers(std::size_t n) noexcept {
+    open_breakers_.store(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Lifecycle lifecycle() const noexcept {
+    return static_cast<Lifecycle>(lifecycle_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] resilience::Health health() const noexcept {
+    return static_cast<resilience::Health>(
+        health_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] int brownout_step() const noexcept {
+    return step_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t open_breakers() const noexcept {
+    return open_breakers_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the one-line /healthz body (with trailing newline).
+  [[nodiscard]] std::string healthz_body() const;
+
+ private:
+  std::atomic<std::uint8_t> lifecycle_{
+      static_cast<std::uint8_t>(Lifecycle::kStarting)};
+  std::atomic<std::uint8_t> health_{
+      static_cast<std::uint8_t>(resilience::Health::kOk)};
+  std::atomic<int> step_{0};
+  std::atomic<std::size_t> open_breakers_{0};
+};
+
+}  // namespace vdx::serve

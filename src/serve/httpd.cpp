@@ -78,8 +78,9 @@ void write_metrics_text(const obs::MetricsRegistry& registry, std::ostream& out)
   }
 }
 
-Httpd::Httpd(const obs::MetricsRegistry& registry, std::uint16_t port)
-    : registry_(&registry) {
+Httpd::Httpd(const obs::MetricsRegistry& registry, std::uint16_t port,
+             const HealthState* health)
+    : registry_(&registry), health_(health) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error{"httpd: socket() failed"};
@@ -171,7 +172,9 @@ void Httpd::serve_loop() {
       write_metrics_text(*registry_, out);
       body = out.str();
     } else if (line.rfind("GET /healthz", 0) == 0) {
-      body = "ok\n";
+      // No attached HealthState keeps the legacy contract (bare "ok") for
+      // embedders that only want /metrics.
+      body = health_ != nullptr ? health_->healthz_body() : "ok\n";
     } else {
       status = "404 Not Found";
       body = "not found\n";

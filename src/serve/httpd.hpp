@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "serve/health.hpp"
 
 namespace vdx::serve {
 
@@ -27,8 +28,10 @@ class Httpd {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral, read the outcome from port())
   /// and starts the accept thread. Throws std::runtime_error when the
-  /// socket cannot be bound.
-  Httpd(const obs::MetricsRegistry& registry, std::uint16_t port);
+  /// socket cannot be bound. With no HealthState attached, /healthz answers
+  /// a bare "ok\n"; with one, it renders the live daemon snapshot.
+  Httpd(const obs::MetricsRegistry& registry, std::uint16_t port,
+        const HealthState* health = nullptr);
   ~Httpd();
   Httpd(const Httpd&) = delete;
   Httpd& operator=(const Httpd&) = delete;
@@ -47,6 +50,7 @@ class Httpd {
   void serve_loop();
 
   const obs::MetricsRegistry* registry_;
+  const HealthState* health_ = nullptr;
   int listen_fd_ = -1;
   /// Self-pipe: stop() writes one byte so the poll() in the accept loop
   /// wakes even with no client connecting.

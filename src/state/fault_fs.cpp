@@ -1,0 +1,244 @@
+#include "state/fault_fs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vdx::state {
+
+namespace {
+
+core::Status fail(core::Errc code, std::string message) {
+  return core::Status::failure(code, std::move(message));
+}
+
+std::string key_of(const std::filesystem::path& path) {
+  return path.lexically_normal().string();
+}
+
+}  // namespace
+
+FaultFs::FaultFs(FsFaultProfile profile, obs::Observer obs)
+    : profile_(profile), rng_(profile.seed) {
+  if (obs.metrics != nullptr) {
+    ops_ = obs.metrics->counter("state.fs.ops");
+    short_writes_ = obs.metrics->counter("state.fs.short_writes");
+    enospc_ = obs.metrics->counter("state.fs.enospc");
+    eio_ = obs.metrics->counter("state.fs.eio");
+    fsync_lost_ = obs.metrics->counter("state.fs.fsync_lost");
+    crashes_ = obs.metrics->counter("state.fs.crashes");
+  }
+}
+
+core::Status FaultFs::charge_op(const char* what) {
+  ++op_count_;
+  ops_.add(1.0);
+  if (crashed_) {
+    return fail(core::Errc::kUnavailable, std::string(what) + ": filesystem crashed");
+  }
+  if (crash_at_ != 0 && op_count_ >= crash_at_) {
+    crashed_ = true;
+    crash_at_ = 0;
+    crashes_.add(1.0);
+    return fail(core::Errc::kUnavailable,
+                std::string(what) + ": simulated power cut");
+  }
+  return core::ok_status();
+}
+
+bool FaultFs::roll(double rate) {
+  if (rate <= 0.0 || !armed()) return false;
+  return rng_.chance(rate);
+}
+
+core::Result<FileSystem::Handle> FaultFs::open_write(
+    const std::filesystem::path& path) {
+  if (auto charged = charge_op("open_write"); !charged.ok()) {
+    return core::Result<Handle>::failure(charged.error().code,
+                                         charged.error().message);
+  }
+  if (failing_ || roll(profile_.enospc_rate)) {
+    enospc_.add(1.0);
+    return core::Result<Handle>::failure(
+        core::Errc::kUnavailable, "open " + path.string() + ": no space on device");
+  }
+  const std::string key = key_of(path);
+  FileNode& node = files_[key];
+  node.visible.clear();
+  node.visible_exists = true;
+  const Handle handle = next_handle_++;
+  open_[handle] = OpenFile{key};
+  return handle;
+}
+
+core::Status FaultFs::write(Handle handle, std::span<const std::uint8_t> bytes) {
+  if (auto charged = charge_op("write"); !charged.ok()) return charged;
+  const auto it = open_.find(handle);
+  if (it == open_.end()) {
+    return fail(core::Errc::kInvalidArgument, "write on closed handle");
+  }
+  FileNode& node = files_[it->second.path];
+  if (failing_ || roll(profile_.enospc_rate)) {
+    enospc_.add(1.0);
+    return fail(core::Errc::kUnavailable,
+                "write " + it->second.path + ": no space on device");
+  }
+  if (roll(profile_.eio_rate)) {
+    eio_.add(1.0);
+    return fail(core::Errc::kUnavailable, "write " + it->second.path + ": I/O error");
+  }
+  if (roll(profile_.short_write_rate) && !bytes.empty()) {
+    // Half the payload lands before the error — the torn-prefix case.
+    const std::size_t partial = bytes.size() / 2;
+    node.visible.insert(node.visible.end(), bytes.begin(),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(partial));
+    short_writes_.add(1.0);
+    return fail(core::Errc::kUnavailable,
+                "write " + it->second.path + ": short write");
+  }
+  node.visible.insert(node.visible.end(), bytes.begin(), bytes.end());
+  return core::ok_status();
+}
+
+core::Status FaultFs::fsync(Handle handle) {
+  if (auto charged = charge_op("fsync"); !charged.ok()) return charged;
+  const auto it = open_.find(handle);
+  if (it == open_.end()) {
+    return fail(core::Errc::kInvalidArgument, "fsync on closed handle");
+  }
+  if (failing_ || roll(profile_.eio_rate)) {
+    eio_.add(1.0);
+    return fail(core::Errc::kUnavailable, "fsync " + it->second.path + ": I/O error");
+  }
+  if (roll(profile_.fsync_loss_rate)) {
+    // The lying disk: success reported, nothing made durable.
+    fsync_lost_.add(1.0);
+    return core::ok_status();
+  }
+  FileNode& node = files_[it->second.path];
+  node.durable = node.visible;
+  node.durable_exists = true;
+  return core::ok_status();
+}
+
+core::Status FaultFs::close(Handle handle) {
+  if (auto charged = charge_op("close"); !charged.ok()) return charged;
+  const auto it = open_.find(handle);
+  if (it == open_.end()) {
+    return fail(core::Errc::kInvalidArgument, "close on unknown handle");
+  }
+  open_.erase(it);
+  return core::ok_status();
+}
+
+core::Status FaultFs::rename(const std::filesystem::path& from,
+                             const std::filesystem::path& to) {
+  if (auto charged = charge_op("rename"); !charged.ok()) return charged;
+  const std::string from_key = key_of(from);
+  const std::string to_key = key_of(to);
+  const auto it = files_.find(from_key);
+  if (it == files_.end() || !it->second.visible_exists) {
+    return fail(core::Errc::kUnavailable, "rename " + from_key + ": no such file");
+  }
+  if (failing_ || roll(profile_.eio_rate)) {
+    eio_.add(1.0);
+    return fail(core::Errc::kUnavailable,
+                "rename " + from_key + " -> " + to_key + ": I/O error");
+  }
+  // Atomic for visibility; each image travels as-is, so a never-fsynced
+  // source yields a destination that exists now but not after a crash.
+  files_[to_key] = it->second;
+  files_.erase(it);
+  return core::ok_status();
+}
+
+core::Status FaultFs::remove(const std::filesystem::path& path) {
+  if (auto charged = charge_op("remove"); !charged.ok()) return charged;
+  const std::string key = key_of(path);
+  const auto it = files_.find(key);
+  if (it == files_.end() || !it->second.visible_exists) {
+    return fail(core::Errc::kUnavailable, "remove " + key + ": no such file");
+  }
+  if (failing_ || roll(profile_.eio_rate)) {
+    eio_.add(1.0);
+    return fail(core::Errc::kUnavailable, "remove " + key + ": I/O error");
+  }
+  files_.erase(it);
+  return core::ok_status();
+}
+
+core::Status FaultFs::create_directories(const std::filesystem::path& dir) {
+  if (auto charged = charge_op("create_directories"); !charged.ok()) return charged;
+  if (failing_ || roll(profile_.enospc_rate)) {
+    enospc_.add(1.0);
+    return fail(core::Errc::kUnavailable,
+                "mkdir " + dir.string() + ": no space on device");
+  }
+  dirs_[key_of(dir)] = true;
+  return core::ok_status();
+}
+
+core::Result<std::vector<std::filesystem::path>> FaultFs::list_dir(
+    const std::filesystem::path& dir) {
+  using Paths = std::vector<std::filesystem::path>;
+  if (auto charged = charge_op("list_dir"); !charged.ok()) {
+    return core::Result<Paths>::failure(charged.error().code,
+                                        charged.error().message);
+  }
+  const std::string prefix = key_of(dir) + "/";
+  Paths out;
+  for (const auto& [key, node] : files_) {
+    if (!node.visible_exists) continue;
+    if (!key.starts_with(prefix)) continue;
+    if (key.find('/', prefix.size()) != std::string::npos) continue;
+    out.emplace_back(key);
+  }
+  return out;
+}
+
+core::Result<std::vector<std::uint8_t>> FaultFs::read_file(
+    const std::filesystem::path& path) {
+  using Bytes = std::vector<std::uint8_t>;
+  if (auto charged = charge_op("read_file"); !charged.ok()) {
+    return core::Result<Bytes>::failure(charged.error().code,
+                                        charged.error().message);
+  }
+  const auto it = files_.find(key_of(path));
+  if (it == files_.end() || !it->second.visible_exists) {
+    return core::Result<Bytes>::failure(core::Errc::kUnavailable,
+                                        "cannot open " + key_of(path));
+  }
+  if (roll(profile_.eio_rate)) {
+    eio_.add(1.0);
+    return core::Result<Bytes>::failure(core::Errc::kUnavailable,
+                                        "read " + key_of(path) + ": I/O error");
+  }
+  return it->second.visible;
+}
+
+void FaultFs::reboot() {
+  open_.clear();
+  for (auto it = files_.begin(); it != files_.end();) {
+    FileNode& node = it->second;
+    if (node.durable_exists) {
+      node.visible = node.durable;
+      node.visible_exists = true;
+      ++it;
+    } else {
+      it = files_.erase(it);
+    }
+  }
+  crashed_ = false;
+  crash_at_ = 0;
+}
+
+bool FaultFs::durable_exists(const std::filesystem::path& path) const {
+  const auto it = files_.find(key_of(path));
+  return it != files_.end() && it->second.durable_exists;
+}
+
+bool FaultFs::visible_exists(const std::filesystem::path& path) const {
+  const auto it = files_.find(key_of(path));
+  return it != files_.end() && it->second.visible_exists;
+}
+
+}  // namespace vdx::state

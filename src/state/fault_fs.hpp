@@ -1,0 +1,134 @@
+// FaultFs: a deterministic, seeded, in-memory FileSystem that injects disk
+// faults and simulates power cuts at every syscall boundary (DESIGN.md §15).
+//
+// Crash model. Each file carries two byte images: `visible` (what reads and
+// directory listings see while the process lives) and `durable` (what
+// survives a crash). write() extends only the visible image; fsync() commits
+// visible -> durable — unless a seeded fsync-loss fault fires, in which case
+// fsync reports success but commits nothing (lying disk). rename() is atomic
+// for visibility and carries each image as-is, so promoting a never-fsynced
+// tmp file produces a name whose content evaporates on crash — exactly the
+// torn-snapshot case recovery must survive. unlink and mkdir are modelled as
+// immediately durable (the store's invariants do not depend on their
+// persistence ordering).
+//
+// Fault injection. short_write / ENOSPC / EIO / fsync-loss fire per-op from
+// one seeded RNG stream, optionally gated to a proto::FaultWindow on an
+// externally advanced logical clock, so any fault schedule replays exactly.
+// set_failing(true) is a deterministic master switch (full disk outage) for
+// drills. crash_at_op(k) arms a power cut: the k-th subsequent operation
+// fails without effect and every later operation fails too, until reboot()
+// reverts all files to their durable image — sweeping k across a checkpoint
+// write proves no boundary can tear or silently lose an acknowledged
+// snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/rng.hpp"
+#include "obs/observe.hpp"
+#include "proto/fault.hpp"
+#include "state/fs.hpp"
+
+namespace vdx::state {
+
+/// Per-op fault probabilities in [0, 1], armed inside `window` (an empty
+/// window arms them always).
+struct FsFaultProfile {
+  /// P(write persists only a prefix and reports an error).
+  double short_write_rate = 0.0;
+  /// P(open/write/mkdir fails with a no-space error).
+  double enospc_rate = 0.0;
+  /// P(write/fsync/rename fails with an I/O error).
+  double eio_rate = 0.0;
+  /// P(fsync reports success without making anything durable).
+  double fsync_loss_rate = 0.0;
+  std::uint64_t seed = 0xD15CFA17ULL;
+  /// Logical-clock window during which the rates above are armed.
+  proto::FaultWindow window{};
+};
+
+class FaultFs final : public FileSystem {
+ public:
+  explicit FaultFs(FsFaultProfile profile = {}, obs::Observer obs = {});
+
+  core::Result<Handle> open_write(const std::filesystem::path& path) override;
+  core::Status write(Handle handle, std::span<const std::uint8_t> bytes) override;
+  core::Status fsync(Handle handle) override;
+  core::Status close(Handle handle) override;
+  core::Status rename(const std::filesystem::path& from,
+                      const std::filesystem::path& to) override;
+  core::Status remove(const std::filesystem::path& path) override;
+  core::Status create_directories(const std::filesystem::path& dir) override;
+  core::Result<std::vector<std::filesystem::path>> list_dir(
+      const std::filesystem::path& dir) override;
+  core::Result<std::vector<std::uint8_t>> read_file(
+      const std::filesystem::path& path) override;
+
+  /// Advances the logical clock that gates profile.window.
+  void advance_to(std::uint64_t tick) noexcept { now_ = tick; }
+  /// Deterministic full outage: every mutating op fails while set.
+  void set_failing(bool failing) noexcept { failing_ = failing; }
+  [[nodiscard]] bool failing() const noexcept { return failing_; }
+
+  /// Arms a power cut at the k-th subsequent operation (1 = the very next).
+  void crash_at_op(std::uint64_t k) noexcept {
+    crash_at_ = k == 0 ? 0 : op_count_ + k;
+  }
+  /// Cancels a pending crash_at_op.
+  void disarm_crash() noexcept { crash_at_ = 0; }
+  /// True once a simulated power cut happened; all ops fail until reboot().
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  /// Post-crash restart: every file reverts to its durable image, open
+  /// handles are gone, and the fs serves again.
+  void reboot();
+
+  /// Operations attempted so far (including the one that crashed).
+  [[nodiscard]] std::uint64_t op_count() const noexcept { return op_count_; }
+
+  /// Test introspection: durable image of `path`, or empty-absent.
+  [[nodiscard]] bool durable_exists(const std::filesystem::path& path) const;
+  [[nodiscard]] bool visible_exists(const std::filesystem::path& path) const;
+
+ private:
+  struct FileNode {
+    std::vector<std::uint8_t> visible;
+    std::vector<std::uint8_t> durable;
+    bool visible_exists = false;
+    bool durable_exists = false;
+  };
+  struct OpenFile {
+    std::string path;
+  };
+
+  /// Charges one op: returns a non-ok status when the fs is crashed, the
+  /// master outage switch is on, or the armed power cut fires on this op.
+  core::Status charge_op(const char* what);
+  [[nodiscard]] bool armed() const noexcept {
+    return profile_.window.empty() || profile_.window.active(now_);
+  }
+  [[nodiscard]] bool roll(double rate);
+
+  FsFaultProfile profile_;
+  core::Rng rng_;
+  std::map<std::string, FileNode> files_;
+  std::map<std::string, bool> dirs_;
+  std::map<Handle, OpenFile> open_;
+  Handle next_handle_ = 1;
+  std::uint64_t now_ = 0;
+  std::uint64_t op_count_ = 0;
+  std::uint64_t crash_at_ = 0;
+  bool crashed_ = false;
+  bool failing_ = false;
+
+  obs::Counter ops_;
+  obs::Counter short_writes_;
+  obs::Counter enospc_;
+  obs::Counter eio_;
+  obs::Counter fsync_lost_;
+  obs::Counter crashes_;
+};
+
+}  // namespace vdx::state

@@ -1,0 +1,152 @@
+#include "state/fs.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <system_error>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace vdx::state {
+
+namespace {
+
+core::Status unavailable(std::string message) {
+  return core::Status::failure(core::Errc::kUnavailable, std::move(message));
+}
+
+/// Host-filesystem passthrough. Handles map to open stdio streams; the map
+/// is mutex-guarded so concurrent checkpointers (daemon + tests) can share
+/// the singleton.
+class RealFs final : public FileSystem {
+ public:
+  core::Result<Handle> open_write(const std::filesystem::path& path) override {
+    std::FILE* file = std::fopen(path.string().c_str(), "wb");
+    if (file == nullptr) {
+      return core::Result<Handle>::failure(
+          core::Errc::kUnavailable, "cannot open " + path.string() + " for writing");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Handle handle = next_handle_++;
+    open_[handle] = file;
+    return handle;
+  }
+
+  core::Status write(Handle handle, std::span<const std::uint8_t> bytes) override {
+    std::FILE* file = stream_of(handle);
+    if (file == nullptr) return unavailable("write on closed handle");
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+    if (written != bytes.size()) return unavailable("short write");
+    return core::ok_status();
+  }
+
+  core::Status fsync(Handle handle) override {
+    std::FILE* file = stream_of(handle);
+    if (file == nullptr) return unavailable("fsync on closed handle");
+    if (std::fflush(file) != 0) return unavailable("fflush failed");
+#ifndef _WIN32
+    if (::fsync(fileno(file)) != 0) return unavailable("fsync failed");
+#endif
+    return core::ok_status();
+  }
+
+  core::Status close(Handle handle) override {
+    std::FILE* file = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = open_.find(handle);
+      if (it == open_.end()) return unavailable("close on unknown handle");
+      file = it->second;
+      open_.erase(it);
+    }
+    if (std::fclose(file) != 0) return unavailable("fclose failed");
+    return core::ok_status();
+  }
+
+  core::Status rename(const std::filesystem::path& from,
+                      const std::filesystem::path& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+      return unavailable("rename " + from.string() + " -> " + to.string() + ": " +
+                         ec.message());
+    }
+    return core::ok_status();
+  }
+
+  core::Status remove(const std::filesystem::path& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) return unavailable("remove " + path.string() + ": " + ec.message());
+    return core::ok_status();
+  }
+
+  core::Status create_directories(const std::filesystem::path& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return unavailable("cannot create " + dir.string() + ": " + ec.message());
+    }
+    return core::ok_status();
+  }
+
+  core::Result<std::vector<std::filesystem::path>> list_dir(
+      const std::filesystem::path& dir) override {
+    std::vector<std::filesystem::path> out;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it{dir, ec}, end; !ec && it != end;
+         it.increment(ec)) {
+      out.push_back(it->path());
+    }
+    if (ec) {
+      return core::Result<std::vector<std::filesystem::path>>::failure(
+          core::Errc::kUnavailable, "cannot list " + dir.string() + ": " + ec.message());
+    }
+    return out;
+  }
+
+  core::Result<std::vector<std::uint8_t>> read_file(
+      const std::filesystem::path& path) override {
+    std::FILE* in = std::fopen(path.string().c_str(), "rb");
+    if (in == nullptr) {
+      return core::Result<std::vector<std::uint8_t>>::failure(
+          core::Errc::kUnavailable, "cannot open " + path.string());
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+      bytes.insert(bytes.end(), buffer, buffer + got);
+    }
+    const bool failed = std::ferror(in) != 0;
+    std::fclose(in);
+    if (failed) {
+      return core::Result<std::vector<std::uint8_t>>::failure(
+          core::Errc::kUnavailable, "read error on " + path.string());
+    }
+    return bytes;
+  }
+
+ private:
+  std::FILE* stream_of(Handle handle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = open_.find(handle);
+    return it == open_.end() ? nullptr : it->second;
+  }
+
+  std::mutex mutex_;
+  std::map<Handle, std::FILE*> open_;
+  Handle next_handle_ = 1;
+};
+
+}  // namespace
+
+FileSystem& real_fs() {
+  static RealFs fs;
+  return fs;
+}
+
+}  // namespace vdx::state

@@ -1,0 +1,58 @@
+// FileSystem: a syscall-granular seam under the durability layer
+// (DESIGN.md §15).
+//
+// CheckpointStore and write_file_atomic never touch the OS directly; they
+// speak this narrow interface instead, so a fault-injecting implementation
+// (state::FaultFs) can fail or crash the store at every individual syscall
+// boundary — open, each write, fsync, close, rename, unlink — and prove the
+// atomic write-tmp-rename protocol holds under torn writes, ENOSPC, EIO,
+// silent fsync loss, and power cuts. Production code uses real_fs(), a
+// process-wide passthrough to the host filesystem that adds an explicit
+// fsync before rename (the classic fopen/fwrite path never made data
+// durable before promoting it).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace vdx::state {
+
+class FileSystem {
+ public:
+  /// Opaque id for an open write stream (valid until close()).
+  using Handle = std::uint64_t;
+
+  virtual ~FileSystem() = default;
+
+  /// Creates/truncates `path` for writing. Errc::kUnavailable on failure.
+  [[nodiscard]] virtual core::Result<Handle> open_write(
+      const std::filesystem::path& path) = 0;
+  /// Appends `bytes`; a short write is an error (partial data may persist).
+  [[nodiscard]] virtual core::Status write(Handle handle,
+                                           std::span<const std::uint8_t> bytes) = 0;
+  /// Makes previously written bytes durable across a crash.
+  [[nodiscard]] virtual core::Status fsync(Handle handle) = 0;
+  /// Releases the handle. Data is NOT durable unless fsync succeeded.
+  [[nodiscard]] virtual core::Status close(Handle handle) = 0;
+
+  /// Atomic replace: `to` refers to the old or the new content, never a mix.
+  [[nodiscard]] virtual core::Status rename(const std::filesystem::path& from,
+                                            const std::filesystem::path& to) = 0;
+  [[nodiscard]] virtual core::Status remove(const std::filesystem::path& path) = 0;
+  [[nodiscard]] virtual core::Status create_directories(
+      const std::filesystem::path& dir) = 0;
+  /// Regular files directly under `dir` (no order guarantee).
+  [[nodiscard]] virtual core::Result<std::vector<std::filesystem::path>> list_dir(
+      const std::filesystem::path& dir) = 0;
+  [[nodiscard]] virtual core::Result<std::vector<std::uint8_t>> read_file(
+      const std::filesystem::path& path) = 0;
+};
+
+/// Process-wide passthrough to the host filesystem.
+[[nodiscard]] FileSystem& real_fs();
+
+}  // namespace vdx::state

@@ -1,10 +1,10 @@
 #include "state/snapshot.hpp"
 
-#include <cstdio>
 #include <string>
 #include <utility>
 
 #include "proto/wire.hpp"
+#include "state/fs.hpp"
 
 namespace vdx::state {
 
@@ -121,57 +121,37 @@ const Section* SnapshotView::find(std::uint32_t id) const noexcept {
   return nullptr;
 }
 
-core::Status write_file_atomic(const std::filesystem::path& path,
+core::Status write_file_atomic(FileSystem& fs, const std::filesystem::path& path,
                                std::span<const std::uint8_t> bytes) {
   const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::FILE* out = std::fopen(tmp.string().c_str(), "wb");
-    if (out == nullptr) {
-      return core::Status::failure(core::Errc::kUnavailable,
-                                   "cannot open " + tmp.string() + " for writing");
-    }
-    const std::size_t written =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), out);
-    const bool flushed = std::fflush(out) == 0;
-    std::fclose(out);
-    if (written != bytes.size() || !flushed) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      return core::Status::failure(core::Errc::kUnavailable,
-                                   "short write to " + tmp.string());
-    }
+  auto opened = fs.open_write(tmp);
+  if (!opened.ok()) {
+    return core::Status::failure(opened.error().code, opened.error().message);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    return core::Status::failure(core::Errc::kUnavailable,
-                                 "rename " + tmp.string() + " -> " + path.string() +
-                                     ": " + ec.message());
+  const FileSystem::Handle handle = opened.value();
+  core::Status step = fs.write(handle, bytes);
+  if (step.ok()) step = fs.fsync(handle);
+  {
+    // Close regardless of earlier failures; a close error taints success.
+    auto closed = fs.close(handle);
+    if (step.ok()) step = std::move(closed);
+  }
+  if (step.ok()) step = fs.rename(tmp, path);
+  if (!step.ok()) {
+    // Best-effort tmp cleanup; the store ignores stale .tmp files anyway.
+    (void)fs.remove(tmp);
+    return step;
   }
   return core::ok_status();
 }
 
+core::Status write_file_atomic(const std::filesystem::path& path,
+                               std::span<const std::uint8_t> bytes) {
+  return write_file_atomic(real_fs(), path, bytes);
+}
+
 core::Result<std::vector<std::uint8_t>> read_file(const std::filesystem::path& path) {
-  std::FILE* in = std::fopen(path.string().c_str(), "rb");
-  if (in == nullptr) {
-    return core::Result<std::vector<std::uint8_t>>::failure(
-        core::Errc::kUnavailable, "cannot open " + path.string());
-  }
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t buffer[1 << 16];
-  std::size_t got = 0;
-  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-    bytes.insert(bytes.end(), buffer, buffer + got);
-  }
-  const bool failed = std::ferror(in) != 0;
-  std::fclose(in);
-  if (failed) {
-    return core::Result<std::vector<std::uint8_t>>::failure(
-        core::Errc::kUnavailable, "read error on " + path.string());
-  }
-  return bytes;
+  return real_fs().read_file(path);
 }
 
 }  // namespace vdx::state

@@ -72,10 +72,19 @@ class SnapshotView {
   std::vector<Section> sections_;
 };
 
-/// Atomically writes `bytes` to `path`: the payload lands in `path` + ".tmp"
-/// first and is renamed into place, so a crash mid-write can never leave a
-/// half-written file under the final name (the stale .tmp is ignored by the
-/// store and overwritten by the next attempt).
+class FileSystem;
+
+/// Atomically writes `bytes` to `path` through `fs`: the payload lands in
+/// `path` + ".tmp" first, is fsynced, and is renamed into place, so a crash
+/// at any syscall boundary can never leave a half-written file under the
+/// final name (the stale .tmp is ignored by the store and overwritten by the
+/// next attempt). The fsync-before-rename is what makes the renamed file's
+/// content durable, not just its name — state::FaultFs proves this ordering
+/// by crash-sweeping every boundary.
+[[nodiscard]] core::Status write_file_atomic(FileSystem& fs,
+                                             const std::filesystem::path& path,
+                                             std::span<const std::uint8_t> bytes);
+/// Convenience overload on the host filesystem (real_fs()).
 [[nodiscard]] core::Status write_file_atomic(const std::filesystem::path& path,
                                              std::span<const std::uint8_t> bytes);
 

@@ -38,45 +38,47 @@ std::optional<std::uint64_t> epoch_of(const std::filesystem::path& path) {
 }  // namespace
 
 CheckpointStore::CheckpointStore(std::filesystem::path dir, std::size_t keep,
-                                 obs::Observer obs)
-    : dir_(std::move(dir)), keep_(std::max<std::size_t>(keep, 1)) {
+                                 obs::Observer obs, FileSystem* fs)
+    : dir_(std::move(dir)), keep_(std::max<std::size_t>(keep, 1)),
+      fs_(fs != nullptr ? fs : &real_fs()) {
   if (obs.metrics != nullptr) {
     written_ = obs.metrics->counter("state.snapshots_written");
     written_bytes_ = obs.metrics->counter("state.snapshot_bytes");
     rejected_ = obs.metrics->counter("state.snapshots_rejected");
+    prune_failures_ = obs.metrics->counter("state.prune_failures");
   }
 }
 
 core::Status CheckpointStore::write(std::uint64_t epoch,
                                     std::span<const std::uint8_t> bytes) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    return core::Status::failure(core::Errc::kUnavailable,
-                                 "cannot create " + dir_.string() + ": " + ec.message());
-  }
-  auto status = write_file_atomic(dir_ / file_name(epoch), bytes);
+  if (auto made = fs_->create_directories(dir_); !made.ok()) return made;
+  auto status = write_file_atomic(*fs_, dir_ / file_name(epoch), bytes);
   if (!status.ok()) return status;
   written_.add(1.0);
   written_bytes_.add(static_cast<double>(bytes.size()));
 
   // Retention: drop everything older than the newest `keep_` snapshots. A
-  // failed unlink is non-fatal — the snapshot we just wrote is durable.
+  // failed unlink is non-fatal — the snapshot we just wrote is durable, and
+  // recovery reads newest-first, so a surviving stale file costs disk, not
+  // correctness. Failures are counted so a sick disk still shows up.
   const std::vector<std::filesystem::path> snapshots = list();
   for (std::size_t i = keep_; i < snapshots.size(); ++i) {
-    std::error_code ignored;
-    std::filesystem::remove(snapshots[i], ignored);
+    if (auto removed = fs_->remove(snapshots[i]); !removed.ok()) {
+      ++prune_failures_n_;
+      prune_failures_.add(1.0);
+    }
   }
   return core::ok_status();
 }
 
 std::vector<std::filesystem::path> CheckpointStore::list() const {
   std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
-  std::error_code ec;
-  for (std::filesystem::directory_iterator it{dir_, ec}, end; !ec && it != end;
-       it.increment(ec)) {
-    if (const auto epoch = epoch_of(it->path())) {
-      found.emplace_back(*epoch, it->path());
+  auto entries = fs_->list_dir(dir_);
+  if (entries.ok()) {
+    for (const std::filesystem::path& path : entries.value()) {
+      if (const auto epoch = epoch_of(path)) {
+        found.emplace_back(*epoch, path);
+      }
     }
   }
   std::sort(found.begin(), found.end(),
@@ -98,7 +100,7 @@ core::Result<CheckpointStore::Loaded> CheckpointStore::load_latest(
   Loaded loaded;
   core::Error last{core::Errc::kUnavailable, "no snapshots in " + dir_.string()};
   for (const std::filesystem::path& path : candidates) {
-    auto bytes = read_file(path);
+    auto bytes = fs_->read_file(path);
     if (!bytes.ok()) {
       rejected_.add(1.0);
       loaded.rejected.push_back(path.filename().string() + ": " +

@@ -20,15 +20,19 @@
 
 #include "core/result.hpp"
 #include "obs/observe.hpp"
+#include "state/fs.hpp"
 
 namespace vdx::state {
 
 class CheckpointStore {
  public:
   /// `keep` newest snapshots are retained (minimum 1). The observer wires
-  /// state.* metrics; a default Observer disables them.
+  /// state.* metrics; a default Observer disables them. `fs` routes every
+  /// disk touch (write, list, read, prune) through the FileSystem seam —
+  /// nullptr means the host filesystem (real_fs()); tests pass a
+  /// state::FaultFs to crash or fail the store at any syscall boundary.
   explicit CheckpointStore(std::filesystem::path dir, std::size_t keep = 3,
-                           obs::Observer obs = {});
+                           obs::Observer obs = {}, FileSystem* fs = nullptr);
 
   /// Validates `bytes` against the caller's domain decoder before accepting
   /// a snapshot during recovery. Return ok() to accept.
@@ -61,12 +65,21 @@ class CheckpointStore {
 
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
 
+  /// Retention prunes that failed to unlink (non-fatal: the newly written
+  /// snapshot is durable either way; the next successful write re-prunes).
+  [[nodiscard]] std::uint64_t prune_failures() const noexcept {
+    return prune_failures_n_;
+  }
+
  private:
   std::filesystem::path dir_;
   std::size_t keep_;
+  FileSystem* fs_;
+  std::uint64_t prune_failures_n_ = 0;
   obs::Counter written_;
   obs::Counter written_bytes_;
   obs::Counter rejected_;
+  obs::Counter prune_failures_;
 };
 
 }  // namespace vdx::state

@@ -1,0 +1,105 @@
+// CircuitBreaker state machine on the logical clock: trip on consecutive
+// typed failures, half-open probe after open_ticks, journaled transitions.
+#include "resilience/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/observe.hpp"
+
+namespace vdx::resilience {
+namespace {
+
+TEST(CircuitBreaker, DisabledByDefaultNeverOpens) {
+  CircuitBreaker breaker;
+  for (std::uint64_t t = 0; t < 50; ++t) {
+    breaker.on_failure(t);
+    EXPECT_TRUE(breaker.allow(t));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opened_total(), 0u);
+}
+
+TEST(CircuitBreaker, TripsOnConsecutiveFailuresOnly) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker{config};
+  breaker.on_failure(1);
+  breaker.on_failure(2);
+  breaker.on_success(3);  // streak broken
+  breaker.on_failure(4);
+  breaker.on_failure(5);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.on_failure(6);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opened_total(), 1u);
+}
+
+TEST(CircuitBreaker, OpenRejectsUntilHalfOpenProbe) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_ticks = 4;
+  CircuitBreaker breaker{config};
+  breaker.on_failure(10);
+  ASSERT_TRUE(breaker.open());
+  EXPECT_FALSE(breaker.allow(11));
+  EXPECT_FALSE(breaker.allow(13));
+  // open_ticks elapsed: exactly one probe is admitted (half-open).
+  EXPECT_TRUE(breaker.allow(14));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.on_success(14);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsTimer) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_ticks = 4;
+  CircuitBreaker breaker{config};
+  breaker.on_failure(0);
+  EXPECT_TRUE(breaker.allow(4));  // half-open
+  breaker.on_failure(4);          // probe failed
+  EXPECT_TRUE(breaker.open());
+  EXPECT_FALSE(breaker.allow(7));  // timer restarted at 4
+  EXPECT_TRUE(breaker.allow(8));
+  EXPECT_EQ(breaker.opened_total(), 2u);
+}
+
+TEST(CircuitBreaker, MultiProbeCloseRequiresStreak) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_ticks = 1;
+  config.probe_successes = 2;
+  CircuitBreaker breaker{config};
+  breaker.on_failure(0);
+  EXPECT_TRUE(breaker.allow(1));
+  breaker.on_success(1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // 1 of 2
+  breaker.on_success(2);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, TransitionsAreJournaledAndCounted) {
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_ticks = 3;
+  obs::MetricsRegistry metrics;
+  obs::RunJournal journal;
+  CircuitBreaker breaker{config, obs::Observer{&metrics, nullptr, &journal}, 5};
+  breaker.on_failure(1);
+  breaker.on_failure(2);   // open
+  (void)breaker.allow(5);  // half-open
+  breaker.on_success(5);   // close
+  bool opened = false, half = false, closed = false;
+  for (const obs::Event& event : journal.events()) {
+    if (event.subject != 5u) continue;
+    opened |= event.kind == obs::EventKind::kBreakerOpen;
+    half |= event.kind == obs::EventKind::kBreakerHalfOpen;
+    closed |= event.kind == obs::EventKind::kBreakerClose;
+  }
+  EXPECT_TRUE(opened);
+  EXPECT_TRUE(half);
+  EXPECT_TRUE(closed);
+}
+
+}  // namespace
+}  // namespace vdx::resilience

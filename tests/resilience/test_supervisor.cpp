@@ -1,0 +1,113 @@
+// Supervisor restart-budget semantics: deterministic jitter-free backoff,
+// sliding-window budgets, and the permissive default policy the serving
+// stack relies on for backward compatibility.
+#include "resilience/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/observe.hpp"
+
+namespace vdx::resilience {
+namespace {
+
+TEST(Supervisor, DefaultPolicyRestartsImmediatelyForever) {
+  Supervisor supervisor;
+  // Pre-supervisor behavior: unbounded immediate respawns, even many times
+  // within one tick (a shard can fail repeatedly inside a single round).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(supervisor.on_failure(0, 7), RestartDecision::kRestart);
+  }
+  EXPECT_EQ(supervisor.restarts_total(), 100u);
+  EXPECT_EQ(supervisor.denied_total(), 0u);
+}
+
+TEST(Supervisor, BackoffDoublesAndCaps) {
+  RestartPolicy policy;
+  policy.backoff_base_ticks = 2;
+  policy.backoff_max_ticks = 8;
+  Supervisor supervisor{policy};
+
+  // First failure of a streak: restart now, next slot 2 ticks out.
+  EXPECT_EQ(supervisor.on_failure(3, 10), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.retry_at(3), 12u);
+  EXPECT_EQ(supervisor.on_failure(3, 11), RestartDecision::kBackoff);
+  // Second in the streak: 2 << 1 = 4.
+  EXPECT_EQ(supervisor.on_failure(3, 12), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.retry_at(3), 16u);
+  // Third: 2 << 2 = 8; fourth would double past the cap and clamps there.
+  EXPECT_EQ(supervisor.on_failure(3, 16), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.retry_at(3), 24u);
+  EXPECT_EQ(supervisor.on_failure(3, 24), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.retry_at(3), 32u);
+
+  // A success resets the streak: the next failure backs off from base again.
+  supervisor.on_success(3);
+  EXPECT_EQ(supervisor.consecutive_failures(3), 0u);
+  EXPECT_EQ(supervisor.on_failure(3, 40), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.retry_at(3), 42u);
+}
+
+TEST(Supervisor, WindowBudgetDeniesThenForgets) {
+  RestartPolicy policy;
+  policy.max_restarts = 2;
+  policy.window_ticks = 10;
+  Supervisor supervisor{policy};
+  obs::RunJournal journal;
+
+  EXPECT_EQ(supervisor.on_failure(1, 100), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.on_failure(1, 101), RestartDecision::kRestart);
+  // Budget spent inside [92, 101]: give up, not backoff.
+  EXPECT_EQ(supervisor.on_failure(1, 102), RestartDecision::kGiveUp);
+  EXPECT_EQ(supervisor.denied_total(), 1u);
+  // Once the window slides past the old restarts the budget replenishes.
+  EXPECT_EQ(supervisor.on_failure(1, 111), RestartDecision::kRestart);
+}
+
+TEST(Supervisor, ChildrenAreIndependent) {
+  RestartPolicy policy;
+  policy.max_restarts = 1;
+  policy.window_ticks = 100;
+  Supervisor supervisor{policy};
+  EXPECT_EQ(supervisor.on_failure(0, 5), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.on_failure(0, 6), RestartDecision::kGiveUp);
+  // Child 1 still has its own budget.
+  EXPECT_EQ(supervisor.on_failure(1, 6), RestartDecision::kRestart);
+}
+
+TEST(Supervisor, GiveUpJournalsRestartDenied) {
+  RestartPolicy policy;
+  policy.max_restarts = 1;
+  policy.window_ticks = 50;
+  obs::MetricsRegistry metrics;
+  obs::RunJournal journal;
+  Supervisor supervisor{policy, obs::Observer{&metrics, nullptr, &journal}};
+  EXPECT_EQ(supervisor.on_failure(9, 1), RestartDecision::kRestart);
+  EXPECT_EQ(supervisor.on_failure(9, 2), RestartDecision::kGiveUp);
+  bool saw = false;
+  for (const obs::Event& event : journal.events()) {
+    saw = saw || (event.kind == obs::EventKind::kRestartDenied &&
+                  event.subject == 9u);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Supervisor, DeterministicReplay) {
+  RestartPolicy policy;
+  policy.max_restarts = 3;
+  policy.window_ticks = 16;
+  policy.backoff_base_ticks = 1;
+  policy.backoff_max_ticks = 4;
+  const auto run = [&policy] {
+    Supervisor supervisor{policy};
+    std::vector<int> decisions;
+    for (std::uint64_t t = 0; t < 64; ++t) {
+      decisions.push_back(static_cast<int>(supervisor.on_failure(0, t)));
+      if (t % 7 == 0) supervisor.on_success(0);
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace vdx::resilience

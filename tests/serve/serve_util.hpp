@@ -4,6 +4,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +56,9 @@ struct HarnessOptions {
   std::filesystem::path checkpoint_dir;
   std::uint64_t halt_after = 0;
   std::uint64_t throw_after = 0;
+  /// Last-mile hook over the assembled ServeConfig (resilience knobs, fault
+  /// filesystems, health sinks, round hooks) before the daemon is built.
+  std::function<void(ServeConfig&)> customize;
 };
 
 struct RunOutput {
@@ -96,6 +100,7 @@ inline ServeConfig config_for(const HarnessOptions& options, obs::Observer obs,
   config.fingerprint = fingerprint_for(options);
   config.obs = obs;
   config.decisions = decisions;
+  if (options.customize) options.customize(config);
   return config;
 }
 

@@ -108,6 +108,37 @@ TEST(ServeHttpd, HealthzAndUnknownTargets) {
   httpd.stop();  // idempotent
 }
 
+// /healthz with a HealthState attached surfaces the live lifecycle and
+// brownout verdict instead of the legacy hard-coded "ok" — and tracks
+// writer-side updates across scrapes of the same server.
+TEST(ServeHttpd, HealthzReflectsLifecycleAndBrownout) {
+  obs::MetricsRegistry registry;
+  HealthState health;
+  Httpd httpd{registry, 0, &health};
+  ASSERT_GT(httpd.port(), 0);
+
+  // Fresh state: healthy but not yet serving.
+  EXPECT_EQ(body_of(http_get(httpd.port(), "/healthz")),
+            "ok lifecycle=starting brownout_step=0 open_breakers=0\n");
+
+  health.set_lifecycle(Lifecycle::kServing);
+  health.set_brownout(resilience::Health::kDegraded, 2);
+  health.set_open_breakers(1);
+  EXPECT_EQ(body_of(http_get(httpd.port(), "/healthz")),
+            "degraded lifecycle=serving brownout_step=2 open_breakers=1\n");
+
+  health.set_brownout(resilience::Health::kCritical, 3);
+  const std::string critical = body_of(http_get(httpd.port(), "/healthz"));
+  EXPECT_EQ(critical.substr(0, critical.find(' ')), "critical");
+
+  health.set_brownout(resilience::Health::kOk, 0);
+  health.set_open_breakers(0);
+  health.set_lifecycle(Lifecycle::kStopped);
+  EXPECT_EQ(body_of(http_get(httpd.port(), "/healthz")),
+            "ok lifecycle=stopped brownout_step=0 open_breakers=0\n");
+  EXPECT_EQ(httpd.requests(), 4u);
+}
+
 TEST(ServeHttpd, EmptyRegistryStillServes) {
   obs::MetricsRegistry registry;
   Httpd httpd{registry, 0};

@@ -1,0 +1,180 @@
+// Supervisor + circuit-breaker drill for the sharded exchange (DESIGN.md
+// §15): a restart budget turns a crash loop into a typed failure, and the
+// per-link breaker turns it into quarantine — stale-slice settlement that
+// stays byte-identical to the monolith (the coordinator cache is
+// authoritative in demand mode) until a half-open probe re-pushes the slice.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "market/shard.hpp"
+#include "shard/shard_test_util.hpp"
+#include "sim/designs.hpp"
+
+namespace vdx::market {
+namespace {
+
+using shard_test::RoundAction;
+using shard_test::RunCapture;
+
+class ShardResilience : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioConfig config;
+    config.trace.session_count = 900;
+    config.seed = 29;
+    scenario_ = new sim::Scenario(sim::Scenario::build(config));
+    background_ = new std::vector<double>(sim::place_background(*scenario_));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+    delete background_;
+    background_ = nullptr;
+  }
+  static const sim::Scenario& scenario() { return *scenario_; }
+  static std::span<const double> background() { return *background_; }
+
+  static RunCapture run_mono(const std::vector<RoundAction>& script) {
+    obs::MetricsRegistry metrics;
+    obs::RunJournal journal;
+    ExchangeConfig config;
+    config.obs = obs::Observer{&metrics, nullptr, &journal};
+    VdxExchange exchange{scenario(), config};
+    return shard_test::drive(exchange, script, background(), journal, metrics);
+  }
+
+ private:
+  static sim::Scenario* scenario_;
+  static std::vector<double>* background_;
+};
+
+sim::Scenario* ShardResilience::scenario_ = nullptr;
+std::vector<double>* ShardResilience::background_ = nullptr;
+
+constexpr std::size_t kRounds = 6;
+
+// Without a breaker the legacy fail-closed contract holds, but the
+// supervisor caps the respawn loop: once the window budget is spent, the
+// round fails with a typed "restart budget" error instead of burning a free
+// respawn per call, and the worker is kept dead (not half-initialized).
+TEST_F(ShardResilience, RestartBudgetExhaustionFailsTypedAndKeepsWorkerDead) {
+  ShardedConfig config;
+  config.shards = 2;
+  config.worker_restart.max_restarts = 1;
+  config.worker_restart.window_ticks = 100;
+  ShardedExchange exchange{scenario(), config};
+  exchange.set_active_load(scenario().broker_groups(), background());
+  (void)exchange.run_round();
+
+  // First kill: inside budget — the supervisor respawns and the round runs.
+  exchange.kill_worker(0);
+  ASSERT_TRUE(exchange.try_run_round().ok());
+  EXPECT_EQ(exchange.worker_restarts(), 1u);
+
+  // Second kill: budget spent in-window — typed failure, twice (the round
+  // clock cannot advance past a failing round, so the window never slides).
+  exchange.kill_worker(0);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto result = exchange.try_run_round();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, core::Errc::kUnavailable);
+    EXPECT_NE(result.error().message.find("restart budget"), std::string::npos)
+        << result.error().message;
+    EXPECT_FALSE(exchange.worker_alive(0));
+  }
+  EXPECT_EQ(exchange.worker_supervisor().denied_total(), 2u);
+  EXPECT_EQ(exchange.worker_restarts(), 1u);
+  EXPECT_THROW((void)exchange.run_round(), std::runtime_error);
+}
+
+// The tentpole drill: with the link breaker armed, a flapping worker whose
+// restart budget is exhausted is QUARANTINED — rounds keep settling from
+// the coordinator's cached slice, byte-identical to the monolith because
+// set_active_load refreshes the cache before every push — and a half-open
+// probe later respawns the worker and rejoins it to the live collect.
+TEST_F(ShardResilience, BreakerQuarantineSettlesStaleThenProbeRecovers) {
+  const auto script = shard_test::make_script(
+      scenario(), sim::StressScenario::kFlashCrowd, kRounds);
+  RunCapture mono = run_mono(script);
+
+  for (const ShardBackend backend :
+       {ShardBackend::kInproc, ShardBackend::kProcess}) {
+    ShardedConfig config;
+    config.shards = 4;
+    config.backend = backend;
+    // Budget: one respawn per 2-round window; backoff stays immediate so the
+    // denial comes from the window budget alone.
+    config.worker_restart.max_restarts = 1;
+    config.worker_restart.window_ticks = 2;
+    // Breaker: trip on the first push failure, probe after 2 rounds.
+    config.link_breaker.failure_threshold = 1;
+    config.link_breaker.open_ticks = 2;
+    obs::MetricsRegistry metrics;
+    obs::RunJournal journal;
+    config.exchange.obs = obs::Observer{&metrics, nullptr, &journal};
+    ShardedExchange exchange{scenario(), config};
+    const std::string tag = std::string{"breaker "} + std::string{to_string(backend)};
+
+    RunCapture capture;
+    for (std::size_t r = 0; r < script.size(); ++r) {
+      const RoundAction& action = script[r];
+      if (action.fail.has_value()) exchange.set_failed(cdn::CdnId{1}, *action.fail);
+      if (action.budget.has_value()) exchange.set_demand_budget(*action.budget);
+      exchange.set_active_load(action.groups, background());
+      capture.reports.push_back(exchange.run_round());
+      // Round 1 ends at clock 2: kill once (respawned inside budget), then
+      // round 2 ends at clock 3: kill again — the second recovery attempt is
+      // denied in-window, trips the breaker, and quarantines shard 0.
+      if (r == 1 || r == 2) {
+        exchange.kill_worker(0);
+        EXPECT_FALSE(exchange.worker_alive(0)) << tag;
+      }
+      if (r == 3) {
+        // Mid-quarantine: the breaker is open and the shard settles stale.
+        EXPECT_EQ(exchange.open_breakers(), 1u) << tag;
+        EXPECT_TRUE(exchange.shard_quarantined(0)) << tag;
+      }
+    }
+    const auto placed = exchange.settlement().placements();
+    capture.placements.assign(placed.begin(), placed.end());
+    std::ostringstream metrics_out;
+    metrics.write_jsonl(metrics_out);
+    capture.metrics_jsonl = metrics_out.str();
+    // The journal intentionally diverges under quarantine (typed
+    // kBreakerOpen/kStaleBid/kRestartDenied events land in it) — verified
+    // below instead of byte-compared; every decision surface must match.
+    capture.journal_jsonl = mono.journal_jsonl;
+
+    shard_test::expect_identical(mono, capture, tag);
+
+    // The open_ticks window passed at clock 5: the half-open probe respawned
+    // the worker (the old restart aged out of the supervisor window),
+    // re-pushed the slice, and closed the breaker.
+    EXPECT_EQ(exchange.open_breakers(), 0u) << tag;
+    EXPECT_FALSE(exchange.shard_quarantined(0)) << tag;
+    EXPECT_TRUE(exchange.worker_alive(0)) << tag;
+    EXPECT_EQ(exchange.stale_rounds(), 2u) << tag;          // rounds 3 and 4
+    EXPECT_EQ(exchange.worker_restarts(), 2u) << tag;       // kill 1 + probe
+    EXPECT_EQ(exchange.worker_supervisor().denied_total(), 1u) << tag;
+
+    bool opened = false, half = false, closed = false, stale = false,
+         denied = false;
+    for (const obs::Event& event : journal.events()) {
+      opened |= event.kind == obs::EventKind::kBreakerOpen;
+      half |= event.kind == obs::EventKind::kBreakerHalfOpen;
+      closed |= event.kind == obs::EventKind::kBreakerClose;
+      stale |= event.kind == obs::EventKind::kStaleBid && event.subject == 0u;
+      denied |= event.kind == obs::EventKind::kRestartDenied;
+    }
+    EXPECT_TRUE(opened) << tag;
+    EXPECT_TRUE(half) << tag;
+    EXPECT_TRUE(closed) << tag;
+    EXPECT_TRUE(stale) << tag;
+    EXPECT_TRUE(denied) << tag;
+  }
+}
+
+}  // namespace
+}  // namespace vdx::market

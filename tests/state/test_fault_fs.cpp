@@ -1,0 +1,223 @@
+// state::FaultFs crash model + the crash-at-every-syscall-boundary sweep
+// proving CheckpointStore's write-tmp-fsync-rename discipline never tears or
+// silently loses an acknowledged snapshot (DESIGN.md §15).
+#include "state/fault_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "state/snapshot.hpp"
+#include "state/store.hpp"
+
+namespace vdx::state {
+namespace {
+
+std::vector<std::uint8_t> payload_for(std::uint64_t epoch) {
+  std::vector<std::uint8_t> bytes(16);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+    bytes[8 + i] = static_cast<std::uint8_t>(~bytes[i]);
+  }
+  return bytes;
+}
+
+/// A real parseable snapshot whose single section encodes `epoch`, so the
+/// sweep can detect torn files via the envelope checksums exactly the way
+/// recovery would.
+std::vector<std::uint8_t> snapshot_bytes(std::uint64_t epoch) {
+  SnapshotWriter writer;
+  writer.add_section(7, payload_for(epoch));
+  return writer.finish();
+}
+
+TEST(FaultFs, FsyncedRenameSurvivesCrash) {
+  FaultFs fs;
+  const std::vector<std::uint8_t> bytes = payload_for(1);
+  ASSERT_TRUE(write_file_atomic(fs, "dir/file.bin", bytes).ok());
+  fs.crash_at_op(1);
+  EXPECT_FALSE(fs.read_file("nudge").ok());  // the power cut fires
+  ASSERT_TRUE(fs.crashed());
+  fs.reboot();
+  auto read = fs.read_file("dir/file.bin");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), bytes);
+}
+
+TEST(FaultFs, UnsyncedRenameEvaporatesOnCrash) {
+  FaultFs fs;
+  // Hand-rolled write WITHOUT fsync: rename is atomic for visibility, but
+  // the carried image was never durable — the classic torn-rename trap.
+  auto handle = fs.open_write("f.tmp");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs.write(handle.value(), payload_for(2)).ok());
+  ASSERT_TRUE(fs.close(handle.value()).ok());
+  ASSERT_TRUE(fs.rename("f.tmp", "f").ok());
+  EXPECT_TRUE(fs.visible_exists("f"));
+  fs.crash_at_op(1);
+  EXPECT_FALSE(fs.read_file("f").ok());
+  fs.reboot();
+  EXPECT_FALSE(fs.visible_exists("f"));
+  EXPECT_FALSE(fs.durable_exists("f"));
+}
+
+TEST(FaultFs, ShortWritePersistsPrefixAndFailsTyped) {
+  FsFaultProfile profile;
+  profile.short_write_rate = 1.0;
+  FaultFs fs{profile};
+  auto handle = fs.open_write("f");
+  ASSERT_TRUE(handle.ok());
+  const core::Status status = fs.write(handle.value(), payload_for(3));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, core::Errc::kUnavailable);
+  auto read = fs.read_file("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), payload_for(3).size() / 2);  // torn prefix
+}
+
+TEST(FaultFs, FsyncLossReportsSuccessButLosesBytesOnCrash) {
+  FsFaultProfile profile;
+  profile.fsync_loss_rate = 1.0;
+  FaultFs fs{profile};
+  auto handle = fs.open_write("f");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs.write(handle.value(), payload_for(4)).ok());
+  ASSERT_TRUE(fs.fsync(handle.value()).ok());  // the disk lies
+  ASSERT_TRUE(fs.close(handle.value()).ok());
+  EXPECT_TRUE(fs.visible_exists("f"));
+  EXPECT_FALSE(fs.durable_exists("f"));
+  fs.crash_at_op(1);
+  (void)fs.read_file("f");
+  fs.reboot();
+  EXPECT_FALSE(fs.visible_exists("f"));
+}
+
+TEST(FaultFs, FaultWindowGatesRates) {
+  FsFaultProfile profile;
+  profile.enospc_rate = 1.0;
+  profile.window = {5, 10};
+  FaultFs fs{profile};
+  EXPECT_TRUE(fs.open_write("before").ok());  // tick 0: window closed
+  fs.advance_to(5);
+  EXPECT_FALSE(fs.open_write("inside").ok());
+  fs.advance_to(10);
+  EXPECT_TRUE(fs.open_write("after").ok());
+}
+
+TEST(FaultFs, DeterministicReplaySameSeed) {
+  FsFaultProfile profile;
+  profile.enospc_rate = 0.3;
+  profile.eio_rate = 0.2;
+  profile.seed = 99;
+  const auto run = [&profile] {
+    FaultFs fs{profile};
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(
+          write_file_atomic(fs, "d/f" + std::to_string(i), payload_for(7)).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The durability theorem: sweep a simulated power cut across EVERY syscall
+// boundary of a multi-epoch CheckpointStore run. Invariants after reboot:
+//  (1) if store.write(epoch) returned ok before the crash, load_latest
+//      recovers an epoch >= it (an acknowledged snapshot is never lost);
+//  (2) no checkpoint-*.vdxsnap file is ever torn (rejected set is empty) —
+//      partially written bytes can only live under the ignored .tmp name.
+TEST(FaultFsCrashSweep, CheckpointStoreNeverTearsOrLosesAckedSnapshots) {
+  constexpr std::uint64_t kEpochs = 6;
+  for (std::uint64_t crash_op = 1; crash_op <= 60; ++crash_op) {
+    FaultFs fs;
+    fs.crash_at_op(crash_op);
+    std::uint64_t last_acked = 0;
+    {
+      CheckpointStore store{"ckpt", 2, {}, &fs};
+      for (std::uint64_t epoch = 1; epoch <= kEpochs; ++epoch) {
+        if (store.write(epoch, snapshot_bytes(epoch)).ok()) last_acked = epoch;
+      }
+    }
+    fs.disarm_crash();
+    if (fs.crashed()) fs.reboot();
+
+    CheckpointStore recovered{"ckpt", 2, {}, &fs};
+    auto loaded = recovered.load_latest();
+    if (last_acked == 0) continue;  // crashed before the first ack: no claim
+    ASSERT_TRUE(loaded.ok()) << "crash_op=" << crash_op << ": "
+                             << loaded.error().message;
+    EXPECT_GE(loaded.value().epoch, last_acked) << "crash_op=" << crash_op;
+    EXPECT_TRUE(loaded.value().rejected.empty())
+        << "crash_op=" << crash_op << ": torn snapshot survived under a "
+        << "checkpoint name: " << loaded.value().rejected.front();
+    EXPECT_EQ(loaded.value().bytes, snapshot_bytes(loaded.value().epoch))
+        << "crash_op=" << crash_op;
+  }
+}
+
+// Retention edge cases through the fault layer: a failed or interrupted
+// prune must never un-apply the just-acknowledged write.
+TEST(FaultFsRetention, CrashOnPruneKeepsBothSnapshotsIntact) {
+  FaultFs fs;
+  CheckpointStore store{"ckpt", 1, {}, &fs};
+  ASSERT_TRUE(store.write(1, snapshot_bytes(1)).ok());
+  EXPECT_EQ(store.list().size(), 1u);  // epoch 1 pruned nothing
+  // Ops per write here: mkdir, open, write, fsync, close, rename, list,
+  // remove — land the power cut exactly on the prune's remove (the 8th op
+  // of write(2), counting from now).
+  fs.crash_at_op(8);
+  const core::Status second = store.write(2, snapshot_bytes(2));
+  EXPECT_TRUE(second.ok());  // the snapshot itself was acked before the cut
+  EXPECT_EQ(store.prune_failures(), 1u);
+  fs.reboot();
+  CheckpointStore recovered{"ckpt", 1, {}, &fs};
+  const auto snapshots = recovered.list();
+  ASSERT_EQ(snapshots.size(), 2u);  // stale survivor costs disk, not data
+  auto loaded = recovered.load_latest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().epoch, 2u);
+  EXPECT_EQ(loaded.value().bytes, snapshot_bytes(2));
+}
+
+TEST(FaultFsRetention, FullOutageFailsTypedAndAppliesNothing) {
+  FaultFs fs;
+  CheckpointStore store{"ckpt", 3, {}, &fs};
+  ASSERT_TRUE(store.write(1, snapshot_bytes(1)).ok());
+  fs.set_failing(true);  // read-only / out-of-space directory from here on
+  const core::Status status = store.write(2, snapshot_bytes(2));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, core::Errc::kUnavailable);
+  fs.set_failing(false);
+  // Nothing partially applied: epoch 1 is still the newest valid snapshot.
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().epoch, 1u);
+  EXPECT_FALSE(fs.visible_exists("ckpt/checkpoint-00000002.vdxsnap"));
+}
+
+TEST(FaultFsRetention, EnospcMidRunSuspendsThenRecovers) {
+  FsFaultProfile profile;
+  profile.enospc_rate = 1.0;
+  profile.window = {3, 6};  // disk full during ticks [3, 6)
+  FaultFs fs{profile};
+  CheckpointStore store{"ckpt", 2, {}, &fs};
+  std::uint64_t acked = 0;
+  for (std::uint64_t epoch = 1; epoch <= 8; ++epoch) {
+    fs.advance_to(epoch);
+    const core::Status status = store.write(epoch, snapshot_bytes(epoch));
+    if (status.ok()) {
+      acked = epoch;
+    } else {
+      EXPECT_EQ(status.error().code, core::Errc::kUnavailable);
+    }
+  }
+  EXPECT_EQ(acked, 8u);  // the store resumed once the outage window closed
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().epoch, 8u);
+}
+
+}  // namespace
+}  // namespace vdx::state

@@ -79,6 +79,11 @@ struct Options {
   std::string trace_out;
   std::size_t shards = 1;
   std::string shard_backend = "inproc";
+  double p99_slo_ms = 0.0;
+  std::size_t breaker_threshold = 0;
+  std::size_t breaker_open_rounds = 4;
+  std::size_t restart_budget = 0;
+  std::size_t restart_window = 32;
 };
 
 // The single accessor sequence: parses a real command line, and — run over
@@ -110,6 +115,11 @@ Options options_from(core::Flags& flags) {
   opt.trace_out = flags.text("trace-out", "");
   opt.shards = flags.count("shards", 1, 1);
   opt.shard_backend = flags.text("shard-backend", "inproc");
+  opt.p99_slo_ms = flags.positive("p99-slo-ms", 0.0);
+  opt.breaker_threshold = flags.count("breaker-threshold", 0);
+  opt.breaker_open_rounds = flags.count("breaker-open-rounds", 4, 1);
+  opt.restart_budget = flags.count("restart-budget", 0);
+  opt.restart_window = flags.count("restart-window", 32, 1);
   return opt;
 }
 
@@ -222,6 +232,26 @@ int run(core::Flags& flags) {
   }
   config.shard_backend = *backend;
 
+  // Self-healing knobs (DESIGN.md §15). One --breaker-threshold arms both
+  // the per-shard-link breakers and the checkpointer breaker; the brownout
+  // ladder reacts to whatever opens. All default off: vdxd without these
+  // flags behaves exactly as before this layer existed.
+  config.brownout.p99_slo_ms = opt.p99_slo_ms;
+  if (opt.breaker_threshold > 0) {
+    config.shard_link_breaker.failure_threshold = opt.breaker_threshold;
+    config.shard_link_breaker.open_ticks = opt.breaker_open_rounds;
+    config.checkpoint_breaker.failure_threshold = opt.breaker_threshold;
+    config.checkpoint_breaker.open_ticks = opt.breaker_open_rounds;
+  }
+  if (opt.restart_budget > 0) {
+    config.shard_worker_restart.max_restarts = opt.restart_budget;
+    config.shard_worker_restart.window_ticks = opt.restart_window;
+    config.shard_worker_restart.backoff_base_ticks = 1;
+    config.shard_worker_restart.backoff_max_ticks = 8;
+  }
+  serve::HealthState health;
+  config.health = &health;
+
   // The fingerprint binds snapshots to this exact serving configuration;
   // resuming under different flags is rejected instead of diverging.
   state::RunFingerprint fingerprint;
@@ -250,7 +280,7 @@ int run(core::Flags& flags) {
 
   std::optional<serve::Httpd> httpd;
   if (opt.http) {
-    httpd.emplace(metrics, static_cast<std::uint16_t>(opt.http_port));
+    httpd.emplace(metrics, static_cast<std::uint16_t>(opt.http_port), &health);
     std::fprintf(stderr, "[http] listening on 127.0.0.1:%u\n",
                  static_cast<unsigned>(httpd->port()));
   }
@@ -320,7 +350,8 @@ int run(core::Flags& flags) {
   std::fprintf(stderr,
                "served: rounds=%llu decisions=%llu skipped=%llu arrivals=%llu "
                "peak-active=%llu queue-dropped=%llu shed-rounds=%llu "
-               "shed-mbps=%.1f shed-clients=%.0f checkpoints=%llu%s%s\n",
+               "shed-mbps=%.1f shed-clients=%.0f checkpoints=%llu "
+               "checkpoint-skips=%llu brownout-rounds=%llu%s%s\n",
                static_cast<unsigned long long>(report.rounds),
                static_cast<unsigned long long>(report.decision_rounds),
                static_cast<unsigned long long>(report.skipped_rounds),
@@ -330,6 +361,8 @@ int run(core::Flags& flags) {
                static_cast<unsigned long long>(report.shed_rounds),
                report.shed_mbps_total, report.shed_clients_total,
                static_cast<unsigned long long>(report.checkpoints_written),
+               static_cast<unsigned long long>(report.checkpoint_skips),
+               static_cast<unsigned long long>(report.brownout_rounds),
                report.drained ? " drained" : "",
                report.halted ? " halted" : "");
   std::fprintf(stderr,

@@ -13,13 +13,23 @@
 // stream matches what `vdxd --sim-clock` serves from its built-in feed,
 // byte for byte (same generator, same stream fork).
 //
+// A dying sink (vdxd restarting mid-pipe) no longer kills the client:
+// SIGPIPE is ignored, each failed line is retried --retries times with
+// exponential backoff (reopening --out sinks between attempts, so a FIFO
+// fed by a supervised vdxd reconnects), and lines that exhaust the budget
+// are counted and reported on stderr instead of vanishing with the process.
+//
 // Run `vdxload --help` for the generated flag reference.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/flags.hpp"
@@ -38,6 +48,8 @@ struct Options {
   double multiplier = 1.0;
   std::size_t batch = 0;
   std::string out;
+  std::size_t retries = 3;
+  std::size_t backoff_ms = 50;
 };
 
 Options options_from(core::Flags& flags) {
@@ -48,6 +60,8 @@ Options options_from(core::Flags& flags) {
   opt.multiplier = flags.positive("multiplier", 1.0);
   opt.batch = flags.count("batch", 4096, 1);
   opt.out = flags.text("out", "");
+  opt.retries = flags.count("retries", 3);
+  opt.backoff_ms = flags.count("backoff-ms", 50, 1);
   return opt;
 }
 
@@ -98,21 +112,65 @@ int run(core::Flags& flags) {
     out = &out_file;
   }
 
+  // EPIPE must surface as a failed write, not a process-killing SIGPIPE —
+  // the whole point is to outlive a restarting vdxd on the far end.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // One line per write+flush so a broken pipe is detected at the exact line
+  // that lost it (a deep ostream buffer would smear the failure across a
+  // whole batch). The syscall per ~100-byte line is noise next to vdxd's
+  // round work.
   std::size_t emitted = 0;
+  std::size_t dropped = 0;
+  std::size_t reconnects = 0;
+  bool sink_dead = false;
+  const auto emit_line = [&](const std::string& line) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      out->clear();
+      out->write(line.data(), static_cast<std::streamsize>(line.size()));
+      out->flush();
+      if (out->good()) {
+        if (sink_dead) ++reconnects;
+        sink_dead = false;
+        ++emitted;
+        return;
+      }
+      // Once a line has burned the whole retry budget the sink is declared
+      // dead: later lines probe once (so a comeback is still caught) but
+      // never sleep — a permanently broken shell pipe drops the remaining
+      // stream in milliseconds instead of hours.
+      if (sink_dead || attempt >= opt.retries) {
+        sink_dead = true;
+        ++dropped;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::size_t>(opt.backoff_ms << attempt, 2000)));
+      if (!opt.out.empty()) {
+        // A path sink can genuinely reconnect (a FIFO whose reader
+        // restarted); reopen in append mode so survivors are kept.
+        out_file.close();
+        out_file.clear();
+        out_file.open(opt.out, std::ios::app);
+      }
+    }
+  };
   while (true) {
     const std::vector<trace::Session> batch = generator.next_batch(opt.batch);
     if (batch.empty()) break;
     for (const trace::Session& session : batch) {
-      serve::write_arrival(*out, session);
+      std::ostringstream line;
+      serve::write_arrival(line, session);
+      emit_line(line.str());
     }
-    emitted += batch.size();
   }
-  out->flush();
 
-  std::fprintf(stderr, "vdxload: wrote %zu arrivals over %.0fs%s%s\n", emitted,
-               generator.duration_s(), opt.out.empty() ? "" : " to ",
-               opt.out.c_str());
-  return 0;
+  std::fprintf(stderr,
+               "vdxload: wrote %zu arrivals over %.0fs%s%s (dropped=%zu "
+               "reconnects=%zu)\n",
+               emitted, generator.duration_s(), opt.out.empty() ? "" : " to ",
+               opt.out.c_str(), dropped, reconnects);
+  return dropped == 0 ? 0 : 1;
 }
 
 }  // namespace
